@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the end-to-end serving simulator: wall-clock
+//! cost of simulating the multi-turn workload under each mode, and the
+//! per-prefill overlap computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::overlap::{with_preload, PreloadParams};
+use engine::{run_paper_workload, Mode};
+use models::ModelSpec;
+use sim::Dur;
+use workload::{Generator, ShareGptProfile};
+
+fn bench_serving_modes(c: &mut Criterion) {
+    let trace = Generator::new(ShareGptProfile::default(), 11).trace(100);
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    for mode in [
+        Mode::CachedAttention,
+        Mode::Recompute,
+        Mode::CoupledOverflow,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("simulate_100_sessions", mode.label()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let r = run_paper_workload(mode, ModelSpec::llama2_13b(), trace.clone(), 0);
+                    black_box(r.sessions_done.get())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_overlap_model(c: &mut Criterion) {
+    c.bench_function("engine/preload_pipeline_80_layers", |b| {
+        let p = PreloadParams {
+            n_layers: 80,
+            t_load_layer: Dur::from_micros(900),
+            t_comp_layer: Dur::from_micros(400),
+            buffer_layers: 15,
+            warm: Dur::from_micros(13_500),
+            delay: Dur::ZERO,
+        };
+        b.iter(|| black_box(with_preload(&p).done))
+    });
+}
+
+criterion_group!(benches, bench_serving_modes, bench_overlap_model);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Extension: bursty (MMPP) arrival robustness.
+
+use bench_suite::Scale;
+
+fn main() {
+    println!(
+        "{}",
+        bench_suite::experiments::ext_bursty::run(Scale::from_args())
+    );
+}

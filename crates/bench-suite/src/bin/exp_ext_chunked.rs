@@ -1,0 +1,10 @@
+//! Extension: chunked prefill vs KV reuse ablation.
+
+use bench_suite::Scale;
+
+fn main() {
+    println!(
+        "{}",
+        bench_suite::experiments::ext_chunked::run(Scale::from_args())
+    );
+}

@@ -1,0 +1,10 @@
+//! Extension: KV compression interaction with AttentionStore capacity.
+
+use bench_suite::Scale;
+
+fn main() {
+    println!(
+        "{}",
+        bench_suite::experiments::ext_compression::run(Scale::from_args())
+    );
+}

@@ -1,0 +1,5 @@
+//! Figure 1b: prefilling vs decoding latency characteristics.
+
+fn main() {
+    println!("{}", bench_suite::experiments::fig01::run());
+}

@@ -1,0 +1,11 @@
+//! Figure 2: ShareGPT dataset statistics vs the synthetic calibration.
+
+use bench_suite::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "{}",
+        bench_suite::experiments::fig02::run(scale.sessions.max(5_000))
+    );
+}

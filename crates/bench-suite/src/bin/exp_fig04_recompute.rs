@@ -1,0 +1,11 @@
+//! Figure 4: recomputation inefficiencies across conversation turns.
+
+use bench_suite::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "{}",
+        bench_suite::experiments::fig04::run(scale.sessions.max(3_000))
+    );
+}

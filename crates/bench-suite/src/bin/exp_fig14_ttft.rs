@@ -1,0 +1,9 @@
+//! Figure 14: time to first token, CA vs RE.
+
+use bench_suite::experiments::e2e;
+use bench_suite::Scale;
+
+fn main() {
+    let r = e2e::compute(Scale::from_args());
+    println!("{}", e2e::fig14(&r));
+}

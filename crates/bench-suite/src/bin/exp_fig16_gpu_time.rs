@@ -1,0 +1,9 @@
+//! Figure 16: end-to-end GPU time, CA vs RE.
+
+use bench_suite::experiments::e2e;
+use bench_suite::Scale;
+
+fn main() {
+    let r = e2e::compute(Scale::from_args());
+    println!("{}", e2e::fig16(&r));
+}

@@ -1,0 +1,9 @@
+//! Figure 17: end-to-end inference cost, CA vs RE.
+
+use bench_suite::experiments::e2e;
+use bench_suite::Scale;
+
+fn main() {
+    let r = e2e::compute(Scale::from_args());
+    println!("{}", e2e::fig17(&r));
+}

@@ -1,0 +1,5 @@
+//! Figure 18: recomputation vs CachedAttention across hist/new splits.
+
+fn main() {
+    println!("{}", bench_suite::experiments::fig18::run());
+}

@@ -1,0 +1,5 @@
+//! Figure 19: layer-wise pre-loading with various read buffer sizes.
+
+fn main() {
+    println!("{}", bench_suite::experiments::fig19::run());
+}

@@ -1,0 +1,5 @@
+//! Figure 20: asynchronous KV cache saving.
+
+fn main() {
+    println!("{}", bench_suite::experiments::fig20::run());
+}

@@ -1,0 +1,10 @@
+//! Figure 22: context-overflow impact (CA vs OF).
+
+use bench_suite::Scale;
+
+fn main() {
+    println!(
+        "{}",
+        bench_suite::experiments::fig22::run(Scale::from_args())
+    );
+}

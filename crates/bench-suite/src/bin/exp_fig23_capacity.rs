@@ -1,0 +1,10 @@
+//! Figure 23: cache capacity requirement (RCC/CCpUT sweep, TTL = 1h).
+
+use bench_suite::Scale;
+
+fn main() {
+    println!(
+        "{}",
+        bench_suite::experiments::fig23::run(Scale::from_args())
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 24: caching storage mediums (HBM / +DRAM / +SSD).
+
+use bench_suite::Scale;
+
+fn main() {
+    println!(
+        "{}",
+        bench_suite::experiments::fig24::run(Scale::from_args())
+    );
+}

@@ -1,0 +1,10 @@
+//! Figure 25: impact of session arrival rates.
+
+use bench_suite::Scale;
+
+fn main() {
+    println!(
+        "{}",
+        bench_suite::experiments::fig25::run(Scale::from_args())
+    );
+}

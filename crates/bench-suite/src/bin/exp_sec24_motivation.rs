@@ -1,0 +1,5 @@
+//! Section 2.4's motivation anchors.
+
+fn main() {
+    println!("{}", bench_suite::experiments::sec24::run());
+}

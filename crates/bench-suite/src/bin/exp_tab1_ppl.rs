@@ -1,0 +1,10 @@
+//! Table 1: perplexity of CA / TT / NKVT on trained tiny RoPE LMs.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (steps, episodes) = if quick { (700, 8) } else { (2_000, 24) };
+    println!(
+        "{}",
+        bench_suite::experiments::tab12::table1(steps, episodes)
+    );
+}

@@ -1,0 +1,197 @@
+//! The end-to-end four-model comparison (Figures 13–17).
+//!
+//! One expensive run per (model, mode) pair feeds five renderers; the
+//! `exp_all` binary computes the runs once and renders everything.
+
+use engine::RunReport;
+use metrics::aws::PriceSheet;
+use metrics::table::{pct, secs, speedup, Table};
+use models::ModelSpec;
+
+use crate::{run_all_models, Scale};
+
+/// The shared end-to-end results.
+pub struct E2eResults {
+    /// `(model, CA report, RE report)` per evaluation model.
+    pub runs: Vec<(ModelSpec, RunReport, RunReport)>,
+}
+
+/// Executes the four-model CA/RE runs at `scale`.
+pub fn compute(scale: Scale) -> E2eResults {
+    E2eResults {
+        runs: run_all_models(scale),
+    }
+}
+
+/// Figure 13: AttentionStore cache hit rates per model.
+pub fn fig13(r: &E2eResults) -> String {
+    let paper = [0.86, 0.71, 0.89, 0.90];
+    let mut t = Table::new(
+        "Figure 13: KV cache hit rate",
+        &["model", "hit rate", "DRAM share", "disk share", "paper"],
+    );
+    for ((m, ca, _), p) in r.runs.iter().zip(paper) {
+        t.row(&[
+            m.name.to_string(),
+            pct(ca.hit_rate()),
+            pct(ca.fast_hit_rate()),
+            pct(ca.slow_hit_rate()),
+            pct(p),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 14: time to first token.
+pub fn fig14(r: &E2eResults) -> String {
+    let paper = [0.85, 0.61, 0.87, 0.86];
+    let mut t = Table::new(
+        "Figure 14: time to first token (mean service latency)",
+        &[
+            "model",
+            "RE TTFT",
+            "CA TTFT",
+            "reduction",
+            "paper reduction",
+        ],
+    );
+    for ((m, ca, re), p) in r.runs.iter().zip(paper) {
+        let reduction = 1.0 - ca.ttft_mean() / re.ttft_mean();
+        t.row(&[
+            m.name.to_string(),
+            secs(re.ttft_mean()),
+            secs(ca.ttft_mean()),
+            pct(reduction),
+            pct(p),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 15: prompt prefilling throughput.
+pub fn fig15(r: &E2eResults) -> String {
+    let paper = [6.8, 2.6, 7.8, 7.2];
+    let mut t = Table::new(
+        "Figure 15: prefilling throughput (prompt tokens per prefill-GPU-second)",
+        &["model", "RE tok/s", "CA tok/s", "speedup", "paper speedup"],
+    );
+    for ((m, ca, re), p) in r.runs.iter().zip(paper) {
+        t.row(&[
+            m.name.to_string(),
+            format!("{:.0}", re.prefill_throughput()),
+            format!("{:.0}", ca.prefill_throughput()),
+            speedup(ca.prefill_throughput() / re.prefill_throughput()),
+            speedup(p),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 16: end-to-end GPU time.
+pub fn fig16(r: &E2eResults) -> String {
+    let paper = [4.0, 1.9, 3.3, 3.4];
+    let mut t = Table::new(
+        "Figure 16: GPU time to finish the workload (busy hours)",
+        &[
+            "model",
+            "RE hours",
+            "CA hours",
+            "speedup",
+            "paper speedup",
+            "RE makespan h",
+            "CA makespan h",
+        ],
+    );
+    for ((m, ca, re), p) in r.runs.iter().zip(paper) {
+        t.row(&[
+            m.name.to_string(),
+            format!("{:.2}", re.busy_hours()),
+            format!("{:.2}", ca.busy_hours()),
+            speedup(re.busy_hours() / ca.busy_hours()),
+            speedup(p),
+            format!("{:.2}", re.gpu_hours()),
+            format!("{:.2}", ca.gpu_hours()),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 17: end-to-end inference cost.
+pub fn fig17(r: &E2eResults) -> String {
+    let paper_saving = [0.70, 0.43, 0.66, 0.68];
+    let paper_storage = [0.164, 0.09, 0.09, 0.09];
+    let prices = PriceSheet::default();
+    let mut t = Table::new(
+        "Figure 17: inference cost (AWS on-demand pricing)",
+        &[
+            "model",
+            "RE $",
+            "CA $",
+            "saving",
+            "paper saving",
+            "CA storage share",
+            "paper share",
+        ],
+    );
+    for (i, (m, ca, re)) in r.runs.iter().enumerate() {
+        let n_gpus = if m.n_params <= 14_000_000_000 { 2 } else { 4 };
+        let ca_cost = ca.cost(&prices, n_gpus, 128.0, 10_000.0);
+        let re_cost = re.cost(&prices, n_gpus, 0.0, 0.0);
+        t.row(&[
+            m.name.to_string(),
+            format!("{:.2}", re_cost.total()),
+            format!("{:.2}", ca_cost.total()),
+            pct(ca_cost.saving_vs(&re_cost)),
+            pct(paper_saving[i]),
+            pct(ca_cost.storage_fraction()),
+            pct(paper_storage[i]),
+        ]);
+    }
+    t.render()
+}
+
+/// Runs the shared computation and renders Figures 13–17.
+pub fn run(scale: Scale) -> String {
+    let r = compute(scale);
+    let mut out = String::new();
+    for s in [fig13(&r), fig14(&r), fig15(&r), fig16(&r), fig17(&r)] {
+        out.push_str(&s);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One small end-to-end run feeds all five figures and shows CA
+    /// winning on every headline metric.
+    #[test]
+    fn e2e_shapes_hold_at_small_scale() {
+        let r = compute(Scale {
+            sessions: 150,
+            warmup_turns: 150,
+        });
+        for (m, ca, re) in &r.runs {
+            assert!(ca.hit_rate() > 0.5, "{}: hit {}", m.name, ca.hit_rate());
+            assert!(
+                ca.ttft_mean() < re.ttft_mean(),
+                "{}: TTFT CA {} RE {}",
+                m.name,
+                ca.ttft_mean(),
+                re.ttft_mean()
+            );
+            assert!(
+                ca.prefill_throughput() > re.prefill_throughput(),
+                "{}",
+                m.name
+            );
+            assert!(ca.busy_hours() < re.busy_hours(), "{}", m.name);
+        }
+        let all = [fig13(&r), fig14(&r), fig15(&r), fig16(&r), fig17(&r)];
+        for s in &all {
+            assert!(s.contains("LLaMA-70B"));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Extension experiment (§3.4, last paragraph): selective KV preservation
+//! via a token discarding list (TDL).
+//!
+//! The paper notes that CachedAttention "straightforwardly complies" with
+//! KV compression schemes — attention sinks, heavy hitters — because the
+//! stored KV carries no positional encoding: drop the TDL's rows and
+//! re-embed fresh positions on load. This experiment demonstrates the
+//! mechanism on the trained retrieval model:
+//!
+//! - the queried record sits in the *first* half of the context;
+//! - plain front truncation (the default overflow policy) drops it, so
+//!   the model cannot answer;
+//! - TDL truncation drops the same *number* of tokens but selects
+//!   unimportant records (importance oracle standing in for H2O scores),
+//!   keeping the queried record — and the answer survives.
+
+use metrics::table::{pct, Table};
+use tinyllm::corpus::retrieval_task;
+use tinyllm::{argmax, Model, PeMode};
+
+use crate::experiments::tab12::{train_retrieval, Size, RETRIEVAL_DROP, RETRIEVAL_PAIRS};
+
+/// How the overflowing context is reduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// No reduction: the full context (upper bound).
+    None,
+    /// Drop the oldest `RETRIEVAL_DROP` tokens (the default policy).
+    FrontTruncate,
+    /// Drop the same number of tokens chosen by the importance oracle:
+    /// whole unimportant records, never the queried one.
+    Tdl,
+}
+
+impl Reduction {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Reduction::None => "full context",
+            Reduction::FrontTruncate => "front truncation",
+            Reduction::Tdl => "TDL (keep important)",
+        }
+    }
+}
+
+/// Retrieval accuracy under a reduction scheme, asking about records in
+/// the first (truncation-exposed) half.
+pub fn accuracy(m: &Model, reduction: Reduction, episodes: usize) -> f64 {
+    let vocab = m.cfg.vocab;
+    let n_pairs = RETRIEVAL_PAIRS;
+    let early = n_pairs / 2 - 1;
+    let mut hits = 0usize;
+    for ep in 0..episodes {
+        let ask = 1 + ep % early;
+        let t = retrieval_task(vocab, n_pairs, ask, 90_000 + ep as u64);
+        let (ctx, query_tail) = t.prompt.split_at(t.prompt.len() - 2);
+        let mut cache = m.cache(PeMode::Decoupled);
+        m.forward(ctx, &mut cache);
+        match reduction {
+            Reduction::None => {}
+            Reduction::FrontTruncate => cache.truncate_front(RETRIEVAL_DROP),
+            Reduction::Tdl => {
+                // Importance oracle: records other than the queried one
+                // are disposable. Drop whole records from the front,
+                // skipping the queried one, until enough tokens are gone.
+                let mut tdl = Vec::with_capacity(RETRIEVAL_DROP);
+                let mut record = 0usize;
+                while tdl.len() < RETRIEVAL_DROP && record < n_pairs {
+                    if record != ask {
+                        let base = record * 2;
+                        tdl.extend([base, base + 1]);
+                    }
+                    record += 1;
+                }
+                tdl.truncate(RETRIEVAL_DROP);
+                cache.discard(&tdl);
+            }
+        }
+        let logits = m.forward(query_tail, &mut cache);
+        if argmax(logits.last().expect("query emitted logits")) == t.answer {
+            hits += 1;
+        }
+    }
+    hits as f64 / episodes as f64
+}
+
+/// Renders the extension table.
+pub fn run(steps: usize, episodes: usize) -> String {
+    let mut t = Table::new(
+        "Extension: TDL-based selective KV preservation (retrieval model, queried record in the truncated half)",
+        &["model", "reduction", "accuracy"],
+    );
+    for size in [Size::S, Size::M] {
+        let m = train_retrieval(size, steps, 777);
+        for reduction in [Reduction::None, Reduction::FrontTruncate, Reduction::Tdl] {
+            t.row(&[
+                size.label().into(),
+                reduction.label().into(),
+                pct(accuracy(&m, reduction, episodes)),
+            ]);
+        }
+    }
+    let mut out = t.render();
+    out.push_str(
+        "shape: front truncation destroys answers whose evidence was dropped;\n\
+         TDL keeps the important record alive at the same compression ratio,\n\
+         which only works because the stored KV is position-free (§3.4).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// TDL preserves retrieval accuracy that front truncation destroys.
+    #[test]
+    fn tdl_beats_front_truncation() {
+        let m = train_retrieval(Size::S, 6_000, 777);
+        let full = accuracy(&m, Reduction::None, 40);
+        let front = accuracy(&m, Reduction::FrontTruncate, 40);
+        let tdl = accuracy(&m, Reduction::Tdl, 40);
+        // Chance is 1/8 = 12.5%: the model must retrieve clearly above
+        // chance for the comparison to be meaningful. (Tiny 2-layer
+        // models sit well below LLaMA's near-perfect retrieval; the
+        // experiment is about the *shape*.)
+        assert!(full > 0.2, "model failed to learn retrieval: {full}");
+        assert!(
+            tdl > front + 0.08,
+            "TDL {tdl} should clearly exceed front truncation {front}"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 1b: prefill latency grows with prompt length while decode
+//! latency per iteration stays flat.
+//!
+//! Setting: LLaMA-70B, batch 8, 4×A100, the theoretical cost calibration
+//! (`CostModel::default`, anchored to §2.4's 360 ms figure).
+
+use metrics::table::Table;
+use models::{ClusterSpec, CostModel, ModelSpec};
+
+/// Renders the Figure 1b series.
+pub fn run() -> String {
+    let m = ModelSpec::llama2_70b();
+    let c = ClusterSpec::paper_testbed();
+    let cm = CostModel::default();
+    let batch = 8u64;
+    let mut t = Table::new(
+        "Figure 1b: prefilling vs decoding latency (LLaMA-70B, batch 8, 4xA100)",
+        &["prompt tokens", "prefill (ms)", "decode iter (ms)"],
+    );
+    for tokens in [128u64, 256, 512, 1024, 2048, 4096] {
+        // The batch prefills `batch` prompts of this length.
+        let prefill = cm.prefill_time(&m, &c, tokens * batch, 0).as_millis_f64();
+        let decode = cm
+            .decode_iter_time(&m, &c, batch, tokens * batch)
+            .as_millis_f64();
+        t.row(&[
+            tokens.to_string(),
+            format!("{prefill:.1}"),
+            format!("{decode:.1}"),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str("paper shape: prefill scales ~linearly with prompt length; decode is ~flat.\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_six_rows_with_expected_shape() {
+        let s = super::run();
+        assert_eq!(
+            s.lines()
+                .filter(|l| l.starts_with(char::is_numeric))
+                .count(),
+            6
+        );
+        assert!(s.contains("4096"));
+    }
+}

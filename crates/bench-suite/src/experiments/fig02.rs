@@ -1,0 +1,53 @@
+//! Figure 2: the ShareGPT conversation statistics the workload generator
+//! is calibrated against.
+
+use metrics::table::{pct, Table};
+use workload::stats;
+
+use crate::{paper_trace, Scale};
+
+/// Renders the dataset-statistics comparison.
+pub fn run(sessions: usize) -> String {
+    let trace = paper_trace(
+        Scale {
+            sessions,
+            warmup_turns: 0,
+        },
+        1.0,
+    );
+    let n = trace.sessions.len() as f64;
+    let multi = trace.sessions.iter().filter(|s| s.n_turns() > 1).count() as f64 / n;
+    let mean_turns = trace.total_turns() as f64 / n;
+    let over2k = stats::fraction_longer_than(&trace, 2048);
+    let over4k = stats::fraction_longer_than(&trace, 4096);
+    let mut t = Table::new(
+        "Figure 2: ShareGPT statistics (synthetic calibration vs paper)",
+        &["statistic", "measured", "paper"],
+    );
+    t.row(&["multi-turn sessions".into(), pct(multi), "73.0%".into()]);
+    t.row(&[
+        "mean turns / session".into(),
+        format!("{mean_turns:.2}"),
+        "5.75".into(),
+    ]);
+    t.row(&["sessions > 2K tokens".into(), pct(over2k), "47.0%".into()]);
+    t.row(&["sessions > 4K tokens".into(), pct(over4k), "30.0%".into()]);
+    let mut out = t.render();
+    // Also print the turn-count histogram head (Fig 2a's shape).
+    let hist = stats::turn_histogram(&trace, 10);
+    out.push_str("\nturn-count distribution (bins 1..9, 10 = >=10 turns):\n");
+    for (i, frac) in hist.iter().enumerate() {
+        out.push_str(&format!("  {:>2} turns: {}\n", i + 1, pct(*frac)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn calibration_matches_paper_targets() {
+        let s = super::run(5_000);
+        assert!(s.contains("multi-turn"));
+        assert!(s.contains("73.0%"));
+    }
+}

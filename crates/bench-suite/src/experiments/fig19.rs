@@ -1,0 +1,89 @@
+//! Figure 19: layer-wise pre-loading with various read-buffer sizes
+//! (§4.3.2).
+//!
+//! Setting: LLaMA-13B, one GPU, batch 16, 1K historical + 100 new tokens.
+//! Paper: PL-B0 cuts prefill time 35% vs NO-PL; PF-B15 cuts 61%.
+
+use engine::overlap::{no_preload, with_preload, PreloadParams};
+use metrics::table::{pct, Table};
+use models::{ClusterSpec, CostModel, ModelSpec};
+use sim::Dur;
+
+/// Prefill time (ms) for a read buffer of `buffer` layers; `None` means
+/// no pre-loading at all.
+pub fn prefill_ms(buffer: Option<u32>) -> f64 {
+    let m = ModelSpec::llama2_13b();
+    let c = ClusterSpec::paper_testbed().with_gpus(1);
+    let cm = CostModel::default();
+    let (hist, new, batch) = (1024u64, 100u64, 16u64);
+    let comp = cm.prefill_time(&m, &c, new * batch, hist * batch);
+    let load_bytes = m.kv_bytes(hist * batch);
+    let t_load_layer = Dur::from_secs_f64(load_bytes as f64 / m.n_layers as f64 / c.pcie_bw);
+    let b = buffer.unwrap_or(0);
+    let params = PreloadParams {
+        n_layers: m.n_layers,
+        t_load_layer,
+        t_comp_layer: comp / m.n_layers as u64,
+        buffer_layers: b,
+        warm: t_load_layer * b as u64,
+        delay: Dur::ZERO,
+    };
+    match buffer {
+        None => no_preload(&params).done.as_millis_f64(),
+        Some(_) => with_preload(&params).done.as_millis_f64(),
+    }
+}
+
+/// Renders the Figure 19 table.
+pub fn run() -> String {
+    let no_pl = prefill_ms(None);
+    let mut t = Table::new(
+        "Figure 19: layer-wise pre-loading vs read buffer size (LLaMA-13B, 1K hist + 100 new, batch 16)",
+        &["scheme", "prefill (ms)", "vs NO-PL", "paper"],
+    );
+    t.row(&[
+        "NO-PL".into(),
+        format!("{no_pl:.0}"),
+        "-".into(),
+        "-".into(),
+    ]);
+    for (b, paper) in [(0u32, "35%"), (5, ""), (10, ""), (15, "61%")] {
+        let ms = prefill_ms(Some(b));
+        t.row(&[
+            format!("PL-B{b}"),
+            format!("{ms:.0}"),
+            pct(1.0 - ms / no_pl),
+            paper.into(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's two quantitative anchors, within tolerance: PL-B0
+    /// ~35% and PF-B15 ~61% reduction vs NO-PL.
+    #[test]
+    fn reductions_match_paper_anchors() {
+        let no_pl = prefill_ms(None);
+        let b0 = 1.0 - prefill_ms(Some(0)) / no_pl;
+        let b15 = 1.0 - prefill_ms(Some(15)) / no_pl;
+        assert!((0.25..=0.50).contains(&b0), "PL-B0 reduction {b0}");
+        assert!((0.50..=0.70).contains(&b15), "PF-B15 reduction {b15}");
+        assert!(b15 > b0);
+    }
+
+    /// Bigger buffers monotonically help.
+    #[test]
+    fn buffer_monotone() {
+        let times: Vec<f64> = [0u32, 5, 10, 15]
+            .iter()
+            .map(|&b| prefill_ms(Some(b)))
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+}

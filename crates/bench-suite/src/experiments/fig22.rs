@@ -1,0 +1,89 @@
+//! Figure 22: context-overflow handling — decoupled KV truncation (CA)
+//! vs coupled positional encodings (OF) that invalidate the cache
+//! (§4.3.4).
+//!
+//! Paper: OF loses 17.6/41.5/18.1/18.4 percentage points of hit rate for
+//! LLaMA-13B/65B/70B/Falcon-40B; LLaMA-65B suffers most because its 2K
+//! window overflows on almost every session.
+
+use engine::{run_trace, Mode, RunReport};
+use metrics::table::{pct, Table};
+use models::ModelSpec;
+
+use crate::{paper_trace, Scale};
+
+/// Runs CA and OF for one model (scale-proportional storage).
+pub fn run_pair(model: ModelSpec, scale: Scale) -> (RunReport, RunReport) {
+    let trace = paper_trace(scale, 1.0);
+    let ca = run_trace(
+        crate::scaled_config(Mode::CachedAttention, model.clone(), scale),
+        trace.clone(),
+    );
+    let of = run_trace(
+        crate::scaled_config(Mode::CoupledOverflow, model, scale),
+        trace,
+    );
+    (ca, of)
+}
+
+/// Renders the Figure 22 table.
+pub fn run(scale: Scale) -> String {
+    let paper_drop = [0.176, 0.415, 0.181, 0.184];
+    let mut t = Table::new(
+        "Figure 22: context overflow impact (CA vs OF)",
+        &[
+            "model",
+            "CA hit",
+            "OF hit",
+            "drop",
+            "paper drop",
+            "CA GPU h",
+            "OF GPU h",
+        ],
+    );
+    for (m, paper) in models::evaluation_models().into_iter().zip(paper_drop) {
+        let name = m.name;
+        let (ca, of) = run_pair(m, scale);
+        t.row(&[
+            name.to_string(),
+            pct(ca.hit_rate()),
+            pct(of.hit_rate()),
+            pct(ca.hit_rate() - of.hit_rate()),
+            pct(paper),
+            format!("{:.2}", ca.busy_hours()),
+            format!("{:.2}", of.busy_hours()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            sessions: 120,
+            warmup_turns: 120,
+        }
+    }
+
+    /// OF loses hits on every model, worst on the 2K-window LLaMA-65B.
+    #[test]
+    fn overflow_invalidations_cost_hits() {
+        let (ca13, of13) = run_pair(ModelSpec::llama2_13b(), tiny());
+        let (ca65, of65) = run_pair(ModelSpec::llama1_65b(), tiny());
+        let drop13 = ca13.hit_rate() - of13.hit_rate();
+        let drop65 = ca65.hit_rate() - of65.hit_rate();
+        assert!(drop13 > 0.0, "13B drop {drop13}");
+        assert!(drop65 > drop13, "65B drop {drop65} vs 13B {drop13}");
+        assert!(of65.store_stats.drops_invalidated > 0);
+    }
+
+    /// Lost hits cost GPU time.
+    #[test]
+    fn of_costs_gpu_time() {
+        let (ca, of) = run_pair(ModelSpec::llama1_65b(), tiny());
+        assert!(of.busy_hours() >= ca.busy_hours());
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 25: impact of session arrival rates (§4.3.8).
+//!
+//! Paper (LLaMA-13B, 128G/10T): as λ grows 0.5→2.0/s the hit rate slips
+//! 82%→77%, TTFT rises 0.122s→0.154s, prefill throughput falls
+//! 858K→681K tokens/s and GPU time grows 6.25h→7.01h — i.e. graceful
+//! degradation.
+
+use engine::{run_trace, Mode, RunReport};
+use metrics::table::{pct, secs, Table};
+use models::ModelSpec;
+
+use crate::{paper_trace, Scale};
+
+/// Runs one arrival-rate cell (scale-proportional storage).
+pub fn run_cell(rate: f64, scale: Scale) -> RunReport {
+    let trace = paper_trace(scale, rate);
+    run_trace(
+        crate::scaled_config(Mode::CachedAttention, ModelSpec::llama2_13b(), scale),
+        trace,
+    )
+}
+
+/// Renders the Figure 25 table.
+pub fn run(scale: Scale) -> String {
+    let mut t = Table::new(
+        "Figure 25: session arrival rates (LLaMA-13B, CA)",
+        &["rate/s", "hit rate", "TTFT", "prefill tok/s", "GPU busy h"],
+    );
+    for rate in [0.5, 1.0, 1.5, 2.0] {
+        let r = run_cell(rate, scale);
+        t.row(&[
+            format!("{rate:.1}"),
+            pct(r.hit_rate()),
+            secs(r.ttft_mean()),
+            format!("{:.0}", r.prefill_throughput()),
+            format!("{:.2}", r.busy_hours()),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "paper shape: higher arrival rates mean more distinct sessions per unit\n\
+         time, so the same store covers less and the hit rate slips slightly,\n\
+         dragging TTFT/throughput with it — but degradation is graceful.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Higher arrival rates never improve the hit rate, and the system
+    /// keeps hitting well even at 2/s (graceful degradation).
+    #[test]
+    fn degradation_is_graceful() {
+        let tiny = Scale {
+            sessions: 150,
+            warmup_turns: 150,
+        };
+        let slow = run_cell(0.5, tiny);
+        let fast = run_cell(2.0, tiny);
+        assert!(fast.hit_rate() <= slow.hit_rate() + 0.05);
+        assert!(fast.hit_rate() > 0.5, "fast hit {}", fast.hit_rate());
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per paper table/figure; each exposes `run(...) -> String`
+//! returning the rendered comparison table. The `exp_*` binaries are thin
+//! wrappers; `exp_all` renders everything into one report, sharing the
+//! expensive end-to-end runs.
+
+pub mod e2e;
+pub mod ext_bursty;
+pub mod ext_chunked;
+pub mod ext_compression;
+pub mod ext_tdl;
+pub mod fig01;
+pub mod fig02;
+pub mod fig04;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod fig23;
+pub mod fig24;
+pub mod fig25;
+pub mod sec24;
+pub mod tab12;

@@ -1,0 +1,513 @@
+//! Tables 1 and 2: perplexity and accuracy of the truncation schemes
+//! (§4.3.5).
+//!
+//! The paper measures LLaMA-7B/13B on WikiText-2/PTB/C4 (PPL) and
+//! MMLU/LongEval/PIQA (accuracy). Without GPUs or LLaMA weights, we train
+//! tiny RoPE transformers from scratch (see `tinyllm`/`nanograd`) on
+//! synthetic corpora and run the paper's exact protocol: feed a long
+//! context to overflow the window, truncate with each scheme, then
+//! evaluate the continuation.
+//!
+//! - **Table 1** stand-ins: three order-2 Markov character languages
+//!   ("Markov-A/B/C" for WikiText-2/PTB/C4), two model sizes
+//!   (TinyLM-S/M for LLaMA-7B/13B). Metric: perplexity.
+//! - **Table 2** stand-ins: next-symbol top-1 accuracy ("NextSym" for
+//!   MMLU), key-value retrieval accuracy on a model trained for
+//!   retrieval ("Retrieval" for LongEval), and greedy-decode agreement
+//!   with the TT reference ("Agreement" for PIQA).
+
+use metrics::table::{pct, Table};
+use tinyllm::corpus::{retrieval_task, MarkovLang, RESERVED_SYMBOLS};
+use tinyllm::train::Trainer;
+use tinyllm::{argmax, log_prob, Model, PeMode, TinyConfig};
+
+/// Trained sequence length; evaluation stays within it (RoPE does not
+/// extrapolate) and plays the role of the paper's context window.
+pub const TRAIN_SEQ: usize = 96;
+/// The context window used to trigger truncation.
+pub const WINDOW: usize = 64;
+/// Tokens dropped on overflow (ratio 0.5, like the paper's RE baseline).
+pub const DROP: usize = WINDOW / 2;
+
+/// The two model sizes of the tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    /// 2 layers, dim 32 (the "LLaMA-7B" row).
+    S,
+    /// 3 layers, dim 48 (the "LLaMA-13B" row).
+    M,
+}
+
+impl Size {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Size::S => "TinyLM-S",
+            Size::M => "TinyLM-M",
+        }
+    }
+
+    /// Architecture for this size over a `vocab`-symbol alphabet.
+    pub fn config(self, vocab: usize) -> TinyConfig {
+        match self {
+            Size::S => TinyConfig {
+                vocab,
+                dim: 32,
+                n_layers: 2,
+                n_heads: 4,
+                n_kv_heads: 4,
+                head_dim: 8,
+                ffn_dim: 96,
+                rope_theta: 10_000.0,
+                eps: 1e-5,
+            },
+            Size::M => TinyConfig {
+                vocab,
+                dim: 48,
+                n_layers: 3,
+                n_heads: 4,
+                n_kv_heads: 4,
+                head_dim: 12,
+                ffn_dim: 144,
+                rope_theta: 10_000.0,
+                eps: 1e-5,
+            },
+        }
+    }
+}
+
+/// On-disk cache for trained models, keyed by the full training recipe.
+/// Lives under `target/` so `cargo clean` clears it.
+fn cached_or_train(key: &str, train: impl FnOnce() -> Model) -> Model {
+    let dir = std::path::Path::new("target").join("tinyllm-cache");
+    let path = dir.join(format!("{key}.tlm"));
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(m) = Model::from_bytes(&bytes) {
+            return m;
+        }
+    }
+    let m = train();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        // Caching is best-effort; a read-only tree just retrains.
+        let _ = std::fs::write(&path, m.to_bytes());
+    }
+    m
+}
+
+/// Trains a language model of `size` on `lang` for `steps` steps
+/// (cached on disk by recipe).
+pub fn train_lm(lang: &MarkovLang, size: Size, steps: usize, seed: u64) -> Model {
+    // Fingerprint the language itself (a short deterministic sample) so
+    // two languages with identical hyperparameters cannot share a key.
+    let fp: u64 = lang
+        .sample(32, 0)
+        .iter()
+        .fold(0u64, |h, &t| h.wrapping_mul(131).wrapping_add(t as u64 + 1));
+    let key = format!(
+        "lm-v1-{}-{}-{}-{}-{}-{fp:x}",
+        size.label(),
+        lang.vocab(),
+        lang.order(),
+        steps,
+        seed
+    );
+    cached_or_train(&key, || {
+        let corpus = lang.sample(40_000, seed);
+        let mut trainer = Trainer::new(size.config(lang.vocab()), seed + 1, 3e-3);
+        trainer.train(&corpus, TRAIN_SEQ, steps, seed + 2);
+        trainer.into_model()
+    })
+}
+
+/// The three truncation schemes under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// CachedAttention: decoupled-PE KV truncation.
+    Ca,
+    /// Token truncation + recompute (the reference).
+    Tt,
+    /// Naive KV truncation of a coupled cache.
+    Nkvt,
+}
+
+impl Scheme {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Ca => "CA",
+            Scheme::Tt => "TT",
+            Scheme::Nkvt => "NKVT",
+        }
+    }
+}
+
+/// Builds the post-truncation cache for `scheme` given the overflowing
+/// `prompt` (length ≥ WINDOW).
+pub fn truncated_cache(m: &Model, prompt: &[usize], scheme: Scheme) -> tinyllm::KvCache {
+    match scheme {
+        Scheme::Tt => {
+            let mut c = m.cache(PeMode::Decoupled);
+            m.forward(&prompt[DROP..], &mut c);
+            c
+        }
+        Scheme::Ca => {
+            let mut c = m.cache(PeMode::Decoupled);
+            m.forward(prompt, &mut c);
+            c.truncate_front(DROP);
+            c
+        }
+        Scheme::Nkvt => {
+            let mut c = m.cache(PeMode::Coupled);
+            m.forward(prompt, &mut c);
+            c.truncate_front(DROP);
+            c
+        }
+    }
+}
+
+/// Mean perplexity of `scheme` over `episodes` overflow episodes.
+pub fn scheme_ppl(m: &Model, lang: &MarkovLang, scheme: Scheme, episodes: usize) -> f64 {
+    let mut nll = 0.0f64;
+    let mut count = 0usize;
+    for ep in 0..episodes {
+        let text = lang.sample(WINDOW + 24, 1000 + ep as u64);
+        let (prompt, tail) = text.split_at(WINDOW);
+        let mut cache = truncated_cache(m, prompt, scheme);
+        let mut prev = prompt[prompt.len() - 1];
+        for &next in tail {
+            let logits = m.forward_one(prev, &mut cache);
+            nll -= log_prob(&logits, next) as f64;
+            count += 1;
+            prev = next;
+        }
+    }
+    (nll / count as f64).exp()
+}
+
+/// Next-symbol top-1 accuracy of `scheme` (the MMLU stand-in).
+pub fn next_symbol_accuracy(m: &Model, lang: &MarkovLang, scheme: Scheme, episodes: usize) -> f64 {
+    let mut hits = 0usize;
+    let mut count = 0usize;
+    for ep in 0..episodes {
+        let text = lang.sample(WINDOW + 24, 2000 + ep as u64);
+        let (prompt, tail) = text.split_at(WINDOW);
+        let mut cache = truncated_cache(m, prompt, scheme);
+        let mut prev = prompt[prompt.len() - 1];
+        for &next in tail {
+            let logits = m.forward_one(prev, &mut cache);
+            if argmax(&logits) == next {
+                hits += 1;
+            }
+            count += 1;
+            prev = next;
+        }
+    }
+    hits as f64 / count as f64
+}
+
+/// Greedy next-token agreement of `scheme` with the TT reference over
+/// teacher-forced continuations (the PIQA stand-in).
+///
+/// Teacher forcing (both sides see the same ground-truth continuation)
+/// isolates the truncation scheme's effect: long free-running rollouts
+/// would diverge chaotically even under tiny logit perturbations.
+pub fn agreement(m: &Model, lang: &MarkovLang, scheme: Scheme, episodes: usize) -> f64 {
+    let mut agree = 0usize;
+    let mut count = 0usize;
+    for ep in 0..episodes {
+        let text = lang.sample(WINDOW + 16, 3000 + ep as u64);
+        let (prompt, tail) = text.split_at(WINDOW);
+        let mut tt = truncated_cache(m, prompt, Scheme::Tt);
+        let mut other = truncated_cache(m, prompt, scheme);
+        let mut prev = prompt[prompt.len() - 1];
+        for &next in tail {
+            let ref_logits = m.forward_one(prev, &mut tt);
+            let got_logits = m.forward_one(prev, &mut other);
+            if argmax(&ref_logits) == argmax(&got_logits) {
+                agree += 1;
+            }
+            count += 1;
+            prev = next;
+        }
+    }
+    agree as f64 / count as f64
+}
+
+/// Trains a retrieval model: sequences of key-value records followed by a
+/// query whose answer is the queried key's value (the LongEval stand-in).
+/// Records per retrieval episode. Smaller than the LM experiments'
+/// record capacity: key-value induction at these model sizes needs a
+/// tractable matching problem, and 8 records still leave half the
+/// context to truncate away.
+pub const RETRIEVAL_PAIRS: usize = 8;
+/// The retrieval episodes' effective context window (records + query).
+pub const RETRIEVAL_WINDOW: usize = RETRIEVAL_PAIRS * 2 + 2;
+/// Tokens dropped when a retrieval context overflows (ratio 0.5).
+pub const RETRIEVAL_DROP: usize = RETRIEVAL_WINDOW / 2;
+
+/// Retrieval-specific architectures: induction-style key matching needs
+/// more attention heads than the language-model configs.
+fn retrieval_config(size: Size, vocab: usize) -> TinyConfig {
+    match size {
+        Size::S => TinyConfig {
+            vocab,
+            dim: 64,
+            n_layers: 2,
+            n_heads: 8,
+            n_kv_heads: 8,
+            head_dim: 8,
+            ffn_dim: 192,
+            rope_theta: 10_000.0,
+            eps: 1e-5,
+        },
+        Size::M => TinyConfig {
+            vocab,
+            dim: 96,
+            n_layers: 2,
+            n_heads: 8,
+            n_kv_heads: 8,
+            head_dim: 12,
+            ffn_dim: 288,
+            rope_theta: 10_000.0,
+            eps: 1e-5,
+        },
+    }
+}
+
+/// Trains a retrieval model (cached on disk by recipe): key-value
+/// records followed by queries whose answers are the queried keys'
+/// values (the LongEval stand-in).
+pub fn train_retrieval(size: Size, steps: usize, seed: u64) -> Model {
+    let key = format!("retrieval-v2-{}-{}-{}", size.label(), steps, seed);
+    cached_or_train(&key, || train_retrieval_uncached(size, steps, seed))
+}
+
+fn train_retrieval_uncached(size: Size, steps: usize, seed: u64) -> Model {
+    // 16 payload symbols (8 keys + 8 values) + SEP + QUERY.
+    let vocab = 18;
+    let query = vocab - 1;
+    let mut trainer = Trainer::new(retrieval_config(size, vocab), seed, 1.5e-3);
+    // The records are random noise, so only answer positions are
+    // supervised. Each training episode appends several `[QUERY key
+    // value]` blocks so one step carries several retrieval gradients —
+    // one query per episode is too sparse for induction circuits to form.
+    let n_pairs = RETRIEVAL_PAIRS;
+    let queries_per_episode = 6;
+    let mut rng = sim::SimRng::seed_from_u64(seed + 999);
+    for step in 0..steps {
+        let ask = rng.index(n_pairs);
+        let t = retrieval_task(vocab, n_pairs, ask, seed + 10_000 + step as u64);
+        // `t.prompt` ends with [QUERY, key]; extend it with the answer
+        // and more query blocks over other records.
+        let mut inputs = t.prompt.clone();
+        let mut targets = vec![nanograd::IGNORE_TARGET; inputs.len() - 1];
+        targets.push(t.answer);
+        for _ in 1..queries_per_episode {
+            let pick = rng.index(n_pairs);
+            let key = t.prompt[pick * 2];
+            let value = t.prompt[pick * 2 + 1];
+            // Previous answer token becomes input context.
+            inputs.push(targets[targets.len() - 1]);
+            targets.push(nanograd::IGNORE_TARGET);
+            inputs.push(query);
+            targets.push(nanograd::IGNORE_TARGET);
+            inputs.push(key);
+            targets.push(value);
+        }
+        trainer.step_with_targets(&inputs, &targets);
+    }
+    trainer.into_model()
+}
+
+/// Retrieval accuracy of `scheme`: the context overflows, the queried
+/// record sits in the *retained* half, and the model must produce the
+/// right value.
+pub fn retrieval_accuracy(m: &Model, scheme: Scheme, episodes: usize) -> f64 {
+    let vocab = m.cfg.vocab;
+    assert!(vocab > RESERVED_SYMBOLS);
+    let n_pairs = RETRIEVAL_PAIRS;
+    let mut hits = 0usize;
+    for ep in 0..episodes {
+        // Ask about a record in the second (retained) half.
+        let ask = n_pairs / 2 + 1 + ep % (n_pairs / 2 - 2);
+        let t = retrieval_task(vocab, n_pairs, ask, 50_000 + ep as u64);
+        // The prompt (records + query) overflows the window by
+        // construction once padded; truncate as each scheme would, then
+        // read the model's answer.
+        let prompt = &t.prompt;
+        // Feed everything except the final query key, truncate, then the
+        // query key is the "new input" after truncation.
+        let (ctx, query_tail) = prompt.split_at(prompt.len() - 2);
+        let mut cache = match scheme {
+            Scheme::Tt => {
+                let mut c = m.cache(PeMode::Decoupled);
+                m.forward(&ctx[RETRIEVAL_DROP.min(ctx.len() - 1)..], &mut c);
+                c
+            }
+            Scheme::Ca => {
+                let mut c = m.cache(PeMode::Decoupled);
+                m.forward(ctx, &mut c);
+                c.truncate_front(RETRIEVAL_DROP.min(ctx.len() - 1));
+                c
+            }
+            Scheme::Nkvt => {
+                let mut c = m.cache(PeMode::Coupled);
+                m.forward(ctx, &mut c);
+                c.truncate_front(RETRIEVAL_DROP.min(ctx.len() - 1));
+                c
+            }
+        };
+        let logits = m.forward(query_tail, &mut cache);
+        if argmax(logits.last().expect("query emitted logits")) == t.answer {
+            hits += 1;
+        }
+    }
+    hits as f64 / episodes as f64
+}
+
+/// Mean KL divergence of `scheme`'s next-token distributions from the
+/// TT reference (logit fidelity; 0 = exact agreement).
+pub fn logit_fidelity(m: &Model, lang: &MarkovLang, scheme: Scheme, episodes: usize) -> f64 {
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for ep in 0..episodes {
+        let text = lang.sample(WINDOW + 16, 4000 + ep as u64);
+        let (prompt, tail) = text.split_at(WINDOW);
+        let mut tt = truncated_cache(m, prompt, Scheme::Tt);
+        let mut other = truncated_cache(m, prompt, scheme);
+        let mut prev = prompt[prompt.len() - 1];
+        for &next in tail {
+            let ref_logits = m.forward_one(prev, &mut tt);
+            let got_logits = m.forward_one(prev, &mut other);
+            total += tinyllm::kl_divergence(&ref_logits, &got_logits);
+            count += 1;
+            prev = next;
+        }
+    }
+    total / count as f64
+}
+
+/// Renders Table 1 (perplexity) for the given training budget.
+pub fn table1(steps: usize, episodes: usize) -> String {
+    let datasets = [("Markov-A", 1u64), ("Markov-B", 2), ("Markov-C", 3)];
+    let mut t = Table::new(
+        "Table 1: perplexity of the truncation schemes (trained tiny RoPE LMs)",
+        &["dataset", "model", "CA", "TT", "NKVT"],
+    );
+    for (name, seed) in datasets {
+        let lang = MarkovLang::order2(16, seed);
+        for size in [Size::S, Size::M] {
+            let m = train_lm(&lang, size, steps, seed * 100);
+            let ca = scheme_ppl(&m, &lang, Scheme::Ca, episodes);
+            let tt = scheme_ppl(&m, &lang, Scheme::Tt, episodes);
+            let nkvt = scheme_ppl(&m, &lang, Scheme::Nkvt, episodes);
+            t.row(&[
+                name.into(),
+                size.label().into(),
+                format!("{ca:.2}"),
+                format!("{tt:.2}"),
+                format!("{nkvt:.2}"),
+            ]);
+        }
+    }
+    let mut out = t.render();
+    out.push_str(
+        "paper shape: CA tracks TT (paper difference < 0.02 PPL at LLaMA scale)\n\
+         while NKVT collapses (paper: >10^3 PPL); at tiny scale the NKVT blowup\n\
+         is smaller in magnitude but strictly and consistently worse.\n",
+    );
+    out
+}
+
+/// Renders Table 2 (accuracy) for the given training budget.
+pub fn table2(steps: usize, episodes: usize) -> String {
+    let mut t = Table::new(
+        "Table 2: accuracy of the truncation schemes (trained tiny RoPE LMs)",
+        &["benchmark", "model", "CA", "TT", "NKVT"],
+    );
+    let lang = MarkovLang::order2(16, 1);
+    // One language model per size serves both the NextSym and Agreement
+    // rows; the Retrieval row needs its own retrieval-trained model.
+    let lms: Vec<(Size, Model)> = [Size::S, Size::M]
+        .into_iter()
+        .map(|size| (size, train_lm(&lang, size, steps, 100)))
+        .collect();
+    for (size, m) in &lms {
+        let row = |s: Scheme| next_symbol_accuracy(m, &lang, s, episodes);
+        t.row(&[
+            "NextSym".into(),
+            size.label().into(),
+            pct(row(Scheme::Ca)),
+            pct(row(Scheme::Tt)),
+            pct(row(Scheme::Nkvt)),
+        ]);
+    }
+    for size in [Size::S, Size::M] {
+        let m = train_retrieval(size, steps * 2, 777);
+        let row = |s: Scheme| retrieval_accuracy(&m, s, episodes * 4);
+        t.row(&[
+            "Retrieval".into(),
+            size.label().into(),
+            pct(row(Scheme::Ca)),
+            pct(row(Scheme::Tt)),
+            pct(row(Scheme::Nkvt)),
+        ]);
+    }
+    for (size, m) in &lms {
+        let row = |s: Scheme| agreement(m, &lang, s, episodes);
+        t.row(&[
+            "Agreement".into(),
+            size.label().into(),
+            pct(row(Scheme::Ca)),
+            pct(row(Scheme::Tt)),
+            pct(row(Scheme::Nkvt)),
+        ]);
+    }
+    for (size, m) in &lms {
+        let row = |s: Scheme| logit_fidelity(m, &lang, s, episodes);
+        t.row(&[
+            "KL vs TT (nats)".into(),
+            size.label().into(),
+            format!("{:.4}", row(Scheme::Ca)),
+            format!("{:.4}", row(Scheme::Tt)),
+            format!("{:.4}", row(Scheme::Nkvt)),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders both tables.
+pub fn run(steps: usize, episodes: usize) -> String {
+    let mut out = table1(steps, episodes);
+    out.push('\n');
+    out.push_str(&table2(steps, episodes));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Table 1 shape at a reduced training budget: CA ≈ TT ≪ NKVT.
+    #[test]
+    fn ppl_shape_holds() {
+        let lang = MarkovLang::order2(16, 1);
+        let m = train_lm(&lang, Size::S, 700, 100);
+        let ca = scheme_ppl(&m, &lang, Scheme::Ca, 6);
+        let tt = scheme_ppl(&m, &lang, Scheme::Tt, 6);
+        let nkvt = scheme_ppl(&m, &lang, Scheme::Nkvt, 6);
+        assert!((ca - tt).abs() / tt < 0.10, "CA {ca} vs TT {tt}");
+        assert!(nkvt > tt * 1.10, "NKVT {nkvt} vs TT {tt}");
+    }
+
+    /// Greedy agreement: CA stays near 100%, NKVT falls well below.
+    #[test]
+    fn agreement_shape_holds() {
+        let lang = MarkovLang::order2(16, 1);
+        let m = train_lm(&lang, Size::S, 700, 100);
+        let ca = agreement(&m, &lang, Scheme::Ca, 10);
+        let nkvt = agreement(&m, &lang, Scheme::Nkvt, 10);
+        assert!(ca > 0.85, "CA agreement {ca}");
+        assert!(nkvt < ca - 0.1, "NKVT {nkvt} vs CA {ca}");
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! The LLM serving engine of the CachedAttention reproduction.
+//!
+//! This crate ties the substrates together into the system the paper
+//! evaluates:
+//!
+//! - [`EngineConfig`] / [`Mode`] / [`Medium`]: a serving setup — which
+//!   model, which hardware, CachedAttention (`CA`) vs recomputation
+//!   (`RE`) vs the coupled-positional-encoding overflow baseline (`OF`),
+//!   and which storage hierarchy backs AttentionStore.
+//! - [`overlap`]: the layer-wise pre-loading and asynchronous saving
+//!   timing models (§3.2, Figures 6–8, ablated in Figures 18–20).
+//! - [`ServingSim`] / [`run_trace`]: the discrete-event serving simulator
+//!   with closed-loop multi-turn sessions, continuous batching, and
+//!   AttentionStore integration.
+//! - [`RunReport`]: every metric the paper's evaluation reports.
+
+mod config;
+pub mod overlap;
+mod report;
+mod serving;
+
+pub use config::{EngineConfig, Medium, Mode};
+pub use report::RunReport;
+pub use serving::{run_paper_workload, run_trace, ServingSim};

@@ -1,0 +1,330 @@
+//! Overlapped KV cache access timing (§3.2).
+//!
+//! Layer-wise pre-loading (§3.2.1) pipelines the per-layer KV transfers
+//! from host memory to HBM against the per-layer prefill compute of the
+//! *new* tokens. The read stream may run ahead of the execution stream by
+//! at most the buffer depth, and — with a read buffer — may begin before
+//! the job starts, while the previous job still occupies the execution
+//! buffer (Fig 6c / Fig 7b).
+//!
+//! This module is pure arithmetic over durations so the ablations
+//! (Figures 18, 19 and 20) can exercise it directly, and the serving
+//! simulator uses it to time every CachedAttention prefill.
+
+use sim::Dur;
+
+/// Inputs to the layer-wise pre-loading pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PreloadParams {
+    /// Number of transformer layers.
+    pub n_layers: u32,
+    /// Time to load one layer's historical KV from host memory to HBM.
+    pub t_load_layer: Dur,
+    /// Time to compute one layer's prefill over the new tokens.
+    pub t_comp_layer: Dur,
+    /// Read buffer depth in layers (`PL-B0` = 0, `PF-B15` = 15). The
+    /// execution buffer always provides one slot of lookahead on top.
+    pub buffer_layers: u32,
+    /// How long the read stream was free *before* the job start and could
+    /// warm the read buffer (0 without a read buffer).
+    pub warm: Dur,
+    /// How long *after* the job start the read stream becomes free (a
+    /// previous job's transfers still occupy it). Mutually exclusive with
+    /// `warm` in practice; both default to zero.
+    pub delay: Dur,
+}
+
+/// Outcome of one prefill under a given loading scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefillTiming {
+    /// When the prefill completes (first token ready), relative to the
+    /// instant the GPU was free to start the job.
+    pub done: Dur,
+    /// When the read stream finishes the last layer's KV transfer,
+    /// relative to the same instant (may precede `done`).
+    pub load_done: Dur,
+    /// Total GPU stall inside the prefill: `done` minus pure compute.
+    pub stall: Dur,
+}
+
+/// Times a prefill with **no** pre-loading: the whole KV loads first, then
+/// every layer computes (Fig 6a, the `NO-PL` baseline of Fig 19).
+pub fn no_preload(p: &PreloadParams) -> PrefillTiming {
+    let l = p.n_layers as u64;
+    let load = p.delay + p.t_load_layer * l;
+    let comp = p.t_comp_layer * l;
+    PrefillTiming {
+        done: load + comp,
+        load_done: load,
+        stall: load,
+    }
+}
+
+/// Times a prefill with layer-wise pre-loading (Fig 6b/6c, Fig 7).
+///
+/// The job's whole historical KV stays resident in HBM once loaded (decode
+/// needs it), so the read stream is purely sequential: layer transfers run
+/// back to back. The read buffer governs how *early* the stream may start
+/// relative to the job — up to `buffer_layers` transfers can complete
+/// before the execution buffer frees up (Fig 6c / Fig 7b) — and `warm` is
+/// how long the stream was actually free beforehand. The pipeline
+/// recurrences, relative to job start:
+///
+/// - `load[i] = start + (i + 1) · t_load`, with
+///   `start = delay − min(warm, buffer_layers · t_load)`;
+/// - `comp[i]` starts at `max(comp[i-1], load[i], 0)`.
+pub fn with_preload(p: &PreloadParams) -> PrefillTiming {
+    let l = p.n_layers as usize;
+    if l == 0 {
+        return PrefillTiming {
+            done: Dur::ZERO,
+            load_done: Dur::ZERO,
+            stall: Dur::ZERO,
+        };
+    }
+    // Work in signed nanoseconds relative to job start so the warm
+    // pre-start can sit in the past.
+    let t_load = p.t_load_layer.as_nanos() as i64;
+    let t_comp = p.t_comp_layer.as_nanos() as i64;
+    let max_warm = t_load.saturating_mul(p.buffer_layers as i64);
+    let warm = (p.warm.as_nanos() as i64).min(max_warm);
+    let mut read_free = p.delay.as_nanos() as i64 - warm;
+    let mut last_load = 0i64;
+    let mut comp = 0i64;
+    for i in 0..l {
+        last_load = read_free + t_load;
+        read_free = last_load;
+        let prev_comp = if i == 0 { 0 } else { comp };
+        comp = prev_comp.max(last_load).max(0) + t_comp;
+    }
+    let done = Dur::from_nanos(comp.max(0) as u64);
+    let pure_comp = p.t_comp_layer * l as u64;
+    PrefillTiming {
+        done,
+        load_done: Dur::from_nanos(last_load.max(0) as u64),
+        stall: done.saturating_sub(pure_comp),
+    }
+}
+
+/// The read-buffer size §3.2.1 recommends:
+/// `S_buf = B · (T_load · L_hist − T_pref · L_new)`, the bytes needed to
+/// absorb the gap when loading the historical KV outruns the partial
+/// prefill. Returns 0 when the overlap is already perfect.
+pub fn recommended_buffer_bytes(
+    pcie_bw: f64,
+    t_load_per_token: Dur,
+    l_hist: u64,
+    t_pref_per_token: Dur,
+    l_new: u64,
+) -> u64 {
+    let load = t_load_per_token.as_secs_f64() * l_hist as f64;
+    let pref = t_pref_per_token.as_secs_f64() * l_new as f64;
+    if load <= pref {
+        return 0;
+    }
+    (pcie_bw * (load - pref)) as u64
+}
+
+/// Asynchronous saving (§3.2.2): how long past the nominal end of a job
+/// its KV write-back blocks the *next* job.
+///
+/// With synchronous saving the whole `save` duration lands on the critical
+/// path (Fig 8a). With asynchronous saving the write overlaps `overlap`
+/// (decode time after the KV was produced) and the HBM write buffer
+/// absorbs `buffered` more; only the remainder blocks (Fig 8b).
+pub fn save_blocking_time(save: Dur, overlap: Dur, buffered: Dur, async_save: bool) -> Dur {
+    if !async_save {
+        return save;
+    }
+    save.saturating_sub(overlap).saturating_sub(buffered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params(load_ms: u64, comp_ms: u64, buf: u32, warm_ms: u64) -> PreloadParams {
+        PreloadParams {
+            n_layers: 40,
+            t_load_layer: Dur::from_millis(load_ms),
+            t_comp_layer: Dur::from_millis(comp_ms),
+            buffer_layers: buf,
+            warm: Dur::from_millis(warm_ms),
+            delay: Dur::ZERO,
+        }
+    }
+
+    /// A busy read stream delays the whole pipeline by its backlog.
+    #[test]
+    fn delay_pushes_the_pipeline_back() {
+        let base = with_preload(&params(10, 1, 0, 0));
+        let mut p = params(10, 1, 0, 0);
+        p.delay = Dur::from_millis(50);
+        let delayed = with_preload(&p);
+        assert_eq!(delayed.done, base.done + Dur::from_millis(50));
+        assert_eq!(
+            no_preload(&p).done,
+            no_preload(&params(10, 1, 0, 0)).done + Dur::from_millis(50)
+        );
+    }
+
+    /// When compute dominates (fast loads), pre-loading hides everything
+    /// except the first layer's transfer: perfect overlap (Fig 6b).
+    #[test]
+    fn compute_bound_prefill_hides_loading() {
+        let p = params(1, 10, 0, 0);
+        let t = with_preload(&p);
+        // First layer load (1ms) + 40 layers × 10ms.
+        assert_eq!(t.done, Dur::from_millis(401));
+        assert_eq!(t.stall, Dur::from_millis(1));
+        let base = no_preload(&p);
+        assert_eq!(base.done, Dur::from_millis(440));
+    }
+
+    /// When loading dominates, the pipeline is load-bound: each layer
+    /// waits for its KV and the tail is one compute slice past the last
+    /// load (Fig 7a).
+    #[test]
+    fn load_bound_prefill_tracks_load_stream() {
+        let p = params(10, 1, 0, 0);
+        let t = with_preload(&p);
+        // 40 loads back-to-back (400ms) + final layer compute (1ms).
+        assert_eq!(t.done, Dur::from_millis(401));
+        // Still far better than no pre-loading (440ms).
+        assert!(t.done < no_preload(&p).done);
+    }
+
+    /// A warm read buffer lets the stream pre-load `buffer` layers before
+    /// the job starts, cutting the load-bound tail (Fig 7b).
+    #[test]
+    fn warm_buffer_absorbs_load_tail() {
+        let cold = with_preload(&params(10, 1, 15, 0));
+        let warm = with_preload(&params(10, 1, 15, 150));
+        assert!(
+            warm.done < cold.done,
+            "warm {:?} cold {:?}",
+            warm.done,
+            cold.done
+        );
+        // 15 layers pre-loaded: 25 remaining loads (250ms) + final compute.
+        assert_eq!(warm.done, Dur::from_millis(251));
+    }
+
+    /// The buffer gate really limits lookahead: with zero buffer and warm
+    /// time available, only one layer (the execution slot) pre-loads.
+    #[test]
+    fn buffer_gate_limits_lookahead() {
+        let t = with_preload(&params(10, 1, 0, 1_000));
+        // Layer 0 loads in the past; every later load gates on compute
+        // consuming its predecessor, so the chain stays load-bound.
+        assert!(t.done >= Dur::from_millis(390));
+    }
+
+    /// Fig 19's qualitative shape: NO-PL > PL-B0 > PF-B15, with large
+    /// buffers approaching perfect overlap.
+    #[test]
+    fn fig19_ordering_holds() {
+        // LLaMA-13B-like ratio: loading 2x slower than computing.
+        let mk = |buf: u32, warm_ms: u64| with_preload(&params(12, 6, buf, warm_ms)).done;
+        let no_pl = no_preload(&params(12, 6, 0, 0)).done;
+        let b0 = mk(0, 0);
+        let b5 = mk(5, 60);
+        let b15 = mk(15, 180);
+        assert!(no_pl > b0, "{no_pl} vs {b0}");
+        assert!(b0 > b5);
+        assert!(b5 > b15);
+    }
+
+    #[test]
+    fn zero_layers_cost_nothing() {
+        let mut p = params(1, 1, 0, 0);
+        p.n_layers = 0;
+        assert_eq!(with_preload(&p).done, Dur::ZERO);
+    }
+
+    /// §3.2.1's sizing formula: zero when compute covers the load, and
+    /// exactly the gap's worth of PCIe bytes otherwise.
+    #[test]
+    fn buffer_sizing_formula() {
+        let bw = 26e9;
+        // Load 10 µs/token over 1000 hist; prefill 100 µs/token over 200
+        // new: 10 ms load vs 20 ms compute — perfectly hidden.
+        assert_eq!(
+            recommended_buffer_bytes(bw, Dur::from_micros(10), 1000, Dur::from_micros(100), 200),
+            0
+        );
+        // 20 ms load vs 10 ms compute: buffer covers the 10 ms gap.
+        let bytes =
+            recommended_buffer_bytes(bw, Dur::from_micros(20), 1000, Dur::from_micros(100), 100);
+        assert_eq!(bytes, (26e9 * 0.010) as u64);
+    }
+
+    #[test]
+    fn sync_save_blocks_fully_async_overlaps() {
+        let save = Dur::from_millis(100);
+        assert_eq!(
+            save_blocking_time(save, Dur::from_millis(30), Dur::from_millis(20), false),
+            save
+        );
+        assert_eq!(
+            save_blocking_time(save, Dur::from_millis(30), Dur::from_millis(20), true),
+            Dur::from_millis(50)
+        );
+        // Fully covered: nothing blocks.
+        assert_eq!(
+            save_blocking_time(save, Dur::from_millis(90), Dur::from_millis(20), true),
+            Dur::ZERO
+        );
+    }
+
+    proptest! {
+        /// Pre-loading never does worse than loading everything up front,
+        /// and never beats the two trivial lower bounds.
+        #[test]
+        fn preload_bounded(
+            load_us in 1u64..20_000,
+            comp_us in 1u64..20_000,
+            buf in 0u32..64,
+            warm_us in 0u64..1_000_000,
+            layers in 1u32..96,
+        ) {
+            let p = PreloadParams {
+                n_layers: layers,
+                t_load_layer: Dur::from_micros(load_us),
+                t_comp_layer: Dur::from_micros(comp_us),
+                buffer_layers: buf,
+                warm: Dur::from_micros(warm_us),
+                delay: Dur::ZERO,
+            };
+            let t = with_preload(&p);
+            let base = no_preload(&p);
+            prop_assert!(t.done <= base.done);
+            // Lower bounds: pure compute; and the un-warmed share of loads.
+            let comp = p.t_comp_layer * layers as u64;
+            prop_assert!(t.done >= comp);
+            prop_assert!(t.done + p.warm + comp >= p.t_load_layer * layers as u64);
+        }
+
+        /// More buffer (with matching warm time) never hurts.
+        #[test]
+        fn buffer_monotone(
+            load_us in 1u64..5_000,
+            comp_us in 1u64..5_000,
+            buf in 0u32..32,
+        ) {
+            let mk = |b: u32| {
+                let p = PreloadParams {
+                    n_layers: 40,
+                    t_load_layer: Dur::from_micros(load_us),
+                    t_comp_layer: Dur::from_micros(comp_us),
+                    buffer_layers: b,
+                    warm: Dur::from_micros(load_us * b as u64),
+                    delay: Dur::ZERO,
+                };
+                with_preload(&p).done
+            };
+            prop_assert!(mk(buf + 1) <= mk(buf));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! AWS on-demand price constants and the inference cost report (§4.2).
+//!
+//! The paper prices the workload at $5/hour per A100 GPU, $0.0088/hour/GB
+//! of DRAM and $0.000082/hour/GB of SSD, then reports the end-to-end cost
+//! of finishing the workload (Figure 17) and the storage share of the
+//! CachedAttention cost.
+
+use serde::{Deserialize, Serialize};
+
+/// Dollar prices per resource-hour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriceSheet {
+    /// $ per GPU-hour.
+    pub gpu_per_hour: f64,
+    /// $ per GB of DRAM per hour.
+    pub dram_per_gb_hour: f64,
+    /// $ per GB of SSD per hour.
+    pub ssd_per_gb_hour: f64,
+}
+
+impl Default for PriceSheet {
+    /// The paper's EC2 on-demand prices (§4.2).
+    fn default() -> Self {
+        PriceSheet {
+            gpu_per_hour: 5.0,
+            dram_per_gb_hour: 0.0088,
+            ssd_per_gb_hour: 0.000082,
+        }
+    }
+}
+
+/// A priced summary of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// GPU rental cost in dollars.
+    pub gpu_cost: f64,
+    /// DRAM rental cost in dollars.
+    pub dram_cost: f64,
+    /// SSD rental cost in dollars.
+    pub ssd_cost: f64,
+}
+
+impl CostReport {
+    /// Prices a run: `gpu_hours` of `n_gpus` GPUs (i.e. `gpu_hours` is the
+    /// wall-clock busy span) holding `dram_gb`/`ssd_gb` for
+    /// `storage_hours`.
+    pub fn price(
+        prices: &PriceSheet,
+        n_gpus: u32,
+        gpu_hours: f64,
+        dram_gb: f64,
+        ssd_gb: f64,
+        storage_hours: f64,
+    ) -> Self {
+        CostReport {
+            gpu_cost: prices.gpu_per_hour * n_gpus as f64 * gpu_hours,
+            dram_cost: prices.dram_per_gb_hour * dram_gb * storage_hours,
+            ssd_cost: prices.ssd_per_gb_hour * ssd_gb * storage_hours,
+        }
+    }
+
+    /// Total dollars.
+    pub fn total(&self) -> f64 {
+        self.gpu_cost + self.dram_cost + self.ssd_cost
+    }
+
+    /// Storage (DRAM + SSD) share of the total, in `[0, 1]`.
+    ///
+    /// The paper reports 16.4% for LLaMA-13B and ~9% for the other models.
+    pub fn storage_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.dram_cost + self.ssd_cost) / t
+        }
+    }
+
+    /// Relative saving of `self` versus a `baseline` run, in `[0, 1]`.
+    pub fn saving_vs(&self, baseline: &CostReport) -> f64 {
+        let b = baseline.total();
+        if b == 0.0 {
+            0.0
+        } else {
+            1.0 - self.total() / b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_prices_match_paper() {
+        let p = PriceSheet::default();
+        assert_eq!(p.gpu_per_hour, 5.0);
+        assert_eq!(p.dram_per_gb_hour, 0.0088);
+        assert_eq!(p.ssd_per_gb_hour, 0.000082);
+    }
+
+    #[test]
+    fn pricing_arithmetic() {
+        let p = PriceSheet::default();
+        // 4 GPUs for 2 hours, 128 GB DRAM + 10 TB SSD for 3 hours.
+        let r = CostReport::price(&p, 4, 2.0, 128.0, 10_000.0, 3.0);
+        assert!((r.gpu_cost - 40.0).abs() < 1e-9);
+        assert!((r.dram_cost - 128.0 * 0.0088 * 3.0).abs() < 1e-9);
+        assert!((r.ssd_cost - 10_000.0 * 0.000082 * 3.0).abs() < 1e-9);
+        assert!((r.total() - (r.gpu_cost + r.dram_cost + r.ssd_cost)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_fraction_and_saving() {
+        let p = PriceSheet::default();
+        let ca = CostReport::price(&p, 4, 1.0, 128.0, 10_000.0, 2.0);
+        let re = CostReport::price(&p, 4, 3.0, 0.0, 0.0, 0.0);
+        assert!(ca.storage_fraction() > 0.0 && ca.storage_fraction() < 1.0);
+        assert_eq!(re.storage_fraction(), 0.0);
+        let saving = ca.saving_vs(&re);
+        assert!(saving > 0.6 && saving < 0.7, "saving {saving}");
+    }
+
+    #[test]
+    fn degenerate_totals_do_not_divide_by_zero() {
+        let zero = CostReport {
+            gpu_cost: 0.0,
+            dram_cost: 0.0,
+            ssd_cost: 0.0,
+        };
+        assert_eq!(zero.storage_fraction(), 0.0);
+        assert_eq!(zero.saving_vs(&zero), 0.0);
+    }
+}

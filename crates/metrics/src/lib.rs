@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Statistics, cost accounting and report rendering.
+//!
+//! Every experiment in the paper reports one of a small set of quantities:
+//! latency distributions (TTFT), throughputs, hit rates, GPU time and
+//! dollar cost. This crate provides:
+//!
+//! - [`Welford`]: streaming mean/variance.
+//! - [`Histogram`]: percentile estimation over latencies.
+//! - [`Counter`] / [`RateMeter`]: simple tallies.
+//! - [`aws`]: the paper's AWS on-demand price constants (§4.2) and the
+//!   cost report combining GPU-hours with storage rental.
+//! - [`TimeSeries`]: bucketed utilization-over-time accumulation with an
+//!   ASCII sparkline renderer.
+//! - [`table`]: fixed-width text tables and CSV export used by the
+//!   experiment binaries.
+
+pub mod aws;
+mod stats;
+pub mod table;
+mod timeseries;
+
+pub use stats::{Counter, Histogram, RateMeter, Welford};
+pub use timeseries::TimeSeries;

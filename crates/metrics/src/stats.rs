@@ -1,0 +1,331 @@
+//! Streaming statistics primitives.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance via Welford's algorithm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Returns the number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns the running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Returns the population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Returns the population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Returns the sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Returns the smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Returns the largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.mean = mean;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A percentile estimator that keeps every sample (exact percentiles).
+///
+/// Experiments observe at most a few hundred thousand latencies, so exact
+/// storage is cheap and avoids sketch error in reported numbers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Returns the number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns the mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Returns the `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// Returns `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
+        Some(self.samples[rank])
+    }
+
+    /// Returns the median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+}
+
+/// A named monotonically increasing tally.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self / other` as a fraction, 0 when `other` is zero.
+    pub fn ratio_of(&self, other: &Counter) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+/// Accumulates an amount over a time span and reports the average rate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RateMeter {
+    amount: f64,
+    span_secs: f64,
+}
+
+impl RateMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        RateMeter::default()
+    }
+
+    /// Records `amount` of work done over `span_secs` of time.
+    pub fn record(&mut self, amount: f64, span_secs: f64) {
+        self.amount += amount;
+        self.span_secs += span_secs;
+    }
+
+    /// Returns total work divided by total time (0 when no time elapsed).
+    pub fn rate(&self) -> f64 {
+        if self.span_secs == 0.0 {
+            0.0
+        } else {
+            self.amount / self.span_secs
+        }
+    }
+
+    /// Returns the accumulated amount.
+    pub fn amount(&self) -> f64 {
+        self.amount
+    }
+
+    /// Returns the accumulated time span in seconds.
+    pub fn span_secs(&self) -> f64 {
+        self.span_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+        assert!((w.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_empty_is_zeroed() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        for i in (1..=101).rev() {
+            h.push(i as f64);
+        }
+        assert_eq!(h.percentile(0.0), Some(1.0));
+        assert_eq!(h.percentile(100.0), Some(101.0));
+        assert_eq!(h.median(), Some(51.0));
+        assert_eq!(h.percentile(99.0), Some(100.0));
+        assert_eq!(Histogram::new().median(), None);
+    }
+
+    #[test]
+    fn counter_ratio_handles_zero() {
+        let mut a = Counter::new();
+        let b = Counter::new();
+        a.add(5);
+        assert_eq!(a.ratio_of(&b), 0.0);
+        let mut c = Counter::new();
+        c.add(10);
+        assert_eq!(a.ratio_of(&c), 0.5);
+    }
+
+    #[test]
+    fn rate_meter_averages_over_span() {
+        let mut r = RateMeter::new();
+        r.record(100.0, 2.0);
+        r.record(50.0, 1.0);
+        assert!((r.rate() - 50.0).abs() < 1e-12);
+        assert_eq!(RateMeter::new().rate(), 0.0);
+    }
+
+    proptest! {
+        /// Merging two accumulators equals accumulating the concatenation.
+        #[test]
+        fn welford_merge_is_concat(
+            xs in proptest::collection::vec(-1e6f64..1e6, 0..50),
+            ys in proptest::collection::vec(-1e6f64..1e6, 0..50),
+        ) {
+            let mut a = Welford::new();
+            for &x in &xs { a.push(x); }
+            let mut b = Welford::new();
+            for &y in &ys { b.push(y); }
+            let mut whole = Welford::new();
+            for &x in xs.iter().chain(ys.iter()) { whole.push(x); }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
+        }
+
+        /// Percentiles are monotone in `p`.
+        #[test]
+        fn percentiles_monotone(
+            xs in proptest::collection::vec(0f64..1e9, 1..200),
+            p1 in 0f64..100.0,
+            p2 in 0f64..100.0,
+        ) {
+            let mut h = Histogram::new();
+            for &x in &xs { h.push(x); }
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(h.percentile(lo).unwrap() <= h.percentile(hi).unwrap());
+        }
+    }
+}

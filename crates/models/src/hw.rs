@@ -1,0 +1,132 @@
+//! GPU and cluster hardware descriptions.
+
+use serde::Serialize;
+
+/// One GPU's compute and memory characteristics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GpuSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Peak FP16 tensor throughput, FLOP/s.
+    pub flops_f16: f64,
+    /// HBM capacity in bytes.
+    pub hbm_bytes: u64,
+    /// HBM bandwidth, bytes/s.
+    pub hbm_bw: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100-80G: 312 TFLOP/s FP16, 80 GB HBM2e at ~2 TB/s.
+    pub fn a100_80g() -> Self {
+        GpuSpec {
+            name: "A100-80G",
+            flops_f16: 312e12,
+            hbm_bytes: 80_000_000_000,
+            hbm_bw: 2.0e12,
+        }
+    }
+}
+
+/// The serving node: GPUs plus the AttentionStore storage hierarchy.
+///
+/// Defaults mirror the paper's testbed (§4.1): 4×A100-80G, PCIe Gen4 ×16
+/// at ~26 GB/s effective, 128 GB DRAM, 10 TB SSD at under 5 GB/s.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClusterSpec {
+    /// Per-GPU characteristics.
+    pub gpu: GpuSpec,
+    /// Number of GPUs the model is sharded across.
+    pub n_gpus: u32,
+    /// Effective host↔device bandwidth per direction, bytes/s.
+    pub pcie_bw: f64,
+    /// Host DRAM available to AttentionStore, bytes.
+    pub dram_bytes: u64,
+    /// SSD capacity available to AttentionStore, bytes.
+    pub disk_bytes: u64,
+    /// SSD read bandwidth, bytes/s.
+    pub disk_read_bw: f64,
+    /// SSD write bandwidth, bytes/s.
+    pub disk_write_bw: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed: 4×A100-80G, 128 GB DRAM, 10 TB SSD.
+    pub fn paper_testbed() -> Self {
+        ClusterSpec {
+            gpu: GpuSpec::a100_80g(),
+            n_gpus: 4,
+            pcie_bw: 26e9,
+            dram_bytes: 128_000_000_000,
+            disk_bytes: 10_000_000_000_000,
+            disk_read_bw: 4.0e9,
+            disk_write_bw: 3.0e9,
+        }
+    }
+
+    /// Returns a copy running on `n` GPUs (LLaMA-13B uses 2 in §4.1).
+    pub fn with_gpus(mut self, n: u32) -> Self {
+        assert!(n > 0, "need at least one GPU");
+        self.n_gpus = n;
+        self
+    }
+
+    /// Returns a copy with `bytes` of host DRAM for AttentionStore.
+    pub fn with_dram(mut self, bytes: u64) -> Self {
+        self.dram_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with `bytes` of SSD for AttentionStore.
+    pub fn with_disk(mut self, bytes: u64) -> Self {
+        self.disk_bytes = bytes;
+        self
+    }
+
+    /// Aggregate FP16 throughput across GPUs, FLOP/s.
+    pub fn total_flops(&self) -> f64 {
+        self.gpu.flops_f16 * self.n_gpus as f64
+    }
+
+    /// Aggregate HBM bandwidth across GPUs, bytes/s.
+    pub fn total_hbm_bw(&self) -> f64 {
+        self.gpu.hbm_bw * self.n_gpus as f64
+    }
+
+    /// Aggregate HBM capacity across GPUs, bytes.
+    pub fn total_hbm_bytes(&self) -> u64 {
+        self.gpu.hbm_bytes * self.n_gpus as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_section_4_1() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.n_gpus, 4);
+        assert_eq!(c.dram_bytes, 128_000_000_000);
+        assert_eq!(c.disk_bytes, 10_000_000_000_000);
+        assert!((c.pcie_bw - 26e9).abs() < 1.0);
+        assert!(c.disk_read_bw < 5e9, "paper: disks under 5 GB/s");
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = ClusterSpec::paper_testbed()
+            .with_gpus(2)
+            .with_dram(1)
+            .with_disk(2);
+        assert_eq!(c.n_gpus, 2);
+        assert_eq!(c.dram_bytes, 1);
+        assert_eq!(c.disk_bytes, 2);
+    }
+
+    #[test]
+    fn aggregates_scale_with_gpu_count() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.total_flops(), 4.0 * 312e12);
+        assert_eq!(c.total_hbm_bytes(), 320_000_000_000);
+    }
+}

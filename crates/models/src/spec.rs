@@ -1,0 +1,266 @@
+//! Transformer architecture parameters that determine KV footprints.
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of the cached K/V tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dtype {
+    /// 16-bit floating point (the paper's setting for activations and KV).
+    F16,
+    /// 32-bit floating point.
+    F32,
+}
+
+impl Dtype {
+    /// Returns the element size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Dtype::F16 => 2,
+            Dtype::F32 => 4,
+        }
+    }
+}
+
+/// Architecture parameters of a served LLM.
+///
+/// Only the quantities that affect serving-time behaviour are captured:
+/// parameter count (compute/weight traffic), layer/head geometry (KV cache
+/// size and per-layer transfer granularity) and the context window
+/// (truncation trigger, §3.4).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ModelSpec {
+    /// Display name used in reports.
+    pub name: &'static str,
+    /// Total parameter count.
+    pub n_params: u64,
+    /// Number of transformer layers.
+    pub n_layers: u32,
+    /// Number of attention (query) heads.
+    pub n_heads: u32,
+    /// Number of key/value heads (`< n_heads` under GQA/MQA).
+    pub n_kv_heads: u32,
+    /// Dimension of each head.
+    pub head_dim: u32,
+    /// Model (embedding) dimension.
+    pub hidden: u32,
+    /// FFN intermediate dimension.
+    pub ffn_hidden: u32,
+    /// Maximum context window in tokens.
+    pub context_window: u32,
+    /// Element type of the KV cache.
+    pub kv_dtype: Dtype,
+}
+
+impl ModelSpec {
+    /// KV cache bytes produced per token across all layers.
+    ///
+    /// Two tensors (K and V), each `n_kv_heads * head_dim` elements, per
+    /// layer. The paper quotes 2.5 MB (LLaMA-65B), 0.78 MB (13B), 0.31 MB
+    /// (70B) and 0.12 MB (Falcon-40B) per token.
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.n_layers as u64
+            * self.n_kv_heads as u64
+            * self.head_dim as u64
+            * self.kv_dtype.bytes()
+    }
+
+    /// KV cache bytes per token for a single layer.
+    pub fn kv_bytes_per_token_layer(&self) -> u64 {
+        self.kv_bytes_per_token() / self.n_layers as u64
+    }
+
+    /// KV cache bytes for a sequence of `tokens` tokens.
+    pub fn kv_bytes(&self, tokens: u64) -> u64 {
+        tokens * self.kv_bytes_per_token()
+    }
+
+    /// Group-query attention factor (`n_heads / n_kv_heads`; 1 = MHA).
+    pub fn gqa_factor(&self) -> u32 {
+        self.n_heads / self.n_kv_heads
+    }
+
+    /// Model weight bytes at the KV dtype (used for HBM-residency
+    /// accounting and decode bandwidth costs).
+    pub fn weight_bytes(&self) -> u64 {
+        self.n_params * self.kv_dtype.bytes()
+    }
+
+    /// LLaMA-2 13B (4K context). Paper's two-GPU model.
+    pub fn llama2_13b() -> Self {
+        ModelSpec {
+            name: "LLaMA-13B",
+            n_params: 13_000_000_000,
+            n_layers: 40,
+            n_heads: 40,
+            n_kv_heads: 40,
+            head_dim: 128,
+            hidden: 5120,
+            ffn_hidden: 13824,
+            context_window: 4096,
+            kv_dtype: Dtype::F16,
+        }
+    }
+
+    /// LLaMA-1 65B (2K context; its small window drives the overflow
+    /// results in §4.3.4).
+    pub fn llama1_65b() -> Self {
+        ModelSpec {
+            name: "LLaMA-65B",
+            n_params: 65_000_000_000,
+            n_layers: 80,
+            n_heads: 64,
+            n_kv_heads: 64,
+            head_dim: 128,
+            hidden: 8192,
+            ffn_hidden: 22016,
+            context_window: 2048,
+            kv_dtype: Dtype::F16,
+        }
+    }
+
+    /// LLaMA-2 70B (4K context, GQA factor 8).
+    pub fn llama2_70b() -> Self {
+        ModelSpec {
+            name: "LLaMA-70B",
+            n_params: 70_000_000_000,
+            n_layers: 80,
+            n_heads: 64,
+            n_kv_heads: 8,
+            head_dim: 128,
+            hidden: 8192,
+            ffn_hidden: 28672,
+            context_window: 4096,
+            kv_dtype: Dtype::F16,
+        }
+    }
+
+    /// Falcon-40B (2K context, GQA factor 16).
+    pub fn falcon_40b() -> Self {
+        ModelSpec {
+            name: "Falcon-40B",
+            n_params: 40_000_000_000,
+            n_layers: 60,
+            n_heads: 128,
+            n_kv_heads: 8,
+            head_dim: 64,
+            hidden: 8192,
+            ffn_hidden: 32768,
+            context_window: 2048,
+            kv_dtype: Dtype::F16,
+        }
+    }
+
+    /// Mistral-7B with the 32K context window used in §4.1.
+    pub fn mistral_7b() -> Self {
+        ModelSpec {
+            name: "Mistral-7B",
+            n_params: 7_300_000_000,
+            n_layers: 32,
+            n_heads: 32,
+            n_kv_heads: 8,
+            head_dim: 128,
+            hidden: 4096,
+            ffn_hidden: 14336,
+            context_window: 32768,
+            kv_dtype: Dtype::F16,
+        }
+    }
+
+    /// LLaMA-1 7B (2K context), used for Tables 1–2.
+    pub fn llama1_7b() -> Self {
+        ModelSpec {
+            name: "LLaMA-7B",
+            n_params: 6_700_000_000,
+            n_layers: 32,
+            n_heads: 32,
+            n_kv_heads: 32,
+            head_dim: 128,
+            hidden: 4096,
+            ffn_hidden: 11008,
+            context_window: 2048,
+            kv_dtype: Dtype::F16,
+        }
+    }
+
+    /// OPT-13B (2K context), referenced in §2.4's overflow analysis.
+    pub fn opt_13b() -> Self {
+        ModelSpec {
+            name: "OPT-13B",
+            n_params: 13_000_000_000,
+            n_layers: 40,
+            n_heads: 40,
+            n_kv_heads: 40,
+            head_dim: 128,
+            hidden: 5120,
+            ffn_hidden: 20480,
+            context_window: 2048,
+            kv_dtype: Dtype::F16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1_000_000.0;
+
+    /// The paper quotes per-token KV sizes in §4.2; pin them within 10%.
+    #[test]
+    fn kv_per_token_matches_paper_quotes() {
+        let cases = [
+            (ModelSpec::llama2_13b(), 0.78),
+            (ModelSpec::llama1_65b(), 2.5),
+            (ModelSpec::llama2_70b(), 0.31),
+            (ModelSpec::falcon_40b(), 0.12),
+        ];
+        for (m, expect_mb) in cases {
+            let got = m.kv_bytes_per_token() as f64 / MB;
+            let rel = (got - expect_mb).abs() / expect_mb;
+            assert!(
+                rel < 0.10,
+                "{}: got {got} MB/token, paper {expect_mb}",
+                m.name
+            );
+        }
+    }
+
+    /// §2.4: 2K tokens of LLaMA-65B KV occupy ~5 GB.
+    #[test]
+    fn llama65b_2k_tokens_is_about_5gb() {
+        let m = ModelSpec::llama1_65b();
+        let gb = m.kv_bytes(2048) as f64 / 1e9;
+        assert!((gb - 5.0).abs() < 0.5, "got {gb} GB");
+    }
+
+    #[test]
+    fn gqa_factors_match_paper() {
+        assert_eq!(ModelSpec::llama2_70b().gqa_factor(), 8);
+        assert_eq!(ModelSpec::falcon_40b().gqa_factor(), 16);
+        assert_eq!(ModelSpec::llama2_13b().gqa_factor(), 1);
+    }
+
+    #[test]
+    fn per_layer_kv_times_layers_is_total() {
+        for m in [
+            ModelSpec::llama2_13b(),
+            ModelSpec::llama1_65b(),
+            ModelSpec::llama2_70b(),
+            ModelSpec::falcon_40b(),
+            ModelSpec::mistral_7b(),
+        ] {
+            assert_eq!(
+                m.kv_bytes_per_token_layer() * m.n_layers as u64,
+                m.kv_bytes_per_token()
+            );
+        }
+    }
+
+    #[test]
+    fn context_windows_match_model_families() {
+        assert_eq!(ModelSpec::llama1_65b().context_window, 2048);
+        assert_eq!(ModelSpec::llama2_70b().context_window, 4096);
+        assert_eq!(ModelSpec::opt_13b().context_window, 2048);
+        assert_eq!(ModelSpec::mistral_7b().context_window, 32768);
+    }
+}

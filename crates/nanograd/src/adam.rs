@@ -1,0 +1,192 @@
+//! The Adam optimizer.
+
+use crate::Tensor;
+
+/// Adam with bias correction (Kingma & Ba, 2015).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+/// Rescales `grads` in place so their global L2 norm is at most
+/// `max_norm`; returns the pre-clip norm.
+///
+/// The usual stabilizer for small-batch transformer training: a single
+/// outlier step cannot blow up Adam's second-moment estimates.
+pub fn clip_global_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "clip norm must be positive");
+    let norm = grads
+        .iter()
+        .flat_map(|g| g.data.iter())
+        .map(|x| (*x as f64) * (*x as f64))
+        .sum::<f64>()
+        .sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            for x in g.data.iter_mut() {
+                *x *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// Cosine learning-rate schedule with linear warmup.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineSchedule {
+    /// Peak learning rate reached after warmup.
+    pub base_lr: f32,
+    /// Linear warmup steps from zero.
+    pub warmup: u64,
+    /// Total steps; the rate decays to `base_lr / 10` here and stays.
+    pub total: u64,
+}
+
+impl CosineSchedule {
+    /// Learning rate at `step` (0-based).
+    pub fn lr(&self, step: u64) -> f32 {
+        let floor = self.base_lr / 10.0;
+        if self.warmup > 0 && step < self.warmup {
+            return self.base_lr * (step + 1) as f32 / self.warmup as f32;
+        }
+        if step >= self.total {
+            return floor;
+        }
+        let progress = (step - self.warmup) as f32 / (self.total - self.warmup).max(1) as f32;
+        floor + 0.5 * (self.base_lr - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
+    }
+}
+
+impl Adam {
+    /// Creates an optimizer for parameters with the given shapes.
+    pub fn new(param_shapes: &[Vec<usize>], lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            m: param_shapes
+                .iter()
+                .map(|s| Tensor::zeros(s.clone()))
+                .collect(),
+            v: param_shapes
+                .iter()
+                .map(|s| Tensor::zeros(s.clone()))
+                .collect(),
+        }
+    }
+
+    /// Returns the configured learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Changes the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr >= 0.0, "learning rate cannot be negative");
+        self.lr = lr;
+    }
+
+    /// Applies one update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter/gradient counts or shapes do not match the
+    /// shapes the optimizer was created with.
+    pub fn step(&mut self, params: &mut [Tensor], grads: &[Tensor]) {
+        assert_eq!(params.len(), self.m.len(), "parameter count changed");
+        assert_eq!(params.len(), grads.len(), "need one gradient per parameter");
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        for ((p, g), (m, v)) in params
+            .iter_mut()
+            .zip(grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            assert_eq!(p.shape, g.shape, "gradient shape mismatch");
+            for i in 0..p.data.len() {
+                let gi = g.data[i];
+                m.data[i] = self.beta1 * m.data[i] + (1.0 - self.beta1) * gi;
+                v.data[i] = self.beta2 * v.data[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = m.data[i] / bc1;
+                let vhat = v.data[i] / bc2;
+                p.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adam minimizes a simple quadratic.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut params = vec![Tensor::from_vec(vec![5.0, -3.0], vec![2])];
+        let mut opt = Adam::new(&[vec![2]], 0.1);
+        for _ in 0..500 {
+            // f(x) = Σ x², grad = 2x.
+            let grads = vec![Tensor::from_vec(
+                params[0].data.iter().map(|x| 2.0 * x).collect(),
+                vec![2],
+            )];
+            opt.step(&mut params, &grads);
+        }
+        assert!(params[0].data.iter().all(|x| x.abs() < 1e-2));
+    }
+
+    #[test]
+    fn clipping_bounds_the_global_norm() {
+        let mut grads = vec![
+            Tensor::from_vec(vec![3.0, 4.0], vec![2]),
+            Tensor::from_vec(vec![0.0, 0.0], vec![2]),
+        ];
+        let pre = clip_global_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post: f32 = grads
+            .iter()
+            .flat_map(|g| g.data.iter())
+            .map(|x| x * x)
+            .sum::<f32>()
+            .sqrt();
+        assert!((post - 1.0).abs() < 1e-6);
+        // Already-small gradients are untouched.
+        let mut small = vec![Tensor::from_vec(vec![0.1], vec![1])];
+        clip_global_norm(&mut small, 1.0);
+        assert_eq!(small[0].data[0], 0.1);
+    }
+
+    #[test]
+    fn cosine_schedule_shape() {
+        let s = CosineSchedule {
+            base_lr: 1.0,
+            warmup: 10,
+            total: 110,
+        };
+        // Warmup climbs linearly to the peak.
+        assert!(s.lr(0) < s.lr(5));
+        assert!((s.lr(9) - 1.0).abs() < 1e-6);
+        // Decays monotonically after warmup down to the floor.
+        assert!(s.lr(30) > s.lr(80));
+        assert!((s.lr(110) - 0.1).abs() < 1e-6);
+        assert!((s.lr(10_000) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut params = vec![Tensor::zeros(vec![2])];
+        let mut opt = Adam::new(&[vec![2]], 0.1);
+        let grads = vec![Tensor::zeros(vec![3])];
+        opt.step(&mut params, &grads);
+    }
+}

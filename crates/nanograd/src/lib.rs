@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Reverse-mode automatic differentiation, from scratch.
+//!
+//! A tape ([`Tape`]) records a computation over row-major `f32` tensors
+//! ([`Tensor`]); [`Tape::backward`] walks the tape in reverse and
+//! accumulates gradients. The op set is exactly what a LLaMA-style
+//! transformer language model needs: matmul, elementwise arithmetic,
+//! RMSNorm, SiLU, softmax, rotary position embedding, embedding lookup,
+//! column slice/concat for attention heads, and a fused
+//! softmax-cross-entropy loss. [`Adam`] provides the optimizer.
+//!
+//! Every op's backward pass is verified against central-difference
+//! numerical gradients in the test suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use nanograd::{Tape, Tensor};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], vec![1, 2]));
+//! let w = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], vec![2, 1]));
+//! let y = tape.matmul(x, w); // 1*3 + 2*4 = 11
+//! assert_eq!(tape.value(y).data[0], 11.0);
+//! tape.backward(y);
+//! // dy/dw = x.
+//! assert_eq!(tape.grad(w).data, vec![1.0, 2.0]);
+//! ```
+
+mod adam;
+mod tape;
+mod tensor;
+
+pub use adam::{clip_global_norm, Adam, CosineSchedule};
+pub use tape::{Tape, Var, IGNORE_TARGET};
+pub use tensor::Tensor;

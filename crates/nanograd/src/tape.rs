@@ -1,0 +1,605 @@
+//! The autodiff tape: forward ops and reverse-mode gradients.
+
+use crate::Tensor;
+
+/// Sentinel target for [`Tape::cross_entropy`]: the row is excluded from
+/// the loss.
+pub const IGNORE_TARGET: usize = usize::MAX;
+
+/// Handle to a tensor on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// Recorded operation producing one node.
+enum Op {
+    /// Input / parameter node.
+    Leaf,
+    /// `a[m,k] · b[k,n]`.
+    MatMul(Var, Var),
+    /// Elementwise sum of same-shape tensors.
+    Add(Var, Var),
+    /// `a[m,n] + b[n]` with `b` broadcast over rows.
+    AddRow(Var, Var),
+    /// Elementwise product of same-shape tensors.
+    Mul(Var, Var),
+    /// `a * c` for scalar `c`.
+    Scale(Var, f32),
+    /// SiLU activation `x · σ(x)`.
+    Silu(Var),
+    /// Row-wise RMS normalization with weight `w[n]`; caches row scales.
+    RmsNorm(Var, Var, f32),
+    /// Row-wise softmax.
+    Softmax(Var),
+    /// Rotary position embedding over heads of width `head_dim`.
+    Rope {
+        /// Input `[m, n_heads · head_dim]`.
+        a: Var,
+        /// Position of each row.
+        positions: Vec<usize>,
+        /// Width of one head (even).
+        head_dim: usize,
+        /// Rotation base (e.g. 10000.0).
+        theta: f32,
+    },
+    /// Row gather `w[ids[t]]`.
+    Embedding(Var, Vec<usize>),
+    /// Column slice `a[:, start..start+len]`.
+    SliceCols(Var, usize, usize),
+    /// Column concatenation of same-row-count parts.
+    ConcatCols(Vec<Var>),
+    /// `aᵀ`.
+    Transpose(Var),
+    /// Mean softmax cross-entropy of `logits[m,V]` against `targets[m]`;
+    /// produces a scalar.
+    CrossEntropy(Var, Vec<usize>),
+}
+
+/// One tape node.
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+}
+
+/// A recorded computation.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+/// Applies the RoPE rotation (or its inverse) in place.
+fn rope_rotate(
+    data: &mut [f32],
+    cols: usize,
+    positions: &[usize],
+    head_dim: usize,
+    theta: f32,
+    inverse: bool,
+) {
+    assert_eq!(head_dim % 2, 0, "RoPE needs an even head dimension");
+    let n_heads = cols / head_dim;
+    for (row, &pos) in positions.iter().enumerate() {
+        for h in 0..n_heads {
+            let base = row * cols + h * head_dim;
+            for i in 0..head_dim / 2 {
+                let freq = theta.powf(-2.0 * i as f32 / head_dim as f32);
+                let mut angle = pos as f32 * freq;
+                if inverse {
+                    angle = -angle;
+                }
+                let (sin, cos) = angle.sin_cos();
+                let x = data[base + 2 * i];
+                let y = data[base + 2 * i + 1];
+                data[base + 2 * i] = x * cos - y * sin;
+                data[base + 2 * i + 1] = x * sin + y * cos;
+            }
+        }
+    }
+}
+
+/// Row-wise softmax into a new tensor.
+fn softmax_rows(a: &Tensor) -> Tensor {
+    let (m, n) = (a.rows(), a.cols());
+    let mut out = Tensor::zeros(vec![m, n]);
+    for r in 0..m {
+        let row = &a.data[r * n..(r + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (c, &x) in row.iter().enumerate() {
+            let e = (x - max).exp();
+            out.data[r * n + c] = e;
+            sum += e;
+        }
+        for c in 0..n {
+            out.data[r * n + c] /= sum;
+        }
+    }
+    out
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Tape {
+        Tape::default()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records an input/parameter tensor.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Returns the value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Returns the gradient accumulated at a node (zeros if untouched).
+    pub fn grad(&self, v: Var) -> Tensor {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => Tensor::zeros(self.nodes[v.0].value.shape.clone()),
+        }
+    }
+
+    /// Matrix product `a[m,k] · b[k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let (m, k, n) = (av.rows(), av.cols(), bv.cols());
+        assert_eq!(
+            bv.rows(),
+            k,
+            "matmul inner dims {}≠{}",
+            av.cols(),
+            bv.rows()
+        );
+        let mut out = Tensor::zeros(vec![m, n]);
+        for r in 0..m {
+            for i in 0..k {
+                let x = av.data[r * k + i];
+                if x == 0.0 {
+                    continue;
+                }
+                let brow = &bv.data[i * n..(i + 1) * n];
+                let orow = &mut out.data[r * n..(r + 1) * n];
+                for c in 0..n {
+                    orow[c] += x * brow[c];
+                }
+            }
+        }
+        self.push(out, Op::MatMul(a, b))
+    }
+
+    /// Elementwise sum (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(av.shape, bv.shape, "add shape mismatch");
+        let data = av.data.iter().zip(&bv.data).map(|(x, y)| x + y).collect();
+        let shape = av.shape.clone();
+        self.push(Tensor::from_vec(data, shape), Op::Add(a, b))
+    }
+
+    /// `a[m,n] + b[n]`, broadcasting `b` over rows.
+    pub fn add_row(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let n = av.cols();
+        assert_eq!(bv.len(), n, "row-broadcast length mismatch");
+        let mut out = av.clone();
+        for r in 0..av.rows() {
+            for c in 0..n {
+                out.data[r * n + c] += bv.data[c];
+            }
+        }
+        self.push(out, Op::AddRow(a, b))
+    }
+
+    /// Elementwise product (same shapes).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(av.shape, bv.shape, "mul shape mismatch");
+        let data = av.data.iter().zip(&bv.data).map(|(x, y)| x * y).collect();
+        let shape = av.shape.clone();
+        self.push(Tensor::from_vec(data, shape), Op::Mul(a, b))
+    }
+
+    /// Scalar scale.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let av = &self.nodes[a.0].value;
+        let data = av.data.iter().map(|x| x * c).collect();
+        let shape = av.shape.clone();
+        self.push(Tensor::from_vec(data, shape), Op::Scale(a, c))
+    }
+
+    /// SiLU activation.
+    pub fn silu(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let data = av.data.iter().map(|&x| x / (1.0 + (-x).exp())).collect();
+        let shape = av.shape.clone();
+        self.push(Tensor::from_vec(data, shape), Op::Silu(a))
+    }
+
+    /// Row-wise RMS normalization scaled by `w[n]`.
+    pub fn rmsnorm(&mut self, a: Var, w: Var, eps: f32) -> Var {
+        let (av, wv) = (&self.nodes[a.0].value, &self.nodes[w.0].value);
+        let (m, n) = (av.rows(), av.cols());
+        assert_eq!(wv.len(), n, "rmsnorm weight length mismatch");
+        let mut out = Tensor::zeros(vec![m, n]);
+        for r in 0..m {
+            let row = &av.data[r * n..(r + 1) * n];
+            let ms: f32 = row.iter().map(|x| x * x).sum::<f32>() / n as f32;
+            let rms = 1.0 / (ms + eps).sqrt();
+            for (c, &x) in row.iter().enumerate() {
+                out.data[r * n + c] = x * rms * wv.data[c];
+            }
+        }
+        self.push(out, Op::RmsNorm(a, w, eps))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let out = softmax_rows(&self.nodes[a.0].value);
+        self.push(out, Op::Softmax(a))
+    }
+
+    /// Rotary position embedding of `a[m, n_heads · head_dim]` at the
+    /// given per-row positions.
+    pub fn rope(&mut self, a: Var, positions: &[usize], head_dim: usize, theta: f32) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.rows(), positions.len(), "one position per row");
+        let mut out = av.clone();
+        let cols = av.cols();
+        rope_rotate(&mut out.data, cols, positions, head_dim, theta, false);
+        self.push(
+            out,
+            Op::Rope {
+                a,
+                positions: positions.to_vec(),
+                head_dim,
+                theta,
+            },
+        )
+    }
+
+    /// Gathers rows of an embedding table `w[V, n]`.
+    pub fn embedding(&mut self, w: Var, ids: &[usize]) -> Var {
+        let wv = &self.nodes[w.0].value;
+        let n = wv.cols();
+        let mut out = Tensor::zeros(vec![ids.len(), n]);
+        for (r, &id) in ids.iter().enumerate() {
+            out.data[r * n..(r + 1) * n].copy_from_slice(&wv.data[id * n..(id + 1) * n]);
+        }
+        self.push(out, Op::Embedding(w, ids.to_vec()))
+    }
+
+    /// Column slice `a[:, start..start+len]`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (m, n) = (av.rows(), av.cols());
+        assert!(start + len <= n, "slice out of bounds");
+        let mut out = Tensor::zeros(vec![m, len]);
+        for r in 0..m {
+            out.data[r * len..(r + 1) * len]
+                .copy_from_slice(&av.data[r * n + start..r * n + start + len]);
+        }
+        self.push(out, Op::SliceCols(a, start, len))
+    }
+
+    /// Concatenates same-row-count parts along columns.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat of nothing");
+        let m = self.nodes[parts[0].0].value.rows();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.cols()).sum();
+        let mut out = Tensor::zeros(vec![m, total]);
+        let mut off = 0;
+        for &p in parts {
+            let pv = &self.nodes[p.0].value;
+            assert_eq!(pv.rows(), m, "concat row mismatch");
+            let w = pv.cols();
+            for r in 0..m {
+                out.data[r * total + off..r * total + off + w]
+                    .copy_from_slice(&pv.data[r * w..(r + 1) * w]);
+            }
+            off += w;
+        }
+        self.push(out, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let (m, n) = (av.rows(), av.cols());
+        let mut out = Tensor::zeros(vec![n, m]);
+        for r in 0..m {
+            for c in 0..n {
+                out.data[c * m + r] = av.data[r * n + c];
+            }
+        }
+        self.push(out, Op::Transpose(a))
+    }
+
+    /// Mean softmax cross-entropy of `logits[m, V]` against `targets`.
+    ///
+    /// Rows whose target is [`IGNORE_TARGET`] contribute neither loss nor
+    /// gradient; the mean runs over the counted rows. Useful when only
+    /// some positions of a sequence carry supervision (e.g. the answer
+    /// token of a retrieval episode).
+    ///
+    /// # Panics
+    ///
+    /// Panics when every target is ignored.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = &self.nodes[logits.0].value;
+        assert_eq!(lv.rows(), targets.len(), "one target per row");
+        let probs = softmax_rows(lv);
+        let n = lv.cols();
+        let counted = targets.iter().filter(|&&t| t != IGNORE_TARGET).count();
+        assert!(counted > 0, "cross entropy with every target ignored");
+        let loss = targets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != IGNORE_TARGET)
+            .map(|(r, &t)| -(probs.data[r * n + t].max(1e-12)).ln())
+            .sum::<f32>()
+            / counted as f32;
+        self.push(
+            Tensor::from_vec(vec![loss], vec![1]),
+            Op::CrossEntropy(logits, targets.to_vec()),
+        )
+    }
+
+    fn accumulate(&mut self, v: Var, delta: Tensor) {
+        let node = &mut self.nodes[v.0];
+        match &mut node.grad {
+            Some(g) => {
+                for (gi, di) in g.data.iter_mut().zip(&delta.data) {
+                    *gi += di;
+                }
+            }
+            None => node.grad = Some(delta),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from `root` (seeded with ones).
+    ///
+    /// Gradients accumulate into every node reachable backwards from the
+    /// root; read them with [`Tape::grad`].
+    pub fn backward(&mut self, root: Var) {
+        let seed = Tensor::from_vec(
+            vec![1.0; self.nodes[root.0].value.len()],
+            self.nodes[root.0].value.shape.clone(),
+        );
+        self.nodes[root.0].grad = Some(seed);
+        for idx in (0..=root.0).rev() {
+            let Some(g) = self.nodes[idx].grad.clone() else {
+                continue;
+            };
+            // Ops only reference earlier nodes, so reverse index order is
+            // a valid reverse-topological order.
+            match &self.nodes[idx].op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    let (m, k, n) = (av.rows(), av.cols(), bv.cols());
+                    // dA = dY · Bᵀ.
+                    let mut da = Tensor::zeros(vec![m, k]);
+                    for r in 0..m {
+                        for c in 0..n {
+                            let gy = g.data[r * n + c];
+                            if gy == 0.0 {
+                                continue;
+                            }
+                            for i in 0..k {
+                                da.data[r * k + i] += gy * bv.data[i * n + c];
+                            }
+                        }
+                    }
+                    // dB = Aᵀ · dY.
+                    let mut db = Tensor::zeros(vec![k, n]);
+                    for r in 0..m {
+                        for i in 0..k {
+                            let x = av.data[r * k + i];
+                            if x == 0.0 {
+                                continue;
+                            }
+                            for c in 0..n {
+                                db.data[i * n + c] += x * g.data[r * n + c];
+                            }
+                        }
+                    }
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    self.accumulate(a, g.clone());
+                    self.accumulate(b, g);
+                }
+                Op::AddRow(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let n = self.nodes[b.0].value.len();
+                    let mut db = Tensor::zeros(vec![n]);
+                    for r in 0..g.rows() {
+                        for c in 0..n {
+                            db.data[c] += g.data[r * n + c];
+                        }
+                    }
+                    self.accumulate(a, g);
+                    self.accumulate(b, db);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    let da = Tensor::from_vec(
+                        g.data.iter().zip(&bv.data).map(|(g, y)| g * y).collect(),
+                        av.shape.clone(),
+                    );
+                    let db = Tensor::from_vec(
+                        g.data.iter().zip(&av.data).map(|(g, x)| g * x).collect(),
+                        bv.shape.clone(),
+                    );
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Scale(a, c) => {
+                    let (a, c) = (*a, *c);
+                    let da =
+                        Tensor::from_vec(g.data.iter().map(|g| g * c).collect(), g.shape.clone());
+                    self.accumulate(a, da);
+                }
+                Op::Silu(a) => {
+                    let a = *a;
+                    let av = self.nodes[a.0].value.clone();
+                    let da = Tensor::from_vec(
+                        g.data
+                            .iter()
+                            .zip(&av.data)
+                            .map(|(g, &x)| {
+                                let s = 1.0 / (1.0 + (-x).exp());
+                                g * s * (1.0 + x * (1.0 - s))
+                            })
+                            .collect(),
+                        av.shape.clone(),
+                    );
+                    self.accumulate(a, da);
+                }
+                Op::RmsNorm(a, w, eps) => {
+                    let (a, w, eps) = (*a, *w, *eps);
+                    let av = self.nodes[a.0].value.clone();
+                    let wv = self.nodes[w.0].value.clone();
+                    let (m, n) = (av.rows(), av.cols());
+                    let mut da = Tensor::zeros(vec![m, n]);
+                    let mut dw = Tensor::zeros(vec![n]);
+                    for r in 0..m {
+                        let row = &av.data[r * n..(r + 1) * n];
+                        let ms: f32 = row.iter().map(|x| x * x).sum::<f32>() / n as f32;
+                        let rms = 1.0 / (ms + eps).sqrt();
+                        let grow = &g.data[r * n..(r + 1) * n];
+                        // Σ_i g_i · w_i · x_i.
+                        let dot: f32 = (0..n).map(|i| grow[i] * wv.data[i] * row[i]).sum();
+                        for j in 0..n {
+                            da.data[r * n + j] +=
+                                rms * wv.data[j] * grow[j] - rms.powi(3) * row[j] * dot / n as f32;
+                            dw.data[j] += grow[j] * row[j] * rms;
+                        }
+                    }
+                    self.accumulate(a, da);
+                    self.accumulate(w, dw);
+                }
+                Op::Softmax(a) => {
+                    let a = *a;
+                    let y = self.nodes[idx].value.clone();
+                    let (m, n) = (y.rows(), y.cols());
+                    let mut da = Tensor::zeros(vec![m, n]);
+                    for r in 0..m {
+                        let yr = &y.data[r * n..(r + 1) * n];
+                        let gr = &g.data[r * n..(r + 1) * n];
+                        let dot: f32 = yr.iter().zip(gr).map(|(y, g)| y * g).sum();
+                        for c in 0..n {
+                            da.data[r * n + c] = yr[c] * (gr[c] - dot);
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::Rope {
+                    a,
+                    positions,
+                    head_dim,
+                    theta,
+                } => {
+                    let (a, positions, head_dim, theta) =
+                        (*a, positions.clone(), *head_dim, *theta);
+                    // The rotation is orthogonal: the adjoint is the
+                    // inverse rotation.
+                    let mut da = g.clone();
+                    let cols = da.cols();
+                    rope_rotate(&mut da.data, cols, &positions, head_dim, theta, true);
+                    self.accumulate(a, da);
+                }
+                Op::Embedding(w, ids) => {
+                    let (w, ids) = (*w, ids.clone());
+                    let wv_shape = self.nodes[w.0].value.shape.clone();
+                    let n = wv_shape[1];
+                    let mut dw = Tensor::zeros(wv_shape);
+                    for (r, &id) in ids.iter().enumerate() {
+                        for c in 0..n {
+                            dw.data[id * n + c] += g.data[r * n + c];
+                        }
+                    }
+                    self.accumulate(w, dw);
+                }
+                Op::SliceCols(a, start, len) => {
+                    let (a, start, len) = (*a, *start, *len);
+                    let av_shape = self.nodes[a.0].value.shape.clone();
+                    let (m, n) = (av_shape[0], av_shape[1]);
+                    let mut da = Tensor::zeros(vec![m, n]);
+                    for r in 0..m {
+                        for c in 0..len {
+                            da.data[r * n + start + c] = g.data[r * len + c];
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::ConcatCols(parts) => {
+                    let parts = parts.clone();
+                    let total = g.cols();
+                    let m = g.rows();
+                    let mut off = 0;
+                    for p in parts {
+                        let w = self.nodes[p.0].value.cols();
+                        let mut dp = Tensor::zeros(vec![m, w]);
+                        for r in 0..m {
+                            dp.data[r * w..(r + 1) * w]
+                                .copy_from_slice(&g.data[r * total + off..r * total + off + w]);
+                        }
+                        self.accumulate(p, dp);
+                        off += w;
+                    }
+                }
+                Op::Transpose(a) => {
+                    let a = *a;
+                    let (m, n) = (g.rows(), g.cols());
+                    let mut da = Tensor::zeros(vec![n, m]);
+                    for r in 0..m {
+                        for c in 0..n {
+                            da.data[c * m + r] = g.data[r * n + c];
+                        }
+                    }
+                    self.accumulate(a, da);
+                }
+                Op::CrossEntropy(logits, targets) => {
+                    let (logits, targets) = (*logits, targets.clone());
+                    let lv = self.nodes[logits.0].value.clone();
+                    let probs = softmax_rows(&lv);
+                    let n = lv.cols();
+                    let counted = targets.iter().filter(|&&t| t != IGNORE_TARGET).count();
+                    let gscalar = g.data[0];
+                    let mut dl = probs;
+                    for (r, &t) in targets.iter().enumerate() {
+                        if t == IGNORE_TARGET {
+                            for c in 0..n {
+                                dl.data[r * n + c] = 0.0;
+                            }
+                        } else {
+                            dl.data[r * n + t] -= 1.0;
+                        }
+                    }
+                    for x in dl.data.iter_mut() {
+                        *x *= gscalar / counted.max(1) as f32;
+                    }
+                    self.accumulate(logits, dl);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Row-major `f32` tensors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major tensor of `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Elements, row-major.
+    pub data: Vec<f32>,
+    /// Dimension sizes; product equals `data.len()`.
+    pub shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Wraps raw data with a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape does not match the element count.
+    pub fn from_vec(data: Vec<f32>, shape: Vec<usize>) -> Tensor {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "shape {shape:?} does not fit {} elements",
+            data.len()
+        );
+        Tensor { data, shape }
+    }
+
+    /// An all-zeros tensor.
+    pub fn zeros(shape: Vec<usize>) -> Tensor {
+        let n = shape.iter().product();
+        Tensor {
+            data: vec![0.0; n],
+            shape,
+        }
+    }
+
+    /// A tensor of standard-normal values scaled by `std`, seeded.
+    pub fn randn(shape: Vec<usize>, std: f32, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = shape.iter().product();
+        // Box-Muller from uniform draws keeps us independent of
+        // rand_distr here.
+        let data = (0..n)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(1e-7..1.0);
+                let u2: f32 = rng.gen::<f32>();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+            })
+            .collect();
+        Tensor { data, shape }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-2-D tensors.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "rows() needs a 2-D tensor");
+        self.shape[0]
+    }
+
+    /// Number of columns of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-2-D tensors.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() needs a 2-D tensor");
+        self.shape[1]
+    }
+
+    /// Element at `(r, c)` of a 2-D tensor.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols() + c]
+    }
+
+    /// Mutable element at `(r, c)` of a 2-D tensor.
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        let cols = self.cols();
+        &mut self.data[r * cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_shape() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        assert_eq!(t.at(1, 0), 3.0);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn mismatched_shape_panics() {
+        let _ = Tensor::from_vec(vec![1.0], vec![2, 2]);
+    }
+
+    #[test]
+    fn randn_is_deterministic_and_scaled() {
+        let a = Tensor::randn(vec![1000], 0.5, 9);
+        let b = Tensor::randn(vec![1000], 0.5, 9);
+        assert_eq!(a, b);
+        let mean: f32 = a.data.iter().sum::<f32>() / 1000.0;
+        let var: f32 = a.data.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 1000.0;
+        assert!(mean.abs() < 0.06, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.06, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zeros_are_zero() {
+        let z = Tensor::zeros(vec![3, 4]);
+        assert_eq!(z.len(), 12);
+        assert!(z.data.iter().all(|&x| x == 0.0));
+    }
+}

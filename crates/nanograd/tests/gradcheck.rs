@@ -1,0 +1,217 @@
+//! Central-difference gradient checks for every tape op.
+//!
+//! Each test builds a small scalar-valued computation twice: once through
+//! the tape's backward pass and once with numerical differentiation, and
+//! demands agreement. This is the soundness anchor for the whole
+//! training stack.
+
+use nanograd::{Tape, Tensor, Var};
+
+const EPS: f32 = 1e-3;
+const TOL: f32 = 2e-2;
+
+/// Sums all elements of `v` into a scalar by multiplying with ones.
+fn sum_all(tape: &mut Tape, v: Var) -> Var {
+    let t = tape.value(v).clone();
+    let (m, n) = (t.shape[0], t.shape.get(1).copied().unwrap_or(1));
+    // Weighted sum with distinct weights so gradients are not uniform.
+    let w: Vec<f32> = (0..m * n).map(|i| 0.5 + (i as f32) * 0.25).collect();
+    let wv = tape.leaf(Tensor::from_vec(w, vec![m, n]));
+    let prod = tape.mul(v, wv);
+    // Collapse with matmuls against ones.
+    let ones_n = tape.leaf(Tensor::from_vec(vec![1.0; n], vec![n, 1]));
+    let col = tape.matmul(prod, ones_n); // [m,1]
+    let ones_m = tape.leaf(Tensor::from_vec(vec![1.0; m], vec![1, m]));
+    tape.matmul(ones_m, col) // [1,1]
+}
+
+/// Checks analytic vs numerical gradients of `f` at `x0`.
+fn gradcheck(x0: Tensor, f: impl Fn(&mut Tape, Var) -> Var) {
+    // Analytic.
+    let mut tape = Tape::new();
+    let x = tape.leaf(x0.clone());
+    let y = f(&mut tape, x);
+    let out = sum_all(&mut tape, y);
+    assert_eq!(tape.value(out).len(), 1, "gradcheck target must be scalar");
+    tape.backward(out);
+    let analytic = tape.grad(x);
+
+    // Numerical (central differences).
+    let eval = |t: &Tensor| -> f32 {
+        let mut tape = Tape::new();
+        let x = tape.leaf(t.clone());
+        let y = f(&mut tape, x);
+        let out = sum_all(&mut tape, y);
+        tape.value(out).data[0]
+    };
+    for i in 0..x0.len() {
+        let mut plus = x0.clone();
+        plus.data[i] += EPS;
+        let mut minus = x0.clone();
+        minus.data[i] -= EPS;
+        let num = (eval(&plus) - eval(&minus)) / (2.0 * EPS);
+        let ana = analytic.data[i];
+        let denom = num.abs().max(ana.abs()).max(1.0);
+        assert!(
+            (num - ana).abs() / denom < TOL,
+            "element {i}: numerical {num} vs analytic {ana}"
+        );
+    }
+}
+
+fn input(seed: u64, shape: Vec<usize>) -> Tensor {
+    Tensor::randn(shape, 0.7, seed)
+}
+
+#[test]
+fn matmul_grad_lhs() {
+    gradcheck(input(1, vec![3, 4]), |tape, x| {
+        let w = tape.leaf(Tensor::randn(vec![4, 2], 0.6, 11));
+        tape.matmul(x, w)
+    });
+}
+
+#[test]
+fn matmul_grad_rhs() {
+    gradcheck(input(2, vec![4, 2]), |tape, x| {
+        let a = tape.leaf(Tensor::randn(vec![3, 4], 0.6, 12));
+        tape.matmul(a, x)
+    });
+}
+
+#[test]
+fn add_and_mul_grads() {
+    gradcheck(input(3, vec![2, 3]), |tape, x| {
+        let b = tape.leaf(Tensor::randn(vec![2, 3], 0.5, 13));
+        let s = tape.add(x, b);
+        tape.mul(s, x)
+    });
+}
+
+#[test]
+fn add_row_grad() {
+    gradcheck(input(4, vec![3]), |tape, x| {
+        let a = tape.leaf(Tensor::randn(vec![4, 3], 0.5, 14));
+        tape.add_row(a, x)
+    });
+}
+
+#[test]
+fn scale_grad() {
+    gradcheck(input(5, vec![2, 2]), |tape, x| tape.scale(x, -1.7));
+}
+
+#[test]
+fn silu_grad() {
+    gradcheck(input(6, vec![3, 3]), |tape, x| tape.silu(x));
+}
+
+#[test]
+fn rmsnorm_grad_input() {
+    gradcheck(input(7, vec![3, 4]), |tape, x| {
+        let w = tape.leaf(Tensor::randn(vec![4], 0.5, 15));
+        tape.rmsnorm(x, w, 1e-5)
+    });
+}
+
+#[test]
+fn rmsnorm_grad_weight() {
+    gradcheck(input(8, vec![4]), |tape, x| {
+        let a = tape.leaf(Tensor::randn(vec![3, 4], 0.8, 16));
+        tape.rmsnorm(a, x, 1e-5)
+    });
+}
+
+#[test]
+fn softmax_grad() {
+    gradcheck(input(9, vec![3, 5]), |tape, x| tape.softmax(x));
+}
+
+#[test]
+fn rope_grad() {
+    gradcheck(input(10, vec![3, 8]), |tape, x| {
+        tape.rope(x, &[0, 2, 5], 4, 10_000.0)
+    });
+}
+
+#[test]
+fn embedding_grad() {
+    gradcheck(input(11, vec![5, 3]), |tape, x| {
+        tape.embedding(x, &[0, 2, 2, 4])
+    });
+}
+
+#[test]
+fn slice_and_concat_grads() {
+    gradcheck(input(12, vec![3, 6]), |tape, x| {
+        let a = tape.slice_cols(x, 0, 2);
+        let b = tape.slice_cols(x, 2, 4);
+        tape.concat_cols(&[b, a])
+    });
+}
+
+#[test]
+fn transpose_grad() {
+    gradcheck(input(13, vec![2, 5]), |tape, x| tape.transpose(x));
+}
+
+#[test]
+fn cross_entropy_grad() {
+    let x0 = input(14, vec![4, 6]);
+    // Analytic.
+    let targets = [1usize, 0, 5, 3];
+    let mut tape = Tape::new();
+    let x = tape.leaf(x0.clone());
+    let loss = tape.cross_entropy(x, &targets);
+    tape.backward(loss);
+    let analytic = tape.grad(x);
+    // Numerical.
+    let eval = |t: &Tensor| -> f32 {
+        let mut tape = Tape::new();
+        let x = tape.leaf(t.clone());
+        let loss = tape.cross_entropy(x, &targets);
+        tape.value(loss).data[0]
+    };
+    for i in 0..x0.len() {
+        let mut plus = x0.clone();
+        plus.data[i] += EPS;
+        let mut minus = x0.clone();
+        minus.data[i] -= EPS;
+        let num = (eval(&plus) - eval(&minus)) / (2.0 * EPS);
+        assert!(
+            (num - analytic.data[i]).abs() < TOL,
+            "element {i}: numerical {num} vs analytic {}",
+            analytic.data[i]
+        );
+    }
+}
+
+/// A two-matmul chain with shared input exercises gradient accumulation.
+#[test]
+fn shared_input_accumulates() {
+    gradcheck(input(15, vec![3, 3]), |tape, x| {
+        let a = tape.matmul(x, x);
+        tape.add(a, x)
+    });
+}
+
+/// An attention-shaped composite: QKᵀ softmax V with RoPE.
+#[test]
+fn attention_composite_grad() {
+    gradcheck(input(16, vec![4, 6]), |tape, x| {
+        let wq = tape.leaf(Tensor::randn(vec![6, 4], 0.5, 21));
+        let wk = tape.leaf(Tensor::randn(vec![6, 4], 0.5, 22));
+        let wv = tape.leaf(Tensor::randn(vec![6, 4], 0.5, 23));
+        let positions = [0usize, 1, 2, 3];
+        let q = tape.matmul(x, wq);
+        let k = tape.matmul(x, wk);
+        let v = tape.matmul(x, wv);
+        let q = tape.rope(q, &positions, 4, 10_000.0);
+        let k = tape.rope(k, &positions, 4, 10_000.0);
+        let kt = tape.transpose(k);
+        let scores = tape.matmul(q, kt);
+        let scaled = tape.scale(scores, 0.5);
+        let attn = tape.softmax(scaled);
+        tape.matmul(attn, v)
+    });
+}

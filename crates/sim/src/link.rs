@@ -1,0 +1,211 @@
+//! FIFO-serialized bandwidth resources.
+//!
+//! A [`BandwidthLink`] models a DMA stream or an I/O channel: transfers are
+//! queued back-to-back at a fixed byte rate. This matches how CachedAttention
+//! drives dedicated CUDA copy streams (one per direction) and dedicated disk
+//! I/O threads — within one stream, transfers serialize.
+
+use crate::{Dur, Time};
+
+/// A FIFO transfer channel with a fixed bandwidth.
+#[derive(Debug, Clone)]
+pub struct BandwidthLink {
+    name: &'static str,
+    bytes_per_sec: f64,
+    busy_until: Time,
+    total_bytes: u64,
+    busy_nanos: u128,
+    transfers: u64,
+}
+
+impl BandwidthLink {
+    /// Creates a link transferring `bytes_per_sec` bytes per virtual second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not strictly positive and finite.
+    pub fn new(name: &'static str, bytes_per_sec: f64) -> Self {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "link {name} needs positive bandwidth, got {bytes_per_sec}"
+        );
+        BandwidthLink {
+            name,
+            bytes_per_sec,
+            busy_until: Time::ZERO,
+            total_bytes: 0,
+            busy_nanos: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Returns the link's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Returns how long moving `bytes` takes on an idle link.
+    pub fn duration_of(&self, bytes: u64) -> Dur {
+        Dur::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Enqueues a transfer of `bytes` at instant `now`; returns its
+    /// completion time.
+    ///
+    /// The transfer starts at `max(now, busy_until)` — i.e. it waits behind
+    /// any transfer already in flight — and occupies the link for
+    /// `bytes / bandwidth`.
+    pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
+        let start = now.max(self.busy_until);
+        let dur = self.duration_of(bytes);
+        let done = start + dur;
+        self.busy_until = done;
+        self.total_bytes += bytes;
+        self.busy_nanos += dur.as_nanos() as u128;
+        self.transfers += 1;
+        done
+    }
+
+    /// Returns the instant the last queued transfer completes.
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Marks the link busy through `until` for an externally timed
+    /// transfer of `bytes` (e.g. a pipelined layer-wise load whose
+    /// schedule was computed elsewhere). Never moves `busy_until`
+    /// backwards.
+    pub fn occupy(&mut self, until: Time, bytes: u64) {
+        if until > self.busy_until {
+            self.busy_until = until;
+        }
+        self.total_bytes += bytes;
+        self.busy_nanos += self.duration_of(bytes).as_nanos() as u128;
+        self.transfers += 1;
+    }
+
+    /// Returns `true` when no transfer would have to wait at `now`.
+    pub fn idle_at(&self, now: Time) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Returns the queueing delay a transfer issued at `now` would see.
+    pub fn backlog_at(&self, now: Time) -> Dur {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// Returns the total bytes ever enqueued.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Returns the number of transfers ever enqueued.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Returns the fraction of `[0, now]` the link spent transferring.
+    pub fn utilization(&self, now: Time) -> f64 {
+        if now == Time::ZERO {
+            return 0.0;
+        }
+        self.busy_nanos as f64 / now.as_nanos() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_transfer_takes_bytes_over_bandwidth() {
+        let mut link = BandwidthLink::new("pcie", 1_000_000_000.0);
+        let done = link.transfer(Time::ZERO, 500_000_000);
+        assert_eq!(done.as_secs_f64(), 0.5);
+    }
+
+    #[test]
+    fn transfers_serialize_fifo() {
+        let mut link = BandwidthLink::new("pcie", 1_000.0);
+        let a = link.transfer(Time::ZERO, 1_000);
+        assert_eq!(a.as_secs_f64(), 1.0);
+        // Issued while the first is still in flight: waits its turn.
+        let b = link.transfer(Time::from_secs_f64(0.5), 1_000);
+        assert_eq!(b.as_secs_f64(), 2.0);
+        // Issued after the link drained: starts immediately.
+        let c = link.transfer(Time::from_secs_f64(10.0), 1_000);
+        assert_eq!(c.as_secs_f64(), 11.0);
+    }
+
+    #[test]
+    fn backlog_reflects_pending_work() {
+        let mut link = BandwidthLink::new("ssd", 100.0);
+        link.transfer(Time::ZERO, 200);
+        assert_eq!(link.backlog_at(Time::ZERO).as_secs_f64(), 2.0);
+        assert_eq!(link.backlog_at(Time::from_secs_f64(1.5)).as_secs_f64(), 0.5);
+        assert!(link.idle_at(Time::from_secs_f64(2.0)));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut link = BandwidthLink::new("ssd", 1_000.0);
+        link.transfer(Time::ZERO, 500);
+        link.transfer(Time::ZERO, 500);
+        assert_eq!(link.total_bytes(), 1_000);
+        assert_eq!(link.transfers(), 2);
+        // Fully busy through t=1s.
+        assert!((link.utilization(Time::from_secs_f64(1.0)) - 1.0).abs() < 1e-9);
+        // Half busy through t=2s.
+        assert!((link.utilization(Time::from_secs_f64(2.0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = BandwidthLink::new("bad", 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Completions are monotone (FIFO) and each transfer occupies
+            /// at least its bandwidth-implied duration; total bytes are
+            /// conserved.
+            #[test]
+            fn fifo_order_and_conservation(
+                xfers in proptest::collection::vec((0u64..1_000_000, 0u64..1_000_000_000), 1..40),
+            ) {
+                let mut link = BandwidthLink::new("p", 1e9);
+                let mut last_done = Time::ZERO;
+                let mut issued = 0u64;
+                let mut clock = Time::ZERO;
+                for (gap_ns, bytes) in xfers {
+                    clock = Time::from_nanos(clock.as_nanos() + gap_ns);
+                    let done = link.transfer(clock, bytes);
+                    // FIFO: completions never reorder.
+                    prop_assert!(done >= last_done);
+                    // Physics: finish no earlier than start + size/bw.
+                    prop_assert!(done >= clock + link.duration_of(bytes));
+                    last_done = done;
+                    issued += bytes;
+                }
+                prop_assert_eq!(link.total_bytes(), issued);
+                prop_assert_eq!(link.busy_until(), last_done);
+            }
+        }
+    }
+
+    #[test]
+    fn occupy_extends_but_never_rewinds() {
+        let mut link = BandwidthLink::new("h2d", 1_000.0);
+        link.occupy(Time::from_secs_f64(2.0), 500);
+        assert_eq!(link.busy_until(), Time::from_secs_f64(2.0));
+        // An earlier externally timed transfer cannot rewind the link.
+        link.occupy(Time::from_secs_f64(1.0), 100);
+        assert_eq!(link.busy_until(), Time::from_secs_f64(2.0));
+        assert_eq!(link.total_bytes(), 600);
+        assert_eq!(link.transfers(), 2);
+    }
+}

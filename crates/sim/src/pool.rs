@@ -1,0 +1,210 @@
+//! Byte-granularity capacity accounting for memory/storage tiers.
+
+use std::fmt;
+
+/// An error returned by [`CapacityPool`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// The requested allocation does not fit in the remaining capacity.
+    Exhausted {
+        /// Bytes requested by the failed allocation.
+        requested: u64,
+        /// Bytes still available in the pool.
+        available: u64,
+    },
+    /// A free would release more bytes than are currently allocated.
+    Underflow {
+        /// Bytes the caller attempted to release.
+        released: u64,
+        /// Bytes currently allocated.
+        used: u64,
+    },
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PoolError::Exhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "pool exhausted: requested {requested} bytes, {available} available"
+            ),
+            PoolError::Underflow { released, used } => write!(
+                f,
+                "pool underflow: released {released} bytes with only {used} in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Tracks byte usage against a fixed capacity (HBM, DRAM or disk tier).
+#[derive(Debug, Clone)]
+pub struct CapacityPool {
+    name: &'static str,
+    capacity: u64,
+    used: u64,
+    high_water: u64,
+}
+
+impl CapacityPool {
+    /// Creates a pool of `capacity` bytes.
+    pub fn new(name: &'static str, capacity: u64) -> Self {
+        CapacityPool {
+            name,
+            capacity,
+            used: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Returns the pool's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Returns the total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Returns the bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Returns the bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Returns the maximum bytes ever simultaneously allocated.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Returns `true` when `bytes` more would fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.available()
+    }
+
+    /// Allocates `bytes`, failing without side effects if they do not fit.
+    pub fn try_alloc(&mut self, bytes: u64) -> Result<(), PoolError> {
+        if !self.fits(bytes) {
+            return Err(PoolError::Exhausted {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.used += bytes;
+        if self.used > self.high_water {
+            self.high_water = self.used;
+        }
+        Ok(())
+    }
+
+    /// Releases `bytes` back to the pool.
+    pub fn free(&mut self, bytes: u64) -> Result<(), PoolError> {
+        if bytes > self.used {
+            return Err(PoolError::Underflow {
+                released: bytes,
+                used: self.used,
+            });
+        }
+        self.used -= bytes;
+        Ok(())
+    }
+
+    /// Returns the fraction of capacity in use, in `[0, 1]`.
+    pub fn fill_fraction(&self) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        self.used as f64 / self.capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut p = CapacityPool::new("dram", 100);
+        p.try_alloc(60).unwrap();
+        assert_eq!(p.used(), 60);
+        assert_eq!(p.available(), 40);
+        p.free(60).unwrap();
+        assert_eq!(p.used(), 0);
+        assert_eq!(p.high_water(), 60);
+    }
+
+    #[test]
+    fn over_allocation_fails_without_side_effects() {
+        let mut p = CapacityPool::new("dram", 100);
+        p.try_alloc(90).unwrap();
+        let err = p.try_alloc(20).unwrap_err();
+        assert_eq!(
+            err,
+            PoolError::Exhausted {
+                requested: 20,
+                available: 10
+            }
+        );
+        assert_eq!(p.used(), 90);
+    }
+
+    #[test]
+    fn over_free_fails() {
+        let mut p = CapacityPool::new("dram", 100);
+        p.try_alloc(10).unwrap();
+        let err = p.free(20).unwrap_err();
+        assert_eq!(
+            err,
+            PoolError::Underflow {
+                released: 20,
+                used: 10
+            }
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Usage never exceeds capacity and frees restore exactly what
+            /// allocations took, across arbitrary operation sequences.
+            #[test]
+            fn accounting_is_conserved(
+                ops in proptest::collection::vec(1u64..5_000, 1..60),
+            ) {
+                let mut p = CapacityPool::new("t", 50_000);
+                let mut live: Vec<u64> = Vec::new();
+                for (i, &sz) in ops.iter().enumerate() {
+                    if i % 3 == 2 && !live.is_empty() {
+                        let sz = live.swap_remove(i % live.len());
+                        p.free(sz).unwrap();
+                    } else if p.try_alloc(sz).is_ok() {
+                        live.push(sz);
+                    }
+                    prop_assert!(p.used() <= p.capacity());
+                    prop_assert_eq!(p.used(), live.iter().sum::<u64>());
+                    prop_assert!(p.high_water() >= p.used());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_fraction_handles_zero_capacity() {
+        let p = CapacityPool::new("empty", 0);
+        assert_eq!(p.fill_fraction(), 1.0);
+        let mut q = CapacityPool::new("half", 10);
+        q.try_alloc(5).unwrap();
+        assert_eq!(q.fill_fraction(), 0.5);
+    }
+}

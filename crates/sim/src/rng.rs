@@ -1,0 +1,178 @@
+//! Seeded random source with the distributions the simulator needs.
+//!
+//! Everything the workload generator and policies draw comes through
+//! [`SimRng`], so a single `u64` seed makes an entire experiment
+//! reproducible.
+
+use rand::distributions::Distribution;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_distr::{Exp, LogNormal, Zipf};
+
+/// A deterministic random source for simulations.
+pub struct SimRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl SimRng {
+    /// Creates a source from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child source; handy for giving each
+    /// subsystem its own stream so adding draws in one does not perturb
+    /// another.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.next_u64())
+    }
+
+    /// Returns a uniform value in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns a uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Returns a uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty set");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Draws from an exponential distribution with the given mean.
+    ///
+    /// Used for Poisson inter-arrival gaps and think times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive, got {mean}");
+        Exp::new(1.0 / mean)
+            .expect("rate validated above")
+            .sample(&mut self.inner)
+    }
+
+    /// Draws from a log-normal distribution parameterized by the mean and
+    /// standard deviation of the *underlying normal* (`mu`, `sigma`).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        LogNormal::new(mu, sigma)
+            .expect("lognormal parameters must be finite")
+            .sample(&mut self.inner)
+    }
+
+    /// Draws a rank in `[1, n]` from a Zipf distribution with exponent `s`.
+    ///
+    /// Used to skew session popularity when modelling hot conversations.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        Zipf::new(n, s)
+            .expect("zipf parameters must be valid")
+            .sample(&mut self.inner) as u64
+    }
+
+    /// Draws an index from a categorical distribution given unnormalized
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn categorical(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "categorical needs positive total weight"
+        );
+        let mut x = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            x -= w;
+            if x < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn forked_streams_differ_from_parent() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut child = a.fork();
+        let xs: Vec<u64> = (0..8).map(|_| (a.f64() * 1e9) as u64).collect();
+        let ys: Vec<u64> = (0..8).map(|_| (child.f64() * 1e9) as u64).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn exponential_mean_is_approximately_right() {
+        let mut rng = SimRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.exp(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean was {mean}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[rng.categorical(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut head = 0u32;
+        let n = 10_000;
+        for _ in 0..n {
+            if rng.zipf(1_000, 1.1) <= 10 {
+                head += 1;
+            }
+        }
+        // The top 1% of ranks should absorb far more than 1% of draws.
+        assert!(head as f64 / n as f64 > 0.3, "head fraction {head}/{n}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+}

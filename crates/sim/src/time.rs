@@ -1,0 +1,310 @@
+//! Typed virtual time: nanosecond instants ([`Time`]) and durations
+//! ([`Dur`]).
+//!
+//! Keeping instants and durations as distinct newtypes prevents the classic
+//! unit bugs (adding two instants, subtracting a duration from a duration
+//! expecting an instant, mixing seconds and nanoseconds).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of nanoseconds per second.
+const NANOS_PER_SEC: f64 = 1_000_000_000.0;
+
+/// A virtual instant, in nanoseconds since simulation start.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Time(u64);
+
+/// A virtual duration, in nanoseconds.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// The greatest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Time {
+        Time(ns)
+    }
+
+    /// Creates an instant from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite; virtual time never runs
+    /// backwards.
+    pub fn from_secs_f64(secs: f64) -> Time {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid instant {secs}");
+        Time((secs * NANOS_PER_SEC).round() as u64)
+    }
+
+    /// Creates an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `self - other`, or [`Dur::ZERO`] when `other` is later.
+    pub fn saturating_since(self, other: Time) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Dur {
+    /// The zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Dur {
+        Dur(ns)
+    }
+
+    /// Creates a duration from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Dur {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
+        Dur((secs * NANOS_PER_SEC).round() as u64)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us * 1_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / NANOS_PER_SEC
+    }
+
+    /// Returns the duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Dur) -> Dur {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `self - other`, clamping at zero.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0.checked_add(rhs.0).expect("virtual time overflow"))
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        Dur(self
+            .0
+            .checked_sub(rhs.0)
+            .expect("subtracted a later instant from an earlier one"))
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Dur) -> Time {
+        Time(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("instant underflow before simulation start"),
+        )
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Dur> for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl SubAssign<Dur> for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: f64) -> Dur {
+        assert!(
+            rhs.is_finite() && rhs >= 0.0,
+            "invalid duration scale {rhs}"
+        );
+        Dur((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0.checked_mul(rhs).expect("duration overflow"))
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_plus_duration_round_trips() {
+        let t = Time::from_secs_f64(1.5);
+        let d = Dur::from_millis(250);
+        assert_eq!((t + d).as_secs_f64(), 1.75);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn max_min_pick_correct_instants() {
+        let a = Time::from_nanos(10);
+        let b = Time::from_nanos(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn saturating_since_clamps_at_zero() {
+        let a = Time::from_nanos(10);
+        let b = Time::from_nanos(20);
+        assert_eq!(a.saturating_since(b), Dur::ZERO);
+        assert_eq!(b.saturating_since(a), Dur::from_nanos(10));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = Dur::from_secs_f64(2.0);
+        assert_eq!((d * 0.5).as_secs_f64(), 1.0);
+        assert_eq!((d * 3u64).as_secs_f64(), 6.0);
+        assert_eq!((d / 4).as_secs_f64(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn subtracting_later_instant_panics() {
+        let a = Time::from_nanos(10);
+        let b = Time::from_nanos(20);
+        let _ = a - b;
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Dur::from_secs_f64(1.5).to_string(), "1.500s");
+        assert_eq!(Dur::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Dur::from_nanos(42).to_string(), "42ns");
+    }
+}

@@ -1,0 +1,227 @@
+//! Fixed-size block allocation for one storage tier.
+//!
+//! §4.1: "The host memory and disks are managed in the form of blocks to
+//! improve storage utilization. Our internal storage allocator allocates
+//! and deallocates storage blocks on demand." Blocks are identity-tracked
+//! so the same block is never double-allocated or double-freed, and tests
+//! can verify conservation.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one block within a tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// An allocation error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// Not enough free blocks for the request.
+    OutOfBlocks {
+        /// Blocks requested.
+        requested: u32,
+        /// Blocks free.
+        free: u32,
+    },
+    /// A block was freed that was not allocated.
+    DoubleFree(BlockId),
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BlockError::OutOfBlocks { requested, free } => {
+                write!(f, "out of blocks: requested {requested}, free {free}")
+            }
+            BlockError::DoubleFree(id) => write!(f, "double free of block {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// A block allocator over a fixed-capacity tier.
+#[derive(Debug, Clone)]
+pub struct BlockPool {
+    name: &'static str,
+    block_bytes: u64,
+    n_blocks: u32,
+    /// Free blocks, popped from the back (LIFO for locality).
+    free: Vec<BlockId>,
+    /// `allocated[i]` is true when block `i` is in use.
+    allocated: Vec<bool>,
+}
+
+impl BlockPool {
+    /// Creates a tier of `capacity_bytes`, rounded down to whole blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is zero or the tier exceeds `u32::MAX`
+    /// blocks.
+    pub fn new(name: &'static str, capacity_bytes: u64, block_bytes: u64) -> Self {
+        assert!(block_bytes > 0, "block size must be positive");
+        let n = capacity_bytes / block_bytes;
+        assert!(n <= u32::MAX as u64, "tier too large for u32 block ids");
+        let n_blocks = n as u32;
+        BlockPool {
+            name,
+            block_bytes,
+            n_blocks,
+            free: (0..n_blocks).rev().map(BlockId).collect(),
+            allocated: vec![false; n_blocks as usize],
+        }
+    }
+
+    /// Returns the tier's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Returns the size of one block in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Returns the total number of blocks.
+    pub fn n_blocks(&self) -> u32 {
+        self.n_blocks
+    }
+
+    /// Returns the number of free blocks.
+    pub fn free_blocks(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Returns the number of allocated blocks.
+    pub fn used_blocks(&self) -> u32 {
+        self.n_blocks - self.free_blocks()
+    }
+
+    /// Returns the number of blocks needed to hold `bytes`.
+    pub fn blocks_for(&self, bytes: u64) -> u32 {
+        bytes.div_ceil(self.block_bytes) as u32
+    }
+
+    /// Returns `true` when `bytes` more would fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.blocks_for(bytes) <= self.free_blocks()
+    }
+
+    /// Returns free capacity in bytes (whole blocks).
+    pub fn free_bytes(&self) -> u64 {
+        self.free_blocks() as u64 * self.block_bytes
+    }
+
+    /// Returns total capacity in bytes (whole blocks).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.n_blocks as u64 * self.block_bytes
+    }
+
+    /// Allocates enough blocks for `bytes`, or fails without side effects.
+    pub fn alloc(&mut self, bytes: u64) -> Result<Vec<BlockId>, BlockError> {
+        let need = self.blocks_for(bytes);
+        if need > self.free_blocks() {
+            return Err(BlockError::OutOfBlocks {
+                requested: need,
+                free: self.free_blocks(),
+            });
+        }
+        let mut out = Vec::with_capacity(need as usize);
+        for _ in 0..need {
+            let id = self.free.pop().expect("count checked above");
+            self.allocated[id.0 as usize] = true;
+            out.push(id);
+        }
+        Ok(out)
+    }
+
+    /// Frees previously allocated blocks.
+    pub fn free(&mut self, blocks: &[BlockId]) -> Result<(), BlockError> {
+        for &id in blocks {
+            if !self.allocated[id.0 as usize] {
+                return Err(BlockError::DoubleFree(id));
+            }
+        }
+        for &id in blocks {
+            self.allocated[id.0 as usize] = false;
+            self.free.push(id);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alloc_rounds_up_to_blocks() {
+        let mut p = BlockPool::new("dram", 1000, 100);
+        assert_eq!(p.n_blocks(), 10);
+        let a = p.alloc(250).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(p.used_blocks(), 3);
+        p.free(&a).unwrap();
+        assert_eq!(p.used_blocks(), 0);
+    }
+
+    #[test]
+    fn exhaustion_fails_cleanly() {
+        let mut p = BlockPool::new("dram", 300, 100);
+        let _a = p.alloc(300).unwrap();
+        let err = p.alloc(1).unwrap_err();
+        assert_eq!(
+            err,
+            BlockError::OutOfBlocks {
+                requested: 1,
+                free: 0
+            }
+        );
+    }
+
+    #[test]
+    fn double_free_detected_atomically() {
+        let mut p = BlockPool::new("dram", 300, 100);
+        let a = p.alloc(200).unwrap();
+        p.free(&a).unwrap();
+        // Second free of the same blocks must fail and change nothing.
+        assert!(matches!(p.free(&a), Err(BlockError::DoubleFree(_))));
+        assert_eq!(p.free_blocks(), 3);
+    }
+
+    #[test]
+    fn zero_byte_alloc_takes_no_blocks() {
+        let mut p = BlockPool::new("dram", 300, 100);
+        assert!(p.alloc(0).unwrap().is_empty());
+        assert_eq!(p.used_blocks(), 0);
+    }
+
+    proptest! {
+        /// Blocks are conserved and never double-allocated across a random
+        /// sequence of allocs and frees.
+        #[test]
+        fn conservation(ops in proptest::collection::vec(0u64..4_000, 1..60)) {
+            let mut p = BlockPool::new("t", 100_000, 512);
+            let total = p.n_blocks();
+            let mut live: Vec<Vec<BlockId>> = Vec::new();
+            for (i, bytes) in ops.iter().enumerate() {
+                if i % 3 == 2 && !live.is_empty() {
+                    let blocks = live.swap_remove(i % live.len());
+                    p.free(&blocks).unwrap();
+                } else if let Ok(blocks) = p.alloc(*bytes) {
+                    live.push(blocks);
+                }
+                let held: u32 = live.iter().map(|b| b.len() as u32).sum();
+                prop_assert_eq!(p.used_blocks(), held);
+                prop_assert_eq!(p.free_blocks() + p.used_blocks(), total);
+                // No block id appears twice across live allocations.
+                let mut all: Vec<u32> = live.iter().flatten().map(|b| b.0).collect();
+                all.sort_unstable();
+                let len_before = all.len();
+                all.dedup();
+                prop_assert_eq!(all.len(), len_before);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Session-granularity cache entries.
+
+use serde::{Deserialize, Serialize};
+use sim::Time;
+
+use crate::BlockId;
+
+/// Identifier of a conversation session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Which tier currently holds a session's KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Host memory: fast PCIe path to HBM.
+    Dram,
+    /// SSD: must be staged through DRAM before use.
+    Disk,
+}
+
+/// One session's cached KV: placement, size and access metadata.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// KV payload size in bytes (grows each turn, shrinks on truncation).
+    pub bytes: u64,
+    /// Number of cached tokens the bytes correspond to.
+    pub tokens: u64,
+    /// Current tier.
+    pub placement: Placement,
+    /// Blocks backing the entry in its current tier.
+    pub blocks: Vec<BlockId>,
+    /// Last time the entry was saved or loaded (LRU / TTL input).
+    pub last_access: Time,
+    /// Monotonic insertion sequence (FIFO input).
+    pub insert_seq: u64,
+    /// Pinned entries are mid-transfer or in use and exempt from eviction.
+    pub pinned: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_id_displays_compactly() {
+        assert_eq!(SessionId(42).to_string(), "s42");
+    }
+
+    #[test]
+    fn placement_equality() {
+        assert_eq!(Placement::Dram, Placement::Dram);
+        assert_ne!(Placement::Dram, Placement::Disk);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! AttentionStore: the hierarchical KV caching system of CachedAttention.
+//!
+//! When a conversation session goes inactive, the serving engine hands its
+//! KV cache to this store; when the session resumes, the engine asks for it
+//! back. Internally the store manages two tiers — host DRAM and SSD — in
+//! fixed-size blocks (§4.1), at *session granularity*: a session's KV is
+//! either all useful or not at all (§3.3.2), so sessions move between tiers
+//! whole.
+//!
+//! The two placement schemes from §3.3:
+//!
+//! - **Scheduler-aware fetching**: a look-ahead prefetch window over the
+//!   job scheduler's queue, sized `C_mem / S_kv`, pulls disk-resident KV
+//!   into DRAM before its job runs.
+//! - **Scheduler-aware eviction**: a look-ahead eviction window sized
+//!   `(C_mem + C_disk) / S_kv`. Entries appearing in the window are
+//!   exempt where possible; when all candidates are in the window, the one
+//!   nearest the tail (furthest future use — Belady with a horizon) goes
+//!   first. DRAM victims demote to disk; disk victims leave the system.
+//!
+//! [`Lru`] and [`Fifo`] baselines (Figure 21) share the same tiers but see
+//! no queue and never prefetch.
+//!
+//! The store is *pure bookkeeping*: methods take the current virtual time
+//! and return [`Transfer`] descriptions; the serving engine charges those
+//! transfers on the simulated PCIe/SSD links.
+
+mod block;
+mod entry;
+mod policy;
+#[allow(clippy::module_inception)]
+mod store;
+
+pub use block::{BlockId, BlockPool};
+pub use entry::{Entry, Placement, SessionId};
+pub use policy::{EvictionPolicy, Fifo, Lru, PolicyKind, QueueView, SchedulerAware};
+pub use store::{AttentionStore, Lookup, StoreConfig, StoreStats, Transfer, TransferDir};

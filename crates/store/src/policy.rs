@@ -1,0 +1,286 @@
+//! Eviction policies: scheduler-aware (the paper's), LRU and FIFO.
+
+use std::collections::HashMap;
+
+use crate::{Entry, SessionId};
+
+/// A read-only view of the job scheduler's queue, head first.
+///
+/// The scheduler-aware schemes (§3.3) are built on exactly this: the queue
+/// tells the store which sessions will be needed and in what order.
+pub struct QueueView {
+    order: Vec<SessionId>,
+    pos: HashMap<SessionId, usize>,
+}
+
+impl QueueView {
+    /// Builds a view from the queue's session order (head first). When a
+    /// session appears more than once, its earliest position wins.
+    pub fn new(order: &[SessionId]) -> Self {
+        let mut pos = HashMap::with_capacity(order.len());
+        for (i, &sid) in order.iter().enumerate() {
+            pos.entry(sid).or_insert(i);
+        }
+        QueueView {
+            order: order.to_vec(),
+            pos,
+        }
+    }
+
+    /// An empty queue (what LRU/FIFO effectively see).
+    pub fn empty() -> Self {
+        QueueView::new(&[])
+    }
+
+    /// Returns the queue position of `sid` (0 = head), if present.
+    pub fn position(&self, sid: SessionId) -> Option<usize> {
+        self.pos.get(&sid).copied()
+    }
+
+    /// Returns the number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` when no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates the first `window` queued sessions, head first.
+    pub fn head(&self, window: usize) -> impl Iterator<Item = SessionId> + '_ {
+        self.order.iter().copied().take(window)
+    }
+}
+
+/// Which eviction policy an [`crate::AttentionStore`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's look-ahead policy (§3.3.2) with prefetching (§3.3.1).
+    SchedulerAware,
+    /// Least-recently-used baseline.
+    Lru,
+    /// First-in-first-out baseline.
+    Fifo,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn EvictionPolicy> {
+        match self {
+            PolicyKind::SchedulerAware => Box::new(SchedulerAware),
+            PolicyKind::Lru => Box::new(Lru),
+            PolicyKind::Fifo => Box::new(Fifo),
+        }
+    }
+}
+
+/// Chooses which session to evict from a tier.
+pub trait EvictionPolicy {
+    /// Picks a victim among `candidates` (unpinned entries of one tier).
+    ///
+    /// `queue` is the scheduler's queue and `window` the look-ahead
+    /// eviction window length in queue positions; history-only policies
+    /// ignore both. Returns `None` when there are no candidates.
+    fn choose_victim(
+        &self,
+        candidates: &[(SessionId, &Entry)],
+        queue: &QueueView,
+        window: usize,
+    ) -> Option<SessionId>;
+
+    /// Returns `true` when the store should run the look-ahead prefetcher
+    /// for this policy.
+    fn wants_prefetch(&self) -> bool {
+        false
+    }
+}
+
+/// Least-recently-used victim selection.
+pub struct Lru;
+
+impl EvictionPolicy for Lru {
+    fn choose_victim(
+        &self,
+        candidates: &[(SessionId, &Entry)],
+        _queue: &QueueView,
+        _window: usize,
+    ) -> Option<SessionId> {
+        candidates
+            .iter()
+            .min_by_key(|(sid, e)| (e.last_access, e.insert_seq, *sid))
+            .map(|&(sid, _)| sid)
+    }
+}
+
+/// First-in-first-out victim selection.
+pub struct Fifo;
+
+impl EvictionPolicy for Fifo {
+    fn choose_victim(
+        &self,
+        candidates: &[(SessionId, &Entry)],
+        _queue: &QueueView,
+        _window: usize,
+    ) -> Option<SessionId> {
+        candidates
+            .iter()
+            .min_by_key(|(sid, e)| (e.insert_seq, *sid))
+            .map(|&(sid, _)| sid)
+    }
+}
+
+/// The paper's scheduler-aware eviction (§3.3.2).
+///
+/// Entries whose sessions do **not** appear in the look-ahead eviction
+/// window are preferred victims (their next use, if any, is beyond the
+/// horizon); among them the least recently used goes first. When every
+/// candidate is in the window, the one nearest the **tail** — the furthest
+/// future use, i.e. the Belady choice within the horizon — is evicted.
+pub struct SchedulerAware;
+
+impl EvictionPolicy for SchedulerAware {
+    fn choose_victim(
+        &self,
+        candidates: &[(SessionId, &Entry)],
+        queue: &QueueView,
+        window: usize,
+    ) -> Option<SessionId> {
+        let in_window = |sid: SessionId| match queue.position(sid) {
+            Some(p) if p < window => Some(p),
+            _ => None,
+        };
+        // Preferred: not referenced within the window; LRU among them.
+        if let Some(&(sid, _)) = candidates
+            .iter()
+            .filter(|&&(sid, _)| in_window(sid).is_none())
+            .min_by_key(|(sid, e)| (e.last_access, e.insert_seq, *sid))
+        {
+            return Some(sid);
+        }
+        // Everything is about to be used: evict the furthest-future one.
+        candidates
+            .iter()
+            .max_by_key(|&&(sid, _)| (in_window(sid).expect("filtered above"), sid))
+            .map(|&(sid, _)| sid)
+    }
+
+    fn wants_prefetch(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Time;
+
+    fn entry(last_access_ns: u64, insert_seq: u64) -> Entry {
+        Entry {
+            bytes: 100,
+            tokens: 10,
+            placement: crate::Placement::Dram,
+            blocks: Vec::new(),
+            last_access: Time::from_nanos(last_access_ns),
+            insert_seq,
+            pinned: false,
+        }
+    }
+
+    #[test]
+    fn lru_picks_oldest_access() {
+        let a = entry(50, 0);
+        let b = entry(10, 1);
+        let c = entry(30, 2);
+        let cands = vec![(SessionId(1), &a), (SessionId(2), &b), (SessionId(3), &c)];
+        assert_eq!(
+            Lru.choose_victim(&cands, &QueueView::empty(), 0),
+            Some(SessionId(2))
+        );
+    }
+
+    #[test]
+    fn fifo_picks_earliest_insert() {
+        let a = entry(50, 7);
+        let b = entry(10, 9);
+        let cands = vec![(SessionId(1), &a), (SessionId(2), &b)];
+        assert_eq!(
+            Fifo.choose_victim(&cands, &QueueView::empty(), 0),
+            Some(SessionId(1))
+        );
+    }
+
+    #[test]
+    fn scheduler_aware_prefers_out_of_window() {
+        // Queue: [s1, s2]; s3 is not queued, so it must be the victim even
+        // though it is the most recently used.
+        let a = entry(10, 0);
+        let b = entry(20, 1);
+        let c = entry(99, 2);
+        let cands = vec![(SessionId(1), &a), (SessionId(2), &b), (SessionId(3), &c)];
+        let q = QueueView::new(&[SessionId(1), SessionId(2)]);
+        assert_eq!(
+            SchedulerAware.choose_victim(&cands, &q, 10),
+            Some(SessionId(3))
+        );
+    }
+
+    #[test]
+    fn scheduler_aware_falls_back_to_tail_of_window() {
+        // All candidates are queued: the one nearest the tail goes.
+        let a = entry(10, 0);
+        let b = entry(20, 1);
+        let cands = vec![(SessionId(1), &a), (SessionId(2), &b)];
+        let q = QueueView::new(&[SessionId(2), SessionId(1)]);
+        assert_eq!(
+            SchedulerAware.choose_victim(&cands, &q, 10),
+            Some(SessionId(1))
+        );
+    }
+
+    #[test]
+    fn window_truncates_the_queue() {
+        // s2 is queued but beyond the window, so it counts as
+        // out-of-window and is preferred over in-window s1.
+        let a = entry(10, 0);
+        let b = entry(5, 1);
+        let cands = vec![(SessionId(1), &a), (SessionId(2), &b)];
+        let q = QueueView::new(&[SessionId(1), SessionId(2)]);
+        assert_eq!(
+            SchedulerAware.choose_victim(&cands, &q, 1),
+            Some(SessionId(2))
+        );
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        for kind in [
+            PolicyKind::SchedulerAware,
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+        ] {
+            assert_eq!(
+                kind.build().choose_victim(&[], &QueueView::empty(), 4),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn only_scheduler_aware_prefetches() {
+        assert!(PolicyKind::SchedulerAware.build().wants_prefetch());
+        assert!(!PolicyKind::Lru.build().wants_prefetch());
+        assert!(!PolicyKind::Fifo.build().wants_prefetch());
+    }
+
+    #[test]
+    fn queue_view_duplicate_sessions_keep_earliest_position() {
+        let q = QueueView::new(&[SessionId(5), SessionId(6), SessionId(5)]);
+        assert_eq!(q.position(SessionId(5)), Some(0));
+        assert_eq!(q.len(), 3);
+        assert_eq!(
+            q.head(2).collect::<Vec<_>>(),
+            vec![SessionId(5), SessionId(6)]
+        );
+    }
+}

@@ -1,0 +1,906 @@
+//! The AttentionStore: tiered, session-granularity KV cache bookkeeping.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sim::{Dur, Time};
+
+use crate::{BlockPool, Entry, Placement, PolicyKind, QueueView, SessionId};
+
+/// Direction of a tier-to-tier movement the engine must charge on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Promotion: SSD → host DRAM (prefetch or demand fetch).
+    DiskToDram,
+    /// Demotion: host DRAM → SSD (eviction).
+    DramToDisk,
+}
+
+/// One tier movement produced by a store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// The session whose KV moved.
+    pub session: SessionId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Movement direction.
+    pub dir: TransferDir,
+}
+
+/// Result of a session lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// KV resident in host DRAM: one PCIe hop from HBM.
+    Dram,
+    /// KV resident on SSD: must stage through DRAM first.
+    Disk,
+    /// No KV cached for this session.
+    Miss,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Host DRAM capacity for KV caching, bytes.
+    pub dram_bytes: u64,
+    /// SSD capacity for KV caching, bytes.
+    pub disk_bytes: u64,
+    /// Allocation block size, bytes.
+    pub block_bytes: u64,
+    /// Eviction policy (and, for scheduler-aware, prefetching).
+    #[serde(skip, default = "default_policy")]
+    pub policy: PolicyKind,
+    /// Time-to-live since last access; `None` = keep until capacity
+    /// pressure (§4.3.6 sets 1 hour for the capacity study).
+    pub ttl: Option<Dur>,
+    /// Fraction of DRAM kept free as the fetch buffer (§3.3.1); background
+    /// demotion restores it.
+    pub dram_reserve_fraction: f64,
+    /// Assumed average session KV size before any entry exists, bytes
+    /// (window sizing fallback).
+    pub default_session_bytes: u64,
+}
+
+fn default_policy() -> PolicyKind {
+    PolicyKind::SchedulerAware
+}
+
+impl Default for StoreConfig {
+    /// The paper's testbed store: 128 GB DRAM, 10 TB SSD, 16 MiB blocks,
+    /// scheduler-aware policy, no TTL, 10% DRAM reserve.
+    fn default() -> Self {
+        StoreConfig {
+            dram_bytes: 128_000_000_000,
+            disk_bytes: 10_000_000_000_000,
+            block_bytes: 16 * 1024 * 1024,
+            policy: PolicyKind::SchedulerAware,
+            ttl: None,
+            dram_reserve_fraction: 0.10,
+            default_session_bytes: 1_000_000_000,
+        }
+    }
+}
+
+/// Cumulative store statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Sessions saved or updated.
+    pub saves: u64,
+    /// Bytes written into the store by saves (total sizes).
+    pub save_bytes: u64,
+    /// DRAM → disk demotions.
+    pub demotions: u64,
+    /// Bytes demoted.
+    pub demotion_bytes: u64,
+    /// Disk → DRAM promotions (prefetch + demand).
+    pub promotions: u64,
+    /// Bytes promoted.
+    pub promotion_bytes: u64,
+    /// Entries dropped because capacity ran out everywhere.
+    pub drops_capacity: u64,
+    /// Entries dropped by TTL expiry.
+    pub drops_ttl: u64,
+    /// Entries dropped by explicit invalidation.
+    pub drops_invalidated: u64,
+    /// Saves rejected because the session could not fit at all.
+    pub save_rejected: u64,
+    /// Saves that spilled directly to disk because DRAM could not make
+    /// room (e.g. everything resident was pinned).
+    pub spills_to_disk: u64,
+}
+
+/// The hierarchical KV caching system (§3.3).
+///
+/// Pure bookkeeping over two [`BlockPool`] tiers; every mutation returns
+/// the [`Transfer`]s the serving engine must charge on simulated links.
+///
+/// # Examples
+///
+/// ```
+/// use sim::Time;
+/// use store::{AttentionStore, Lookup, QueueView, SessionId, StoreConfig};
+///
+/// let mut store = AttentionStore::new(StoreConfig::default());
+/// let queue = QueueView::empty();
+/// // A finished conversation turn saves its session's KV cache.
+/// let (_, saved) = store.save(SessionId(7), 1_500_000_000, 1_900, Time::ZERO, &queue);
+/// assert!(saved);
+/// // The session resumes: its KV is found in the fast tier and pinned.
+/// let (found, _) = store.load_for_use(SessionId(7), Time::from_millis(60_000), &queue);
+/// assert_eq!(found, Lookup::Dram);
+/// ```
+pub struct AttentionStore {
+    cfg: StoreConfig,
+    policy: Box<dyn crate::EvictionPolicy>,
+    dram: BlockPool,
+    disk: BlockPool,
+    entries: BTreeMap<SessionId, Entry>,
+    next_seq: u64,
+    stats: StoreStats,
+}
+
+impl AttentionStore {
+    /// Creates a store from a configuration.
+    pub fn new(cfg: StoreConfig) -> Self {
+        let policy = cfg.policy.build();
+        let dram = BlockPool::new("dram", cfg.dram_bytes, cfg.block_bytes);
+        let disk = BlockPool::new("disk", cfg.disk_bytes, cfg.block_bytes);
+        AttentionStore {
+            cfg,
+            policy,
+            dram,
+            disk,
+            entries: BTreeMap::new(),
+            next_seq: 0,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Returns where `sid`'s KV currently lives.
+    pub fn lookup(&self, sid: SessionId) -> Lookup {
+        match self.entries.get(&sid).map(|e| e.placement) {
+            Some(Placement::Dram) => Lookup::Dram,
+            Some(Placement::Disk) => Lookup::Disk,
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Returns the entry for `sid`, if cached.
+    pub fn entry(&self, sid: SessionId) -> Option<&Entry> {
+        self.entries.get(&sid)
+    }
+
+    /// Returns the number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no sessions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns bytes resident in DRAM (whole blocks).
+    pub fn dram_used_bytes(&self) -> u64 {
+        self.dram.used_blocks() as u64 * self.dram.block_bytes()
+    }
+
+    /// Returns bytes resident on disk (whole blocks).
+    pub fn disk_used_bytes(&self) -> u64 {
+        self.disk.used_blocks() as u64 * self.disk.block_bytes()
+    }
+
+    /// Average session KV size, `S_kv`, used to size the look-ahead
+    /// windows; falls back to the configured default when empty.
+    pub fn avg_session_bytes(&self) -> u64 {
+        if self.entries.is_empty() {
+            return self.cfg.default_session_bytes.max(1);
+        }
+        let total: u64 = self.entries.values().map(|e| e.bytes).sum();
+        (total / self.entries.len() as u64).max(1)
+    }
+
+    /// Look-ahead prefetch window length, `L_pw = C_mem / S_kv` (§3.3.1).
+    pub fn prefetch_window(&self) -> usize {
+        (self.cfg.dram_bytes / self.avg_session_bytes()) as usize
+    }
+
+    /// Look-ahead eviction window length,
+    /// `L_ev = (C_mem + C_disk) / S_kv` (§3.3.2).
+    pub fn eviction_window(&self) -> usize {
+        ((self.cfg.dram_bytes + self.cfg.disk_bytes) / self.avg_session_bytes()) as usize
+    }
+
+    /// Unpinned candidates of one tier, sorted by session id for
+    /// deterministic policy input.
+    fn candidates(&self, tier: Placement, exclude: Option<SessionId>) -> Vec<(SessionId, &Entry)> {
+        self.entries
+            .iter()
+            .filter(|(sid, e)| e.placement == tier && !e.pinned && Some(**sid) != exclude)
+            .map(|(&sid, e)| (sid, e))
+            .collect()
+    }
+
+    /// Drops `sid` entirely, freeing its blocks.
+    fn drop_entry(&mut self, sid: SessionId) {
+        if let Some(e) = self.entries.remove(&sid) {
+            let pool = match e.placement {
+                Placement::Dram => &mut self.dram,
+                Placement::Disk => &mut self.disk,
+            };
+            pool.free(&e.blocks).expect("entry blocks are valid");
+        }
+    }
+
+    /// Evicts one entry out of the disk tier (out of the system).
+    /// Returns `false` when no candidate exists.
+    fn evict_from_disk(&mut self, queue: &QueueView, exclude: Option<SessionId>) -> bool {
+        let window = self.eviction_window();
+        let cands = self.candidates(Placement::Disk, exclude);
+        let Some(victim) = self.policy.choose_victim(&cands, queue, window) else {
+            return false;
+        };
+        self.drop_entry(victim);
+        self.stats.drops_capacity += 1;
+        true
+    }
+
+    /// Picks the DRAM entry the policy would demote next.
+    fn choose_dram_victim(
+        &self,
+        queue: &QueueView,
+        exclude: Option<SessionId>,
+    ) -> Option<SessionId> {
+        let window = self.eviction_window();
+        let cands = self.candidates(Placement::Dram, exclude);
+        self.policy.choose_victim(&cands, queue, window)
+    }
+
+    /// Demotes `victim` to disk (or out of the system when the disk cannot
+    /// make room). Returns the demotion transfer (`None` when the entry
+    /// was dropped instead). `exclude` protects a session being staged by
+    /// the caller from being evicted out of the disk tier.
+    fn demote_session(
+        &mut self,
+        victim: SessionId,
+        queue: &QueueView,
+        exclude: Option<SessionId>,
+    ) -> Option<Transfer> {
+        let bytes = self.entries[&victim].bytes;
+        // Make room on disk; drop disk entries if necessary.
+        while !self.disk.fits(bytes) {
+            if !self.evict_from_disk(queue, exclude) {
+                // Disk cannot hold this entry at all: drop it instead.
+                self.drop_entry(victim);
+                self.stats.drops_capacity += 1;
+                return None;
+            }
+        }
+        let new_blocks = self.disk.alloc(bytes).expect("fit ensured above");
+        let e = self.entries.get_mut(&victim).expect("victim exists");
+        let old_blocks = std::mem::replace(&mut e.blocks, new_blocks);
+        e.placement = Placement::Disk;
+        self.dram.free(&old_blocks).expect("blocks were in dram");
+        self.stats.demotions += 1;
+        self.stats.demotion_bytes += bytes;
+        Some(Transfer {
+            session: victim,
+            bytes,
+            dir: TransferDir::DramToDisk,
+        })
+    }
+
+    /// Frees DRAM until `bytes` fit, demoting victims; returns the
+    /// demotion transfers, or `None` when room cannot be made.
+    fn make_dram_room(
+        &mut self,
+        bytes: u64,
+        queue: &QueueView,
+        exclude: Option<SessionId>,
+        out: &mut Vec<Transfer>,
+    ) -> bool {
+        if self.dram.blocks_for(bytes) > self.dram.n_blocks() {
+            return false;
+        }
+        while !self.dram.fits(bytes) {
+            let Some(victim) = self.choose_dram_victim(queue, exclude) else {
+                return false;
+            };
+            if let Some(t) = self.demote_session(victim, queue, exclude) {
+                out.push(t);
+            }
+        }
+        true
+    }
+
+    /// Saves (or updates) `sid`'s KV cache: `total_bytes` for
+    /// `total_tokens`, landing in DRAM. Returns the demotion transfers
+    /// made to fit it and whether the save succeeded.
+    ///
+    /// Updating an existing entry reallocates it at the new size; an entry
+    /// previously demoted to disk is re-homed in DRAM (the fresh copy just
+    /// came from HBM, so no disk read is charged).
+    pub fn save(
+        &mut self,
+        sid: SessionId,
+        total_bytes: u64,
+        total_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> (Vec<Transfer>, bool) {
+        let mut transfers = Vec::new();
+        // Free the stale copy first; the engine holds the bytes in HBM.
+        self.drop_entry(sid);
+        // Prefer DRAM; when it cannot make room (e.g. everything resident
+        // is pinned by the running batch), spill straight to disk — the
+        // write stream targets whichever tier has space.
+        let placement = if self.make_dram_room(total_bytes, queue, None, &mut transfers) {
+            Placement::Dram
+        } else {
+            if self.disk.blocks_for(total_bytes) > self.disk.n_blocks() {
+                self.stats.save_rejected += 1;
+                return (transfers, false);
+            }
+            while !self.disk.fits(total_bytes) {
+                if !self.evict_from_disk(queue, None) {
+                    self.stats.save_rejected += 1;
+                    return (transfers, false);
+                }
+            }
+            self.stats.spills_to_disk += 1;
+            // The write stream lands on the slow tier: report it so the
+            // engine charges the disk-write link.
+            transfers.push(Transfer {
+                session: sid,
+                bytes: total_bytes,
+                dir: TransferDir::DramToDisk,
+            });
+            Placement::Disk
+        };
+        let pool = match placement {
+            Placement::Dram => &mut self.dram,
+            Placement::Disk => &mut self.disk,
+        };
+        let blocks = pool.alloc(total_bytes).expect("room made above");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(
+            sid,
+            Entry {
+                bytes: total_bytes,
+                tokens: total_tokens,
+                placement,
+                blocks,
+                last_access: now,
+                insert_seq: seq,
+                pinned: false,
+            },
+        );
+        self.stats.saves += 1;
+        self.stats.save_bytes += total_bytes;
+        (transfers, true)
+    }
+
+    /// Brings `sid`'s KV into DRAM for use and pins it.
+    ///
+    /// Returns where the KV was found plus any transfers (the demand
+    /// promotion and the demotions that made room). Returns
+    /// `(Lookup::Miss, vec![])` when the session has no cached KV.
+    pub fn load_for_use(
+        &mut self,
+        sid: SessionId,
+        now: Time,
+        queue: &QueueView,
+    ) -> (Lookup, Vec<Transfer>) {
+        let found = self.lookup(sid);
+        let mut transfers = Vec::new();
+        match found {
+            Lookup::Miss => {}
+            Lookup::Dram => {
+                let e = self.entries.get_mut(&sid).expect("looked up");
+                e.last_access = now;
+                e.pinned = true;
+            }
+            Lookup::Disk => {
+                let bytes = self.entries[&sid].bytes;
+                if self.make_dram_room(bytes, queue, Some(sid), &mut transfers) {
+                    let new_blocks = self.dram.alloc(bytes).expect("room made");
+                    let e = self.entries.get_mut(&sid).expect("looked up");
+                    let old = std::mem::replace(&mut e.blocks, new_blocks);
+                    e.placement = Placement::Dram;
+                    e.last_access = now;
+                    e.pinned = true;
+                    self.disk.free(&old).expect("blocks were on disk");
+                    self.stats.promotions += 1;
+                    self.stats.promotion_bytes += bytes;
+                    transfers.push(Transfer {
+                        session: sid,
+                        bytes,
+                        dir: TransferDir::DiskToDram,
+                    });
+                } else {
+                    // DRAM cannot stage it (pathological sizing): serve
+                    // straight from disk; pin in place.
+                    let e = self.entries.get_mut(&sid).expect("looked up");
+                    e.last_access = now;
+                    e.pinned = true;
+                }
+            }
+        }
+        (found, transfers)
+    }
+
+    /// Unpins `sid` after the engine finished using (and re-saving) it.
+    pub fn unpin(&mut self, sid: SessionId) {
+        if let Some(e) = self.entries.get_mut(&sid) {
+            e.pinned = false;
+        }
+    }
+
+    /// Runs the look-ahead prefetcher (§3.3.1): promotes disk-resident KV
+    /// of queued sessions within `L_pw` into free DRAM, then restores the
+    /// DRAM reserve by demoting cold entries.
+    ///
+    /// No-op for history-only policies (LRU/FIFO cannot see the queue).
+    pub fn prefetch(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
+        if !self.policy.wants_prefetch() {
+            return Vec::new();
+        }
+        let mut transfers = Vec::new();
+        let window = self.prefetch_window();
+        let targets: Vec<(usize, SessionId)> = queue
+            .head(window)
+            .enumerate()
+            .filter(|&(_, sid)| {
+                self.entries
+                    .get(&sid)
+                    .is_some_and(|e| e.placement == Placement::Disk && !e.pinned)
+            })
+            .collect();
+        'targets: for (pos, sid) in targets {
+            // Re-validate: an earlier iteration (or its evictions) may
+            // have promoted, demoted or dropped this session already —
+            // e.g. when the same session appears twice in the queue.
+            let still_disk = self
+                .entries
+                .get(&sid)
+                .is_some_and(|e| e.placement == Placement::Disk && !e.pinned);
+            if !still_disk {
+                continue;
+            }
+            let bytes = self.entries[&sid].bytes;
+            // Fetching into the buffer may demote cold entries (Fig 9:
+            // fetching Job 3 pushes Job 4 down) — but only entries whose
+            // next use is strictly further in the future than this
+            // target's, otherwise promote/demote ping-pong would saturate
+            // the disk.
+            while !self.dram.fits(bytes) {
+                let Some(victim) = self.choose_dram_victim(queue, Some(sid)) else {
+                    break 'targets;
+                };
+                if queue.position(victim).is_some_and(|vp| vp <= pos) {
+                    break 'targets;
+                }
+                if let Some(t) = self.demote_session(victim, queue, Some(sid)) {
+                    transfers.push(t);
+                }
+            }
+            let new_blocks = self.dram.alloc(bytes).expect("fit ensured above");
+            let e = self.entries.get_mut(&sid).expect("target exists");
+            let old = std::mem::replace(&mut e.blocks, new_blocks);
+            e.placement = Placement::Dram;
+            e.last_access = now;
+            self.disk.free(&old).expect("blocks were on disk");
+            self.stats.promotions += 1;
+            self.stats.promotion_bytes += bytes;
+            transfers.push(Transfer {
+                session: sid,
+                bytes,
+                dir: TransferDir::DiskToDram,
+            });
+        }
+        transfers.extend(self.maintain_reserve(queue));
+        transfers
+    }
+
+    /// Demotes cold entries until the configured DRAM reserve is free
+    /// again (§3.3.1's host-memory buffer).
+    ///
+    /// Only entries *outside* the look-ahead window are demoted here: the
+    /// reserve exists to absorb incoming saves and fetches, and demoting a
+    /// queued session would force the prefetcher to read it right back.
+    pub fn maintain_reserve(&mut self, queue: &QueueView) -> Vec<Transfer> {
+        let reserve = (self.cfg.dram_bytes as f64 * self.cfg.dram_reserve_fraction) as u64;
+        let window = self.eviction_window();
+        let mut transfers = Vec::new();
+        while self.dram.free_bytes() < reserve {
+            let Some(victim) = self.choose_dram_victim(queue, None) else {
+                break;
+            };
+            if queue.position(victim).is_some_and(|vp| vp < window) {
+                break;
+            }
+            if let Some(t) = self.demote_session(victim, queue, None) {
+                transfers.push(t);
+            }
+        }
+        transfers
+    }
+
+    /// Shrinks `sid`'s cached KV to `new_bytes`/`new_tokens` in place
+    /// (decoupled KV truncation, §3.4). No-op when not cached or when the
+    /// entry is not actually shrinking.
+    pub fn truncate(&mut self, sid: SessionId, new_bytes: u64, new_tokens: u64) {
+        let Some(e) = self.entries.get(&sid) else {
+            return;
+        };
+        if new_bytes >= e.bytes {
+            return;
+        }
+        let placement = e.placement;
+        let pool = match placement {
+            Placement::Dram => &mut self.dram,
+            Placement::Disk => &mut self.disk,
+        };
+        let old = self.entries.get_mut(&sid).expect("checked above");
+        let old_blocks = std::mem::take(&mut old.blocks);
+        pool.free(&old_blocks).expect("entry blocks valid");
+        let blocks = pool
+            .alloc(new_bytes)
+            .expect("shrinking realloc always fits");
+        let e = self.entries.get_mut(&sid).expect("checked above");
+        e.blocks = blocks;
+        e.bytes = new_bytes;
+        e.tokens = new_tokens;
+    }
+
+    /// Drops `sid`'s KV (context-overflow invalidation in OF mode, or an
+    /// aborted session).
+    pub fn invalidate(&mut self, sid: SessionId) {
+        if self.entries.contains_key(&sid) {
+            self.drop_entry(sid);
+            self.stats.drops_invalidated += 1;
+        }
+    }
+
+    /// Drops entries idle longer than the TTL; returns how many expired.
+    pub fn expire(&mut self, now: Time) -> u64 {
+        let Some(ttl) = self.cfg.ttl else {
+            return 0;
+        };
+        let dead: Vec<SessionId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.pinned && now.saturating_since(e.last_access) > ttl)
+            .map(|(&sid, _)| sid)
+            .collect();
+        let n = dead.len() as u64;
+        for sid in dead {
+            self.drop_entry(sid);
+        }
+        self.stats.drops_ttl += n;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1_000_000;
+
+    fn small_store(policy: PolicyKind) -> AttentionStore {
+        AttentionStore::new(StoreConfig {
+            dram_bytes: 10 * MB,
+            disk_bytes: 30 * MB,
+            block_bytes: MB,
+            policy,
+            ttl: None,
+            dram_reserve_fraction: 0.0,
+            default_session_bytes: MB,
+        })
+    }
+
+    fn sid(n: u64) -> SessionId {
+        SessionId(n)
+    }
+
+    #[test]
+    fn save_then_load_hits_dram() {
+        let mut s = small_store(PolicyKind::SchedulerAware);
+        let q = QueueView::empty();
+        let (t, ok) = s.save(sid(1), 3 * MB, 100, Time::ZERO, &q);
+        assert!(ok && t.is_empty());
+        assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+        let (found, t) = s.load_for_use(sid(1), Time::from_millis(5), &q);
+        assert_eq!(found, Lookup::Dram);
+        assert!(t.is_empty());
+        assert!(s.entry(sid(1)).unwrap().pinned);
+        s.unpin(sid(1));
+        assert!(!s.entry(sid(1)).unwrap().pinned);
+    }
+
+    #[test]
+    fn miss_for_unknown_session() {
+        let mut s = small_store(PolicyKind::SchedulerAware);
+        assert_eq!(s.lookup(sid(9)), Lookup::Miss);
+        let (found, t) = s.load_for_use(sid(9), Time::ZERO, &QueueView::empty());
+        assert_eq!(found, Lookup::Miss);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn dram_pressure_demotes_to_disk() {
+        let mut s = small_store(PolicyKind::Lru);
+        let q = QueueView::empty();
+        // Fill DRAM with three sessions, oldest access first.
+        for (i, t_ms) in [(1u64, 0u64), (2, 10), (3, 20)] {
+            s.save(sid(i), 3 * MB, 100, Time::from_millis(t_ms), &q);
+        }
+        // A fourth needs room: LRU demotes session 1.
+        let (transfers, ok) = s.save(sid(4), 3 * MB, 100, Time::from_millis(30), &q);
+        assert!(ok);
+        assert_eq!(transfers.len(), 1);
+        assert_eq!(transfers[0].session, sid(1));
+        assert_eq!(transfers[0].dir, TransferDir::DramToDisk);
+        assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+        assert_eq!(s.lookup(sid(4)), Lookup::Dram);
+    }
+
+    #[test]
+    fn disk_pressure_drops_out_of_system() {
+        let mut s = AttentionStore::new(StoreConfig {
+            dram_bytes: 4 * MB,
+            disk_bytes: 4 * MB,
+            block_bytes: MB,
+            policy: PolicyKind::Fifo,
+            ttl: None,
+            dram_reserve_fraction: 0.0,
+            default_session_bytes: MB,
+        });
+        let q = QueueView::empty();
+        // Three 4MB sessions through a 4MB DRAM + 4MB disk: the first one
+        // saved must eventually fall off the end of the hierarchy.
+        s.save(sid(1), 4 * MB, 10, Time::from_millis(0), &q);
+        s.save(sid(2), 4 * MB, 10, Time::from_millis(1), &q);
+        s.save(sid(3), 4 * MB, 10, Time::from_millis(2), &q);
+        assert_eq!(s.lookup(sid(1)), Lookup::Miss);
+        assert_eq!(s.lookup(sid(2)), Lookup::Disk);
+        assert_eq!(s.lookup(sid(3)), Lookup::Dram);
+        assert_eq!(s.stats().drops_capacity, 1);
+    }
+
+    #[test]
+    fn disk_hit_promotes_through_dram() {
+        let mut s = small_store(PolicyKind::Lru);
+        let q = QueueView::empty();
+        for i in 1..=4u64 {
+            s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
+        }
+        assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+        let (found, transfers) = s.load_for_use(sid(1), Time::from_millis(99), &q);
+        assert_eq!(found, Lookup::Disk);
+        // Promotion evicted someone and brought session 1 up.
+        assert!(transfers
+            .iter()
+            .any(|t| t.session == sid(1) && t.dir == TransferDir::DiskToDram));
+        assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+    }
+
+    #[test]
+    fn pinned_entries_are_never_victims() {
+        let mut s = small_store(PolicyKind::Lru);
+        let q = QueueView::empty();
+        s.save(sid(1), 5 * MB, 100, Time::ZERO, &q);
+        s.load_for_use(sid(1), Time::from_millis(1), &q);
+        // Saving 6 MB would need to demote session 1, but it is pinned, so
+        // there is no DRAM candidate: the save spills to disk instead.
+        let (transfers, ok) = s.save(sid(2), 6 * MB, 100, Time::from_millis(2), &q);
+        assert!(ok);
+        assert_eq!(s.stats().spills_to_disk, 1);
+        assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+        assert_eq!(s.lookup(sid(2)), Lookup::Disk);
+        assert!(transfers
+            .iter()
+            .any(|t| t.session == sid(2) && t.dir == TransferDir::DramToDisk));
+        // A session larger than the whole hierarchy is still rejected.
+        let (_, ok) = s.save(sid(3), 50 * MB, 100, Time::from_millis(3), &q);
+        assert!(!ok);
+        assert_eq!(s.stats().save_rejected, 1);
+    }
+
+    #[test]
+    fn scheduler_aware_prefetch_pulls_queued_sessions_up() {
+        let mut s = small_store(PolicyKind::SchedulerAware);
+        let q = QueueView::empty();
+        for i in 1..=4u64 {
+            s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
+        }
+        assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+        // Session 1 is waiting in the queue: prefetch promotes it.
+        let queue = QueueView::new(&[sid(1)]);
+        let transfers = s.prefetch(Time::from_millis(50), &queue);
+        assert!(transfers
+            .iter()
+            .any(|t| t.session == sid(1) && t.dir == TransferDir::DiskToDram));
+        assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+    }
+
+    #[test]
+    fn lru_and_fifo_never_prefetch() {
+        for kind in [PolicyKind::Lru, PolicyKind::Fifo] {
+            let mut s = small_store(kind);
+            let q = QueueView::empty();
+            for i in 1..=4u64 {
+                s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
+            }
+            let queue = QueueView::new(&[sid(1)]);
+            assert!(s.prefetch(Time::from_millis(50), &queue).is_empty());
+            assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+        }
+    }
+
+    #[test]
+    fn truncation_shrinks_in_place() {
+        let mut s = small_store(PolicyKind::SchedulerAware);
+        let q = QueueView::empty();
+        s.save(sid(1), 8 * MB, 800, Time::ZERO, &q);
+        let used_before = s.dram_used_bytes();
+        s.truncate(sid(1), 4 * MB, 400);
+        let e = s.entry(sid(1)).unwrap();
+        assert_eq!(e.bytes, 4 * MB);
+        assert_eq!(e.tokens, 400);
+        assert!(s.dram_used_bytes() < used_before);
+        // Growing via truncate is a no-op.
+        s.truncate(sid(1), 100 * MB, 1);
+        assert_eq!(s.entry(sid(1)).unwrap().bytes, 4 * MB);
+    }
+
+    #[test]
+    fn invalidate_frees_everything() {
+        let mut s = small_store(PolicyKind::SchedulerAware);
+        let q = QueueView::empty();
+        s.save(sid(1), 5 * MB, 100, Time::ZERO, &q);
+        s.invalidate(sid(1));
+        assert_eq!(s.lookup(sid(1)), Lookup::Miss);
+        assert_eq!(s.dram_used_bytes(), 0);
+        assert_eq!(s.stats().drops_invalidated, 1);
+        // Invalidating again is a no-op.
+        s.invalidate(sid(1));
+        assert_eq!(s.stats().drops_invalidated, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_drops_idle_entries() {
+        let mut s = AttentionStore::new(StoreConfig {
+            ttl: Some(Dur::from_secs_f64(10.0)),
+            dram_bytes: 10 * MB,
+            disk_bytes: 10 * MB,
+            block_bytes: MB,
+            policy: PolicyKind::SchedulerAware,
+            dram_reserve_fraction: 0.0,
+            default_session_bytes: MB,
+        });
+        let q = QueueView::empty();
+        s.save(sid(1), MB, 10, Time::ZERO, &q);
+        s.save(sid(2), MB, 10, Time::from_secs_f64(8.0), &q);
+        assert_eq!(s.expire(Time::from_secs_f64(9.0)), 0);
+        assert_eq!(s.expire(Time::from_secs_f64(15.0)), 1);
+        assert_eq!(s.lookup(sid(1)), Lookup::Miss);
+        assert_eq!(s.lookup(sid(2)), Lookup::Dram);
+        assert_eq!(s.stats().drops_ttl, 1);
+    }
+
+    #[test]
+    fn reserve_maintenance_keeps_buffer_free() {
+        let mut s = AttentionStore::new(StoreConfig {
+            dram_bytes: 10 * MB,
+            disk_bytes: 30 * MB,
+            block_bytes: MB,
+            policy: PolicyKind::SchedulerAware,
+            ttl: None,
+            dram_reserve_fraction: 0.3,
+            default_session_bytes: MB,
+        });
+        let q = QueueView::empty();
+        for i in 1..=3u64 {
+            s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
+        }
+        assert!(s.dram.free_bytes() < 3 * MB);
+        let transfers = s.maintain_reserve(&q);
+        assert!(!transfers.is_empty());
+        assert!(s.dram.free_bytes() >= 3 * MB);
+    }
+
+    #[test]
+    fn resave_replaces_old_copy_exactly_once() {
+        let mut s = small_store(PolicyKind::SchedulerAware);
+        let q = QueueView::empty();
+        s.save(sid(1), 2 * MB, 100, Time::ZERO, &q);
+        s.save(sid(1), 4 * MB, 200, Time::from_millis(1), &q);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entry(sid(1)).unwrap().bytes, 4 * MB);
+        assert_eq!(s.dram_used_bytes(), 4 * MB);
+    }
+
+    /// Regression: a demand fetch under full disk pressure must never
+    /// evict the very session being fetched, even when the policy would
+    /// otherwise pick it (here: LRU, and the fetched session is oldest).
+    #[test]
+    fn demand_fetch_never_evicts_its_own_session() {
+        let mut s = AttentionStore::new(StoreConfig {
+            dram_bytes: 4 * MB,
+            disk_bytes: 8 * MB,
+            block_bytes: MB,
+            policy: PolicyKind::Lru,
+            ttl: None,
+            dram_reserve_fraction: 0.0,
+            default_session_bytes: 4 * MB,
+        });
+        let q = QueueView::empty();
+        // s1 lands in DRAM, then s3 and s2 push it down; final layout:
+        // DRAM = s2, disk = {s1, s3}, with s1 the least recently used.
+        s.save(sid(1), 4 * MB, 10, Time::from_millis(0), &q);
+        s.save(sid(3), 4 * MB, 10, Time::from_millis(1), &q);
+        s.save(sid(2), 4 * MB, 10, Time::from_millis(2), &q);
+        assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+        assert_eq!(s.lookup(sid(3)), Lookup::Disk);
+        // Demand-fetching s1 demotes s2, which needs disk room; the LRU
+        // disk victim would be s1 itself — it must be exempt.
+        let (found, _) = s.load_for_use(sid(1), Time::from_millis(3), &q);
+        assert_eq!(found, Lookup::Disk);
+        assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+        assert_eq!(s.lookup(sid(3)), Lookup::Miss);
+    }
+
+    /// Regression: a session queued twice must be promoted exactly once;
+    /// the second prefetch pass used to free its fresh DRAM blocks into
+    /// the disk pool.
+    #[test]
+    fn duplicate_queue_entries_prefetch_once() {
+        let mut s = small_store(PolicyKind::SchedulerAware);
+        let q = QueueView::empty();
+        for i in 1..=4u64 {
+            s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
+        }
+        assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+        let queue = QueueView::new(&[sid(1), sid(1), sid(1)]);
+        let transfers = s.prefetch(Time::from_millis(50), &queue);
+        let promotions = transfers
+            .iter()
+            .filter(|t| t.session == sid(1) && t.dir == TransferDir::DiskToDram)
+            .count();
+        assert_eq!(promotions, 1);
+        assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+        // Block accounting stayed consistent: re-saving and invalidating
+        // everything drains both pools completely.
+        for i in 1..=4u64 {
+            s.invalidate(sid(i));
+        }
+        assert_eq!(s.dram_used_bytes(), 0);
+        assert_eq!(s.disk_used_bytes(), 0);
+    }
+
+    #[test]
+    fn window_lengths_follow_the_formulas() {
+        let mut s = small_store(PolicyKind::SchedulerAware);
+        // Empty store: fall back to default session size (1 MB).
+        assert_eq!(s.prefetch_window(), 10);
+        assert_eq!(s.eviction_window(), 40);
+        let q = QueueView::empty();
+        s.save(sid(1), 2 * MB, 100, Time::ZERO, &q);
+        // S_kv = 2 MB now.
+        assert_eq!(s.prefetch_window(), 5);
+        assert_eq!(s.eviction_window(), 20);
+    }
+}

@@ -1,0 +1,231 @@
+//! The KV cache with coupled or decoupled positional encoding.
+
+/// Whether rotary position embeddings are baked into the cached keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeMode {
+    /// Keys are cached *before* RoPE; positions are re-embedded at use
+    /// time (CachedAttention, §3.4 / Fig 11c). Truncation stays valid.
+    Decoupled,
+    /// Keys are cached *after* RoPE at their insertion position (the
+    /// conventional layout, Fig 11b). Truncation scrambles positions.
+    Coupled,
+}
+
+/// Per-layer cached key/value rows for one sequence.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    mode: PeMode,
+    /// `k[layer]` is row-major `[tokens, kv_dim]`.
+    k: Vec<Vec<f32>>,
+    /// `v[layer]`, same layout.
+    v: Vec<Vec<f32>>,
+    kv_dim: usize,
+    tokens: usize,
+}
+
+impl KvCache {
+    /// Creates an empty cache for `n_layers` layers of `kv_dim`-wide
+    /// key/value rows.
+    pub fn new(mode: PeMode, n_layers: usize, kv_dim: usize) -> KvCache {
+        KvCache {
+            mode,
+            k: vec![Vec::new(); n_layers],
+            v: vec![Vec::new(); n_layers],
+            kv_dim,
+            tokens: 0,
+        }
+    }
+
+    /// Returns the positional-encoding mode.
+    pub fn mode(&self) -> PeMode {
+        self.mode
+    }
+
+    /// Returns the number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.tokens
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.tokens == 0
+    }
+
+    /// Returns the key/value width.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    /// Appends one token's K/V rows for `layer`.
+    ///
+    /// The caller appends layer 0 first for each token; the token count
+    /// advances when layer 0 grows.
+    pub fn push(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]) {
+        assert_eq!(k_row.len(), self.kv_dim, "key width mismatch");
+        assert_eq!(v_row.len(), self.kv_dim, "value width mismatch");
+        self.k[layer].extend_from_slice(k_row);
+        self.v[layer].extend_from_slice(v_row);
+        if layer == 0 {
+            self.tokens += 1;
+        }
+    }
+
+    /// Returns the cached keys of `layer` (row-major `[tokens, kv_dim]`).
+    pub fn keys(&self, layer: usize) -> &[f32] {
+        &self.k[layer]
+    }
+
+    /// Returns the cached values of `layer`.
+    pub fn values(&self, layer: usize) -> &[f32] {
+        &self.v[layer]
+    }
+
+    /// Drops the oldest `n` tokens from every layer (KV cache truncation,
+    /// Fig 10b/12).
+    ///
+    /// In [`PeMode::Decoupled`] the remaining keys are position-free and
+    /// get fresh positions `0..len` at the next use — the cache stays
+    /// semantically identical to a recompute of the truncated prompt. In
+    /// [`PeMode::Coupled`] the remaining keys keep their stale rotations.
+    pub fn truncate_front(&mut self, n: usize) {
+        let n = n.min(self.tokens);
+        for layer_k in &mut self.k {
+            layer_k.drain(..n * self.kv_dim);
+        }
+        for layer_v in &mut self.v {
+            layer_v.drain(..n * self.kv_dim);
+        }
+        self.tokens -= n;
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        for l in &mut self.k {
+            l.clear();
+        }
+        for l in &mut self.v {
+            l.clear();
+        }
+        self.tokens = 0;
+    }
+
+    /// Discards the KV rows of the given token indices (a *token
+    /// discarding list*, §3.4's compression hook) from every layer.
+    ///
+    /// This is how CachedAttention complies with KV compression schemes
+    /// such as attention sinks or heavy-hitter selection: the compression
+    /// technique produces the TDL, the cache drops those rows, and —
+    /// under [`PeMode::Decoupled`] — the survivors are re-embedded with
+    /// compact fresh positions at the next use. Indices are deduplicated;
+    /// out-of-range indices are ignored.
+    pub fn discard(&mut self, tdl: &[usize]) {
+        let mut drop = vec![false; self.tokens];
+        for &i in tdl {
+            if i < self.tokens {
+                drop[i] = true;
+            }
+        }
+        let kept: Vec<usize> = (0..self.tokens).filter(|&i| !drop[i]).collect();
+        let dim = self.kv_dim;
+        for layer in 0..self.k.len() {
+            let mut new_k = Vec::with_capacity(kept.len() * dim);
+            let mut new_v = Vec::with_capacity(kept.len() * dim);
+            for &i in &kept {
+                new_k.extend_from_slice(&self.k[layer][i * dim..(i + 1) * dim]);
+                new_v.extend_from_slice(&self.v[layer][i * dim..(i + 1) * dim]);
+            }
+            self.k[layer] = new_k;
+            self.v[layer] = new_v;
+        }
+        self.tokens = kept.len();
+    }
+
+    /// StreamingLLM-style truncation: keep the first `n_sink` tokens (the
+    /// attention sinks) and the most recent `n_recent`, discarding the
+    /// middle. A no-op when nothing falls in the middle.
+    pub fn keep_sinks_and_recent(&mut self, n_sink: usize, n_recent: usize) {
+        if n_sink + n_recent >= self.tokens {
+            return;
+        }
+        let tdl: Vec<usize> = (n_sink..self.tokens - n_recent).collect();
+        self.discard(&tdl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_truncate_round_trip() {
+        let mut c = KvCache::new(PeMode::Decoupled, 2, 4);
+        for t in 0..3 {
+            for layer in 0..2 {
+                let row = vec![t as f32; 4];
+                c.push(layer, &row, &row);
+            }
+        }
+        assert_eq!(c.len(), 3);
+        c.truncate_front(2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.keys(0), &[2.0; 4]);
+        assert_eq!(c.values(1), &[2.0; 4]);
+    }
+
+    #[test]
+    fn truncate_more_than_len_empties() {
+        let mut c = KvCache::new(PeMode::Coupled, 1, 2);
+        c.push(0, &[1.0, 2.0], &[3.0, 4.0]);
+        c.truncate_front(10);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "key width mismatch")]
+    fn wrong_width_rejected() {
+        let mut c = KvCache::new(PeMode::Decoupled, 1, 4);
+        c.push(0, &[1.0], &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    fn filled(n: usize) -> KvCache {
+        let mut c = KvCache::new(PeMode::Decoupled, 2, 2);
+        for t in 0..n {
+            for layer in 0..2 {
+                c.push(layer, &[t as f32, 0.0], &[0.0, t as f32]);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn discard_removes_exactly_the_tdl() {
+        let mut c = filled(6);
+        c.discard(&[1, 3, 3, 99]);
+        assert_eq!(c.len(), 4);
+        // Survivors 0, 2, 4, 5 in order, on every layer.
+        for layer in 0..2 {
+            let firsts: Vec<f32> = c.keys(layer).chunks(2).map(|r| r[0]).collect();
+            assert_eq!(firsts, vec![0.0, 2.0, 4.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn keep_sinks_and_recent_drops_the_middle() {
+        let mut c = filled(10);
+        c.keep_sinks_and_recent(2, 3);
+        assert_eq!(c.len(), 5);
+        let firsts: Vec<f32> = c.keys(0).chunks(2).map(|r| r[0]).collect();
+        assert_eq!(firsts, vec![0.0, 1.0, 7.0, 8.0, 9.0]);
+        // Nothing to drop: no-op.
+        let mut small = filled(4);
+        small.keep_sinks_and_recent(2, 2);
+        assert_eq!(small.len(), 4);
+    }
+
+    #[test]
+    fn discard_empty_tdl_is_noop() {
+        let mut c = filled(3);
+        c.discard(&[]);
+        assert_eq!(c.len(), 3);
+    }
+}

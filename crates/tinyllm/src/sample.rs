@@ -1,0 +1,100 @@
+//! Stochastic decoding: temperature + top-k sampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a token from `logits` with `temperature` and optional `top_k`
+/// filtering, using the caller's RNG.
+///
+/// `temperature == 0` degenerates to greedy argmax. `top_k == 0` means no
+/// top-k filtering.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or `temperature` is negative.
+pub fn sample_token(logits: &[f32], temperature: f32, top_k: usize, rng: &mut StdRng) -> usize {
+    assert!(!logits.is_empty(), "cannot sample from empty logits");
+    assert!(temperature >= 0.0, "temperature cannot be negative");
+    if temperature == 0.0 {
+        return crate::argmax(logits);
+    }
+    // Rank tokens by logit; keep the top-k (or all).
+    let mut idx: Vec<usize> = (0..logits.len()).collect();
+    idx.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).expect("finite logits"));
+    let keep = if top_k == 0 {
+        idx.len()
+    } else {
+        top_k.min(idx.len())
+    };
+    let kept = &idx[..keep];
+    // Softmax over the kept set at the given temperature.
+    let max = logits[kept[0]];
+    let weights: Vec<f64> = kept
+        .iter()
+        .map(|&i| (((logits[i] - max) / temperature) as f64).exp())
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (w, &i) in weights.iter().zip(kept) {
+        x -= w;
+        if x < 0.0 {
+            return i;
+        }
+    }
+    kept[keep - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_temperature_is_greedy() {
+        let logits = vec![0.1, 3.0, -1.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(sample_token(&logits, 0.0, 0, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn top_1_is_greedy_at_any_temperature() {
+        let logits = vec![0.1, 3.0, -1.0, 2.9];
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(sample_token(&logits, 5.0, 1, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn sampling_follows_the_distribution() {
+        // Two tokens, logit gap 1.0 at temperature 1.0: p1/p0 = e.
+        let logits = vec![0.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| sample_token(&logits, 1.0, 0, &mut rng) == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        let expect = std::f64::consts::E / (1.0 + std::f64::consts::E);
+        assert!((frac - expect).abs() < 0.02, "frac {frac} expect {expect}");
+    }
+
+    #[test]
+    fn top_k_excludes_the_tail() {
+        let logits = vec![5.0, 4.0, -100.0];
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let t = sample_token(&logits, 2.0, 2, &mut rng);
+            assert!(t != 2, "tail token sampled despite top-2");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_logits_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = sample_token(&[], 1.0, 0, &mut rng);
+    }
+}

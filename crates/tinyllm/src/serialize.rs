@@ -1,0 +1,244 @@
+//! Binary (de)serialization of model weights.
+//!
+//! A small self-describing little-endian format (no external
+//! dependencies) so trained models can be cached on disk and shared
+//! between the experiment binaries:
+//!
+//! ```text
+//! magic "TLM1" · 9 config u32s/f32s · per-tensor [len u32, f32 × len]
+//! ```
+
+use crate::{LayerWeights, Model, TinyConfig, Weights};
+
+const MAGIC: &[u8; 4] = b"TLM1";
+
+/// A deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic header is missing or wrong.
+    BadMagic,
+    /// The buffer ended before the declared data.
+    Truncated,
+    /// A declared length is inconsistent with the config.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a TLM1 model file"),
+            DecodeError::Truncated => write!(f, "model file truncated"),
+            DecodeError::Inconsistent(what) => write!(f, "inconsistent field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn vec(&mut self, v: &[f32]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.f32(x);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn f32(&mut self) -> Result<f32, DecodeError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn vec(&mut self, expect_len: usize, what: &'static str) -> Result<Vec<f32>, DecodeError> {
+        let n = self.u32()? as usize;
+        if n != expect_len {
+            return Err(DecodeError::Inconsistent(what));
+        }
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+impl Model {
+    /// Serializes config and weights.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer {
+            buf: MAGIC.to_vec(),
+        };
+        let c = &self.cfg;
+        for v in [
+            c.vocab,
+            c.dim,
+            c.n_layers,
+            c.n_heads,
+            c.n_kv_heads,
+            c.head_dim,
+            c.ffn_dim,
+        ] {
+            w.u32(v as u32);
+        }
+        w.f32(c.rope_theta);
+        w.f32(c.eps);
+        w.vec(&self.weights.embed);
+        for lw in &self.weights.layers {
+            w.vec(&lw.attn_norm);
+            w.vec(&lw.wq);
+            w.vec(&lw.wk);
+            w.vec(&lw.wv);
+            w.vec(&lw.wo);
+            w.vec(&lw.ffn_norm);
+            w.vec(&lw.w1);
+            w.vec(&lw.w2);
+            w.vec(&lw.w3);
+        }
+        w.vec(&self.weights.final_norm);
+        w.vec(&self.weights.head);
+        w.buf
+    }
+
+    /// Deserializes a model written by [`Model::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Model, DecodeError> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.take(4)? != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let mut next = || r.u32();
+        let (vocab, dim, n_layers, n_heads, n_kv_heads, head_dim, ffn_dim) = (
+            next()? as usize,
+            next()? as usize,
+            next()? as usize,
+            next()? as usize,
+            next()? as usize,
+            next()? as usize,
+            next()? as usize,
+        );
+        if n_heads == 0 || head_dim == 0 || dim != n_heads * head_dim {
+            return Err(DecodeError::Inconsistent("dim/head geometry"));
+        }
+        let cfg = TinyConfig {
+            vocab,
+            dim,
+            n_layers,
+            n_heads,
+            n_kv_heads,
+            head_dim,
+            ffn_dim,
+            rope_theta: r.f32()?,
+            eps: r.f32()?,
+        };
+        let embed = r.vec(vocab * dim, "embed")?;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            layers.push(LayerWeights {
+                attn_norm: r.vec(dim, "attn_norm")?,
+                wq: r.vec(dim * cfg.q_dim(), "wq")?,
+                wk: r.vec(dim * cfg.kv_dim(), "wk")?,
+                wv: r.vec(dim * cfg.kv_dim(), "wv")?,
+                wo: r.vec(cfg.q_dim() * dim, "wo")?,
+                ffn_norm: r.vec(dim, "ffn_norm")?,
+                w1: r.vec(dim * ffn_dim, "w1")?,
+                w2: r.vec(ffn_dim * dim, "w2")?,
+                w3: r.vec(dim * ffn_dim, "w3")?,
+            });
+        }
+        let final_norm = r.vec(dim, "final_norm")?;
+        let head = r.vec(dim * vocab, "head")?;
+        Ok(Model::new(
+            cfg,
+            Weights {
+                embed,
+                layers,
+                final_norm,
+                head,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeMode;
+
+    fn model() -> Model {
+        let cfg = TinyConfig::table12();
+        let w = Weights::random(&cfg, 7);
+        Model::new(cfg, w)
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let m = model();
+        let bytes = m.to_bytes();
+        let back = Model::from_bytes(&bytes).unwrap();
+        assert_eq!(m.cfg, back.cfg);
+        let tokens = [1usize, 5, 9, 2];
+        let mut c1 = m.cache(PeMode::Decoupled);
+        let mut c2 = back.cache(PeMode::Decoupled);
+        assert_eq!(m.forward(&tokens, &mut c1), back.forward(&tokens, &mut c2));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Model::from_bytes(b"np").err(), Some(DecodeError::Truncated));
+        assert_eq!(
+            Model::from_bytes(b"nope").err(),
+            Some(DecodeError::BadMagic)
+        );
+        assert_eq!(
+            Model::from_bytes(b"XXXX12345678").err(),
+            Some(DecodeError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = model().to_bytes();
+        let cut = &bytes[..bytes.len() / 2];
+        assert_eq!(Model::from_bytes(cut).err(), Some(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn corrupted_length_detected() {
+        let mut bytes = model().to_bytes();
+        // Corrupt the embed length field (right after the 9-field header).
+        let off = 4 + 7 * 4 + 2 * 4;
+        bytes[off] ^= 0xff;
+        assert!(matches!(
+            Model::from_bytes(&bytes),
+            Err(DecodeError::Inconsistent(_)) | Err(DecodeError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,328 @@
+//! Synthetic ShareGPT-calibrated workload generation.
+
+use serde::{Deserialize, Serialize};
+use sim::{Dur, SimRng, Time};
+
+use crate::{SessionSpec, Trace, TurnSpec};
+
+/// Distribution parameters calibrated to the paper's ShareGPT statistics.
+///
+/// Targets (Figure 2, §4.2):
+/// - 73% of sessions are multi-turn; the mean is 5.75 turns/session.
+/// - 47% of sessions exceed 2K total tokens; 30% exceed 4K.
+///
+/// Turn counts use a `0.27`-weighted single-turn atom plus a shifted
+/// geometric tail; message lengths are log-normal (users write short
+/// prompts with a heavy paste-in tail, models reply longer and more
+/// regularly). The calibration test in this module checks the targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShareGptProfile {
+    /// Probability that a session has exactly one turn.
+    pub p_single_turn: f64,
+    /// Success probability of the geometric tail for multi-turn sessions
+    /// (turns = 2 + Geometric(p)).
+    pub turn_geo_p: f64,
+    /// Hard cap on turns per session.
+    pub max_turns: u32,
+    /// Log-normal `mu` of user message tokens.
+    pub user_mu: f64,
+    /// Log-normal `sigma` of user message tokens.
+    pub user_sigma: f64,
+    /// Log-normal `mu` of response tokens.
+    pub resp_mu: f64,
+    /// Log-normal `sigma` of response tokens.
+    pub resp_sigma: f64,
+    /// Hard cap on tokens per message.
+    pub max_message_tokens: u32,
+    /// Session arrival rate (sessions per second, Poisson). The paper uses
+    /// λ = 1.0/s.
+    pub arrival_rate: f64,
+    /// Mean think time between a response and the user's next message,
+    /// seconds (exponential).
+    pub mean_think_secs: f64,
+    /// Optional bursty arrivals: a two-phase Markov-modulated Poisson
+    /// process instead of the paper's homogeneous one.
+    pub burstiness: Option<Burstiness>,
+}
+
+/// Two-phase Markov-modulated Poisson arrival parameters.
+///
+/// The process alternates between a *high* phase (arrival rate scaled by
+/// `high_factor`) and a *low* phase (`low_factor`); phase durations are
+/// exponential with mean `mean_phase_secs`. Factors are chosen so the
+/// long-run average rate stays at the profile's `arrival_rate` when
+/// `(high_factor + low_factor) / 2 == 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Burstiness {
+    /// Rate multiplier during the high phase (e.g. 1.7).
+    pub high_factor: f64,
+    /// Rate multiplier during the low phase (e.g. 0.3).
+    pub low_factor: f64,
+    /// Mean phase duration in seconds.
+    pub mean_phase_secs: f64,
+}
+
+impl Default for Burstiness {
+    fn default() -> Self {
+        Burstiness {
+            high_factor: 1.7,
+            low_factor: 0.3,
+            mean_phase_secs: 120.0,
+        }
+    }
+}
+
+impl Default for ShareGptProfile {
+    fn default() -> Self {
+        ShareGptProfile {
+            p_single_turn: 0.27,
+            turn_geo_p: 1.0 / 6.5,
+            max_turns: 40,
+            user_mu: 5.0,
+            user_sigma: 1.5,
+            resp_mu: 4.85,
+            resp_sigma: 0.9,
+            max_message_tokens: 8192,
+            arrival_rate: 1.0,
+            mean_think_secs: 15.0,
+            burstiness: None,
+        }
+    }
+}
+
+impl ShareGptProfile {
+    /// Returns a copy with a different Poisson session arrival rate.
+    pub fn with_arrival_rate(mut self, per_sec: f64) -> Self {
+        assert!(per_sec > 0.0, "arrival rate must be positive");
+        self.arrival_rate = per_sec;
+        self
+    }
+
+    /// Returns a copy with a different mean think time.
+    pub fn with_mean_think_secs(mut self, secs: f64) -> Self {
+        assert!(secs >= 0.0, "think time cannot be negative");
+        self.mean_think_secs = secs;
+        self
+    }
+
+    /// Returns a copy with bursty (MMPP) arrivals.
+    pub fn with_burstiness(mut self, b: Burstiness) -> Self {
+        self.burstiness = Some(b);
+        self
+    }
+}
+
+/// Deterministic workload generator.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{Generator, ShareGptProfile};
+///
+/// let trace = Generator::new(ShareGptProfile::default(), 42).trace(100);
+/// assert_eq!(trace.sessions.len(), 100);
+/// // Multi-turn conversations dominate, as in ShareGPT.
+/// let multi = trace.sessions.iter().filter(|s| s.n_turns() > 1).count();
+/// assert!(multi > 50);
+/// ```
+pub struct Generator {
+    profile: ShareGptProfile,
+    rng: SimRng,
+}
+
+impl Generator {
+    /// Creates a generator from a profile and seed.
+    pub fn new(profile: ShareGptProfile, seed: u64) -> Self {
+        Generator {
+            profile,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the number of turns for one session.
+    fn draw_turns(&mut self) -> u32 {
+        let p = &self.profile;
+        if self.rng.chance(p.p_single_turn) {
+            return 1;
+        }
+        // Shifted geometric: 2 + number of failures before first success.
+        let mut turns = 2u32;
+        while turns < p.max_turns && !self.rng.chance(p.turn_geo_p) {
+            turns += 1;
+        }
+        turns
+    }
+
+    /// Draws one message length from a capped log-normal.
+    fn draw_tokens(&mut self, mu: f64, sigma: f64) -> u32 {
+        let raw = self.rng.lognormal(mu, sigma).round().max(1.0);
+        (raw as u32).min(self.profile.max_message_tokens)
+    }
+
+    /// Draws one full session arriving at `arrival`.
+    pub fn session(&mut self, id: u64, arrival: Time) -> SessionSpec {
+        let n_turns = self.draw_turns();
+        let p = self.profile.clone();
+        let turns = (0..n_turns)
+            .map(|_| TurnSpec {
+                user_tokens: self.draw_tokens(p.user_mu, p.user_sigma),
+                resp_tokens: self.draw_tokens(p.resp_mu, p.resp_sigma),
+                think: Dur::from_secs_f64(if p.mean_think_secs > 0.0 {
+                    self.rng.exp(p.mean_think_secs)
+                } else {
+                    0.0
+                }),
+            })
+            .collect();
+        SessionSpec { id, arrival, turns }
+    }
+
+    /// Draws the next inter-arrival gap, honouring the burstiness phases
+    /// via the memorylessness of the exponential: when a gap would cross
+    /// the current phase's end, the residual is re-drawn at the next
+    /// phase's rate from the boundary.
+    fn next_arrival(&mut self, mut now: f64, phase_high: &mut bool, phase_end: &mut f64) -> f64 {
+        let base = self.profile.arrival_rate;
+        let Some(b) = self.profile.burstiness.clone() else {
+            return now + self.rng.exp(1.0 / base);
+        };
+        loop {
+            let rate = base
+                * if *phase_high {
+                    b.high_factor
+                } else {
+                    b.low_factor
+                };
+            let gap = self.rng.exp(1.0 / rate.max(1e-9));
+            if now + gap <= *phase_end {
+                return now + gap;
+            }
+            now = *phase_end;
+            *phase_high = !*phase_high;
+            *phase_end = now + self.rng.exp(b.mean_phase_secs);
+        }
+    }
+
+    /// Generates `n` sessions with (possibly modulated) Poisson arrivals
+    /// starting at time zero.
+    pub fn trace(&mut self, n: usize) -> Trace {
+        let mut at = 0.0f64;
+        let mut phase_high = true;
+        let mut phase_end = match &self.profile.burstiness {
+            Some(b) => self.rng.exp(b.mean_phase_secs),
+            None => f64::INFINITY,
+        };
+        let mut sessions = Vec::with_capacity(n);
+        for id in 0..n as u64 {
+            at = self.next_arrival(at, &mut phase_high, &mut phase_end);
+            sessions.push(self.session(id, Time::from_secs_f64(at)));
+        }
+        Trace::new(sessions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_trace() -> Trace {
+        Generator::new(ShareGptProfile::default(), 42).trace(20_000)
+    }
+
+    /// §2.3: 73% of ShareGPT conversations are multi-turn.
+    #[test]
+    fn multi_turn_fraction_matches_paper() {
+        let t = big_trace();
+        let multi = t.sessions.iter().filter(|s| s.n_turns() > 1).count();
+        let frac = multi as f64 / t.sessions.len() as f64;
+        assert!((frac - 0.73).abs() < 0.02, "multi-turn fraction {frac}");
+    }
+
+    /// §4.2: the average session has ~5.75 turns.
+    #[test]
+    fn mean_turns_matches_paper() {
+        let t = big_trace();
+        let mean = t.total_turns() as f64 / t.sessions.len() as f64;
+        assert!((mean - 5.75).abs() < 0.4, "mean turns {mean}");
+    }
+
+    /// Figure 2b: ~47% of sessions exceed 2K tokens, ~30% exceed 4K.
+    #[test]
+    fn session_length_tail_matches_paper() {
+        let t = big_trace();
+        let n = t.sessions.len() as f64;
+        let over_2k = t
+            .sessions
+            .iter()
+            .filter(|s| s.total_tokens() > 2048)
+            .count() as f64
+            / n;
+        let over_4k = t
+            .sessions
+            .iter()
+            .filter(|s| s.total_tokens() > 4096)
+            .count() as f64
+            / n;
+        assert!((over_2k - 0.47).abs() < 0.06, "P(>2K) = {over_2k}");
+        assert!((over_4k - 0.30).abs() < 0.06, "P(>4K) = {over_4k}");
+    }
+
+    /// Arrivals form a Poisson process with the configured rate.
+    #[test]
+    fn arrival_rate_is_respected() {
+        let profile = ShareGptProfile::default().with_arrival_rate(2.0);
+        let t = Generator::new(profile, 7).trace(10_000);
+        let span = t.sessions.last().unwrap().arrival.as_secs_f64();
+        let rate = t.sessions.len() as f64 / span;
+        assert!((rate - 2.0).abs() < 0.1, "rate {rate}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Generator::new(ShareGptProfile::default(), 1).trace(100);
+        let b = Generator::new(ShareGptProfile::default(), 1).trace(100);
+        assert_eq!(a, b);
+        let c = Generator::new(ShareGptProfile::default(), 2).trace(100);
+        assert_ne!(a, c);
+    }
+
+    /// Bursty arrivals keep roughly the same mean rate but much higher
+    /// windowed variance than the homogeneous process.
+    #[test]
+    fn burstiness_raises_variance_not_mean() {
+        let smooth = Generator::new(ShareGptProfile::default(), 4).trace(8_000);
+        let bursty = Generator::new(
+            ShareGptProfile::default().with_burstiness(Burstiness::default()),
+            4,
+        )
+        .trace(8_000);
+        let windowed = |t: &Trace| -> (f64, f64) {
+            let span = t.sessions.last().unwrap().arrival.as_secs_f64();
+            let w = 60.0;
+            let n = (span / w).ceil() as usize;
+            let mut counts = vec![0f64; n];
+            for s in &t.sessions {
+                counts[((s.arrival.as_secs_f64() / w) as usize).min(n - 1)] += 1.0;
+            }
+            let mean = counts.iter().sum::<f64>() / n as f64;
+            let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n as f64;
+            (mean, var)
+        };
+        let (sm, sv) = windowed(&smooth);
+        let (bm, bv) = windowed(&bursty);
+        assert!((bm - sm).abs() / sm < 0.25, "means {sm} vs {bm}");
+        assert!(bv > 2.0 * sv, "variance {sv} vs {bv}");
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let t = big_trace();
+        for s in &t.sessions {
+            assert!(s.n_turns() <= 40);
+            for turn in &s.turns {
+                assert!(turn.user_tokens >= 1 && turn.user_tokens <= 8192);
+                assert!(turn.resp_tokens >= 1 && turn.resp_tokens <= 8192);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Multi-turn conversation workloads.
+//!
+//! The paper drives its evaluation with the ShareGPT dataset: 90K real
+//! ChatGPT conversations where 73% are multi-turn (mean 5.75 turns per
+//! session), 47% of sessions exceed 2K tokens and 30% exceed 4K (Figure 2,
+//! §4.2). Request arrival times are not in the dataset, so the paper draws
+//! session arrivals from a Poisson process (λ = 1.0/s).
+//!
+//! This crate reproduces that workload:
+//!
+//! - [`ShareGptProfile`]: the calibrated distribution parameters.
+//! - [`Generator`]: deterministic synthetic session generation.
+//! - [`SessionSpec`] / [`TurnSpec`]: the closed-loop trace format — turn
+//!   `j+1` arrives a *think time* after turn `j`'s response completes, so
+//!   the serving engine controls the actual timeline.
+//! - [`sharegpt`]: a loader for real ShareGPT-format JSON, should the user
+//!   have the dataset.
+//! - [`stats`]: the dataset statistics behind Figures 2 and 4.
+
+mod gen;
+pub mod sharegpt;
+pub mod stats;
+mod trace;
+
+pub use gen::{Burstiness, Generator, ShareGptProfile};
+pub use trace::{SessionSpec, Trace, TurnSpec};

@@ -1,0 +1,115 @@
+//! Dataset statistics behind Figures 2 and 4.
+
+use crate::Trace;
+
+/// Distribution of turn counts: `hist[t]` = fraction of sessions with
+/// exactly `t+1` turns (index 0 = single-turn), capped at `max_turns`.
+pub fn turn_histogram(trace: &Trace, max_turns: usize) -> Vec<f64> {
+    let mut hist = vec![0u64; max_turns];
+    for s in &trace.sessions {
+        let bin = s.n_turns().min(max_turns) - 1;
+        hist[bin] += 1;
+    }
+    let n = trace.sessions.len().max(1) as f64;
+    hist.into_iter().map(|c| c as f64 / n).collect()
+}
+
+/// Fraction of sessions whose total token count exceeds `threshold`.
+pub fn fraction_longer_than(trace: &Trace, threshold: u64) -> f64 {
+    if trace.sessions.is_empty() {
+        return 0.0;
+    }
+    let over = trace
+        .sessions
+        .iter()
+        .filter(|s| s.total_tokens() > threshold)
+        .count();
+    over as f64 / trace.sessions.len() as f64
+}
+
+/// Cumulative distribution of session lengths at the given thresholds:
+/// returns `(threshold, fraction ≤ threshold)` pairs.
+pub fn session_length_cdf(trace: &Trace, thresholds: &[u64]) -> Vec<(u64, f64)> {
+    thresholds
+        .iter()
+        .map(|&th| (th, 1.0 - fraction_longer_than(trace, th)))
+        .collect()
+}
+
+/// Figure 4a: for each turn index (1-based), the mean number of historical
+/// tokens and mean number of new input tokens across sessions that reach
+/// that turn.
+///
+/// Returns `(turn, mean_historical, mean_new)` rows up to `max_turn`.
+pub fn historical_vs_new(trace: &Trace, max_turn: usize) -> Vec<(usize, f64, f64)> {
+    let mut rows = Vec::new();
+    for turn in 1..=max_turn {
+        let idx = turn - 1;
+        let mut hist_sum = 0f64;
+        let mut new_sum = 0f64;
+        let mut n = 0u64;
+        for s in &trace.sessions {
+            if s.n_turns() > idx {
+                hist_sum += s.historical_tokens_at(idx) as f64;
+                new_sum += s.turns[idx].user_tokens as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            break;
+        }
+        rows.push((turn, hist_sum / n as f64, new_sum / n as f64));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Generator, ShareGptProfile};
+
+    fn trace() -> Trace {
+        Generator::new(ShareGptProfile::default(), 11).trace(10_000)
+    }
+
+    #[test]
+    fn turn_histogram_sums_to_one() {
+        let t = trace();
+        let hist = turn_histogram(&t, 40);
+        let total: f64 = hist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((hist[0] - 0.27).abs() < 0.03, "single-turn {}", hist[0]);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let t = trace();
+        let cdf = session_length_cdf(&t, &[512, 1024, 2048, 4096, 8192]);
+        for pair in cdf.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    /// Figure 4a's headline: by late turns, historical tokens dominate new
+    /// input tokens by more than an order of magnitude.
+    #[test]
+    fn historical_tokens_dominate_in_late_turns() {
+        let t = trace();
+        let rows = historical_vs_new(&t, 20);
+        let (_, hist, new) = rows[rows.len() - 1];
+        assert!(
+            hist / (hist + new) > 0.9,
+            "historical share {}",
+            hist / (hist + new)
+        );
+        // Turn 1 has no history at all.
+        assert_eq!(rows[0].1, 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::default();
+        assert_eq!(fraction_longer_than(&t, 10), 0.0);
+        assert!(historical_vs_new(&t, 5).is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Trace format: sessions, turns and (de)serialization.
+
+use serde::{Deserialize, Serialize};
+use sim::{Dur, Time};
+
+/// One conversation turn: the user's message and the model's reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TurnSpec {
+    /// Tokens in the user's new message (`q_j`).
+    pub user_tokens: u32,
+    /// Tokens in the model's response (`a_j`), i.e. decode steps.
+    pub resp_tokens: u32,
+    /// Gap between this turn's response completing and the next turn
+    /// arriving (unused on the last turn).
+    pub think: Dur,
+}
+
+/// One conversation session: an arrival time plus its turns.
+///
+/// The trace is *closed-loop*: only the session arrival is absolute; each
+/// later turn arrives `think` after the engine finishes the previous
+/// response, so slow serving stretches the timeline exactly as it would in
+/// production.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Stable session identifier.
+    pub id: u64,
+    /// Absolute arrival time of the first turn.
+    pub arrival: Time,
+    /// The session's turns, in order.
+    pub turns: Vec<TurnSpec>,
+}
+
+impl SessionSpec {
+    /// Total tokens across the whole session (user + response).
+    pub fn total_tokens(&self) -> u64 {
+        self.turns
+            .iter()
+            .map(|t| t.user_tokens as u64 + t.resp_tokens as u64)
+            .sum()
+    }
+
+    /// Number of turns.
+    pub fn n_turns(&self) -> usize {
+        self.turns.len()
+    }
+
+    /// Historical tokens visible at the start of turn `idx` (0-based):
+    /// everything said in earlier turns.
+    pub fn historical_tokens_at(&self, idx: usize) -> u64 {
+        self.turns[..idx]
+            .iter()
+            .map(|t| t.user_tokens as u64 + t.resp_tokens as u64)
+            .sum()
+    }
+}
+
+/// A full workload: every session, sorted by arrival.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Sessions sorted by `arrival`.
+    pub sessions: Vec<SessionSpec>,
+}
+
+impl Trace {
+    /// Wraps sessions, sorting them by arrival time.
+    pub fn new(mut sessions: Vec<SessionSpec>) -> Self {
+        sessions.sort_by_key(|s| (s.arrival, s.id));
+        Trace { sessions }
+    }
+
+    /// Total turns across all sessions.
+    pub fn total_turns(&self) -> usize {
+        self.sessions.iter().map(SessionSpec::n_turns).sum()
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a trace back from [`Trace::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> SessionSpec {
+        SessionSpec {
+            id: 3,
+            arrival: Time::from_secs_f64(1.0),
+            turns: vec![
+                TurnSpec {
+                    user_tokens: 10,
+                    resp_tokens: 20,
+                    think: Dur::from_secs_f64(5.0),
+                },
+                TurnSpec {
+                    user_tokens: 30,
+                    resp_tokens: 40,
+                    think: Dur::ZERO,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn token_accounting() {
+        let s = session();
+        assert_eq!(s.total_tokens(), 100);
+        assert_eq!(s.n_turns(), 2);
+        assert_eq!(s.historical_tokens_at(0), 0);
+        assert_eq!(s.historical_tokens_at(1), 30);
+    }
+
+    #[test]
+    fn trace_sorts_by_arrival() {
+        let mut late = session();
+        late.id = 1;
+        late.arrival = Time::from_secs_f64(9.0);
+        let early = session();
+        let t = Trace::new(vec![late, early]);
+        assert_eq!(t.sessions[0].id, 3);
+        assert_eq!(t.sessions[1].id, 1);
+        assert_eq!(t.total_turns(), 4);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::new(vec![session()]);
+        let json = t.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(Trace::from_json("{nope").is_err());
+    }
+}

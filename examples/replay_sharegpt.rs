@@ -1,0 +1,57 @@
+//! Replay a real ShareGPT-format JSON dump through the serving simulator.
+//!
+//! Run: `cargo run --release --example replay_sharegpt [path/to/sharegpt.json]`
+//!
+//! Without a path it replays a small built-in sample so the example is
+//! runnable offline; with the real `sharegpt_90k` dump it reproduces the
+//! paper's workload exactly.
+
+use cachedattention::engine::{run_paper_workload, Mode};
+use cachedattention::models::ModelSpec;
+use cachedattention::workload::sharegpt::load_sharegpt_json;
+
+const SAMPLE: &str = r#"[
+  {"id": "demo-1", "conversations": [
+    {"from": "human", "value": "Write a haiku about key-value caches and the autumn moon."},
+    {"from": "gpt", "value": "Old keys linger on / the host memory grows cold / values drift to disk"},
+    {"from": "human", "value": "Now explain what a KV cache actually is, in two sentences."},
+    {"from": "gpt", "value": "A KV cache stores the attention keys and values of every token an LLM has processed so they are not recomputed when generating later tokens. It grows linearly with context length and dominates GPU memory during long conversations."},
+    {"from": "human", "value": "And why would I want to keep it between turns of a chat?"},
+    {"from": "gpt", "value": "Because the next turn repeats the whole conversation as context; reusing the cached keys and values avoids re-prefilling thousands of historical tokens, cutting the time to first token and the GPU bill."}
+  ]},
+  {"id": "demo-2", "conversations": [
+    {"from": "human", "value": "Summarize the plot of Hamlet in one tweet."},
+    {"from": "gpt", "value": "Danish prince learns his uncle killed his father, fakes madness, stages a play to confirm it, and in the ensuing duel nearly everyone dies, including him. #tragedy"}
+  ]}
+]"#;
+
+fn main() {
+    let json = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("could not read {path}: {e}; using built-in sample");
+            SAMPLE.to_string()
+        }),
+        None => SAMPLE.to_string(),
+    };
+    let trace = load_sharegpt_json(&json, 1.0, 15.0, 42).expect("parse ShareGPT JSON");
+    println!(
+        "loaded {} sessions / {} turns ({} total tokens)",
+        trace.sessions.len(),
+        trace.total_turns(),
+        trace.sessions.iter().map(|s| s.total_tokens()).sum::<u64>()
+    );
+    let ca = run_paper_workload(
+        Mode::CachedAttention,
+        ModelSpec::mistral_7b(),
+        trace.clone(),
+        0,
+    );
+    let re = run_paper_workload(Mode::Recompute, ModelSpec::mistral_7b(), trace, 0);
+    println!(
+        "Mistral-7B replay: CA TTFT {:.3}s vs RE {:.3}s; CA recomputed {:.0}% of prompt tokens vs RE {:.0}%",
+        ca.ttft_mean(),
+        re.ttft_mean(),
+        ca.recompute_fraction() * 100.0,
+        re.recompute_fraction() * 100.0,
+    );
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! CachedAttention: KV cache reuse across multi-turn LLM conversations.
+//!
+//! This is the facade crate of the reproduction of *"Cost-Efficient Large
+//! Language Model Serving for Multi-turn Conversations with
+//! CachedAttention"* (USENIX ATC 2024). It re-exports the public API of the
+//! workspace crates:
+//!
+//! - [`sim`]: deterministic discrete-event simulation kernel.
+//! - [`models`]: model/hardware specs and the calibrated cost model.
+//! - [`workload`]: ShareGPT-calibrated multi-turn conversation workloads.
+//! - [`store`]: AttentionStore, the hierarchical DRAM/SSD KV caching
+//!   system with scheduler-aware fetching and eviction.
+//! - [`engine`]: the serving engine with CachedAttention and the
+//!   recomputation baseline, layer-wise pre-loading and async saving.
+//! - [`metrics`]: statistics and AWS cost accounting.
+//! - [`tinyllm`]: a real CPU transformer demonstrating decoupled
+//!   positional-encoding KV truncation.
+//! - [`nanograd`]: reverse-mode autodiff used to train `tinyllm`.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the experiment
+//! index.
+
+pub use engine;
+pub use metrics;
+pub use models;
+pub use nanograd;
+pub use sim;
+pub use store;
+pub use tinyllm;
+pub use workload;
+
+/// Crate version, from the workspace manifest.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,139 @@
+//! Cross-crate integration: workload generation → serving simulation →
+//! metrics, under every mode and model.
+
+use cachedattention::engine::{run_paper_workload, run_trace, EngineConfig, Mode};
+use cachedattention::models::{self, ModelSpec};
+use cachedattention::workload::{Generator, ShareGptProfile, Trace};
+
+fn trace(n: usize, seed: u64) -> Trace {
+    Generator::new(ShareGptProfile::default(), seed).trace(n)
+}
+
+/// Every mode finishes every session for every evaluation model, and the
+/// accounting identities hold.
+#[test]
+fn all_modes_and_models_complete_with_consistent_accounting() {
+    let t = trace(60, 3);
+    let total_turns = t.total_turns() as u64;
+    for model in models::evaluation_models() {
+        for mode in [
+            Mode::CachedAttention,
+            Mode::Recompute,
+            Mode::CoupledOverflow,
+        ] {
+            let r = run_paper_workload(mode, model.clone(), t.clone(), 0);
+            assert_eq!(r.sessions_done.get(), 60, "{} {:?}", model.name, mode);
+            assert_eq!(r.turns_measured.get(), total_turns);
+            // Hits and misses partition the resumption turns.
+            assert_eq!(
+                r.hits_fast.get() + r.hits_slow.get() + r.misses.get(),
+                r.resumption_turns.get(),
+                "{} {:?}",
+                model.name,
+                mode
+            );
+            // Computed tokens never exceed presented tokens, and CA
+            // computes strictly less.
+            assert!(r.computed_tokens.get() <= r.prompt_tokens.get());
+            if mode == Mode::Recompute {
+                assert_eq!(r.computed_tokens.get(), r.prompt_tokens.get());
+            }
+            assert!(r.makespan_secs > 0.0);
+            assert!(r.ttft.count() as u64 == total_turns);
+        }
+    }
+}
+
+/// CachedAttention strictly beats recomputation on all four headline
+/// metrics, on every model (the paper's Figures 13–17 in miniature).
+#[test]
+fn ca_dominates_re_on_every_model() {
+    let t = trace(150, 9);
+    for model in models::evaluation_models() {
+        let ca = run_paper_workload(Mode::CachedAttention, model.clone(), t.clone(), 0);
+        let re = run_paper_workload(Mode::Recompute, model.clone(), t.clone(), 0);
+        assert!(ca.hit_rate() > 0.5, "{} hit {}", model.name, ca.hit_rate());
+        assert!(ca.ttft_mean() < re.ttft_mean(), "{}", model.name);
+        assert!(
+            ca.prefill_throughput() > 1.5 * re.prefill_throughput(),
+            "{}: {} vs {}",
+            model.name,
+            ca.prefill_throughput(),
+            re.prefill_throughput()
+        );
+        assert!(ca.busy_hours() < re.busy_hours(), "{}", model.name);
+    }
+}
+
+/// The whole pipeline is deterministic end to end: trace generation,
+/// simulation and reporting.
+#[test]
+fn pipeline_is_deterministic() {
+    let a = run_paper_workload(
+        Mode::CachedAttention,
+        ModelSpec::falcon_40b(),
+        trace(80, 17),
+        20,
+    );
+    let b = run_paper_workload(
+        Mode::CachedAttention,
+        ModelSpec::falcon_40b(),
+        trace(80, 17),
+        20,
+    );
+    assert_eq!(a.makespan_secs, b.makespan_secs);
+    assert_eq!(a.h2d_bytes, b.h2d_bytes);
+    assert_eq!(a.d2h_bytes, b.d2h_bytes);
+    assert_eq!(a.store_stats, b.store_stats);
+    assert_eq!(a.ttft_mean(), b.ttft_mean());
+}
+
+/// KV bytes flowing host→device are explained by reuse: RE moves nothing,
+/// CA moves roughly `reused tokens × bytes/token` plus staging.
+#[test]
+fn byte_flows_match_modes() {
+    let t = trace(60, 5);
+    let model = ModelSpec::llama2_13b();
+    let ca = run_paper_workload(Mode::CachedAttention, model.clone(), t.clone(), 0);
+    let re = run_paper_workload(Mode::Recompute, model, t, 0);
+    assert_eq!(re.h2d_bytes, 0);
+    assert_eq!(re.d2h_bytes, 0);
+    assert!(ca.h2d_bytes > 0);
+    assert!(ca.d2h_bytes > 0);
+    // Saves flow down: everything computed eventually crosses d2h once.
+    assert!(ca.store_stats.save_bytes > 0);
+}
+
+/// Disabling the paper's two overlap optimizations costs time, never
+/// correctness.
+#[test]
+fn overlap_optimizations_help() {
+    let t = trace(100, 21);
+    let base = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b());
+    let with = run_trace(base.clone(), t.clone());
+    let mut no_overlap = base;
+    no_overlap.preload = false;
+    no_overlap.async_save = false;
+    let without = run_trace(no_overlap, t);
+    assert_eq!(with.sessions_done.get(), without.sessions_done.get());
+    assert!(
+        with.ttft_mean() <= without.ttft_mean(),
+        "preload should cut TTFT: {} vs {}",
+        with.ttft_mean(),
+        without.ttft_mean()
+    );
+    assert!(with.stall_secs <= without.stall_secs + 1.0);
+}
+
+/// Truncation counters fire exactly for models whose window the workload
+/// overflows.
+#[test]
+fn truncation_depends_on_window() {
+    let t = trace(120, 33);
+    // 2K window: many sessions overflow.
+    let small = run_paper_workload(Mode::CachedAttention, ModelSpec::llama1_65b(), t.clone(), 0);
+    // 32K window: nothing overflows.
+    let big = run_paper_workload(Mode::CachedAttention, ModelSpec::mistral_7b(), t, 0);
+    assert!(small.truncations.get() > 0);
+    assert_eq!(big.truncations.get(), 0);
+}

@@ -1,0 +1,161 @@
+//! Property-based integration tests of AttentionStore: under arbitrary
+//! operation sequences the store never leaks blocks, never double-books
+//! capacity, and lookups stay consistent.
+
+use cachedattention::sim::Time;
+use cachedattention::store::{
+    AttentionStore, Lookup, PolicyKind, QueueView, SessionId, StoreConfig,
+};
+use proptest::prelude::*;
+
+const MB: u64 = 1_000_000;
+
+/// One random store operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Save { sid: u64, bytes: u64 },
+    Load { sid: u64 },
+    Unpin { sid: u64 },
+    Truncate { sid: u64, bytes: u64 },
+    Invalidate { sid: u64 },
+    Prefetch { queue: Vec<u64> },
+    Expire,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..24, 1u64..40).prop_map(|(sid, mb)| Op::Save {
+            sid,
+            bytes: mb * MB
+        }),
+        (0u64..24).prop_map(|sid| Op::Load { sid }),
+        (0u64..24).prop_map(|sid| Op::Unpin { sid }),
+        (0u64..24, 0u64..20).prop_map(|(sid, mb)| Op::Truncate {
+            sid,
+            bytes: mb * MB
+        }),
+        (0u64..24).prop_map(|sid| Op::Invalidate { sid }),
+        proptest::collection::vec(0u64..24, 0..6).prop_map(|queue| Op::Prefetch { queue }),
+        Just(Op::Expire),
+    ]
+}
+
+fn policies() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::SchedulerAware),
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::Fifo),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants hold across arbitrary operation sequences on a small,
+    /// pressured store.
+    #[test]
+    fn store_invariants_under_arbitrary_ops(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        policy in policies(),
+    ) {
+        let mut store = AttentionStore::new(StoreConfig {
+            dram_bytes: 100 * MB,
+            disk_bytes: 300 * MB,
+            block_bytes: 4 * MB,
+            policy,
+            ttl: Some(cachedattention::sim::Dur::from_secs_f64(50.0)),
+            dram_reserve_fraction: 0.1,
+            default_session_bytes: 10 * MB,
+        });
+        for (i, op) in ops.iter().enumerate() {
+            let now = Time::from_secs_f64(i as f64);
+            let empty = QueueView::empty();
+            match op {
+                Op::Save { sid, bytes } => {
+                    let tokens = bytes / MB;
+                    let (_, _) = store.save(SessionId(*sid), *bytes, tokens, now, &empty);
+                }
+                Op::Load { sid } => {
+                    let (found, _) = store.load_for_use(SessionId(*sid), now, &empty);
+                    // A hit means the entry exists afterwards, pinned.
+                    if found != Lookup::Miss {
+                        prop_assert!(store.entry(SessionId(*sid)).unwrap().pinned);
+                    }
+                }
+                Op::Unpin { sid } => store.unpin(SessionId(*sid)),
+                Op::Truncate { sid, bytes } => {
+                    let tokens = bytes / MB;
+                    store.truncate(SessionId(*sid), *bytes, tokens);
+                }
+                Op::Invalidate { sid } => store.invalidate(SessionId(*sid)),
+                Op::Prefetch { queue } => {
+                    let q: Vec<SessionId> = queue.iter().map(|&s| SessionId(s)).collect();
+                    let view = QueueView::new(&q);
+                    store.prefetch(now, &view);
+                }
+                Op::Expire => {
+                    store.expire(now);
+                }
+            }
+            // Capacity invariants: used bytes never exceed tier capacity.
+            prop_assert!(store.dram_used_bytes() <= 100 * MB);
+            prop_assert!(store.disk_used_bytes() <= 300 * MB);
+            // Every cached session's lookup agrees with its entry.
+            for sid in 0..24 {
+                let sid = SessionId(sid);
+                match store.lookup(sid) {
+                    Lookup::Miss => prop_assert!(store.entry(sid).is_none()),
+                    _ => prop_assert!(store.entry(sid).is_some()),
+                }
+            }
+        }
+        // Conservation at the end: sum of entry blocks equals used blocks.
+        let total_entry_bytes: u64 = (0..24)
+            .filter_map(|s| store.entry(SessionId(s)))
+            .map(|e| e.blocks.len() as u64 * 4 * MB)
+            .sum();
+        prop_assert_eq!(
+            total_entry_bytes,
+            store.dram_used_bytes() + store.disk_used_bytes()
+        );
+    }
+
+    /// The store's transfers are always internally consistent: a
+    /// promotion requires the session to end in DRAM, a demotion in disk
+    /// or gone.
+    #[test]
+    fn transfers_describe_real_movements(
+        sids in proptest::collection::vec(0u64..12, 1..40),
+    ) {
+        let mut store = AttentionStore::new(StoreConfig {
+            dram_bytes: 60 * MB,
+            disk_bytes: 120 * MB,
+            block_bytes: 4 * MB,
+            policy: PolicyKind::SchedulerAware,
+            ttl: None,
+            dram_reserve_fraction: 0.0,
+            default_session_bytes: 20 * MB,
+        });
+        let empty = QueueView::empty();
+        for (i, &sid) in sids.iter().enumerate() {
+            let now = Time::from_secs_f64(i as f64);
+            let (transfers, saved) = store.save(SessionId(sid), 20 * MB, 20, now, &empty);
+            if saved {
+                prop_assert_eq!(store.lookup(SessionId(sid)), Lookup::Dram);
+            }
+            for t in transfers {
+                use cachedattention::store::TransferDir;
+                match t.dir {
+                    TransferDir::DramToDisk => {
+                        // The victim is now on disk (or was dropped later
+                        // in the same call; it must not be in DRAM).
+                        prop_assert_ne!(store.lookup(t.session), Lookup::Dram);
+                    }
+                    TransferDir::DiskToDram => {
+                        prop_assert_eq!(store.lookup(t.session), Lookup::Dram);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the workload pipeline: any generated trace is
+//! servable, serialization round-trips, and the serving engine preserves
+//! trace-level token accounting.
+
+use cachedattention::engine::{run_paper_workload, Mode};
+use cachedattention::models::ModelSpec;
+use cachedattention::workload::{Generator, ShareGptProfile, Trace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any profile within sane ranges produces a servable trace and the
+    /// engine completes it.
+    #[test]
+    fn any_profile_is_servable(
+        seed in 0u64..1_000,
+        p_single in 0.05f64..0.9,
+        geo_p in 0.05f64..0.9,
+        user_mu in 2.0f64..6.0,
+        resp_mu in 2.0f64..6.0,
+        rate in 0.2f64..3.0,
+        think in 0.0f64..120.0,
+    ) {
+        let profile = ShareGptProfile {
+            p_single_turn: p_single,
+            turn_geo_p: geo_p,
+            user_mu,
+            resp_mu,
+            arrival_rate: rate,
+            mean_think_secs: think,
+            ..ShareGptProfile::default()
+        };
+        let trace = Generator::new(profile, seed).trace(25);
+        prop_assert_eq!(trace.sessions.len(), 25);
+        // Arrivals are sorted and non-negative.
+        for w in trace.sessions.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+        let r = run_paper_workload(Mode::CachedAttention, ModelSpec::llama2_13b(), trace.clone(), 0);
+        prop_assert_eq!(r.sessions_done.get(), 25);
+        prop_assert_eq!(r.turns_measured.get() as usize, trace.total_turns());
+    }
+
+    /// JSON serialization round-trips arbitrary generated traces.
+    #[test]
+    fn trace_json_round_trips(seed in 0u64..10_000, n in 1usize..40) {
+        let trace = Generator::new(ShareGptProfile::default(), seed).trace(n);
+        let json = trace.to_json();
+        let back = Trace::from_json(&json).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Prompt-token accounting: the engine's measured prompt tokens equal
+    /// the trace's post-truncation context sizes — and without context
+    /// overflow they equal the raw trace totals exactly.
+    #[test]
+    fn token_accounting_matches_trace(seed in 0u64..500) {
+        let trace = Generator::new(ShareGptProfile::default(), seed).trace(20);
+        // Restrict to traces where even the longest session stays inside
+        // Mistral's 32K window, so no truncation perturbs the accounting
+        // (heavy-tailed message lengths can overflow even 32K).
+        prop_assume!(trace
+            .sessions
+            .iter()
+            .all(|s| s.total_tokens() <= 32_768));
+        let r = run_paper_workload(Mode::Recompute, ModelSpec::mistral_7b(), trace.clone(), 0);
+        let expected: u64 = trace
+            .sessions
+            .iter()
+            .flat_map(|s| {
+                (0..s.n_turns()).map(move |i| {
+                    s.historical_tokens_at(i) + s.turns[i].user_tokens as u64
+                })
+            })
+            .sum();
+        prop_assert_eq!(r.prompt_tokens.get(), expected);
+    }
+}
