@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: run everything a PR must keep green.
+#
+#   ./ci.sh
+#
+# 1. release build of the whole workspace (examples + benches included)
+# 2. full test suite (unit, integration, golden-report, proptests, doctests)
+# 3. clippy with warnings denied
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

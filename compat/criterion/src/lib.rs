@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion` (see `compat/README.md`).
+//!
+//! Provides the subset of the criterion API the bench suite uses and a
+//! deliberately simple measurement loop: each benchmark runs one warm-up
+//! call plus `sample_size` timed calls and reports the mean wall-clock
+//! time per call. There is no statistical analysis, outlier detection or
+//! HTML report — the numbers are indicative, not rigorous.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed calls each benchmark makes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        run_one(&name, self.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (a no-op in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark's identifier: function name plus a parameter label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id like `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Passed to benchmark closures to time the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `sample_size` measured calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.samples = self.sample_size as u64;
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        samples: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.samples == 0 {
+        println!("{name:<50} (no measurement)");
+        return;
+    }
+    let per_iter = b.elapsed / b.samples as u32;
+    println!(
+        "{name:<50} time: {per_iter:>12?}  ({} samples)",
+        b.samples
+    );
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("compat/smoke", |b| b.iter(|| black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for the `rand_distr` crate (see `compat/README.md`).
+//!
+//! Provides the three distributions the simulator draws from: [`Exp`],
+//! [`LogNormal`] and [`Zipf`].
+
+#![warn(missing_docs)]
+
+use rand::{Distribution, Rng, RngCore};
+
+/// Error returned by invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+fn unit_open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform in (0, 1]: avoids ln(0).
+    1.0 - rng.gen::<f64>()
+}
+
+/// The exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution; `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Exp, ParamError> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(ParamError("exp rate must be positive and finite"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open01(rng).ln() / self.lambda
+    }
+}
+
+/// The log-normal distribution: `exp(mu + sigma · N(0, 1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution; parameters must be finite and `sigma`
+    /// non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, ParamError> {
+        if !(mu.is_finite() && sigma.is_finite() && sigma >= 0.0) {
+            return Err(ParamError("lognormal parameters must be finite"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; the second variate is discarded (the distribution
+        // object is stateless).
+        let u1 = unit_open01(rng);
+        let u2 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// The Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative unnormalized weights; `cdf[k-1]` covers ranks `1..=k`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the distribution; `n` must be positive and `s` finite and
+    /// non-negative.
+    pub fn new(n: u64, s: f64) -> Result<Zipf, ParamError> {
+        if n == 0 || !(s.is_finite() && s >= 0.0) {
+            return Err(ParamError("zipf needs n > 0 and finite s >= 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        Ok(Zipf { cdf })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = *self.cdf.last().expect("n > 0 checked in new");
+        let x = rng.gen::<f64>() * total;
+        let idx = self.cdf.partition_point(|&c| c <= x);
+        (idx.min(self.cdf.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Exp::new(2.0).unwrap();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[10_000];
+        assert!((median - 1f64.exp()).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Zipf::new(100, 1.5).unwrap();
+        let mut first = 0u32;
+        for _ in 0..10_000 {
+            let r = d.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&r));
+            if r == 1.0 {
+                first += 1;
+            }
+        }
+        // With s = 1.5, rank 1 carries ~38% of the mass.
+        assert!(first > 3_000, "rank-1 draws {first}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+    }
+}

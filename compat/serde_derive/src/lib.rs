@@ -1,0 +1,343 @@
+//! Offline stand-in for `serde_derive` (see `compat/README.md`).
+//!
+//! Parses the item token stream by hand (no `syn`/`quote` available
+//! offline) and emits impls of the stand-in `serde::Serialize` /
+//! `serde::Deserialize` traits. Supported shapes, which cover every
+//! derive site in this workspace:
+//!
+//! - structs with named fields (serialized as JSON objects)
+//! - single-field tuple structs (serialized transparently as the inner
+//!   value)
+//! - enums with unit variants only (serialized as the variant name)
+//!
+//! Supported field attributes: `#[serde(default)]`,
+//! `#[serde(skip, default = "path::to::fn")]` and any combination of
+//! `skip` / `default` / `default = "..."`. Anything else panics at
+//! compile time so unsupported uses are caught loudly rather than
+//! silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from(
+                "let mut pairs: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                body.push_str(&format!(
+                    "pairs.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(pairs)");
+            impl_serialize(name, &body)
+        }
+        Item::Newtype { name } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Item::Enum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for v in variants {
+                body.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                ));
+            }
+            body.push('}');
+            impl_serialize(name, &body)
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the stand-in `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = format!(
+                "if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                 return Err(::serde::Error::custom(format!(\n\
+                 \"expected object for {name}, got {{}}\", v.kind())));\n}}\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                let fallback = match (&f.default, f.skip) {
+                    (Default_::Path(p), _) => format!("{p}()"),
+                    (Default_::Std, _) | (Default_::None, true) => {
+                        "::core::default::Default::default()".to_string()
+                    }
+                    (Default_::None, false) => format!(
+                        "return Err(::serde::Error::custom(\
+                         \"missing field `{n}` in {name}\"))",
+                        n = f.name
+                    ),
+                };
+                if f.skip {
+                    body.push_str(&format!("{n}: {fallback},\n", n = f.name));
+                } else {
+                    body.push_str(&format!(
+                        "{n}: match v.get(\"{n}\") {{\n\
+                         Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                         None => {fallback},\n}},\n",
+                        n = f.name
+                    ));
+                }
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Item::Newtype { name } => impl_deserialize(
+            name,
+            &format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut body =
+                "match v {\n::serde::Value::Str(s) => match s.as_str() {\n".to_string();
+            for var in variants {
+                body.push_str(&format!("\"{var}\" => Ok({name}::{var}),\n"));
+            }
+            body.push_str(&format!(
+                "other => Err(::serde::Error::custom(format!(\n\
+                 \"unknown {name} variant `{{}}`\", other))),\n}},\n\
+                 other => Err(::serde::Error::custom(format!(\n\
+                 \"expected string for {name}, got {{}}\", other.kind()))),\n}}"
+            ));
+            impl_deserialize(name, &body)
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Newtype { name: String },
+    Enum { name: String, variants: Vec<String> },
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: Default_,
+}
+
+enum Default_ {
+    /// Required field: error if the key is absent.
+    None,
+    /// `#[serde(default)]`: fall back to `Default::default()`.
+    Std,
+    /// `#[serde(default = "path")]`: fall back to calling `path()`.
+    Path(String),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    // Skip generic parameters if present: unsupported, but detect loudly.
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the offline stand-in");
+    }
+    match kind.as_str() {
+        "struct" => match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_fields(g.stream()),
+            },
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut j = 0;
+                skip_attrs(&inner, &mut j);
+                skip_vis(&inner, &mut j);
+                // A single type with no top-level comma = newtype struct.
+                let mut depth = 0i32;
+                for t in &inner[j..] {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            panic!(
+                                "serde_derive: only single-field tuple structs \
+                                 are supported ({name})"
+                            )
+                        }
+                        _ => {}
+                    }
+                }
+                Item::Newtype { name }
+            }
+            other => panic!("serde_derive: unsupported struct body for {name}: {other}"),
+        },
+        "enum" => match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unsupported enum body for {name}: {other}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (skip, default) = take_serde_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other}"),
+        }
+        // Skip the type: everything up to the next comma outside angle
+        // brackets. (Groups are single tokens, so parens/brackets in
+        // types need no tracking.)
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => panic!(
+                "serde_derive: only unit enum variants are supported \
+                 (variant `{name}` has payload starting at {other})"
+            ),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+/// Skips any `#[...]` attributes, extracting `skip` / `default` info from
+/// `#[serde(...)]` ones.
+fn take_serde_attrs(toks: &[TokenTree], i: &mut usize) -> (bool, Default_) {
+    let mut skip = false;
+    let mut default = Default_::None;
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let TokenTree::Group(g) = &toks[*i + 1] else {
+            panic!("serde_derive: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(&inner[0], TokenTree::Ident(id) if id.to_string() == "serde") {
+            let TokenTree::Group(args) = &inner[1] else {
+                panic!("serde_derive: malformed #[serde] attribute");
+            };
+            parse_serde_args(args.stream(), &mut skip, &mut default);
+        }
+        *i += 2;
+    }
+    (skip, default)
+}
+
+fn parse_serde_args(stream: TokenStream, skip: &mut bool, default: &mut Default_) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "skip" => {
+                *skip = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    i += 1;
+                    let lit = toks[i].to_string();
+                    let path = lit.trim_matches('"').to_string();
+                    *default = Default_::Path(path);
+                    i += 1;
+                } else {
+                    *default = Default_::Std;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!(
+                "serde_derive: unsupported #[serde] argument `{other}` \
+                 (only `skip`, `default`, `default = \"path\"`)"
+            ),
+        }
+    }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 2;
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            toks.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}

@@ -122,6 +122,14 @@ impl EngineConfig {
         }
     }
 
+    /// Bytes of stored/transferred KV for `tokens` tokens after the
+    /// configured compression: `kv_bytes(tokens) · kv_compression`,
+    /// truncated to whole bytes. GPU compute always sees the raw size;
+    /// only the store footprint and link transfers shrink.
+    pub fn stored_kv_bytes(&self, tokens: u64) -> u64 {
+        (self.model.kv_bytes(tokens) as f64 * self.kv_compression) as u64
+    }
+
     /// Returns a copy with chunked prefill at the given chunk size.
     pub fn with_chunked_prefill(mut self, tokens: u64) -> Self {
         assert!(tokens > 0, "chunk size must be positive");

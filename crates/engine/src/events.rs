@@ -1,0 +1,245 @@
+//! Engine trace events: an observer hook over the serving pipeline.
+//!
+//! Every stage of the pipeline reports what it decided — arrivals,
+//! truncations, store consultations, admissions, completions — through an
+//! [`EngineObserver`]. Observation is strictly read-only: observers see
+//! events *after* the simulator has committed the corresponding state
+//! change, and nothing the observer does can alter the run (which is why
+//! the golden-report fixtures hold with or without one attached).
+//!
+//! [`EventLog`] is the canonical observer: it collects events into a
+//! `Vec` for test assertions and offline analysis;
+//! [`run_traced`](crate::run_traced) wires it up.
+
+use sim::Time;
+
+/// How a store consultation classified a resuming job's KV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsultClass {
+    /// First turn (no history): nothing to look up.
+    NoHistory,
+    /// No store configured (the RE baseline): always recompute.
+    NoStore,
+    /// History existed but no cached KV survived.
+    Miss,
+    /// KV found in the fast tier.
+    HitFast,
+    /// KV found in the slow tier.
+    HitSlow,
+}
+
+/// One observable step of the serving pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EngineEvent {
+    /// A session's next turn arrived and was queued.
+    TurnArrived {
+        /// External session id.
+        session: u64,
+        /// Zero-based turn index within the session.
+        turn: usize,
+        /// Virtual arrival time.
+        at: Time,
+    },
+    /// Context overflow shrank a session's visible history.
+    Truncated {
+        /// External session id.
+        session: u64,
+        /// History length before truncation.
+        old_hist: u64,
+        /// History length after truncation.
+        new_hist: u64,
+        /// Virtual time of the owning turn's arrival.
+        at: Time,
+    },
+    /// The transfer stage consulted the store for a queue-head job.
+    Consulted {
+        /// External session id.
+        session: u64,
+        /// Classification of the access.
+        class: ConsultClass,
+        /// Tokens of history the engine will reuse.
+        reused: u64,
+        /// Virtual consultation time.
+        at: Time,
+    },
+    /// Admission deferred the queue-head job.
+    Deferred {
+        /// External session id.
+        session: u64,
+        /// Earliest time admission can be retried.
+        until: Time,
+        /// Virtual time of the attempt.
+        at: Time,
+    },
+    /// A job was admitted and its prefill issued.
+    Admitted {
+        /// External session id.
+        session: u64,
+        /// Tokens of reused history.
+        reused: u64,
+        /// Tokens prefilled on the GPU.
+        computed: u64,
+        /// Whether the prefill was split into chunks.
+        chunked: bool,
+        /// Virtual admission time.
+        at: Time,
+    },
+    /// A prefill finished and the job joined the decode batch.
+    PrefillDone {
+        /// External session id.
+        session: u64,
+        /// Service TTFT in seconds (admission → first token).
+        ttft_secs: f64,
+        /// Virtual completion time.
+        at: Time,
+    },
+    /// A job finished decoding and retired.
+    Retired {
+        /// External session id.
+        session: u64,
+        /// The session's history length after this turn.
+        new_hist: u64,
+        /// Virtual retirement time.
+        at: Time,
+    },
+}
+
+impl EngineEvent {
+    /// A [`EngineEvent::TurnArrived`] for `session`'s turn `turn`.
+    pub fn turn_arrived(session: u64, turn: usize, at: Time) -> Self {
+        EngineEvent::TurnArrived { session, turn, at }
+    }
+
+    /// A [`EngineEvent::Truncated`] shrinking `session`'s history.
+    pub fn truncated(session: u64, old_hist: u64, new_hist: u64, at: Time) -> Self {
+        EngineEvent::Truncated {
+            session,
+            old_hist,
+            new_hist,
+            at,
+        }
+    }
+
+    /// A [`EngineEvent::Consulted`] classifying a store access.
+    pub fn consulted(session: u64, class: ConsultClass, reused: u64, at: Time) -> Self {
+        EngineEvent::Consulted {
+            session,
+            class,
+            reused,
+            at,
+        }
+    }
+
+    /// A [`EngineEvent::Deferred`] admission retryable at `until`.
+    pub fn deferred(session: u64, until: Time, at: Time) -> Self {
+        EngineEvent::Deferred { session, until, at }
+    }
+
+    /// An [`EngineEvent::Admitted`] job entering the GPU.
+    pub fn admitted(session: u64, reused: u64, computed: u64, chunked: bool, at: Time) -> Self {
+        EngineEvent::Admitted {
+            session,
+            reused,
+            computed,
+            chunked,
+            at,
+        }
+    }
+
+    /// A [`EngineEvent::PrefillDone`] first token.
+    pub fn prefill_done(session: u64, ttft_secs: f64, at: Time) -> Self {
+        EngineEvent::PrefillDone {
+            session,
+            ttft_secs,
+            at,
+        }
+    }
+
+    /// An [`EngineEvent::Retired`] finished job.
+    pub fn retired(session: u64, new_hist: u64, at: Time) -> Self {
+        EngineEvent::Retired {
+            session,
+            new_hist,
+            at,
+        }
+    }
+
+    /// The external session id the event concerns.
+    pub fn session(&self) -> u64 {
+        match *self {
+            EngineEvent::TurnArrived { session, .. }
+            | EngineEvent::Truncated { session, .. }
+            | EngineEvent::Consulted { session, .. }
+            | EngineEvent::Deferred { session, .. }
+            | EngineEvent::Admitted { session, .. }
+            | EngineEvent::PrefillDone { session, .. }
+            | EngineEvent::Retired { session, .. } => session,
+        }
+    }
+}
+
+/// A sink for [`EngineEvent`]s.
+pub trait EngineObserver {
+    /// Called after the simulator commits the observed step.
+    fn on_event(&mut self, ev: EngineEvent);
+}
+
+/// The default observer: discards everything, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl EngineObserver for NullObserver {
+    fn on_event(&mut self, _ev: EngineEvent) {}
+}
+
+/// A Vec-collecting observer for tests and offline analysis.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<EngineEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// All collected events, in commit order.
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// Consumes the log, returning the collected events.
+    pub fn into_events(self) -> Vec<EngineEvent> {
+        self.events
+    }
+}
+
+impl EngineObserver for EventLog {
+    fn on_event(&mut self, ev: EngineEvent) {
+        self.events.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_collects_in_order() {
+        let mut log = EventLog::new();
+        log.on_event(EngineEvent::TurnArrived {
+            session: 3,
+            turn: 0,
+            at: Time::ZERO,
+        });
+        log.on_event(EngineEvent::Retired {
+            session: 3,
+            new_hist: 42,
+            at: Time::from_secs_f64(1.0),
+        });
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].session(), 3);
+        assert!(matches!(log.events()[1], EngineEvent::Retired { new_hist: 42, .. }));
+    }
+}

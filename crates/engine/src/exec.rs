@@ -1,0 +1,288 @@
+//! Execution stage: what the GPU runs and for how long.
+//!
+//! Owns the job arena's [`Job`] record, the GPU's current [`Action`], the
+//! decode batch, and the timing arithmetic: [`prefill_timing`] folds the
+//! layer-wise pre-loading schedule (§3.2.1) into a prefill's duration,
+//! [`plan_prefill`] decides monolithic vs Sarathi-style chunked issue,
+//! and [`Executor::advance_decode`] steps the continuous batch one token.
+//!
+//! The stage is deliberately ignorant of the report and the store: it
+//! returns durations and classifications, and the orchestrator does the
+//! bookkeeping.
+
+use sim::{Dur, Time};
+
+use crate::overlap::{no_preload, with_preload, PreloadParams};
+use crate::transfer::TransferPlan;
+use crate::{EngineConfig, Medium};
+
+/// What the GPU is doing until the pending tick.
+#[derive(Debug, Clone, Copy)]
+pub enum Action {
+    /// Prefilling `job` monolithically; at the tick it joins the batch.
+    Prefill {
+        /// Job arena index.
+        job: usize,
+    },
+    /// Running one chunk of `job`'s prefill; `chunks_left` more follow.
+    PrefillChunk {
+        /// Job arena index.
+        job: usize,
+        /// Chunks remaining after the current one.
+        chunks_left: u32,
+        /// Duration of each chunk.
+        chunk_dur: Dur,
+    },
+    /// One decode iteration of the whole batch.
+    Decode,
+    /// Stalled waiting for data or buffer drain.
+    Sleep,
+}
+
+/// One turn's job.
+#[derive(Debug)]
+pub struct Job {
+    /// Owning session (index into the simulator's session table).
+    pub session: usize,
+    /// When the turn arrived.
+    pub arrival: Time,
+    /// Prompt tokens presented this turn (clamped to the window).
+    pub user_tokens: u64,
+    /// Response tokens to decode.
+    pub resp_tokens: u64,
+    /// Historical context tokens visible to the model (post-truncation).
+    pub hist_tokens: u64,
+    /// History tokens served from the cache.
+    pub reused_tokens: u64,
+    /// Tokens actually prefilled on the GPU.
+    pub computed_tokens: u64,
+    /// Live context length while decoding.
+    pub ctx_tokens: u64,
+    /// Decode tokens still to produce.
+    pub remaining_decode: u64,
+    /// Whether this turn counts toward the metrics (past warmup).
+    pub measured: bool,
+    /// Pure prefill compute time in seconds.
+    pub prefill_secs: f64,
+    /// When the job was admitted onto the GPU.
+    pub admitted_at: Time,
+    /// When decoding started (prefill completion).
+    pub decode_start: Time,
+    /// Store-consultation outcome, filled the first time the job reaches
+    /// the queue head: (reused tokens, staging completion time).
+    pub consulted: Option<(u64, Time)>,
+}
+
+impl Job {
+    /// A fresh job for one arriving turn, not yet consulted or admitted.
+    pub fn for_turn(
+        session: usize,
+        arrival: Time,
+        user_tokens: u64,
+        resp_tokens: u64,
+        hist_tokens: u64,
+        measured: bool,
+    ) -> Self {
+        Job {
+            session,
+            arrival,
+            user_tokens,
+            resp_tokens,
+            hist_tokens,
+            reused_tokens: 0,
+            computed_tokens: 0,
+            ctx_tokens: 0,
+            remaining_decode: resp_tokens,
+            measured,
+            prefill_secs: 0.0,
+            admitted_at: Time::ZERO,
+            decode_start: Time::ZERO,
+            consulted: None,
+        }
+    }
+}
+
+/// How an admitted prefill is issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefillIssue {
+    /// One uninterrupted prefill.
+    Monolithic,
+    /// Sarathi-style chunking: `n_chunks` equal slices with one decode
+    /// iteration piggybacked between consecutive slices.
+    Chunked {
+        /// Number of slices.
+        n_chunks: u64,
+        /// Duration of each slice.
+        chunk_dur: Dur,
+    },
+}
+
+/// Splits a prefill into chunks when a chunk size is configured and the
+/// computed span exceeds it.
+pub fn plan_prefill(chunk_tokens: Option<u64>, computed: u64, total: Dur) -> PrefillIssue {
+    match chunk_tokens {
+        Some(chunk) if computed > chunk => {
+            let n_chunks = computed.div_ceil(chunk).max(1);
+            PrefillIssue::Chunked {
+                n_chunks,
+                chunk_dur: total / n_chunks,
+            }
+        }
+        _ => PrefillIssue::Monolithic,
+    }
+}
+
+/// Computes the prefill timing of a job given its reuse split and the
+/// staging completion of its cached KV.
+/// Returns (total duration, pure compute, stall).
+///
+/// For DRAM-backed fast tiers the reused KV is pre-loaded layer-wise
+/// over the `h2d` stream, overlapped with the partial prefill (§3.2.1);
+/// the stream is occupied through the end of the load. For HBM-backed
+/// fast tiers the KV is already device-resident and only the staging
+/// wait remains.
+pub fn prefill_timing(
+    cfg: &EngineConfig,
+    plan: &mut TransferPlan,
+    now: Time,
+    reused: u64,
+    computed: u64,
+    staged: Time,
+) -> (Dur, Dur, Dur) {
+    let m = &cfg.model;
+    let comp = cfg.cost.prefill_time(m, &cfg.cluster, computed, reused);
+    let load_bytes = cfg.stored_kv_bytes(reused);
+    if reused == 0 {
+        return (comp, comp, Dur::ZERO);
+    }
+    // For HBM-backed fast tiers the KV is already device-resident.
+    if matches!(cfg.medium, Medium::HbmDram | Medium::HbmOnly) {
+        let wait = staged.saturating_since(now);
+        return (wait + comp, comp, wait);
+    }
+    let layers = m.n_layers;
+    let t_load_layer = plan.h2d_duration_of(load_bytes / layers as u64);
+    let t_comp_layer = comp / layers as u64;
+    // The read stream may have warmed the buffer while it was idle
+    // before this job, but never before the KV was staged in DRAM.
+    let stream_free = plan.h2d_busy_until().max(staged);
+    let max_warm = t_load_layer * cfg.read_buffer_layers as u64;
+    let (warm, delay) = if stream_free <= now {
+        (now.saturating_since(stream_free).min(max_warm), Dur::ZERO)
+    } else {
+        (Dur::ZERO, stream_free - now)
+    };
+    let params = PreloadParams {
+        n_layers: layers,
+        t_load_layer,
+        t_comp_layer,
+        buffer_layers: cfg.read_buffer_layers,
+        warm,
+        delay,
+    };
+    let timing = if cfg.preload {
+        with_preload(&params)
+    } else {
+        no_preload(&params)
+    };
+    // Occupy the load stream through the end of this job's transfers.
+    plan.h2d_occupy(now + timing.load_done, load_bytes);
+    (timing.done, comp, timing.stall)
+}
+
+/// The GPU's mutable execution state: current action, paused chunked
+/// prefill, and the continuous decode batch.
+#[derive(Debug, Default)]
+pub struct Executor {
+    /// What the GPU runs until the pending tick (`None` = idle).
+    pub gpu_action: Option<Action>,
+    /// A chunked prefill paused for one piggybacked decode iteration:
+    /// (job, chunks left, chunk duration).
+    pub pending_chunk: Option<(usize, u32, Dur)>,
+    /// Jobs decoding together under continuous batching.
+    pub batch: Vec<usize>,
+}
+
+impl Executor {
+    /// Creates an idle executor with an empty batch.
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// Duration of one decode iteration of the current batch.
+    pub fn decode_iter_dur(&self, cfg: &EngineConfig, jobs: &[Job]) -> Dur {
+        let total_ctx: u64 = self.batch.iter().map(|&j| jobs[j].ctx_tokens).sum();
+        cfg.cost
+            .decode_iter_time(&cfg.model, &cfg.cluster, self.batch.len() as u64, total_ctx)
+    }
+
+    /// Advances every batched job by one decoded token; removes and
+    /// returns the jobs that just finished, in batch order.
+    pub fn advance_decode(&mut self, jobs: &mut [Job]) -> Vec<usize> {
+        let mut finished = Vec::new();
+        for &j in &self.batch {
+            let job = &mut jobs[j];
+            job.ctx_tokens += 1;
+            job.remaining_decode -= 1;
+            if job.remaining_decode == 0 {
+                finished.push(j);
+            }
+        }
+        self.batch.retain(|j| !finished.contains(j));
+        finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(resp: u64) -> Job {
+        Job {
+            session: 0,
+            arrival: Time::ZERO,
+            user_tokens: 10,
+            resp_tokens: resp,
+            hist_tokens: 0,
+            reused_tokens: 0,
+            computed_tokens: 10,
+            ctx_tokens: 10,
+            remaining_decode: resp,
+            measured: true,
+            prefill_secs: 0.0,
+            admitted_at: Time::ZERO,
+            decode_start: Time::ZERO,
+            consulted: None,
+        }
+    }
+
+    #[test]
+    fn plan_prefill_only_chunks_past_the_threshold() {
+        let total = Dur::from_secs_f64(1.0);
+        assert_eq!(plan_prefill(None, 10_000, total), PrefillIssue::Monolithic);
+        assert_eq!(plan_prefill(Some(256), 200, total), PrefillIssue::Monolithic);
+        assert_eq!(plan_prefill(Some(256), 256, total), PrefillIssue::Monolithic);
+        match plan_prefill(Some(256), 1000, total) {
+            PrefillIssue::Chunked { n_chunks, chunk_dur } => {
+                assert_eq!(n_chunks, 4);
+                assert_eq!(chunk_dur, total / 4);
+            }
+            other => panic!("expected chunked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn advance_decode_retires_in_batch_order() {
+        let mut jobs = vec![job(1), job(2), job(1)];
+        let mut ex = Executor::new();
+        ex.batch = vec![0, 1, 2];
+        let finished = ex.advance_decode(&mut jobs);
+        assert_eq!(finished, vec![0, 2]);
+        assert_eq!(ex.batch, vec![1]);
+        assert_eq!(jobs[0].ctx_tokens, 11);
+        assert_eq!(jobs[1].remaining_decode, 1);
+        let finished = ex.advance_decode(&mut jobs);
+        assert_eq!(finished, vec![1]);
+        assert!(ex.batch.is_empty());
+    }
+}

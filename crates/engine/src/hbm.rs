@@ -1,0 +1,133 @@
+//! HBM residency stage: the live-KV budget and its high-water mark.
+//!
+//! The decoding batch holds every member's KV cache resident in HBM, and
+//! each admitted job reserves its *final* context (history + prompt +
+//! response) up front because decode grows the cache in place. This
+//! ledger owns the budget arithmetic of §2.4 — aggregate HBM minus the
+//! sharded weights minus a 10% activation/workspace reserve — and tracks
+//! the peak reservation for the report.
+
+use models::{ClusterSpec, ModelSpec};
+
+use crate::exec::Job;
+
+/// HBM accounting for the live decode batch's KV.
+#[derive(Debug, Clone, Copy)]
+pub struct HbmLedger {
+    budget: u64,
+    high_water: u64,
+}
+
+impl HbmLedger {
+    /// Computes the KV budget for `model` on `cluster` (§2.4's free-HBM
+    /// arithmetic: 320 GB − 130 GB of LLaMA-65B weights − 10% ≈ 158 GB).
+    pub fn new(cluster: &ClusterSpec, model: &ModelSpec) -> Self {
+        let total = cluster.total_hbm_bytes();
+        let weights = model.weight_bytes();
+        let reserve = total / 10;
+        HbmLedger {
+            budget: total.saturating_sub(weights).saturating_sub(reserve),
+            high_water: 0,
+        }
+    }
+
+    /// HBM bytes available for live KV.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Uncompressed KV bytes the decoding batch holds reserved at its
+    /// peak: each member's full final context.
+    pub fn reserved_kv(&self, model: &ModelSpec, batch: &[usize], jobs: &[Job]) -> u64 {
+        batch
+            .iter()
+            .map(|&j| {
+                let job = &jobs[j];
+                model.kv_bytes(job.hist_tokens + job.user_tokens + job.resp_tokens)
+            })
+            .sum()
+    }
+
+    /// Records a post-admission reservation level; keeps the maximum.
+    pub fn note_reserved(&mut self, reserved: u64) {
+        if reserved > self.high_water {
+            self.high_water = reserved;
+        }
+    }
+
+    /// Peak KV reservation seen over the run.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Time;
+
+    fn job(hist: u64, user: u64, resp: u64) -> Job {
+        Job {
+            session: 0,
+            arrival: Time::ZERO,
+            user_tokens: user,
+            resp_tokens: resp,
+            hist_tokens: hist,
+            reused_tokens: 0,
+            computed_tokens: 0,
+            ctx_tokens: 0,
+            remaining_decode: resp,
+            measured: true,
+            prefill_secs: 0.0,
+            admitted_at: Time::ZERO,
+            decode_start: Time::ZERO,
+            consulted: None,
+        }
+    }
+
+    #[test]
+    fn budget_subtracts_weights_and_reserve() {
+        let model = ModelSpec::llama1_65b();
+        let cluster = ClusterSpec::paper_testbed().with_gpus(4);
+        let ledger = HbmLedger::new(&cluster, &model);
+        let total = cluster.total_hbm_bytes();
+        assert_eq!(
+            ledger.budget(),
+            total - model.weight_bytes() - total / 10
+        );
+    }
+
+    #[test]
+    fn budget_saturates_when_weights_exceed_hbm() {
+        let model = ModelSpec::llama1_65b();
+        let mut cluster = ClusterSpec::paper_testbed().with_gpus(1);
+        cluster.gpu.hbm_bytes = 1_000_000;
+        assert_eq!(HbmLedger::new(&cluster, &model).budget(), 0);
+    }
+
+    #[test]
+    fn reserved_kv_sums_final_contexts() {
+        let model = ModelSpec::llama2_13b();
+        let cluster = ClusterSpec::paper_testbed().with_gpus(2);
+        let ledger = HbmLedger::new(&cluster, &model);
+        let jobs = vec![job(100, 20, 30), job(0, 50, 50)];
+        let batch = vec![0, 1];
+        assert_eq!(
+            ledger.reserved_kv(&model, &batch, &jobs),
+            model.kv_bytes(150) + model.kv_bytes(100)
+        );
+        assert_eq!(ledger.reserved_kv(&model, &[], &jobs), 0);
+    }
+
+    #[test]
+    fn high_water_is_monotone() {
+        let model = ModelSpec::llama2_13b();
+        let cluster = ClusterSpec::paper_testbed().with_gpus(2);
+        let mut ledger = HbmLedger::new(&cluster, &model);
+        ledger.note_reserved(10);
+        ledger.note_reserved(5);
+        assert_eq!(ledger.high_water(), 10);
+        ledger.note_reserved(25);
+        assert_eq!(ledger.high_water(), 25);
+    }
+}

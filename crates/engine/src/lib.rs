@@ -3,24 +3,84 @@
 //! The LLM serving engine of the CachedAttention reproduction.
 //!
 //! This crate ties the substrates together into the system the paper
-//! evaluates:
+//! evaluates. The engine is a staged pipeline around a thin
+//! discrete-event orchestrator:
 //!
 //! - [`EngineConfig`] / [`Mode`] / [`Medium`]: a serving setup — which
 //!   model, which hardware, CachedAttention (`CA`) vs recomputation
 //!   (`RE`) vs the coupled-positional-encoding overflow baseline (`OF`),
 //!   and which storage hierarchy backs AttentionStore.
+//! - [`scheduler`]: the job queue ([`scheduler::SchedulerPolicy`], FCFS
+//!   by default), the pure admission predicates, and the §3.3 look-ahead
+//!   window arithmetic.
+//! - [`transfer`]: the four bandwidth links (h2d/d2h/slow-rd/slow-wr),
+//!   store consultation, fast-tier staging and write-buffer gating.
+//! - [`hbm`]: the live-KV HBM budget and high-water ledger (§2.4).
+//! - [`truncate`]: the context-overflow policy (§3.4).
+//! - [`exec`]: prefill/decode timing, chunked-prefill issue and the
+//!   continuous decode batch.
 //! - [`overlap`]: the layer-wise pre-loading and asynchronous saving
 //!   timing models (§3.2, Figures 6–8, ablated in Figures 18–20).
-//! - [`ServingSim`] / [`run_trace`]: the discrete-event serving simulator
-//!   with closed-loop multi-turn sessions, continuous batching, and
-//!   AttentionStore integration.
+//! - [`ServingSim`] / [`run_trace`]: the orchestrator dispatching
+//!   closed-loop multi-turn sessions over those stages; [`run_traced`]
+//!   additionally collects the [`EngineEvent`] stream through the
+//!   [`EngineObserver`] hook.
 //! - [`RunReport`]: every metric the paper's evaluation reports.
 
 mod config;
+pub mod events;
+pub mod exec;
+pub mod hbm;
 pub mod overlap;
 mod report;
+pub mod scheduler;
 mod serving;
+pub mod transfer;
+pub mod truncate;
 
 pub use config::{EngineConfig, Medium, Mode};
+pub use events::{ConsultClass, EngineEvent, EngineObserver, EventLog, NullObserver};
 pub use report::RunReport;
-pub use serving::{run_paper_workload, run_trace, ServingSim};
+pub use serving::{Ev, ServingSim};
+
+use models::ModelSpec;
+use workload::Trace;
+
+/// Runs `cfg` over `trace` and returns the collected report.
+///
+/// # Examples
+///
+/// ```
+/// use engine::{run_trace, EngineConfig, Mode};
+/// use models::ModelSpec;
+/// use workload::{Generator, ShareGptProfile};
+///
+/// let trace = Generator::new(ShareGptProfile::default(), 1).trace(20);
+/// let cfg = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b());
+/// let report = run_trace(cfg, trace);
+/// assert_eq!(report.sessions_done.get(), 20);
+/// assert!(report.hit_rate() > 0.5);
+/// ```
+pub fn run_trace(cfg: EngineConfig, trace: Trace) -> RunReport {
+    ServingSim::run(cfg, trace)
+}
+
+/// Runs `cfg` over `trace` with an [`EventLog`] attached, returning the
+/// report together with the full [`EngineEvent`] stream in commit order.
+pub fn run_traced(cfg: EngineConfig, trace: Trace) -> (RunReport, Vec<EngineEvent>) {
+    let mut world = ServingSim::with_observer(cfg, trace, EventLog::new());
+    world.drive();
+    let (report, log) = world.finish();
+    (report, log.into_events())
+}
+
+/// Convenience: the paper's end-to-end run for one model and mode.
+pub fn run_paper_workload(
+    mode: Mode,
+    model: ModelSpec,
+    trace: Trace,
+    warmup_turns: usize,
+) -> RunReport {
+    let cfg = EngineConfig::paper(mode, model).with_warmup(warmup_turns);
+    run_trace(cfg, trace)
+}

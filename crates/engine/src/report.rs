@@ -4,10 +4,18 @@ use metrics::aws::{CostReport, PriceSheet};
 use metrics::{Counter, Histogram, TimeSeries, Welford};
 use store::StoreStats;
 
+use crate::events::ConsultClass;
 use crate::Mode;
+use serde::Serialize;
 
 /// Metrics collected over one serving run (post-warmup unless noted).
-#[derive(Debug, Default)]
+///
+/// Serializes to JSON with deterministic field order and shortest
+/// round-trip float formatting, so two bit-identical runs produce
+/// byte-identical JSON — the golden-report regression tests
+/// (`tests/golden_report.rs`) rely on this to pin the simulator's exact
+/// behavior across refactors.
+#[derive(Debug, Default, Serialize)]
 pub struct RunReport {
     /// Served model name.
     pub model: String,
@@ -74,6 +82,64 @@ impl RunReport {
             model: model.to_string(),
             mode: mode.label().to_string(),
             ..RunReport::default()
+        }
+    }
+
+    /// Records a store consultation's hit/miss classification. Only
+    /// measured turns count toward the report.
+    pub fn record_consult(&mut self, class: ConsultClass, measured: bool) {
+        if !measured {
+            return;
+        }
+        match class {
+            ConsultClass::NoHistory => {}
+            ConsultClass::NoStore | ConsultClass::Miss => self.misses.incr(),
+            ConsultClass::HitFast => self.hits_fast.incr(),
+            ConsultClass::HitSlow => self.hits_slow.incr(),
+        }
+    }
+
+    /// Records an admission: `comp` seconds of prefill compute inside a
+    /// `total`-second GPU span starting at `now`, stalled for `stall`
+    /// seconds; measured turns also contribute token counts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_admission(
+        &mut self,
+        now: f64,
+        comp: f64,
+        total: f64,
+        stall: f64,
+        measured: bool,
+        prompt_tokens: u64,
+        computed_tokens: u64,
+    ) {
+        self.prefill_busy_secs += comp;
+        self.gpu_busy_timeline.add_span(now, total, total);
+        self.stall_secs += stall;
+        if measured {
+            self.turns_measured.incr();
+            self.prompt_tokens.add(prompt_tokens);
+            self.computed_tokens.add(computed_tokens);
+            self.measured_prefill_secs += comp;
+        }
+    }
+
+    /// Records a prefill completion (the first token) of a measured turn.
+    pub fn record_first_token(&mut self, measured: bool, ttft: f64, queue_wait: f64) {
+        if measured {
+            self.ttft.push(ttft);
+            self.queue_wait.push(queue_wait);
+        }
+    }
+
+    /// Records one decode iteration of `dur` seconds. `span_at` is the
+    /// start time for the utilization timeline — `None` for iterations
+    /// piggybacked inside a chunked prefill, whose span the admission
+    /// already covers.
+    pub fn record_decode_iter(&mut self, dur: f64, span_at: Option<f64>) {
+        self.decode_busy_secs += dur;
+        if let Some(at) = span_at {
+            self.gpu_busy_timeline.add_span(at, dur, dur);
         }
     }
 

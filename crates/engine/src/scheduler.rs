@@ -1,0 +1,195 @@
+//! Scheduling stage: the job queue and the admission predicates.
+//!
+//! The serving pipeline keeps its waiting jobs behind a [`SchedulerPolicy`]
+//! — an ordered queue the orchestrator enqueues turn arrivals into and
+//! admits from the head of. [`Fcfs`] is the paper's policy (§4.1 runs
+//! first-come-first-served continuous batching); the trait exists so
+//! alternative orders (priority, SJF) can slot in without touching the
+//! rest of the pipeline.
+//!
+//! The module also owns the two *pure* admission predicates the
+//! orchestrator sequences in [`try_admit`](crate::ServingSim) —
+//! data-readiness and HBM residency — and the §3.3 look-ahead window
+//! arithmetic (`L_pw = C_mem / S_kv`, `L_ev = (C_mem + C_disk) / S_kv`)
+//! that sizes the store's scheduler-aware prefetch and eviction horizons.
+
+use std::collections::VecDeque;
+
+use sim::Time;
+
+/// An ordered queue of waiting jobs (indices into the pipeline's job
+/// arena). Object-safe so the orchestrator can hold `Box<dyn
+/// SchedulerPolicy>`.
+pub trait SchedulerPolicy {
+    /// Adds a newly arrived job to the queue.
+    fn enqueue(&mut self, job: usize);
+    /// The next job to admit, if any.
+    fn front(&self) -> Option<usize>;
+    /// Removes and returns the next job to admit.
+    fn pop_front(&mut self) -> Option<usize>;
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool;
+    /// Number of waiting jobs.
+    fn len(&self) -> usize;
+    /// The queued jobs in admission order (head first). Feeds the store's
+    /// scheduler-aware look-ahead windows.
+    fn snapshot(&self) -> Vec<usize>;
+}
+
+/// First-come-first-served: the paper's admission order.
+#[derive(Debug, Default)]
+pub struct Fcfs {
+    queue: VecDeque<usize>,
+}
+
+impl Fcfs {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Fcfs::default()
+    }
+}
+
+impl SchedulerPolicy for Fcfs {
+    fn enqueue(&mut self, job: usize) {
+        self.queue.push_back(job);
+    }
+
+    fn front(&self) -> Option<usize> {
+        self.queue.front().copied()
+    }
+
+    fn pop_front(&mut self) -> Option<usize> {
+        self.queue.pop_front()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn snapshot(&self) -> Vec<usize> {
+        self.queue.iter().copied().collect()
+    }
+}
+
+/// Data-readiness predicate: a job whose KV is still staging into the
+/// fast tier defers until `staged` — unless the batch is empty, in which
+/// case the GPU has nothing better to do than wait in place.
+///
+/// Returns `Some(defer_until)` when admission must wait.
+pub fn data_ready_defer(now: Time, staged: Time, batch_is_empty: bool) -> Option<Time> {
+    if staged > now && !batch_is_empty {
+        Some(staged)
+    } else {
+        None
+    }
+}
+
+/// HBM residency predicate (§2.4, Challenge 2): the candidate's full
+/// final context must fit beside the decoding batch's live KV. An empty
+/// batch always admits — a job cannot wait on itself to free memory.
+pub fn hbm_fits(reserved: u64, job_peak: u64, budget: u64, batch_is_empty: bool) -> bool {
+    batch_is_empty || reserved + job_peak <= budget
+}
+
+/// Look-ahead prefetch window in sessions, `L_pw = C_mem / S_kv`
+/// (§3.3.1): how far down the queue the store stages disk-resident KV
+/// into DRAM ahead of execution.
+pub fn prefetch_window_sessions(c_mem: u64, s_kv: u64) -> usize {
+    (c_mem / s_kv.max(1)) as usize
+}
+
+/// Look-ahead eviction window in sessions,
+/// `L_ev = (C_mem + C_disk) / S_kv` (§3.3.2): entries due to run within
+/// this horizon are exempted from eviction where possible.
+pub fn eviction_window_sessions(c_mem: u64, c_disk: u64, s_kv: u64) -> usize {
+    ((c_mem + c_disk) / s_kv.max(1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use store::{AttentionStore, StoreConfig, StorePlanner};
+
+    #[test]
+    fn fcfs_preserves_arrival_order() {
+        let mut q = Fcfs::new();
+        assert!(q.is_empty());
+        assert_eq!(q.front(), None);
+        for j in [3, 1, 4] {
+            q.enqueue(j);
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.snapshot(), vec![3, 1, 4]);
+        assert_eq!(q.front(), Some(3));
+        assert_eq!(q.pop_front(), Some(3));
+        assert_eq!(q.snapshot(), vec![1, 4]);
+    }
+
+    #[test]
+    fn fcfs_is_object_safe() {
+        let mut q: Box<dyn SchedulerPolicy> = Box::new(Fcfs::new());
+        q.enqueue(7);
+        assert_eq!(q.pop_front(), Some(7));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn data_ready_defers_only_with_a_live_batch() {
+        let now = Time::from_secs_f64(10.0);
+        let later = Time::from_secs_f64(12.0);
+        assert_eq!(data_ready_defer(now, later, false), Some(later));
+        // Empty batch: waiting in place beats deferring.
+        assert_eq!(data_ready_defer(now, later, true), None);
+        // Already staged: no defer either way.
+        assert_eq!(data_ready_defer(now, now, false), None);
+    }
+
+    #[test]
+    fn hbm_check_admits_exactly_at_budget() {
+        assert!(hbm_fits(60, 40, 100, false));
+        assert!(!hbm_fits(60, 41, 100, false));
+        // The empty batch bypasses the budget.
+        assert!(hbm_fits(60, 41, 100, true));
+    }
+
+    /// The §3.3 window formulas: `L_pw = C_mem / S_kv` and
+    /// `L_ev = (C_mem + C_disk) / S_kv` (integer division, as the paper's
+    /// "how many average sessions fit" reading implies).
+    #[test]
+    fn window_arithmetic_matches_the_paper_formulas() {
+        // 8 GB DRAM, 40 GB disk, 512 MB average session KV.
+        let (c_mem, c_disk, s_kv) = (8_000_000_000, 40_000_000_000, 512_000_000);
+        assert_eq!(prefetch_window_sessions(c_mem, s_kv), 15);
+        assert_eq!(eviction_window_sessions(c_mem, c_disk, s_kv), 93);
+        // Degenerate S_kv never divides by zero.
+        assert_eq!(prefetch_window_sessions(c_mem, 0), c_mem as usize);
+        assert_eq!(eviction_window_sessions(0, 0, 0), 0);
+    }
+
+    /// The pure window functions agree with AttentionStore's own
+    /// `prefetch_window`/`eviction_window` on a fresh store (where
+    /// `S_kv` is the configured default session footprint).
+    #[test]
+    fn window_arithmetic_matches_attention_store() {
+        let cfg = StoreConfig {
+            dram_bytes: 8_000_000_000,
+            disk_bytes: 40_000_000_000,
+            default_session_bytes: 512_000_000,
+            ..StoreConfig::default()
+        };
+        let store = AttentionStore::new(cfg.clone());
+        let s_kv = cfg.default_session_bytes;
+        assert_eq!(
+            StorePlanner::prefetch_window(&store),
+            prefetch_window_sessions(cfg.dram_bytes, s_kv)
+        );
+        assert_eq!(
+            StorePlanner::eviction_window(&store),
+            eviction_window_sessions(cfg.dram_bytes, cfg.disk_bytes, s_kv)
+        );
+    }
+}

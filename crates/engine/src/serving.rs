@@ -1,35 +1,36 @@
-//! The discrete-event serving simulator.
+//! The discrete-event serving orchestrator.
 //!
-//! One [`ServingSim`] executes a whole multi-turn workload against a model
-//! and cluster under one serving mode:
+//! [`ServingSim`] is a thin event dispatcher over the staged pipeline;
+//! the stages own the mechanics:
 //!
-//! - **Closed-loop turns**: a session's turn `j+1` arrives a think time
-//!   after turn `j`'s response completes, so a backlogged engine stretches
-//!   the timeline just as production traffic would.
-//! - **Continuous batching** (Orca-style, §4.1): up to `max_batch` jobs
-//!   decode together one token per iteration; a newly admitted job's
-//!   prefill runs on the GPU first and blocks the decoding jobs, which is
-//!   exactly why shrinking prefill time also shortens decode time (§4.2).
-//! - **CachedAttention path**: on admission the engine consults
-//!   AttentionStore; hits pre-load layer-wise over PCIe overlapped with
-//!   the partial prefill (§3.2.1), misses recompute. On completion the new
-//!   KV is saved asynchronously (§3.2.2) and the store bookkeeping is
-//!   updated, with demotions/drops decided by the eviction policy.
-//! - **Recomputation path (RE)**: no store; every turn re-prefills all
-//!   historical tokens.
+//! - [`scheduler`](crate::scheduler) — the job queue
+//!   ([`SchedulerPolicy`], FCFS by default) and the pure admission
+//!   predicates (data readiness, HBM residency);
+//! - [`transfer`](crate::transfer) — the four bandwidth links, store
+//!   consultation, write-buffer gating and fast-tier staging times;
+//! - [`hbm`](crate::hbm) — the live-KV budget and high-water ledger;
+//! - [`truncate`](crate::truncate) — the context-overflow policy;
+//! - [`exec`](crate::exec) — prefill/decode timing, chunked-prefill
+//!   issue and the continuous decode batch.
 //!
-//! Capacity effects (HBM residency of the running batch) are modelled by
-//! the batch-slot limit, matching the paper's fixed batch counts.
+//! The orchestrator sequences those stages per event (closed-loop turn
+//! arrivals, GPU ticks, TTL sweeps), keeps the session table and job
+//! arena, and routes outcomes into the [`RunReport`] recorders, so a
+//! stage never sees the metrics it influences. An [`EngineObserver`]
+//! watches every committed step; [`run_traced`](crate::run_traced)
+//! collects the stream.
 
-use std::collections::{HashMap, VecDeque};
-
-use models::ModelSpec;
-use sim::{BandwidthLink, Dur, EventQueue, Time, World};
-use store::{AttentionStore, Lookup, QueueView, SessionId, Transfer, TransferDir};
+use sim::{Dur, EventQueue, Time, World};
+use store::{AttentionStore, QueueView, SessionId, StorePlanner};
 use workload::Trace;
 
-use crate::overlap::{no_preload, with_preload, PreloadParams};
-use crate::{EngineConfig, Medium, Mode, RunReport};
+use crate::events::{ConsultClass, EngineEvent, EngineObserver, NullObserver};
+use crate::exec::{self, Action, Executor, Job, PrefillIssue};
+use crate::hbm::HbmLedger;
+use crate::scheduler::{self, Fcfs, SchedulerPolicy};
+use crate::transfer::TransferPlan;
+use crate::truncate;
+use crate::{EngineConfig, Mode, RunReport};
 
 /// Simulation events (public because [`ServingSim`] implements
 /// [`World<Event = Ev>`]; not constructed by users directly).
@@ -43,23 +44,6 @@ pub enum Ev {
     Sweep,
 }
 
-/// What the GPU is doing until the pending [`Ev::GpuTick`].
-#[derive(Debug, Clone, Copy)]
-enum Action {
-    /// Prefilling `job` monolithically; at the tick it joins the batch.
-    Prefill { job: usize },
-    /// Running one chunk of `job`'s prefill; `chunks_left` more follow.
-    PrefillChunk {
-        job: usize,
-        chunks_left: u32,
-        chunk_dur: Dur,
-    },
-    /// One decode iteration of the whole batch.
-    Decode,
-    /// Stalled waiting for data or buffer drain.
-    Sleep,
-}
-
 /// Per-session progress.
 #[derive(Debug)]
 struct SessionState {
@@ -71,61 +55,44 @@ struct SessionState {
     hist_tokens: u64,
 }
 
-/// One turn's job.
-#[derive(Debug)]
-struct Job {
-    session: usize,
-    arrival: Time,
-    user_tokens: u64,
-    resp_tokens: u64,
-    hist_tokens: u64,
-    reused_tokens: u64,
-    computed_tokens: u64,
-    ctx_tokens: u64,
-    remaining_decode: u64,
-    measured: bool,
-    prefill_secs: f64,
-    admitted_at: Time,
-    decode_start: Time,
-    /// Store-consultation outcome, filled the first time the job reaches
-    /// the queue head: (reused tokens, staging completion time).
-    consulted: Option<(u64, Time)>,
-}
-
-/// The serving world.
-pub struct ServingSim {
+/// The serving world: event dispatch over the staged pipeline.
+pub struct ServingSim<O: EngineObserver = NullObserver> {
     cfg: EngineConfig,
     trace: Trace,
     sessions: Vec<SessionState>,
     jobs: Vec<Job>,
-    queue: VecDeque<usize>,
-    batch: Vec<usize>,
-    store: Option<AttentionStore>,
-    /// Host→device KV load stream.
-    h2d: BandwidthLink,
-    /// Device→host KV save stream.
-    d2h: BandwidthLink,
-    /// Slow-tier read channel (SSD reads, or PCIe for the HBM+DRAM medium).
-    slow_rd: BandwidthLink,
-    /// Slow-tier write channel.
-    slow_wr: BandwidthLink,
-    /// When each session's KV finishes staging into the fast tier.
-    fast_ready_at: HashMap<u64, Time>,
-    gpu_action: Option<Action>,
-    /// A chunked prefill paused for one piggybacked decode iteration.
-    pending_chunk: Option<(usize, u32, Dur)>,
+    sched: Box<dyn SchedulerPolicy>,
+    exec: Executor,
+    store: Option<Box<dyn StorePlanner>>,
+    plan: TransferPlan,
+    hbm: HbmLedger,
     turn_arrivals: usize,
     sessions_remaining: usize,
     last_completion: Time,
     report: RunReport,
+    obs: O,
 }
 
-impl ServingSim {
+impl ServingSim<NullObserver> {
     /// Builds a simulator for `cfg` over `trace`.
     pub fn new(cfg: EngineConfig, trace: Trace) -> Self {
-        let store = match cfg.mode {
+        ServingSim::with_observer(cfg, trace, NullObserver)
+    }
+
+    /// Runs the full workload to completion and returns the report.
+    pub fn run(cfg: EngineConfig, trace: Trace) -> RunReport {
+        let mut world = ServingSim::new(cfg, trace);
+        world.drive();
+        world.finish().0
+    }
+}
+
+impl<O: EngineObserver> ServingSim<O> {
+    /// Builds a simulator that reports every pipeline step to `obs`.
+    pub fn with_observer(cfg: EngineConfig, trace: Trace, obs: O) -> Self {
+        let store: Option<Box<dyn StorePlanner>> = match cfg.mode {
             Mode::Recompute => None,
-            _ => Some(AttentionStore::new(cfg.store.clone())),
+            _ => Some(Box::new(AttentionStore::new(cfg.store.clone()))),
         };
         let sessions = (0..trace.sessions.len())
             .map(|i| SessionState {
@@ -134,179 +101,97 @@ impl ServingSim {
                 hist_tokens: 0,
             })
             .collect();
-        let pcie = cfg.cluster.pcie_bw;
-        let (slow_rd_bw, slow_wr_bw) = match cfg.medium {
-            Medium::DramDisk => (cfg.cluster.disk_read_bw, cfg.cluster.disk_write_bw),
-            // Fast tier is HBM; the slow tier is host DRAM behind PCIe.
-            Medium::HbmDram | Medium::HbmOnly => (pcie, pcie),
-        };
         let sessions_remaining = trace.sessions.len();
         let report = RunReport::new(cfg.model.name, cfg.mode);
+        let plan = TransferPlan::new(&cfg);
+        let hbm = HbmLedger::new(&cfg.cluster, &cfg.model);
         ServingSim {
             cfg,
             trace,
             sessions,
             jobs: Vec::new(),
-            queue: VecDeque::new(),
-            batch: Vec::new(),
+            sched: Box::new(Fcfs::new()),
+            exec: Executor::new(),
             store,
-            h2d: BandwidthLink::new("h2d", pcie),
-            d2h: BandwidthLink::new("d2h", pcie),
-            slow_rd: BandwidthLink::new("slow-rd", slow_rd_bw),
-            slow_wr: BandwidthLink::new("slow-wr", slow_wr_bw),
-            fast_ready_at: HashMap::new(),
-            gpu_action: None,
-            pending_chunk: None,
+            plan,
+            hbm,
             turn_arrivals: 0,
             sessions_remaining,
             last_completion: Time::ZERO,
             report,
+            obs,
         }
     }
 
-    /// Runs the full workload to completion and returns the report.
-    pub fn run(cfg: EngineConfig, trace: Trace) -> RunReport {
-        let ttl_sweep = cfg.store.ttl.is_some() && cfg.mode != Mode::Recompute;
-        let mut world = ServingSim::new(cfg, trace);
+    /// Feeds the trace's session arrivals and runs the event loop dry.
+    pub(crate) fn drive(&mut self) {
         let mut q = EventQueue::new();
-        for (i, s) in world.trace.sessions.iter().enumerate() {
+        for (i, s) in self.trace.sessions.iter().enumerate() {
             q.push(s.arrival, Ev::TurnArrival(i));
         }
-        if ttl_sweep {
+        if self.cfg.store.ttl.is_some() && self.cfg.mode != Mode::Recompute {
             q.push(Time::from_secs_f64(30.0), Ev::Sweep);
         }
-        sim::run(&mut world, &mut q, None);
-        world.finish()
+        sim::run(self, &mut q, None);
     }
 
-    /// Finalizes the report.
-    fn finish(mut self) -> RunReport {
+    /// Finalizes the report; hands back the observer too.
+    pub(crate) fn finish(mut self) -> (RunReport, O) {
         self.report.makespan_secs = self.last_completion.as_secs_f64();
-        self.report.h2d_bytes = self.h2d.total_bytes();
-        self.report.d2h_bytes = self.d2h.total_bytes();
-        self.report.slow_read_bytes = self.slow_rd.total_bytes();
-        self.report.slow_write_bytes = self.slow_wr.total_bytes();
+        self.report.h2d_bytes = self.plan.h2d_bytes();
+        self.report.d2h_bytes = self.plan.d2h_bytes();
+        self.report.slow_read_bytes = self.plan.slow_read_bytes();
+        self.report.slow_write_bytes = self.plan.slow_write_bytes();
+        self.report.hbm_high_water_bytes = self.hbm.high_water();
         if let Some(store) = &self.store {
             self.report.store_stats = *store.stats();
         }
-        self.report
+        (self.report, self.obs)
     }
 
-    /// HBM bytes available for live KV: aggregate HBM minus the sharded
-    /// model weights minus a 10% activation/workspace reserve (§2.4's
-    /// free-HBM arithmetic: 320 GB − 130 GB of LLaMA-65B weights ≈ 190 GB).
-    fn hbm_kv_budget(&self) -> u64 {
-        let total = self.cfg.cluster.total_hbm_bytes();
-        let weights = self.cfg.model.weight_bytes();
-        let reserve = total / 10;
-        total.saturating_sub(weights).saturating_sub(reserve)
-    }
-
-    /// Uncompressed KV bytes the decoding batch will hold resident in
-    /// HBM at its peak: each job reserves its full final context
-    /// (history + prompt + response) on admission, since decode grows
-    /// the cache in place.
-    fn hbm_reserved_kv(&self) -> u64 {
-        self.batch
-            .iter()
-            .map(|&j| {
-                let job = &self.jobs[j];
-                self.cfg
-                    .model
-                    .kv_bytes(job.hist_tokens + job.user_tokens + job.resp_tokens)
-            })
-            .sum()
-    }
-
-    /// Bytes of stored/transferred KV for `tokens` tokens after the
-    /// configured compression (§5's orthogonal quantization hook).
-    fn stored_kv_bytes(&self, tokens: u64) -> u64 {
-        (self.cfg.model.kv_bytes(tokens) as f64 * self.cfg.kv_compression) as u64
-    }
-
-    /// The model's context window as u64.
-    fn window(&self) -> u64 {
-        self.cfg.model.context_window as u64
+    /// External id of a session-table row.
+    fn sid(&self, session: usize) -> SessionId {
+        SessionId(self.trace.sessions[self.sessions[session].spec].id)
     }
 
     /// Session ids of the waiting jobs, queue order.
     fn queue_sessions(&self) -> Vec<SessionId> {
-        self.queue
-            .iter()
-            .map(|&j| SessionId(self.trace.sessions[self.jobs[j].session].id))
+        self.sched
+            .snapshot()
+            .into_iter()
+            .map(|j| self.sid(self.jobs[j].session))
             .collect()
-    }
-
-    /// Charges store transfers on the slow-tier links; promotions update
-    /// the fast-tier staging times.
-    fn charge_transfers(&mut self, now: Time, transfers: &[Transfer]) {
-        for t in transfers {
-            match t.dir {
-                TransferDir::DiskToDram => {
-                    let done = self.slow_rd.transfer(now, t.bytes);
-                    let e = self.fast_ready_at.entry(t.session.0).or_insert(done);
-                    *e = (*e).max(done);
-                }
-                TransferDir::DramToDisk => {
-                    self.slow_wr.transfer(now, t.bytes);
-                }
-            }
-        }
     }
 
     /// Runs the scheduler-aware prefetcher over the current queue.
     fn run_prefetch(&mut self, now: Time) {
         let order = self.queue_sessions();
         if let Some(store) = &mut self.store {
-            let view = QueueView::new(&order);
-            let transfers = store.prefetch(now, &view);
-            self.charge_transfers(now, &transfers);
+            let transfers = store.prefetch(now, &QueueView::new(&order));
+            self.plan.charge(now, &transfers);
         }
     }
 
     /// Applies context-window truncation at turn arrival. Returns the new
     /// history length.
-    fn apply_truncation(&mut self, session: usize, user: u64, measured: bool) -> u64 {
-        let w = self.window();
-        let user = user.min(w);
+    fn apply_truncation(&mut self, now: Time, session: usize, user: u64, measured: bool) -> u64 {
+        let window = self.cfg.model.context_window as u64;
         let hist = self.sessions[session].hist_tokens;
-        if hist + user <= w {
+        let out = truncate::truncate_history(window, self.cfg.truncation_ratio, hist, user);
+        if !out.truncated {
             return hist;
-        }
-        let drop = ((w as f64) * self.cfg.truncation_ratio).max(1.0) as u64;
-        let mut h = hist;
-        while h + user > w {
-            let cut = drop.min(h);
-            h -= cut;
-            if cut == 0 {
-                break;
-            }
         }
         if measured {
             self.report.truncations.incr();
         }
-        let sid = SessionId(self.trace.sessions[self.sessions[session].spec].id);
-        match self.cfg.mode {
-            // Decoupled positional encoding: truncate the stored KV
-            // directly; it stays valid (§3.4).
-            Mode::CachedAttention => {
-                let bytes = self.stored_kv_bytes(h);
-                if let Some(store) = &mut self.store {
-                    store.truncate(sid, bytes, h);
-                }
-            }
-            // Coupled positional encoding: truncation scrambles positions,
-            // the stored KV is useless (§4.3.4).
-            Mode::CoupledOverflow => {
-                if let Some(store) = &mut self.store {
-                    store.invalidate(sid);
-                }
-            }
-            // RE recomputes from the truncated token prompt anyway.
-            Mode::Recompute => {}
-        }
-        self.sessions[session].hist_tokens = h;
-        h
+        let sid = self.sid(session);
+        let bytes = self.cfg.stored_kv_bytes(out.new_hist);
+        let store = self.store.as_mut().map(|s| s.as_mut() as &mut dyn StorePlanner);
+        truncate::apply_store_effect(self.cfg.mode, store, sid, bytes, out.new_hist);
+        self.sessions[session].hist_tokens = out.new_hist;
+        self.obs
+            .on_event(EngineEvent::truncated(sid.0, hist, out.new_hist, now));
+        out.new_hist
     }
 
     /// Handles a turn arrival: creates the job, queues it, prefetches.
@@ -315,47 +200,20 @@ impl ServingSim {
         self.turn_arrivals += 1;
         let measured = arrival_index >= self.cfg.warmup_turns;
         let spec = &self.trace.sessions[self.sessions[session].spec];
-        let turn = &spec.turns[self.sessions[session].next_turn];
-        let user = (turn.user_tokens as u64).min(self.window());
+        let turn_idx = self.sessions[session].next_turn;
+        let turn = &spec.turns[turn_idx];
+        let user = (turn.user_tokens as u64).min(self.cfg.model.context_window as u64);
         let resp = turn.resp_tokens as u64;
-        let hist = self.apply_truncation(session, user, measured);
-        let job = Job {
-            session,
-            arrival: now,
-            user_tokens: user,
-            resp_tokens: resp,
-            hist_tokens: hist,
-            reused_tokens: 0,
-            computed_tokens: 0,
-            ctx_tokens: 0,
-            remaining_decode: resp,
-            measured,
-            prefill_secs: 0.0,
-            admitted_at: Time::ZERO,
-            decode_start: Time::ZERO,
-            consulted: None,
-        };
-        self.jobs.push(job);
-        self.queue.push_back(self.jobs.len() - 1);
+        self.obs
+            .on_event(EngineEvent::turn_arrived(self.sid(session).0, turn_idx, now));
+        let hist = self.apply_truncation(now, session, user, measured);
+        self.jobs
+            .push(Job::for_turn(session, now, user, resp, hist, measured));
+        self.sched.enqueue(self.jobs.len() - 1);
         self.run_prefetch(now);
-        if self.gpu_action.is_none() {
-            self.gpu_action = Some(Action::Sleep);
+        if self.exec.gpu_action.is_none() {
+            self.exec.gpu_action = Some(Action::Sleep);
             q.push(now, Ev::GpuTick);
-        }
-    }
-
-    /// Time before which the next prefill may not start because the HBM
-    /// write buffer is still draining (§3.2.2).
-    fn write_gate(&self, now: Time) -> Time {
-        if !self.cfg.async_save {
-            return now;
-        }
-        let buffer_drain = self.d2h.duration_of(self.cfg.write_buffer_bytes);
-        let backlog = self.d2h.backlog_at(now);
-        if backlog > buffer_drain {
-            now + (backlog - buffer_drain)
-        } else {
-            now
         }
     }
 
@@ -363,11 +221,11 @@ impl ServingSim {
     /// Returns (reused tokens, when the KV is staged in the fast tier).
     fn consult_store(&mut self, now: Time, job_idx: usize) -> (u64, Time) {
         let job = &self.jobs[job_idx];
-        let session = job.session;
-        let hist = job.hist_tokens;
-        let measured = job.measured;
-        let sid = SessionId(self.trace.sessions[self.sessions[session].spec].id);
+        let (session, hist, measured) = (job.session, job.hist_tokens, job.measured);
+        let sid = self.sid(session);
         if hist == 0 {
+            self.obs
+                .on_event(EngineEvent::consulted(sid.0, ConsultClass::NoHistory, 0, now));
             return (0, now);
         }
         if measured {
@@ -375,117 +233,32 @@ impl ServingSim {
         }
         if self.store.is_none() {
             // RE: always recompute.
-            if measured {
-                self.report.misses.incr();
-            }
+            self.report.record_consult(ConsultClass::NoStore, measured);
+            self.obs
+                .on_event(EngineEvent::consulted(sid.0, ConsultClass::NoStore, 0, now));
             return (0, now);
         }
         let order = self.queue_sessions();
         let view = QueueView::new(&order);
+        let cfg = &self.cfg;
         let store = self.store.as_mut().expect("checked above");
-        let (found, transfers) = store.load_for_use(sid, now, &view);
-        let entry_tokens = store.entry(sid).map(|e| e.tokens).unwrap_or(0);
-        let had_promotion = transfers
-            .iter()
-            .any(|t| t.session == sid && t.dir == TransferDir::DiskToDram);
-        self.charge_transfers(now, &transfers);
-        match found {
-            Lookup::Miss => {
-                if measured {
-                    self.report.misses.incr();
-                }
-                (0, now)
-            }
-            Lookup::Dram => {
-                if measured {
-                    self.report.hits_fast.incr();
-                }
-                let staged = self
-                    .fast_ready_at
-                    .get(&sid.0)
-                    .copied()
-                    .unwrap_or(now)
-                    .max(now);
-                (entry_tokens.min(hist), staged)
-            }
-            Lookup::Disk => {
-                if measured {
-                    self.report.hits_slow.incr();
-                }
-                let staged = if had_promotion {
-                    self.fast_ready_at.get(&sid.0).copied().unwrap_or(now)
-                } else {
-                    // DRAM could not stage it: stream straight from the
-                    // slow tier (rare pathological sizing).
-                    let bytes = self.stored_kv_bytes(entry_tokens.min(hist));
-                    self.slow_rd.transfer(now, bytes)
-                };
-                (entry_tokens.min(hist), staged.max(now))
-            }
-        }
+        let consult = self.plan.consult(now, store.as_mut(), sid, hist, &view, |tokens| {
+            cfg.stored_kv_bytes(tokens)
+        });
+        self.report.record_consult(consult.class, measured);
+        self.obs
+            .on_event(EngineEvent::consulted(sid.0, consult.class, consult.reused, now));
+        (consult.reused, consult.staged)
     }
 
-    /// Computes the prefill timing of a job given its reuse split.
-    /// Returns (total duration, pure compute, stall).
-    fn prefill_timing(
-        &mut self,
-        now: Time,
-        reused: u64,
-        computed: u64,
-        staged: Time,
-    ) -> (Dur, Dur, Dur) {
-        let m = &self.cfg.model;
-        let comp = self
-            .cfg
-            .cost
-            .prefill_time(m, &self.cfg.cluster, computed, reused);
-        let load_bytes = (m.kv_bytes(reused) as f64 * self.cfg.kv_compression) as u64;
-        if reused == 0 {
-            return (comp, comp, Dur::ZERO);
-        }
-        // For HBM-backed fast tiers the KV is already device-resident.
-        if matches!(self.cfg.medium, Medium::HbmDram | Medium::HbmOnly) {
-            let wait = staged.saturating_since(now);
-            return (wait + comp, comp, wait);
-        }
-        let layers = m.n_layers;
-        let t_load_layer = self.h2d.duration_of(load_bytes / layers as u64);
-        let t_comp_layer = comp / layers as u64;
-        // The read stream may have warmed the buffer while it was idle
-        // before this job, but never before the KV was staged in DRAM.
-        let stream_free = self.h2d.busy_until().max(staged);
-        let max_warm = t_load_layer * self.cfg.read_buffer_layers as u64;
-        let (warm, delay) = if stream_free <= now {
-            (now.saturating_since(stream_free).min(max_warm), Dur::ZERO)
-        } else {
-            (Dur::ZERO, stream_free - now)
-        };
-        let params = PreloadParams {
-            n_layers: layers,
-            t_load_layer,
-            t_comp_layer,
-            buffer_layers: self.cfg.read_buffer_layers,
-            warm,
-            delay,
-        };
-        let timing = if self.cfg.preload {
-            with_preload(&params)
-        } else {
-            no_preload(&params)
-        };
-        // Occupy the load stream through the end of this job's transfers.
-        self.h2d.occupy(now + timing.load_done, load_bytes);
-        (timing.done, comp, timing.stall)
-    }
-
-    /// Starts the prefill of the queue's head job. Returns `false` when it
-    /// cannot start at `now` (data or buffer not ready) and the earliest
-    /// time it could.
+    /// Starts the prefill of the queue's head job. On `Err` the job
+    /// cannot start at `now` (data or buffer not ready) and the value is
+    /// the earliest time it could.
     fn try_admit(&mut self, now: Time, q: &mut EventQueue<Ev>) -> Result<(), Time> {
-        let job_idx = *self.queue.front().expect("caller checked");
-        let gate = self.write_gate(now);
+        let job_idx = self.sched.front().expect("caller checked");
+        let gate = self.plan.write_gate(now);
         if gate > now {
-            return Err(gate);
+            return Err(self.defer(now, job_idx, gate));
         }
         // Consult the store the first time this job reaches the head; the
         // outcome (hit classification, pinning, demand fetch) sticks.
@@ -497,74 +270,69 @@ impl ServingSim {
                 r
             }
         };
-        if staged > now && !self.batch.is_empty() {
-            // KV still staging into the fast tier: decode meanwhile.
-            return Err(staged);
+        // KV still staging into the fast tier: decode meanwhile.
+        if let Some(until) = scheduler::data_ready_defer(now, staged, self.exec.batch.is_empty()) {
+            return Err(self.defer(now, job_idx, until));
         }
         // HBM residency (§2.4, Challenge 2): the new job's full context
         // plus its response must fit beside the decoding batch's live KV.
-        let job_peak = self.cfg.model.kv_bytes(
-            self.jobs[job_idx].hist_tokens
-                + self.jobs[job_idx].user_tokens
-                + self.jobs[job_idx].resp_tokens,
-        );
-        if self.hbm_reserved_kv() + job_peak > self.hbm_kv_budget() && !self.batch.is_empty() {
+        let job = &self.jobs[job_idx];
+        let job_peak = self
+            .cfg
+            .model
+            .kv_bytes(job.hist_tokens + job.user_tokens + job.resp_tokens);
+        let reserved = self.hbm.reserved_kv(&self.cfg.model, &self.exec.batch, &self.jobs);
+        if !scheduler::hbm_fits(reserved, job_peak, self.hbm.budget(), self.exec.batch.is_empty()) {
             // Decode until a job retires and frees HBM.
-            return Err(now);
+            return Err(self.defer(now, job_idx, now));
         }
-        self.queue.pop_front();
+        self.sched.pop_front();
         let job = &self.jobs[job_idx];
         let computed = job.hist_tokens - reused + job.user_tokens;
-        let (total, comp, stall) = self.prefill_timing(now, reused, computed, staged);
+        let (total, comp, stall) =
+            exec::prefill_timing(&self.cfg, &mut self.plan, now, reused, computed, staged);
         let wait = staged.saturating_since(now);
         let total = total.max(wait + comp);
-        let reserved = self.hbm_reserved_kv() + job_peak;
-        if reserved > self.report.hbm_high_water_bytes {
-            self.report.hbm_high_water_bytes = reserved;
-        }
+        self.hbm.note_reserved(reserved + job_peak);
+        let sid = self.sid(self.jobs[job_idx].session);
         let job = &mut self.jobs[job_idx];
         job.reused_tokens = reused;
         job.computed_tokens = computed;
         job.admitted_at = now;
         job.prefill_secs = comp.as_secs_f64();
-        self.report.prefill_busy_secs += comp.as_secs_f64();
-        self.report.gpu_busy_timeline.add_span(
+        self.report.record_admission(
             now.as_secs_f64(),
+            comp.as_secs_f64(),
             total.as_secs_f64(),
-            total.as_secs_f64(),
+            (stall.max(wait)).as_secs_f64(),
+            job.measured,
+            job.hist_tokens + job.user_tokens,
+            computed,
         );
-        self.report.stall_secs += (stall.max(wait)).as_secs_f64();
-        if job.measured {
-            self.report.turns_measured.incr();
-            self.report
-                .prompt_tokens
-                .add(job.hist_tokens + job.user_tokens);
-            self.report.computed_tokens.add(computed);
-            self.report.measured_prefill_secs += comp.as_secs_f64();
-        }
-        match self.cfg.chunked_prefill_tokens {
-            Some(chunk_tokens) if computed > chunk_tokens => {
-                // Sarathi-style chunking: split the prefill into equal
-                // slices; a decode iteration piggybacks between slices so
-                // the batch keeps making progress.
-                let n_chunks = computed.div_ceil(chunk_tokens).max(1);
-                let chunk_dur = total / n_chunks;
-                self.gpu_action = Some(Action::PrefillChunk {
-                    job: job_idx,
-                    chunks_left: (n_chunks - 1) as u32,
-                    chunk_dur,
-                });
-                q.push(now + chunk_dur, Ev::GpuTick);
+        let chunked = match exec::plan_prefill(self.cfg.chunked_prefill_tokens, computed, total) {
+            PrefillIssue::Chunked { n_chunks, chunk_dur } => {
+                self.issue_chunk(now, q, job_idx, (n_chunks - 1) as u32, chunk_dur);
+                true
             }
-            _ => {
-                self.gpu_action = Some(Action::Prefill { job: job_idx });
+            PrefillIssue::Monolithic => {
+                self.exec.gpu_action = Some(Action::Prefill { job: job_idx });
                 q.push(now + total, Ev::GpuTick);
+                false
             }
-        }
+        };
+        self.obs
+            .on_event(EngineEvent::admitted(sid.0, reused, computed, chunked, now));
         // The queue head moved: give the prefetcher a chance to stage the
         // next jobs' KV while this prefill runs.
         self.run_prefetch(now);
         Ok(())
+    }
+
+    /// Reports a deferred admission to the observer; returns `until`.
+    fn defer(&mut self, now: Time, job_idx: usize, until: Time) -> Time {
+        let sid = self.sid(self.jobs[job_idx].session);
+        self.obs.on_event(EngineEvent::deferred(sid.0, until, now));
+        until
     }
 
     /// Starts the next slice of a paused chunked prefill.
@@ -576,7 +344,7 @@ impl ServingSim {
         chunks_left: u32,
         chunk_dur: Dur,
     ) {
-        self.gpu_action = Some(Action::PrefillChunk {
+        self.exec.gpu_action = Some(Action::PrefillChunk {
             job,
             chunks_left,
             chunk_dur,
@@ -584,48 +352,24 @@ impl ServingSim {
         q.push(now + chunk_dur, Ev::GpuTick);
     }
 
-    /// Completes a prefill: records TTFT, saves the prefill-phase KV
-    /// asynchronously, moves the job into the decode batch.
+    /// Completes a prefill: records TTFT (admission → first token; queue
+    /// wait is reported separately), flushes the prefill-phase KV through
+    /// the write stream (§3.2.2), moves the job into the decode batch.
     fn complete_prefill(&mut self, now: Time, job_idx: usize) {
         let job = &mut self.jobs[job_idx];
         job.ctx_tokens = job.hist_tokens + job.user_tokens;
         job.decode_start = now;
-        let measured = job.measured;
-        // TTFT is the service latency: admission (the job is scheduled
-        // onto the GPU) to first token. Queue wait is reported separately
-        // — in the overloaded closed-loop runs it is dominated by the
-        // backlog and tracked by the makespan.
+        let (session, measured, computed) = (job.session, job.measured, job.computed_tokens);
         let ttft = (now - job.admitted_at).as_secs_f64();
         let queue_wait = (job.admitted_at - job.arrival).as_secs_f64();
-        let computed = job.computed_tokens;
-        if measured {
-            self.report.ttft.push(ttft);
-            self.report.queue_wait.push(queue_wait);
-        }
-        // The prefill phase produced `computed` tokens of fresh KV; the
-        // write stream flushes it overlapped with decoding (§3.2.2).
+        self.report.record_first_token(measured, ttft, queue_wait);
         if self.cfg.mode != Mode::Recompute {
-            let bytes = self.stored_kv_bytes(computed);
-            self.d2h.transfer(now, bytes);
+            let bytes = self.cfg.stored_kv_bytes(computed);
+            self.plan.d2h_transfer(now, bytes);
         }
-        self.batch.push(job_idx);
-    }
-
-    /// Completes one decode iteration; finished jobs retire.
-    fn complete_decode_iteration(&mut self, now: Time, q: &mut EventQueue<Ev>) {
-        let mut finished = Vec::new();
-        for &j in &self.batch {
-            let job = &mut self.jobs[j];
-            job.ctx_tokens += 1;
-            job.remaining_decode -= 1;
-            if job.remaining_decode == 0 {
-                finished.push(j);
-            }
-        }
-        self.batch.retain(|j| !finished.contains(j));
-        for j in finished {
-            self.retire_job(now, j, q);
-        }
+        self.exec.batch.push(job_idx);
+        self.obs
+            .on_event(EngineEvent::prefill_done(self.sid(session).0, ttft, now));
     }
 
     /// Retires a finished job: saves KV, updates the session, schedules
@@ -633,32 +377,29 @@ impl ServingSim {
     fn retire_job(&mut self, now: Time, job_idx: usize, q: &mut EventQueue<Ev>) {
         self.last_completion = now;
         let job = &self.jobs[job_idx];
-        let session = job.session;
-        let measured = job.measured;
-        let decode_latency = (now - job.decode_start).as_secs_f64();
+        let (session, measured, resp) = (job.session, job.measured, job.resp_tokens);
         let new_hist = job.hist_tokens + job.user_tokens + job.resp_tokens;
-        let resp = job.resp_tokens;
         if measured {
-            self.report.decode_latency.push(decode_latency);
+            self.report
+                .decode_latency
+                .push((now - job.decode_start).as_secs_f64());
         }
         // Save the whole session's KV back to the store; only the decode
         // phase's fresh tokens still need the device→host hop (the prefill
         // share was flushed at prefill completion).
         if self.cfg.mode != Mode::Recompute {
-            let sid = SessionId(self.trace.sessions[self.sessions[session].spec].id);
-            let total_bytes = self.stored_kv_bytes(new_hist);
+            let sid = self.sid(session);
+            let total_bytes = self.cfg.stored_kv_bytes(new_hist);
             let order = self.queue_sessions();
             let view = QueueView::new(&order);
             let store = self.store.as_mut().expect("store exists outside RE");
             let (transfers, _saved) = store.save(sid, total_bytes, new_hist, now, &view);
-            self.charge_transfers(now, &transfers);
-            let decode_bytes = self.stored_kv_bytes(resp);
-            let done = self.d2h.transfer(now, decode_bytes);
+            self.plan.charge(now, &transfers);
+            let done = self.plan.d2h_transfer(now, self.cfg.stored_kv_bytes(resp));
             if !self.cfg.async_save {
                 // Synchronous saving blocks the GPU until the write-back
                 // completes (Fig 8a).
-                let block = done.saturating_since(now);
-                self.report.stall_secs += block.as_secs_f64();
+                self.report.stall_secs += done.saturating_since(now).as_secs_f64();
             }
         }
         // Advance the session.
@@ -673,6 +414,8 @@ impl ServingSim {
             self.sessions_remaining -= 1;
             self.report.sessions_done.incr();
         }
+        self.obs
+            .on_event(EngineEvent::retired(self.sid(session).0, new_hist, now));
         // Space freed by the save/demotions may unblock prefetches.
         self.run_prefetch(now);
     }
@@ -680,19 +423,19 @@ impl ServingSim {
     /// Picks the GPU's next action after the previous one completed.
     fn schedule_next(&mut self, now: Time, q: &mut EventQueue<Ev>) {
         // A paused chunked prefill resumes before anything else.
-        if let Some((job, chunks_left, chunk_dur)) = self.pending_chunk.take() {
+        if let Some((job, chunks_left, chunk_dur)) = self.exec.pending_chunk.take() {
             self.issue_chunk(now, q, job, chunks_left.saturating_sub(1), chunk_dur);
             return;
         }
         // Admission first: prefill of waiting jobs blocks decoding, which
         // is the continuous-batching behaviour the paper describes.
-        if !self.queue.is_empty() && self.batch.len() < self.cfg.max_batch {
+        if !self.sched.is_empty() && self.exec.batch.len() < self.cfg.max_batch {
             match self.try_admit(now, q) {
                 Ok(()) => return,
                 Err(ready_at) => {
-                    if self.batch.is_empty() {
+                    if self.exec.batch.is_empty() {
                         // Nothing else to run: stall until ready.
-                        self.gpu_action = Some(Action::Sleep);
+                        self.exec.gpu_action = Some(Action::Sleep);
                         self.report.stall_secs += (ready_at - now).as_secs_f64();
                         q.push(ready_at, Ev::GpuTick);
                         return;
@@ -701,30 +444,20 @@ impl ServingSim {
                 }
             }
         }
-        if !self.batch.is_empty() {
-            let total_ctx: u64 = self.batch.iter().map(|&j| self.jobs[j].ctx_tokens).sum();
-            let dur = self.cfg.cost.decode_iter_time(
-                &self.cfg.model,
-                &self.cfg.cluster,
-                self.batch.len() as u64,
-                total_ctx,
-            );
-            self.report.decode_busy_secs += dur.as_secs_f64();
-            self.report.gpu_busy_timeline.add_span(
-                now.as_secs_f64(),
-                dur.as_secs_f64(),
-                dur.as_secs_f64(),
-            );
-            self.gpu_action = Some(Action::Decode);
+        if !self.exec.batch.is_empty() {
+            let dur = self.exec.decode_iter_dur(&self.cfg, &self.jobs);
+            self.report
+                .record_decode_iter(dur.as_secs_f64(), Some(now.as_secs_f64()));
+            self.exec.gpu_action = Some(Action::Decode);
             q.push(now + dur, Ev::GpuTick);
             return;
         }
         // Idle: a future TurnArrival will wake the GPU.
-        self.gpu_action = None;
+        self.exec.gpu_action = None;
     }
 }
 
-impl World for ServingSim {
+impl<O: EngineObserver> World for ServingSim<O> {
     type Event = Ev;
 
     fn handle(&mut self, now: Time, ev: Ev, q: &mut EventQueue<Ev>) {
@@ -739,7 +472,7 @@ impl World for ServingSim {
                 }
             }
             Ev::GpuTick => {
-                match self.gpu_action.take() {
+                match self.exec.gpu_action.take() {
                     Some(Action::Prefill { job }) => self.complete_prefill(now, job),
                     Some(Action::PrefillChunk {
                         job,
@@ -748,293 +481,32 @@ impl World for ServingSim {
                     }) => {
                         if chunks_left == 0 {
                             self.complete_prefill(now, job);
-                        } else if self.batch.is_empty() {
+                        } else if self.exec.batch.is_empty() {
                             // Nothing to piggyback: run the next slice.
                             self.issue_chunk(now, q, job, chunks_left - 1, chunk_dur);
                             return;
                         } else {
                             // Let one decode iteration through, then
-                            // resume (schedule_next picks it back up).
-                            self.pending_chunk = Some((job, chunks_left, chunk_dur));
-                            let total_ctx: u64 =
-                                self.batch.iter().map(|&j| self.jobs[j].ctx_tokens).sum();
-                            let dur = self.cfg.cost.decode_iter_time(
-                                &self.cfg.model,
-                                &self.cfg.cluster,
-                                self.batch.len() as u64,
-                                total_ctx,
-                            );
-                            self.report.decode_busy_secs += dur.as_secs_f64();
-                            self.gpu_action = Some(Action::Decode);
+                            // resume (schedule_next picks it back up). Its
+                            // timeline span is covered by the admission.
+                            self.exec.pending_chunk = Some((job, chunks_left, chunk_dur));
+                            let dur = self.exec.decode_iter_dur(&self.cfg, &self.jobs);
+                            self.report.record_decode_iter(dur.as_secs_f64(), None);
+                            self.exec.gpu_action = Some(Action::Decode);
                             q.push(now + dur, Ev::GpuTick);
                             return;
                         }
                     }
-                    Some(Action::Decode) => self.complete_decode_iteration(now, q),
+                    Some(Action::Decode) => {
+                        let finished = self.exec.advance_decode(&mut self.jobs);
+                        for j in finished {
+                            self.retire_job(now, j, q);
+                        }
+                    }
                     Some(Action::Sleep) | None => {}
                 }
                 self.schedule_next(now, q);
             }
         }
-    }
-}
-
-/// Runs `cfg` over `trace` and returns the collected report.
-///
-/// # Examples
-///
-/// ```
-/// use engine::{run_trace, EngineConfig, Mode};
-/// use models::ModelSpec;
-/// use workload::{Generator, ShareGptProfile};
-///
-/// let trace = Generator::new(ShareGptProfile::default(), 1).trace(20);
-/// let cfg = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b());
-/// let report = run_trace(cfg, trace);
-/// assert_eq!(report.sessions_done.get(), 20);
-/// assert!(report.hit_rate() > 0.5);
-/// ```
-pub fn run_trace(cfg: EngineConfig, trace: Trace) -> RunReport {
-    ServingSim::run(cfg, trace)
-}
-
-/// Convenience: the paper's end-to-end run for one model and mode.
-pub fn run_paper_workload(
-    mode: Mode,
-    model: ModelSpec,
-    trace: Trace,
-    warmup_turns: usize,
-) -> RunReport {
-    let cfg = EngineConfig::paper(mode, model).with_warmup(warmup_turns);
-    run_trace(cfg, trace)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use workload::{Generator, ShareGptProfile};
-
-    fn small_trace(n: usize, seed: u64) -> Trace {
-        Generator::new(ShareGptProfile::default(), seed).trace(n)
-    }
-
-    fn run(mode: Mode, n: usize) -> RunReport {
-        run_paper_workload(mode, ModelSpec::llama2_13b(), small_trace(n, 7), 0)
-    }
-
-    /// Every session runs to completion in both modes.
-    #[test]
-    fn workload_completes_in_all_modes() {
-        for mode in [
-            Mode::CachedAttention,
-            Mode::Recompute,
-            Mode::CoupledOverflow,
-        ] {
-            let r = run(mode, 120);
-            assert_eq!(r.sessions_done.get(), 120, "{mode:?}");
-            assert!(r.makespan_secs > 0.0);
-            assert_eq!(r.turns_measured.get() as usize, {
-                // All turns measured with zero warmup.
-                small_trace(120, 7).total_turns()
-            });
-        }
-    }
-
-    /// With an ample store, CachedAttention hits on nearly every
-    /// resumption turn.
-    #[test]
-    fn ca_hit_rate_is_high_with_ample_store() {
-        let r = run(Mode::CachedAttention, 150);
-        assert!(r.resumption_turns.get() > 0);
-        assert!(r.hit_rate() > 0.95, "hit rate {}", r.hit_rate());
-        // Scheduler-aware placement keeps the hits in the fast tier.
-        assert!(r.fast_hit_rate() > 0.9, "fast {}", r.fast_hit_rate());
-    }
-
-    /// RE recomputes everything: computed == presented prompt tokens.
-    #[test]
-    fn re_recomputes_all_prompt_tokens() {
-        let r = run(Mode::Recompute, 100);
-        assert_eq!(r.computed_tokens.get(), r.prompt_tokens.get());
-        assert_eq!(r.hit_rate(), 0.0);
-    }
-
-    /// The paper's headline: CA cuts TTFT, computed tokens and GPU time
-    /// versus RE on the same trace.
-    #[test]
-    fn ca_beats_re_on_the_same_trace() {
-        let ca = run(Mode::CachedAttention, 200);
-        let re = run(Mode::Recompute, 200);
-        assert!(
-            ca.ttft_mean() < re.ttft_mean(),
-            "TTFT ca {} re {}",
-            ca.ttft_mean(),
-            re.ttft_mean()
-        );
-        assert!(ca.computed_tokens.get() < re.computed_tokens.get() / 2);
-        assert!(ca.prefill_throughput() > re.prefill_throughput());
-        assert!(ca.busy_hours() < re.busy_hours());
-    }
-
-    /// OF sits between CA and RE: overflow invalidations cost it hits.
-    #[test]
-    fn of_loses_hits_to_overflow() {
-        // LLaMA-65B's 2K window overflows constantly (§4.3.4).
-        let ca = run_paper_workload(
-            Mode::CachedAttention,
-            ModelSpec::llama1_65b(),
-            small_trace(150, 11),
-            0,
-        );
-        let of = run_paper_workload(
-            Mode::CoupledOverflow,
-            ModelSpec::llama1_65b(),
-            small_trace(150, 11),
-            0,
-        );
-        assert!(
-            of.hit_rate() < ca.hit_rate(),
-            "of {} ca {}",
-            of.hit_rate(),
-            ca.hit_rate()
-        );
-        assert!(of.store_stats.drops_invalidated > 0);
-    }
-
-    /// Truncation keeps every admitted prompt inside the context window.
-    #[test]
-    fn context_never_exceeds_window() {
-        let r = run_paper_workload(
-            Mode::CachedAttention,
-            ModelSpec::llama1_65b(),
-            small_trace(100, 3),
-            0,
-        );
-        assert!(r.truncations.get() > 0, "workload should overflow 2K");
-        // Indirect check: prompt tokens per turn never exceed the window.
-        // (Direct check lives in the simulator via apply_truncation.)
-        let max_prompt = r.prompt_tokens.get() / r.turns_measured.get().max(1);
-        assert!(max_prompt <= 2048 + 2048);
-    }
-
-    /// Runs are deterministic: identical seeds give identical reports.
-    #[test]
-    fn runs_are_deterministic() {
-        let a = run(Mode::CachedAttention, 80);
-        let b = run(Mode::CachedAttention, 80);
-        assert_eq!(a.makespan_secs, b.makespan_secs);
-        assert_eq!(a.computed_tokens.get(), b.computed_tokens.get());
-        assert_eq!(a.h2d_bytes, b.h2d_bytes);
-        assert_eq!(a.store_stats, b.store_stats);
-    }
-
-    /// HBM residency limits the batch: with a deliberately tiny HBM the
-    /// run still completes and the live-KV high water stays within the
-    /// budget (admission defers to decode instead of overcommitting).
-    #[test]
-    fn hbm_budget_limits_the_batch() {
-        let trace = small_trace(120, 19);
-        let mut cfg = EngineConfig::paper(Mode::Recompute, ModelSpec::llama1_65b());
-        // Shrink HBM so only a couple of 65B contexts fit beside the
-        // weights: total 160 GB − 130 GB weights − 16 GB reserve ≈ 14 GB.
-        cfg.cluster.gpu.hbm_bytes = 40_000_000_000;
-        let budget = {
-            let total = cfg.cluster.total_hbm_bytes();
-            total - cfg.model.weight_bytes() - total / 10
-        };
-        let r = run_trace(cfg, trace.clone());
-        assert_eq!(r.sessions_done.get(), 120);
-        // A single job is always admitted when the batch is empty (it
-        // cannot wait on itself), so the bound is the budget or the
-        // largest single-job reservation, whichever is greater.
-        let model = ModelSpec::llama1_65b();
-        let max_single = trace
-            .sessions
-            .iter()
-            .flat_map(|sess| {
-                (0..sess.n_turns()).map(|i| {
-                    let t = &sess.turns[i];
-                    let hist = sess.historical_tokens_at(i).min(2048);
-                    model.kv_bytes(hist + t.user_tokens as u64 + t.resp_tokens as u64)
-                })
-            })
-            .max()
-            .unwrap_or(0);
-        assert!(
-            r.hbm_high_water_bytes <= budget.max(max_single),
-            "high water {} exceeds budget {budget} and max single {max_single}",
-            r.hbm_high_water_bytes
-        );
-        // A roomy HBM admits far more concurrent KV.
-        let roomy = run_trace(
-            EngineConfig::paper(Mode::Recompute, ModelSpec::llama1_65b()),
-            trace,
-        );
-        assert!(roomy.hbm_high_water_bytes >= r.hbm_high_water_bytes);
-    }
-
-    /// The GPU-busy timeline accounts for every busy second: its total
-    /// matches prefill + decode (stalls inside prefills included in the
-    /// prefill span).
-    #[test]
-    fn busy_timeline_accounts_for_busy_time() {
-        let r = run(Mode::CachedAttention, 80);
-        let timeline_total = r.gpu_busy_timeline.total();
-        let busy = r.prefill_busy_secs + r.decode_busy_secs + r.stall_secs;
-        // The timeline records prefill spans at their full (stall
-        // inclusive) duration, so totals agree within the stall slack.
-        assert!(
-            (timeline_total - busy).abs() <= r.stall_secs + 1.0,
-            "timeline {timeline_total} vs busy {busy}"
-        );
-        assert!(r.gpu_busy_timeline.peak() > 0.0);
-    }
-
-    /// Chunked prefill trades a little TTFT for decode-latency relief:
-    /// the run still completes, decoding jobs stop being blocked by whole
-    /// prefills, and the total computed work is unchanged.
-    #[test]
-    fn chunked_prefill_relieves_decode_blocking() {
-        let trace = small_trace(200, 13);
-        let model = ModelSpec::llama2_70b();
-        let base = EngineConfig::paper(Mode::Recompute, model.clone());
-        let mono = run_trace(base.clone(), trace.clone());
-        let chunked = run_trace(base.with_chunked_prefill(256), trace);
-        assert_eq!(mono.sessions_done.get(), chunked.sessions_done.get());
-        assert_eq!(mono.computed_tokens.get(), chunked.computed_tokens.get());
-        // Decode wall latency improves (fewer long prefill stalls).
-        let mut m = mono;
-        let mut c = chunked;
-        let (m_p95, c_p95) = (
-            m.decode_latency.percentile(95.0).unwrap(),
-            c.decode_latency.percentile(95.0).unwrap(),
-        );
-        assert!(
-            c_p95 <= m_p95 * 1.02,
-            "chunked p95 {c_p95} vs monolithic {m_p95}"
-        );
-        // The prefilled job itself waits a bit longer.
-        assert!(c.ttft_mean() >= m.ttft_mean() * 0.98);
-    }
-
-    /// Warmup excludes early turns from the metrics but not the run.
-    #[test]
-    fn warmup_filters_metrics() {
-        let all = run_paper_workload(
-            Mode::CachedAttention,
-            ModelSpec::llama2_13b(),
-            small_trace(100, 5),
-            0,
-        );
-        let warmed = run_paper_workload(
-            Mode::CachedAttention,
-            ModelSpec::llama2_13b(),
-            small_trace(100, 5),
-            200,
-        );
-        assert!(warmed.turns_measured.get() < all.turns_measured.get());
-        assert_eq!(warmed.sessions_done.get(), all.sessions_done.get());
-        // Warmed-up hit rates are at least as good: the store is hot.
-        assert!(warmed.hit_rate() >= all.hit_rate() - 0.05);
     }
 }

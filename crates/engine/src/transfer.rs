@@ -1,0 +1,299 @@
+//! Transfer stage: every byte that moves between tiers, on four links.
+//!
+//! [`TransferPlan`] owns the simulated interconnects of one run:
+//!
+//! - `h2d` — host→device PCIe stream carrying reused KV into HBM for
+//!   layer-wise pre-loading (§3.2.1);
+//! - `d2h` — device→host PCIe stream flushing fresh KV through the HBM
+//!   write buffer (§3.2.2);
+//! - `slow-rd`/`slow-wr` — the slow-tier channels (SSD for the paper's
+//!   DRAM+Disk medium; a second PCIe hop for the HBM-fronted mediums).
+//!
+//! The store plans tier movements as [`Transfer`] values; this stage
+//! charges them on the links ([`TransferPlan::charge`]), tracks when each
+//! session's KV finishes staging into the fast tier (`fast_ready_at`),
+//! gates admission on write-buffer drain ([`TransferPlan::write_gate`]),
+//! and classifies store consultations ([`TransferPlan::consult`]).
+
+use std::collections::HashMap;
+
+use sim::{BandwidthLink, Dur, Time};
+use store::{Lookup, QueueView, SessionId, StorePlanner, Transfer, TransferDir};
+
+use crate::events::ConsultClass;
+use crate::{EngineConfig, Medium};
+
+/// Outcome of consulting the store for a resuming job.
+#[derive(Debug, Clone, Copy)]
+pub struct Consult {
+    /// Tokens of cached history the prefill can reuse.
+    pub reused: u64,
+    /// When the reused KV is staged in the fast tier (never before `now`
+    /// for hits; `now` itself for misses).
+    pub staged: Time,
+    /// Hit/miss classification (one of `Miss`, `HitFast`, `HitSlow`).
+    pub class: ConsultClass,
+}
+
+/// The four bandwidth links of a serving run plus the fast-tier staging
+/// clock, unified behind one planning interface.
+#[derive(Debug)]
+pub struct TransferPlan {
+    h2d: BandwidthLink,
+    d2h: BandwidthLink,
+    slow_rd: BandwidthLink,
+    slow_wr: BandwidthLink,
+    /// When each session's KV finishes staging into the fast tier.
+    fast_ready_at: HashMap<u64, Time>,
+    async_save: bool,
+    write_buffer_bytes: u64,
+}
+
+impl TransferPlan {
+    /// Builds the links for `cfg`: PCIe for both device streams, and the
+    /// medium's slow tier (SSD, or PCIe again when DRAM is the slow tier
+    /// behind an HBM fast tier).
+    pub fn new(cfg: &EngineConfig) -> Self {
+        let pcie = cfg.cluster.pcie_bw;
+        let (slow_rd_bw, slow_wr_bw) = match cfg.medium {
+            Medium::DramDisk => (cfg.cluster.disk_read_bw, cfg.cluster.disk_write_bw),
+            // Fast tier is HBM; the slow tier is host DRAM behind PCIe.
+            Medium::HbmDram | Medium::HbmOnly => (pcie, pcie),
+        };
+        TransferPlan {
+            h2d: BandwidthLink::new("h2d", pcie),
+            d2h: BandwidthLink::new("d2h", pcie),
+            slow_rd: BandwidthLink::new("slow-rd", slow_rd_bw),
+            slow_wr: BandwidthLink::new("slow-wr", slow_wr_bw),
+            fast_ready_at: HashMap::new(),
+            async_save: cfg.async_save,
+            write_buffer_bytes: cfg.write_buffer_bytes,
+        }
+    }
+
+    /// Charges store transfers on the slow-tier links; promotions update
+    /// the fast-tier staging times.
+    pub fn charge(&mut self, now: Time, transfers: &[Transfer]) {
+        for t in transfers {
+            match t.dir {
+                TransferDir::DiskToDram => {
+                    let done = self.slow_rd.transfer(now, t.bytes);
+                    let e = self.fast_ready_at.entry(t.session.0).or_insert(done);
+                    *e = (*e).max(done);
+                }
+                TransferDir::DramToDisk => {
+                    self.slow_wr.transfer(now, t.bytes);
+                }
+            }
+        }
+    }
+
+    /// Time before which the next prefill may not start because the HBM
+    /// write buffer is still draining (§3.2.2). With synchronous saving
+    /// the stall is charged at retirement instead, so the gate is open.
+    pub fn write_gate(&self, now: Time) -> Time {
+        if !self.async_save {
+            return now;
+        }
+        let buffer_drain = self.d2h.duration_of(self.write_buffer_bytes);
+        let backlog = self.d2h.backlog_at(now);
+        if backlog > buffer_drain {
+            now + (backlog - buffer_drain)
+        } else {
+            now
+        }
+    }
+
+    /// Consults the store for a resuming job with `hist` tokens of
+    /// history and classifies the access. `stored_bytes_of` maps cached
+    /// tokens to their on-store byte size (compression included).
+    ///
+    /// The caller guarantees `hist > 0` and a configured store; the
+    /// no-history and no-store classifications live in the orchestrator.
+    pub fn consult(
+        &mut self,
+        now: Time,
+        store: &mut dyn StorePlanner,
+        sid: SessionId,
+        hist: u64,
+        queue: &QueueView,
+        stored_bytes_of: impl Fn(u64) -> u64,
+    ) -> Consult {
+        let (found, transfers) = store.load_for_use(sid, now, queue);
+        let entry_tokens = store.entry_tokens(sid).unwrap_or(0);
+        let had_promotion = transfers
+            .iter()
+            .any(|t| t.session == sid && t.dir == TransferDir::DiskToDram);
+        self.charge(now, &transfers);
+        match found {
+            Lookup::Miss => Consult {
+                reused: 0,
+                staged: now,
+                class: ConsultClass::Miss,
+            },
+            Lookup::Dram => {
+                let staged = self
+                    .fast_ready_at
+                    .get(&sid.0)
+                    .copied()
+                    .unwrap_or(now)
+                    .max(now);
+                Consult {
+                    reused: entry_tokens.min(hist),
+                    staged,
+                    class: ConsultClass::HitFast,
+                }
+            }
+            Lookup::Disk => {
+                let staged = if had_promotion {
+                    self.fast_ready_at.get(&sid.0).copied().unwrap_or(now)
+                } else {
+                    // DRAM could not stage it: stream straight from the
+                    // slow tier (rare pathological sizing).
+                    let bytes = stored_bytes_of(entry_tokens.min(hist));
+                    self.slow_rd.transfer(now, bytes)
+                };
+                Consult {
+                    reused: entry_tokens.min(hist),
+                    staged: staged.max(now),
+                    class: ConsultClass::HitSlow,
+                }
+            }
+        }
+    }
+
+    /// Transfer time of `bytes` on the host→device stream.
+    pub fn h2d_duration_of(&self, bytes: u64) -> Dur {
+        self.h2d.duration_of(bytes)
+    }
+
+    /// When the host→device stream frees up.
+    pub fn h2d_busy_until(&self) -> Time {
+        self.h2d.busy_until()
+    }
+
+    /// Marks the host→device stream busy through `until` for `bytes`
+    /// (the pre-loading schedule computes its own completion time).
+    pub fn h2d_occupy(&mut self, until: Time, bytes: u64) {
+        self.h2d.occupy(until, bytes);
+    }
+
+    /// Queues `bytes` on the device→host write stream; returns the
+    /// completion time.
+    pub fn d2h_transfer(&mut self, now: Time, bytes: u64) -> Time {
+        self.d2h.transfer(now, bytes)
+    }
+
+    /// Total bytes moved host→device.
+    pub fn h2d_bytes(&self) -> u64 {
+        self.h2d.total_bytes()
+    }
+
+    /// Total bytes moved device→host.
+    pub fn d2h_bytes(&self) -> u64 {
+        self.d2h.total_bytes()
+    }
+
+    /// Total bytes read from the slow tier.
+    pub fn slow_read_bytes(&self) -> u64 {
+        self.slow_rd.total_bytes()
+    }
+
+    /// Total bytes written to the slow tier.
+    pub fn slow_write_bytes(&self) -> u64 {
+        self.slow_wr.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use models::ModelSpec;
+
+    fn plan() -> TransferPlan {
+        TransferPlan::new(&EngineConfig::paper(
+            Mode::CachedAttention,
+            ModelSpec::llama2_13b(),
+        ))
+    }
+
+    fn promote(sid: u64, bytes: u64) -> Transfer {
+        Transfer {
+            session: SessionId(sid),
+            bytes,
+            dir: TransferDir::DiskToDram,
+        }
+    }
+
+    fn demote(sid: u64, bytes: u64) -> Transfer {
+        Transfer {
+            session: SessionId(sid),
+            bytes,
+            dir: TransferDir::DramToDisk,
+        }
+    }
+
+    /// Promotions serialize on the slow-read link in charge order: the
+    /// second session's staging time includes the first's transfer.
+    #[test]
+    fn charge_serializes_promotions_in_order() {
+        let mut p = plan();
+        let gb = 1_000_000_000;
+        p.charge(Time::ZERO, &[promote(1, gb), promote(2, gb)]);
+        let t1 = p.fast_ready_at[&1];
+        let t2 = p.fast_ready_at[&2];
+        assert!(t1 > Time::ZERO);
+        // Same payload, FIFO link: session 2 finishes one transfer later.
+        assert_eq!(t2.as_secs_f64(), 2.0 * t1.as_secs_f64());
+        assert_eq!(p.slow_read_bytes(), 2 * gb);
+        assert_eq!(p.slow_write_bytes(), 0);
+    }
+
+    /// Demotions ride the write channel and never touch staging times.
+    #[test]
+    fn demotions_use_the_write_channel() {
+        let mut p = plan();
+        p.charge(Time::ZERO, &[demote(3, 500_000_000)]);
+        assert_eq!(p.slow_write_bytes(), 500_000_000);
+        assert_eq!(p.slow_read_bytes(), 0);
+        assert!(p.fast_ready_at.is_empty());
+    }
+
+    /// Re-promoting a session keeps the *latest* staging completion.
+    #[test]
+    fn repeated_promotions_keep_the_max() {
+        let mut p = plan();
+        p.charge(Time::ZERO, &[promote(7, 1_000_000_000)]);
+        let first = p.fast_ready_at[&7];
+        p.charge(Time::ZERO, &[promote(7, 1_000_000_000)]);
+        assert!(p.fast_ready_at[&7] > first);
+    }
+
+    /// The write gate only closes once the d2h backlog exceeds the
+    /// configured buffer's drain time, and then by exactly the excess.
+    #[test]
+    fn write_gate_tracks_buffer_excess() {
+        let mut p = plan();
+        let now = Time::ZERO;
+        assert_eq!(p.write_gate(now), now);
+        // Fill well past the 2 GB buffer.
+        p.d2h_transfer(now, 10_000_000_000);
+        let gate = p.write_gate(now);
+        let drain = p.d2h.duration_of(p.write_buffer_bytes);
+        let backlog = p.d2h.backlog_at(now);
+        assert_eq!(gate, now + (backlog - drain));
+        assert!(gate > now);
+    }
+
+    /// With async saving off the gate never closes (the stall is charged
+    /// synchronously at retirement instead).
+    #[test]
+    fn sync_save_leaves_the_gate_open() {
+        let mut cfg = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b());
+        cfg.async_save = false;
+        let mut p = TransferPlan::new(&cfg);
+        p.d2h_transfer(Time::ZERO, 50_000_000_000);
+        assert_eq!(p.write_gate(Time::ZERO), Time::ZERO);
+    }
+}

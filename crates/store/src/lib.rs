@@ -29,11 +29,13 @@
 
 mod block;
 mod entry;
+mod planner;
 mod policy;
 #[allow(clippy::module_inception)]
 mod store;
 
 pub use block::{BlockId, BlockPool};
 pub use entry::{Entry, Placement, SessionId};
+pub use planner::StorePlanner;
 pub use policy::{EvictionPolicy, Fifo, Lru, PolicyKind, QueueView, SchedulerAware};
 pub use store::{AttentionStore, Lookup, StoreConfig, StoreStats, Transfer, TransferDir};

@@ -1,0 +1,140 @@
+//! The planning-side store API the serving engine programs against.
+//!
+//! The engine never touches blocks, entries or eviction internals: during
+//! a run it only *plans* — look up a session's KV on admission, prefetch
+//! ahead of the queue, save on retirement, truncate or invalidate on
+//! context overflow, expire on TTL sweeps. [`StorePlanner`] captures
+//! exactly that surface, so the engine's transfer stage can be wired to
+//! [`AttentionStore`] (or to a test double) without seeing the rest of
+//! the store's API.
+
+use crate::{AttentionStore, Lookup, QueueView, SessionId, StoreStats, Transfer};
+use sim::Time;
+
+/// The store operations the serving engine's planning stages use.
+///
+/// Every mutating call returns the [`Transfer`]s the engine must charge
+/// on its simulated links; the store itself never models time beyond
+/// recording access timestamps.
+pub trait StorePlanner {
+    /// Looks up and pins `sid`'s KV for an admitted job, demand-promoting
+    /// disk-resident KV. Returns where it was found plus the transfers.
+    fn load_for_use(&mut self, sid: SessionId, now: Time, queue: &QueueView)
+        -> (Lookup, Vec<Transfer>);
+
+    /// Number of cached tokens for `sid`, if present in either tier.
+    fn entry_tokens(&self, sid: SessionId) -> Option<u64>;
+
+    /// Runs the scheduler-aware prefetcher over the queue (§3.3.1).
+    fn prefetch(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer>;
+
+    /// Saves (or updates) `sid`'s KV; returns eviction/demotion transfers
+    /// and whether the save fit.
+    fn save(
+        &mut self,
+        sid: SessionId,
+        total_bytes: u64,
+        total_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> (Vec<Transfer>, bool);
+
+    /// Shrinks `sid`'s cached KV in place (decoupled positional encoding
+    /// truncation, §3.4).
+    fn truncate(&mut self, sid: SessionId, new_bytes: u64, new_tokens: u64);
+
+    /// Drops `sid`'s cached KV entirely (coupled positional encoding
+    /// overflow, §4.3.4).
+    fn invalidate(&mut self, sid: SessionId);
+
+    /// Drops entries idle past the TTL; returns how many were dropped.
+    fn expire(&mut self, now: Time) -> u64;
+
+    /// Running statistics.
+    fn stats(&self) -> &StoreStats;
+
+    /// Scheduler-aware prefetch window in sessions: `C_mem / S_kv`.
+    fn prefetch_window(&self) -> usize;
+
+    /// Scheduler-aware eviction window in sessions:
+    /// `(C_mem + C_disk) / S_kv`.
+    fn eviction_window(&self) -> usize;
+}
+
+impl StorePlanner for AttentionStore {
+    fn load_for_use(
+        &mut self,
+        sid: SessionId,
+        now: Time,
+        queue: &QueueView,
+    ) -> (Lookup, Vec<Transfer>) {
+        AttentionStore::load_for_use(self, sid, now, queue)
+    }
+
+    fn entry_tokens(&self, sid: SessionId) -> Option<u64> {
+        self.entry(sid).map(|e| e.tokens)
+    }
+
+    fn prefetch(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
+        AttentionStore::prefetch(self, now, queue)
+    }
+
+    fn save(
+        &mut self,
+        sid: SessionId,
+        total_bytes: u64,
+        total_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> (Vec<Transfer>, bool) {
+        AttentionStore::save(self, sid, total_bytes, total_tokens, now, queue)
+    }
+
+    fn truncate(&mut self, sid: SessionId, new_bytes: u64, new_tokens: u64) {
+        AttentionStore::truncate(self, sid, new_bytes, new_tokens)
+    }
+
+    fn invalidate(&mut self, sid: SessionId) {
+        AttentionStore::invalidate(self, sid)
+    }
+
+    fn expire(&mut self, now: Time) -> u64 {
+        AttentionStore::expire(self, now)
+    }
+
+    fn stats(&self) -> &StoreStats {
+        AttentionStore::stats(self)
+    }
+
+    fn prefetch_window(&self) -> usize {
+        AttentionStore::prefetch_window(self)
+    }
+
+    fn eviction_window(&self) -> usize {
+        AttentionStore::eviction_window(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreConfig;
+
+    /// The trait is object-safe and the blanket impl delegates.
+    #[test]
+    fn attention_store_is_a_planner() {
+        let mut store = AttentionStore::new(StoreConfig::default());
+        let planner: &mut dyn StorePlanner = &mut store;
+        let view = QueueView::empty();
+        let sid = SessionId(1);
+        let (t, ok) = planner.save(sid, 1_000_000, 100, Time::ZERO, &view);
+        assert!(ok);
+        assert!(t.is_empty());
+        assert_eq!(planner.entry_tokens(sid), Some(100));
+        let (found, _) = planner.load_for_use(sid, Time::ZERO, &view);
+        assert_eq!(found, Lookup::Dram);
+        assert_eq!(planner.stats().saves, 1);
+        planner.invalidate(sid);
+        assert_eq!(planner.entry_tokens(sid), None);
+    }
+}

@@ -1,6 +1,14 @@
 //! Property-based integration tests of AttentionStore: under arbitrary
 //! operation sequences the store never leaks blocks, never double-books
 //! capacity, and lookups stay consistent.
+//!
+//! `tests/store_properties.proptest-regressions` is checked in on
+//! purpose: proptest replays its seeds before sampling fresh cases, so
+//! every CI run re-checks the once-failing inputs. The recorded seed
+//! shrank to a SchedulerAware-policy sequence of five saves, a load, and
+//! a prefetch of a duplicated queue (`[6, 6]`) — the duplicate-session
+//! prefetch is what originally tripped capacity accounting. Do not
+//! delete the file; append-only by proptest on new failures.
 
 use cachedattention::sim::Time;
 use cachedattention::store::{
