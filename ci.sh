@@ -6,6 +6,7 @@
 # 1. release build of the whole workspace (examples + benches included)
 # 2. full test suite (unit, integration, golden-report, proptests, doctests)
 # 3. clippy with warnings denied
+# 4. telemetry smoke: capture a small traced run, validate the outputs
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -17,5 +18,17 @@ cargo test --workspace -q
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> telemetry smoke (exp_trace + trace_check)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/exp_trace --sessions 60 \
+    --trace-out "$SMOKE_DIR/trace.jsonl" \
+    --trace-out "$SMOKE_DIR/trace.json" \
+    --metrics-out "$SMOKE_DIR/metrics.json" >/dev/null
+./target/release/trace_check \
+    --jsonl "$SMOKE_DIR/trace.jsonl" \
+    --chrome "$SMOKE_DIR/trace.json" \
+    --metrics "$SMOKE_DIR/metrics.json"
 
 echo "CI green."

@@ -2,13 +2,21 @@
 //!
 //! `--paper` uses the full 9K-session scale (slow); the default quick
 //! scale reproduces every shape in minutes.
+//!
+//! `--trace-out PATH` (repeatable; `.jsonl` => JSON Lines, else Chrome
+//! trace for Perfetto) and `--metrics-out PATH` additionally capture the
+//! reference CachedAttention run (Llama2-13B at the selected scale) with
+//! the full telemetry stack attached.
 
 use bench_suite::experiments::{self, e2e};
-use bench_suite::Scale;
+use bench_suite::{paper_trace, scaled_config, Scale, TelemetryArgs};
+use engine::Mode;
+use models::ModelSpec;
 use std::fmt::Write as _;
 
 fn main() {
     let scale = Scale::from_args();
+    let telemetry = TelemetryArgs::from_args();
     let quick = !std::env::args().any(|a| a == "--paper");
     let (steps, episodes) = if quick { (900, 10) } else { (2_000, 24) };
     let mut out = String::new();
@@ -44,6 +52,12 @@ fn main() {
     section("ext-compression", experiments::ext_compression::run(scale));
     section("ext-chunked", experiments::ext_chunked::run(scale));
     section("ext-bursty", experiments::ext_bursty::run(scale));
+    if telemetry.any() {
+        let model = ModelSpec::llama2_13b();
+        let cfg = scaled_config(Mode::CachedAttention, model, scale);
+        telemetry.run(cfg, paper_trace(scale, 1.0));
+        eprintln!("[exp_all] finished telemetry capture");
+    }
     print!("{out}");
     std::fs::write("EXPERIMENTS-report.txt", &out).expect("write report");
     eprintln!("[exp_all] wrote EXPERIMENTS-report.txt");

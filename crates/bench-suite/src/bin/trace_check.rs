@@ -1,0 +1,140 @@
+//! CI validator for telemetry output files.
+//!
+//! ```text
+//! trace_check [--jsonl PATH] [--chrome PATH] [--metrics PATH]
+//! ```
+//!
+//! Checks that a JSONL trace parses line-by-line and covers every event
+//! category the taxonomy defines (`session`, `sched`, `gpu` from the
+//! engine; `cache`, `tiering`, `gauge` from the store — `stall` is
+//! workload-dependent and not required), that a Chrome trace is valid
+//! JSON with a non-empty `traceEvents` array, and that a metrics
+//! snapshot parses as a JSON object. Exits non-zero with a message on
+//! the first failure, so `ci.sh` can gate on it.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use serde::Value;
+
+/// Categories that any non-trivial CachedAttention run must emit.
+const REQUIRED_CATEGORIES: [&str; 6] = ["session", "sched", "gpu", "cache", "tiering", "gauge"];
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("[trace_check] FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn check_jsonl(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut lines = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: not valid JSON: {e:?}", i + 1))?;
+        let Value::Object(pairs) = v else {
+            return Err(format!("{path}:{}: line is not an object", i + 1));
+        };
+        let get = |key: &str| {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+        };
+        match get("seq") {
+            Some(Value::U64(n)) if n == i as u64 => {}
+            other => return Err(format!("{path}:{}: bad seq {other:?}", i + 1)),
+        }
+        for key in ["source", "category", "kind"] {
+            match get(key) {
+                Some(Value::Str(_)) => {}
+                _ => return Err(format!("{path}:{}: missing `{key}`", i + 1)),
+            }
+        }
+        if let Some(Value::Str(cat)) = get("category") {
+            seen.insert(cat);
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{path}: empty trace"));
+    }
+    for cat in REQUIRED_CATEGORIES {
+        if !seen.contains(cat) {
+            return Err(format!(
+                "{path}: no `{cat}` events (saw: {seen:?})"
+            ));
+        }
+    }
+    println!("[trace_check] {path}: {lines} events, categories {seen:?}");
+    Ok(())
+}
+
+fn check_chrome(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not valid JSON: {e:?}"))?;
+    let Value::Object(pairs) = v else {
+        return Err(format!("{path}: envelope is not an object"));
+    };
+    let events = pairs
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v);
+    match events {
+        Some(Value::Array(xs)) if !xs.is_empty() => {
+            println!("[trace_check] {path}: {} trace events", xs.len());
+            Ok(())
+        }
+        Some(Value::Array(_)) => Err(format!("{path}: traceEvents is empty")),
+        _ => Err(format!("{path}: missing traceEvents array")),
+    }
+}
+
+fn check_metrics(path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not valid JSON: {e:?}"))?;
+    let Value::Object(pairs) = v else {
+        return Err(format!("{path}: snapshot is not an object"));
+    };
+    for key in ["turns_arrived", "hit_rate", "store_hits_dram"] {
+        if !pairs.iter().any(|(k, _)| k == key) {
+            return Err(format!("{path}: missing `{key}`"));
+        }
+    }
+    println!("[trace_check] {path}: snapshot ok ({} fields)", pairs.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut checked = false;
+    for (flag, check) in [
+        ("--jsonl", check_jsonl as fn(&str) -> Result<(), String>),
+        ("--chrome", check_chrome),
+        ("--metrics", check_metrics),
+    ] {
+        if let Some(path) = arg_value(flag) {
+            checked = true;
+            if let Err(msg) = check(&path) {
+                return fail(&msg);
+            }
+        }
+    }
+    if !checked {
+        return fail("nothing to check: pass --jsonl/--chrome/--metrics PATH");
+    }
+    println!("[trace_check] ok");
+    ExitCode::SUCCESS
+}

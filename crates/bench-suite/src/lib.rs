@@ -12,6 +12,9 @@ use models::ModelSpec;
 use workload::{Generator, ShareGptProfile, Trace};
 
 pub mod experiments;
+pub mod telemetry_cli;
+
+pub use telemetry_cli::TelemetryArgs;
 
 /// Default seed used by every experiment unless overridden.
 pub const DEFAULT_SEED: u64 = 20240418;

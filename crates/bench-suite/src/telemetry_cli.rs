@@ -1,0 +1,124 @@
+//! `--trace-out` / `--metrics-out` support for the experiment binaries.
+//!
+//! Any experiment binary can accept:
+//!
+//! - `--trace-out PATH` (repeatable): dump the merged engine/store event
+//!   trace of the telemetry run. `.jsonl` paths get JSON Lines (one
+//!   self-describing object per event); any other extension gets the
+//!   Chrome trace-event format, which Perfetto and `chrome://tracing`
+//!   open directly.
+//! - `--metrics-out PATH`: write the aggregated [`MetricsSnapshot`] as
+//!   pretty-printed JSON.
+//!
+//! Telemetry is strictly read-only, so the returned [`RunReport`] is
+//! identical whether or not any flag is given.
+
+use std::path::{Path, PathBuf};
+
+use engine::{run_trace, EngineConfig, RunReport};
+use telemetry::{run_with_telemetry, to_chrome_trace, to_jsonl, MetricsSnapshot};
+use workload::Trace;
+
+/// Parsed `--trace-out` / `--metrics-out` flags.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryArgs {
+    /// Trace destinations (`.jsonl` → JSON Lines, else Chrome trace).
+    pub trace_outs: Vec<PathBuf>,
+    /// Metrics-snapshot destination.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl TelemetryArgs {
+    /// Parses the flags from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut out = TelemetryArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--trace-out" => {
+                    if let Some(p) = args.get(i + 1) {
+                        out.trace_outs.push(PathBuf::from(p));
+                        i += 1;
+                    }
+                }
+                "--metrics-out" => {
+                    if let Some(p) = args.get(i + 1) {
+                        out.metrics_out = Some(PathBuf::from(p));
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Whether any telemetry output was requested.
+    pub fn any(&self) -> bool {
+        !self.trace_outs.is_empty() || self.metrics_out.is_some()
+    }
+
+    /// Runs `cfg` over `trace`, attaching the telemetry stack and
+    /// writing the requested outputs when any flag was given, or running
+    /// plain (zero observation cost) otherwise. Either way the report is
+    /// byte-identical.
+    pub fn run(&self, cfg: EngineConfig, trace: Trace) -> RunReport {
+        if !self.any() {
+            return run_trace(cfg, trace);
+        }
+        let (report, tel) = run_with_telemetry(cfg, trace);
+        for path in &self.trace_outs {
+            let body = if is_jsonl(path) {
+                to_jsonl(tel.records())
+            } else {
+                to_chrome_trace(tel.records())
+            };
+            write_out(path, &body);
+            eprintln!(
+                "[telemetry] wrote {} ({} events)",
+                path.display(),
+                tel.records().len()
+            );
+        }
+        if let Some(path) = &self.metrics_out {
+            write_snapshot(path, &tel.snapshot());
+        }
+        report
+    }
+}
+
+fn is_jsonl(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "jsonl")
+}
+
+fn write_out(path: &Path, body: &str) {
+    std::fs::write(path, body)
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+/// Writes a [`MetricsSnapshot`] as pretty-printed JSON.
+pub fn write_snapshot(path: &Path, snap: &MetricsSnapshot) {
+    let body = serde_json::to_string_pretty(snap).expect("snapshot always serializes");
+    write_out(path, &body);
+    eprintln!("[telemetry] wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_dispatch_is_by_extension() {
+        assert!(is_jsonl(Path::new("trace.jsonl")));
+        assert!(!is_jsonl(Path::new("trace.json")));
+        assert!(!is_jsonl(Path::new("trace")));
+    }
+
+    #[test]
+    fn default_args_are_inert() {
+        let args = TelemetryArgs::default();
+        assert!(!args.any());
+    }
+}

@@ -9,9 +9,18 @@
 //!
 //! [`EventLog`] is the canonical observer: it collects events into a
 //! `Vec` for test assertions and offline analysis;
-//! [`run_traced`](crate::run_traced) wires it up.
+//! [`run_traced`](crate::run_traced) wires it up. [`CoalescedLog`]
+//! collapses admission-retry floods (one [`EngineEvent::Deferred`] per
+//! retry) into counted [`LogEntry::DeferredRun`] records.
+//!
+//! Observers that also want the [`StoreEvent`] stream (the store's
+//! placement decisions, drained through the engine so both streams share
+//! one causal order) opt in via
+//! [`EngineObserver::wants_store_events`].
 
+use serde::{Serialize, Value};
 use sim::Time;
+use store::StoreEvent;
 
 /// How a store consultation classified a resuming job's KV.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +35,19 @@ pub enum ConsultClass {
     HitFast,
     /// KV found in the slow tier.
     HitSlow,
+}
+
+impl ConsultClass {
+    /// Lowercase label used in serialized traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConsultClass::NoHistory => "no_history",
+            ConsultClass::NoStore => "no_store",
+            ConsultClass::Miss => "miss",
+            ConsultClass::HitFast => "hit_fast",
+            ConsultClass::HitSlow => "hit_slow",
+        }
+    }
 }
 
 /// One observable step of the serving pipeline.
@@ -102,6 +124,18 @@ pub enum EngineEvent {
         /// Virtual retirement time.
         at: Time,
     },
+    /// Admission reserved HBM for a job's peak context (a gauge of the
+    /// live-KV budget, §2.4).
+    HbmReserved {
+        /// External session id of the admitted job.
+        session: u64,
+        /// Live-KV bytes reserved after this admission (batch + new job).
+        reserved_bytes: u64,
+        /// The HBM budget those reservations must fit in.
+        budget_bytes: u64,
+        /// Virtual admission time.
+        at: Time,
+    },
 }
 
 impl EngineEvent {
@@ -164,6 +198,16 @@ impl EngineEvent {
         }
     }
 
+    /// An [`EngineEvent::HbmReserved`] admission-time gauge.
+    pub fn hbm_reserved(session: u64, reserved_bytes: u64, budget_bytes: u64, at: Time) -> Self {
+        EngineEvent::HbmReserved {
+            session,
+            reserved_bytes,
+            budget_bytes,
+            at,
+        }
+    }
+
     /// The external session id the event concerns.
     pub fn session(&self) -> u64 {
         match *self {
@@ -173,15 +217,174 @@ impl EngineEvent {
             | EngineEvent::Deferred { session, .. }
             | EngineEvent::Admitted { session, .. }
             | EngineEvent::PrefillDone { session, .. }
-            | EngineEvent::Retired { session, .. } => session,
+            | EngineEvent::Retired { session, .. }
+            | EngineEvent::HbmReserved { session, .. } => session,
+        }
+    }
+
+    /// Snake-case name of the variant, used as the `kind` field in
+    /// serialized traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineEvent::TurnArrived { .. } => "turn_arrived",
+            EngineEvent::Truncated { .. } => "truncated",
+            EngineEvent::Consulted { .. } => "consulted",
+            EngineEvent::Deferred { .. } => "deferred",
+            EngineEvent::Admitted { .. } => "admitted",
+            EngineEvent::PrefillDone { .. } => "prefill_done",
+            EngineEvent::Retired { .. } => "retired",
+            EngineEvent::HbmReserved { .. } => "hbm_reserved",
+        }
+    }
+
+    /// Coarse category: `session` (turn lifecycle), `sched` (queueing and
+    /// admission decisions) or `gpu` (execution and HBM effects).
+    pub fn category(&self) -> &'static str {
+        match self {
+            EngineEvent::TurnArrived { .. }
+            | EngineEvent::Truncated { .. }
+            | EngineEvent::Retired { .. } => "session",
+            EngineEvent::Consulted { .. }
+            | EngineEvent::Deferred { .. }
+            | EngineEvent::Admitted { .. } => "sched",
+            EngineEvent::PrefillDone { .. } | EngineEvent::HbmReserved { .. } => "gpu",
+        }
+    }
+
+    /// The event's virtual timestamp.
+    pub fn at(&self) -> Time {
+        match *self {
+            EngineEvent::TurnArrived { at, .. }
+            | EngineEvent::Truncated { at, .. }
+            | EngineEvent::Consulted { at, .. }
+            | EngineEvent::Deferred { at, .. }
+            | EngineEvent::Admitted { at, .. }
+            | EngineEvent::PrefillDone { at, .. }
+            | EngineEvent::Retired { at, .. }
+            | EngineEvent::HbmReserved { at, .. } => at,
         }
     }
 }
 
-/// A sink for [`EngineEvent`]s.
+/// Builds the serialized payload fields shared by most variants.
+fn fields(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn secs(t: Time) -> Value {
+    Value::F64(t.as_secs_f64())
+}
+
+impl Serialize for EngineEvent {
+    /// Serializes as a tagged object: `kind` first, payload fields next,
+    /// the timestamp (`at`, fractional seconds) last — the same shape the
+    /// store events use, so both streams merge into one JSONL trace.
+    fn to_value(&self) -> Value {
+        let kind = Value::Str(self.kind().to_string());
+        match *self {
+            EngineEvent::TurnArrived { session, turn, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("turn", Value::U64(turn as u64)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::Truncated {
+                session,
+                old_hist,
+                new_hist,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("old_hist", Value::U64(old_hist)),
+                ("new_hist", Value::U64(new_hist)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::Consulted {
+                session,
+                class,
+                reused,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("class", Value::Str(class.label().to_string())),
+                ("reused", Value::U64(reused)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::Deferred { session, until, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("until", secs(until)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::Admitted {
+                session,
+                reused,
+                computed,
+                chunked,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("reused", Value::U64(reused)),
+                ("computed", Value::U64(computed)),
+                ("chunked", Value::Bool(chunked)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::PrefillDone {
+                session,
+                ttft_secs,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("ttft_secs", Value::F64(ttft_secs)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::Retired {
+                session,
+                new_hist,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("new_hist", Value::U64(new_hist)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::HbmReserved {
+                session,
+                reserved_bytes,
+                budget_bytes,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("reserved_bytes", Value::U64(reserved_bytes)),
+                ("budget_bytes", Value::U64(budget_bytes)),
+                ("at", secs(at)),
+            ]),
+        }
+    }
+}
+
+/// A sink for [`EngineEvent`]s (and, opted into, [`StoreEvent`]s).
 pub trait EngineObserver {
     /// Called after the simulator commits the observed step.
     fn on_event(&mut self, ev: EngineEvent);
+
+    /// Whether this observer wants the store's [`StoreEvent`] stream too.
+    /// When `false` (the default) the engine leaves store tracing off, so
+    /// plain observers pay nothing for it.
+    fn wants_store_events(&self) -> bool {
+        false
+    }
+
+    /// Called with each store placement decision, drained in commit order
+    /// and interleaved causally with the engine events. Only invoked when
+    /// [`wants_store_events`](EngineObserver::wants_store_events) is
+    /// `true`.
+    fn on_store_event(&mut self, _ev: StoreEvent) {}
 }
 
 /// The default observer: discards everything, costs nothing.
@@ -221,6 +424,101 @@ impl EngineObserver for EventLog {
     }
 }
 
+/// One record of a [`CoalescedLog`]: either a single event or a run of
+/// consecutive admission deferrals for the same session collapsed into
+/// a count plus its first/last timestamps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LogEntry {
+    /// A single (non-coalesced) event.
+    Event(EngineEvent),
+    /// `count` consecutive [`EngineEvent::Deferred`] events for
+    /// `session`, coalesced.
+    DeferredRun {
+        /// External session id whose admission kept being deferred.
+        session: u64,
+        /// How many deferrals the run collapsed.
+        count: u64,
+        /// Timestamp of the first deferral in the run.
+        first_at: Time,
+        /// Timestamp of the last deferral in the run.
+        last_at: Time,
+        /// The last deferral's retry time.
+        until: Time,
+    },
+}
+
+/// An [`EventLog`] variant that coalesces admission-retry floods.
+///
+/// A long admission stall emits one [`EngineEvent::Deferred`] per retry;
+/// collecting those verbatim floods the log (and anything aggregating
+/// it). This observer collapses consecutive deferrals of the same
+/// session into one counted [`LogEntry::DeferredRun`]; every other event
+/// passes through unchanged. The telemetry crate's `MetricsHub` uses one
+/// internally.
+#[derive(Debug, Clone, Default)]
+pub struct CoalescedLog {
+    entries: Vec<LogEntry>,
+}
+
+impl CoalescedLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        CoalescedLog::default()
+    }
+
+    /// All collected entries, in commit order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Consumes the log, returning the collected entries.
+    pub fn into_entries(self) -> Vec<LogEntry> {
+        self.entries
+    }
+
+    /// Total deferrals observed (the sum over every coalesced run).
+    pub fn deferred_total(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                LogEntry::DeferredRun { count, .. } => *count,
+                LogEntry::Event(_) => 0,
+            })
+            .sum()
+    }
+}
+
+impl EngineObserver for CoalescedLog {
+    fn on_event(&mut self, ev: EngineEvent) {
+        if let EngineEvent::Deferred { session, until, at } = ev {
+            if let Some(LogEntry::DeferredRun {
+                session: s,
+                count,
+                last_at,
+                until: u,
+                ..
+            }) = self.entries.last_mut()
+            {
+                if *s == session {
+                    *count += 1;
+                    *last_at = at;
+                    *u = until;
+                    return;
+                }
+            }
+            self.entries.push(LogEntry::DeferredRun {
+                session,
+                count: 1,
+                first_at: at,
+                last_at: at,
+                until,
+            });
+        } else {
+            self.entries.push(LogEntry::Event(ev));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +539,62 @@ mod tests {
         assert_eq!(log.events().len(), 2);
         assert_eq!(log.events()[0].session(), 3);
         assert!(matches!(log.events()[1], EngineEvent::Retired { new_hist: 42, .. }));
+    }
+
+    #[test]
+    fn serializes_as_tagged_objects() {
+        let ev = EngineEvent::consulted(5, ConsultClass::HitSlow, 700, Time::from_secs_f64(2.0));
+        let json = serde_json::to_string(&ev).unwrap();
+        assert_eq!(
+            json,
+            "{\"kind\":\"consulted\",\"session\":5,\"class\":\"hit_slow\",\
+             \"reused\":700,\"at\":2.0}"
+        );
+        assert_eq!(ev.kind(), "consulted");
+        assert_eq!(ev.category(), "sched");
+        assert_eq!(ev.at(), Time::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn coalesced_log_collapses_deferral_runs() {
+        let mut log = CoalescedLog::new();
+        log.on_event(EngineEvent::turn_arrived(1, 0, Time::ZERO));
+        for ms in [10u64, 20, 30] {
+            log.on_event(EngineEvent::deferred(
+                1,
+                Time::from_millis(ms + 5),
+                Time::from_millis(ms),
+            ));
+        }
+        // A different session breaks the run.
+        log.on_event(EngineEvent::deferred(2, Time::from_millis(41), Time::from_millis(40)));
+        log.on_event(EngineEvent::admitted(1, 0, 100, false, Time::from_millis(50)));
+        assert_eq!(log.entries().len(), 4);
+        assert!(matches!(
+            log.entries()[1],
+            LogEntry::DeferredRun {
+                session: 1,
+                count: 3,
+                first_at,
+                last_at,
+                ..
+            } if first_at == Time::from_millis(10) && last_at == Time::from_millis(30)
+        ));
+        assert!(matches!(
+            log.entries()[2],
+            LogEntry::DeferredRun { session: 2, count: 1, .. }
+        ));
+        assert_eq!(log.deferred_total(), 4);
+    }
+
+    #[test]
+    fn default_observer_ignores_store_events() {
+        let mut obs = NullObserver;
+        assert!(!obs.wants_store_events());
+        // The default hook is a no-op; just exercise it.
+        obs.on_store_event(StoreEvent::FetchMiss {
+            session: 1,
+            at: Time::ZERO,
+        });
     }
 }

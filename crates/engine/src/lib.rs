@@ -39,7 +39,9 @@ pub mod transfer;
 pub mod truncate;
 
 pub use config::{EngineConfig, Medium, Mode};
-pub use events::{ConsultClass, EngineEvent, EngineObserver, EventLog, NullObserver};
+pub use events::{
+    CoalescedLog, ConsultClass, EngineEvent, EngineObserver, EventLog, LogEntry, NullObserver,
+};
 pub use report::RunReport;
 pub use serving::{Ev, ServingSim};
 
@@ -65,12 +67,25 @@ pub fn run_trace(cfg: EngineConfig, trace: Trace) -> RunReport {
     ServingSim::run(cfg, trace)
 }
 
+/// Runs `cfg` over `trace` with `obs` attached, returning the report and
+/// the observer back. This is the hook external telemetry layers build
+/// on: the observer sees every committed pipeline step (and, when it
+/// opts in via [`EngineObserver::wants_store_events`], every store
+/// placement decision) without being able to influence the run.
+pub fn run_with_observer<O: EngineObserver>(
+    cfg: EngineConfig,
+    trace: Trace,
+    obs: O,
+) -> (RunReport, O) {
+    let mut world = ServingSim::with_observer(cfg, trace, obs);
+    world.drive();
+    world.finish()
+}
+
 /// Runs `cfg` over `trace` with an [`EventLog`] attached, returning the
 /// report together with the full [`EngineEvent`] stream in commit order.
 pub fn run_traced(cfg: EngineConfig, trace: Trace) -> (RunReport, Vec<EngineEvent>) {
-    let mut world = ServingSim::with_observer(cfg, trace, EventLog::new());
-    world.drive();
-    let (report, log) = world.finish();
+    let (report, log) = run_with_observer(cfg, trace, EventLog::new());
     (report, log.into_events())
 }
 

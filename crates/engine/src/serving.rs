@@ -21,7 +21,7 @@
 //! collects the stream.
 
 use sim::{Dur, EventQueue, Time, World};
-use store::{AttentionStore, QueueView, SessionId, StorePlanner};
+use store::{AttentionStore, QueueView, SessionId, StoreEvent, StorePlanner, TransferDir};
 use workload::Trace;
 
 use crate::events::{ConsultClass, EngineEvent, EngineObserver, NullObserver};
@@ -90,10 +90,15 @@ impl ServingSim<NullObserver> {
 impl<O: EngineObserver> ServingSim<O> {
     /// Builds a simulator that reports every pipeline step to `obs`.
     pub fn with_observer(cfg: EngineConfig, trace: Trace, obs: O) -> Self {
-        let store: Option<Box<dyn StorePlanner>> = match cfg.mode {
+        let mut store: Option<Box<dyn StorePlanner>> = match cfg.mode {
             Mode::Recompute => None,
             _ => Some(Box::new(AttentionStore::new(cfg.store.clone()))),
         };
+        if let Some(s) = &mut store {
+            // Store tracing is buffered-and-drained, never behavioral:
+            // only turn it on for observers that will consume the stream.
+            s.set_tracing(obs.wants_store_events());
+        }
         let sessions = (0..trace.sessions.len())
             .map(|i| SessionState {
                 spec: i,
@@ -163,12 +168,40 @@ impl<O: EngineObserver> ServingSim<O> {
             .collect()
     }
 
+    /// Forwards buffered store events to an opted-in observer, keeping
+    /// both streams in one commit order.
+    fn pump_store_events(&mut self) {
+        if !self.obs.wants_store_events() {
+            return;
+        }
+        if let Some(store) = &mut self.store {
+            for ev in store.drain_events() {
+                self.obs.on_store_event(ev);
+            }
+        }
+    }
+
     /// Runs the scheduler-aware prefetcher over the current queue.
     fn run_prefetch(&mut self, now: Time) {
         let order = self.queue_sessions();
-        if let Some(store) = &mut self.store {
-            let transfers = store.prefetch(now, &QueueView::new(&order));
-            self.plan.charge(now, &transfers);
+        let Some(store) = &mut self.store else {
+            return;
+        };
+        let transfers = store.prefetch(now, &QueueView::new(&order));
+        self.plan.charge(now, &transfers);
+        self.pump_store_events();
+        if self.obs.wants_store_events() {
+            // The store planned the promotions; only the transfer stage
+            // knows when the slow-read link completes them.
+            for t in &transfers {
+                if t.dir == TransferDir::DiskToDram {
+                    let at = self.plan.fast_ready(t.session.0).unwrap_or(now);
+                    self.obs.on_store_event(StoreEvent::PrefetchCompleted {
+                        session: t.session.0,
+                        at,
+                    });
+                }
+            }
         }
     }
 
@@ -245,6 +278,7 @@ impl<O: EngineObserver> ServingSim<O> {
         let consult = self.plan.consult(now, store.as_mut(), sid, hist, &view, |tokens| {
             cfg.stored_kv_bytes(tokens)
         });
+        self.pump_store_events();
         self.report.record_consult(consult.class, measured);
         self.obs
             .on_event(EngineEvent::consulted(sid.0, consult.class, consult.reused, now));
@@ -258,6 +292,14 @@ impl<O: EngineObserver> ServingSim<O> {
         let job_idx = self.sched.front().expect("caller checked");
         let gate = self.plan.write_gate(now);
         if gate > now {
+            if self.obs.wants_store_events() {
+                let sid = self.sid(self.jobs[job_idx].session);
+                self.obs.on_store_event(StoreEvent::WriteBufferStall {
+                    session: sid.0,
+                    until: gate,
+                    at: now,
+                });
+            }
             return Err(self.defer(now, job_idx, gate));
         }
         // Consult the store the first time this job reaches the head; the
@@ -322,6 +364,12 @@ impl<O: EngineObserver> ServingSim<O> {
         };
         self.obs
             .on_event(EngineEvent::admitted(sid.0, reused, computed, chunked, now));
+        self.obs.on_event(EngineEvent::hbm_reserved(
+            sid.0,
+            reserved + job_peak,
+            self.hbm.budget(),
+            now,
+        ));
         // The queue head moved: give the prefetcher a chance to stage the
         // next jobs' KV while this prefill runs.
         self.run_prefetch(now);
@@ -395,6 +443,7 @@ impl<O: EngineObserver> ServingSim<O> {
             let store = self.store.as_mut().expect("store exists outside RE");
             let (transfers, _saved) = store.save(sid, total_bytes, new_hist, now, &view);
             self.plan.charge(now, &transfers);
+            self.pump_store_events();
             let done = self.plan.d2h_transfer(now, self.cfg.stored_kv_bytes(resp));
             if !self.cfg.async_save {
                 // Synchronous saving blocks the GPU until the write-back
@@ -467,6 +516,7 @@ impl<O: EngineObserver> World for ServingSim<O> {
                 if let Some(store) = &mut self.store {
                     store.expire(now);
                 }
+                self.pump_store_events();
                 if self.sessions_remaining > 0 {
                     q.push(now + Dur::from_secs_f64(30.0), Ev::Sweep);
                 }

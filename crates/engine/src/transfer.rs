@@ -162,6 +162,12 @@ impl TransferPlan {
         }
     }
 
+    /// When `session`'s KV finishes staging into the fast tier, if a
+    /// promotion was ever charged for it.
+    pub fn fast_ready(&self, session: u64) -> Option<Time> {
+        self.fast_ready_at.get(&session).copied()
+    }
+
     /// Transfer time of `bytes` on the host→device stream.
     pub fn h2d_duration_of(&self, bytes: u64) -> Dur {
         self.h2d.duration_of(bytes)

@@ -48,6 +48,17 @@ impl TimeSeries {
         self.buckets[idx] += amount;
     }
 
+    /// Records a gauge sample at `at_secs`: the bucket keeps the
+    /// *maximum* value seen rather than a sum, so the series traces an
+    /// occupancy curve's peaks (HBM reservations, tier occupancy).
+    pub fn record_max(&mut self, at_secs: f64, value: f64) {
+        let idx = (at_secs.max(0.0) / self.bucket_secs) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] = self.buckets[idx].max(value);
+    }
+
     /// Spreads `amount` uniformly over `[start_secs, start_secs + dur_secs)`,
     /// splitting across bucket boundaries.
     pub fn add_span(&mut self, start_secs: f64, dur_secs: f64, amount: f64) {
@@ -149,6 +160,16 @@ mod tests {
         let mut ts = TimeSeries::new(10.0);
         ts.add_span(12.0, 0.0, 5.0);
         assert_eq!(ts.buckets(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn record_max_keeps_the_bucket_peak() {
+        let mut ts = TimeSeries::new(10.0);
+        ts.record_max(1.0, 5.0);
+        ts.record_max(2.0, 3.0);
+        ts.record_max(15.0, 7.0);
+        assert_eq!(ts.buckets(), &[5.0, 7.0]);
+        assert_eq!(ts.peak(), 7.0);
     }
 
     #[test]

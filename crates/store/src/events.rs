@@ -1,0 +1,504 @@
+//! Store trace events: an observer hook over the AttentionStore.
+//!
+//! Every placement decision the store makes — where a save landed, which
+//! tier a fetch hit, what got promoted, demoted or evicted and at which
+//! look-ahead window position — is reported as a [`StoreEvent`] through
+//! the [`StoreObserver`] hook. Observation is strictly read-only: events
+//! describe state changes *after* they are committed, and nothing an
+//! observer does can alter the store's behavior (the golden-report
+//! fixtures hold with or without tracing enabled).
+//!
+//! The serving engine drains these events through
+//! [`StorePlanner::drain_events`](crate::StorePlanner::drain_events) and
+//! merges them with its own pipeline events into one causally-ordered
+//! trace; a few variants ([`StoreEvent::PrefetchCompleted`],
+//! [`StoreEvent::WriteBufferStall`]) are emitted by the engine itself
+//! because only the transfer stage knows the link timings involved.
+
+use serde::{Serialize, Value};
+use sim::Time;
+
+/// A storage tier of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The fast tier (host DRAM for the paper's medium).
+    Dram,
+    /// The slow tier (SSD for the paper's medium).
+    Disk,
+}
+
+impl Tier {
+    /// Lowercase label used in serialized traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Dram => "dram",
+            Tier::Disk => "disk",
+        }
+    }
+}
+
+/// Why a disk→DRAM promotion happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Demand fetch: an admitted job needed its KV right now.
+    Demand,
+    /// Look-ahead prefetch (§3.3.1): the job was still queued.
+    Prefetch,
+}
+
+impl FetchKind {
+    /// Lowercase label used in serialized traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            FetchKind::Demand => "demand",
+            FetchKind::Prefetch => "prefetch",
+        }
+    }
+}
+
+/// One observable decision of the AttentionStore (plus the two
+/// engine-emitted transfer-timing variants; see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoreEvent {
+    /// A session's KV was saved (or updated) into `tier`.
+    Saved {
+        /// External session id.
+        session: u64,
+        /// Stored payload size.
+        bytes: u64,
+        /// Tier the save landed in (disk = spill, §3.3.1's write stream).
+        tier: Tier,
+        /// Virtual commit time.
+        at: Time,
+    },
+    /// A save could not fit anywhere and was rejected.
+    SaveRejected {
+        /// External session id.
+        session: u64,
+        /// Payload size that did not fit.
+        bytes: u64,
+        /// Virtual time of the attempt.
+        at: Time,
+    },
+    /// A demand lookup found the session's KV in `tier`.
+    FetchHit {
+        /// External session id.
+        session: u64,
+        /// Tier the KV was found in (before any promotion).
+        tier: Tier,
+        /// Cached payload size.
+        bytes: u64,
+        /// Virtual lookup time.
+        at: Time,
+    },
+    /// A demand lookup found nothing cached.
+    FetchMiss {
+        /// External session id.
+        session: u64,
+        /// Virtual lookup time.
+        at: Time,
+    },
+    /// A session's KV was promoted disk → DRAM.
+    Promoted {
+        /// External session id.
+        session: u64,
+        /// Payload size moved.
+        bytes: u64,
+        /// Demand fetch or look-ahead prefetch.
+        kind: FetchKind,
+        /// The session's scheduler-queue position when prefetched.
+        queue_pos: Option<usize>,
+        /// Virtual time the movement was planned (the engine charges the
+        /// actual link time).
+        at: Time,
+    },
+    /// A session's KV was demoted DRAM → disk to make room.
+    Demoted {
+        /// External session id.
+        session: u64,
+        /// Payload size moved.
+        bytes: u64,
+        /// Virtual commit time.
+        at: Time,
+    },
+    /// A session's KV was evicted out of the disk tier (out of the
+    /// system) under capacity pressure.
+    EvictedDisk {
+        /// External session id.
+        session: u64,
+        /// Payload size dropped.
+        bytes: u64,
+        /// The victim's position in the scheduler queue, if it was queued
+        /// at all (scheduler-aware eviction prefers unqueued victims, so
+        /// `Some` here means every candidate was inside the window).
+        window_pos: Option<usize>,
+        /// Virtual commit time.
+        at: Time,
+    },
+    /// A DRAM entry was dropped outright because the disk tier could not
+    /// make room for its demotion.
+    DroppedDram {
+        /// External session id.
+        session: u64,
+        /// Payload size dropped.
+        bytes: u64,
+        /// Virtual commit time.
+        at: Time,
+    },
+    /// A session's KV expired by TTL.
+    Expired {
+        /// External session id.
+        session: u64,
+        /// Virtual sweep time.
+        at: Time,
+    },
+    /// Tier occupancy after a batch of store operations (a gauge, emitted
+    /// once per drained interaction rather than per block move).
+    Occupancy {
+        /// Bytes resident in DRAM (whole blocks).
+        dram_bytes: u64,
+        /// Bytes resident on disk (whole blocks).
+        disk_bytes: u64,
+        /// Virtual sample time.
+        at: Time,
+    },
+    /// A prefetched session's KV finished staging into the fast tier
+    /// (engine-emitted: the store plans the move, the transfer stage
+    /// knows when the link completes it).
+    PrefetchCompleted {
+        /// External session id.
+        session: u64,
+        /// Virtual staging-completion time.
+        at: Time,
+    },
+    /// Admission stalled because the HBM write buffer was still draining
+    /// (§3.2.2; engine-emitted).
+    WriteBufferStall {
+        /// External session id of the stalled job.
+        session: u64,
+        /// Earliest time the buffer will have drained.
+        until: Time,
+        /// Virtual time of the stalled attempt.
+        at: Time,
+    },
+}
+
+impl StoreEvent {
+    /// Snake-case name of the variant, used as the `kind` field in
+    /// serialized traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreEvent::Saved { .. } => "saved",
+            StoreEvent::SaveRejected { .. } => "save_rejected",
+            StoreEvent::FetchHit { .. } => "fetch_hit",
+            StoreEvent::FetchMiss { .. } => "fetch_miss",
+            StoreEvent::Promoted { .. } => "promoted",
+            StoreEvent::Demoted { .. } => "demoted",
+            StoreEvent::EvictedDisk { .. } => "evicted_disk",
+            StoreEvent::DroppedDram { .. } => "dropped_dram",
+            StoreEvent::Expired { .. } => "expired",
+            StoreEvent::Occupancy { .. } => "occupancy",
+            StoreEvent::PrefetchCompleted { .. } => "prefetch_completed",
+            StoreEvent::WriteBufferStall { .. } => "write_buffer_stall",
+        }
+    }
+
+    /// Coarse category: `cache` (save/fetch lifecycle), `tiering`
+    /// (promote/demote/evict movements), `gauge` (occupancy samples) or
+    /// `stall` (write-buffer backpressure).
+    pub fn category(&self) -> &'static str {
+        match self {
+            StoreEvent::Saved { .. }
+            | StoreEvent::SaveRejected { .. }
+            | StoreEvent::FetchHit { .. }
+            | StoreEvent::FetchMiss { .. }
+            | StoreEvent::Expired { .. } => "cache",
+            StoreEvent::Promoted { .. }
+            | StoreEvent::Demoted { .. }
+            | StoreEvent::EvictedDisk { .. }
+            | StoreEvent::DroppedDram { .. }
+            | StoreEvent::PrefetchCompleted { .. } => "tiering",
+            StoreEvent::Occupancy { .. } => "gauge",
+            StoreEvent::WriteBufferStall { .. } => "stall",
+        }
+    }
+
+    /// The event's virtual timestamp.
+    pub fn at(&self) -> Time {
+        match *self {
+            StoreEvent::Saved { at, .. }
+            | StoreEvent::SaveRejected { at, .. }
+            | StoreEvent::FetchHit { at, .. }
+            | StoreEvent::FetchMiss { at, .. }
+            | StoreEvent::Promoted { at, .. }
+            | StoreEvent::Demoted { at, .. }
+            | StoreEvent::EvictedDisk { at, .. }
+            | StoreEvent::DroppedDram { at, .. }
+            | StoreEvent::Expired { at, .. }
+            | StoreEvent::Occupancy { at, .. }
+            | StoreEvent::PrefetchCompleted { at, .. }
+            | StoreEvent::WriteBufferStall { at, .. } => at,
+        }
+    }
+
+    /// The session the event concerns (`None` for tier-wide gauges).
+    pub fn session(&self) -> Option<u64> {
+        match *self {
+            StoreEvent::Saved { session, .. }
+            | StoreEvent::SaveRejected { session, .. }
+            | StoreEvent::FetchHit { session, .. }
+            | StoreEvent::FetchMiss { session, .. }
+            | StoreEvent::Promoted { session, .. }
+            | StoreEvent::Demoted { session, .. }
+            | StoreEvent::EvictedDisk { session, .. }
+            | StoreEvent::DroppedDram { session, .. }
+            | StoreEvent::Expired { session, .. }
+            | StoreEvent::PrefetchCompleted { session, .. }
+            | StoreEvent::WriteBufferStall { session, .. } => Some(session),
+            StoreEvent::Occupancy { .. } => None,
+        }
+    }
+}
+
+/// Builds the serialized payload fields shared by most variants.
+fn fields(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn secs(t: Time) -> Value {
+    Value::F64(t.as_secs_f64())
+}
+
+impl Serialize for StoreEvent {
+    /// Serializes as a tagged object: `kind` first, payload fields next,
+    /// the timestamp (`at`, fractional seconds) last.
+    fn to_value(&self) -> Value {
+        let kind = Value::Str(self.kind().to_string());
+        match *self {
+            StoreEvent::Saved {
+                session,
+                bytes,
+                tier,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("bytes", Value::U64(bytes)),
+                ("tier", Value::Str(tier.label().to_string())),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::SaveRejected { session, bytes, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("bytes", Value::U64(bytes)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::FetchHit {
+                session,
+                tier,
+                bytes,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("tier", Value::Str(tier.label().to_string())),
+                ("bytes", Value::U64(bytes)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::FetchMiss { session, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::Promoted {
+                session,
+                bytes,
+                kind: fetch,
+                queue_pos,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("bytes", Value::U64(bytes)),
+                ("fetch", Value::Str(fetch.label().to_string())),
+                (
+                    "queue_pos",
+                    match queue_pos {
+                        Some(p) => Value::U64(p as u64),
+                        None => Value::Null,
+                    },
+                ),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::Demoted { session, bytes, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("bytes", Value::U64(bytes)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::EvictedDisk {
+                session,
+                bytes,
+                window_pos,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("bytes", Value::U64(bytes)),
+                (
+                    "window_pos",
+                    match window_pos {
+                        Some(p) => Value::U64(p as u64),
+                        None => Value::Null,
+                    },
+                ),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::DroppedDram { session, bytes, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("bytes", Value::U64(bytes)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::Expired { session, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::Occupancy {
+                dram_bytes,
+                disk_bytes,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("dram_bytes", Value::U64(dram_bytes)),
+                ("disk_bytes", Value::U64(disk_bytes)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::PrefetchCompleted { session, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::WriteBufferStall { session, until, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("until", secs(until)),
+                ("at", secs(at)),
+            ]),
+        }
+    }
+}
+
+/// A sink for [`StoreEvent`]s.
+pub trait StoreObserver {
+    /// Called after the store commits the observed decision.
+    fn on_store_event(&mut self, ev: StoreEvent);
+}
+
+/// The default observer: discards everything, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullStoreObserver;
+
+impl StoreObserver for NullStoreObserver {
+    fn on_store_event(&mut self, _ev: StoreEvent) {}
+}
+
+/// A Vec-collecting observer; the AttentionStore uses one internally as
+/// its drainable event buffer when tracing is enabled.
+#[derive(Debug, Clone, Default)]
+pub struct StoreEventLog {
+    events: Vec<StoreEvent>,
+}
+
+impl StoreEventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        StoreEventLog::default()
+    }
+
+    /// All collected events, in commit order.
+    pub fn events(&self) -> &[StoreEvent] {
+        &self.events
+    }
+
+    /// Takes the collected events, leaving the log empty.
+    pub fn drain(&mut self) -> Vec<StoreEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl StoreObserver for StoreEventLog {
+    fn on_store_event(&mut self, ev: StoreEvent) {
+        self.events.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_collects_and_drains() {
+        let mut log = StoreEventLog::new();
+        log.on_store_event(StoreEvent::FetchMiss {
+            session: 4,
+            at: Time::ZERO,
+        });
+        log.on_store_event(StoreEvent::Saved {
+            session: 4,
+            bytes: 10,
+            tier: Tier::Dram,
+            at: Time::from_millis(5),
+        });
+        assert_eq!(log.events().len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.events().is_empty());
+        assert_eq!(drained[0].session(), Some(4));
+        assert_eq!(drained[1].kind(), "saved");
+        assert_eq!(drained[1].category(), "cache");
+    }
+
+    #[test]
+    fn serializes_as_tagged_objects() {
+        let ev = StoreEvent::Promoted {
+            session: 9,
+            bytes: 1_000,
+            kind: FetchKind::Prefetch,
+            queue_pos: Some(2),
+            at: Time::from_secs_f64(1.5),
+        };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert_eq!(
+            json,
+            "{\"kind\":\"promoted\",\"session\":9,\"bytes\":1000,\
+             \"fetch\":\"prefetch\",\"queue_pos\":2,\"at\":1.5}"
+        );
+        let gauge = StoreEvent::Occupancy {
+            dram_bytes: 7,
+            disk_bytes: 8,
+            at: Time::ZERO,
+        };
+        assert!(!serde_json::to_string(&gauge).unwrap().contains("\"gauge\""));
+        assert_eq!(gauge.category(), "gauge");
+        assert_eq!(gauge.session(), None);
+    }
+
+    #[test]
+    fn timestamps_and_kinds_are_exposed() {
+        let ev = StoreEvent::WriteBufferStall {
+            session: 1,
+            until: Time::from_secs_f64(2.0),
+            at: Time::from_secs_f64(1.0),
+        };
+        assert_eq!(ev.at(), Time::from_secs_f64(1.0));
+        assert_eq!(ev.kind(), "write_buffer_stall");
+        assert_eq!(ev.category(), "stall");
+    }
+}

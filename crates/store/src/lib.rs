@@ -29,6 +29,7 @@
 
 mod block;
 mod entry;
+mod events;
 mod planner;
 mod policy;
 #[allow(clippy::module_inception)]
@@ -36,6 +37,7 @@ mod store;
 
 pub use block::{BlockId, BlockPool};
 pub use entry::{Entry, Placement, SessionId};
+pub use events::{FetchKind, NullStoreObserver, StoreEvent, StoreEventLog, StoreObserver, Tier};
 pub use planner::StorePlanner;
 pub use policy::{EvictionPolicy, Fifo, Lru, PolicyKind, QueueView, SchedulerAware};
 pub use store::{AttentionStore, Lookup, StoreConfig, StoreStats, Transfer, TransferDir};

@@ -8,7 +8,7 @@
 //! [`AttentionStore`] (or to a test double) without seeing the rest of
 //! the store's API.
 
-use crate::{AttentionStore, Lookup, QueueView, SessionId, StoreStats, Transfer};
+use crate::{AttentionStore, Lookup, QueueView, SessionId, StoreEvent, StoreStats, Transfer};
 use sim::Time;
 
 /// The store operations the serving engine's planning stages use.
@@ -59,6 +59,16 @@ pub trait StorePlanner {
     /// Scheduler-aware eviction window in sessions:
     /// `(C_mem + C_disk) / S_kv`.
     fn eviction_window(&self) -> usize;
+
+    /// Enables or disables [`StoreEvent`] tracing. Planners without a
+    /// trace facility (test doubles) ignore this.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// Takes the [`StoreEvent`]s buffered since the last drain. Empty
+    /// when tracing is off or unsupported.
+    fn drain_events(&mut self) -> Vec<StoreEvent> {
+        Vec::new()
+    }
 }
 
 impl StorePlanner for AttentionStore {
@@ -112,6 +122,14 @@ impl StorePlanner for AttentionStore {
 
     fn eviction_window(&self) -> usize {
         AttentionStore::eviction_window(self)
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        AttentionStore::set_tracing(self, on)
+    }
+
+    fn drain_events(&mut self) -> Vec<StoreEvent> {
+        AttentionStore::drain_events(self)
     }
 }
 

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 use sim::{Dur, Time};
 
+use crate::events::{FetchKind, StoreEvent, StoreEventLog, StoreObserver, Tier};
 use crate::{BlockPool, Entry, Placement, PolicyKind, QueueView, SessionId};
 
 /// Direction of a tier-to-tier movement the engine must charge on a link.
@@ -137,6 +138,8 @@ pub struct AttentionStore {
     entries: BTreeMap<SessionId, Entry>,
     next_seq: u64,
     stats: StoreStats,
+    /// Drainable event buffer; `None` = tracing off (zero cost).
+    trace: Option<StoreEventLog>,
 }
 
 impl AttentionStore {
@@ -153,6 +156,50 @@ impl AttentionStore {
             entries: BTreeMap::new(),
             next_seq: 0,
             stats: StoreStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables or disables event tracing. While enabled, every placement
+    /// decision is buffered as a [`StoreEvent`] until
+    /// [`drain_events`](AttentionStore::drain_events) takes it. Tracing
+    /// never changes store behavior.
+    pub fn set_tracing(&mut self, on: bool) {
+        match (on, self.trace.is_some()) {
+            (true, false) => self.trace = Some(StoreEventLog::new()),
+            (false, true) => self.trace = None,
+            _ => {}
+        }
+    }
+
+    /// Takes the buffered [`StoreEvent`]s (empty when tracing is off).
+    pub fn drain_events(&mut self) -> Vec<StoreEvent> {
+        self.trace.as_mut().map(StoreEventLog::drain).unwrap_or_default()
+    }
+
+    /// Reports `ev` to the trace buffer when tracing is enabled.
+    fn emit(&mut self, ev: StoreEvent) {
+        if let Some(t) = &mut self.trace {
+            t.on_store_event(ev);
+        }
+    }
+
+    /// Number of buffered trace events (0 when tracing is off).
+    fn trace_mark(&self) -> usize {
+        self.trace.as_ref().map_or(0, |t| t.events().len())
+    }
+
+    /// Emits an occupancy gauge sample when events landed since `mark`,
+    /// so occupancy trails every traced batch of placement changes
+    /// without flooding no-op calls.
+    fn emit_occupancy(&mut self, mark: usize, now: Time) {
+        if self.trace_mark() > mark {
+            let ev = StoreEvent::Occupancy {
+                dram_bytes: self.dram_used_bytes(),
+                disk_bytes: self.disk_used_bytes(),
+                at: now,
+            };
+            self.emit(ev);
         }
     }
 
@@ -244,14 +291,21 @@ impl AttentionStore {
 
     /// Evicts one entry out of the disk tier (out of the system).
     /// Returns `false` when no candidate exists.
-    fn evict_from_disk(&mut self, queue: &QueueView, exclude: Option<SessionId>) -> bool {
+    fn evict_from_disk(&mut self, now: Time, queue: &QueueView, exclude: Option<SessionId>) -> bool {
         let window = self.eviction_window();
         let cands = self.candidates(Placement::Disk, exclude);
         let Some(victim) = self.policy.choose_victim(&cands, queue, window) else {
             return false;
         };
+        let bytes = self.entries[&victim].bytes;
         self.drop_entry(victim);
         self.stats.drops_capacity += 1;
+        self.emit(StoreEvent::EvictedDisk {
+            session: victim.0,
+            bytes,
+            window_pos: queue.position(victim),
+            at: now,
+        });
         true
     }
 
@@ -272,6 +326,7 @@ impl AttentionStore {
     /// the caller from being evicted out of the disk tier.
     fn demote_session(
         &mut self,
+        now: Time,
         victim: SessionId,
         queue: &QueueView,
         exclude: Option<SessionId>,
@@ -279,10 +334,15 @@ impl AttentionStore {
         let bytes = self.entries[&victim].bytes;
         // Make room on disk; drop disk entries if necessary.
         while !self.disk.fits(bytes) {
-            if !self.evict_from_disk(queue, exclude) {
+            if !self.evict_from_disk(now, queue, exclude) {
                 // Disk cannot hold this entry at all: drop it instead.
                 self.drop_entry(victim);
                 self.stats.drops_capacity += 1;
+                self.emit(StoreEvent::DroppedDram {
+                    session: victim.0,
+                    bytes,
+                    at: now,
+                });
                 return None;
             }
         }
@@ -293,6 +353,11 @@ impl AttentionStore {
         self.dram.free(&old_blocks).expect("blocks were in dram");
         self.stats.demotions += 1;
         self.stats.demotion_bytes += bytes;
+        self.emit(StoreEvent::Demoted {
+            session: victim.0,
+            bytes,
+            at: now,
+        });
         Some(Transfer {
             session: victim,
             bytes,
@@ -304,6 +369,7 @@ impl AttentionStore {
     /// demotion transfers, or `None` when room cannot be made.
     fn make_dram_room(
         &mut self,
+        now: Time,
         bytes: u64,
         queue: &QueueView,
         exclude: Option<SessionId>,
@@ -316,7 +382,7 @@ impl AttentionStore {
             let Some(victim) = self.choose_dram_victim(queue, exclude) else {
                 return false;
             };
-            if let Some(t) = self.demote_session(victim, queue, exclude) {
+            if let Some(t) = self.demote_session(now, victim, queue, exclude) {
                 out.push(t);
             }
         }
@@ -339,21 +405,34 @@ impl AttentionStore {
         queue: &QueueView,
     ) -> (Vec<Transfer>, bool) {
         let mut transfers = Vec::new();
+        let mark = self.trace_mark();
         // Free the stale copy first; the engine holds the bytes in HBM.
         self.drop_entry(sid);
         // Prefer DRAM; when it cannot make room (e.g. everything resident
         // is pinned by the running batch), spill straight to disk — the
         // write stream targets whichever tier has space.
-        let placement = if self.make_dram_room(total_bytes, queue, None, &mut transfers) {
+        let placement = if self.make_dram_room(now, total_bytes, queue, None, &mut transfers) {
             Placement::Dram
         } else {
             if self.disk.blocks_for(total_bytes) > self.disk.n_blocks() {
                 self.stats.save_rejected += 1;
+                self.emit(StoreEvent::SaveRejected {
+                    session: sid.0,
+                    bytes: total_bytes,
+                    at: now,
+                });
+                self.emit_occupancy(mark, now);
                 return (transfers, false);
             }
             while !self.disk.fits(total_bytes) {
-                if !self.evict_from_disk(queue, None) {
+                if !self.evict_from_disk(now, queue, None) {
                     self.stats.save_rejected += 1;
+                    self.emit(StoreEvent::SaveRejected {
+                        session: sid.0,
+                        bytes: total_bytes,
+                        at: now,
+                    });
+                    self.emit_occupancy(mark, now);
                     return (transfers, false);
                 }
             }
@@ -388,6 +467,16 @@ impl AttentionStore {
         );
         self.stats.saves += 1;
         self.stats.save_bytes += total_bytes;
+        self.emit(StoreEvent::Saved {
+            session: sid.0,
+            bytes: total_bytes,
+            tier: match placement {
+                Placement::Dram => Tier::Dram,
+                Placement::Disk => Tier::Disk,
+            },
+            at: now,
+        });
+        self.emit_occupancy(mark, now);
         (transfers, true)
     }
 
@@ -403,6 +492,25 @@ impl AttentionStore {
         queue: &QueueView,
     ) -> (Lookup, Vec<Transfer>) {
         let found = self.lookup(sid);
+        let mark = self.trace_mark();
+        match found {
+            Lookup::Miss => self.emit(StoreEvent::FetchMiss {
+                session: sid.0,
+                at: now,
+            }),
+            Lookup::Dram | Lookup::Disk => {
+                let ev = StoreEvent::FetchHit {
+                    session: sid.0,
+                    tier: match found {
+                        Lookup::Dram => Tier::Dram,
+                        _ => Tier::Disk,
+                    },
+                    bytes: self.entries[&sid].bytes,
+                    at: now,
+                };
+                self.emit(ev);
+            }
+        }
         let mut transfers = Vec::new();
         match found {
             Lookup::Miss => {}
@@ -413,7 +521,7 @@ impl AttentionStore {
             }
             Lookup::Disk => {
                 let bytes = self.entries[&sid].bytes;
-                if self.make_dram_room(bytes, queue, Some(sid), &mut transfers) {
+                if self.make_dram_room(now, bytes, queue, Some(sid), &mut transfers) {
                     let new_blocks = self.dram.alloc(bytes).expect("room made");
                     let e = self.entries.get_mut(&sid).expect("looked up");
                     let old = std::mem::replace(&mut e.blocks, new_blocks);
@@ -423,6 +531,13 @@ impl AttentionStore {
                     self.disk.free(&old).expect("blocks were on disk");
                     self.stats.promotions += 1;
                     self.stats.promotion_bytes += bytes;
+                    self.emit(StoreEvent::Promoted {
+                        session: sid.0,
+                        bytes,
+                        kind: FetchKind::Demand,
+                        queue_pos: queue.position(sid),
+                        at: now,
+                    });
                     transfers.push(Transfer {
                         session: sid,
                         bytes,
@@ -437,6 +552,7 @@ impl AttentionStore {
                 }
             }
         }
+        self.emit_occupancy(mark, now);
         (found, transfers)
     }
 
@@ -457,6 +573,7 @@ impl AttentionStore {
             return Vec::new();
         }
         let mut transfers = Vec::new();
+        let mark = self.trace_mark();
         let window = self.prefetch_window();
         let targets: Vec<(usize, SessionId)> = queue
             .head(window)
@@ -491,7 +608,7 @@ impl AttentionStore {
                 if queue.position(victim).is_some_and(|vp| vp <= pos) {
                     break 'targets;
                 }
-                if let Some(t) = self.demote_session(victim, queue, Some(sid)) {
+                if let Some(t) = self.demote_session(now, victim, queue, Some(sid)) {
                     transfers.push(t);
                 }
             }
@@ -503,13 +620,21 @@ impl AttentionStore {
             self.disk.free(&old).expect("blocks were on disk");
             self.stats.promotions += 1;
             self.stats.promotion_bytes += bytes;
+            self.emit(StoreEvent::Promoted {
+                session: sid.0,
+                bytes,
+                kind: FetchKind::Prefetch,
+                queue_pos: Some(pos),
+                at: now,
+            });
             transfers.push(Transfer {
                 session: sid,
                 bytes,
                 dir: TransferDir::DiskToDram,
             });
         }
-        transfers.extend(self.maintain_reserve(queue));
+        transfers.extend(self.maintain_reserve(now, queue));
+        self.emit_occupancy(mark, now);
         transfers
     }
 
@@ -519,7 +644,7 @@ impl AttentionStore {
     /// Only entries *outside* the look-ahead window are demoted here: the
     /// reserve exists to absorb incoming saves and fetches, and demoting a
     /// queued session would force the prefetcher to read it right back.
-    pub fn maintain_reserve(&mut self, queue: &QueueView) -> Vec<Transfer> {
+    pub fn maintain_reserve(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
         let reserve = (self.cfg.dram_bytes as f64 * self.cfg.dram_reserve_fraction) as u64;
         let window = self.eviction_window();
         let mut transfers = Vec::new();
@@ -530,7 +655,7 @@ impl AttentionStore {
             if queue.position(victim).is_some_and(|vp| vp < window) {
                 break;
             }
-            if let Some(t) = self.demote_session(victim, queue, None) {
+            if let Some(t) = self.demote_session(now, victim, queue, None) {
                 transfers.push(t);
             }
         }
@@ -585,10 +710,16 @@ impl AttentionStore {
             .map(|(&sid, _)| sid)
             .collect();
         let n = dead.len() as u64;
+        let mark = self.trace_mark();
         for sid in dead {
             self.drop_entry(sid);
+            self.emit(StoreEvent::Expired {
+                session: sid.0,
+                at: now,
+            });
         }
         self.stats.drops_ttl += n;
+        self.emit_occupancy(mark, now);
         n
     }
 }
@@ -817,7 +948,7 @@ mod tests {
             s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
         }
         assert!(s.dram.free_bytes() < 3 * MB);
-        let transfers = s.maintain_reserve(&q);
+        let transfers = s.maintain_reserve(Time::from_millis(9), &q);
         assert!(!transfers.is_empty());
         assert!(s.dram.free_bytes() >= 3 * MB);
     }

@@ -1,0 +1,290 @@
+//! Trace exporters: JSONL event dumps and Chrome trace-event JSON.
+//!
+//! [`to_jsonl`] writes one self-describing JSON object per line — the
+//! grep/jq-friendly format the CI smoke check validates. [`to_chrome_trace`]
+//! renders the same records in the Chrome trace-event format (the
+//! `{"traceEvents": [...]}` envelope), which Perfetto and
+//! `chrome://tracing` open directly: one track per session showing
+//! queued → prefill → decode spans, prefetch staging spans, instant
+//! markers for the store's placement decisions, and counter tracks for
+//! HBM reservations and tier occupancy.
+
+use std::collections::HashMap;
+
+use engine::EngineEvent;
+use serde::Value;
+use store::{FetchKind, StoreEvent};
+
+use crate::trace::{TraceEvent, TraceRecord};
+
+/// Renders records as JSON Lines: one object per record, `seq` first.
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&serde_json::to_string(rec).expect("trace records always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Virtual pid of the single simulated serving process.
+const PID: u64 = 1;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn micros(secs: f64) -> Value {
+    Value::F64(secs * 1e6)
+}
+
+/// A complete ("X") span on a session track.
+fn span(name: &str, cat: &str, tid: u64, start_secs: f64, end_secs: f64) -> Value {
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("cat", Value::Str(cat.to_string())),
+        ("ph", Value::Str("X".to_string())),
+        ("ts", micros(start_secs)),
+        ("dur", micros((end_secs - start_secs).max(0.0))),
+        ("pid", Value::U64(PID)),
+        ("tid", Value::U64(tid)),
+    ])
+}
+
+/// A thread-scoped instant ("i") marker on a session track.
+fn instant(name: &str, cat: &str, tid: u64, at_secs: f64) -> Value {
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("cat", Value::Str(cat.to_string())),
+        ("ph", Value::Str("i".to_string())),
+        ("s", Value::Str("t".to_string())),
+        ("ts", micros(at_secs)),
+        ("pid", Value::U64(PID)),
+        ("tid", Value::U64(tid)),
+    ])
+}
+
+/// A counter ("C") sample.
+fn counter(name: &str, at_secs: f64, args: Vec<(&str, Value)>) -> Value {
+    obj(vec![
+        ("name", Value::Str(name.to_string())),
+        ("ph", Value::Str("C".to_string())),
+        ("ts", micros(at_secs)),
+        ("pid", Value::U64(PID)),
+        ("args", obj(args)),
+    ])
+}
+
+/// A metadata ("M") event naming the process or a thread.
+fn metadata(what: &str, tid: Option<u64>, label: &str) -> Value {
+    let mut pairs = vec![
+        ("name", Value::Str(what.to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::U64(PID)),
+    ];
+    if let Some(tid) = tid {
+        pairs.push(("tid", Value::U64(tid)));
+    }
+    pairs.push(("args", obj(vec![("name", Value::Str(label.to_string()))])));
+    obj(pairs)
+}
+
+/// Renders records as a Chrome trace-event file (loadable in Perfetto).
+///
+/// Session tracks are threads of one process; `ts`/`dur` are
+/// microseconds of virtual time. Span pairing follows the pipeline's
+/// causal order: `TurnArrived → Admitted` becomes a `queued` span,
+/// `Admitted → PrefillDone` a `prefill` span, `PrefillDone → Retired` a
+/// `decode` span, and a prefetch `Promoted → PrefetchCompleted` pair a
+/// `prefetch` staging span. Store decisions appear as instant markers;
+/// occupancy gauges and HBM reservations become counter tracks.
+pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
+    let mut events: Vec<Value> = vec![metadata("process_name", None, "cachedattention")];
+    let mut named: Vec<u64> = Vec::new();
+    // Open span starts, keyed by session.
+    let mut queued_at: HashMap<u64, f64> = HashMap::new();
+    let mut admitted_at: HashMap<u64, f64> = HashMap::new();
+    let mut prefill_done_at: HashMap<u64, f64> = HashMap::new();
+    let mut prefetch_at: HashMap<u64, f64> = HashMap::new();
+
+    for rec in records {
+        if let Some(sid) = rec.ev.session() {
+            if !named.contains(&sid) {
+                named.push(sid);
+                events.push(metadata("thread_name", Some(sid), &format!("session {sid}")));
+            }
+        }
+        let at = rec.ev.at().as_secs_f64();
+        match rec.ev {
+            TraceEvent::Engine(ev) => match ev {
+                EngineEvent::TurnArrived { session, .. } => {
+                    queued_at.insert(session, at);
+                }
+                EngineEvent::Admitted { session, .. } => {
+                    if let Some(start) = queued_at.remove(&session) {
+                        events.push(span("queued", "sched", session, start, at));
+                    }
+                    admitted_at.insert(session, at);
+                }
+                EngineEvent::PrefillDone { session, .. } => {
+                    if let Some(start) = admitted_at.remove(&session) {
+                        events.push(span("prefill", "gpu", session, start, at));
+                    }
+                    prefill_done_at.insert(session, at);
+                }
+                EngineEvent::Retired { session, .. } => {
+                    if let Some(start) = prefill_done_at.remove(&session) {
+                        events.push(span("decode", "gpu", session, start, at));
+                    }
+                }
+                EngineEvent::HbmReserved { reserved_bytes, .. } => {
+                    events.push(counter(
+                        "hbm_reserved_bytes",
+                        at,
+                        vec![("reserved", Value::U64(reserved_bytes))],
+                    ));
+                }
+                EngineEvent::Truncated { session, .. }
+                | EngineEvent::Consulted { session, .. }
+                | EngineEvent::Deferred { session, .. } => {
+                    events.push(instant(ev.kind(), ev.category(), session, at));
+                }
+            },
+            TraceEvent::Store(ev) => match ev {
+                StoreEvent::Occupancy {
+                    dram_bytes,
+                    disk_bytes,
+                    ..
+                } => {
+                    events.push(counter(
+                        "store_occupancy_bytes",
+                        at,
+                        vec![
+                            ("dram", Value::U64(dram_bytes)),
+                            ("disk", Value::U64(disk_bytes)),
+                        ],
+                    ));
+                }
+                StoreEvent::Promoted {
+                    session,
+                    kind: FetchKind::Prefetch,
+                    ..
+                } => {
+                    prefetch_at.insert(session, at);
+                }
+                StoreEvent::PrefetchCompleted { session, .. } => {
+                    if let Some(start) = prefetch_at.remove(&session) {
+                        events.push(span("prefetch", "tiering", session, start, at));
+                    }
+                }
+                other => {
+                    if let Some(sid) = other.session() {
+                        events.push(instant(other.kind(), other.category(), sid, at));
+                    }
+                }
+            },
+        }
+    }
+
+    let envelope = obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&envelope).expect("trace envelope always serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Time;
+    use store::Tier;
+
+    fn rec(seq: u64, ev: TraceEvent) -> TraceRecord {
+        TraceRecord { seq, ev }
+    }
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                0,
+                TraceEvent::Engine(EngineEvent::turn_arrived(1, 0, Time::ZERO)),
+            ),
+            rec(
+                1,
+                TraceEvent::Store(StoreEvent::FetchHit {
+                    session: 1,
+                    tier: Tier::Dram,
+                    bytes: 100,
+                    at: Time::from_millis(1),
+                }),
+            ),
+            rec(
+                2,
+                TraceEvent::Engine(EngineEvent::admitted(
+                    1,
+                    100,
+                    50,
+                    false,
+                    Time::from_millis(2),
+                )),
+            ),
+            rec(
+                3,
+                TraceEvent::Engine(EngineEvent::prefill_done(1, 0.1, Time::from_millis(102))),
+            ),
+            rec(
+                4,
+                TraceEvent::Engine(EngineEvent::retired(1, 150, Time::from_millis(500))),
+            ),
+            rec(
+                5,
+                TraceEvent::Store(StoreEvent::Occupancy {
+                    dram_bytes: 10,
+                    disk_bytes: 20,
+                    at: Time::from_millis(500),
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn jsonl_is_one_parsable_object_per_line() {
+        let text = to_jsonl(&sample_records());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        for (i, line) in lines.iter().enumerate() {
+            let v: Value = serde_json::from_str(line).expect("line parses");
+            match v {
+                Value::Object(pairs) => {
+                    assert_eq!(pairs[0].0, "seq");
+                    assert!(matches!(pairs[0].1, Value::U64(n) if n == i as u64));
+                }
+                other => panic!("expected object, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_counters_and_metadata() {
+        let json = to_chrome_trace(&sample_records());
+        let parsed: Value = serde_json::from_str(&json).expect("valid JSON");
+        let Value::Object(pairs) = parsed else {
+            panic!("expected envelope object");
+        };
+        assert_eq!(pairs[0].0, "traceEvents");
+        assert!(json.contains("\"name\":\"queued\""));
+        assert!(json.contains("\"name\":\"prefill\""));
+        assert!(json.contains("\"name\":\"decode\""));
+        assert!(json.contains("\"name\":\"fetch_hit\""));
+        assert!(json.contains("\"name\":\"store_occupancy_bytes\""));
+        assert!(json.contains("\"name\":\"session 1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"M\""));
+    }
+}

@@ -1,0 +1,355 @@
+//! The live metrics hub: an observer aggregating both event streams into
+//! the `metrics` primitives as the run executes.
+//!
+//! Where [`RunReport`](engine::RunReport) is the simulator's own
+//! accounting (computed from internal state, warmup-filtered), the
+//! [`MetricsHub`] rebuilds the same figures purely from the observable
+//! event stream — per-tier hit counters, TTFT and queue-wait histograms,
+//! HBM/DRAM/disk occupancy curves — which is exactly what a production
+//! telemetry agent would see. With zero warmup turns the hub's hit
+//! counts reconcile with the report's, which the integration tests pin.
+
+use std::collections::HashMap;
+
+use engine::{CoalescedLog, ConsultClass, EngineEvent, EngineObserver};
+use metrics::{Counter, Histogram, TimeSeries};
+use serde::Serialize;
+use store::{FetchKind, StoreEvent, Tier};
+
+/// Bucket width of the occupancy gauge curves, seconds.
+const GAUGE_BUCKET_SECS: f64 = 1.0;
+
+/// An [`EngineObserver`] that aggregates live into metrics primitives.
+///
+/// Attach it with [`engine::run_with_observer`] (or through
+/// [`Telemetry`](crate::Telemetry)); render the aggregates with
+/// [`snapshot`](MetricsHub::snapshot). Observation is read-only: a run
+/// with a hub attached produces a byte-identical `RunReport`.
+#[derive(Debug, Clone)]
+pub struct MetricsHub {
+    // Engine-stream aggregates.
+    turns_arrived: Counter,
+    hits_fast: Counter,
+    hits_slow: Counter,
+    misses: Counter,
+    ttft: Histogram,
+    queue_wait: Histogram,
+    truncations: Counter,
+    retired: Counter,
+    hbm_reserved: TimeSeries,
+    /// Admission retries coalesced per session run (satellite fix for
+    /// the one-`Deferred`-per-retry flood).
+    deferrals: CoalescedLog,
+    /// Arrival time of each session's in-flight turn, for queue waits.
+    arrivals: HashMap<u64, f64>,
+    // Store-stream aggregates.
+    store_hits_dram: Counter,
+    store_hits_disk: Counter,
+    store_misses: Counter,
+    saves: Counter,
+    save_rejections: Counter,
+    prefetch_promotions: Counter,
+    demand_promotions: Counter,
+    demotions: Counter,
+    disk_evictions: Counter,
+    dram_drops: Counter,
+    expirations: Counter,
+    write_stalls: Counter,
+    dram_occupancy: TimeSeries,
+    disk_occupancy: TimeSeries,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        MetricsHub::new()
+    }
+}
+
+impl MetricsHub {
+    /// Creates an empty hub (1-second gauge buckets).
+    pub fn new() -> Self {
+        MetricsHub {
+            turns_arrived: Counter::new(),
+            hits_fast: Counter::new(),
+            hits_slow: Counter::new(),
+            misses: Counter::new(),
+            ttft: Histogram::new(),
+            queue_wait: Histogram::new(),
+            truncations: Counter::new(),
+            retired: Counter::new(),
+            hbm_reserved: TimeSeries::new(GAUGE_BUCKET_SECS),
+            deferrals: CoalescedLog::new(),
+            arrivals: HashMap::new(),
+            store_hits_dram: Counter::new(),
+            store_hits_disk: Counter::new(),
+            store_misses: Counter::new(),
+            saves: Counter::new(),
+            save_rejections: Counter::new(),
+            prefetch_promotions: Counter::new(),
+            demand_promotions: Counter::new(),
+            demotions: Counter::new(),
+            disk_evictions: Counter::new(),
+            dram_drops: Counter::new(),
+            expirations: Counter::new(),
+            write_stalls: Counter::new(),
+            dram_occupancy: TimeSeries::new(GAUGE_BUCKET_SECS),
+            disk_occupancy: TimeSeries::new(GAUGE_BUCKET_SECS),
+        }
+    }
+
+    /// The coalesced admission-deferral log.
+    pub fn deferrals(&self) -> &CoalescedLog {
+        &self.deferrals
+    }
+
+    /// Renders the current aggregates as a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut ttft = self.ttft.clone();
+        let mut queue_wait = self.queue_wait.clone();
+        MetricsSnapshot {
+            turns_arrived: self.turns_arrived.get(),
+            hits_fast: self.hits_fast.get(),
+            hits_slow: self.hits_slow.get(),
+            misses: self.misses.get(),
+            hit_rate: {
+                let hits = self.hits_fast.get() + self.hits_slow.get();
+                let total = hits + self.misses.get();
+                if total == 0 {
+                    0.0
+                } else {
+                    hits as f64 / total as f64
+                }
+            },
+            ttft_count: ttft.count() as u64,
+            ttft_mean_secs: ttft.mean(),
+            ttft_p50_secs: ttft.median().unwrap_or(0.0),
+            ttft_p99_secs: ttft.percentile(99.0).unwrap_or(0.0),
+            queue_wait_mean_secs: queue_wait.mean(),
+            queue_wait_p99_secs: queue_wait.percentile(99.0).unwrap_or(0.0),
+            truncations: self.truncations.get(),
+            retired: self.retired.get(),
+            deferred_events: self.deferrals.deferred_total(),
+            deferred_runs: self.deferrals.entries().len() as u64,
+            store_hits_dram: self.store_hits_dram.get(),
+            store_hits_disk: self.store_hits_disk.get(),
+            store_misses: self.store_misses.get(),
+            saves: self.saves.get(),
+            save_rejections: self.save_rejections.get(),
+            prefetch_promotions: self.prefetch_promotions.get(),
+            demand_promotions: self.demand_promotions.get(),
+            demotions: self.demotions.get(),
+            disk_evictions: self.disk_evictions.get(),
+            dram_drops: self.dram_drops.get(),
+            expirations: self.expirations.get(),
+            write_stalls: self.write_stalls.get(),
+            hbm_reserved_peak_bytes: self.hbm_reserved.peak(),
+            dram_occupancy_peak_bytes: self.dram_occupancy.peak(),
+            disk_occupancy_peak_bytes: self.disk_occupancy.peak(),
+            hbm_reserved_timeline: self.hbm_reserved.clone(),
+            dram_occupancy_timeline: self.dram_occupancy.clone(),
+            disk_occupancy_timeline: self.disk_occupancy.clone(),
+        }
+    }
+}
+
+impl EngineObserver for MetricsHub {
+    fn on_event(&mut self, ev: EngineEvent) {
+        match ev {
+            EngineEvent::TurnArrived { session, at, .. } => {
+                self.turns_arrived.incr();
+                self.arrivals.insert(session, at.as_secs_f64());
+            }
+            EngineEvent::Truncated { .. } => self.truncations.incr(),
+            EngineEvent::Consulted { class, .. } => match class {
+                ConsultClass::NoHistory => {}
+                ConsultClass::NoStore | ConsultClass::Miss => self.misses.incr(),
+                ConsultClass::HitFast => self.hits_fast.incr(),
+                ConsultClass::HitSlow => self.hits_slow.incr(),
+            },
+            EngineEvent::Deferred { .. } => self.deferrals.on_event(ev),
+            EngineEvent::Admitted { session, at, .. } => {
+                if let Some(arrived) = self.arrivals.remove(&session) {
+                    self.queue_wait.push(at.as_secs_f64() - arrived);
+                }
+            }
+            EngineEvent::PrefillDone { ttft_secs, .. } => self.ttft.push(ttft_secs),
+            EngineEvent::Retired { .. } => self.retired.incr(),
+            EngineEvent::HbmReserved {
+                reserved_bytes, at, ..
+            } => self
+                .hbm_reserved
+                .record_max(at.as_secs_f64(), reserved_bytes as f64),
+        }
+    }
+
+    fn wants_store_events(&self) -> bool {
+        true
+    }
+
+    fn on_store_event(&mut self, ev: StoreEvent) {
+        match ev {
+            StoreEvent::Saved { .. } => self.saves.incr(),
+            StoreEvent::SaveRejected { .. } => self.save_rejections.incr(),
+            StoreEvent::FetchHit { tier, .. } => match tier {
+                Tier::Dram => self.store_hits_dram.incr(),
+                Tier::Disk => self.store_hits_disk.incr(),
+            },
+            StoreEvent::FetchMiss { .. } => self.store_misses.incr(),
+            StoreEvent::Promoted { kind, .. } => match kind {
+                FetchKind::Demand => self.demand_promotions.incr(),
+                FetchKind::Prefetch => self.prefetch_promotions.incr(),
+            },
+            StoreEvent::Demoted { .. } => self.demotions.incr(),
+            StoreEvent::EvictedDisk { .. } => self.disk_evictions.incr(),
+            StoreEvent::DroppedDram { .. } => self.dram_drops.incr(),
+            StoreEvent::Expired { .. } => self.expirations.incr(),
+            StoreEvent::Occupancy {
+                dram_bytes,
+                disk_bytes,
+                at,
+            } => {
+                let t = at.as_secs_f64();
+                self.dram_occupancy.record_max(t, dram_bytes as f64);
+                self.disk_occupancy.record_max(t, disk_bytes as f64);
+            }
+            StoreEvent::PrefetchCompleted { .. } => {}
+            StoreEvent::WriteBufferStall { .. } => self.write_stalls.incr(),
+        }
+    }
+}
+
+/// A serializable rendering of a [`MetricsHub`]'s aggregates.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Turns that arrived (all turns; the hub sees no warmup filter).
+    pub turns_arrived: u64,
+    /// Consultations classified fast-tier hits.
+    pub hits_fast: u64,
+    /// Consultations classified slow-tier hits.
+    pub hits_slow: u64,
+    /// Consultations classified misses (no cached KV, or no store).
+    pub misses: u64,
+    /// Hits over classified consultations.
+    pub hit_rate: f64,
+    /// TTFT samples observed.
+    pub ttft_count: u64,
+    /// Mean service TTFT, seconds.
+    pub ttft_mean_secs: f64,
+    /// Median service TTFT, seconds.
+    pub ttft_p50_secs: f64,
+    /// p99 service TTFT, seconds.
+    pub ttft_p99_secs: f64,
+    /// Mean queue wait (arrival → admission), seconds.
+    pub queue_wait_mean_secs: f64,
+    /// p99 queue wait, seconds.
+    pub queue_wait_p99_secs: f64,
+    /// Context-overflow truncations.
+    pub truncations: u64,
+    /// Jobs retired.
+    pub retired: u64,
+    /// Total admission deferrals (before coalescing).
+    pub deferred_events: u64,
+    /// Coalesced deferral runs (consecutive same-session retries).
+    pub deferred_runs: u64,
+    /// Store lookups that found KV resident in DRAM.
+    pub store_hits_dram: u64,
+    /// Store lookups that found KV resident on disk.
+    pub store_hits_disk: u64,
+    /// Store lookups that found nothing cached.
+    pub store_misses: u64,
+    /// Sessions saved or updated.
+    pub saves: u64,
+    /// Saves rejected for capacity.
+    pub save_rejections: u64,
+    /// Look-ahead prefetch promotions (disk → DRAM).
+    pub prefetch_promotions: u64,
+    /// Demand-fetch promotions (disk → DRAM).
+    pub demand_promotions: u64,
+    /// DRAM → disk demotions.
+    pub demotions: u64,
+    /// Evictions out of the disk tier.
+    pub disk_evictions: u64,
+    /// DRAM entries dropped because disk could not take them.
+    pub dram_drops: u64,
+    /// TTL expirations.
+    pub expirations: u64,
+    /// Admissions stalled on the HBM write buffer.
+    pub write_stalls: u64,
+    /// Peak live-KV HBM reservation, bytes.
+    pub hbm_reserved_peak_bytes: f64,
+    /// Peak DRAM-tier occupancy, bytes.
+    pub dram_occupancy_peak_bytes: f64,
+    /// Peak disk-tier occupancy, bytes.
+    pub disk_occupancy_peak_bytes: f64,
+    /// Live-KV HBM reservation over time (1 s buckets, per-bucket max).
+    pub hbm_reserved_timeline: TimeSeries,
+    /// DRAM-tier occupancy over time (1 s buckets, per-bucket max).
+    pub dram_occupancy_timeline: TimeSeries,
+    /// Disk-tier occupancy over time (1 s buckets, per-bucket max).
+    pub disk_occupancy_timeline: TimeSeries,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Time;
+
+    #[test]
+    fn hub_aggregates_both_streams() {
+        let mut hub = MetricsHub::new();
+        assert!(hub.wants_store_events());
+        hub.on_event(EngineEvent::turn_arrived(1, 0, Time::ZERO));
+        hub.on_event(EngineEvent::consulted(
+            1,
+            ConsultClass::HitFast,
+            100,
+            Time::from_millis(1),
+        ));
+        hub.on_event(EngineEvent::deferred(
+            1,
+            Time::from_millis(3),
+            Time::from_millis(2),
+        ));
+        hub.on_event(EngineEvent::deferred(
+            1,
+            Time::from_millis(4),
+            Time::from_millis(3),
+        ));
+        hub.on_event(EngineEvent::admitted(1, 100, 50, false, Time::from_millis(4)));
+        hub.on_event(EngineEvent::prefill_done(1, 0.25, Time::from_millis(254)));
+        hub.on_event(EngineEvent::hbm_reserved(1, 1_000, 10_000, Time::from_millis(4)));
+        hub.on_store_event(StoreEvent::FetchHit {
+            session: 1,
+            tier: Tier::Dram,
+            bytes: 5,
+            at: Time::from_millis(1),
+        });
+        hub.on_store_event(StoreEvent::Occupancy {
+            dram_bytes: 500,
+            disk_bytes: 700,
+            at: Time::from_millis(1),
+        });
+        let snap = hub.snapshot();
+        assert_eq!(snap.turns_arrived, 1);
+        assert_eq!(snap.hits_fast, 1);
+        assert_eq!(snap.hit_rate, 1.0);
+        assert_eq!(snap.deferred_events, 2);
+        assert_eq!(snap.deferred_runs, 1);
+        assert_eq!(snap.store_hits_dram, 1);
+        assert_eq!(snap.ttft_count, 1);
+        assert!((snap.ttft_mean_secs - 0.25).abs() < 1e-12);
+        assert!((snap.queue_wait_mean_secs - 0.004).abs() < 1e-12);
+        assert_eq!(snap.hbm_reserved_peak_bytes, 1_000.0);
+        assert_eq!(snap.dram_occupancy_peak_bytes, 500.0);
+        assert_eq!(snap.disk_occupancy_peak_bytes, 700.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let hub = MetricsHub::new();
+        let json = serde_json::to_string(&hub.snapshot()).unwrap();
+        assert!(json.contains("\"turns_arrived\":0"));
+        assert!(json.contains("\"hit_rate\":0.0"));
+        assert!(json.contains("\"dram_occupancy_timeline\""));
+    }
+}

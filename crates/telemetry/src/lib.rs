@@ -1,0 +1,153 @@
+#![warn(missing_docs)]
+
+//! Unified run telemetry for the CachedAttention simulator.
+//!
+//! The serving engine publishes [`EngineEvent`]s for its pipeline steps
+//! (arrival, scheduling, prefill, retirement) and, when tracing is on,
+//! drains the AttentionStore's [`StoreEvent`]s (tier hits, promotions,
+//! evictions, occupancy gauges) after every store interaction. This
+//! crate merges the two streams into one causally ordered trace and
+//! aggregates it live:
+//!
+//! - [`TraceRecord`]/[`TraceEvent`]: one event of the merged stream,
+//!   stamped with its commit-order `seq`, source and category.
+//! - [`MetricsHub`]: an [`EngineObserver`] folding the stream into the
+//!   `metrics` crate's primitives (per-tier hit counters, TTFT and
+//!   queue-wait histograms, HBM/DRAM occupancy time series), rendered
+//!   on demand as a [`MetricsSnapshot`].
+//! - [`to_jsonl`] / [`to_chrome_trace`]: exporters for the raw trace —
+//!   grep-friendly JSON Lines, and the Chrome trace-event format that
+//!   Perfetto and `chrome://tracing` open directly.
+//! - [`Telemetry`] + [`run_with_telemetry`]: the turnkey combination —
+//!   run a config and get the report, the full trace, and the hub.
+//!
+//! Observation is strictly read-only: a run produces a byte-identical
+//! [`RunReport`] whether observed by `NullObserver` or the full
+//! [`Telemetry`] stack (the golden-report tests enforce this).
+
+use engine::{EngineConfig, EngineEvent, EngineObserver, RunReport};
+use store::StoreEvent;
+use workload::Trace;
+
+mod export;
+mod hub;
+mod trace;
+
+pub use export::{to_chrome_trace, to_jsonl};
+pub use hub::{MetricsHub, MetricsSnapshot};
+pub use trace::{TraceEvent, TraceRecord};
+
+/// The full telemetry stack: records the merged event trace verbatim
+/// and feeds every event through a [`MetricsHub`].
+///
+/// Use [`run_with_telemetry`] to drive a run with one attached, then
+/// export [`Telemetry::records`] with [`to_jsonl`]/[`to_chrome_trace`]
+/// and summarize with [`Telemetry::snapshot`].
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    records: Vec<TraceRecord>,
+    hub: MetricsHub,
+}
+
+impl Telemetry {
+    /// A fresh, empty telemetry collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The merged trace in commit order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// The live metrics aggregator.
+    pub fn hub(&self) -> &MetricsHub {
+        &self.hub
+    }
+
+    /// Renders the hub's current aggregates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.hub.snapshot()
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        let seq = self.records.len() as u64;
+        self.records.push(TraceRecord { seq, ev });
+    }
+}
+
+impl EngineObserver for Telemetry {
+    fn on_event(&mut self, ev: EngineEvent) {
+        self.push(TraceEvent::Engine(ev));
+        self.hub.on_event(ev);
+    }
+
+    fn wants_store_events(&self) -> bool {
+        true
+    }
+
+    fn on_store_event(&mut self, ev: StoreEvent) {
+        self.push(TraceEvent::Store(ev));
+        self.hub.on_store_event(ev);
+    }
+}
+
+/// Runs `trace` under `cfg` with the full telemetry stack attached.
+///
+/// The returned [`RunReport`] is byte-identical to an unobserved run of
+/// the same config; the [`Telemetry`] holds the merged event trace and
+/// the aggregated metrics.
+pub fn run_with_telemetry(cfg: EngineConfig, trace: Trace) -> (RunReport, Telemetry) {
+    engine::run_with_observer(cfg, trace, Telemetry::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::Mode;
+    use models::ModelSpec;
+    use workload::{Generator, ShareGptProfile};
+
+    fn small_cfg(mode: Mode) -> (EngineConfig, Trace) {
+        let trace = Generator::new(ShareGptProfile::default(), 7).trace(12);
+        let cfg = EngineConfig::paper(mode, ModelSpec::llama2_13b());
+        (cfg, trace)
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_run() {
+        let (cfg, trace) = small_cfg(Mode::CachedAttention);
+        let plain = engine::run_trace(cfg.clone(), trace.clone());
+        let (observed, tel) = run_with_telemetry(cfg, trace);
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&observed).unwrap()
+        );
+        assert!(!tel.records().is_empty());
+    }
+
+    #[test]
+    fn merged_stream_has_both_sources_and_dense_seq() {
+        let (cfg, trace) = small_cfg(Mode::CachedAttention);
+        let (_report, tel) = run_with_telemetry(cfg, trace);
+        let recs = tel.records();
+        assert!(recs.iter().any(|r| matches!(r.ev, TraceEvent::Engine(_))));
+        assert!(recs.iter().any(|r| matches!(r.ev, TraceEvent::Store(_))));
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn hub_counts_agree_with_trace() {
+        let (cfg, trace) = small_cfg(Mode::CachedAttention);
+        let (_report, tel) = run_with_telemetry(cfg, trace);
+        let snap = tel.snapshot();
+        let arrived = tel
+            .records()
+            .iter()
+            .filter(|r| r.ev.kind() == "turn_arrived")
+            .count() as u64;
+        assert_eq!(snap.turns_arrived, arrived);
+    }
+}

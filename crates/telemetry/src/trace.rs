@@ -1,0 +1,144 @@
+//! The merged trace: engine and store events in one causal stream.
+//!
+//! The serving engine emits [`EngineEvent`]s for its own pipeline steps
+//! and drains the store's [`StoreEvent`]s after every interaction, so an
+//! observer sees both streams interleaved in commit order. A
+//! [`TraceRecord`] stamps each event with that global order (`seq`) plus
+//! its source and category, which is what the exporters serialize.
+
+use engine::EngineEvent;
+use serde::{Serialize, Value};
+use sim::Time;
+use store::StoreEvent;
+
+/// One event of the merged stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A serving-pipeline step.
+    Engine(EngineEvent),
+    /// A store placement decision (or an engine-emitted transfer-timing
+    /// event; see the store crate's event docs).
+    Store(StoreEvent),
+}
+
+impl TraceEvent {
+    /// Which subsystem emitted the event.
+    pub fn source(&self) -> &'static str {
+        match self {
+            TraceEvent::Engine(_) => "engine",
+            TraceEvent::Store(_) => "store",
+        }
+    }
+
+    /// Snake-case variant name (`turn_arrived`, `fetch_hit`, ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Engine(e) => e.kind(),
+            TraceEvent::Store(e) => e.kind(),
+        }
+    }
+
+    /// Coarse category: `session`/`sched`/`gpu` for engine events,
+    /// `cache`/`tiering`/`gauge`/`stall` for store events.
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEvent::Engine(e) => e.category(),
+            TraceEvent::Store(e) => e.category(),
+        }
+    }
+
+    /// The event's virtual timestamp.
+    pub fn at(&self) -> Time {
+        match self {
+            TraceEvent::Engine(e) => e.at(),
+            TraceEvent::Store(e) => e.at(),
+        }
+    }
+
+    /// The session the event concerns (`None` for tier-wide gauges).
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            TraceEvent::Engine(e) => Some(e.session()),
+            TraceEvent::Store(e) => e.session(),
+        }
+    }
+}
+
+/// One line of the exported trace: a [`TraceEvent`] stamped with its
+/// position in the merged commit order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Zero-based position in the merged stream. Timestamps alone cannot
+    /// order the trace (an engine-emitted completion event may carry a
+    /// future link time), so consumers sort and join on `seq`.
+    pub seq: u64,
+    /// The event itself.
+    pub ev: TraceEvent,
+}
+
+impl Serialize for TraceRecord {
+    /// Serializes as the event's tagged object with `seq`, `source` and
+    /// `category` prepended, so every JSONL line is self-describing.
+    fn to_value(&self) -> Value {
+        let inner = match &self.ev {
+            TraceEvent::Engine(e) => e.to_value(),
+            TraceEvent::Store(e) => e.to_value(),
+        };
+        let mut pairs = vec![
+            ("seq".to_string(), Value::U64(self.seq)),
+            ("source".to_string(), Value::Str(self.ev.source().to_string())),
+            ("category".to_string(), Value::Str(self.ev.category().to_string())),
+        ];
+        match inner {
+            Value::Object(fields) => pairs.extend(fields),
+            other => pairs.push(("event".to_string(), other)),
+        }
+        Value::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::ConsultClass;
+    use store::Tier;
+
+    #[test]
+    fn records_are_self_describing_jsonl_lines() {
+        let rec = TraceRecord {
+            seq: 3,
+            ev: TraceEvent::Engine(EngineEvent::consulted(
+                7,
+                ConsultClass::HitFast,
+                500,
+                Time::from_secs_f64(1.0),
+            )),
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert_eq!(
+            json,
+            "{\"seq\":3,\"source\":\"engine\",\"category\":\"sched\",\
+             \"kind\":\"consulted\",\"session\":7,\"class\":\"hit_fast\",\
+             \"reused\":500,\"at\":1.0}"
+        );
+    }
+
+    #[test]
+    fn store_events_carry_their_category() {
+        let rec = TraceRecord {
+            seq: 0,
+            ev: TraceEvent::Store(StoreEvent::FetchHit {
+                session: 2,
+                tier: Tier::Disk,
+                bytes: 10,
+                at: Time::ZERO,
+            }),
+        };
+        assert_eq!(rec.ev.source(), "store");
+        assert_eq!(rec.ev.category(), "cache");
+        assert_eq!(rec.ev.kind(), "fetch_hit");
+        assert_eq!(rec.ev.session(), Some(2));
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.starts_with("{\"seq\":0,\"source\":\"store\""));
+    }
+}

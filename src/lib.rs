@@ -15,6 +15,8 @@
 //! - [`engine`]: the serving engine with CachedAttention and the
 //!   recomputation baseline, layer-wise pre-loading and async saving.
 //! - [`metrics`]: statistics and AWS cost accounting.
+//! - [`telemetry`]: merged engine/store event traces, the live
+//!   `MetricsHub`, and JSONL/Chrome-trace (Perfetto) exporters.
 //! - [`tinyllm`]: a real CPU transformer demonstrating decoupled
 //!   positional-encoding KV truncation.
 //! - [`nanograd`]: reverse-mode autodiff used to train `tinyllm`.
@@ -28,6 +30,7 @@ pub use models;
 pub use nanograd;
 pub use sim;
 pub use store;
+pub use telemetry;
 pub use tinyllm;
 pub use workload;
 
