@@ -3,12 +3,17 @@
 #
 #   ./ci.sh
 #
-# 1. release build of the whole workspace (examples + benches included)
-# 2. full test suite (unit, integration, golden-report, proptests, doctests)
-# 3. clippy with warnings denied
-# 4. telemetry smoke: capture a small traced run, validate the outputs
+# 1. rustfmt check (no dirty formatting lands)
+# 2. release build of the whole workspace (examples + benches included)
+# 3. full test suite (unit, integration, golden-report, proptests, doctests)
+# 4. clippy with warnings denied
+# 5. telemetry smoke: capture a small traced run, validate the outputs
+# 6. cluster smoke: 2-instance run with telemetry, validated the same way
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "==> cargo fmt (check)"
+cargo fmt --all -- --check
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -30,5 +35,15 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
     --jsonl "$SMOKE_DIR/trace.jsonl" \
     --chrome "$SMOKE_DIR/trace.json" \
     --metrics "$SMOKE_DIR/metrics.json"
+
+echo "==> cluster smoke (exp_cluster + trace_check)"
+./target/release/exp_cluster --sessions 60 --instances 2 \
+    --trace-out "$SMOKE_DIR/cluster.jsonl" \
+    --trace-out "$SMOKE_DIR/cluster.json" \
+    --metrics-out "$SMOKE_DIR/cluster_metrics.json" >/dev/null
+./target/release/trace_check \
+    --jsonl "$SMOKE_DIR/cluster.jsonl" \
+    --chrome "$SMOKE_DIR/cluster.json" \
+    --metrics "$SMOKE_DIR/cluster_metrics.json"
 
 echo "CI green."

@@ -56,9 +56,7 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher, &I),
     {
         let name = format!("{}/{}", self.name, id.0);
-        run_one(&name, self.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_one(&name, self.sample_size, &mut |b: &mut Bencher| f(b, input));
         self
     }
 
@@ -108,10 +106,7 @@ fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         return;
     }
     let per_iter = b.elapsed / b.samples as u32;
-    println!(
-        "{name:<50} time: {per_iter:>12?}  ({} samples)",
-        b.samples
-    );
+    println!("{name:<50} time: {per_iter:>12?}  ({} samples)", b.samples);
 }
 
 /// Collects benchmark functions into one runnable group.

@@ -90,7 +90,10 @@ pub trait Deserialize: Sized {
 }
 
 fn wrong_type<T>(want: &str, got: &Value) -> Result<T, Error> {
-    Err(Error::custom(format!("expected {want}, got {}", got.kind())))
+    Err(Error::custom(format!(
+        "expected {want}, got {}",
+        got.kind()
+    )))
 }
 
 macro_rules! impl_uint {

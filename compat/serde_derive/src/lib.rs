@@ -24,9 +24,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let code = match &item {
         Item::Struct { name, fields } => {
-            let mut body = String::from(
-                "let mut pairs: Vec<(String, ::serde::Value)> = Vec::new();\n",
-            );
+            let mut body =
+                String::from("let mut pairs: Vec<(String, ::serde::Value)> = Vec::new();\n");
             for f in fields {
                 if f.skip {
                     continue;
@@ -39,9 +38,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             body.push_str("::serde::Value::Object(pairs)");
             impl_serialize(name, &body)
         }
-        Item::Newtype { name } => {
-            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
-        }
+        Item::Newtype { name } => impl_serialize(name, "::serde::Serialize::to_value(&self.0)"),
         Item::Enum { name, variants } => {
             let mut body = String::from("match self {\n");
             for v in variants {
@@ -53,7 +50,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             impl_serialize(name, &body)
         }
     };
-    code.parse().expect("serde_derive generated invalid Serialize impl")
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
 }
 
 /// Derives the stand-in `serde::Deserialize` trait.
@@ -99,8 +97,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             &format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
         ),
         Item::Enum { name, variants } => {
-            let mut body =
-                "match v {\n::serde::Value::Str(s) => match s.as_str() {\n".to_string();
+            let mut body = "match v {\n::serde::Value::Str(s) => match s.as_str() {\n".to_string();
             for var in variants {
                 body.push_str(&format!("\"{var}\" => Ok({name}::{var}),\n"));
             }
@@ -113,7 +110,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             impl_deserialize(name, &body)
         }
     };
-    code.parse().expect("serde_derive generated invalid Deserialize impl")
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
 }
 
 fn impl_serialize(name: &str, body: &str) -> String {
@@ -244,7 +242,11 @@ fn parse_fields(stream: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip, default });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }

@@ -34,8 +34,7 @@ fn fail(msg: &str) -> ExitCode {
 }
 
 fn check_jsonl(path: &str) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut lines = 0u64;
     for (i, line) in text.lines().enumerate() {
@@ -44,12 +43,7 @@ fn check_jsonl(path: &str) -> Result<(), String> {
         let Value::Object(pairs) = v else {
             return Err(format!("{path}:{}: line is not an object", i + 1));
         };
-        let get = |key: &str| {
-            pairs
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v.clone())
-        };
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone());
         match get("seq") {
             Some(Value::U64(n)) if n == i as u64 => {}
             other => return Err(format!("{path}:{}: bad seq {other:?}", i + 1)),
@@ -70,9 +64,7 @@ fn check_jsonl(path: &str) -> Result<(), String> {
     }
     for cat in REQUIRED_CATEGORIES {
         if !seen.contains(cat) {
-            return Err(format!(
-                "{path}: no `{cat}` events (saw: {seen:?})"
-            ));
+            return Err(format!("{path}: no `{cat}` events (saw: {seen:?})"));
         }
     }
     println!("[trace_check] {path}: {lines} events, categories {seen:?}");
@@ -80,8 +72,7 @@ fn check_jsonl(path: &str) -> Result<(), String> {
 }
 
 fn check_chrome(path: &str) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let v: Value =
         serde_json::from_str(&text).map_err(|e| format!("{path}: not valid JSON: {e:?}"))?;
     let Value::Object(pairs) = v else {
@@ -102,8 +93,7 @@ fn check_chrome(path: &str) -> Result<(), String> {
 }
 
 fn check_metrics(path: &str) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let v: Value =
         serde_json::from_str(&text).map_err(|e| format!("{path}: not valid JSON: {e:?}"))?;
     let Value::Object(pairs) = v else {

@@ -1,0 +1,129 @@
+//! Cluster scaling: N instances sharing one AttentionStore.
+//!
+//! Not a paper figure — the paper evaluates one serving instance — but
+//! the natural extension its §3.3 windows invite: the prefetch/eviction
+//! look-ahead operates over the *merged* queue of every instance, so one
+//! store can feed a whole cluster. This experiment sweeps the instance
+//! count under both routing policies and reports aggregate throughput
+//! next to per-instance hit rates, surfacing the affinity-vs-balance
+//! tradeoff: session-affinity routing keeps a session's KV traffic on
+//! one instance's links, least-loaded routing spreads load but makes a
+//! session's staged KV chase it across instances.
+
+use engine::{run_cluster, ClusterConfig, ClusterReport, Mode, RouterKind};
+use metrics::table::{pct, Table};
+use models::ModelSpec;
+
+use crate::{paper_trace, scaled_config, Scale};
+
+/// The sweep results: one cluster run per (router, instance count).
+pub struct ClusterResults {
+    /// `(router, n_instances, report)` per run.
+    pub rows: Vec<(RouterKind, usize, ClusterReport)>,
+}
+
+/// Runs the sweep: every router × every instance count, same workload
+/// and same scale-proportional store capacity.
+pub fn compute(scale: Scale, instance_counts: &[usize]) -> ClusterResults {
+    let model = ModelSpec::llama2_13b();
+    let mut rows = Vec::new();
+    for router in [RouterKind::SessionAffinity, RouterKind::LeastLoaded] {
+        for &n in instance_counts {
+            let cfg = scaled_config(Mode::CachedAttention, model.clone(), scale);
+            let trace = paper_trace(scale, 1.0);
+            let report = run_cluster(ClusterConfig::new(cfg, n, router), trace);
+            rows.push((router, n, report));
+        }
+    }
+    ClusterResults { rows }
+}
+
+/// Renders the sweep as a comparison table.
+pub fn render(r: &ClusterResults) -> String {
+    let mut t = Table::new(
+        "Cluster scaling: N instances, one shared AttentionStore",
+        &[
+            "router",
+            "N",
+            "makespan s",
+            "turns/s",
+            "hit rate",
+            "per-instance hit rates",
+            "per-instance turns",
+        ],
+    );
+    for (router, n, rep) in &r.rows {
+        let hit_rates: Vec<String> = rep.instances.iter().map(|i| pct(i.hit_rate())).collect();
+        let turns: Vec<String> = rep
+            .instances
+            .iter()
+            .map(|i| i.turns_done.to_string())
+            .collect();
+        t.row(&[
+            router.label().to_string(),
+            n.to_string(),
+            format!("{:.1}", rep.aggregate.makespan_secs),
+            format!("{:.2}", rep.throughput()),
+            pct(rep.aggregate.hit_rate()),
+            hit_rates.join(" "),
+            turns.join(" "),
+        ]);
+    }
+    t.render()
+}
+
+/// Runs the sweep at `scale` and renders the table.
+pub fn run(scale: Scale, instance_counts: &[usize]) -> String {
+    render(&compute(scale, instance_counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small sweep completes every session on every shape, the
+    /// per-instance turn counts add up to the cluster total, and adding
+    /// an instance never slows the workload down.
+    #[test]
+    fn cluster_sweep_shapes_hold_at_small_scale() {
+        let scale = Scale {
+            sessions: 60,
+            warmup_turns: 0,
+        };
+        let r = compute(scale, &[1, 2]);
+        assert_eq!(r.rows.len(), 4);
+        for (router, n, rep) in &r.rows {
+            assert_eq!(
+                rep.aggregate.sessions_done.get(),
+                60,
+                "{} n={n}: sessions lost",
+                router.label()
+            );
+            assert_eq!(rep.instances.len(), *n);
+            let turns: u64 = rep.instances.iter().map(|i| i.turns_done).sum();
+            assert_eq!(
+                turns,
+                rep.aggregate.turns_measured.get(),
+                "{} n={n}: per-instance turns disagree with the aggregate",
+                router.label()
+            );
+        }
+        for router in [RouterKind::SessionAffinity, RouterKind::LeastLoaded] {
+            let of = |n: usize| {
+                &r.rows
+                    .iter()
+                    .find(|(rt, rn, _)| *rt == router && *rn == n)
+                    .expect("row exists")
+                    .2
+            };
+            assert!(
+                of(2).aggregate.makespan_secs <= of(1).aggregate.makespan_secs,
+                "{}: two instances slower than one",
+                router.label()
+            );
+        }
+        let table = render(&r);
+        assert!(table.contains("affinity"));
+        assert!(table.contains("least-loaded"));
+    }
+}

@@ -94,8 +94,7 @@ fn is_jsonl(path: &Path) -> bool {
 }
 
 fn write_out(path: &Path, body: &str) {
-    std::fs::write(path, body)
-        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
 }
 
 /// Writes a [`MetricsSnapshot`] as pretty-printed JSON.

@@ -1,0 +1,808 @@
+//! The N-instance cluster orchestrator sharing one AttentionStore.
+//!
+//! [`ClusterSim`] generalizes the single-engine discrete-event loop to a
+//! cluster: one event stream drives N [`EngineInstance`]s — each with its
+//! own job queue, executor, PCIe links and HBM ledger — while the session
+//! table, the job arena, the shared [`AttentionStore`] and the aggregate
+//! [`RunReport`] stay global. A [`RouterPolicy`] picks the instance for
+//! every arriving turn ([`SessionAffinity`](crate::router::SessionAffinity)
+//! by default).
+//!
+//! The shared store sees one *merged* [`QueueView`] built from every
+//! instance's queue: per-queue positions are interleaved round-robin
+//! (all queue heads first, then all seconds, ties by instance id), so the
+//! §3.3 prefetch and eviction windows protect the sessions the cluster
+//! will serve soonest regardless of which instance holds them. Each
+//! session in the view is tagged with its owning instance, which is how
+//! prefetch/demotion transfers are charged to the right instance's links
+//! and how store events carry per-instance attribution.
+//!
+//! Determinism: with `n_instances == 1` every router routes to instance
+//! 0, the merged view degenerates to the single queue, and every
+//! operation lands in the same order as the pre-cluster engine — the
+//! golden `RunReport` fixtures reproduce byte-for-byte (pinned by
+//! `tests/cluster_equivalence.rs`).
+
+use serde::Serialize;
+use sim::{Dur, EventQueue, Time, World};
+use store::{AttentionStore, QueueView, SessionId, StoreEvent, StorePlanner, TransferDir};
+use workload::Trace;
+
+use crate::events::{ConsultClass, EngineEvent, EngineObserver, NullObserver};
+use crate::exec::{self, Action, Job, PrefillIssue};
+use crate::instance::{EngineInstance, InstanceReport};
+use crate::router::{InstanceLoad, RouterKind, RouterPolicy};
+use crate::scheduler;
+use crate::truncate;
+use crate::{EngineConfig, Mode, RunReport};
+
+/// Simulation events (public because [`ClusterSim`] implements
+/// [`World<Event = Ev>`]; not constructed by users directly).
+#[derive(Debug, Clone, Copy)]
+pub enum Ev {
+    /// A session's next turn arrived (the user hit enter).
+    TurnArrival(usize),
+    /// An instance's GPU finished its current action (or should wake up).
+    GpuTick(u32),
+    /// Periodic TTL sweep of the shared store.
+    Sweep,
+}
+
+/// Per-session progress.
+#[derive(Debug)]
+struct SessionState {
+    /// Index into `trace.sessions`.
+    spec: usize,
+    /// Next turn index to arrive.
+    next_turn: usize,
+    /// Historical context tokens visible to the model (post-truncation).
+    hist_tokens: u64,
+}
+
+/// A cluster serving setup: the per-instance engine config, the instance
+/// count, and the routing policy.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-instance engine configuration (every instance is identical).
+    pub engine: EngineConfig,
+    /// Number of serving instances sharing the store.
+    pub n_instances: usize,
+    /// Which router dispatches arriving turns.
+    pub router: RouterKind,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n_instances` copies of `engine` under `router`.
+    pub fn new(engine: EngineConfig, n_instances: usize, router: RouterKind) -> Self {
+        ClusterConfig {
+            engine,
+            n_instances,
+            router,
+        }
+    }
+
+    /// The degenerate single-instance cluster [`ServingSim`]
+    /// (crate::ServingSim) wraps: one instance, affinity routing.
+    pub fn single(engine: EngineConfig) -> Self {
+        ClusterConfig::new(engine, 1, RouterKind::SessionAffinity)
+    }
+}
+
+/// The result of a cluster run: the aggregate report plus per-instance
+/// breakdowns.
+#[derive(Debug, Serialize)]
+pub struct ClusterReport {
+    /// Aggregate metrics across all instances (same recorder call order
+    /// as the single-engine report; link totals summed, HBM high water
+    /// maxed).
+    pub aggregate: RunReport,
+    /// Label of the router that dispatched turns.
+    pub router: &'static str,
+    /// Per-instance counters and link totals.
+    pub instances: Vec<InstanceReport>,
+}
+
+impl ClusterReport {
+    /// Aggregate serving throughput: measured turns per makespan second.
+    pub fn throughput(&self) -> f64 {
+        if self.aggregate.makespan_secs == 0.0 {
+            return 0.0;
+        }
+        self.aggregate.turns_measured.get() as f64 / self.aggregate.makespan_secs
+    }
+}
+
+/// The cluster world: one event stream dispatched across N instances.
+pub struct ClusterSim<O: EngineObserver = NullObserver> {
+    cfg: EngineConfig,
+    trace: Trace,
+    sessions: Vec<SessionState>,
+    jobs: Vec<Job>,
+    instances: Vec<EngineInstance>,
+    router: Box<dyn RouterPolicy>,
+    store: Option<Box<dyn StorePlanner>>,
+    turn_arrivals: usize,
+    sessions_remaining: usize,
+    last_completion: Time,
+    report: RunReport,
+    obs: O,
+    // Reusable scratch buffers: the merged queue view and router loads
+    // are rebuilt at every consultation, and per-consultation allocation
+    // was the hot path the snapshot_into refactor removed.
+    scratch_snapshot: Vec<usize>,
+    scratch_triples: Vec<(u32, u32, usize)>,
+    scratch_order: Vec<SessionId>,
+    scratch_owners: Vec<u32>,
+    scratch_loads: Vec<InstanceLoad>,
+}
+
+impl ClusterSim<NullObserver> {
+    /// Builds a cluster simulator for `cfg` over `trace`.
+    pub fn new(cfg: ClusterConfig, trace: Trace) -> Self {
+        ClusterSim::with_observer(cfg, trace, NullObserver)
+    }
+
+    /// Runs the full workload to completion and returns the report.
+    pub fn run(cfg: ClusterConfig, trace: Trace) -> ClusterReport {
+        let mut world = ClusterSim::new(cfg, trace);
+        world.drive();
+        world.finish().0
+    }
+}
+
+impl<O: EngineObserver> ClusterSim<O> {
+    /// Builds a cluster that reports every pipeline step to `obs`.
+    pub fn with_observer(cfg: ClusterConfig, trace: Trace, obs: O) -> Self {
+        assert!(
+            cfg.n_instances >= 1,
+            "a cluster needs at least one instance"
+        );
+        let ClusterConfig {
+            engine,
+            n_instances,
+            router,
+        } = cfg;
+        let mut store: Option<Box<dyn StorePlanner>> = match engine.mode {
+            Mode::Recompute => None,
+            _ => Some(Box::new(AttentionStore::new(engine.store.clone()))),
+        };
+        if let Some(s) = &mut store {
+            // Store tracing is buffered-and-drained, never behavioral:
+            // only turn it on for observers that will consume the stream.
+            s.set_tracing(obs.wants_store_events());
+        }
+        let sessions = (0..trace.sessions.len())
+            .map(|i| SessionState {
+                spec: i,
+                next_turn: 0,
+                hist_tokens: 0,
+            })
+            .collect();
+        let sessions_remaining = trace.sessions.len();
+        let report = RunReport::new(engine.model.name, engine.mode);
+        let instances = (0..n_instances)
+            .map(|i| EngineInstance::new(i as u32, &engine))
+            .collect();
+        ClusterSim {
+            cfg: engine,
+            trace,
+            sessions,
+            jobs: Vec::new(),
+            instances,
+            router: router.build(),
+            store,
+            turn_arrivals: 0,
+            sessions_remaining,
+            last_completion: Time::ZERO,
+            report,
+            obs,
+            scratch_snapshot: Vec::new(),
+            scratch_triples: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_owners: Vec::new(),
+            scratch_loads: Vec::new(),
+        }
+    }
+
+    /// Feeds the trace's session arrivals and runs the event loop dry.
+    pub(crate) fn drive(&mut self) {
+        let mut q = EventQueue::new();
+        for (i, s) in self.trace.sessions.iter().enumerate() {
+            q.push(s.arrival, Ev::TurnArrival(i));
+        }
+        if self.cfg.store.ttl.is_some() && self.cfg.mode != Mode::Recompute {
+            q.push(Time::from_secs_f64(30.0), Ev::Sweep);
+        }
+        sim::run(self, &mut q, None);
+    }
+
+    /// Finalizes the report; hands back the observer too.
+    pub(crate) fn finish(mut self) -> (ClusterReport, O) {
+        self.report.makespan_secs = self.last_completion.as_secs_f64();
+        self.report.h2d_bytes = self.instances.iter().map(|i| i.plan.h2d_bytes()).sum();
+        self.report.d2h_bytes = self.instances.iter().map(|i| i.plan.d2h_bytes()).sum();
+        self.report.slow_read_bytes = self
+            .instances
+            .iter()
+            .map(|i| i.plan.slow_read_bytes())
+            .sum();
+        self.report.slow_write_bytes = self
+            .instances
+            .iter()
+            .map(|i| i.plan.slow_write_bytes())
+            .sum();
+        self.report.hbm_high_water_bytes = self
+            .instances
+            .iter()
+            .map(|i| i.hbm.high_water())
+            .max()
+            .unwrap_or(0);
+        if let Some(store) = &self.store {
+            self.report.store_stats = *store.stats();
+        }
+        let instances: Vec<InstanceReport> = self.instances.iter().map(|i| i.report()).collect();
+        (
+            ClusterReport {
+                aggregate: self.report,
+                router: self.router.label(),
+                instances,
+            },
+            self.obs,
+        )
+    }
+
+    /// External id of a session-table row.
+    fn sid(&self, session: usize) -> SessionId {
+        SessionId(self.trace.sessions[self.sessions[session].spec].id)
+    }
+
+    /// Builds the merged, owner-attributed queue view the shared store
+    /// consults: per-queue positions interleaved round-robin (all heads
+    /// first, ties by instance id), each session tagged with its owning
+    /// instance. With one instance this is exactly that instance's queue.
+    fn merged_view(&mut self) -> QueueView {
+        let mut snapshot = std::mem::take(&mut self.scratch_snapshot);
+        let mut triples = std::mem::take(&mut self.scratch_triples);
+        let mut order = std::mem::take(&mut self.scratch_order);
+        let mut owners = std::mem::take(&mut self.scratch_owners);
+        triples.clear();
+        for inst in &self.instances {
+            snapshot.clear();
+            inst.sched.snapshot_into(&mut snapshot);
+            for (pos, &j) in snapshot.iter().enumerate() {
+                triples.push((pos as u32, inst.id, j));
+            }
+        }
+        triples.sort_unstable();
+        order.clear();
+        owners.clear();
+        for &(_, inst_id, j) in triples.iter() {
+            order.push(self.sid(self.jobs[j].session));
+            owners.push(inst_id);
+        }
+        let view = QueueView::with_owners(&order, &owners);
+        self.scratch_snapshot = snapshot;
+        self.scratch_triples = triples;
+        self.scratch_order = order;
+        self.scratch_owners = owners;
+        view
+    }
+
+    /// Routes a session's arriving turn to an instance.
+    fn route(&mut self, session: usize) -> u32 {
+        let mut loads = std::mem::take(&mut self.scratch_loads);
+        loads.clear();
+        loads.extend(self.instances.iter().map(|i| InstanceLoad {
+            queued: i.sched.len(),
+            batch: i.exec.batch.len(),
+        }));
+        let inst = self.router.route(self.sid(session).0, &loads);
+        debug_assert!(inst < self.instances.len(), "router picked a real instance");
+        self.scratch_loads = loads;
+        inst as u32
+    }
+
+    /// Forwards buffered store events to an opted-in observer, keeping
+    /// both streams in one commit order. `acting` is the instance whose
+    /// pipeline step triggered the drain.
+    fn pump_store_events(&mut self, acting: u32) {
+        if !self.obs.wants_store_events() {
+            return;
+        }
+        if let Some(store) = &mut self.store {
+            for ev in store.drain_events() {
+                self.obs.on_instance_store_event(acting, ev);
+            }
+        }
+    }
+
+    /// Runs the scheduler-aware prefetcher over the merged queue.
+    /// Transfers are charged to each target session's owning instance
+    /// (unowned sessions — e.g. demotion victims no longer queued — fall
+    /// back to the `acting` instance's links).
+    fn run_prefetch(&mut self, now: Time, acting: u32) {
+        let view = self.merged_view();
+        let Some(store) = &mut self.store else {
+            return;
+        };
+        let transfers = store.prefetch(now, &view);
+        for t in &transfers {
+            let owner = view.owner(t.session).unwrap_or(acting) as usize;
+            self.instances[owner]
+                .plan
+                .charge(now, std::slice::from_ref(t));
+        }
+        self.pump_store_events(acting);
+        if self.obs.wants_store_events() {
+            // The store planned the promotions; only the owning
+            // instance's transfer stage knows when its slow-read link
+            // completes them.
+            for t in &transfers {
+                if t.dir == TransferDir::DiskToDram {
+                    let owner = view.owner(t.session).unwrap_or(acting);
+                    let at = self.instances[owner as usize]
+                        .plan
+                        .fast_ready(t.session.0)
+                        .unwrap_or(now);
+                    self.obs.on_instance_store_event(
+                        owner,
+                        StoreEvent::PrefetchCompleted {
+                            session: t.session.0,
+                            instance: Some(owner),
+                            at,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Applies context-window truncation at turn arrival. Returns the new
+    /// history length.
+    fn apply_truncation(
+        &mut self,
+        now: Time,
+        session: usize,
+        user: u64,
+        measured: bool,
+        inst: u32,
+    ) -> u64 {
+        let window = self.cfg.model.context_window as u64;
+        let hist = self.sessions[session].hist_tokens;
+        let out = truncate::truncate_history(window, self.cfg.truncation_ratio, hist, user);
+        if !out.truncated {
+            return hist;
+        }
+        if measured {
+            self.report.truncations.incr();
+        }
+        let sid = self.sid(session);
+        let bytes = self.cfg.stored_kv_bytes(out.new_hist);
+        let store = self
+            .store
+            .as_mut()
+            .map(|s| s.as_mut() as &mut dyn StorePlanner);
+        truncate::apply_store_effect(self.cfg.mode, store, sid, bytes, out.new_hist);
+        self.sessions[session].hist_tokens = out.new_hist;
+        self.obs
+            .on_instance_event(inst, EngineEvent::truncated(sid.0, hist, out.new_hist, now));
+        out.new_hist
+    }
+
+    /// Handles a turn arrival: routes it, creates the job, queues it on
+    /// its instance, prefetches.
+    fn on_turn_arrival(&mut self, now: Time, session: usize, q: &mut EventQueue<Ev>) {
+        let arrival_index = self.turn_arrivals;
+        self.turn_arrivals += 1;
+        let measured = arrival_index >= self.cfg.warmup_turns;
+        let spec = &self.trace.sessions[self.sessions[session].spec];
+        let turn_idx = self.sessions[session].next_turn;
+        let turn = &spec.turns[turn_idx];
+        let user = (turn.user_tokens as u64).min(self.cfg.model.context_window as u64);
+        let resp = turn.resp_tokens as u64;
+        let inst = self.route(session);
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::turn_arrived(self.sid(session).0, turn_idx, now),
+        );
+        let hist = self.apply_truncation(now, session, user, measured, inst);
+        self.jobs.push(Job::for_turn(
+            session, inst, now, user, resp, hist, measured,
+        ));
+        self.instances[inst as usize]
+            .sched
+            .enqueue(self.jobs.len() - 1);
+        self.run_prefetch(now, inst);
+        if self.instances[inst as usize].exec.gpu_action.is_none() {
+            self.instances[inst as usize].exec.gpu_action = Some(Action::Sleep);
+            q.push(now, Ev::GpuTick(inst));
+        }
+    }
+
+    /// Consults the store for an instance's head job and classifies the
+    /// access. The consultation (demand fetch, pinning) charges the
+    /// owning instance's links. Returns (reused tokens, when the KV is
+    /// staged in the fast tier).
+    fn consult_store(&mut self, now: Time, job_idx: usize) -> (u64, Time) {
+        let job = &self.jobs[job_idx];
+        let (session, hist, measured, inst) =
+            (job.session, job.hist_tokens, job.measured, job.instance);
+        let sid = self.sid(session);
+        if hist == 0 {
+            self.obs.on_instance_event(
+                inst,
+                EngineEvent::consulted(sid.0, ConsultClass::NoHistory, 0, now),
+            );
+            return (0, now);
+        }
+        if measured {
+            self.report.resumption_turns.incr();
+            self.instances[inst as usize].resumption_turns += 1;
+        }
+        if self.store.is_none() {
+            // RE: always recompute.
+            self.report.record_consult(ConsultClass::NoStore, measured);
+            self.obs.on_instance_event(
+                inst,
+                EngineEvent::consulted(sid.0, ConsultClass::NoStore, 0, now),
+            );
+            return (0, now);
+        }
+        let view = self.merged_view();
+        let cfg = &self.cfg;
+        let store = self.store.as_mut().expect("checked above");
+        let plan = &mut self.instances[inst as usize].plan;
+        let consult = plan.consult(now, store.as_mut(), sid, hist, &view, |tokens| {
+            cfg.stored_kv_bytes(tokens)
+        });
+        self.pump_store_events(inst);
+        self.report.record_consult(consult.class, measured);
+        if measured {
+            let me = &mut self.instances[inst as usize];
+            match consult.class {
+                ConsultClass::HitFast => me.hits_fast += 1,
+                ConsultClass::HitSlow => me.hits_slow += 1,
+                ConsultClass::Miss => me.misses += 1,
+                ConsultClass::NoHistory | ConsultClass::NoStore => {}
+            }
+        }
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::consulted(sid.0, consult.class, consult.reused, now),
+        );
+        (consult.reused, consult.staged)
+    }
+
+    /// Starts the prefill of instance `inst`'s head job. On `Err` the job
+    /// cannot start at `now` (data or buffer not ready) and the value is
+    /// the earliest time it could.
+    fn try_admit(&mut self, now: Time, inst: u32, q: &mut EventQueue<Ev>) -> Result<(), Time> {
+        let i = inst as usize;
+        let job_idx = self.instances[i].sched.front().expect("caller checked");
+        let gate = self.instances[i].plan.write_gate(now);
+        if gate > now {
+            if self.obs.wants_store_events() {
+                let sid = self.sid(self.jobs[job_idx].session);
+                self.obs.on_instance_store_event(
+                    inst,
+                    StoreEvent::WriteBufferStall {
+                        session: sid.0,
+                        until: gate,
+                        at: now,
+                    },
+                );
+            }
+            return Err(self.defer(now, job_idx, gate));
+        }
+        // Consult the store the first time this job reaches the head; the
+        // outcome (hit classification, pinning, demand fetch) sticks.
+        let (reused, staged) = match self.jobs[job_idx].consulted {
+            Some(r) => r,
+            None => {
+                let r = self.consult_store(now, job_idx);
+                self.jobs[job_idx].consulted = Some(r);
+                r
+            }
+        };
+        // KV still staging into the fast tier: decode meanwhile.
+        if let Some(until) =
+            scheduler::data_ready_defer(now, staged, self.instances[i].exec.batch.is_empty())
+        {
+            return Err(self.defer(now, job_idx, until));
+        }
+        // HBM residency (§2.4, Challenge 2): the new job's full context
+        // plus its response must fit beside the decoding batch's live KV.
+        let job = &self.jobs[job_idx];
+        let job_peak = self
+            .cfg
+            .model
+            .kv_bytes(job.hist_tokens + job.user_tokens + job.resp_tokens);
+        let reserved = self.instances[i].hbm.reserved_kv(
+            &self.cfg.model,
+            &self.instances[i].exec.batch,
+            &self.jobs,
+        );
+        if !scheduler::hbm_fits(
+            reserved,
+            job_peak,
+            self.instances[i].hbm.budget(),
+            self.instances[i].exec.batch.is_empty(),
+        ) {
+            // Decode until a job retires and frees HBM.
+            return Err(self.defer(now, job_idx, now));
+        }
+        self.instances[i].sched.pop_front();
+        let job = &self.jobs[job_idx];
+        let computed = job.hist_tokens - reused + job.user_tokens;
+        let (total, comp, stall) = exec::prefill_timing(
+            &self.cfg,
+            &mut self.instances[i].plan,
+            now,
+            reused,
+            computed,
+            staged,
+        );
+        let wait = staged.saturating_since(now);
+        let total = total.max(wait + comp);
+        self.instances[i].hbm.note_reserved(reserved + job_peak);
+        let sid = self.sid(self.jobs[job_idx].session);
+        let job = &mut self.jobs[job_idx];
+        job.reused_tokens = reused;
+        job.computed_tokens = computed;
+        job.admitted_at = now;
+        job.prefill_secs = comp.as_secs_f64();
+        self.report.record_admission(
+            now.as_secs_f64(),
+            comp.as_secs_f64(),
+            total.as_secs_f64(),
+            (stall.max(wait)).as_secs_f64(),
+            job.measured,
+            job.hist_tokens + job.user_tokens,
+            computed,
+        );
+        let chunked = match exec::plan_prefill(self.cfg.chunked_prefill_tokens, computed, total) {
+            PrefillIssue::Chunked {
+                n_chunks,
+                chunk_dur,
+            } => {
+                self.issue_chunk(now, q, inst, job_idx, (n_chunks - 1) as u32, chunk_dur);
+                true
+            }
+            PrefillIssue::Monolithic => {
+                self.instances[i].exec.gpu_action = Some(Action::Prefill { job: job_idx });
+                q.push(now + total, Ev::GpuTick(inst));
+                false
+            }
+        };
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::admitted(sid.0, reused, computed, chunked, now),
+        );
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::hbm_reserved(
+                sid.0,
+                reserved + job_peak,
+                self.instances[i].hbm.budget(),
+                now,
+            ),
+        );
+        // The queue head moved: give the prefetcher a chance to stage the
+        // next jobs' KV while this prefill runs.
+        self.run_prefetch(now, inst);
+        Ok(())
+    }
+
+    /// Reports a deferred admission to the observer; returns `until`.
+    fn defer(&mut self, now: Time, job_idx: usize, until: Time) -> Time {
+        let job = &self.jobs[job_idx];
+        let inst = job.instance;
+        let sid = self.sid(job.session);
+        self.obs
+            .on_instance_event(inst, EngineEvent::deferred(sid.0, until, now));
+        until
+    }
+
+    /// Starts the next slice of a paused chunked prefill on `inst`.
+    fn issue_chunk(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        inst: u32,
+        job: usize,
+        chunks_left: u32,
+        chunk_dur: Dur,
+    ) {
+        self.instances[inst as usize].exec.gpu_action = Some(Action::PrefillChunk {
+            job,
+            chunks_left,
+            chunk_dur,
+        });
+        q.push(now + chunk_dur, Ev::GpuTick(inst));
+    }
+
+    /// Completes a prefill on `inst`: records TTFT (admission → first
+    /// token; queue wait is reported separately), flushes the
+    /// prefill-phase KV through the instance's write stream (§3.2.2),
+    /// moves the job into the instance's decode batch.
+    fn complete_prefill(&mut self, now: Time, inst: u32, job_idx: usize) {
+        let i = inst as usize;
+        let job = &mut self.jobs[job_idx];
+        job.ctx_tokens = job.hist_tokens + job.user_tokens;
+        job.decode_start = now;
+        let (session, measured, computed) = (job.session, job.measured, job.computed_tokens);
+        let ttft = (now - job.admitted_at).as_secs_f64();
+        let queue_wait = (job.admitted_at - job.arrival).as_secs_f64();
+        self.report.record_first_token(measured, ttft, queue_wait);
+        if self.cfg.mode != Mode::Recompute {
+            let bytes = self.cfg.stored_kv_bytes(computed);
+            self.instances[i].plan.d2h_transfer(now, bytes);
+        }
+        self.instances[i].exec.batch.push(job_idx);
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::prefill_done(self.sid(session).0, ttft, now),
+        );
+    }
+
+    /// Retires a finished job on `inst`: saves KV to the shared store,
+    /// updates the session, schedules the next turn.
+    fn retire_job(&mut self, now: Time, inst: u32, job_idx: usize, q: &mut EventQueue<Ev>) {
+        self.last_completion = now;
+        self.instances[inst as usize].last_completion = now;
+        let job = &self.jobs[job_idx];
+        let (session, measured, resp) = (job.session, job.measured, job.resp_tokens);
+        let new_hist = job.hist_tokens + job.user_tokens + job.resp_tokens;
+        if measured {
+            self.report
+                .decode_latency
+                .push((now - job.decode_start).as_secs_f64());
+        }
+        // Save the whole session's KV back to the store; only the decode
+        // phase's fresh tokens still need the device→host hop (the prefill
+        // share was flushed at prefill completion). Demotions the save
+        // triggers charge their victim's owning instance.
+        if self.cfg.mode != Mode::Recompute {
+            let sid = self.sid(session);
+            let total_bytes = self.cfg.stored_kv_bytes(new_hist);
+            let view = self.merged_view();
+            let store = self.store.as_mut().expect("store exists outside RE");
+            let (transfers, _saved) = store.save(sid, total_bytes, new_hist, now, &view);
+            for t in &transfers {
+                let owner = view.owner(t.session).unwrap_or(inst) as usize;
+                self.instances[owner]
+                    .plan
+                    .charge(now, std::slice::from_ref(t));
+            }
+            self.pump_store_events(inst);
+            let done = self.instances[inst as usize]
+                .plan
+                .d2h_transfer(now, self.cfg.stored_kv_bytes(resp));
+            if !self.cfg.async_save {
+                // Synchronous saving blocks the GPU until the write-back
+                // completes (Fig 8a).
+                self.report.stall_secs += done.saturating_since(now).as_secs_f64();
+            }
+        }
+        // Advance the session.
+        let st = &mut self.sessions[session];
+        st.hist_tokens = new_hist;
+        st.next_turn += 1;
+        let spec = &self.trace.sessions[st.spec];
+        if st.next_turn < spec.turns.len() {
+            let think = spec.turns[st.next_turn - 1].think;
+            q.push(now + think, Ev::TurnArrival(session));
+        } else {
+            self.sessions_remaining -= 1;
+            self.report.sessions_done.incr();
+        }
+        self.instances[inst as usize].turns_done += 1;
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::retired(self.sid(session).0, new_hist, now),
+        );
+        // Space freed by the save/demotions may unblock prefetches.
+        self.run_prefetch(now, inst);
+    }
+
+    /// Picks instance `inst`'s next action after the previous one
+    /// completed.
+    fn schedule_next(&mut self, now: Time, inst: u32, q: &mut EventQueue<Ev>) {
+        let i = inst as usize;
+        // A paused chunked prefill resumes before anything else.
+        if let Some((job, chunks_left, chunk_dur)) = self.instances[i].exec.pending_chunk.take() {
+            self.issue_chunk(now, q, inst, job, chunks_left.saturating_sub(1), chunk_dur);
+            return;
+        }
+        // Admission first: prefill of waiting jobs blocks decoding, which
+        // is the continuous-batching behaviour the paper describes.
+        if !self.instances[i].sched.is_empty()
+            && self.instances[i].exec.batch.len() < self.cfg.max_batch
+        {
+            match self.try_admit(now, inst, q) {
+                Ok(()) => return,
+                Err(ready_at) => {
+                    if self.instances[i].exec.batch.is_empty() {
+                        // Nothing else to run: stall until ready.
+                        self.instances[i].exec.gpu_action = Some(Action::Sleep);
+                        self.report.stall_secs += (ready_at - now).as_secs_f64();
+                        q.push(ready_at, Ev::GpuTick(inst));
+                        return;
+                    }
+                    // Fall through to decode while the buffer drains.
+                }
+            }
+        }
+        if !self.instances[i].exec.batch.is_empty() {
+            let dur = self.instances[i]
+                .exec
+                .decode_iter_dur(&self.cfg, &self.jobs);
+            self.report
+                .record_decode_iter(dur.as_secs_f64(), Some(now.as_secs_f64()));
+            self.instances[i].exec.gpu_action = Some(Action::Decode);
+            q.push(now + dur, Ev::GpuTick(inst));
+            return;
+        }
+        // Idle: a future TurnArrival will wake this instance.
+        self.instances[i].exec.gpu_action = None;
+    }
+}
+
+impl<O: EngineObserver> World for ClusterSim<O> {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Time, ev: Ev, q: &mut EventQueue<Ev>) {
+        match ev {
+            Ev::TurnArrival(session) => self.on_turn_arrival(now, session, q),
+            Ev::Sweep => {
+                if let Some(store) = &mut self.store {
+                    store.expire(now);
+                }
+                self.pump_store_events(0);
+                if self.sessions_remaining > 0 {
+                    q.push(now + Dur::from_secs_f64(30.0), Ev::Sweep);
+                }
+            }
+            Ev::GpuTick(inst) => {
+                let i = inst as usize;
+                match self.instances[i].exec.gpu_action.take() {
+                    Some(Action::Prefill { job }) => self.complete_prefill(now, inst, job),
+                    Some(Action::PrefillChunk {
+                        job,
+                        chunks_left,
+                        chunk_dur,
+                    }) => {
+                        if chunks_left == 0 {
+                            self.complete_prefill(now, inst, job);
+                        } else if self.instances[i].exec.batch.is_empty() {
+                            // Nothing to piggyback: run the next slice.
+                            self.issue_chunk(now, q, inst, job, chunks_left - 1, chunk_dur);
+                            return;
+                        } else {
+                            // Let one decode iteration through, then
+                            // resume (schedule_next picks it back up). Its
+                            // timeline span is covered by the admission.
+                            self.instances[i].exec.pending_chunk =
+                                Some((job, chunks_left, chunk_dur));
+                            let dur = self.instances[i]
+                                .exec
+                                .decode_iter_dur(&self.cfg, &self.jobs);
+                            self.report.record_decode_iter(dur.as_secs_f64(), None);
+                            self.instances[i].exec.gpu_action = Some(Action::Decode);
+                            q.push(now + dur, Ev::GpuTick(inst));
+                            return;
+                        }
+                    }
+                    Some(Action::Decode) => {
+                        let finished = self.instances[i].exec.advance_decode(&mut self.jobs);
+                        for j in finished {
+                            self.retire_job(now, inst, j, q);
+                        }
+                    }
+                    Some(Action::Sleep) | None => {}
+                }
+                self.schedule_next(now, inst, q);
+            }
+        }
+    }
+}

@@ -385,6 +385,22 @@ pub trait EngineObserver {
     /// [`wants_store_events`](EngineObserver::wants_store_events) is
     /// `true`.
     fn on_store_event(&mut self, _ev: StoreEvent) {}
+
+    /// Instance-tagged form of [`on_event`](EngineObserver::on_event):
+    /// the cluster orchestrator reports which serving instance committed
+    /// the step. Defaults to dropping the tag, so single-instance
+    /// observers need not care.
+    fn on_instance_event(&mut self, _instance: u32, ev: EngineEvent) {
+        self.on_event(ev);
+    }
+
+    /// Instance-tagged form of
+    /// [`on_store_event`](EngineObserver::on_store_event): `instance` is
+    /// the serving instance whose pipeline step drained the store event.
+    /// Defaults to dropping the tag.
+    fn on_instance_store_event(&mut self, _instance: u32, ev: StoreEvent) {
+        self.on_store_event(ev);
+    }
 }
 
 /// The default observer: discards everything, costs nothing.
@@ -538,7 +554,10 @@ mod tests {
         });
         assert_eq!(log.events().len(), 2);
         assert_eq!(log.events()[0].session(), 3);
-        assert!(matches!(log.events()[1], EngineEvent::Retired { new_hist: 42, .. }));
+        assert!(matches!(
+            log.events()[1],
+            EngineEvent::Retired { new_hist: 42, .. }
+        ));
     }
 
     #[test]
@@ -567,8 +586,18 @@ mod tests {
             ));
         }
         // A different session breaks the run.
-        log.on_event(EngineEvent::deferred(2, Time::from_millis(41), Time::from_millis(40)));
-        log.on_event(EngineEvent::admitted(1, 0, 100, false, Time::from_millis(50)));
+        log.on_event(EngineEvent::deferred(
+            2,
+            Time::from_millis(41),
+            Time::from_millis(40),
+        ));
+        log.on_event(EngineEvent::admitted(
+            1,
+            0,
+            100,
+            false,
+            Time::from_millis(50),
+        ));
         assert_eq!(log.entries().len(), 4);
         assert!(matches!(
             log.entries()[1],
@@ -582,7 +611,11 @@ mod tests {
         ));
         assert!(matches!(
             log.entries()[2],
-            LogEntry::DeferredRun { session: 2, count: 1, .. }
+            LogEntry::DeferredRun {
+                session: 2,
+                count: 1,
+                ..
+            }
         ));
         assert_eq!(log.deferred_total(), 4);
     }

@@ -44,6 +44,9 @@ pub enum Action {
 pub struct Job {
     /// Owning session (index into the simulator's session table).
     pub session: usize,
+    /// Serving instance the router assigned this turn to (always 0 on a
+    /// single-instance engine).
+    pub instance: u32,
     /// When the turn arrived.
     pub arrival: Time,
     /// Prompt tokens presented this turn (clamped to the window).
@@ -74,9 +77,12 @@ pub struct Job {
 }
 
 impl Job {
-    /// A fresh job for one arriving turn, not yet consulted or admitted.
+    /// A fresh job for one arriving turn on `instance`, not yet consulted
+    /// or admitted.
+    #[allow(clippy::too_many_arguments)]
     pub fn for_turn(
         session: usize,
+        instance: u32,
         arrival: Time,
         user_tokens: u64,
         resp_tokens: u64,
@@ -85,6 +91,7 @@ impl Job {
     ) -> Self {
         Job {
             session,
+            instance,
             arrival,
             user_tokens,
             resp_tokens,
@@ -240,6 +247,7 @@ mod tests {
     fn job(resp: u64) -> Job {
         Job {
             session: 0,
+            instance: 0,
             arrival: Time::ZERO,
             user_tokens: 10,
             resp_tokens: resp,
@@ -260,10 +268,19 @@ mod tests {
     fn plan_prefill_only_chunks_past_the_threshold() {
         let total = Dur::from_secs_f64(1.0);
         assert_eq!(plan_prefill(None, 10_000, total), PrefillIssue::Monolithic);
-        assert_eq!(plan_prefill(Some(256), 200, total), PrefillIssue::Monolithic);
-        assert_eq!(plan_prefill(Some(256), 256, total), PrefillIssue::Monolithic);
+        assert_eq!(
+            plan_prefill(Some(256), 200, total),
+            PrefillIssue::Monolithic
+        );
+        assert_eq!(
+            plan_prefill(Some(256), 256, total),
+            PrefillIssue::Monolithic
+        );
         match plan_prefill(Some(256), 1000, total) {
-            PrefillIssue::Chunked { n_chunks, chunk_dur } => {
+            PrefillIssue::Chunked {
+                n_chunks,
+                chunk_dur,
+            } => {
                 assert_eq!(n_chunks, 4);
                 assert_eq!(chunk_dur, total / 4);
             }

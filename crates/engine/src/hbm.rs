@@ -69,6 +69,7 @@ mod tests {
     fn job(hist: u64, user: u64, resp: u64) -> Job {
         Job {
             session: 0,
+            instance: 0,
             arrival: Time::ZERO,
             user_tokens: user,
             resp_tokens: resp,
@@ -91,10 +92,7 @@ mod tests {
         let cluster = ClusterSpec::paper_testbed().with_gpus(4);
         let ledger = HbmLedger::new(&cluster, &model);
         let total = cluster.total_hbm_bytes();
-        assert_eq!(
-            ledger.budget(),
-            total - model.weight_bytes() - total / 10
-        );
+        assert_eq!(ledger.budget(), total - model.weight_bytes() - total / 10);
     }
 
     #[test]

@@ -21,29 +21,41 @@
 //!   continuous decode batch.
 //! - [`overlap`]: the layer-wise pre-loading and asynchronous saving
 //!   timing models (§3.2, Figures 6–8, ablated in Figures 18–20).
-//! - [`ServingSim`] / [`run_trace`]: the orchestrator dispatching
-//!   closed-loop multi-turn sessions over those stages; [`run_traced`]
-//!   additionally collects the [`EngineEvent`] stream through the
-//!   [`EngineObserver`] hook.
-//! - [`RunReport`]: every metric the paper's evaluation reports.
+//! - [`ServingSim`] / [`run_trace`]: the single-instance orchestrator
+//!   dispatching closed-loop multi-turn sessions over those stages;
+//!   [`run_traced`] additionally collects the [`EngineEvent`] stream
+//!   through the [`EngineObserver`] hook.
+//! - [`ClusterSim`] / [`run_cluster`]: the N-instance generalization —
+//!   per-instance [`EngineInstance`] pipelines behind a [`router`]
+//!   ([`RouterKind`]), all sharing one AttentionStore through a merged,
+//!   owner-attributed queue view. [`ServingSim`] is its single-instance
+//!   facade.
+//! - [`RunReport`] / [`ClusterReport`]: every metric the paper's
+//!   evaluation reports, plus per-instance breakdowns.
 
+mod cluster;
 mod config;
 pub mod events;
 pub mod exec;
 pub mod hbm;
+mod instance;
 pub mod overlap;
 mod report;
+pub mod router;
 pub mod scheduler;
 mod serving;
 pub mod transfer;
 pub mod truncate;
 
+pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Ev};
 pub use config::{EngineConfig, Medium, Mode};
 pub use events::{
     CoalescedLog, ConsultClass, EngineEvent, EngineObserver, EventLog, LogEntry, NullObserver,
 };
+pub use instance::{EngineInstance, InstanceReport};
 pub use report::RunReport;
-pub use serving::{Ev, ServingSim};
+pub use router::{InstanceLoad, LeastLoaded, RouterKind, RouterPolicy, SessionAffinity};
+pub use serving::ServingSim;
 
 use models::ModelSpec;
 use workload::Trace;
@@ -87,6 +99,28 @@ pub fn run_with_observer<O: EngineObserver>(
 pub fn run_traced(cfg: EngineConfig, trace: Trace) -> (RunReport, Vec<EngineEvent>) {
     let (report, log) = run_with_observer(cfg, trace, EventLog::new());
     (report, log.into_events())
+}
+
+/// Runs a cluster of identical instances sharing one AttentionStore and
+/// returns the aggregate-plus-per-instance report. With
+/// `n_instances == 1` this is exactly [`run_trace`].
+pub fn run_cluster(cfg: ClusterConfig, trace: Trace) -> ClusterReport {
+    ClusterSim::run(cfg, trace)
+}
+
+/// Runs a cluster with `obs` attached, returning the report and the
+/// observer back. The observer's per-instance hooks
+/// ([`EngineObserver::on_instance_event`] /
+/// [`EngineObserver::on_instance_store_event`]) see which instance each
+/// step ran on.
+pub fn run_cluster_with_observer<O: EngineObserver>(
+    cfg: ClusterConfig,
+    trace: Trace,
+    obs: O,
+) -> (ClusterReport, O) {
+    let mut world = ClusterSim::with_observer(cfg, trace, obs);
+    world.drive();
+    world.finish()
 }
 
 /// Convenience: the paper's end-to-end run for one model and mode.

@@ -8,7 +8,8 @@
 //! rest of the pipeline.
 //!
 //! The module also owns the two *pure* admission predicates the
-//! orchestrator sequences in [`try_admit`](crate::ServingSim) —
+//! orchestrator sequences in admission ([`ClusterSim`](crate::ClusterSim)
+//! / [`ServingSim`](crate::ServingSim)) —
 //! data-readiness and HBM residency — and the §3.3 look-ahead window
 //! arithmetic (`L_pw = C_mem / S_kv`, `L_ev = (C_mem + C_disk) / S_kv`)
 //! that sizes the store's scheduler-aware prefetch and eviction horizons.
@@ -31,9 +32,20 @@ pub trait SchedulerPolicy {
     fn is_empty(&self) -> bool;
     /// Number of waiting jobs.
     fn len(&self) -> usize;
-    /// The queued jobs in admission order (head first). Feeds the store's
-    /// scheduler-aware look-ahead windows.
-    fn snapshot(&self) -> Vec<usize>;
+    /// Appends the queued jobs in admission order (head first) to `out`
+    /// without allocating. Feeds the store's scheduler-aware look-ahead
+    /// windows; the orchestrator reuses one scratch buffer across every
+    /// consultation (and, in a cluster, across every instance's queue).
+    fn snapshot_into(&self, out: &mut Vec<usize>);
+    /// The queued jobs in admission order (head first), as a fresh `Vec`.
+    /// Convenience over [`snapshot_into`](SchedulerPolicy::snapshot_into)
+    /// for tests and one-off inspection; hot paths should use the
+    /// buffer-reusing form.
+    fn snapshot(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        self.snapshot_into(&mut out);
+        out
+    }
 }
 
 /// First-come-first-served: the paper's admission order.
@@ -70,8 +82,8 @@ impl SchedulerPolicy for Fcfs {
         self.queue.len()
     }
 
-    fn snapshot(&self) -> Vec<usize> {
-        self.queue.iter().copied().collect()
+    fn snapshot_into(&self, out: &mut Vec<usize>) {
+        out.extend(self.queue.iter().copied());
     }
 }
 
@@ -127,6 +139,10 @@ mod tests {
         assert_eq!(q.front(), Some(3));
         assert_eq!(q.pop_front(), Some(3));
         assert_eq!(q.snapshot(), vec![1, 4]);
+        // The allocation-free form appends into a caller-owned buffer.
+        let mut buf = vec![9];
+        q.snapshot_into(&mut buf);
+        assert_eq!(buf, vec![9, 1, 4]);
     }
 
     #[test]

@@ -1,76 +1,31 @@
-//! The discrete-event serving orchestrator.
+//! The single-engine serving facade.
 //!
-//! [`ServingSim`] is a thin event dispatcher over the staged pipeline;
-//! the stages own the mechanics:
+//! [`ServingSim`] is the original one-GPU entry point, now a thin facade
+//! over [`ClusterSim`](crate::ClusterSim) with a single instance and the
+//! session-affinity router (under which every turn routes to instance 0,
+//! reproducing the pre-cluster engine operation-for-operation — the
+//! golden `RunReport` fixtures pin this byte-for-byte). The staged
+//! pipeline the orchestrator sequences lives in the sibling modules:
 //!
 //! - [`scheduler`](crate::scheduler) — the job queue
-//!   ([`SchedulerPolicy`], FCFS by default) and the pure admission
-//!   predicates (data readiness, HBM residency);
+//!   ([`SchedulerPolicy`](crate::scheduler::SchedulerPolicy), FCFS by
+//!   default) and the pure admission predicates;
 //! - [`transfer`](crate::transfer) — the four bandwidth links, store
 //!   consultation, write-buffer gating and fast-tier staging times;
 //! - [`hbm`](crate::hbm) — the live-KV budget and high-water ledger;
 //! - [`truncate`](crate::truncate) — the context-overflow policy;
 //! - [`exec`](crate::exec) — prefill/decode timing, chunked-prefill
 //!   issue and the continuous decode batch.
-//!
-//! The orchestrator sequences those stages per event (closed-loop turn
-//! arrivals, GPU ticks, TTL sweeps), keeps the session table and job
-//! arena, and routes outcomes into the [`RunReport`] recorders, so a
-//! stage never sees the metrics it influences. An [`EngineObserver`]
-//! watches every committed step; [`run_traced`](crate::run_traced)
-//! collects the stream.
 
-use sim::{Dur, EventQueue, Time, World};
-use store::{AttentionStore, QueueView, SessionId, StoreEvent, StorePlanner, TransferDir};
 use workload::Trace;
 
-use crate::events::{ConsultClass, EngineEvent, EngineObserver, NullObserver};
-use crate::exec::{self, Action, Executor, Job, PrefillIssue};
-use crate::hbm::HbmLedger;
-use crate::scheduler::{self, Fcfs, SchedulerPolicy};
-use crate::transfer::TransferPlan;
-use crate::truncate;
-use crate::{EngineConfig, Mode, RunReport};
+use crate::cluster::{ClusterConfig, ClusterSim};
+use crate::events::{EngineObserver, NullObserver};
+use crate::{EngineConfig, RunReport};
 
-/// Simulation events (public because [`ServingSim`] implements
-/// [`World<Event = Ev>`]; not constructed by users directly).
-#[derive(Debug, Clone, Copy)]
-pub enum Ev {
-    /// A session's next turn arrived (the user hit enter).
-    TurnArrival(usize),
-    /// The GPU finished its current action (or should wake up).
-    GpuTick,
-    /// Periodic TTL sweep.
-    Sweep,
-}
-
-/// Per-session progress.
-#[derive(Debug)]
-struct SessionState {
-    /// Index into `trace.sessions`.
-    spec: usize,
-    /// Next turn index to arrive.
-    next_turn: usize,
-    /// Historical context tokens visible to the model (post-truncation).
-    hist_tokens: u64,
-}
-
-/// The serving world: event dispatch over the staged pipeline.
+/// The single-instance serving world: a one-GPU cluster.
 pub struct ServingSim<O: EngineObserver = NullObserver> {
-    cfg: EngineConfig,
-    trace: Trace,
-    sessions: Vec<SessionState>,
-    jobs: Vec<Job>,
-    sched: Box<dyn SchedulerPolicy>,
-    exec: Executor,
-    store: Option<Box<dyn StorePlanner>>,
-    plan: TransferPlan,
-    hbm: HbmLedger,
-    turn_arrivals: usize,
-    sessions_remaining: usize,
-    last_completion: Time,
-    report: RunReport,
-    obs: O,
+    inner: ClusterSim<O>,
 }
 
 impl ServingSim<NullObserver> {
@@ -90,473 +45,19 @@ impl ServingSim<NullObserver> {
 impl<O: EngineObserver> ServingSim<O> {
     /// Builds a simulator that reports every pipeline step to `obs`.
     pub fn with_observer(cfg: EngineConfig, trace: Trace, obs: O) -> Self {
-        let mut store: Option<Box<dyn StorePlanner>> = match cfg.mode {
-            Mode::Recompute => None,
-            _ => Some(Box::new(AttentionStore::new(cfg.store.clone()))),
-        };
-        if let Some(s) = &mut store {
-            // Store tracing is buffered-and-drained, never behavioral:
-            // only turn it on for observers that will consume the stream.
-            s.set_tracing(obs.wants_store_events());
-        }
-        let sessions = (0..trace.sessions.len())
-            .map(|i| SessionState {
-                spec: i,
-                next_turn: 0,
-                hist_tokens: 0,
-            })
-            .collect();
-        let sessions_remaining = trace.sessions.len();
-        let report = RunReport::new(cfg.model.name, cfg.mode);
-        let plan = TransferPlan::new(&cfg);
-        let hbm = HbmLedger::new(&cfg.cluster, &cfg.model);
         ServingSim {
-            cfg,
-            trace,
-            sessions,
-            jobs: Vec::new(),
-            sched: Box::new(Fcfs::new()),
-            exec: Executor::new(),
-            store,
-            plan,
-            hbm,
-            turn_arrivals: 0,
-            sessions_remaining,
-            last_completion: Time::ZERO,
-            report,
-            obs,
+            inner: ClusterSim::with_observer(ClusterConfig::single(cfg), trace, obs),
         }
     }
 
     /// Feeds the trace's session arrivals and runs the event loop dry.
     pub(crate) fn drive(&mut self) {
-        let mut q = EventQueue::new();
-        for (i, s) in self.trace.sessions.iter().enumerate() {
-            q.push(s.arrival, Ev::TurnArrival(i));
-        }
-        if self.cfg.store.ttl.is_some() && self.cfg.mode != Mode::Recompute {
-            q.push(Time::from_secs_f64(30.0), Ev::Sweep);
-        }
-        sim::run(self, &mut q, None);
+        self.inner.drive();
     }
 
     /// Finalizes the report; hands back the observer too.
-    pub(crate) fn finish(mut self) -> (RunReport, O) {
-        self.report.makespan_secs = self.last_completion.as_secs_f64();
-        self.report.h2d_bytes = self.plan.h2d_bytes();
-        self.report.d2h_bytes = self.plan.d2h_bytes();
-        self.report.slow_read_bytes = self.plan.slow_read_bytes();
-        self.report.slow_write_bytes = self.plan.slow_write_bytes();
-        self.report.hbm_high_water_bytes = self.hbm.high_water();
-        if let Some(store) = &self.store {
-            self.report.store_stats = *store.stats();
-        }
-        (self.report, self.obs)
-    }
-
-    /// External id of a session-table row.
-    fn sid(&self, session: usize) -> SessionId {
-        SessionId(self.trace.sessions[self.sessions[session].spec].id)
-    }
-
-    /// Session ids of the waiting jobs, queue order.
-    fn queue_sessions(&self) -> Vec<SessionId> {
-        self.sched
-            .snapshot()
-            .into_iter()
-            .map(|j| self.sid(self.jobs[j].session))
-            .collect()
-    }
-
-    /// Forwards buffered store events to an opted-in observer, keeping
-    /// both streams in one commit order.
-    fn pump_store_events(&mut self) {
-        if !self.obs.wants_store_events() {
-            return;
-        }
-        if let Some(store) = &mut self.store {
-            for ev in store.drain_events() {
-                self.obs.on_store_event(ev);
-            }
-        }
-    }
-
-    /// Runs the scheduler-aware prefetcher over the current queue.
-    fn run_prefetch(&mut self, now: Time) {
-        let order = self.queue_sessions();
-        let Some(store) = &mut self.store else {
-            return;
-        };
-        let transfers = store.prefetch(now, &QueueView::new(&order));
-        self.plan.charge(now, &transfers);
-        self.pump_store_events();
-        if self.obs.wants_store_events() {
-            // The store planned the promotions; only the transfer stage
-            // knows when the slow-read link completes them.
-            for t in &transfers {
-                if t.dir == TransferDir::DiskToDram {
-                    let at = self.plan.fast_ready(t.session.0).unwrap_or(now);
-                    self.obs.on_store_event(StoreEvent::PrefetchCompleted {
-                        session: t.session.0,
-                        at,
-                    });
-                }
-            }
-        }
-    }
-
-    /// Applies context-window truncation at turn arrival. Returns the new
-    /// history length.
-    fn apply_truncation(&mut self, now: Time, session: usize, user: u64, measured: bool) -> u64 {
-        let window = self.cfg.model.context_window as u64;
-        let hist = self.sessions[session].hist_tokens;
-        let out = truncate::truncate_history(window, self.cfg.truncation_ratio, hist, user);
-        if !out.truncated {
-            return hist;
-        }
-        if measured {
-            self.report.truncations.incr();
-        }
-        let sid = self.sid(session);
-        let bytes = self.cfg.stored_kv_bytes(out.new_hist);
-        let store = self.store.as_mut().map(|s| s.as_mut() as &mut dyn StorePlanner);
-        truncate::apply_store_effect(self.cfg.mode, store, sid, bytes, out.new_hist);
-        self.sessions[session].hist_tokens = out.new_hist;
-        self.obs
-            .on_event(EngineEvent::truncated(sid.0, hist, out.new_hist, now));
-        out.new_hist
-    }
-
-    /// Handles a turn arrival: creates the job, queues it, prefetches.
-    fn on_turn_arrival(&mut self, now: Time, session: usize, q: &mut EventQueue<Ev>) {
-        let arrival_index = self.turn_arrivals;
-        self.turn_arrivals += 1;
-        let measured = arrival_index >= self.cfg.warmup_turns;
-        let spec = &self.trace.sessions[self.sessions[session].spec];
-        let turn_idx = self.sessions[session].next_turn;
-        let turn = &spec.turns[turn_idx];
-        let user = (turn.user_tokens as u64).min(self.cfg.model.context_window as u64);
-        let resp = turn.resp_tokens as u64;
-        self.obs
-            .on_event(EngineEvent::turn_arrived(self.sid(session).0, turn_idx, now));
-        let hist = self.apply_truncation(now, session, user, measured);
-        self.jobs
-            .push(Job::for_turn(session, now, user, resp, hist, measured));
-        self.sched.enqueue(self.jobs.len() - 1);
-        self.run_prefetch(now);
-        if self.exec.gpu_action.is_none() {
-            self.exec.gpu_action = Some(Action::Sleep);
-            q.push(now, Ev::GpuTick);
-        }
-    }
-
-    /// Consults the store for the head job and classifies the access.
-    /// Returns (reused tokens, when the KV is staged in the fast tier).
-    fn consult_store(&mut self, now: Time, job_idx: usize) -> (u64, Time) {
-        let job = &self.jobs[job_idx];
-        let (session, hist, measured) = (job.session, job.hist_tokens, job.measured);
-        let sid = self.sid(session);
-        if hist == 0 {
-            self.obs
-                .on_event(EngineEvent::consulted(sid.0, ConsultClass::NoHistory, 0, now));
-            return (0, now);
-        }
-        if measured {
-            self.report.resumption_turns.incr();
-        }
-        if self.store.is_none() {
-            // RE: always recompute.
-            self.report.record_consult(ConsultClass::NoStore, measured);
-            self.obs
-                .on_event(EngineEvent::consulted(sid.0, ConsultClass::NoStore, 0, now));
-            return (0, now);
-        }
-        let order = self.queue_sessions();
-        let view = QueueView::new(&order);
-        let cfg = &self.cfg;
-        let store = self.store.as_mut().expect("checked above");
-        let consult = self.plan.consult(now, store.as_mut(), sid, hist, &view, |tokens| {
-            cfg.stored_kv_bytes(tokens)
-        });
-        self.pump_store_events();
-        self.report.record_consult(consult.class, measured);
-        self.obs
-            .on_event(EngineEvent::consulted(sid.0, consult.class, consult.reused, now));
-        (consult.reused, consult.staged)
-    }
-
-    /// Starts the prefill of the queue's head job. On `Err` the job
-    /// cannot start at `now` (data or buffer not ready) and the value is
-    /// the earliest time it could.
-    fn try_admit(&mut self, now: Time, q: &mut EventQueue<Ev>) -> Result<(), Time> {
-        let job_idx = self.sched.front().expect("caller checked");
-        let gate = self.plan.write_gate(now);
-        if gate > now {
-            if self.obs.wants_store_events() {
-                let sid = self.sid(self.jobs[job_idx].session);
-                self.obs.on_store_event(StoreEvent::WriteBufferStall {
-                    session: sid.0,
-                    until: gate,
-                    at: now,
-                });
-            }
-            return Err(self.defer(now, job_idx, gate));
-        }
-        // Consult the store the first time this job reaches the head; the
-        // outcome (hit classification, pinning, demand fetch) sticks.
-        let (reused, staged) = match self.jobs[job_idx].consulted {
-            Some(r) => r,
-            None => {
-                let r = self.consult_store(now, job_idx);
-                self.jobs[job_idx].consulted = Some(r);
-                r
-            }
-        };
-        // KV still staging into the fast tier: decode meanwhile.
-        if let Some(until) = scheduler::data_ready_defer(now, staged, self.exec.batch.is_empty()) {
-            return Err(self.defer(now, job_idx, until));
-        }
-        // HBM residency (§2.4, Challenge 2): the new job's full context
-        // plus its response must fit beside the decoding batch's live KV.
-        let job = &self.jobs[job_idx];
-        let job_peak = self
-            .cfg
-            .model
-            .kv_bytes(job.hist_tokens + job.user_tokens + job.resp_tokens);
-        let reserved = self.hbm.reserved_kv(&self.cfg.model, &self.exec.batch, &self.jobs);
-        if !scheduler::hbm_fits(reserved, job_peak, self.hbm.budget(), self.exec.batch.is_empty()) {
-            // Decode until a job retires and frees HBM.
-            return Err(self.defer(now, job_idx, now));
-        }
-        self.sched.pop_front();
-        let job = &self.jobs[job_idx];
-        let computed = job.hist_tokens - reused + job.user_tokens;
-        let (total, comp, stall) =
-            exec::prefill_timing(&self.cfg, &mut self.plan, now, reused, computed, staged);
-        let wait = staged.saturating_since(now);
-        let total = total.max(wait + comp);
-        self.hbm.note_reserved(reserved + job_peak);
-        let sid = self.sid(self.jobs[job_idx].session);
-        let job = &mut self.jobs[job_idx];
-        job.reused_tokens = reused;
-        job.computed_tokens = computed;
-        job.admitted_at = now;
-        job.prefill_secs = comp.as_secs_f64();
-        self.report.record_admission(
-            now.as_secs_f64(),
-            comp.as_secs_f64(),
-            total.as_secs_f64(),
-            (stall.max(wait)).as_secs_f64(),
-            job.measured,
-            job.hist_tokens + job.user_tokens,
-            computed,
-        );
-        let chunked = match exec::plan_prefill(self.cfg.chunked_prefill_tokens, computed, total) {
-            PrefillIssue::Chunked { n_chunks, chunk_dur } => {
-                self.issue_chunk(now, q, job_idx, (n_chunks - 1) as u32, chunk_dur);
-                true
-            }
-            PrefillIssue::Monolithic => {
-                self.exec.gpu_action = Some(Action::Prefill { job: job_idx });
-                q.push(now + total, Ev::GpuTick);
-                false
-            }
-        };
-        self.obs
-            .on_event(EngineEvent::admitted(sid.0, reused, computed, chunked, now));
-        self.obs.on_event(EngineEvent::hbm_reserved(
-            sid.0,
-            reserved + job_peak,
-            self.hbm.budget(),
-            now,
-        ));
-        // The queue head moved: give the prefetcher a chance to stage the
-        // next jobs' KV while this prefill runs.
-        self.run_prefetch(now);
-        Ok(())
-    }
-
-    /// Reports a deferred admission to the observer; returns `until`.
-    fn defer(&mut self, now: Time, job_idx: usize, until: Time) -> Time {
-        let sid = self.sid(self.jobs[job_idx].session);
-        self.obs.on_event(EngineEvent::deferred(sid.0, until, now));
-        until
-    }
-
-    /// Starts the next slice of a paused chunked prefill.
-    fn issue_chunk(
-        &mut self,
-        now: Time,
-        q: &mut EventQueue<Ev>,
-        job: usize,
-        chunks_left: u32,
-        chunk_dur: Dur,
-    ) {
-        self.exec.gpu_action = Some(Action::PrefillChunk {
-            job,
-            chunks_left,
-            chunk_dur,
-        });
-        q.push(now + chunk_dur, Ev::GpuTick);
-    }
-
-    /// Completes a prefill: records TTFT (admission → first token; queue
-    /// wait is reported separately), flushes the prefill-phase KV through
-    /// the write stream (§3.2.2), moves the job into the decode batch.
-    fn complete_prefill(&mut self, now: Time, job_idx: usize) {
-        let job = &mut self.jobs[job_idx];
-        job.ctx_tokens = job.hist_tokens + job.user_tokens;
-        job.decode_start = now;
-        let (session, measured, computed) = (job.session, job.measured, job.computed_tokens);
-        let ttft = (now - job.admitted_at).as_secs_f64();
-        let queue_wait = (job.admitted_at - job.arrival).as_secs_f64();
-        self.report.record_first_token(measured, ttft, queue_wait);
-        if self.cfg.mode != Mode::Recompute {
-            let bytes = self.cfg.stored_kv_bytes(computed);
-            self.plan.d2h_transfer(now, bytes);
-        }
-        self.exec.batch.push(job_idx);
-        self.obs
-            .on_event(EngineEvent::prefill_done(self.sid(session).0, ttft, now));
-    }
-
-    /// Retires a finished job: saves KV, updates the session, schedules
-    /// the next turn.
-    fn retire_job(&mut self, now: Time, job_idx: usize, q: &mut EventQueue<Ev>) {
-        self.last_completion = now;
-        let job = &self.jobs[job_idx];
-        let (session, measured, resp) = (job.session, job.measured, job.resp_tokens);
-        let new_hist = job.hist_tokens + job.user_tokens + job.resp_tokens;
-        if measured {
-            self.report
-                .decode_latency
-                .push((now - job.decode_start).as_secs_f64());
-        }
-        // Save the whole session's KV back to the store; only the decode
-        // phase's fresh tokens still need the device→host hop (the prefill
-        // share was flushed at prefill completion).
-        if self.cfg.mode != Mode::Recompute {
-            let sid = self.sid(session);
-            let total_bytes = self.cfg.stored_kv_bytes(new_hist);
-            let order = self.queue_sessions();
-            let view = QueueView::new(&order);
-            let store = self.store.as_mut().expect("store exists outside RE");
-            let (transfers, _saved) = store.save(sid, total_bytes, new_hist, now, &view);
-            self.plan.charge(now, &transfers);
-            self.pump_store_events();
-            let done = self.plan.d2h_transfer(now, self.cfg.stored_kv_bytes(resp));
-            if !self.cfg.async_save {
-                // Synchronous saving blocks the GPU until the write-back
-                // completes (Fig 8a).
-                self.report.stall_secs += done.saturating_since(now).as_secs_f64();
-            }
-        }
-        // Advance the session.
-        let st = &mut self.sessions[session];
-        st.hist_tokens = new_hist;
-        st.next_turn += 1;
-        let spec = &self.trace.sessions[st.spec];
-        if st.next_turn < spec.turns.len() {
-            let think = spec.turns[st.next_turn - 1].think;
-            q.push(now + think, Ev::TurnArrival(session));
-        } else {
-            self.sessions_remaining -= 1;
-            self.report.sessions_done.incr();
-        }
-        self.obs
-            .on_event(EngineEvent::retired(self.sid(session).0, new_hist, now));
-        // Space freed by the save/demotions may unblock prefetches.
-        self.run_prefetch(now);
-    }
-
-    /// Picks the GPU's next action after the previous one completed.
-    fn schedule_next(&mut self, now: Time, q: &mut EventQueue<Ev>) {
-        // A paused chunked prefill resumes before anything else.
-        if let Some((job, chunks_left, chunk_dur)) = self.exec.pending_chunk.take() {
-            self.issue_chunk(now, q, job, chunks_left.saturating_sub(1), chunk_dur);
-            return;
-        }
-        // Admission first: prefill of waiting jobs blocks decoding, which
-        // is the continuous-batching behaviour the paper describes.
-        if !self.sched.is_empty() && self.exec.batch.len() < self.cfg.max_batch {
-            match self.try_admit(now, q) {
-                Ok(()) => return,
-                Err(ready_at) => {
-                    if self.exec.batch.is_empty() {
-                        // Nothing else to run: stall until ready.
-                        self.exec.gpu_action = Some(Action::Sleep);
-                        self.report.stall_secs += (ready_at - now).as_secs_f64();
-                        q.push(ready_at, Ev::GpuTick);
-                        return;
-                    }
-                    // Fall through to decode while the buffer drains.
-                }
-            }
-        }
-        if !self.exec.batch.is_empty() {
-            let dur = self.exec.decode_iter_dur(&self.cfg, &self.jobs);
-            self.report
-                .record_decode_iter(dur.as_secs_f64(), Some(now.as_secs_f64()));
-            self.exec.gpu_action = Some(Action::Decode);
-            q.push(now + dur, Ev::GpuTick);
-            return;
-        }
-        // Idle: a future TurnArrival will wake the GPU.
-        self.exec.gpu_action = None;
-    }
-}
-
-impl<O: EngineObserver> World for ServingSim<O> {
-    type Event = Ev;
-
-    fn handle(&mut self, now: Time, ev: Ev, q: &mut EventQueue<Ev>) {
-        match ev {
-            Ev::TurnArrival(session) => self.on_turn_arrival(now, session, q),
-            Ev::Sweep => {
-                if let Some(store) = &mut self.store {
-                    store.expire(now);
-                }
-                self.pump_store_events();
-                if self.sessions_remaining > 0 {
-                    q.push(now + Dur::from_secs_f64(30.0), Ev::Sweep);
-                }
-            }
-            Ev::GpuTick => {
-                match self.exec.gpu_action.take() {
-                    Some(Action::Prefill { job }) => self.complete_prefill(now, job),
-                    Some(Action::PrefillChunk {
-                        job,
-                        chunks_left,
-                        chunk_dur,
-                    }) => {
-                        if chunks_left == 0 {
-                            self.complete_prefill(now, job);
-                        } else if self.exec.batch.is_empty() {
-                            // Nothing to piggyback: run the next slice.
-                            self.issue_chunk(now, q, job, chunks_left - 1, chunk_dur);
-                            return;
-                        } else {
-                            // Let one decode iteration through, then
-                            // resume (schedule_next picks it back up). Its
-                            // timeline span is covered by the admission.
-                            self.exec.pending_chunk = Some((job, chunks_left, chunk_dur));
-                            let dur = self.exec.decode_iter_dur(&self.cfg, &self.jobs);
-                            self.report.record_decode_iter(dur.as_secs_f64(), None);
-                            self.exec.gpu_action = Some(Action::Decode);
-                            q.push(now + dur, Ev::GpuTick);
-                            return;
-                        }
-                    }
-                    Some(Action::Decode) => {
-                        let finished = self.exec.advance_decode(&mut self.jobs);
-                        for j in finished {
-                            self.retire_job(now, j, q);
-                        }
-                    }
-                    Some(Action::Sleep) | None => {}
-                }
-                self.schedule_next(now, q);
-            }
-        }
+    pub(crate) fn finish(self) -> (RunReport, O) {
+        let (cluster, obs) = self.inner.finish();
+        (cluster.aggregate, obs)
     }
 }

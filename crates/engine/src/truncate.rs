@@ -89,7 +89,13 @@ mod tests {
     #[test]
     fn no_truncation_when_context_fits() {
         let t = truncate_history(2048, 0.5, 1000, 500);
-        assert_eq!(t, Truncation { new_hist: 1000, truncated: false });
+        assert_eq!(
+            t,
+            Truncation {
+                new_hist: 1000,
+                truncated: false
+            }
+        );
     }
 
     #[test]
@@ -97,7 +103,13 @@ mod tests {
         // window 2048, ratio 0.5 → 1024-token slices. 2000 + 500 > 2048,
         // one slice leaves 976 + 500 <= 2048.
         let t = truncate_history(2048, 0.5, 2000, 500);
-        assert_eq!(t, Truncation { new_hist: 976, truncated: true });
+        assert_eq!(
+            t,
+            Truncation {
+                new_hist: 976,
+                truncated: true
+            }
+        );
     }
 
     #[test]

@@ -108,6 +108,9 @@ pub enum StoreEvent {
         kind: FetchKind,
         /// The session's scheduler-queue position when prefetched.
         queue_pos: Option<usize>,
+        /// The serving instance whose queue motivated the move, when the
+        /// store was consulted with an owner-attributed queue view.
+        instance: Option<u32>,
         /// Virtual time the movement was planned (the engine charges the
         /// actual link time).
         at: Time,
@@ -118,6 +121,9 @@ pub enum StoreEvent {
         session: u64,
         /// Payload size moved.
         bytes: u64,
+        /// The serving instance whose queue holds the victim, if queued on
+        /// an owner-attributed view.
+        instance: Option<u32>,
         /// Virtual commit time.
         at: Time,
     },
@@ -132,6 +138,9 @@ pub enum StoreEvent {
         /// at all (scheduler-aware eviction prefers unqueued victims, so
         /// `Some` here means every candidate was inside the window).
         window_pos: Option<usize>,
+        /// The serving instance whose queue holds the victim, if queued on
+        /// an owner-attributed view.
+        instance: Option<u32>,
         /// Virtual commit time.
         at: Time,
     },
@@ -168,6 +177,9 @@ pub enum StoreEvent {
     PrefetchCompleted {
         /// External session id.
         session: u64,
+        /// The serving instance whose queue the prefetch targets, when
+        /// known.
+        instance: Option<u32>,
         /// Virtual staging-completion time.
         at: Time,
     },
@@ -258,20 +270,35 @@ impl StoreEvent {
             StoreEvent::Occupancy { .. } => None,
         }
     }
+
+    /// The serving instance the event is attributed to (the owner of the
+    /// target session in the merged queue view), when one was known.
+    pub fn instance(&self) -> Option<u32> {
+        match *self {
+            StoreEvent::Promoted { instance, .. }
+            | StoreEvent::Demoted { instance, .. }
+            | StoreEvent::EvictedDisk { instance, .. }
+            | StoreEvent::PrefetchCompleted { instance, .. } => instance,
+            _ => None,
+        }
+    }
 }
 
 /// Builds the serialized payload fields shared by most variants.
 fn fields(pairs: Vec<(&str, Value)>) -> Value {
-    Value::Object(
-        pairs
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
 fn secs(t: Time) -> Value {
     Value::F64(t.as_secs_f64())
+}
+
+/// Appends `("instance", id)` only when attribution is present, keeping
+/// single-instance serializations byte-identical to the pre-cluster form.
+fn push_instance(pairs: &mut Vec<(&str, Value)>, instance: Option<u32>) {
+    if let Some(i) = instance {
+        pairs.push(("instance", Value::U64(u64::from(i))));
+    }
 }
 
 impl Serialize for StoreEvent {
@@ -320,45 +347,64 @@ impl Serialize for StoreEvent {
                 bytes,
                 kind: fetch,
                 queue_pos,
+                instance,
                 at,
-            } => fields(vec![
-                ("kind", kind),
-                ("session", Value::U64(session)),
-                ("bytes", Value::U64(bytes)),
-                ("fetch", Value::Str(fetch.label().to_string())),
-                (
-                    "queue_pos",
-                    match queue_pos {
-                        Some(p) => Value::U64(p as u64),
-                        None => Value::Null,
-                    },
-                ),
-                ("at", secs(at)),
-            ]),
-            StoreEvent::Demoted { session, bytes, at } => fields(vec![
-                ("kind", kind),
-                ("session", Value::U64(session)),
-                ("bytes", Value::U64(bytes)),
-                ("at", secs(at)),
-            ]),
+            } => {
+                let mut pairs = vec![
+                    ("kind", kind),
+                    ("session", Value::U64(session)),
+                    ("bytes", Value::U64(bytes)),
+                    ("fetch", Value::Str(fetch.label().to_string())),
+                    (
+                        "queue_pos",
+                        match queue_pos {
+                            Some(p) => Value::U64(p as u64),
+                            None => Value::Null,
+                        },
+                    ),
+                ];
+                push_instance(&mut pairs, instance);
+                pairs.push(("at", secs(at)));
+                fields(pairs)
+            }
+            StoreEvent::Demoted {
+                session,
+                bytes,
+                instance,
+                at,
+            } => {
+                let mut pairs = vec![
+                    ("kind", kind),
+                    ("session", Value::U64(session)),
+                    ("bytes", Value::U64(bytes)),
+                ];
+                push_instance(&mut pairs, instance);
+                pairs.push(("at", secs(at)));
+                fields(pairs)
+            }
             StoreEvent::EvictedDisk {
                 session,
                 bytes,
                 window_pos,
+                instance,
                 at,
-            } => fields(vec![
-                ("kind", kind),
-                ("session", Value::U64(session)),
-                ("bytes", Value::U64(bytes)),
-                (
-                    "window_pos",
-                    match window_pos {
-                        Some(p) => Value::U64(p as u64),
-                        None => Value::Null,
-                    },
-                ),
-                ("at", secs(at)),
-            ]),
+            } => {
+                let mut pairs = vec![
+                    ("kind", kind),
+                    ("session", Value::U64(session)),
+                    ("bytes", Value::U64(bytes)),
+                    (
+                        "window_pos",
+                        match window_pos {
+                            Some(p) => Value::U64(p as u64),
+                            None => Value::Null,
+                        },
+                    ),
+                ];
+                push_instance(&mut pairs, instance);
+                pairs.push(("at", secs(at)));
+                fields(pairs)
+            }
             StoreEvent::DroppedDram { session, bytes, at } => fields(vec![
                 ("kind", kind),
                 ("session", Value::U64(session)),
@@ -380,11 +426,16 @@ impl Serialize for StoreEvent {
                 ("disk_bytes", Value::U64(disk_bytes)),
                 ("at", secs(at)),
             ]),
-            StoreEvent::PrefetchCompleted { session, at } => fields(vec![
-                ("kind", kind),
-                ("session", Value::U64(session)),
-                ("at", secs(at)),
-            ]),
+            StoreEvent::PrefetchCompleted {
+                session,
+                instance,
+                at,
+            } => {
+                let mut pairs = vec![("kind", kind), ("session", Value::U64(session))];
+                push_instance(&mut pairs, instance);
+                pairs.push(("at", secs(at)));
+                fields(pairs)
+            }
             StoreEvent::WriteBufferStall { session, until, at } => fields(vec![
                 ("kind", kind),
                 ("session", Value::U64(session)),
@@ -472,6 +523,7 @@ mod tests {
             bytes: 1_000,
             kind: FetchKind::Prefetch,
             queue_pos: Some(2),
+            instance: None,
             at: Time::from_secs_f64(1.5),
         };
         let json = serde_json::to_string(&ev).unwrap();
@@ -479,6 +531,19 @@ mod tests {
             json,
             "{\"kind\":\"promoted\",\"session\":9,\"bytes\":1000,\
              \"fetch\":\"prefetch\",\"queue_pos\":2,\"at\":1.5}"
+        );
+        let tagged = StoreEvent::Promoted {
+            session: 9,
+            bytes: 1_000,
+            kind: FetchKind::Prefetch,
+            queue_pos: Some(2),
+            instance: Some(3),
+            at: Time::from_secs_f64(1.5),
+        };
+        assert_eq!(
+            serde_json::to_string(&tagged).unwrap(),
+            "{\"kind\":\"promoted\",\"session\":9,\"bytes\":1000,\
+             \"fetch\":\"prefetch\",\"queue_pos\":2,\"instance\":3,\"at\":1.5}"
         );
         let gauge = StoreEvent::Occupancy {
             dram_bytes: 7,

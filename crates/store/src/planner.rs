@@ -19,8 +19,12 @@ use sim::Time;
 pub trait StorePlanner {
     /// Looks up and pins `sid`'s KV for an admitted job, demand-promoting
     /// disk-resident KV. Returns where it was found plus the transfers.
-    fn load_for_use(&mut self, sid: SessionId, now: Time, queue: &QueueView)
-        -> (Lookup, Vec<Transfer>);
+    fn load_for_use(
+        &mut self,
+        sid: SessionId,
+        now: Time,
+        queue: &QueueView,
+    ) -> (Lookup, Vec<Transfer>);
 
     /// Number of cached tokens for `sid`, if present in either tier.
     fn entry_tokens(&self, sid: SessionId) -> Option<u64>;

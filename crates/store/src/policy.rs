@@ -8,9 +8,15 @@ use crate::{Entry, SessionId};
 ///
 /// The scheduler-aware schemes (§3.3) are built on exactly this: the queue
 /// tells the store which sessions will be needed and in what order.
+///
+/// In a cluster, the view is *merged* across every instance's queue (see
+/// the engine's `ClusterSim`); [`QueueView::with_owners`] additionally
+/// records which serving instance each queued session belongs to, so the
+/// store can attribute tier transfers per instance.
 pub struct QueueView {
     order: Vec<SessionId>,
     pos: HashMap<SessionId, usize>,
+    owner: HashMap<SessionId, u32>,
 }
 
 impl QueueView {
@@ -24,7 +30,26 @@ impl QueueView {
         QueueView {
             order: order.to_vec(),
             pos,
+            owner: HashMap::new(),
         }
+    }
+
+    /// Builds a view that also records the owning serving instance of
+    /// each queued session. `owners[i]` is the instance whose queue holds
+    /// `order[i]`; like positions, a duplicated session keeps the owner of
+    /// its earliest occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` and `owners` differ in length.
+    pub fn with_owners(order: &[SessionId], owners: &[u32]) -> Self {
+        assert_eq!(order.len(), owners.len(), "one owner per queued session");
+        let mut view = QueueView::new(order);
+        view.owner.reserve(order.len());
+        for (&sid, &inst) in order.iter().zip(owners) {
+            view.owner.entry(sid).or_insert(inst);
+        }
+        view
     }
 
     /// An empty queue (what LRU/FIFO effectively see).
@@ -35,6 +60,12 @@ impl QueueView {
     /// Returns the queue position of `sid` (0 = head), if present.
     pub fn position(&self, sid: SessionId) -> Option<usize> {
         self.pos.get(&sid).copied()
+    }
+
+    /// Returns the serving instance whose queue holds `sid`, when the
+    /// view was built with owner attribution and `sid` is queued.
+    pub fn owner(&self, sid: SessionId) -> Option<u32> {
+        self.owner.get(&sid).copied()
     }
 
     /// Returns the number of queued jobs.

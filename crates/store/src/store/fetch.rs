@@ -1,0 +1,262 @@
+//! The read/write paths: save, demand fetch (with pinning) and the
+//! scheduler-aware look-ahead prefetcher (§3.3.1).
+
+use sim::Time;
+
+use crate::events::{FetchKind, StoreEvent, Tier};
+use crate::{Entry, Placement, QueueView, SessionId};
+
+use super::{AttentionStore, Lookup, Transfer, TransferDir};
+
+impl AttentionStore {
+    /// Saves (or updates) `sid`'s KV cache: `total_bytes` for
+    /// `total_tokens`, landing in DRAM. Returns the demotion transfers
+    /// made to fit it and whether the save succeeded.
+    ///
+    /// Updating an existing entry reallocates it at the new size; an entry
+    /// previously demoted to disk is re-homed in DRAM (the fresh copy just
+    /// came from HBM, so no disk read is charged).
+    pub fn save(
+        &mut self,
+        sid: SessionId,
+        total_bytes: u64,
+        total_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> (Vec<Transfer>, bool) {
+        let mut transfers = Vec::new();
+        let mark = self.trace_mark();
+        // Free the stale copy first; the engine holds the bytes in HBM.
+        self.drop_entry(sid);
+        // Prefer DRAM; when it cannot make room (e.g. everything resident
+        // is pinned by the running batch), spill straight to disk — the
+        // write stream targets whichever tier has space.
+        let placement = if self.make_dram_room(now, total_bytes, queue, None, &mut transfers) {
+            Placement::Dram
+        } else {
+            if self.disk.blocks_for(total_bytes) > self.disk.n_blocks() {
+                self.stats.save_rejected += 1;
+                self.emit(StoreEvent::SaveRejected {
+                    session: sid.0,
+                    bytes: total_bytes,
+                    at: now,
+                });
+                self.emit_occupancy(mark, now);
+                return (transfers, false);
+            }
+            while !self.disk.fits(total_bytes) {
+                if !self.evict_from_disk(now, queue, None) {
+                    self.stats.save_rejected += 1;
+                    self.emit(StoreEvent::SaveRejected {
+                        session: sid.0,
+                        bytes: total_bytes,
+                        at: now,
+                    });
+                    self.emit_occupancy(mark, now);
+                    return (transfers, false);
+                }
+            }
+            self.stats.spills_to_disk += 1;
+            // The write stream lands on the slow tier: report it so the
+            // engine charges the disk-write link.
+            transfers.push(Transfer {
+                session: sid,
+                bytes: total_bytes,
+                dir: TransferDir::DramToDisk,
+            });
+            Placement::Disk
+        };
+        let pool = match placement {
+            Placement::Dram => &mut self.dram,
+            Placement::Disk => &mut self.disk,
+        };
+        let blocks = pool.alloc(total_bytes).expect("room made above");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(
+            sid,
+            Entry {
+                bytes: total_bytes,
+                tokens: total_tokens,
+                placement,
+                blocks,
+                last_access: now,
+                insert_seq: seq,
+                pinned: false,
+            },
+        );
+        self.stats.saves += 1;
+        self.stats.save_bytes += total_bytes;
+        self.emit(StoreEvent::Saved {
+            session: sid.0,
+            bytes: total_bytes,
+            tier: match placement {
+                Placement::Dram => Tier::Dram,
+                Placement::Disk => Tier::Disk,
+            },
+            at: now,
+        });
+        self.emit_occupancy(mark, now);
+        (transfers, true)
+    }
+
+    /// Brings `sid`'s KV into DRAM for use and pins it.
+    ///
+    /// Returns where the KV was found plus any transfers (the demand
+    /// promotion and the demotions that made room). Returns
+    /// `(Lookup::Miss, vec![])` when the session has no cached KV.
+    pub fn load_for_use(
+        &mut self,
+        sid: SessionId,
+        now: Time,
+        queue: &QueueView,
+    ) -> (Lookup, Vec<Transfer>) {
+        let found = self.lookup(sid);
+        let mark = self.trace_mark();
+        match found {
+            Lookup::Miss => self.emit(StoreEvent::FetchMiss {
+                session: sid.0,
+                at: now,
+            }),
+            Lookup::Dram | Lookup::Disk => {
+                let ev = StoreEvent::FetchHit {
+                    session: sid.0,
+                    tier: match found {
+                        Lookup::Dram => Tier::Dram,
+                        _ => Tier::Disk,
+                    },
+                    bytes: self.entries[&sid].bytes,
+                    at: now,
+                };
+                self.emit(ev);
+            }
+        }
+        let mut transfers = Vec::new();
+        match found {
+            Lookup::Miss => {}
+            Lookup::Dram => {
+                let e = self.entries.get_mut(&sid).expect("looked up");
+                e.last_access = now;
+                e.pinned = true;
+            }
+            Lookup::Disk => {
+                let bytes = self.entries[&sid].bytes;
+                if self.make_dram_room(now, bytes, queue, Some(sid), &mut transfers) {
+                    let new_blocks = self.dram.alloc(bytes).expect("room made");
+                    let e = self.entries.get_mut(&sid).expect("looked up");
+                    let old = std::mem::replace(&mut e.blocks, new_blocks);
+                    e.placement = Placement::Dram;
+                    e.last_access = now;
+                    e.pinned = true;
+                    self.disk.free(&old).expect("blocks were on disk");
+                    self.stats.promotions += 1;
+                    self.stats.promotion_bytes += bytes;
+                    self.emit(StoreEvent::Promoted {
+                        session: sid.0,
+                        bytes,
+                        kind: FetchKind::Demand,
+                        queue_pos: queue.position(sid),
+                        instance: queue.owner(sid),
+                        at: now,
+                    });
+                    transfers.push(Transfer {
+                        session: sid,
+                        bytes,
+                        dir: TransferDir::DiskToDram,
+                    });
+                } else {
+                    // DRAM cannot stage it (pathological sizing): serve
+                    // straight from disk; pin in place.
+                    let e = self.entries.get_mut(&sid).expect("looked up");
+                    e.last_access = now;
+                    e.pinned = true;
+                }
+            }
+        }
+        self.emit_occupancy(mark, now);
+        (found, transfers)
+    }
+
+    /// Unpins `sid` after the engine finished using (and re-saving) it.
+    pub fn unpin(&mut self, sid: SessionId) {
+        if let Some(e) = self.entries.get_mut(&sid) {
+            e.pinned = false;
+        }
+    }
+
+    /// Runs the look-ahead prefetcher (§3.3.1): promotes disk-resident KV
+    /// of queued sessions within `L_pw` into free DRAM, then restores the
+    /// DRAM reserve by demoting cold entries.
+    ///
+    /// No-op for history-only policies (LRU/FIFO cannot see the queue).
+    pub fn prefetch(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
+        if !self.policy.wants_prefetch() {
+            return Vec::new();
+        }
+        let mut transfers = Vec::new();
+        let mark = self.trace_mark();
+        let window = self.prefetch_window();
+        let targets: Vec<(usize, SessionId)> = queue
+            .head(window)
+            .enumerate()
+            .filter(|&(_, sid)| {
+                self.entries
+                    .get(&sid)
+                    .is_some_and(|e| e.placement == Placement::Disk && !e.pinned)
+            })
+            .collect();
+        'targets: for (pos, sid) in targets {
+            // Re-validate: an earlier iteration (or its evictions) may
+            // have promoted, demoted or dropped this session already —
+            // e.g. when the same session appears twice in the queue.
+            let still_disk = self
+                .entries
+                .get(&sid)
+                .is_some_and(|e| e.placement == Placement::Disk && !e.pinned);
+            if !still_disk {
+                continue;
+            }
+            let bytes = self.entries[&sid].bytes;
+            // Fetching into the buffer may demote cold entries (Fig 9:
+            // fetching Job 3 pushes Job 4 down) — but only entries whose
+            // next use is strictly further in the future than this
+            // target's, otherwise promote/demote ping-pong would saturate
+            // the disk.
+            while !self.dram.fits(bytes) {
+                let Some(victim) = self.choose_dram_victim(queue, Some(sid)) else {
+                    break 'targets;
+                };
+                if queue.position(victim).is_some_and(|vp| vp <= pos) {
+                    break 'targets;
+                }
+                if let Some(t) = self.demote_session(now, victim, queue, Some(sid)) {
+                    transfers.push(t);
+                }
+            }
+            let new_blocks = self.dram.alloc(bytes).expect("fit ensured above");
+            let e = self.entries.get_mut(&sid).expect("target exists");
+            let old = std::mem::replace(&mut e.blocks, new_blocks);
+            e.placement = Placement::Dram;
+            e.last_access = now;
+            self.disk.free(&old).expect("blocks were on disk");
+            self.stats.promotions += 1;
+            self.stats.promotion_bytes += bytes;
+            self.emit(StoreEvent::Promoted {
+                session: sid.0,
+                bytes,
+                kind: FetchKind::Prefetch,
+                queue_pos: Some(pos),
+                instance: queue.owner(sid),
+                at: now,
+            });
+            transfers.push(Transfer {
+                session: sid,
+                bytes,
+                dir: TransferDir::DiskToDram,
+            });
+        }
+        transfers.extend(self.maintain_reserve(now, queue));
+        self.emit_occupancy(mark, now);
+        transfers
+    }
+}

@@ -1,0 +1,292 @@
+//! The AttentionStore: tiered, session-granularity KV cache bookkeeping.
+//!
+//! The implementation is split along its seams:
+//!
+//! - this module: the data types, configuration, statistics ledger and
+//!   the store struct itself (construction, tracing, capacity queries,
+//!   look-ahead window sizing);
+//! - [`placement`]: tier placement — victim selection, demotion,
+//!   eviction, reserve maintenance and entry lifecycle (truncate /
+//!   invalidate / expire);
+//! - [`fetch`]: the read/write paths — save, demand fetch and the
+//!   scheduler-aware look-ahead prefetcher.
+
+mod fetch;
+mod placement;
+#[cfg(test)]
+mod tests;
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use sim::{Dur, Time};
+
+use crate::events::{StoreEvent, StoreEventLog, StoreObserver};
+use crate::{BlockPool, Entry, Placement, PolicyKind, SessionId};
+
+/// Direction of a tier-to-tier movement the engine must charge on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDir {
+    /// Promotion: SSD → host DRAM (prefetch or demand fetch).
+    DiskToDram,
+    /// Demotion: host DRAM → SSD (eviction).
+    DramToDisk,
+}
+
+/// One tier movement produced by a store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transfer {
+    /// The session whose KV moved.
+    pub session: SessionId,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Movement direction.
+    pub dir: TransferDir,
+}
+
+/// Result of a session lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// KV resident in host DRAM: one PCIe hop from HBM.
+    Dram,
+    /// KV resident on SSD: must stage through DRAM first.
+    Disk,
+    /// No KV cached for this session.
+    Miss,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Host DRAM capacity for KV caching, bytes.
+    pub dram_bytes: u64,
+    /// SSD capacity for KV caching, bytes.
+    pub disk_bytes: u64,
+    /// Allocation block size, bytes.
+    pub block_bytes: u64,
+    /// Eviction policy (and, for scheduler-aware, prefetching).
+    #[serde(skip, default = "default_policy")]
+    pub policy: PolicyKind,
+    /// Time-to-live since last access; `None` = keep until capacity
+    /// pressure (§4.3.6 sets 1 hour for the capacity study).
+    pub ttl: Option<Dur>,
+    /// Fraction of DRAM kept free as the fetch buffer (§3.3.1); background
+    /// demotion restores it.
+    pub dram_reserve_fraction: f64,
+    /// Assumed average session KV size before any entry exists, bytes
+    /// (window sizing fallback).
+    pub default_session_bytes: u64,
+}
+
+fn default_policy() -> PolicyKind {
+    PolicyKind::SchedulerAware
+}
+
+impl Default for StoreConfig {
+    /// The paper's testbed store: 128 GB DRAM, 10 TB SSD, 16 MiB blocks,
+    /// scheduler-aware policy, no TTL, 10% DRAM reserve.
+    fn default() -> Self {
+        StoreConfig {
+            dram_bytes: 128_000_000_000,
+            disk_bytes: 10_000_000_000_000,
+            block_bytes: 16 * 1024 * 1024,
+            policy: PolicyKind::SchedulerAware,
+            ttl: None,
+            dram_reserve_fraction: 0.10,
+            default_session_bytes: 1_000_000_000,
+        }
+    }
+}
+
+/// Cumulative store statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Sessions saved or updated.
+    pub saves: u64,
+    /// Bytes written into the store by saves (total sizes).
+    pub save_bytes: u64,
+    /// DRAM → disk demotions.
+    pub demotions: u64,
+    /// Bytes demoted.
+    pub demotion_bytes: u64,
+    /// Disk → DRAM promotions (prefetch + demand).
+    pub promotions: u64,
+    /// Bytes promoted.
+    pub promotion_bytes: u64,
+    /// Entries dropped because capacity ran out everywhere.
+    pub drops_capacity: u64,
+    /// Entries dropped by TTL expiry.
+    pub drops_ttl: u64,
+    /// Entries dropped by explicit invalidation.
+    pub drops_invalidated: u64,
+    /// Saves rejected because the session could not fit at all.
+    pub save_rejected: u64,
+    /// Saves that spilled directly to disk because DRAM could not make
+    /// room (e.g. everything resident was pinned).
+    pub spills_to_disk: u64,
+}
+
+/// The hierarchical KV caching system (§3.3).
+///
+/// Pure bookkeeping over two [`BlockPool`] tiers; every mutation returns
+/// the [`Transfer`]s the serving engine must charge on simulated links.
+/// One store may back many serving instances: queue views built with
+/// [`crate::QueueView::with_owners`] let it attribute tier movements to
+/// the instance whose queue motivated them.
+///
+/// # Examples
+///
+/// ```
+/// use sim::Time;
+/// use store::{AttentionStore, Lookup, QueueView, SessionId, StoreConfig};
+///
+/// let mut store = AttentionStore::new(StoreConfig::default());
+/// let queue = QueueView::empty();
+/// // A finished conversation turn saves its session's KV cache.
+/// let (_, saved) = store.save(SessionId(7), 1_500_000_000, 1_900, Time::ZERO, &queue);
+/// assert!(saved);
+/// // The session resumes: its KV is found in the fast tier and pinned.
+/// let (found, _) = store.load_for_use(SessionId(7), Time::from_millis(60_000), &queue);
+/// assert_eq!(found, Lookup::Dram);
+/// ```
+pub struct AttentionStore {
+    cfg: StoreConfig,
+    policy: Box<dyn crate::EvictionPolicy>,
+    dram: BlockPool,
+    disk: BlockPool,
+    entries: BTreeMap<SessionId, Entry>,
+    next_seq: u64,
+    stats: StoreStats,
+    /// Drainable event buffer; `None` = tracing off (zero cost).
+    trace: Option<StoreEventLog>,
+}
+
+impl AttentionStore {
+    /// Creates a store from a configuration.
+    pub fn new(cfg: StoreConfig) -> Self {
+        let policy = cfg.policy.build();
+        let dram = BlockPool::new("dram", cfg.dram_bytes, cfg.block_bytes);
+        let disk = BlockPool::new("disk", cfg.disk_bytes, cfg.block_bytes);
+        AttentionStore {
+            cfg,
+            policy,
+            dram,
+            disk,
+            entries: BTreeMap::new(),
+            next_seq: 0,
+            stats: StoreStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables or disables event tracing. While enabled, every placement
+    /// decision is buffered as a [`StoreEvent`] until
+    /// [`drain_events`](AttentionStore::drain_events) takes it. Tracing
+    /// never changes store behavior.
+    pub fn set_tracing(&mut self, on: bool) {
+        match (on, self.trace.is_some()) {
+            (true, false) => self.trace = Some(StoreEventLog::new()),
+            (false, true) => self.trace = None,
+            _ => {}
+        }
+    }
+
+    /// Takes the buffered [`StoreEvent`]s (empty when tracing is off).
+    pub fn drain_events(&mut self) -> Vec<StoreEvent> {
+        self.trace
+            .as_mut()
+            .map(StoreEventLog::drain)
+            .unwrap_or_default()
+    }
+
+    /// Reports `ev` to the trace buffer when tracing is enabled.
+    fn emit(&mut self, ev: StoreEvent) {
+        if let Some(t) = &mut self.trace {
+            t.on_store_event(ev);
+        }
+    }
+
+    /// Number of buffered trace events (0 when tracing is off).
+    fn trace_mark(&self) -> usize {
+        self.trace.as_ref().map_or(0, |t| t.events().len())
+    }
+
+    /// Emits an occupancy gauge sample when events landed since `mark`,
+    /// so occupancy trails every traced batch of placement changes
+    /// without flooding no-op calls.
+    fn emit_occupancy(&mut self, mark: usize, now: Time) {
+        if self.trace_mark() > mark {
+            let ev = StoreEvent::Occupancy {
+                dram_bytes: self.dram_used_bytes(),
+                disk_bytes: self.disk_used_bytes(),
+                at: now,
+            };
+            self.emit(ev);
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Returns where `sid`'s KV currently lives.
+    pub fn lookup(&self, sid: SessionId) -> Lookup {
+        match self.entries.get(&sid).map(|e| e.placement) {
+            Some(Placement::Dram) => Lookup::Dram,
+            Some(Placement::Disk) => Lookup::Disk,
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Returns the entry for `sid`, if cached.
+    pub fn entry(&self, sid: SessionId) -> Option<&Entry> {
+        self.entries.get(&sid)
+    }
+
+    /// Returns the number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no sessions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns bytes resident in DRAM (whole blocks).
+    pub fn dram_used_bytes(&self) -> u64 {
+        self.dram.used_blocks() as u64 * self.dram.block_bytes()
+    }
+
+    /// Returns bytes resident on disk (whole blocks).
+    pub fn disk_used_bytes(&self) -> u64 {
+        self.disk.used_blocks() as u64 * self.disk.block_bytes()
+    }
+
+    /// Average session KV size, `S_kv`, used to size the look-ahead
+    /// windows; falls back to the configured default when empty.
+    pub fn avg_session_bytes(&self) -> u64 {
+        if self.entries.is_empty() {
+            return self.cfg.default_session_bytes.max(1);
+        }
+        let total: u64 = self.entries.values().map(|e| e.bytes).sum();
+        (total / self.entries.len() as u64).max(1)
+    }
+
+    /// Look-ahead prefetch window length, `L_pw = C_mem / S_kv` (§3.3.1).
+    pub fn prefetch_window(&self) -> usize {
+        (self.cfg.dram_bytes / self.avg_session_bytes()) as usize
+    }
+
+    /// Look-ahead eviction window length,
+    /// `L_ev = (C_mem + C_disk) / S_kv` (§3.3.2).
+    pub fn eviction_window(&self) -> usize {
+        ((self.cfg.dram_bytes + self.cfg.disk_bytes) / self.avg_session_bytes()) as usize
+    }
+}

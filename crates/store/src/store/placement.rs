@@ -1,0 +1,225 @@
+//! Tier placement: victim selection, demotion/eviction and the entry
+//! lifecycle operations (reserve maintenance, truncate, invalidate,
+//! expire).
+
+use sim::Time;
+
+use crate::events::StoreEvent;
+use crate::{Entry, Placement, QueueView, SessionId};
+
+use super::{AttentionStore, Transfer, TransferDir};
+
+impl AttentionStore {
+    /// Unpinned candidates of one tier, sorted by session id for
+    /// deterministic policy input.
+    fn candidates(&self, tier: Placement, exclude: Option<SessionId>) -> Vec<(SessionId, &Entry)> {
+        self.entries
+            .iter()
+            .filter(|(sid, e)| e.placement == tier && !e.pinned && Some(**sid) != exclude)
+            .map(|(&sid, e)| (sid, e))
+            .collect()
+    }
+
+    /// Drops `sid` entirely, freeing its blocks.
+    pub(super) fn drop_entry(&mut self, sid: SessionId) {
+        if let Some(e) = self.entries.remove(&sid) {
+            let pool = match e.placement {
+                Placement::Dram => &mut self.dram,
+                Placement::Disk => &mut self.disk,
+            };
+            pool.free(&e.blocks).expect("entry blocks are valid");
+        }
+    }
+
+    /// Evicts one entry out of the disk tier (out of the system).
+    /// Returns `false` when no candidate exists.
+    pub(super) fn evict_from_disk(
+        &mut self,
+        now: Time,
+        queue: &QueueView,
+        exclude: Option<SessionId>,
+    ) -> bool {
+        let window = self.eviction_window();
+        let cands = self.candidates(Placement::Disk, exclude);
+        let Some(victim) = self.policy.choose_victim(&cands, queue, window) else {
+            return false;
+        };
+        let bytes = self.entries[&victim].bytes;
+        self.drop_entry(victim);
+        self.stats.drops_capacity += 1;
+        self.emit(StoreEvent::EvictedDisk {
+            session: victim.0,
+            bytes,
+            window_pos: queue.position(victim),
+            instance: queue.owner(victim),
+            at: now,
+        });
+        true
+    }
+
+    /// Picks the DRAM entry the policy would demote next.
+    pub(super) fn choose_dram_victim(
+        &self,
+        queue: &QueueView,
+        exclude: Option<SessionId>,
+    ) -> Option<SessionId> {
+        let window = self.eviction_window();
+        let cands = self.candidates(Placement::Dram, exclude);
+        self.policy.choose_victim(&cands, queue, window)
+    }
+
+    /// Demotes `victim` to disk (or out of the system when the disk cannot
+    /// make room). Returns the demotion transfer (`None` when the entry
+    /// was dropped instead). `exclude` protects a session being staged by
+    /// the caller from being evicted out of the disk tier.
+    pub(super) fn demote_session(
+        &mut self,
+        now: Time,
+        victim: SessionId,
+        queue: &QueueView,
+        exclude: Option<SessionId>,
+    ) -> Option<Transfer> {
+        let bytes = self.entries[&victim].bytes;
+        // Make room on disk; drop disk entries if necessary.
+        while !self.disk.fits(bytes) {
+            if !self.evict_from_disk(now, queue, exclude) {
+                // Disk cannot hold this entry at all: drop it instead.
+                self.drop_entry(victim);
+                self.stats.drops_capacity += 1;
+                self.emit(StoreEvent::DroppedDram {
+                    session: victim.0,
+                    bytes,
+                    at: now,
+                });
+                return None;
+            }
+        }
+        let new_blocks = self.disk.alloc(bytes).expect("fit ensured above");
+        let e = self.entries.get_mut(&victim).expect("victim exists");
+        let old_blocks = std::mem::replace(&mut e.blocks, new_blocks);
+        e.placement = Placement::Disk;
+        self.dram.free(&old_blocks).expect("blocks were in dram");
+        self.stats.demotions += 1;
+        self.stats.demotion_bytes += bytes;
+        self.emit(StoreEvent::Demoted {
+            session: victim.0,
+            bytes,
+            instance: queue.owner(victim),
+            at: now,
+        });
+        Some(Transfer {
+            session: victim,
+            bytes,
+            dir: TransferDir::DramToDisk,
+        })
+    }
+
+    /// Frees DRAM until `bytes` fit, demoting victims; returns the
+    /// demotion transfers, or `None` when room cannot be made.
+    pub(super) fn make_dram_room(
+        &mut self,
+        now: Time,
+        bytes: u64,
+        queue: &QueueView,
+        exclude: Option<SessionId>,
+        out: &mut Vec<Transfer>,
+    ) -> bool {
+        if self.dram.blocks_for(bytes) > self.dram.n_blocks() {
+            return false;
+        }
+        while !self.dram.fits(bytes) {
+            let Some(victim) = self.choose_dram_victim(queue, exclude) else {
+                return false;
+            };
+            if let Some(t) = self.demote_session(now, victim, queue, exclude) {
+                out.push(t);
+            }
+        }
+        true
+    }
+
+    /// Demotes cold entries until the configured DRAM reserve is free
+    /// again (§3.3.1's host-memory buffer).
+    ///
+    /// Only entries *outside* the look-ahead window are demoted here: the
+    /// reserve exists to absorb incoming saves and fetches, and demoting a
+    /// queued session would force the prefetcher to read it right back.
+    pub fn maintain_reserve(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
+        let reserve = (self.cfg.dram_bytes as f64 * self.cfg.dram_reserve_fraction) as u64;
+        let window = self.eviction_window();
+        let mut transfers = Vec::new();
+        while self.dram.free_bytes() < reserve {
+            let Some(victim) = self.choose_dram_victim(queue, None) else {
+                break;
+            };
+            if queue.position(victim).is_some_and(|vp| vp < window) {
+                break;
+            }
+            if let Some(t) = self.demote_session(now, victim, queue, None) {
+                transfers.push(t);
+            }
+        }
+        transfers
+    }
+
+    /// Shrinks `sid`'s cached KV to `new_bytes`/`new_tokens` in place
+    /// (decoupled KV truncation, §3.4). No-op when not cached or when the
+    /// entry is not actually shrinking.
+    pub fn truncate(&mut self, sid: SessionId, new_bytes: u64, new_tokens: u64) {
+        let Some(e) = self.entries.get(&sid) else {
+            return;
+        };
+        if new_bytes >= e.bytes {
+            return;
+        }
+        let placement = e.placement;
+        let pool = match placement {
+            Placement::Dram => &mut self.dram,
+            Placement::Disk => &mut self.disk,
+        };
+        let old = self.entries.get_mut(&sid).expect("checked above");
+        let old_blocks = std::mem::take(&mut old.blocks);
+        pool.free(&old_blocks).expect("entry blocks valid");
+        let blocks = pool
+            .alloc(new_bytes)
+            .expect("shrinking realloc always fits");
+        let e = self.entries.get_mut(&sid).expect("checked above");
+        e.blocks = blocks;
+        e.bytes = new_bytes;
+        e.tokens = new_tokens;
+    }
+
+    /// Drops `sid`'s KV (context-overflow invalidation in OF mode, or an
+    /// aborted session).
+    pub fn invalidate(&mut self, sid: SessionId) {
+        if self.entries.contains_key(&sid) {
+            self.drop_entry(sid);
+            self.stats.drops_invalidated += 1;
+        }
+    }
+
+    /// Drops entries idle longer than the TTL; returns how many expired.
+    pub fn expire(&mut self, now: Time) -> u64 {
+        let Some(ttl) = self.cfg.ttl else {
+            return 0;
+        };
+        let dead: Vec<SessionId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| !e.pinned && now.saturating_since(e.last_access) > ttl)
+            .map(|(&sid, _)| sid)
+            .collect();
+        let n = dead.len() as u64;
+        let mark = self.trace_mark();
+        for sid in dead {
+            self.drop_entry(sid);
+            self.emit(StoreEvent::Expired {
+                session: sid.0,
+                at: now,
+            });
+        }
+        self.stats.drops_ttl += n;
+        self.emit_occupancy(mark, now);
+        n
+    }
+}

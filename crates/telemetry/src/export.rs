@@ -4,10 +4,13 @@
 //! grep/jq-friendly format the CI smoke check validates. [`to_chrome_trace`]
 //! renders the same records in the Chrome trace-event format (the
 //! `{"traceEvents": [...]}` envelope), which Perfetto and
-//! `chrome://tracing` open directly: one track per session showing
-//! queued → prefill → decode spans, prefetch staging spans, instant
-//! markers for the store's placement decisions, and counter tracks for
-//! HBM reservations and tier occupancy.
+//! `chrome://tracing` open directly: one process per serving instance
+//! (records without instance attribution land on the default process),
+//! one thread per session showing queued → prefill → decode spans,
+//! prefetch staging spans, instant markers for the store's placement
+//! decisions, and counter tracks for HBM reservations and tier
+//! occupancy. A session that migrates instances under least-loaded
+//! routing shows its spans under whichever process served that turn.
 
 use std::collections::HashMap;
 
@@ -27,16 +30,17 @@ pub fn to_jsonl(records: &[TraceRecord]) -> String {
     out
 }
 
-/// Virtual pid of the single simulated serving process.
-const PID: u64 = 1;
+/// Virtual pid of unattributed records (and of instance 0, so
+/// single-instance traces look exactly like the pre-cluster ones).
+const DEFAULT_PID: u64 = 1;
+
+/// Virtual pid of a record: instance `i` maps to process `i + 1`.
+fn pid_of(rec: &TraceRecord) -> u64 {
+    rec.instance.map_or(DEFAULT_PID, |i| u64::from(i) + 1)
+}
 
 fn obj(pairs: Vec<(&str, Value)>) -> Value {
-    Value::Object(
-        pairs
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
 fn micros(secs: f64) -> Value {
@@ -44,48 +48,48 @@ fn micros(secs: f64) -> Value {
 }
 
 /// A complete ("X") span on a session track.
-fn span(name: &str, cat: &str, tid: u64, start_secs: f64, end_secs: f64) -> Value {
+fn span(name: &str, cat: &str, pid: u64, tid: u64, start_secs: f64, end_secs: f64) -> Value {
     obj(vec![
         ("name", Value::Str(name.to_string())),
         ("cat", Value::Str(cat.to_string())),
         ("ph", Value::Str("X".to_string())),
         ("ts", micros(start_secs)),
         ("dur", micros((end_secs - start_secs).max(0.0))),
-        ("pid", Value::U64(PID)),
+        ("pid", Value::U64(pid)),
         ("tid", Value::U64(tid)),
     ])
 }
 
 /// A thread-scoped instant ("i") marker on a session track.
-fn instant(name: &str, cat: &str, tid: u64, at_secs: f64) -> Value {
+fn instant(name: &str, cat: &str, pid: u64, tid: u64, at_secs: f64) -> Value {
     obj(vec![
         ("name", Value::Str(name.to_string())),
         ("cat", Value::Str(cat.to_string())),
         ("ph", Value::Str("i".to_string())),
         ("s", Value::Str("t".to_string())),
         ("ts", micros(at_secs)),
-        ("pid", Value::U64(PID)),
+        ("pid", Value::U64(pid)),
         ("tid", Value::U64(tid)),
     ])
 }
 
 /// A counter ("C") sample.
-fn counter(name: &str, at_secs: f64, args: Vec<(&str, Value)>) -> Value {
+fn counter(name: &str, pid: u64, at_secs: f64, args: Vec<(&str, Value)>) -> Value {
     obj(vec![
         ("name", Value::Str(name.to_string())),
         ("ph", Value::Str("C".to_string())),
         ("ts", micros(at_secs)),
-        ("pid", Value::U64(PID)),
+        ("pid", Value::U64(pid)),
         ("args", obj(args)),
     ])
 }
 
-/// A metadata ("M") event naming the process or a thread.
-fn metadata(what: &str, tid: Option<u64>, label: &str) -> Value {
+/// A metadata ("M") event naming a process or a thread.
+fn metadata(what: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
     let mut pairs = vec![
         ("name", Value::Str(what.to_string())),
         ("ph", Value::Str("M".to_string())),
-        ("pid", Value::U64(PID)),
+        ("pid", Value::U64(pid)),
     ];
     if let Some(tid) = tid {
         pairs.push(("tid", Value::U64(tid)));
@@ -96,55 +100,74 @@ fn metadata(what: &str, tid: Option<u64>, label: &str) -> Value {
 
 /// Renders records as a Chrome trace-event file (loadable in Perfetto).
 ///
-/// Session tracks are threads of one process; `ts`/`dur` are
-/// microseconds of virtual time. Span pairing follows the pipeline's
-/// causal order: `TurnArrived → Admitted` becomes a `queued` span,
-/// `Admitted → PrefillDone` a `prefill` span, `PrefillDone → Retired` a
-/// `decode` span, and a prefetch `Promoted → PrefetchCompleted` pair a
-/// `prefetch` staging span. Store decisions appear as instant markers;
-/// occupancy gauges and HBM reservations become counter tracks.
+/// Each serving instance is a process (instance `i` = pid `i + 1`;
+/// unattributed records share pid 1 with instance 0); session tracks are
+/// threads of the process that served them; `ts`/`dur` are microseconds
+/// of virtual time. Span pairing follows the pipeline's causal order:
+/// `TurnArrived → Admitted` becomes a `queued` span, `Admitted →
+/// PrefillDone` a `prefill` span, `PrefillDone → Retired` a `decode`
+/// span, and a prefetch `Promoted → PrefetchCompleted` pair a `prefetch`
+/// staging span. Store decisions appear as instant markers; occupancy
+/// gauges and HBM reservations become per-process counter tracks.
 pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
-    let mut events: Vec<Value> = vec![metadata("process_name", None, "cachedattention")];
-    let mut named: Vec<u64> = Vec::new();
-    // Open span starts, keyed by session.
-    let mut queued_at: HashMap<u64, f64> = HashMap::new();
-    let mut admitted_at: HashMap<u64, f64> = HashMap::new();
-    let mut prefill_done_at: HashMap<u64, f64> = HashMap::new();
-    let mut prefetch_at: HashMap<u64, f64> = HashMap::new();
+    let mut events: Vec<Value> = Vec::new();
+    let mut named_pids: Vec<u64> = Vec::new();
+    let mut named_threads: Vec<(u64, u64)> = Vec::new();
+    // Open span starts, keyed by session: (pid at start, start time).
+    let mut queued_at: HashMap<u64, (u64, f64)> = HashMap::new();
+    let mut admitted_at: HashMap<u64, (u64, f64)> = HashMap::new();
+    let mut prefill_done_at: HashMap<u64, (u64, f64)> = HashMap::new();
+    let mut prefetch_at: HashMap<u64, (u64, f64)> = HashMap::new();
 
     for rec in records {
+        let pid = pid_of(rec);
+        if !named_pids.contains(&pid) {
+            named_pids.push(pid);
+            let label = if pid == DEFAULT_PID {
+                "cachedattention".to_string()
+            } else {
+                format!("cachedattention instance {}", pid - 1)
+            };
+            events.push(metadata("process_name", pid, None, &label));
+        }
         if let Some(sid) = rec.ev.session() {
-            if !named.contains(&sid) {
-                named.push(sid);
-                events.push(metadata("thread_name", Some(sid), &format!("session {sid}")));
+            if !named_threads.contains(&(pid, sid)) {
+                named_threads.push((pid, sid));
+                events.push(metadata(
+                    "thread_name",
+                    pid,
+                    Some(sid),
+                    &format!("session {sid}"),
+                ));
             }
         }
         let at = rec.ev.at().as_secs_f64();
         match rec.ev {
             TraceEvent::Engine(ev) => match ev {
                 EngineEvent::TurnArrived { session, .. } => {
-                    queued_at.insert(session, at);
+                    queued_at.insert(session, (pid, at));
                 }
                 EngineEvent::Admitted { session, .. } => {
-                    if let Some(start) = queued_at.remove(&session) {
-                        events.push(span("queued", "sched", session, start, at));
+                    if let Some((p, start)) = queued_at.remove(&session) {
+                        events.push(span("queued", "sched", p, session, start, at));
                     }
-                    admitted_at.insert(session, at);
+                    admitted_at.insert(session, (pid, at));
                 }
                 EngineEvent::PrefillDone { session, .. } => {
-                    if let Some(start) = admitted_at.remove(&session) {
-                        events.push(span("prefill", "gpu", session, start, at));
+                    if let Some((p, start)) = admitted_at.remove(&session) {
+                        events.push(span("prefill", "gpu", p, session, start, at));
                     }
-                    prefill_done_at.insert(session, at);
+                    prefill_done_at.insert(session, (pid, at));
                 }
                 EngineEvent::Retired { session, .. } => {
-                    if let Some(start) = prefill_done_at.remove(&session) {
-                        events.push(span("decode", "gpu", session, start, at));
+                    if let Some((p, start)) = prefill_done_at.remove(&session) {
+                        events.push(span("decode", "gpu", p, session, start, at));
                     }
                 }
                 EngineEvent::HbmReserved { reserved_bytes, .. } => {
                     events.push(counter(
                         "hbm_reserved_bytes",
+                        pid,
                         at,
                         vec![("reserved", Value::U64(reserved_bytes))],
                     ));
@@ -152,7 +175,7 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                 EngineEvent::Truncated { session, .. }
                 | EngineEvent::Consulted { session, .. }
                 | EngineEvent::Deferred { session, .. } => {
-                    events.push(instant(ev.kind(), ev.category(), session, at));
+                    events.push(instant(ev.kind(), ev.category(), pid, session, at));
                 }
             },
             TraceEvent::Store(ev) => match ev {
@@ -163,6 +186,7 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                 } => {
                     events.push(counter(
                         "store_occupancy_bytes",
+                        pid,
                         at,
                         vec![
                             ("dram", Value::U64(dram_bytes)),
@@ -175,20 +199,28 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                     kind: FetchKind::Prefetch,
                     ..
                 } => {
-                    prefetch_at.insert(session, at);
+                    prefetch_at.insert(session, (pid, at));
                 }
                 StoreEvent::PrefetchCompleted { session, .. } => {
-                    if let Some(start) = prefetch_at.remove(&session) {
-                        events.push(span("prefetch", "tiering", session, start, at));
+                    if let Some((p, start)) = prefetch_at.remove(&session) {
+                        events.push(span("prefetch", "tiering", p, session, start, at));
                     }
                 }
                 other => {
                     if let Some(sid) = other.session() {
-                        events.push(instant(other.kind(), other.category(), sid, at));
+                        events.push(instant(other.kind(), other.category(), pid, sid, at));
                     }
                 }
             },
         }
+    }
+    if events.is_empty() {
+        events.push(metadata(
+            "process_name",
+            DEFAULT_PID,
+            None,
+            "cachedattention",
+        ));
     }
 
     let envelope = obj(vec![
@@ -205,7 +237,19 @@ mod tests {
     use store::Tier;
 
     fn rec(seq: u64, ev: TraceEvent) -> TraceRecord {
-        TraceRecord { seq, ev }
+        TraceRecord {
+            seq,
+            instance: None,
+            ev,
+        }
+    }
+
+    fn rec_on(seq: u64, instance: u32, ev: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            instance: Some(instance),
+            ev,
+        }
     }
 
     fn sample_records() -> Vec<TraceRecord> {
@@ -286,5 +330,54 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"ph\":\"M\""));
+    }
+
+    #[test]
+    fn instances_become_their_own_perfetto_processes() {
+        let records = vec![
+            rec_on(
+                0,
+                0,
+                TraceEvent::Engine(EngineEvent::turn_arrived(1, 0, Time::ZERO)),
+            ),
+            rec_on(
+                1,
+                1,
+                TraceEvent::Engine(EngineEvent::turn_arrived(2, 0, Time::ZERO)),
+            ),
+            rec_on(
+                2,
+                0,
+                TraceEvent::Engine(EngineEvent::admitted(1, 0, 50, false, Time::from_millis(2))),
+            ),
+            rec_on(
+                3,
+                1,
+                TraceEvent::Engine(EngineEvent::admitted(2, 0, 50, false, Time::from_millis(3))),
+            ),
+        ];
+        let json = to_chrome_trace(&records);
+        // Instance 0 keeps the pre-cluster process identity; instance 1
+        // appears as its own named process with its own session thread.
+        assert!(json.contains("\"name\":\"cachedattention\""));
+        assert!(json.contains("\"name\":\"cachedattention instance 1\""));
+        assert!(json.contains("\"pid\":2"));
+        let parsed: Value = serde_json::from_str(&json).expect("valid JSON");
+        let Value::Object(pairs) = parsed else {
+            panic!("expected envelope object");
+        };
+        let Value::Array(events) = &pairs[0].1 else {
+            panic!("expected traceEvents array");
+        };
+        // Both queued spans exist, one per process.
+        let queued: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                serde_json::to_string(e)
+                    .unwrap()
+                    .contains("\"name\":\"queued\"")
+            })
+            .collect();
+        assert_eq!(queued.len(), 2);
     }
 }

@@ -57,6 +57,31 @@ pub struct MetricsHub {
     write_stalls: Counter,
     dram_occupancy: TimeSeries,
     disk_occupancy: TimeSeries,
+    // Per-instance slices of the engine stream, grown on demand as the
+    // cluster's instance-tagged observer hooks report new instance ids.
+    per_instance: Vec<InstanceAgg>,
+}
+
+/// Per-instance slice of the engine-stream aggregates.
+#[derive(Debug, Clone)]
+struct InstanceAgg {
+    turns_arrived: Counter,
+    hits_fast: Counter,
+    hits_slow: Counter,
+    misses: Counter,
+    retired: Counter,
+}
+
+impl InstanceAgg {
+    fn new() -> Self {
+        InstanceAgg {
+            turns_arrived: Counter::new(),
+            hits_fast: Counter::new(),
+            hits_slow: Counter::new(),
+            misses: Counter::new(),
+            retired: Counter::new(),
+        }
+    }
 }
 
 impl Default for MetricsHub {
@@ -94,12 +119,22 @@ impl MetricsHub {
             write_stalls: Counter::new(),
             dram_occupancy: TimeSeries::new(GAUGE_BUCKET_SECS),
             disk_occupancy: TimeSeries::new(GAUGE_BUCKET_SECS),
+            per_instance: Vec::new(),
         }
     }
 
     /// The coalesced admission-deferral log.
     pub fn deferrals(&self) -> &CoalescedLog {
         &self.deferrals
+    }
+
+    /// The per-instance slice for `instance`, grown on demand.
+    fn instance_agg(&mut self, instance: u32) -> &mut InstanceAgg {
+        let i = instance as usize;
+        if self.per_instance.len() <= i {
+            self.per_instance.resize_with(i + 1, InstanceAgg::new);
+        }
+        &mut self.per_instance[i]
     }
 
     /// Renders the current aggregates as a serializable snapshot.
@@ -148,6 +183,28 @@ impl MetricsHub {
             hbm_reserved_timeline: self.hbm_reserved.clone(),
             dram_occupancy_timeline: self.dram_occupancy.clone(),
             disk_occupancy_timeline: self.disk_occupancy.clone(),
+            instances: self
+                .per_instance
+                .iter()
+                .enumerate()
+                .map(|(i, agg)| {
+                    let hits = agg.hits_fast.get() + agg.hits_slow.get();
+                    let total = hits + agg.misses.get();
+                    InstanceMetrics {
+                        instance: i as u32,
+                        turns_arrived: agg.turns_arrived.get(),
+                        hits_fast: agg.hits_fast.get(),
+                        hits_slow: agg.hits_slow.get(),
+                        misses: agg.misses.get(),
+                        hit_rate: if total == 0 {
+                            0.0
+                        } else {
+                            hits as f64 / total as f64
+                        },
+                        retired: agg.retired.get(),
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -180,6 +237,22 @@ impl EngineObserver for MetricsHub {
                 .hbm_reserved
                 .record_max(at.as_secs_f64(), reserved_bytes as f64),
         }
+    }
+
+    fn on_instance_event(&mut self, instance: u32, ev: EngineEvent) {
+        let agg = self.instance_agg(instance);
+        match ev {
+            EngineEvent::TurnArrived { .. } => agg.turns_arrived.incr(),
+            EngineEvent::Consulted { class, .. } => match class {
+                ConsultClass::NoHistory => {}
+                ConsultClass::NoStore | ConsultClass::Miss => agg.misses.incr(),
+                ConsultClass::HitFast => agg.hits_fast.incr(),
+                ConsultClass::HitSlow => agg.hits_slow.incr(),
+            },
+            EngineEvent::Retired { .. } => agg.retired.incr(),
+            _ => {}
+        }
+        self.on_event(ev);
     }
 
     fn wants_store_events(&self) -> bool {
@@ -287,6 +360,28 @@ pub struct MetricsSnapshot {
     pub dram_occupancy_timeline: TimeSeries,
     /// Disk-tier occupancy over time (1 s buckets, per-bucket max).
     pub disk_occupancy_timeline: TimeSeries,
+    /// Per-instance engine-stream aggregates (empty when the run was
+    /// observed through the instance-blind hooks).
+    pub instances: Vec<InstanceMetrics>,
+}
+
+/// One instance's slice of the engine-stream aggregates.
+#[derive(Debug, Clone, Serialize)]
+pub struct InstanceMetrics {
+    /// Instance id.
+    pub instance: u32,
+    /// Turns routed to this instance.
+    pub turns_arrived: u64,
+    /// Fast-tier hits consulted on this instance.
+    pub hits_fast: u64,
+    /// Slow-tier hits consulted on this instance.
+    pub hits_slow: u64,
+    /// Misses consulted on this instance.
+    pub misses: u64,
+    /// Hits over classified consultations on this instance.
+    pub hit_rate: f64,
+    /// Jobs retired on this instance.
+    pub retired: u64,
 }
 
 #[cfg(test)]
@@ -315,9 +410,20 @@ mod tests {
             Time::from_millis(4),
             Time::from_millis(3),
         ));
-        hub.on_event(EngineEvent::admitted(1, 100, 50, false, Time::from_millis(4)));
+        hub.on_event(EngineEvent::admitted(
+            1,
+            100,
+            50,
+            false,
+            Time::from_millis(4),
+        ));
         hub.on_event(EngineEvent::prefill_done(1, 0.25, Time::from_millis(254)));
-        hub.on_event(EngineEvent::hbm_reserved(1, 1_000, 10_000, Time::from_millis(4)));
+        hub.on_event(EngineEvent::hbm_reserved(
+            1,
+            1_000,
+            10_000,
+            Time::from_millis(4),
+        ));
         hub.on_store_event(StoreEvent::FetchHit {
             session: 1,
             tier: Tier::Dram,

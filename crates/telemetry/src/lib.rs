@@ -25,7 +25,7 @@
 //! [`RunReport`] whether observed by `NullObserver` or the full
 //! [`Telemetry`] stack (the golden-report tests enforce this).
 
-use engine::{EngineConfig, EngineEvent, EngineObserver, RunReport};
+use engine::{ClusterConfig, ClusterReport, EngineConfig, EngineEvent, EngineObserver, RunReport};
 use store::StoreEvent;
 use workload::Trace;
 
@@ -34,7 +34,7 @@ mod hub;
 mod trace;
 
 pub use export::{to_chrome_trace, to_jsonl};
-pub use hub::{MetricsHub, MetricsSnapshot};
+pub use hub::{InstanceMetrics, MetricsHub, MetricsSnapshot};
 pub use trace::{TraceEvent, TraceRecord};
 
 /// The full telemetry stack: records the merged event trace verbatim
@@ -70,16 +70,21 @@ impl Telemetry {
         self.hub.snapshot()
     }
 
-    fn push(&mut self, ev: TraceEvent) {
+    fn push(&mut self, instance: Option<u32>, ev: TraceEvent) {
         let seq = self.records.len() as u64;
-        self.records.push(TraceRecord { seq, ev });
+        self.records.push(TraceRecord { seq, instance, ev });
     }
 }
 
 impl EngineObserver for Telemetry {
     fn on_event(&mut self, ev: EngineEvent) {
-        self.push(TraceEvent::Engine(ev));
+        self.push(None, TraceEvent::Engine(ev));
         self.hub.on_event(ev);
+    }
+
+    fn on_instance_event(&mut self, instance: u32, ev: EngineEvent) {
+        self.push(Some(instance), TraceEvent::Engine(ev));
+        self.hub.on_instance_event(instance, ev);
     }
 
     fn wants_store_events(&self) -> bool {
@@ -87,7 +92,16 @@ impl EngineObserver for Telemetry {
     }
 
     fn on_store_event(&mut self, ev: StoreEvent) {
-        self.push(TraceEvent::Store(ev));
+        self.push(None, TraceEvent::Store(ev));
+        self.hub.on_store_event(ev);
+    }
+
+    fn on_instance_store_event(&mut self, instance: u32, ev: StoreEvent) {
+        // Events that carry their own owner attribution (promotions,
+        // demotions, prefetch completions) keep it; the rest are tagged
+        // with the instance whose pipeline step drained them.
+        let inst = ev.instance().unwrap_or(instance);
+        self.push(Some(inst), TraceEvent::Store(ev));
         self.hub.on_store_event(ev);
     }
 }
@@ -99,6 +113,15 @@ impl EngineObserver for Telemetry {
 /// the aggregated metrics.
 pub fn run_with_telemetry(cfg: EngineConfig, trace: Trace) -> (RunReport, Telemetry) {
     engine::run_with_observer(cfg, trace, Telemetry::new())
+}
+
+/// Runs a cluster under `cfg` with the full telemetry stack attached.
+///
+/// Every trace record is tagged with the serving instance it ran on, the
+/// hub folds per-instance aggregates next to the global ones, and the
+/// Chrome exporter renders each instance as its own Perfetto process.
+pub fn run_cluster_with_telemetry(cfg: ClusterConfig, trace: Trace) -> (ClusterReport, Telemetry) {
+    engine::run_cluster_with_observer(cfg, trace, Telemetry::new())
 }
 
 #[cfg(test)]

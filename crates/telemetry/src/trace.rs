@@ -65,20 +65,25 @@ impl TraceEvent {
 }
 
 /// One line of the exported trace: a [`TraceEvent`] stamped with its
-/// position in the merged commit order.
+/// position in the merged commit order and, in cluster runs, the serving
+/// instance whose pipeline step committed it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceRecord {
     /// Zero-based position in the merged stream. Timestamps alone cannot
     /// order the trace (an engine-emitted completion event may carry a
     /// future link time), so consumers sort and join on `seq`.
     pub seq: u64,
+    /// Serving instance the event is attributed to (`None` when the
+    /// record was collected through the instance-blind observer path).
+    pub instance: Option<u32>,
     /// The event itself.
     pub ev: TraceEvent,
 }
 
 impl Serialize for TraceRecord {
-    /// Serializes as the event's tagged object with `seq`, `source` and
-    /// `category` prepended, so every JSONL line is self-describing.
+    /// Serializes as the event's tagged object with `seq`, `source`,
+    /// `category` (and `instance`, when attributed) prepended, so every
+    /// JSONL line is self-describing.
     fn to_value(&self) -> Value {
         let inner = match &self.ev {
             TraceEvent::Engine(e) => e.to_value(),
@@ -86,9 +91,18 @@ impl Serialize for TraceRecord {
         };
         let mut pairs = vec![
             ("seq".to_string(), Value::U64(self.seq)),
-            ("source".to_string(), Value::Str(self.ev.source().to_string())),
-            ("category".to_string(), Value::Str(self.ev.category().to_string())),
+            (
+                "source".to_string(),
+                Value::Str(self.ev.source().to_string()),
+            ),
+            (
+                "category".to_string(),
+                Value::Str(self.ev.category().to_string()),
+            ),
         ];
+        if let Some(inst) = self.instance {
+            pairs.push(("instance".to_string(), Value::U64(u64::from(inst))));
+        }
         match inner {
             Value::Object(fields) => pairs.extend(fields),
             other => pairs.push(("event".to_string(), other)),
@@ -107,6 +121,7 @@ mod tests {
     fn records_are_self_describing_jsonl_lines() {
         let rec = TraceRecord {
             seq: 3,
+            instance: None,
             ev: TraceEvent::Engine(EngineEvent::consulted(
                 7,
                 ConsultClass::HitFast,
@@ -124,9 +139,31 @@ mod tests {
     }
 
     #[test]
+    fn attributed_records_carry_their_instance() {
+        let rec = TraceRecord {
+            seq: 4,
+            instance: Some(2),
+            ev: TraceEvent::Engine(EngineEvent::consulted(
+                7,
+                ConsultClass::HitFast,
+                500,
+                Time::from_secs_f64(1.0),
+            )),
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert_eq!(
+            json,
+            "{\"seq\":4,\"source\":\"engine\",\"category\":\"sched\",\
+             \"instance\":2,\"kind\":\"consulted\",\"session\":7,\
+             \"class\":\"hit_fast\",\"reused\":500,\"at\":1.0}"
+        );
+    }
+
+    #[test]
     fn store_events_carry_their_category() {
         let rec = TraceRecord {
             seq: 0,
+            instance: None,
             ev: TraceEvent::Store(StoreEvent::FetchHit {
                 session: 2,
                 tier: Tier::Disk,

@@ -27,7 +27,10 @@ fn main() {
         ccput as f64 / 1e12
     );
     println!("\nprovisioning sweep (LLaMA-13B):");
-    println!("{:<12}{:<12}{:<12}{:<12}storage $/h", "RCC/CCpUT", "capacity", "hit rate", "TTFT");
+    println!(
+        "{:<12}{:<12}{:<12}{:<12}storage $/h",
+        "RCC/CCpUT", "capacity", "hit rate", "TTFT"
+    );
     let prices = PriceSheet::default();
     let trace =
         Generator::new(ShareGptProfile::default().with_arrival_rate(rate), 11).trace(sessions);

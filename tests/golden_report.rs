@@ -65,8 +65,7 @@ fn check(name: &str, cfg: EngineConfig, n_sessions: usize, seed: u64) {
         )
     });
     assert_eq!(
-        expected,
-        json,
+        expected, json,
         "report for scenario `{name}` diverged from its golden fixture; \
          if the change is intentional, regenerate with REGEN_GOLDEN=1 and \
          commit the diff"
@@ -88,11 +87,7 @@ fn pressured(mode: Mode, medium: Medium) -> EngineConfig {
 fn golden_modes_by_mediums() {
     for mode in MODES {
         for medium in MEDIUMS {
-            let name = format!(
-                "{}_{}",
-                mode.label().to_lowercase(),
-                medium_label(medium)
-            );
+            let name = format!("{}_{}", mode.label().to_lowercase(), medium_label(medium));
             check(&name, pressured(mode, medium), 20, 7);
         }
     }

@@ -85,7 +85,10 @@ fn every_observer_yields_the_same_report() {
                 "scenario `{name}`: report diverged under {observer}"
             );
         }
-        assert!(!log.events().is_empty(), "scenario `{name}`: empty event log");
+        assert!(
+            !log.events().is_empty(),
+            "scenario `{name}`: empty event log"
+        );
         assert!(
             !tel.records().is_empty(),
             "scenario `{name}`: empty telemetry trace"
