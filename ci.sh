@@ -9,6 +9,8 @@
 # 4. clippy with warnings denied
 # 5. telemetry smoke: capture a small traced run, validate the outputs
 # 6. cluster smoke: 2-instance run with telemetry, validated the same way
+# 7. chaos smoke: fixed-seed faulted run (crash + SSD errors), validated
+#    the same way
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -45,5 +47,17 @@ echo "==> cluster smoke (exp_cluster + trace_check)"
     --jsonl "$SMOKE_DIR/cluster.jsonl" \
     --chrome "$SMOKE_DIR/cluster.json" \
     --metrics "$SMOKE_DIR/cluster_metrics.json"
+
+echo "==> chaos smoke (exp_chaos + trace_check)"
+./target/release/exp_chaos --sessions 60 --intensity 1.0 --seed 20240418 \
+    --trace-out "$SMOKE_DIR/chaos.jsonl" \
+    --trace-out "$SMOKE_DIR/chaos.json" \
+    --metrics-out "$SMOKE_DIR/chaos_metrics.json" >/dev/null
+./target/release/trace_check \
+    --jsonl "$SMOKE_DIR/chaos.jsonl" \
+    --chrome "$SMOKE_DIR/chaos.json" \
+    --metrics "$SMOKE_DIR/chaos_metrics.json"
+grep -q '"category":"fault"' "$SMOKE_DIR/chaos.jsonl" \
+    || { echo "chaos smoke: no fault events in trace" >&2; exit 1; }
 
 echo "CI green."

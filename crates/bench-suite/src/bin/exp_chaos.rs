@@ -1,0 +1,110 @@
+//! Chaos runs: fault injection and graceful degradation on a cluster.
+//!
+//! Two modes:
+//!
+//! ```text
+//! exp_chaos [--sessions N | --paper]
+//!     # sweep: fault intensity {0, 0.25, 0.5, 1.0} on a 2-instance
+//!     # cluster, one table of TTFT / hit rate / fault-path counters
+//!
+//! exp_chaos [--sessions N | --paper] --intensity K
+//!           [--instances M]          # default 2
+//!           [--seed S]               # fault-dice seed, default 20240418
+//!           [--trace-out PATH]...    # .jsonl => JSON Lines, else Chrome trace
+//!           [--metrics-out PATH]     # MetricsSnapshot as pretty JSON
+//!     # single faulted run with the full telemetry stack: every retry,
+//!     # corruption, reroute and the crash shows up on the Perfetto
+//!     # timeline in its instance's process track
+//! ```
+
+use bench_suite::experiments::chaos;
+use bench_suite::{paper_trace, scaled_config, Scale, TelemetryArgs, DEFAULT_SEED};
+use engine::{ClusterConfig, Mode, RouterKind};
+use models::ModelSpec;
+use telemetry::{run_cluster_with_telemetry, to_chrome_trace, to_jsonl};
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let intensity = flag_value("--intensity").and_then(|s| s.parse::<f64>().ok());
+
+    let Some(k) = intensity else {
+        // Sweep mode: healthy baseline plus three escalating fault mixes.
+        print!("{}", chaos::run(scale, &[0.0, 0.25, 0.5, 1.0]));
+        return;
+    };
+
+    // Single-run mode with full telemetry.
+    let n = flag_value("--instances")
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(2);
+    let seed = flag_value("--seed")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_SEED);
+    let outs = TelemetryArgs::from_args();
+    let model = ModelSpec::llama2_13b();
+    let cfg = scaled_config(Mode::CachedAttention, model, scale);
+    let trace = paper_trace(scale, 1.0);
+    let cluster = ClusterConfig::new(cfg, n, RouterKind::SessionAffinity)
+        .with_faults(chaos::chaos_plan(seed, k));
+    let (report, tel) = run_cluster_with_telemetry(cluster, trace);
+
+    for path in &outs.trace_outs {
+        let body = if path.extension().is_some_and(|e| e == "jsonl") {
+            to_jsonl(tel.records())
+        } else {
+            to_chrome_trace(tel.records())
+        };
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!(
+            "[exp_chaos] wrote {} ({} events)",
+            path.display(),
+            tel.records().len()
+        );
+    }
+    if let Some(path) = &outs.metrics_out {
+        bench_suite::telemetry_cli::write_snapshot(path, &tel.snapshot());
+    }
+
+    let f = &report.faults;
+    println!(
+        "exp_chaos: intensity {:.2} (seed {}) on {} instances, {} sessions",
+        k, seed, n, scale.sessions
+    );
+    println!(
+        "  makespan={:.1}s ttft={:.1}ms hit_rate={:.3} sessions_done={}",
+        report.aggregate.makespan_secs,
+        report.aggregate.ttft_mean() * 1e3,
+        report.aggregate.hit_rate(),
+        report.aggregate.sessions_done.get()
+    );
+    println!(
+        "  retries r/w={}/{} failures r/w={}/{} corruptions={} recompute_fallbacks={}",
+        f.read_retries,
+        f.write_retries,
+        f.read_failures,
+        f.write_failures,
+        f.corruptions_detected,
+        f.recompute_fallbacks
+    );
+    println!(
+        "  crashes={} rerouted={} pressure_events={}",
+        f.instance_crashes, f.turns_rerouted, f.pressure_events
+    );
+    for inst in &report.instances {
+        println!(
+            "  instance {}: turns={} hit_rate={:.3}{}",
+            inst.instance,
+            inst.turns_done,
+            inst.hit_rate(),
+            if inst.crashed { " (crashed)" } else { "" }
+        );
+    }
+}

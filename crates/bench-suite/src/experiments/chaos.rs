@@ -1,0 +1,166 @@
+//! Chaos sweep: graceful degradation under scripted faults.
+//!
+//! Not a paper figure — the paper assumes healthy hardware — but the
+//! natural robustness question its tiered store raises: when the slow
+//! tier misbehaves (read/write errors, silent corruption), links stall,
+//! DRAM comes under outside pressure and an instance dies outright, the
+//! cluster must keep serving every turn, degrading hit turns to
+//! re-prefills instead of failing them. This experiment sweeps a fault
+//! *intensity* knob from 0 (healthy) upward on a 2-instance cluster and
+//! reports TTFT, hit rate and the fault-path counters side by side, so
+//! the cost of each degradation rung is visible: retries show up as
+//! backoff-inflated TTFT, corruption and exhausted retries as recompute
+//! fallbacks (lost hits), the crash as rerouted turns.
+
+use engine::{run_cluster, ClusterConfig, ClusterReport, Mode, RouterKind};
+use metrics::table::{pct, Table};
+use models::ModelSpec;
+use sim::{FaultPlan, Time};
+
+use crate::{paper_trace, scaled_config, Scale};
+
+/// Builds the scripted fault plan at `intensity` in `[0, 1]`: every
+/// fault family scales with the knob, and `0` yields an empty plan (the
+/// run is then byte-identical to a fault-free one). The schedule targets
+/// the first minute of virtual time so it lands inside even small runs:
+/// a slow-tier read slowdown, a write stall, SSD error/corruption rates,
+/// a DRAM pressure spike, and — at `intensity >= 0.5` — instance 1
+/// crashing at t=10s.
+pub fn chaos_plan(seed: u64, intensity: f64) -> FaultPlan {
+    assert!(
+        (0.0..=1.0).contains(&intensity),
+        "intensity must be in [0, 1], got {intensity}"
+    );
+    let mut plan = FaultPlan::new(seed);
+    if intensity <= 0.0 {
+        return plan;
+    }
+    let window_end = Time::from_secs_f64(2.0 + 28.0 * intensity);
+    plan = plan
+        .with_link_slowdown(
+            "slow-rd",
+            Time::from_secs_f64(2.0),
+            window_end,
+            1.0 + 4.0 * intensity,
+        )
+        .with_link_stall(
+            "slow-wr",
+            Time::from_secs_f64(5.0),
+            Time::from_secs_f64(5.0 + 8.0 * intensity),
+        )
+        .with_ssd_errors(0.05 * intensity, 0.05 * intensity, 0.02 * intensity)
+        .with_dram_pressure(Time::from_secs_f64(8.0), 0.5 * intensity);
+    if intensity >= 0.5 {
+        plan = plan.with_crash(1, Time::from_secs_f64(10.0));
+    }
+    plan
+}
+
+/// The sweep results: one 2-instance cluster run per intensity.
+pub struct ChaosResults {
+    /// `(intensity, report)` per run.
+    pub rows: Vec<(f64, ClusterReport)>,
+}
+
+/// Runs the sweep: the same workload and store sizing at every
+/// intensity, so every difference between rows is injected faults.
+pub fn compute(scale: Scale, intensities: &[f64]) -> ChaosResults {
+    let model = ModelSpec::llama2_13b();
+    let mut rows = Vec::new();
+    for &k in intensities {
+        let cfg = scaled_config(Mode::CachedAttention, model.clone(), scale);
+        let trace = paper_trace(scale, 1.0);
+        let cluster = ClusterConfig::new(cfg, 2, RouterKind::SessionAffinity)
+            .with_faults(chaos_plan(crate::DEFAULT_SEED, k));
+        rows.push((k, run_cluster(cluster, trace)));
+    }
+    ChaosResults { rows }
+}
+
+/// Renders the sweep as a comparison table.
+pub fn render(r: &ChaosResults) -> String {
+    let mut t = Table::new(
+        "Chaos sweep: fault intensity vs. degraded-mode serving (2 instances)",
+        &[
+            "intensity",
+            "makespan s",
+            "TTFT ms",
+            "hit rate",
+            "retries r/w",
+            "fail r/w",
+            "corrupt",
+            "recompute",
+            "rerouted",
+        ],
+    );
+    for (k, rep) in &r.rows {
+        let f = &rep.faults;
+        t.row(&[
+            format!("{k:.2}"),
+            format!("{:.1}", rep.aggregate.makespan_secs),
+            format!("{:.1}", rep.aggregate.ttft_mean() * 1e3),
+            pct(rep.aggregate.hit_rate()),
+            format!("{}/{}", f.read_retries, f.write_retries),
+            format!("{}/{}", f.read_failures, f.write_failures),
+            f.corruptions_detected.to_string(),
+            f.recompute_fallbacks.to_string(),
+            f.turns_rerouted.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Runs the sweep at `scale` and renders the table.
+pub fn run(scale: Scale, intensities: &[f64]) -> String {
+    render(&compute(scale, intensities))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Intensity 0 is an empty plan; the full-intensity plan carries
+    /// every fault family including the crash.
+    #[test]
+    fn plan_scales_with_intensity() {
+        assert!(chaos_plan(1, 0.0).is_empty());
+        let mild = chaos_plan(1, 0.25);
+        assert!(!mild.is_empty());
+        assert!(
+            mild.crashes.is_empty(),
+            "mild plans must not crash instances"
+        );
+        let full = chaos_plan(1, 1.0);
+        assert_eq!(full.crashes.len(), 1);
+        assert_eq!(full.link_faults.len(), 2);
+        assert!(full.ssd.read_error_rate > mild.ssd.read_error_rate);
+    }
+
+    /// A small sweep completes every session at every intensity, the
+    /// healthy row reports zero fault activity, and the faulted rows
+    /// report the activity the plan scripts.
+    #[test]
+    fn chaos_sweep_serves_everything_at_small_scale() {
+        let scale = Scale {
+            sessions: 40,
+            warmup_turns: 0,
+        };
+        let r = compute(scale, &[0.0, 1.0]);
+        assert_eq!(r.rows.len(), 2);
+        for (k, rep) in &r.rows {
+            assert_eq!(
+                rep.aggregate.sessions_done.get(),
+                40,
+                "intensity {k}: sessions lost"
+            );
+        }
+        let healthy = &r.rows[0].1;
+        assert!(!healthy.faults.any(), "healthy run reported fault activity");
+        let chaotic = &r.rows[1].1;
+        assert_eq!(chaotic.faults.instance_crashes, 1);
+        assert!(chaotic.faults.any());
+        let table = render(&r);
+        assert!(table.contains("intensity"));
+        assert!(table.contains("recompute"));
+    }
+}

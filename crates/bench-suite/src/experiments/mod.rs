@@ -3,6 +3,7 @@
 //! wrappers; `exp_all` renders everything into one report, sharing the
 //! expensive end-to-end runs.
 
+pub mod chaos;
 pub mod cluster;
 pub mod e2e;
 pub mod ext_bursty;

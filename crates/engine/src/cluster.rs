@@ -24,7 +24,7 @@
 //! `tests/cluster_equivalence.rs`).
 
 use serde::Serialize;
-use sim::{Dur, EventQueue, Time, World};
+use sim::{Dur, EventQueue, FaultPlan, Time, World};
 use store::{AttentionStore, QueueView, SessionId, StoreEvent, StorePlanner, TransferDir};
 use workload::Trace;
 
@@ -46,6 +46,11 @@ pub enum Ev {
     GpuTick(u32),
     /// Periodic TTL sweep of the shared store.
     Sweep,
+    /// A scripted instance crash fired (fault plan).
+    Crash(u32),
+    /// A scripted DRAM pressure spike fired (index into the fault plan's
+    /// pressure list).
+    Pressure(usize),
 }
 
 /// Per-session progress.
@@ -69,6 +74,10 @@ pub struct ClusterConfig {
     pub n_instances: usize,
     /// Which router dispatches arriving turns.
     pub router: RouterKind,
+    /// Scripted faults injected into the run (`None` = fault-free; an
+    /// empty plan is normalized to `None`, so the fault layer is strictly
+    /// additive and fault-free runs stay byte-identical).
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -78,6 +87,7 @@ impl ClusterConfig {
             engine,
             n_instances,
             router,
+            faults: None,
         }
     }
 
@@ -85,6 +95,45 @@ impl ClusterConfig {
     /// (crate::ServingSim) wraps: one instance, affinity routing.
     pub fn single(engine: EngineConfig) -> Self {
         ClusterConfig::new(engine, 1, RouterKind::SessionAffinity)
+    }
+
+    /// Installs a fault plan for the run. Empty plans are dropped.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+}
+
+/// Fault-path counters of one cluster run: what the injected faults did
+/// and how the cluster degraded around them. All-zero for fault-free
+/// runs (it lives beside the golden-pinned aggregate, not inside it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FaultReport {
+    /// Injected slow-tier read errors that were retried.
+    pub read_retries: u64,
+    /// Reads abandoned after exhausting their retry budget.
+    pub read_failures: u64,
+    /// Injected slow-tier write errors that were retried.
+    pub write_retries: u64,
+    /// Saves abandoned after exhausting their retry budget.
+    pub write_failures: u64,
+    /// Checksum mismatches caught on load.
+    pub corruptions_detected: u64,
+    /// Turns that fell back to a full re-prefill after a cache-path
+    /// failure (read failure or corruption).
+    pub recompute_fallbacks: u64,
+    /// Scripted instance crashes that fired.
+    pub instance_crashes: u64,
+    /// Turns re-queued onto surviving instances after a crash.
+    pub turns_rerouted: u64,
+    /// Scripted DRAM pressure spikes that fired.
+    pub pressure_events: u64,
+}
+
+impl FaultReport {
+    /// Whether any fault-path activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultReport::default()
     }
 }
 
@@ -100,6 +149,8 @@ pub struct ClusterReport {
     pub router: &'static str,
     /// Per-instance counters and link totals.
     pub instances: Vec<InstanceReport>,
+    /// Fault-path counters (all-zero when no fault plan was installed).
+    pub faults: FaultReport,
 }
 
 impl ClusterReport {
@@ -126,6 +177,13 @@ pub struct ClusterSim<O: EngineObserver = NullObserver> {
     last_completion: Time,
     report: RunReport,
     obs: O,
+    /// The run's fault plan (`None` = fault-free; the fallible store and
+    /// consult paths are only taken when set).
+    faults: Option<FaultPlan>,
+    recompute_fallbacks: u64,
+    instance_crashes: u64,
+    turns_rerouted: u64,
+    pressure_events: u64,
     // Reusable scratch buffers: the merged queue view and router loads
     // are rebuilt at every consultation, and per-consultation allocation
     // was the hot path the snapshot_into refactor removed.
@@ -161,7 +219,9 @@ impl<O: EngineObserver> ClusterSim<O> {
             engine,
             n_instances,
             router,
+            faults,
         } = cfg;
+        let faults = faults.filter(|p| !p.is_empty());
         let mut store: Option<Box<dyn StorePlanner>> = match engine.mode {
             Mode::Recompute => None,
             _ => Some(Box::new(AttentionStore::new(engine.store.clone()))),
@@ -170,6 +230,9 @@ impl<O: EngineObserver> ClusterSim<O> {
             // Store tracing is buffered-and-drained, never behavioral:
             // only turn it on for observers that will consume the stream.
             s.set_tracing(obs.wants_store_events());
+            if let Some(plan) = &faults {
+                s.set_faults(plan.clone());
+            }
         }
         let sessions = (0..trace.sessions.len())
             .map(|i| SessionState {
@@ -180,9 +243,14 @@ impl<O: EngineObserver> ClusterSim<O> {
             .collect();
         let sessions_remaining = trace.sessions.len();
         let report = RunReport::new(engine.model.name, engine.mode);
-        let instances = (0..n_instances)
+        let mut instances: Vec<EngineInstance> = (0..n_instances)
             .map(|i| EngineInstance::new(i as u32, &engine))
             .collect();
+        if let Some(plan) = &faults {
+            for inst in &mut instances {
+                inst.plan.install_faults(plan, inst.id);
+            }
+        }
         ClusterSim {
             cfg: engine,
             trace,
@@ -196,6 +264,11 @@ impl<O: EngineObserver> ClusterSim<O> {
             last_completion: Time::ZERO,
             report,
             obs,
+            faults,
+            recompute_fallbacks: 0,
+            instance_crashes: 0,
+            turns_rerouted: 0,
+            pressure_events: 0,
             scratch_snapshot: Vec::new(),
             scratch_triples: Vec::new(),
             scratch_order: Vec::new(),
@@ -212,6 +285,14 @@ impl<O: EngineObserver> ClusterSim<O> {
         }
         if self.cfg.store.ttl.is_some() && self.cfg.mode != Mode::Recompute {
             q.push(Time::from_secs_f64(30.0), Ev::Sweep);
+        }
+        if let Some(plan) = &self.faults {
+            for c in &plan.crashes {
+                q.push(c.at, Ev::Crash(c.instance));
+            }
+            for (i, p) in plan.pressure.iter().enumerate() {
+                q.push(p.at, Ev::Pressure(i));
+            }
         }
         sim::run(self, &mut q, None);
     }
@@ -240,12 +321,28 @@ impl<O: EngineObserver> ClusterSim<O> {
         if let Some(store) = &self.store {
             self.report.store_stats = *store.stats();
         }
+        let mut faults = FaultReport {
+            recompute_fallbacks: self.recompute_fallbacks,
+            instance_crashes: self.instance_crashes,
+            turns_rerouted: self.turns_rerouted,
+            pressure_events: self.pressure_events,
+            ..FaultReport::default()
+        };
+        if let Some(store) = &self.store {
+            let fs = store.fault_stats();
+            faults.read_retries = fs.read_retries;
+            faults.read_failures = fs.read_failures;
+            faults.write_retries = fs.write_retries;
+            faults.write_failures = fs.write_failures;
+            faults.corruptions_detected = fs.corruptions_detected;
+        }
         let instances: Vec<InstanceReport> = self.instances.iter().map(|i| i.report()).collect();
         (
             ClusterReport {
                 aggregate: self.report,
                 router: self.router.label(),
                 instances,
+                faults,
             },
             self.obs,
         )
@@ -295,6 +392,7 @@ impl<O: EngineObserver> ClusterSim<O> {
         loads.extend(self.instances.iter().map(|i| InstanceLoad {
             queued: i.sched.len(),
             batch: i.exec.batch.len(),
+            alive: i.alive,
         }));
         let inst = self.router.route(self.sid(session).0, &loads);
         debug_assert!(inst < self.instances.len(), "router picked a real instance");
@@ -322,15 +420,24 @@ impl<O: EngineObserver> ClusterSim<O> {
     /// back to the `acting` instance's links).
     fn run_prefetch(&mut self, now: Time, acting: u32) {
         let view = self.merged_view();
+        let faulted = self.faults.is_some();
         let Some(store) = &mut self.store else {
             return;
         };
-        let transfers = store.prefetch(now, &view);
+        // Prefetch read retries cost backoff wall time: the surviving
+        // transfers start once it elapses. Fault-free runs keep the
+        // infallible path untouched.
+        let (transfers, start) = if faulted {
+            let o = store.try_prefetch(now, &view);
+            (o.transfers, now + o.backoff)
+        } else {
+            (store.prefetch(now, &view), now)
+        };
         for t in &transfers {
             let owner = view.owner(t.session).unwrap_or(acting) as usize;
             self.instances[owner]
                 .plan
-                .charge(now, std::slice::from_ref(t));
+                .charge(start, std::slice::from_ref(t));
         }
         self.pump_store_events(acting);
         if self.obs.wants_store_events() {
@@ -449,13 +556,31 @@ impl<O: EngineObserver> ClusterSim<O> {
             return (0, now);
         }
         let view = self.merged_view();
+        let faulted = self.faults.is_some();
         let cfg = &self.cfg;
         let store = self.store.as_mut().expect("checked above");
         let plan = &mut self.instances[inst as usize].plan;
-        let consult = plan.consult(now, store.as_mut(), sid, hist, &view, |tokens| {
-            cfg.stored_kv_bytes(tokens)
-        });
+        // The fallible consult path is only taken with a fault plan
+        // installed, so fault-free runs stay byte-identical.
+        let (consult, degraded) = if faulted {
+            let f = plan.consult_faulted(now, store.as_mut(), sid, hist, &view, |tokens| {
+                cfg.stored_kv_bytes(tokens)
+            });
+            (f.consult, f.degraded)
+        } else {
+            let c = plan.consult(now, store.as_mut(), sid, hist, &view, |tokens| {
+                cfg.stored_kv_bytes(tokens)
+            });
+            (c, None)
+        };
         self.pump_store_events(inst);
+        if let Some(reason) = degraded {
+            self.recompute_fallbacks += 1;
+            self.obs.on_instance_event(
+                inst,
+                EngineEvent::degraded_recompute(sid.0, reason.label(), now),
+            );
+        }
         self.report.record_consult(consult.class, measured);
         if measured {
             let me = &mut self.instances[inst as usize];
@@ -666,8 +791,19 @@ impl<O: EngineObserver> ClusterSim<O> {
             let sid = self.sid(session);
             let total_bytes = self.cfg.stored_kv_bytes(new_hist);
             let view = self.merged_view();
+            let faulted = self.faults.is_some();
             let store = self.store.as_mut().expect("store exists outside RE");
-            let (transfers, _saved) = store.save(sid, total_bytes, new_hist, now, &view);
+            // Write retries cost backoff wall time before the device→host
+            // flush can start; an exhausted save drops the stale entry
+            // (the next turn re-prefills). Fault-free runs keep the
+            // infallible path untouched.
+            let (transfers, backoff) = if faulted {
+                let o = store.try_save(sid, total_bytes, new_hist, now, &view);
+                (o.transfers, o.backoff)
+            } else {
+                let (t, _saved) = store.save(sid, total_bytes, new_hist, now, &view);
+                (t, Dur::ZERO)
+            };
             for t in &transfers {
                 let owner = view.owner(t.session).unwrap_or(inst) as usize;
                 self.instances[owner]
@@ -677,7 +813,7 @@ impl<O: EngineObserver> ClusterSim<O> {
             self.pump_store_events(inst);
             let done = self.instances[inst as usize]
                 .plan
-                .d2h_transfer(now, self.cfg.stored_kv_bytes(resp));
+                .d2h_transfer(now + backoff, self.cfg.stored_kv_bytes(resp));
             if !self.cfg.async_save {
                 // Synchronous saving blocks the GPU until the write-back
                 // completes (Fig 8a).
@@ -703,6 +839,114 @@ impl<O: EngineObserver> ClusterSim<O> {
         );
         // Space freed by the save/demotions may unblock prefetches.
         self.run_prefetch(now, inst);
+    }
+
+    /// Handles a scripted instance crash: marks the instance dead, tells
+    /// the router, and drains everything it held — queued jobs, the
+    /// decode batch, and any in-flight prefill — re-routing each turn to
+    /// a surviving instance as a fresh (un-consulted) job. Consult-time
+    /// pins are released so the shared store never leaks a dead
+    /// instance's reservations; the HBM ledger reconciles automatically
+    /// because reservations are derived from live batch contents.
+    ///
+    /// Crashing the last alive instance would strand the workload, so
+    /// such crashes are skipped (as are crashes of already-dead or
+    /// out-of-range instances).
+    fn on_crash(&mut self, now: Time, inst: u32, q: &mut EventQueue<Ev>) {
+        let i = inst as usize;
+        if i >= self.instances.len() || !self.instances[i].alive {
+            return;
+        }
+        if self.instances.iter().filter(|x| x.alive).count() <= 1 {
+            return;
+        }
+        self.instances[i].alive = false;
+        self.instance_crashes += 1;
+        self.router.on_instance_down(i);
+        self.obs
+            .on_instance_event(inst, EngineEvent::instance_crashed(inst, now));
+        // Queue order first, then the decode batch, then the GPU's
+        // in-flight prefill — a deterministic re-queue order.
+        let mut orphans: Vec<usize> = Vec::new();
+        while let Some(j) = self.instances[i].sched.pop_front() {
+            orphans.push(j);
+        }
+        // Decode-batch orphans already delivered (and recorded) their
+        // first token; their re-run is recovery work, not a second
+        // measured turn.
+        let decode_from = orphans.len();
+        orphans.append(&mut self.instances[i].exec.batch);
+        let decode_until = orphans.len();
+        if let Some((job, _, _)) = self.instances[i].exec.pending_chunk.take() {
+            if !orphans.contains(&job) {
+                orphans.push(job);
+            }
+        }
+        match self.instances[i].exec.gpu_action.take() {
+            Some(Action::Prefill { job }) | Some(Action::PrefillChunk { job, .. })
+                if !orphans.contains(&job) =>
+            {
+                orphans.push(job);
+            }
+            _ => {}
+        }
+        for (pos, j) in orphans.into_iter().enumerate() {
+            let session = self.jobs[j].session;
+            let sid = self.sid(session);
+            // Release the consult-time pin and forget the consult: the
+            // new home must re-derive reuse from the store's current
+            // state (the dead instance's staging clocks are gone).
+            if self.jobs[j].consulted.is_some() {
+                if let Some(store) = &mut self.store {
+                    store.unpin(sid);
+                }
+            }
+            let job = &mut self.jobs[j];
+            job.consulted = None;
+            job.reused_tokens = 0;
+            job.computed_tokens = 0;
+            job.ctx_tokens = 0;
+            job.remaining_decode = job.resp_tokens;
+            job.prefill_secs = 0.0;
+            job.admitted_at = Time::ZERO;
+            job.decode_start = Time::ZERO;
+            if (decode_from..decode_until).contains(&pos) {
+                job.measured = false;
+            }
+            let to = self.route(session);
+            self.jobs[j].instance = to;
+            self.instances[to as usize].sched.enqueue(j);
+            self.turns_rerouted += 1;
+            self.obs
+                .on_instance_event(to, EngineEvent::turn_rerouted(sid.0, inst, to, now));
+            if self.instances[to as usize].exec.gpu_action.is_none() {
+                self.instances[to as usize].exec.gpu_action = Some(Action::Sleep);
+                q.push(now, Ev::GpuTick(to));
+            }
+        }
+    }
+
+    /// Handles a scripted DRAM pressure spike: squeezes the store's DRAM
+    /// tier to the plan's fraction, charging the demotions to each
+    /// victim's owning instance.
+    fn on_pressure(&mut self, now: Time, idx: usize) {
+        let Some(p) = self.faults.as_ref().and_then(|f| f.pressure.get(idx)) else {
+            return;
+        };
+        let fraction = p.fraction;
+        self.pressure_events += 1;
+        let view = self.merged_view();
+        let Some(store) = &mut self.store else {
+            return;
+        };
+        let transfers = store.apply_pressure(now, fraction, &view);
+        for t in &transfers {
+            let owner = view.owner(t.session).unwrap_or(0) as usize;
+            self.instances[owner]
+                .plan
+                .charge(now, std::slice::from_ref(t));
+        }
+        self.pump_store_events(0);
     }
 
     /// Picks instance `inst`'s next action after the previous one
@@ -763,8 +1007,15 @@ impl<O: EngineObserver> World for ClusterSim<O> {
                     q.push(now + Dur::from_secs_f64(30.0), Ev::Sweep);
                 }
             }
+            Ev::Crash(inst) => self.on_crash(now, inst, q),
+            Ev::Pressure(idx) => self.on_pressure(now, idx),
             Ev::GpuTick(inst) => {
                 let i = inst as usize;
+                // Ticks scheduled before a crash landed: the instance is
+                // gone and its work was already re-routed.
+                if !self.instances[i].alive {
+                    return;
+                }
                 match self.instances[i].exec.gpu_action.take() {
                     Some(Action::Prefill { job }) => self.complete_prefill(now, inst, job),
                     Some(Action::PrefillChunk {

@@ -136,6 +136,35 @@ pub enum EngineEvent {
         /// Virtual admission time.
         at: Time,
     },
+    /// A serving instance crashed (scripted fault); its jobs are being
+    /// re-routed to the survivors.
+    InstanceCrashed {
+        /// The instance that went down.
+        instance: u32,
+        /// Virtual crash time.
+        at: Time,
+    },
+    /// A turn orphaned by an instance crash was re-queued elsewhere.
+    TurnRerouted {
+        /// External session id.
+        session: u64,
+        /// The dead instance the turn was queued (or running) on.
+        from: u32,
+        /// The surviving instance it was re-queued on.
+        to: u32,
+        /// Virtual re-route time.
+        at: Time,
+    },
+    /// A session's cached KV could not be served (read failure or
+    /// corruption); the turn degrades to a full re-prefill.
+    DegradedRecompute {
+        /// External session id.
+        session: u64,
+        /// Why the cache path failed (`"read_failed"`, `"corrupted"`).
+        reason: &'static str,
+        /// Virtual detection time.
+        at: Time,
+    },
 }
 
 impl EngineEvent {
@@ -208,8 +237,33 @@ impl EngineEvent {
         }
     }
 
-    /// The external session id the event concerns.
-    pub fn session(&self) -> u64 {
+    /// An [`EngineEvent::InstanceCrashed`] scripted fault.
+    pub fn instance_crashed(instance: u32, at: Time) -> Self {
+        EngineEvent::InstanceCrashed { instance, at }
+    }
+
+    /// An [`EngineEvent::TurnRerouted`] crash-recovery re-queue.
+    pub fn turn_rerouted(session: u64, from: u32, to: u32, at: Time) -> Self {
+        EngineEvent::TurnRerouted {
+            session,
+            from,
+            to,
+            at,
+        }
+    }
+
+    /// An [`EngineEvent::DegradedRecompute`] cache-path failure.
+    pub fn degraded_recompute(session: u64, reason: &'static str, at: Time) -> Self {
+        EngineEvent::DegradedRecompute {
+            session,
+            reason,
+            at,
+        }
+    }
+
+    /// The external session id the event concerns; `None` for
+    /// instance-scoped events ([`EngineEvent::InstanceCrashed`]).
+    pub fn session(&self) -> Option<u64> {
         match *self {
             EngineEvent::TurnArrived { session, .. }
             | EngineEvent::Truncated { session, .. }
@@ -218,7 +272,10 @@ impl EngineEvent {
             | EngineEvent::Admitted { session, .. }
             | EngineEvent::PrefillDone { session, .. }
             | EngineEvent::Retired { session, .. }
-            | EngineEvent::HbmReserved { session, .. } => session,
+            | EngineEvent::HbmReserved { session, .. }
+            | EngineEvent::TurnRerouted { session, .. }
+            | EngineEvent::DegradedRecompute { session, .. } => Some(session),
+            EngineEvent::InstanceCrashed { .. } => None,
         }
     }
 
@@ -234,11 +291,15 @@ impl EngineEvent {
             EngineEvent::PrefillDone { .. } => "prefill_done",
             EngineEvent::Retired { .. } => "retired",
             EngineEvent::HbmReserved { .. } => "hbm_reserved",
+            EngineEvent::InstanceCrashed { .. } => "instance_crashed",
+            EngineEvent::TurnRerouted { .. } => "turn_rerouted",
+            EngineEvent::DegradedRecompute { .. } => "degraded_recompute",
         }
     }
 
     /// Coarse category: `session` (turn lifecycle), `sched` (queueing and
-    /// admission decisions) or `gpu` (execution and HBM effects).
+    /// admission decisions), `gpu` (execution and HBM effects) or `fault`
+    /// (injected failures and their recovery).
     pub fn category(&self) -> &'static str {
         match self {
             EngineEvent::TurnArrived { .. }
@@ -248,6 +309,9 @@ impl EngineEvent {
             | EngineEvent::Deferred { .. }
             | EngineEvent::Admitted { .. } => "sched",
             EngineEvent::PrefillDone { .. } | EngineEvent::HbmReserved { .. } => "gpu",
+            EngineEvent::InstanceCrashed { .. }
+            | EngineEvent::TurnRerouted { .. }
+            | EngineEvent::DegradedRecompute { .. } => "fault",
         }
     }
 
@@ -261,7 +325,10 @@ impl EngineEvent {
             | EngineEvent::Admitted { at, .. }
             | EngineEvent::PrefillDone { at, .. }
             | EngineEvent::Retired { at, .. }
-            | EngineEvent::HbmReserved { at, .. } => at,
+            | EngineEvent::HbmReserved { at, .. }
+            | EngineEvent::InstanceCrashed { at, .. }
+            | EngineEvent::TurnRerouted { at, .. }
+            | EngineEvent::DegradedRecompute { at, .. } => at,
         }
     }
 }
@@ -362,6 +429,33 @@ impl Serialize for EngineEvent {
                 ("session", Value::U64(session)),
                 ("reserved_bytes", Value::U64(reserved_bytes)),
                 ("budget_bytes", Value::U64(budget_bytes)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::InstanceCrashed { instance, at } => fields(vec![
+                ("kind", kind),
+                ("instance", Value::U64(instance as u64)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::TurnRerouted {
+                session,
+                from,
+                to,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("from", Value::U64(from as u64)),
+                ("to", Value::U64(to as u64)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::DegradedRecompute {
+                session,
+                reason,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("reason", Value::Str(reason.to_string())),
                 ("at", secs(at)),
             ]),
         }
@@ -553,7 +647,7 @@ mod tests {
             at: Time::from_secs_f64(1.0),
         });
         assert_eq!(log.events().len(), 2);
-        assert_eq!(log.events()[0].session(), 3);
+        assert_eq!(log.events()[0].session(), Some(3));
         assert!(matches!(
             log.events()[1],
             EngineEvent::Retired { new_hist: 42, .. }
@@ -618,6 +712,27 @@ mod tests {
             }
         ));
         assert_eq!(log.deferred_total(), 4);
+    }
+
+    #[test]
+    fn fault_events_serialize_and_classify() {
+        let crash = EngineEvent::instance_crashed(1, Time::from_secs_f64(3.0));
+        assert_eq!(crash.session(), None);
+        assert_eq!(crash.category(), "fault");
+        assert_eq!(
+            serde_json::to_string(&crash).unwrap(),
+            "{\"kind\":\"instance_crashed\",\"instance\":1,\"at\":3.0}"
+        );
+        let re = EngineEvent::turn_rerouted(9, 1, 0, Time::from_secs_f64(3.0));
+        assert_eq!(re.session(), Some(9));
+        assert_eq!(re.kind(), "turn_rerouted");
+        assert_eq!(
+            serde_json::to_string(&re).unwrap(),
+            "{\"kind\":\"turn_rerouted\",\"session\":9,\"from\":1,\"to\":0,\"at\":3.0}"
+        );
+        let deg = EngineEvent::degraded_recompute(9, "corrupted", Time::from_secs_f64(4.0));
+        assert_eq!(deg.category(), "fault");
+        assert_eq!(deg.at(), Time::from_secs_f64(4.0));
     }
 
     #[test]

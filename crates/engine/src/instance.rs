@@ -41,6 +41,9 @@ pub struct EngineInstance {
     pub misses: u64,
     /// Last job retirement on this instance.
     pub last_completion: Time,
+    /// Whether the instance is still serving (`false` after a scripted
+    /// crash; dead instances accept no routes and ignore GPU ticks).
+    pub alive: bool,
 }
 
 impl EngineInstance {
@@ -59,6 +62,7 @@ impl EngineInstance {
             hits_slow: 0,
             misses: 0,
             last_completion: Time::ZERO,
+            alive: true,
         }
     }
 
@@ -78,6 +82,7 @@ impl EngineInstance {
             slow_write_bytes: self.plan.slow_write_bytes(),
             hbm_high_water_bytes: self.hbm.high_water(),
             last_completion_secs: self.last_completion.as_secs_f64(),
+            crashed: !self.alive,
         }
     }
 }
@@ -109,6 +114,8 @@ pub struct InstanceReport {
     pub hbm_high_water_bytes: u64,
     /// Last retirement on this instance, seconds.
     pub last_completion_secs: f64,
+    /// Whether a scripted fault took this instance down during the run.
+    pub crashed: bool,
 }
 
 impl InstanceReport {

@@ -47,7 +47,7 @@ mod serving;
 pub mod transfer;
 pub mod truncate;
 
-pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Ev};
+pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Ev, FaultReport};
 pub use config::{EngineConfig, Medium, Mode};
 pub use events::{
     CoalescedLog, ConsultClass, EngineEvent, EngineObserver, EventLog, LogEntry, NullObserver,

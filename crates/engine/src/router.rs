@@ -12,12 +12,25 @@
 
 /// A point-in-time load summary of one engine instance, given to the
 /// router at dispatch time.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct InstanceLoad {
     /// Jobs waiting in the instance's scheduler queue.
     pub queued: usize,
     /// Jobs decoding in the instance's continuous batch.
     pub batch: usize,
+    /// Whether the instance is up. Routers must never pick a dead
+    /// instance; the orchestrator guarantees at least one is alive.
+    pub alive: bool,
+}
+
+impl Default for InstanceLoad {
+    fn default() -> Self {
+        InstanceLoad {
+            queued: 0,
+            batch: 0,
+            alive: true,
+        }
+    }
 }
 
 impl InstanceLoad {
@@ -39,6 +52,10 @@ pub trait RouterPolicy {
 
     /// Short label for reports (`"affinity"`, `"least-loaded"`).
     fn label(&self) -> &'static str;
+
+    /// Notifies the router that `instance` went down, so stateful
+    /// routers can drop mappings onto it. Stateless routers ignore it.
+    fn on_instance_down(&mut self, _instance: usize) {}
 }
 
 /// Which router a cluster runs; the config-level enum.
@@ -69,15 +86,16 @@ impl RouterKind {
     }
 }
 
-/// Returns the least-loaded instance, lowest index on ties (so N=1
-/// always routes to instance 0).
+/// Returns the least-loaded *alive* instance, lowest index on ties (so
+/// N=1 always routes to instance 0).
 fn least_loaded_index(loads: &[InstanceLoad]) -> usize {
     loads
         .iter()
         .enumerate()
+        .filter(|(_, l)| l.alive)
         .min_by_key(|(i, l)| (l.total(), *i))
         .map(|(i, _)| i)
-        .expect("at least one instance")
+        .expect("at least one alive instance")
 }
 
 /// Session-affinity routing: a session's first turn lands on the
@@ -97,14 +115,27 @@ impl SessionAffinity {
 
 impl RouterPolicy for SessionAffinity {
     fn route(&mut self, session: u64, loads: &[InstanceLoad]) -> usize {
-        *self
+        let idx = *self
             .assigned
             .entry(session)
-            .or_insert_with(|| least_loaded_index(loads))
+            .or_insert_with(|| least_loaded_index(loads));
+        if loads[idx].alive {
+            return idx;
+        }
+        // The assigned instance died since: re-home the session.
+        let next = least_loaded_index(loads);
+        self.assigned.insert(session, next);
+        next
     }
 
     fn label(&self) -> &'static str {
         "affinity"
+    }
+
+    fn on_instance_down(&mut self, instance: usize) {
+        // Drop every mapping onto the dead instance so future routes
+        // re-home those sessions instead of consulting a stale entry.
+        self.assigned.retain(|_, &mut i| i != instance);
     }
 }
 
@@ -129,7 +160,11 @@ mod tests {
 
     fn loads(ls: &[(usize, usize)]) -> Vec<InstanceLoad> {
         ls.iter()
-            .map(|&(queued, batch)| InstanceLoad { queued, batch })
+            .map(|&(queued, batch)| InstanceLoad {
+                queued,
+                batch,
+                alive: true,
+            })
             .collect()
     }
 
@@ -160,6 +195,30 @@ mod tests {
                 assert_eq!(r.route(s, &loads(&[(s as usize, 1)])), 0);
             }
         }
+    }
+
+    #[test]
+    fn dead_instances_are_never_picked() {
+        let mut ls = loads(&[(0, 0), (5, 5)]);
+        ls[0].alive = false;
+        // Least-loaded skips the (emptier) dead instance.
+        assert_eq!(LeastLoaded.route(1, &ls), 1);
+        // Affinity re-homes a session stuck to the dead instance...
+        let mut r = SessionAffinity::new();
+        assert_eq!(r.route(7, &loads(&[(0, 0), (5, 5)])), 0);
+        assert_eq!(r.route(7, &ls), 1);
+        // ...and sticks to the new home afterwards.
+        assert_eq!(r.route(7, &loads(&[(0, 0), (5, 5)])), 1);
+    }
+
+    #[test]
+    fn on_instance_down_clears_affinity_mappings() {
+        let mut r = SessionAffinity::new();
+        assert_eq!(r.route(7, &loads(&[(0, 0), (9, 9)])), 0);
+        r.on_instance_down(0);
+        let mut ls = loads(&[(0, 0), (9, 9)]);
+        ls[0].alive = false;
+        assert_eq!(r.route(7, &ls), 1);
     }
 
     #[test]

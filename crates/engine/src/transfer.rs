@@ -17,8 +17,8 @@
 
 use std::collections::HashMap;
 
-use sim::{BandwidthLink, Dur, Time};
-use store::{Lookup, QueueView, SessionId, StorePlanner, Transfer, TransferDir};
+use sim::{BandwidthLink, Dur, FaultPlan, Time};
+use store::{DegradeReason, Lookup, QueueView, SessionId, StorePlanner, Transfer, TransferDir};
 
 use crate::events::ConsultClass;
 use crate::{EngineConfig, Medium};
@@ -33,6 +33,19 @@ pub struct Consult {
     pub staged: Time,
     /// Hit/miss classification (one of `Miss`, `HitFast`, `HitSlow`).
     pub class: ConsultClass,
+}
+
+/// A [`Consult`] that went through the fallible store path: the same
+/// classification plus what the fault layer did to get there.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultedConsult {
+    /// The classification and staging outcome (backoff included in
+    /// `staged`).
+    pub consult: Consult,
+    /// Injected read errors retried before the outcome settled.
+    pub retries: u32,
+    /// Why the cached KV was abandoned, when it was.
+    pub degraded: Option<DegradeReason>,
 }
 
 /// The four bandwidth links of a serving run plus the fast-tier staging
@@ -68,6 +81,27 @@ impl TransferPlan {
             fast_ready_at: HashMap::new(),
             async_save: cfg.async_save,
             write_buffer_bytes: cfg.write_buffer_bytes,
+        }
+    }
+
+    /// Installs the link-fault windows of `plan` that target `instance`
+    /// (faults with `instance: None` apply to every instance). Link names
+    /// match the stream labels: `"h2d"`, `"d2h"`, `"slow-rd"`,
+    /// `"slow-wr"`. Unknown names are ignored so plans can name links a
+    /// medium does not have.
+    pub fn install_faults(&mut self, plan: &FaultPlan, instance: u32) {
+        for f in &plan.link_faults {
+            if f.instance.is_some_and(|i| i != instance) {
+                continue;
+            }
+            let link = match f.link {
+                "h2d" => &mut self.h2d,
+                "d2h" => &mut self.d2h,
+                "slow-rd" => &mut self.slow_rd,
+                "slow-wr" => &mut self.slow_wr,
+                _ => continue,
+            };
+            link.add_fault_window(f.window, f.kind);
         }
     }
 
@@ -159,6 +193,69 @@ impl TransferPlan {
                     class: ConsultClass::HitSlow,
                 }
             }
+        }
+    }
+
+    /// Fallible form of [`TransferPlan::consult`] for runs with a fault
+    /// plan installed: reads may be retried (their exponential backoff is
+    /// wall time, so it pushes the staging clock) or abandoned entirely,
+    /// degrading the access to a miss-classified full re-prefill.
+    pub fn consult_faulted(
+        &mut self,
+        now: Time,
+        store: &mut dyn StorePlanner,
+        sid: SessionId,
+        hist: u64,
+        queue: &QueueView,
+        stored_bytes_of: impl Fn(u64) -> u64,
+    ) -> FaultedConsult {
+        let outcome = store.try_load_for_use(sid, now, queue);
+        let entry_tokens = store.entry_tokens(sid).unwrap_or(0);
+        let had_promotion = outcome
+            .transfers
+            .iter()
+            .any(|t| t.session == sid && t.dir == TransferDir::DiskToDram);
+        // Backoff is wall time spent re-issuing slow-tier reads: the
+        // surviving transfers (and the job's staging) start after it.
+        let start = now + outcome.backoff;
+        self.charge(start, &outcome.transfers);
+        let consult = match outcome.lookup {
+            Lookup::Miss => Consult {
+                reused: 0,
+                staged: start,
+                class: ConsultClass::Miss,
+            },
+            Lookup::Dram => {
+                let staged = self
+                    .fast_ready_at
+                    .get(&sid.0)
+                    .copied()
+                    .unwrap_or(start)
+                    .max(start);
+                Consult {
+                    reused: entry_tokens.min(hist),
+                    staged,
+                    class: ConsultClass::HitFast,
+                }
+            }
+            Lookup::Disk => {
+                let staged = if had_promotion {
+                    self.fast_ready_at.get(&sid.0).copied().unwrap_or(start)
+                } else {
+                    let bytes = stored_bytes_of(entry_tokens.min(hist));
+                    self.slow_rd.transfer(start, bytes)
+                };
+                Consult {
+                    reused: entry_tokens.min(hist),
+                    staged: staged.max(start),
+                    class: ConsultClass::HitSlow,
+                }
+            }
+        };
+        FaultedConsult {
+            consult,
+            retries: outcome.retries,
+            degraded: outcome.degraded,
         }
     }
 

@@ -1,0 +1,372 @@
+//! Deterministic fault injection: schedulable link, storage and instance
+//! faults with a seeded, order-independent dice.
+//!
+//! A [`FaultPlan`] is a declarative description of everything that goes
+//! wrong in a run: bandwidth-link degradation windows ([`LinkFault`]),
+//! SSD read/write error and corruption rates ([`SsdFaults`]), DRAM
+//! capacity pressure spikes ([`DramPressure`]) and whole-instance
+//! crashes ([`InstanceCrash`]). The consuming layers (store, engine,
+//! cluster) interpret the plan; this module only defines the vocabulary
+//! plus the [`RetryPolicy`] governing recovery and the deterministic
+//! [`FaultPlan::roll`] dice.
+//!
+//! Determinism is load-bearing: every probabilistic decision is a pure
+//! hash of `(plan seed, stream tag, entity id, attempt counter)`, never a
+//! draw from shared RNG state. Two runs with the same plan make byte-for-
+//! byte identical fault decisions regardless of event interleaving, and a
+//! plan whose rates are zero and whose schedules are empty
+//! ([`FaultPlan::is_empty`]) injects nothing at all.
+
+#![warn(clippy::unwrap_used)]
+
+use crate::{Dur, Time};
+
+/// A half-open virtual-time interval `[start, end)` during which a fault
+/// is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// First instant the fault is active.
+    pub start: Time,
+    /// First instant the fault is no longer active.
+    pub end: Time,
+}
+
+impl FaultWindow {
+    /// Builds a window; `end <= start` yields an empty window.
+    pub fn new(start: Time, end: Time) -> Self {
+        FaultWindow { start, end }
+    }
+
+    /// Returns `true` when `t` falls inside the window.
+    pub fn contains(&self, t: Time) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Returns `true` when the window covers no instant at all.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// How a degraded link misbehaves during its fault window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkFaultKind {
+    /// Transfers starting in the window take `factor`× their nominal
+    /// duration (`factor >= 1`).
+    Slowdown(f64),
+    /// Transfers starting in the window are held until the window ends,
+    /// then proceed at nominal speed.
+    Stall,
+}
+
+/// A scheduled degradation of one named [`crate::BandwidthLink`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// `BandwidthLink::name` of the affected link (e.g. `"slow_rd"`).
+    pub link: &'static str,
+    /// Serving instance the fault applies to; `None` = every instance.
+    pub instance: Option<u32>,
+    /// When the fault is active.
+    pub window: FaultWindow,
+    /// What the fault does.
+    pub kind: LinkFaultKind,
+}
+
+/// Stochastic SSD failure rates, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SsdFaults {
+    /// Probability an individual disk-read attempt errors.
+    pub read_error_rate: f64,
+    /// Probability an individual disk-write attempt errors.
+    pub write_error_rate: f64,
+    /// Probability a saved entry's KV metadata is silently corrupted
+    /// (detected by the store's checksum on the next load).
+    pub corruption_rate: f64,
+}
+
+impl SsdFaults {
+    /// Returns `true` when every rate is zero.
+    pub fn is_empty(&self) -> bool {
+        self.read_error_rate <= 0.0 && self.write_error_rate <= 0.0 && self.corruption_rate <= 0.0
+    }
+}
+
+/// Retry-with-exponential-backoff parameters for failed store I/O.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (total attempts = `1 + max_retries`).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Dur,
+    /// Multiplier applied per further retry (`>= 1`).
+    pub multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Dur::from_millis(1),
+            multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based):
+    /// `base · multiplier^attempt`.
+    pub fn backoff(&self, attempt: u32) -> Dur {
+        let scale = self.multiplier.powi(attempt.min(62) as i32);
+        if !scale.is_finite() {
+            return Dur::from_nanos(u64::MAX);
+        }
+        self.base_backoff * scale
+    }
+}
+
+/// A scheduled DRAM capacity pressure spike: at `at`, a co-located
+/// consumer claims `fraction` of the store's DRAM tier, forcing the
+/// store to squeeze resident entries down to the remainder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramPressure {
+    /// When the spike lands.
+    pub at: Time,
+    /// Fraction of DRAM capacity claimed, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+/// A scheduled whole-instance crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceCrash {
+    /// Which serving instance dies.
+    pub instance: u32,
+    /// When it dies.
+    pub at: Time,
+}
+
+/// Dice-stream tags keeping unrelated fault decisions independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStream {
+    /// Disk-read error rolls.
+    Read,
+    /// Disk-write error rolls.
+    Write,
+    /// Save-time corruption rolls.
+    Corrupt,
+}
+
+impl FaultStream {
+    fn tag(self) -> u64 {
+        match self {
+            FaultStream::Read => 0x52454144,
+            FaultStream::Write => 0x57524954,
+            FaultStream::Corrupt => 0x434f5252,
+        }
+    }
+}
+
+/// The complete fault schedule of one run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Seed of the fault dice (independent of the workload seed).
+    pub seed: u64,
+    /// Link degradation windows.
+    pub link_faults: Vec<LinkFault>,
+    /// SSD error/corruption rates.
+    pub ssd: SsdFaults,
+    /// Recovery policy for failed store I/O.
+    pub retry: RetryPolicy,
+    /// DRAM pressure spikes.
+    pub pressure: Vec<DramPressure>,
+    /// Instance crashes.
+    pub crashes: Vec<InstanceCrash>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given dice seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Returns `true` when the plan injects nothing: no link windows, no
+    /// crashes, no pressure spikes, all SSD rates zero. Running with an
+    /// empty plan is behaviorally identical to running with no plan.
+    pub fn is_empty(&self) -> bool {
+        self.link_faults.iter().all(|f| f.window.is_empty())
+            && self.ssd.is_empty()
+            && self.pressure.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Adds a link slowdown window (`factor >= 1`).
+    pub fn with_link_slowdown(
+        mut self,
+        link: &'static str,
+        start: Time,
+        end: Time,
+        factor: f64,
+    ) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slowdown factor must be finite and >= 1, got {factor}"
+        );
+        self.link_faults.push(LinkFault {
+            link,
+            instance: None,
+            window: FaultWindow::new(start, end),
+            kind: LinkFaultKind::Slowdown(factor),
+        });
+        self
+    }
+
+    /// Adds a link stall window: transfers starting inside it wait for
+    /// the window to end.
+    pub fn with_link_stall(mut self, link: &'static str, start: Time, end: Time) -> Self {
+        self.link_faults.push(LinkFault {
+            link,
+            instance: None,
+            window: FaultWindow::new(start, end),
+            kind: LinkFaultKind::Stall,
+        });
+        self
+    }
+
+    /// Sets the SSD error/corruption rates.
+    pub fn with_ssd_errors(mut self, read: f64, write: f64, corruption: f64) -> Self {
+        for (label, rate) in [("read", read), ("write", write), ("corruption", corruption)] {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "{label} error rate must be in [0, 1], got {rate}"
+            );
+        }
+        self.ssd = SsdFaults {
+            read_error_rate: read,
+            write_error_rate: write,
+            corruption_rate: corruption,
+        };
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Schedules a DRAM pressure spike.
+    pub fn with_dram_pressure(mut self, at: Time, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "pressure fraction must be in (0, 1], got {fraction}"
+        );
+        self.pressure.push(DramPressure { at, fraction });
+        self
+    }
+
+    /// Schedules an instance crash.
+    pub fn with_crash(mut self, instance: u32, at: Time) -> Self {
+        self.crashes.push(InstanceCrash { instance, at });
+        self
+    }
+
+    /// The deterministic fault dice: a uniform draw in `[0, 1)` that is a
+    /// pure function of `(seed, stream, entity, attempt)`. Identical
+    /// inputs always yield identical draws, independent of call order.
+    pub fn roll(&self, stream: FaultStream, entity: u64, attempt: u64) -> f64 {
+        dice(self.seed, stream, entity, attempt)
+    }
+
+    /// Rolls whether fault-stream `stream` fires for `(entity, attempt)`
+    /// at probability `rate`.
+    pub fn fires(&self, stream: FaultStream, entity: u64, attempt: u64, rate: f64) -> bool {
+        rate > 0.0 && self.roll(stream, entity, attempt) < rate
+    }
+}
+
+/// The deterministic fault dice as a free function: a uniform draw in
+/// `[0, 1)` that is a pure hash of `(seed, stream, entity, attempt)`
+/// (splitmix64 finalizer). See [`FaultPlan::roll`].
+pub fn dice(seed: u64, stream: FaultStream, entity: u64, attempt: u64) -> f64 {
+    let mut x = seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(stream.tag())
+        .wrapping_add(entity.wrapping_mul(0xbf58476d1ce4e5b9))
+        .wrapping_add(attempt.wrapping_mul(0x94d049bb133111eb));
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        assert!(FaultPlan::new(7).is_empty());
+        // Empty windows don't count as faults.
+        let plan = FaultPlan::new(7).with_link_slowdown("x", Time::from_millis(5), Time::ZERO, 2.0);
+        assert!(plan.is_empty());
+        assert!(!FaultPlan::new(7).with_crash(0, Time::ZERO).is_empty());
+        assert!(!FaultPlan::new(7).with_ssd_errors(0.1, 0.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let w = FaultWindow::new(Time::from_millis(10), Time::from_millis(20));
+        assert!(!w.contains(Time::from_millis(9)));
+        assert!(w.contains(Time::from_millis(10)));
+        assert!(w.contains(Time::from_millis(19)));
+        assert!(!w.contains(Time::from_millis(20)));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_saturates() {
+        let r = RetryPolicy {
+            max_retries: 10,
+            base_backoff: Dur::from_millis(1),
+            multiplier: 2.0,
+        };
+        assert_eq!(r.backoff(0), Dur::from_millis(1));
+        assert_eq!(r.backoff(1), Dur::from_millis(2));
+        assert_eq!(r.backoff(3), Dur::from_millis(8));
+        // Extreme attempts never panic, they saturate.
+        assert!(r.backoff(200) > Dur::from_millis(8));
+    }
+
+    #[test]
+    fn dice_is_deterministic_and_stream_separated() {
+        let plan = FaultPlan::new(42);
+        let a = plan.roll(FaultStream::Read, 5, 0);
+        assert_eq!(a, plan.roll(FaultStream::Read, 5, 0));
+        assert!((0.0..1.0).contains(&a));
+        assert_ne!(a, plan.roll(FaultStream::Write, 5, 0));
+        assert_ne!(a, plan.roll(FaultStream::Read, 6, 0));
+        assert_ne!(a, plan.roll(FaultStream::Read, 5, 1));
+        assert_ne!(a, FaultPlan::new(43).roll(FaultStream::Read, 5, 0));
+    }
+
+    #[test]
+    fn fires_respects_rate_extremes() {
+        let plan = FaultPlan::new(1);
+        for e in 0..100 {
+            assert!(!plan.fires(FaultStream::Read, e, 0, 0.0));
+            assert!(plan.fires(FaultStream::Read, e, 0, 1.0));
+        }
+        // A 50% rate fires sometimes but not always.
+        let hits = (0..1000)
+            .filter(|&e| plan.fires(FaultStream::Read, e, 0, 0.5))
+            .count();
+        assert!(hits > 300 && hits < 700, "suspicious dice: {hits}/1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn sub_unit_slowdown_rejected() {
+        let _ = FaultPlan::new(0).with_link_slowdown("x", Time::ZERO, Time::from_millis(1), 0.5);
+    }
+}

@@ -45,12 +45,17 @@
 //! assert_eq!(end.as_secs_f64(), 2.0);
 //! ```
 
+pub mod fault;
 mod link;
 mod pool;
 mod queue;
 mod rng;
 mod time;
 
+pub use fault::{
+    DramPressure, FaultPlan, FaultStream, FaultWindow, InstanceCrash, LinkFault, LinkFaultKind,
+    RetryPolicy, SsdFaults,
+};
 pub use link::BandwidthLink;
 pub use pool::{CapacityPool, PoolError};
 pub use queue::EventQueue;

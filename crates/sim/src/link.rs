@@ -5,6 +5,7 @@
 //! drives dedicated CUDA copy streams (one per direction) and dedicated disk
 //! I/O threads — within one stream, transfers serialize.
 
+use crate::fault::{FaultWindow, LinkFaultKind};
 use crate::{Dur, Time};
 
 /// A FIFO transfer channel with a fixed bandwidth.
@@ -16,6 +17,9 @@ pub struct BandwidthLink {
     total_bytes: u64,
     busy_nanos: u128,
     transfers: u64,
+    /// Scheduled degradation windows (empty in fault-free runs, so the
+    /// nominal code path is untouched).
+    faults: Vec<(FaultWindow, LinkFaultKind)>,
 }
 
 impl BandwidthLink {
@@ -36,6 +40,19 @@ impl BandwidthLink {
             total_bytes: 0,
             busy_nanos: 0,
             transfers: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Schedules a degradation window on this link. Transfers whose
+    /// start instant falls inside a stall window wait for the window to
+    /// end; transfers starting inside a slowdown window take the
+    /// configured multiple of their nominal duration. With no windows
+    /// installed, [`BandwidthLink::transfer`] is byte-identical to the
+    /// fault-free implementation.
+    pub fn add_fault_window(&mut self, window: FaultWindow, kind: LinkFaultKind) {
+        if !window.is_empty() {
+            self.faults.push((window, kind));
         }
     }
 
@@ -45,8 +62,23 @@ impl BandwidthLink {
     }
 
     /// Returns how long moving `bytes` takes on an idle link.
+    ///
+    /// Total for any input: a duration too large to represent (huge
+    /// `bytes`, or a degraded/zero effective bandwidth) saturates at the
+    /// maximum representable duration instead of panicking.
     pub fn duration_of(&self, bytes: u64) -> Dur {
-        Dur::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+        let secs = bytes as f64 / self.bytes_per_sec;
+        if !secs.is_finite() || secs < 0.0 {
+            return Dur::from_nanos(u64::MAX);
+        }
+        // f64 → u64 casts saturate, so huge finite values clamp too.
+        Dur::from_secs_f64(secs)
+    }
+
+    /// Completion instant of a transfer spanning `dur` from `start`,
+    /// saturating at [`Time::MAX`] instead of overflowing virtual time.
+    fn saturating_done(start: Time, dur: Dur) -> Time {
+        Time::from_nanos(start.as_nanos().saturating_add(dur.as_nanos()))
     }
 
     /// Enqueues a transfer of `bytes` at instant `now`; returns its
@@ -54,16 +86,53 @@ impl BandwidthLink {
     ///
     /// The transfer starts at `max(now, busy_until)` — i.e. it waits behind
     /// any transfer already in flight — and occupies the link for
-    /// `bytes / bandwidth`.
+    /// `bytes / bandwidth`. An active stall window delays the start; an
+    /// active slowdown window stretches the duration. A transfer whose
+    /// completion would overflow virtual time saturates at [`Time::MAX`]
+    /// while still accounting its bytes.
     pub fn transfer(&mut self, now: Time, bytes: u64) -> Time {
-        let start = now.max(self.busy_until);
-        let dur = self.duration_of(bytes);
-        let done = start + dur;
+        let mut start = now.max(self.busy_until);
+        let mut dur = self.duration_of(bytes);
+        if !self.faults.is_empty() {
+            start = self.fault_delayed_start(start);
+            dur = self.fault_stretched_dur(start, dur);
+        }
+        let done = Self::saturating_done(start, dur);
         self.busy_until = done;
-        self.total_bytes += bytes;
+        self.total_bytes = self.total_bytes.saturating_add(bytes);
         self.busy_nanos += dur.as_nanos() as u128;
         self.transfers += 1;
         done
+    }
+
+    /// Pushes `start` past every stall window containing it (windows may
+    /// chain, so iterate to a fixed point — bounded by the window count).
+    fn fault_delayed_start(&self, mut start: Time) -> Time {
+        for _ in 0..=self.faults.len() {
+            let mut moved = false;
+            for (w, kind) in &self.faults {
+                if matches!(kind, LinkFaultKind::Stall) && w.contains(start) {
+                    start = w.end;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        start
+    }
+
+    /// Stretches `dur` by every slowdown window containing `start`.
+    fn fault_stretched_dur(&self, start: Time, mut dur: Dur) -> Dur {
+        for (w, kind) in &self.faults {
+            if let LinkFaultKind::Slowdown(factor) = kind {
+                if w.contains(start) {
+                    dur = dur * *factor;
+                }
+            }
+        }
+        dur
     }
 
     /// Returns the instant the last queued transfer completes.
@@ -79,7 +148,7 @@ impl BandwidthLink {
         if until > self.busy_until {
             self.busy_until = until;
         }
-        self.total_bytes += bytes;
+        self.total_bytes = self.total_bytes.saturating_add(bytes);
         self.busy_nanos += self.duration_of(bytes).as_nanos() as u128;
         self.transfers += 1;
     }
@@ -195,6 +264,82 @@ mod tests {
                 prop_assert_eq!(link.busy_until(), last_done);
             }
         }
+    }
+
+    #[test]
+    fn overflowing_transfers_saturate_instead_of_panicking() {
+        let mut link = BandwidthLink::new("ssd", 1.0);
+        // u64::MAX bytes at 1 B/s ≈ 5.8e11 years: far past Time::MAX.
+        let done = link.transfer(Time::ZERO, u64::MAX);
+        assert_eq!(done, Time::MAX);
+        // A follow-up transfer queues behind it and saturates too —
+        // `start + dur` would previously panic on virtual-time overflow.
+        let done2 = link.transfer(Time::from_secs_f64(1.0), 1);
+        assert_eq!(done2, Time::MAX);
+        assert_eq!(link.busy_until(), Time::MAX);
+        // Bytes are still accounted (saturating), not silently dropped.
+        assert_eq!(link.transfers(), 2);
+        assert_eq!(link.total_bytes(), u64::MAX);
+    }
+
+    #[test]
+    fn occupy_saturates_on_unrepresentable_durations() {
+        let mut link = BandwidthLink::new("ssd", f64::MIN_POSITIVE);
+        // bytes / bytes_per_sec is +inf here: duration_of must clamp
+        // rather than trip from_secs_f64's finiteness assert.
+        assert_eq!(link.duration_of(u64::MAX), Dur::from_nanos(u64::MAX));
+        link.occupy(Time::from_secs_f64(2.0), 1_000);
+        assert_eq!(link.busy_until(), Time::from_secs_f64(2.0));
+        assert_eq!(link.total_bytes(), 1_000);
+    }
+
+    #[test]
+    fn stall_window_delays_transfers_inside_it() {
+        let mut link = BandwidthLink::new("ssd", 1_000.0);
+        link.add_fault_window(
+            FaultWindow::new(Time::from_secs_f64(1.0), Time::from_secs_f64(3.0)),
+            LinkFaultKind::Stall,
+        );
+        // Before the window: nominal.
+        assert_eq!(link.transfer(Time::ZERO, 500).as_secs_f64(), 0.5);
+        // Starting inside the window: held until t=3, then 1s of work.
+        assert_eq!(
+            link.transfer(Time::from_secs_f64(1.5), 1_000).as_secs_f64(),
+            4.0
+        );
+        // After the window: nominal again.
+        assert_eq!(
+            link.transfer(Time::from_secs_f64(10.0), 1_000)
+                .as_secs_f64(),
+            11.0
+        );
+    }
+
+    #[test]
+    fn slowdown_window_stretches_transfers_inside_it() {
+        let mut link = BandwidthLink::new("pcie", 1_000.0);
+        link.add_fault_window(
+            FaultWindow::new(Time::from_secs_f64(1.0), Time::from_secs_f64(2.0)),
+            LinkFaultKind::Slowdown(4.0),
+        );
+        assert_eq!(link.transfer(Time::ZERO, 500).as_secs_f64(), 0.5);
+        // Starts at t=1.5, inside the window: 1s of work becomes 4s.
+        assert_eq!(
+            link.transfer(Time::from_secs_f64(1.5), 1_000).as_secs_f64(),
+            5.5
+        );
+        // Empty windows are ignored outright.
+        let mut clean = BandwidthLink::new("pcie", 1_000.0);
+        clean.add_fault_window(
+            FaultWindow::new(Time::from_secs_f64(2.0), Time::from_secs_f64(1.0)),
+            LinkFaultKind::Stall,
+        );
+        assert_eq!(
+            clean
+                .transfer(Time::from_secs_f64(1.5), 1_000)
+                .as_secs_f64(),
+            2.5
+        );
     }
 
     #[test]

@@ -41,6 +41,30 @@ pub struct Entry {
     pub insert_seq: u64,
     /// Pinned entries are mid-transfer or in use and exempt from eviction.
     pub pinned: bool,
+    /// Integrity checksum over the saved KV metadata, written at save
+    /// time and verified on load. A mismatch means the stored KV is
+    /// corrupt and the session must re-prefill.
+    pub checksum: u64,
+}
+
+impl Entry {
+    /// The integrity checksum over an entry's saved KV metadata: a pure
+    /// hash of `(session, bytes, tokens)` (splitmix64 finalizer).
+    pub fn metadata_checksum(session: SessionId, bytes: u64, tokens: u64) -> u64 {
+        let mut x = session
+            .0
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(bytes.wrapping_mul(0xbf58476d1ce4e5b9))
+            .wrapping_add(tokens.wrapping_mul(0x94d049bb133111eb));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    }
+
+    /// Returns `true` when the entry's checksum matches its metadata.
+    pub fn integrity_ok(&self, session: SessionId) -> bool {
+        self.checksum == Entry::metadata_checksum(session, self.bytes, self.tokens)
+    }
 }
 
 #[cfg(test)]

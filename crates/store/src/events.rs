@@ -193,6 +193,57 @@ pub enum StoreEvent {
         /// Virtual time of the stalled attempt.
         at: Time,
     },
+    /// A disk-read attempt errored (fault injection) and will be retried
+    /// after exponential backoff.
+    ReadRetry {
+        /// External session id.
+        session: u64,
+        /// 0-based retry number about to run.
+        attempt: u32,
+        /// Virtual time of the failed attempt.
+        at: Time,
+    },
+    /// A disk read exhausted its retry budget; the session's cached KV is
+    /// invalidated and the turn degrades to RE-style re-prefill.
+    ReadFailed {
+        /// External session id.
+        session: u64,
+        /// Total attempts made (initial + retries).
+        attempts: u32,
+        /// Virtual time of the final failure.
+        at: Time,
+    },
+    /// A save-path write attempt errored (fault injection) and will be
+    /// retried after exponential backoff.
+    WriteRetry {
+        /// External session id.
+        session: u64,
+        /// 0-based retry number about to run.
+        attempt: u32,
+        /// Virtual time of the failed attempt.
+        at: Time,
+    },
+    /// A save exhausted its retry budget; the session's KV is not stored
+    /// (its next turn re-prefills from scratch).
+    WriteFailed {
+        /// External session id.
+        session: u64,
+        /// Total attempts made (initial + retries).
+        attempts: u32,
+        /// Virtual time of the final failure.
+        at: Time,
+    },
+    /// The integrity checksum over a loaded entry's saved KV metadata did
+    /// not match: the entry is invalidated and the session degrades to
+    /// RE-style re-prefill.
+    CorruptionDetected {
+        /// External session id.
+        session: u64,
+        /// Size of the corrupted payload.
+        bytes: u64,
+        /// Virtual detection time.
+        at: Time,
+    },
 }
 
 impl StoreEvent {
@@ -212,12 +263,18 @@ impl StoreEvent {
             StoreEvent::Occupancy { .. } => "occupancy",
             StoreEvent::PrefetchCompleted { .. } => "prefetch_completed",
             StoreEvent::WriteBufferStall { .. } => "write_buffer_stall",
+            StoreEvent::ReadRetry { .. } => "read_retry",
+            StoreEvent::ReadFailed { .. } => "read_failed",
+            StoreEvent::WriteRetry { .. } => "write_retry",
+            StoreEvent::WriteFailed { .. } => "write_failed",
+            StoreEvent::CorruptionDetected { .. } => "corruption_detected",
         }
     }
 
     /// Coarse category: `cache` (save/fetch lifecycle), `tiering`
-    /// (promote/demote/evict movements), `gauge` (occupancy samples) or
-    /// `stall` (write-buffer backpressure).
+    /// (promote/demote/evict movements), `gauge` (occupancy samples),
+    /// `stall` (write-buffer backpressure) or `fault` (injected-failure
+    /// retries, exhaustions and corruption detections).
     pub fn category(&self) -> &'static str {
         match self {
             StoreEvent::Saved { .. }
@@ -232,6 +289,11 @@ impl StoreEvent {
             | StoreEvent::PrefetchCompleted { .. } => "tiering",
             StoreEvent::Occupancy { .. } => "gauge",
             StoreEvent::WriteBufferStall { .. } => "stall",
+            StoreEvent::ReadRetry { .. }
+            | StoreEvent::ReadFailed { .. }
+            | StoreEvent::WriteRetry { .. }
+            | StoreEvent::WriteFailed { .. }
+            | StoreEvent::CorruptionDetected { .. } => "fault",
         }
     }
 
@@ -249,7 +311,12 @@ impl StoreEvent {
             | StoreEvent::Expired { at, .. }
             | StoreEvent::Occupancy { at, .. }
             | StoreEvent::PrefetchCompleted { at, .. }
-            | StoreEvent::WriteBufferStall { at, .. } => at,
+            | StoreEvent::WriteBufferStall { at, .. }
+            | StoreEvent::ReadRetry { at, .. }
+            | StoreEvent::ReadFailed { at, .. }
+            | StoreEvent::WriteRetry { at, .. }
+            | StoreEvent::WriteFailed { at, .. }
+            | StoreEvent::CorruptionDetected { at, .. } => at,
         }
     }
 
@@ -266,7 +333,12 @@ impl StoreEvent {
             | StoreEvent::DroppedDram { session, .. }
             | StoreEvent::Expired { session, .. }
             | StoreEvent::PrefetchCompleted { session, .. }
-            | StoreEvent::WriteBufferStall { session, .. } => Some(session),
+            | StoreEvent::WriteBufferStall { session, .. }
+            | StoreEvent::ReadRetry { session, .. }
+            | StoreEvent::ReadFailed { session, .. }
+            | StoreEvent::WriteRetry { session, .. }
+            | StoreEvent::WriteFailed { session, .. }
+            | StoreEvent::CorruptionDetected { session, .. } => Some(session),
             StoreEvent::Occupancy { .. } => None,
         }
     }
@@ -440,6 +512,42 @@ impl Serialize for StoreEvent {
                 ("kind", kind),
                 ("session", Value::U64(session)),
                 ("until", secs(until)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::ReadRetry {
+                session,
+                attempt,
+                at,
+            }
+            | StoreEvent::WriteRetry {
+                session,
+                attempt,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("attempt", Value::U64(u64::from(attempt))),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::ReadFailed {
+                session,
+                attempts,
+                at,
+            }
+            | StoreEvent::WriteFailed {
+                session,
+                attempts,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("attempts", Value::U64(u64::from(attempts))),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::CorruptionDetected { session, bytes, at } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("bytes", Value::U64(bytes)),
                 ("at", secs(at)),
             ]),
         }

@@ -40,4 +40,7 @@ pub use entry::{Entry, Placement, SessionId};
 pub use events::{FetchKind, NullStoreObserver, StoreEvent, StoreEventLog, StoreObserver, Tier};
 pub use planner::StorePlanner;
 pub use policy::{EvictionPolicy, Fifo, Lru, PolicyKind, QueueView, SchedulerAware};
-pub use store::{AttentionStore, Lookup, StoreConfig, StoreStats, Transfer, TransferDir};
+pub use store::{
+    AttentionStore, DegradeReason, FaultStats, FetchOutcome, Lookup, PrefetchOutcome, SaveOutcome,
+    StoreConfig, StoreStats, Transfer, TransferDir,
+};

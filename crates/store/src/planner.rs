@@ -8,8 +8,11 @@
 //! [`AttentionStore`] (or to a test double) without seeing the rest of
 //! the store's API.
 
-use crate::{AttentionStore, Lookup, QueueView, SessionId, StoreEvent, StoreStats, Transfer};
-use sim::Time;
+use crate::{
+    AttentionStore, FaultStats, FetchOutcome, Lookup, PrefetchOutcome, QueueView, SaveOutcome,
+    SessionId, StoreEvent, StoreStats, Transfer,
+};
+use sim::{Dur, FaultPlan, Time};
 
 /// The store operations the serving engine's planning stages use.
 ///
@@ -73,6 +76,69 @@ pub trait StorePlanner {
     fn drain_events(&mut self) -> Vec<StoreEvent> {
         Vec::new()
     }
+
+    /// Releases `sid`'s use-pin without re-saving (crash recovery).
+    /// Idempotent and a no-op for sessions no longer cached; planners
+    /// without pinning ignore it.
+    fn unpin(&mut self, _sid: SessionId) {}
+
+    /// Installs the run's fault plan. Planners without a fault facility
+    /// (test doubles) ignore it and stay infallible.
+    fn set_faults(&mut self, _plan: FaultPlan) {}
+
+    /// Cumulative fault-path statistics (all-zero when unsupported).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Fallible [`StorePlanner::load_for_use`]: may report injected read
+    /// errors, retries and degradation. Defaults to the infallible path.
+    fn try_load_for_use(&mut self, sid: SessionId, now: Time, queue: &QueueView) -> FetchOutcome {
+        let (lookup, transfers) = self.load_for_use(sid, now, queue);
+        FetchOutcome {
+            lookup,
+            transfers,
+            retries: 0,
+            backoff: Dur::ZERO,
+            degraded: None,
+        }
+    }
+
+    /// Fallible [`StorePlanner::save`]. Defaults to the infallible path.
+    fn try_save(
+        &mut self,
+        sid: SessionId,
+        total_bytes: u64,
+        total_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> SaveOutcome {
+        let (transfers, fitted) = self.save(sid, total_bytes, total_tokens, now, queue);
+        SaveOutcome {
+            transfers,
+            fitted,
+            retries: 0,
+            backoff: Dur::ZERO,
+            failed: false,
+        }
+    }
+
+    /// Fallible [`StorePlanner::prefetch`]. Defaults to the infallible
+    /// path.
+    fn try_prefetch(&mut self, now: Time, queue: &QueueView) -> PrefetchOutcome {
+        PrefetchOutcome {
+            transfers: self.prefetch(now, queue),
+            retries: 0,
+            backoff: Dur::ZERO,
+        }
+    }
+
+    /// Applies a DRAM pressure spike (see
+    /// [`AttentionStore::apply_pressure`]); returns the demotion
+    /// transfers. Defaults to a no-op.
+    fn apply_pressure(&mut self, _now: Time, _fraction: f64, _queue: &QueueView) -> Vec<Transfer> {
+        Vec::new()
+    }
 }
 
 impl StorePlanner for AttentionStore {
@@ -134,6 +200,41 @@ impl StorePlanner for AttentionStore {
 
     fn drain_events(&mut self) -> Vec<StoreEvent> {
         AttentionStore::drain_events(self)
+    }
+
+    fn unpin(&mut self, sid: SessionId) {
+        AttentionStore::unpin(self, sid)
+    }
+
+    fn set_faults(&mut self, plan: FaultPlan) {
+        AttentionStore::set_faults(self, plan)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        *AttentionStore::fault_stats(self)
+    }
+
+    fn try_load_for_use(&mut self, sid: SessionId, now: Time, queue: &QueueView) -> FetchOutcome {
+        AttentionStore::try_load_for_use(self, sid, now, queue)
+    }
+
+    fn try_save(
+        &mut self,
+        sid: SessionId,
+        total_bytes: u64,
+        total_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> SaveOutcome {
+        AttentionStore::try_save(self, sid, total_bytes, total_tokens, now, queue)
+    }
+
+    fn try_prefetch(&mut self, now: Time, queue: &QueueView) -> PrefetchOutcome {
+        AttentionStore::try_prefetch(self, now, queue)
+    }
+
+    fn apply_pressure(&mut self, now: Time, fraction: f64, queue: &QueueView) -> Vec<Transfer> {
+        AttentionStore::apply_pressure(self, now, fraction, queue)
     }
 }
 

@@ -215,6 +215,7 @@ mod tests {
             last_access: Time::from_nanos(last_access_ns),
             insert_seq,
             pinned: false,
+            checksum: 0,
         }
     }
 

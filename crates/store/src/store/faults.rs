@@ -1,0 +1,538 @@
+//! Fault-aware store I/O: fallible load/save/prefetch with deterministic
+//! retry-with-exponential-backoff, integrity verification and DRAM
+//! pressure handling.
+//!
+//! Every `try_*` method delegates verbatim to its infallible counterpart
+//! when no [`sim::FaultPlan`] is installed, so fault-free runs execute
+//! byte-identical code. With a plan installed:
+//!
+//! - disk reads (demand fetches of disk-resident entries, prefetch
+//!   promotions) roll the plan's read-error rate per attempt, retrying
+//!   with exponential backoff up to `retry.max_retries` times;
+//! - a demand fetch that exhausts its retries, or whose entry fails the
+//!   integrity checksum, invalidates the entry and reports a
+//!   [`DegradeReason`] — the engine then serves the turn by RE-style
+//!   re-prefill instead of aborting;
+//! - saves roll the write-error rate the same way; an exhausted save
+//!   drops the (stale) entry so the next turn re-prefills;
+//! - [`AttentionStore::apply_pressure`] squeezes DRAM residency down to
+//!   a fraction of capacity, modelling a co-located consumer claiming
+//!   host memory.
+//!
+//! All probabilistic decisions key the plan's pure-hash dice on
+//! `(session, monotone roll counter)`, so a run's fault pattern is a
+//! deterministic function of the plan alone.
+
+#![warn(clippy::unwrap_used)]
+
+use serde::Serialize;
+use sim::fault::{dice, FaultStream};
+use sim::{Dur, FaultPlan, RetryPolicy, SsdFaults, Time};
+
+use crate::events::StoreEvent;
+use crate::{QueueView, SessionId};
+
+use super::{AttentionStore, Lookup, Transfer, TransferDir};
+
+/// Cumulative fault-path statistics. Kept separate from
+/// [`super::StoreStats`] (which is embedded in golden-pinned reports);
+/// all-zero in fault-free runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FaultStats {
+    /// Disk-read attempts that errored and were retried.
+    pub read_retries: u64,
+    /// Demand fetches that exhausted their retry budget.
+    pub read_failures: u64,
+    /// Save-path write attempts that errored and were retried.
+    pub write_retries: u64,
+    /// Saves that exhausted their retry budget.
+    pub write_failures: u64,
+    /// Integrity-checksum mismatches detected on load.
+    pub corruptions_detected: u64,
+}
+
+/// Why a fetch degraded the session to RE-style re-prefill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The disk read exhausted its retry budget.
+    ReadFailed,
+    /// The entry failed its integrity checksum.
+    Corrupted,
+}
+
+impl DegradeReason {
+    /// Lowercase label used in serialized traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeReason::ReadFailed => "read_failed",
+            DegradeReason::Corrupted => "corrupted",
+        }
+    }
+}
+
+/// Result of a fallible demand fetch.
+#[derive(Debug, Clone)]
+pub struct FetchOutcome {
+    /// Where the KV was found (forced to [`Lookup::Miss`] on degrade).
+    pub lookup: Lookup,
+    /// Tier movements the engine must charge.
+    pub transfers: Vec<Transfer>,
+    /// Read retries that preceded the result.
+    pub retries: u32,
+    /// Total backoff delay accrued across those retries.
+    pub backoff: Dur,
+    /// `Some` when the session degraded to re-prefill.
+    pub degraded: Option<DegradeReason>,
+}
+
+impl FetchOutcome {
+    fn clean(lookup: Lookup, transfers: Vec<Transfer>) -> Self {
+        FetchOutcome {
+            lookup,
+            transfers,
+            retries: 0,
+            backoff: Dur::ZERO,
+            degraded: None,
+        }
+    }
+}
+
+/// Result of a fallible save.
+#[derive(Debug, Clone)]
+pub struct SaveOutcome {
+    /// Eviction/demotion transfers the engine must charge.
+    pub transfers: Vec<Transfer>,
+    /// Whether the save fit (capacity, not faults).
+    pub fitted: bool,
+    /// Write retries that preceded the result.
+    pub retries: u32,
+    /// Total backoff delay accrued across those retries.
+    pub backoff: Dur,
+    /// `true` when the save exhausted its retries and was dropped.
+    pub failed: bool,
+}
+
+/// Result of a fallible prefetch pass.
+#[derive(Debug, Clone)]
+pub struct PrefetchOutcome {
+    /// Tier movements the engine must charge.
+    pub transfers: Vec<Transfer>,
+    /// Read retries accrued across the pass's disk reads.
+    pub retries: u32,
+    /// Total backoff delay accrued across those retries.
+    pub backoff: Dur,
+}
+
+impl AttentionStore {
+    /// Installs (or clears, when empty) the run's fault plan. The store
+    /// only consults the plan's SSD rates and retry policy; link windows
+    /// and crash schedules are the engine's concern.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+    }
+
+    /// Cumulative fault-path statistics (all-zero without faults).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Copies out the Copy-able fault parameters, or `None` when fault-free.
+    fn fault_profile(&self) -> Option<(u64, SsdFaults, RetryPolicy)> {
+        self.faults.as_ref().map(|p| (p.seed, p.ssd, p.retry))
+    }
+
+    /// Takes the next dice key; monotone so repeated rolls differ.
+    fn next_fault_roll(&mut self) -> u64 {
+        let seq = self.fault_roll_seq;
+        self.fault_roll_seq += 1;
+        seq
+    }
+
+    /// Integrity checksum to stamp on a saved entry: correct metadata
+    /// hash, or (with probability `corruption_rate`) a corrupted one the
+    /// next load will detect.
+    pub(super) fn stamp_checksum(&mut self, sid: SessionId, bytes: u64, tokens: u64) -> u64 {
+        let good = crate::Entry::metadata_checksum(sid, bytes, tokens);
+        let Some((seed, ssd, _)) = self.fault_profile() else {
+            return good;
+        };
+        if ssd.corruption_rate <= 0.0 {
+            return good;
+        }
+        let key = self.next_fault_roll();
+        if dice(seed, FaultStream::Corrupt, sid.0, key) < ssd.corruption_rate {
+            good ^ 1
+        } else {
+            good
+        }
+    }
+
+    /// Fallible demand fetch: [`AttentionStore::load_for_use`] plus
+    /// injected read errors (retried with exponential backoff) and the
+    /// integrity check. On exhausted retries or detected corruption the
+    /// entry is invalidated and the outcome reports [`Lookup::Miss`] with
+    /// a [`DegradeReason`] — the caller re-prefills instead of aborting.
+    pub fn try_load_for_use(
+        &mut self,
+        sid: SessionId,
+        now: Time,
+        queue: &QueueView,
+    ) -> FetchOutcome {
+        let Some((seed, ssd, retry)) = self.fault_profile() else {
+            let (lookup, transfers) = self.load_for_use(sid, now, queue);
+            return FetchOutcome::clean(lookup, transfers);
+        };
+        let mut retries = 0u32;
+        let mut backoff = Dur::ZERO;
+        // Disk-resident entries ride the SSD read path: roll per attempt.
+        if self.lookup(sid) == Lookup::Disk && ssd.read_error_rate > 0.0 {
+            loop {
+                let key = self.next_fault_roll();
+                if dice(seed, FaultStream::Read, sid.0, key) >= ssd.read_error_rate {
+                    break;
+                }
+                if retries >= retry.max_retries {
+                    let mark = self.trace_mark();
+                    self.fault_stats.read_failures += 1;
+                    self.emit(StoreEvent::ReadFailed {
+                        session: sid.0,
+                        attempts: retry.max_retries + 1,
+                        at: now,
+                    });
+                    self.invalidate(sid);
+                    self.emit_occupancy(mark, now);
+                    return FetchOutcome {
+                        lookup: Lookup::Miss,
+                        transfers: Vec::new(),
+                        retries,
+                        backoff,
+                        degraded: Some(DegradeReason::ReadFailed),
+                    };
+                }
+                backoff += retry.backoff(retries);
+                self.fault_stats.read_retries += 1;
+                self.emit(StoreEvent::ReadRetry {
+                    session: sid.0,
+                    attempt: retries,
+                    at: now,
+                });
+                retries += 1;
+            }
+        }
+        // Integrity check over the saved KV metadata before handing the
+        // entry to the engine (corruption is stamped at save time, so it
+        // can surface from either tier).
+        if let Some(e) = self.entries.get(&sid) {
+            if !e.integrity_ok(sid) {
+                let bytes = e.bytes;
+                let mark = self.trace_mark();
+                self.fault_stats.corruptions_detected += 1;
+                self.emit(StoreEvent::CorruptionDetected {
+                    session: sid.0,
+                    bytes,
+                    at: now,
+                });
+                self.invalidate(sid);
+                self.emit_occupancy(mark, now);
+                return FetchOutcome {
+                    lookup: Lookup::Miss,
+                    transfers: Vec::new(),
+                    retries,
+                    backoff,
+                    degraded: Some(DegradeReason::Corrupted),
+                };
+            }
+        }
+        let (lookup, transfers) = self.load_for_use(sid, now, queue);
+        FetchOutcome {
+            lookup,
+            transfers,
+            retries,
+            backoff,
+            degraded: None,
+        }
+    }
+
+    /// Fallible save: [`AttentionStore::save`] plus injected write errors
+    /// retried with exponential backoff. An exhausted save drops the
+    /// session's (stale) entry entirely — its next turn re-prefills.
+    pub fn try_save(
+        &mut self,
+        sid: SessionId,
+        total_bytes: u64,
+        total_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> SaveOutcome {
+        let Some((seed, ssd, retry)) = self.fault_profile() else {
+            let (transfers, fitted) = self.save(sid, total_bytes, total_tokens, now, queue);
+            return SaveOutcome {
+                transfers,
+                fitted,
+                retries: 0,
+                backoff: Dur::ZERO,
+                failed: false,
+            };
+        };
+        let mut retries = 0u32;
+        let mut backoff = Dur::ZERO;
+        if ssd.write_error_rate > 0.0 {
+            loop {
+                let key = self.next_fault_roll();
+                if dice(seed, FaultStream::Write, sid.0, key) >= ssd.write_error_rate {
+                    break;
+                }
+                if retries >= retry.max_retries {
+                    let mark = self.trace_mark();
+                    self.fault_stats.write_failures += 1;
+                    self.emit(StoreEvent::WriteFailed {
+                        session: sid.0,
+                        attempts: retry.max_retries + 1,
+                        at: now,
+                    });
+                    // The stale pre-turn copy is useless now; drop it so
+                    // the next turn re-prefills from scratch.
+                    self.invalidate(sid);
+                    self.emit_occupancy(mark, now);
+                    return SaveOutcome {
+                        transfers: Vec::new(),
+                        fitted: false,
+                        retries,
+                        backoff,
+                        failed: true,
+                    };
+                }
+                backoff += retry.backoff(retries);
+                self.fault_stats.write_retries += 1;
+                self.emit(StoreEvent::WriteRetry {
+                    session: sid.0,
+                    attempt: retries,
+                    at: now,
+                });
+                retries += 1;
+            }
+        }
+        let (transfers, fitted) = self.save(sid, total_bytes, total_tokens, now, queue);
+        SaveOutcome {
+            transfers,
+            fitted,
+            retries,
+            backoff,
+            failed: false,
+        }
+    }
+
+    /// Fallible prefetch: [`AttentionStore::prefetch`] plus injected read
+    /// errors on the pass's disk reads. Prefetch reads never hard-fail —
+    /// the demand path revalidates on admission — so exhausting the
+    /// budget just caps the retries; the engine charges the extra link
+    /// occupancy and backoff.
+    pub fn try_prefetch(&mut self, now: Time, queue: &QueueView) -> PrefetchOutcome {
+        let Some((seed, ssd, retry)) = self.fault_profile() else {
+            return PrefetchOutcome {
+                transfers: self.prefetch(now, queue),
+                retries: 0,
+                backoff: Dur::ZERO,
+            };
+        };
+        let transfers = self.prefetch(now, queue);
+        let mut retries = 0u32;
+        let mut backoff = Dur::ZERO;
+        if ssd.read_error_rate > 0.0 {
+            for t in &transfers {
+                if t.dir != TransferDir::DiskToDram {
+                    continue;
+                }
+                let mut r = 0u32;
+                while r < retry.max_retries {
+                    let key = self.next_fault_roll();
+                    if dice(seed, FaultStream::Read, t.session.0, key) >= ssd.read_error_rate {
+                        break;
+                    }
+                    backoff += retry.backoff(r);
+                    self.fault_stats.read_retries += 1;
+                    self.emit(StoreEvent::ReadRetry {
+                        session: t.session.0,
+                        attempt: r,
+                        at: now,
+                    });
+                    r += 1;
+                }
+                retries += r;
+            }
+        }
+        PrefetchOutcome {
+            transfers,
+            retries,
+            backoff,
+        }
+    }
+
+    /// Applies a DRAM capacity pressure spike: squeezes DRAM residency
+    /// down to `(1 - fraction) · dram_bytes` by demoting victims (pinned
+    /// entries stay). Returns the demotion transfers to charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= fraction <= 1`.
+    pub fn apply_pressure(&mut self, now: Time, fraction: f64, queue: &QueueView) -> Vec<Transfer> {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "pressure fraction must be in [0, 1], got {fraction}"
+        );
+        let target = (self.cfg.dram_bytes as f64 * (1.0 - fraction)) as u64;
+        let mut transfers = Vec::new();
+        let mark = self.trace_mark();
+        while self.dram_used_bytes() > target {
+            let Some(victim) = self.choose_dram_victim(queue, None) else {
+                break;
+            };
+            if let Some(t) = self.demote_session(now, victim, queue, None) {
+                transfers.push(t);
+            }
+        }
+        self.emit_occupancy(mark, now);
+        transfers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Placement, StoreConfig};
+
+    fn store() -> AttentionStore {
+        AttentionStore::new(StoreConfig {
+            dram_bytes: 4_000_000_000,
+            disk_bytes: 40_000_000_000,
+            ..StoreConfig::default()
+        })
+    }
+
+    fn all_faults(read: f64, write: f64, corrupt: f64) -> FaultPlan {
+        FaultPlan::new(99).with_ssd_errors(read, write, corrupt)
+    }
+
+    #[test]
+    fn no_plan_delegates_cleanly() {
+        let mut s = store();
+        let q = QueueView::empty();
+        let sid = SessionId(1);
+        let out = s.try_save(sid, 1_000_000, 100, Time::ZERO, &q);
+        assert!(out.fitted && !out.failed && out.retries == 0);
+        let f = s.try_load_for_use(sid, Time::from_millis(1), &q);
+        assert_eq!(f.lookup, Lookup::Dram);
+        assert!(f.degraded.is_none() && f.retries == 0 && f.backoff == Dur::ZERO);
+        assert_eq!(*s.fault_stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn empty_plan_is_cleared_on_install() {
+        let mut s = store();
+        s.set_faults(FaultPlan::new(5));
+        assert!(s.faults.is_none());
+    }
+
+    #[test]
+    fn certain_read_errors_degrade_disk_hits_to_miss() {
+        let mut s = store();
+        let q = QueueView::empty();
+        let sid = SessionId(7);
+        s.set_faults(all_faults(1.0, 0.0, 0.0));
+        s.save(sid, 1_000_000, 100, Time::ZERO, &q);
+        // Force the entry onto disk so the read path rolls the dice.
+        s.apply_pressure(Time::ZERO, 1.0, &q);
+        assert_eq!(s.lookup(sid), Lookup::Disk);
+        let out = s.try_load_for_use(sid, Time::from_millis(5), &q);
+        assert_eq!(out.lookup, Lookup::Miss);
+        assert_eq!(out.degraded, Some(DegradeReason::ReadFailed));
+        assert_eq!(
+            out.retries,
+            s.faults.as_ref().map(|p| p.retry.max_retries).unwrap_or(0)
+        );
+        assert!(out.backoff > Dur::ZERO);
+        assert_eq!(s.fault_stats().read_failures, 1);
+        assert!(s.entry(sid).is_none(), "degraded entry is invalidated");
+    }
+
+    #[test]
+    fn certain_corruption_is_detected_on_load() {
+        let mut s = store();
+        let q = QueueView::empty();
+        let sid = SessionId(9);
+        s.set_faults(all_faults(0.0, 0.0, 1.0));
+        s.save(sid, 1_000_000, 100, Time::ZERO, &q);
+        let out = s.try_load_for_use(sid, Time::from_millis(5), &q);
+        assert_eq!(out.lookup, Lookup::Miss);
+        assert_eq!(out.degraded, Some(DegradeReason::Corrupted));
+        assert_eq!(s.fault_stats().corruptions_detected, 1);
+        assert!(s.entry(sid).is_none());
+    }
+
+    #[test]
+    fn certain_write_errors_fail_the_save_and_drop_stale_state() {
+        let mut s = store();
+        let q = QueueView::empty();
+        let sid = SessionId(4);
+        s.save(sid, 500_000, 50, Time::ZERO, &q);
+        s.set_faults(all_faults(0.0, 1.0, 0.0));
+        let out = s.try_save(sid, 1_000_000, 100, Time::from_millis(10), &q);
+        assert!(out.failed && !out.fitted);
+        assert_eq!(s.fault_stats().write_failures, 1);
+        assert!(s.entry(sid).is_none(), "stale entry dropped on failed save");
+    }
+
+    #[test]
+    fn truncation_preserves_corruption() {
+        let mut s = store();
+        let q = QueueView::empty();
+        let sid = SessionId(3);
+        s.set_faults(all_faults(0.0, 0.0, 1.0));
+        s.save(sid, 1_000_000, 100, Time::ZERO, &q);
+        s.truncate(sid, 500_000, 50);
+        let e = s.entry(sid).expect("still cached");
+        assert!(!e.integrity_ok(sid), "corruption survives truncation");
+        // And an honest entry stays honest through truncation.
+        let mut clean = store();
+        clean.save(sid, 1_000_000, 100, Time::ZERO, &q);
+        clean.truncate(sid, 500_000, 50);
+        assert!(clean.entry(sid).expect("cached").integrity_ok(sid));
+    }
+
+    #[test]
+    fn pressure_squeezes_dram_residency() {
+        let mut s = store();
+        let q = QueueView::empty();
+        for i in 0..3 {
+            s.save(SessionId(i), 1_000_000_000, 1_000, Time::ZERO, &q);
+        }
+        let before = s.dram_used_bytes();
+        assert!(before >= 3_000_000_000);
+        let transfers = s.apply_pressure(Time::from_millis(1), 0.75, &q);
+        assert!(!transfers.is_empty());
+        assert!(s.dram_used_bytes() <= 1_000_000_000);
+        for t in &transfers {
+            assert_eq!(t.dir, TransferDir::DramToDisk);
+        }
+        assert!(s.entries.values().any(|e| e.placement == Placement::Disk));
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_across_runs() {
+        let run = || {
+            let mut s = store();
+            s.set_faults(all_faults(0.3, 0.3, 0.3));
+            let q = QueueView::empty();
+            let mut log = Vec::new();
+            for i in 0..50u64 {
+                let sid = SessionId(i % 10);
+                let sv = s.try_save(sid, 2_000_000, 200, Time::from_millis(i), &q);
+                log.push((sv.retries, sv.failed));
+                let f = s.try_load_for_use(sid, Time::from_millis(i + 1), &q);
+                log.push((f.retries, f.degraded.is_some()));
+            }
+            (log, *s.fault_stats())
+        };
+        assert_eq!(run(), run());
+    }
+}

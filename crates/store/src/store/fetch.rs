@@ -73,6 +73,7 @@ impl AttentionStore {
         let blocks = pool.alloc(total_bytes).expect("room made above");
         let seq = self.next_seq;
         self.next_seq += 1;
+        let checksum = self.stamp_checksum(sid, total_bytes, total_tokens);
         self.entries.insert(
             sid,
             Entry {
@@ -83,6 +84,7 @@ impl AttentionStore {
                 last_access: now,
                 insert_seq: seq,
                 pinned: false,
+                checksum,
             },
         );
         self.stats.saves += 1;
@@ -178,6 +180,11 @@ impl AttentionStore {
     }
 
     /// Unpins `sid` after the engine finished using (and re-saving) it.
+    ///
+    /// Idempotent and panic-free regardless of caller ordering: unpinning
+    /// a session that was never pinned, was already unpinned, or whose
+    /// entry has since been evicted/invalidated (e.g. crash recovery
+    /// releasing pins for jobs that never reached their save) is a no-op.
     pub fn unpin(&mut self, sid: SessionId) {
         if let Some(e) = self.entries.get_mut(&sid) {
             e.pinned = false;

@@ -11,10 +11,13 @@
 //! - [`fetch`]: the read/write paths — save, demand fetch and the
 //!   scheduler-aware look-ahead prefetcher.
 
+mod faults;
 mod fetch;
 mod placement;
 #[cfg(test)]
 mod tests;
+
+pub use faults::{DegradeReason, FaultStats, FetchOutcome, PrefetchOutcome, SaveOutcome};
 
 use std::collections::BTreeMap;
 
@@ -159,6 +162,15 @@ pub struct AttentionStore {
     stats: StoreStats,
     /// Drainable event buffer; `None` = tracing off (zero cost).
     trace: Option<StoreEventLog>,
+    /// Installed fault plan; `None` = fault-free (the `try_*` APIs then
+    /// delegate verbatim to the infallible paths).
+    faults: Option<sim::FaultPlan>,
+    /// Fault-path statistics (separate from [`StoreStats`], which is
+    /// embedded in the golden-pinned run reports).
+    fault_stats: faults::FaultStats,
+    /// Monotone counter keying the deterministic fault dice, so repeated
+    /// rolls for one session stay independent.
+    fault_roll_seq: u64,
 }
 
 impl AttentionStore {
@@ -176,6 +188,9 @@ impl AttentionStore {
             next_seq: 0,
             stats: StoreStats::default(),
             trace: None,
+            faults: None,
+            fault_stats: faults::FaultStats::default(),
+            fault_roll_seq: 0,
         }
     }
 

@@ -173,6 +173,7 @@ impl AttentionStore {
             return;
         }
         let placement = e.placement;
+        let was_ok = e.integrity_ok(sid);
         let pool = match placement {
             Placement::Dram => &mut self.dram,
             Placement::Disk => &mut self.disk,
@@ -187,6 +188,10 @@ impl AttentionStore {
         e.blocks = blocks;
         e.bytes = new_bytes;
         e.tokens = new_tokens;
+        // Re-stamp the integrity checksum for the new metadata; an entry
+        // corrupted at save time stays corrupt through truncation.
+        let good = Entry::metadata_checksum(sid, new_bytes, new_tokens);
+        e.checksum = if was_ok { good } else { good ^ 1 };
     }
 
     /// Drops `sid`'s KV (context-overflow invalidation in OF mode, or an

@@ -38,6 +38,26 @@ fn save_then_load_hits_dram() {
 }
 
 #[test]
+fn unpin_is_idempotent_and_tolerates_evicted_sessions() {
+    let mut s = small_store(PolicyKind::SchedulerAware);
+    let q = QueueView::empty();
+    // Never-saved session: unpin must be a no-op, not a panic.
+    s.unpin(sid(42));
+    s.save(sid(1), 3 * MB, 100, Time::ZERO, &q);
+    let _ = s.load_for_use(sid(1), Time::from_millis(5), &q);
+    assert!(s.entry(sid(1)).unwrap().pinned);
+    // Double-unpin is fine.
+    s.unpin(sid(1));
+    s.unpin(sid(1));
+    assert!(!s.entry(sid(1)).unwrap().pinned);
+    // Unpin after the entry left the store entirely (crash recovery may
+    // release pins for jobs whose sessions were invalidated meanwhile).
+    s.invalidate(sid(1));
+    s.unpin(sid(1));
+    assert_eq!(s.lookup(sid(1)), Lookup::Miss);
+}
+
+#[test]
 fn miss_for_unknown_session() {
     let mut s = small_store(PolicyKind::SchedulerAware);
     assert_eq!(s.lookup(sid(9)), Lookup::Miss);

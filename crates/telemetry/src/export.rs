@@ -174,8 +174,15 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                 }
                 EngineEvent::Truncated { session, .. }
                 | EngineEvent::Consulted { session, .. }
-                | EngineEvent::Deferred { session, .. } => {
+                | EngineEvent::Deferred { session, .. }
+                | EngineEvent::TurnRerouted { session, .. }
+                | EngineEvent::DegradedRecompute { session, .. } => {
                     events.push(instant(ev.kind(), ev.category(), pid, session, at));
+                }
+                EngineEvent::InstanceCrashed { .. } => {
+                    // No session track: mark the crash on the instance's
+                    // tid-0 lane.
+                    events.push(instant(ev.kind(), ev.category(), pid, 0, at));
                 }
             },
             TraceEvent::Store(ev) => match ev {

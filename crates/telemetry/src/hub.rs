@@ -57,6 +57,15 @@ pub struct MetricsHub {
     write_stalls: Counter,
     dram_occupancy: TimeSeries,
     disk_occupancy: TimeSeries,
+    // Fault-stream aggregates (all-zero without a fault plan).
+    read_retries: Counter,
+    read_failures: Counter,
+    write_retries: Counter,
+    write_failures: Counter,
+    corruptions_detected: Counter,
+    recompute_fallbacks: Counter,
+    instance_crashes: Counter,
+    turns_rerouted: Counter,
     // Per-instance slices of the engine stream, grown on demand as the
     // cluster's instance-tagged observer hooks report new instance ids.
     per_instance: Vec<InstanceAgg>,
@@ -119,6 +128,14 @@ impl MetricsHub {
             write_stalls: Counter::new(),
             dram_occupancy: TimeSeries::new(GAUGE_BUCKET_SECS),
             disk_occupancy: TimeSeries::new(GAUGE_BUCKET_SECS),
+            read_retries: Counter::new(),
+            read_failures: Counter::new(),
+            write_retries: Counter::new(),
+            write_failures: Counter::new(),
+            corruptions_detected: Counter::new(),
+            recompute_fallbacks: Counter::new(),
+            instance_crashes: Counter::new(),
+            turns_rerouted: Counter::new(),
             per_instance: Vec::new(),
         }
     }
@@ -177,6 +194,14 @@ impl MetricsHub {
             dram_drops: self.dram_drops.get(),
             expirations: self.expirations.get(),
             write_stalls: self.write_stalls.get(),
+            read_retries: self.read_retries.get(),
+            read_failures: self.read_failures.get(),
+            write_retries: self.write_retries.get(),
+            write_failures: self.write_failures.get(),
+            corruptions_detected: self.corruptions_detected.get(),
+            recompute_fallbacks: self.recompute_fallbacks.get(),
+            instance_crashes: self.instance_crashes.get(),
+            turns_rerouted: self.turns_rerouted.get(),
             hbm_reserved_peak_bytes: self.hbm_reserved.peak(),
             dram_occupancy_peak_bytes: self.dram_occupancy.peak(),
             disk_occupancy_peak_bytes: self.disk_occupancy.peak(),
@@ -236,6 +261,9 @@ impl EngineObserver for MetricsHub {
             } => self
                 .hbm_reserved
                 .record_max(at.as_secs_f64(), reserved_bytes as f64),
+            EngineEvent::InstanceCrashed { .. } => self.instance_crashes.incr(),
+            EngineEvent::TurnRerouted { .. } => self.turns_rerouted.incr(),
+            EngineEvent::DegradedRecompute { .. } => self.recompute_fallbacks.incr(),
         }
     }
 
@@ -287,6 +315,11 @@ impl EngineObserver for MetricsHub {
             }
             StoreEvent::PrefetchCompleted { .. } => {}
             StoreEvent::WriteBufferStall { .. } => self.write_stalls.incr(),
+            StoreEvent::ReadRetry { .. } => self.read_retries.incr(),
+            StoreEvent::ReadFailed { .. } => self.read_failures.incr(),
+            StoreEvent::WriteRetry { .. } => self.write_retries.incr(),
+            StoreEvent::WriteFailed { .. } => self.write_failures.incr(),
+            StoreEvent::CorruptionDetected { .. } => self.corruptions_detected.incr(),
         }
     }
 }
@@ -348,6 +381,22 @@ pub struct MetricsSnapshot {
     pub expirations: u64,
     /// Admissions stalled on the HBM write buffer.
     pub write_stalls: u64,
+    /// Injected slow-tier read errors that were retried.
+    pub read_retries: u64,
+    /// Reads abandoned after exhausting their retry budget.
+    pub read_failures: u64,
+    /// Injected slow-tier write errors that were retried.
+    pub write_retries: u64,
+    /// Saves abandoned after exhausting their retry budget.
+    pub write_failures: u64,
+    /// Checksum mismatches caught on load.
+    pub corruptions_detected: u64,
+    /// Turns degraded to a full re-prefill after a cache-path failure.
+    pub recompute_fallbacks: u64,
+    /// Scripted instance crashes observed.
+    pub instance_crashes: u64,
+    /// Turns re-queued onto surviving instances after a crash.
+    pub turns_rerouted: u64,
     /// Peak live-KV HBM reservation, bytes.
     pub hbm_reserved_peak_bytes: f64,
     /// Peak DRAM-tier occupancy, bytes.

@@ -55,10 +55,11 @@ impl TraceEvent {
         }
     }
 
-    /// The session the event concerns (`None` for tier-wide gauges).
+    /// The session the event concerns (`None` for tier-wide gauges and
+    /// instance-scoped faults).
     pub fn session(&self) -> Option<u64> {
         match self {
-            TraceEvent::Engine(e) => Some(e.session()),
+            TraceEvent::Engine(e) => e.session(),
             TraceEvent::Store(e) => e.session(),
         }
     }

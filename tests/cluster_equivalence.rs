@@ -190,7 +190,9 @@ proptest! {
             );
             prev_at = ev.at();
 
-            let sid = ev.session();
+            let sid = ev
+                .session()
+                .expect("fault-free runs only emit session-scoped events");
             let entry = state.entry(sid).or_insert((Phase::Idle, *inst));
             let (phase, owner) = *entry;
             if phase != Phase::Idle {
@@ -232,6 +234,11 @@ proptest! {
                 }
                 EngineEvent::Truncated { .. } => {
                     prop_assert!(phase != Phase::Idle);
+                }
+                EngineEvent::InstanceCrashed { .. }
+                | EngineEvent::TurnRerouted { .. }
+                | EngineEvent::DegradedRecompute { .. } => {
+                    prop_assert!(false, "fault event in a fault-free run: {:?}", ev);
                 }
             }
         }

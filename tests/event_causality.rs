@@ -63,7 +63,9 @@ proptest! {
             );
             prev_at = ev.at();
 
-            let sid = ev.session();
+            let sid = ev
+                .session()
+                .expect("fault-free runs only emit session-scoped events");
             let state = phase.entry(sid).or_insert(Phase::Idle);
             match ev {
                 EngineEvent::TurnArrived { .. } => {
@@ -110,6 +112,11 @@ proptest! {
                 // mode; it only needs a live turn.
                 EngineEvent::Truncated { .. } => {
                     prop_assert!(*state != Phase::Idle);
+                }
+                EngineEvent::InstanceCrashed { .. }
+                | EngineEvent::TurnRerouted { .. }
+                | EngineEvent::DegradedRecompute { .. } => {
+                    prop_assert!(false, "fault event in a fault-free run: {:?}", ev);
                 }
             }
         }
