@@ -11,6 +11,10 @@
 # 6. cluster smoke: 2-instance run with telemetry, validated the same way
 # 7. chaos smoke: fixed-seed faulted run (crash + SSD errors), validated
 #    the same way
+# 8. perf-regression gate: exp_profile re-runs the canonical scenario
+#    matrix and diffs against the committed BENCH_profile.json with
+#    tolerance bands. Intentional perf changes: REGEN_BENCH=1 ./ci.sh
+#    regenerates the baseline (mirror of REGEN_GOLDEN=1 for fixtures).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -59,5 +63,14 @@ echo "==> chaos smoke (exp_chaos + trace_check)"
     --metrics "$SMOKE_DIR/chaos_metrics.json"
 grep -q '"category":"fault"' "$SMOKE_DIR/chaos.jsonl" \
     || { echo "chaos smoke: no fault events in trace" >&2; exit 1; }
+
+echo "==> perf-regression gate (exp_profile vs BENCH_profile.json)"
+if [[ "${REGEN_BENCH:-0}" == "1" ]]; then
+    ./target/release/exp_profile --out BENCH_profile.json >/dev/null
+    echo "regenerated BENCH_profile.json — review and commit the diff"
+else
+    ./target/release/exp_profile --out "$SMOKE_DIR/profile.json" \
+        --baseline BENCH_profile.json >/dev/null
+fi
 
 echo "CI green."

@@ -4,15 +4,20 @@
 //! trace_check [--jsonl PATH] [--chrome PATH] [--metrics PATH]
 //! ```
 //!
-//! Checks that a JSONL trace parses line-by-line and covers every event
+//! Checks that a JSONL trace parses line-by-line, covers every event
 //! category the taxonomy defines (`session`, `sched`, `gpu` from the
 //! engine; `cache`, `tiering`, `gauge` from the store — `stall` is
-//! workload-dependent and not required), that a Chrome trace is valid
-//! JSON with a non-empty `traceEvents` array, and that a metrics
-//! snapshot parses as a JSON object. Exits non-zero with a message on
-//! the first failure, so `ci.sh` can gate on it.
+//! workload-dependent and not required), and forms well-formed spans:
+//! every session walks the turn lifecycle in order, every opened
+//! stage reaches a matching terminal event for the same session (a
+//! prefetch `promoted` has its `prefetch_completed`, an arrival
+//! eventually retires), and no stage has negative duration. A Chrome
+//! trace must be valid JSON with a non-empty `traceEvents` array whose
+//! duration slices all have `dur >= 0`; a metrics snapshot must parse
+//! as a JSON object. Exits non-zero with a message on the first
+//! failure, so `ci.sh` can gate on it.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::process::ExitCode;
 
 use serde::Value;
@@ -33,10 +38,176 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Where a session currently is in its turn lifecycle, plus the last
+/// milestone timestamp to compare stage durations against.
+struct TurnState {
+    phase: &'static str,
+    milestone_at: f64,
+}
+
+/// Per-session span well-formedness over the JSONL stream: lifecycle
+/// order, matched open/terminal pairs, non-negative stage durations.
+#[derive(Default)]
+struct SpanChecker {
+    turns: HashMap<u64, TurnState>,
+    open_prefetch: HashMap<u64, f64>,
+}
+
+impl SpanChecker {
+    fn phase(&self, session: u64) -> &'static str {
+        self.turns.get(&session).map_or("idle", |t| t.phase)
+    }
+
+    fn advance(&mut self, session: u64, phase: &'static str, at: f64) {
+        self.turns.insert(
+            session,
+            TurnState {
+                phase,
+                milestone_at: at,
+            },
+        );
+    }
+
+    /// Applies one event; returns a violation message on malformed spans.
+    fn on_event(
+        &mut self,
+        kind: &str,
+        session: u64,
+        at: f64,
+        get: &dyn Fn(&str) -> Option<Value>,
+    ) -> Result<(), String> {
+        let phase = self.phase(session);
+        let milestone = self.turns.get(&session).map_or(0.0, |t| t.milestone_at);
+        match kind {
+            "turn_arrived" => {
+                if phase != "idle" {
+                    return Err(format!("turn arrived for session {session} still {phase}"));
+                }
+                self.advance(session, "arrived", at);
+            }
+            "consulted" | "deferred" if phase != "arrived" => {
+                return Err(format!("`{kind}` for session {session} in phase {phase}"));
+            }
+            "admitted" => {
+                if phase != "arrived" {
+                    return Err(format!("admission for session {session} in phase {phase}"));
+                }
+                if at < milestone {
+                    return Err(format!(
+                        "negative queue wait for session {session}: admitted {at} < arrived {milestone}"
+                    ));
+                }
+                self.advance(session, "admitted", at);
+            }
+            "hbm_reserved" if phase != "admitted" => {
+                return Err(format!(
+                    "hbm_reserved for session {session} in phase {phase}"
+                ));
+            }
+            "prefill_timed" => {
+                if phase != "admitted" {
+                    return Err(format!(
+                        "prefill_timed for session {session} in phase {phase}"
+                    ));
+                }
+                for field in ["load_secs", "comp_secs", "stall_secs"] {
+                    match get(field) {
+                        Some(Value::F64(x)) if x >= 0.0 => {}
+                        other => {
+                            return Err(format!(
+                                "prefill_timed for session {session}: bad `{field}` {other:?}"
+                            ))
+                        }
+                    }
+                }
+            }
+            "prefill_done" => {
+                if phase != "admitted" {
+                    return Err(format!(
+                        "prefill_done for session {session} in phase {phase}"
+                    ));
+                }
+                if at < milestone {
+                    return Err(format!(
+                        "negative prefill for session {session}: done {at} < admitted {milestone}"
+                    ));
+                }
+                self.advance(session, "prefilled", at);
+            }
+            "retired" => {
+                if phase != "prefilled" {
+                    return Err(format!("retirement for session {session} in phase {phase}"));
+                }
+                if at < milestone {
+                    return Err(format!(
+                        "negative decode for session {session}: retired {at} < first token {milestone}"
+                    ));
+                }
+                self.turns.remove(&session);
+            }
+            "truncated" if phase == "idle" => {
+                return Err(format!("truncation for idle session {session}"));
+            }
+            "turn_rerouted" => {
+                // The turn restarts its pipeline on the target instance:
+                // back to the queue, clock reset to the reroute.
+                if phase == "idle" {
+                    return Err(format!("reroute for idle session {session}"));
+                }
+                self.advance(session, "arrived", at);
+            }
+            "promoted" => {
+                if matches!(get("fetch"), Some(Value::Str(f)) if f == "prefetch") {
+                    if self.open_prefetch.contains_key(&session) {
+                        return Err(format!(
+                            "prefetch for session {session} re-opened before completing"
+                        ));
+                    }
+                    self.open_prefetch.insert(session, at);
+                }
+            }
+            "prefetch_completed" => {
+                let Some(start) = self.open_prefetch.remove(&session) else {
+                    return Err(format!(
+                        "prefetch_completed for session {session} without an open prefetch"
+                    ));
+                };
+                if at < start {
+                    return Err(format!(
+                        "negative prefetch for session {session}: completed {at} < promoted {start}"
+                    ));
+                }
+            }
+            "write_buffer_stall" => match get("until") {
+                Some(Value::F64(until)) if until >= at => {}
+                other => {
+                    return Err(format!(
+                        "write_buffer_stall for session {session}: `until` {other:?} before at {at}"
+                    ))
+                }
+            },
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// End-of-stream: every opened span must have terminated.
+    fn finish(&self) -> Result<(), String> {
+        if let Some((sid, t)) = self.turns.iter().next() {
+            return Err(format!("session {sid} left {} at end of trace", t.phase));
+        }
+        if let Some((sid, _)) = self.open_prefetch.iter().next() {
+            return Err(format!("prefetch for session {sid} never completed"));
+        }
+        Ok(())
+    }
+}
+
 fn check_jsonl(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut lines = 0u64;
+    let mut spans = SpanChecker::default();
     for (i, line) in text.lines().enumerate() {
         let v: Value = serde_json::from_str(line)
             .map_err(|e| format!("{path}:{}: not valid JSON: {e:?}", i + 1))?;
@@ -57,17 +228,27 @@ fn check_jsonl(path: &str) -> Result<(), String> {
         if let Some(Value::Str(cat)) = get("category") {
             seen.insert(cat);
         }
+        if let (Some(Value::Str(kind)), Some(Value::U64(session))) = (get("kind"), get("session")) {
+            let at = match get("at") {
+                Some(Value::F64(x)) => x,
+                _ => 0.0,
+            };
+            spans
+                .on_event(&kind, session, at, &get)
+                .map_err(|msg| format!("{path}:{}: {msg}", i + 1))?;
+        }
         lines += 1;
     }
     if lines == 0 {
         return Err(format!("{path}: empty trace"));
     }
+    spans.finish().map_err(|msg| format!("{path}: {msg}"))?;
     for cat in REQUIRED_CATEGORIES {
         if !seen.contains(cat) {
             return Err(format!("{path}: no `{cat}` events (saw: {seen:?})"));
         }
     }
-    println!("[trace_check] {path}: {lines} events, categories {seen:?}");
+    println!("[trace_check] {path}: {lines} events, spans well-formed, categories {seen:?}");
     Ok(())
 }
 
@@ -84,6 +265,23 @@ fn check_chrome(path: &str) -> Result<(), String> {
         .map(|(_, v)| v);
     match events {
         Some(Value::Array(xs)) if !xs.is_empty() => {
+            // Every complete ("X") slice must have a non-negative
+            // duration — a negative dur renders as garbage in Perfetto
+            // and means a span was paired backwards.
+            for (i, ev) in xs.iter().enumerate() {
+                if !matches!(ev.get("ph"), Some(Value::Str(ph)) if ph == "X") {
+                    continue;
+                }
+                match ev.get("dur") {
+                    Some(Value::F64(d)) if *d >= 0.0 => {}
+                    Some(Value::U64(_)) => {}
+                    other => {
+                        return Err(format!(
+                            "{path}: traceEvents[{i}]: X slice with bad dur {other:?}"
+                        ))
+                    }
+                }
+            }
             println!("[trace_check] {path}: {} trace events", xs.len());
             Ok(())
         }

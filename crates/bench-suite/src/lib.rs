@@ -12,6 +12,7 @@ use models::ModelSpec;
 use workload::{Generator, ShareGptProfile, Trace};
 
 pub mod experiments;
+pub mod profile;
 pub mod telemetry_cli;
 
 pub use telemetry_cli::TelemetryArgs;

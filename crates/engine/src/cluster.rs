@@ -34,7 +34,7 @@ use crate::instance::{EngineInstance, InstanceReport};
 use crate::router::{InstanceLoad, RouterKind, RouterPolicy};
 use crate::scheduler;
 use crate::truncate;
-use crate::{EngineConfig, Mode, RunReport};
+use crate::{EngineConfig, Medium, Mode, RunReport};
 
 /// Simulation events (public because [`ClusterSim`] implements
 /// [`World<Event = Ev>`]; not constructed by users directly).
@@ -702,6 +702,30 @@ impl<O: EngineObserver> ClusterSim<O> {
         self.obs.on_instance_event(
             inst,
             EngineEvent::admitted(sid.0, reused, computed, chunked, now),
+        );
+        // Overlap accounting for the span profiler: the KV transfer this
+        // reuse requires vs. the share of it left visible as a stall.
+        let load = if reused == 0 {
+            Dur::ZERO
+        } else if self.cfg.medium == Medium::DramDisk {
+            self.instances[i]
+                .plan
+                .h2d_duration_of(self.cfg.stored_kv_bytes(reused))
+        } else {
+            // HBM-backed fast tiers hold reused KV device-resident; the
+            // only transfer on the critical path is the residual staging
+            // wait.
+            wait
+        };
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::prefill_timed(
+                sid.0,
+                load.as_secs_f64(),
+                comp.as_secs_f64(),
+                (stall.max(wait)).as_secs_f64(),
+                now,
+            ),
         );
         self.obs.on_instance_event(
             inst,

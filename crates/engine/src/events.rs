@@ -106,6 +106,26 @@ pub enum EngineEvent {
         /// Virtual admission time.
         at: Time,
     },
+    /// Admission-time breakdown of the prefill the engine just issued:
+    /// how much KV-transfer time the turn needs, how much compute, and
+    /// how much of the transfer stays *visible* as a stall (§3.2.1's
+    /// layer-wise preload hides the rest under compute). The span
+    /// profiler derives overlap efficiency from this event alone.
+    PrefillTimed {
+        /// External session id.
+        session: u64,
+        /// KV transfer time the reuse requires, seconds (host→device
+        /// for DRAM-backed fast tiers, residual staging wait for
+        /// HBM-backed ones; zero when nothing is reused).
+        load_secs: f64,
+        /// Pure prefill compute time, seconds.
+        comp_secs: f64,
+        /// Transfer time left visible on the critical path, seconds
+        /// (the issued prefill lasts `comp_secs + stall_secs`).
+        stall_secs: f64,
+        /// Virtual admission time.
+        at: Time,
+    },
     /// A prefill finished and the job joined the decode batch.
     PrefillDone {
         /// External session id.
@@ -209,6 +229,23 @@ impl EngineEvent {
         }
     }
 
+    /// A [`EngineEvent::PrefillTimed`] admission-time breakdown.
+    pub fn prefill_timed(
+        session: u64,
+        load_secs: f64,
+        comp_secs: f64,
+        stall_secs: f64,
+        at: Time,
+    ) -> Self {
+        EngineEvent::PrefillTimed {
+            session,
+            load_secs,
+            comp_secs,
+            stall_secs,
+            at,
+        }
+    }
+
     /// A [`EngineEvent::PrefillDone`] first token.
     pub fn prefill_done(session: u64, ttft_secs: f64, at: Time) -> Self {
         EngineEvent::PrefillDone {
@@ -270,6 +307,7 @@ impl EngineEvent {
             | EngineEvent::Consulted { session, .. }
             | EngineEvent::Deferred { session, .. }
             | EngineEvent::Admitted { session, .. }
+            | EngineEvent::PrefillTimed { session, .. }
             | EngineEvent::PrefillDone { session, .. }
             | EngineEvent::Retired { session, .. }
             | EngineEvent::HbmReserved { session, .. }
@@ -288,6 +326,7 @@ impl EngineEvent {
             EngineEvent::Consulted { .. } => "consulted",
             EngineEvent::Deferred { .. } => "deferred",
             EngineEvent::Admitted { .. } => "admitted",
+            EngineEvent::PrefillTimed { .. } => "prefill_timed",
             EngineEvent::PrefillDone { .. } => "prefill_done",
             EngineEvent::Retired { .. } => "retired",
             EngineEvent::HbmReserved { .. } => "hbm_reserved",
@@ -308,7 +347,9 @@ impl EngineEvent {
             EngineEvent::Consulted { .. }
             | EngineEvent::Deferred { .. }
             | EngineEvent::Admitted { .. } => "sched",
-            EngineEvent::PrefillDone { .. } | EngineEvent::HbmReserved { .. } => "gpu",
+            EngineEvent::PrefillTimed { .. }
+            | EngineEvent::PrefillDone { .. }
+            | EngineEvent::HbmReserved { .. } => "gpu",
             EngineEvent::InstanceCrashed { .. }
             | EngineEvent::TurnRerouted { .. }
             | EngineEvent::DegradedRecompute { .. } => "fault",
@@ -323,6 +364,7 @@ impl EngineEvent {
             | EngineEvent::Consulted { at, .. }
             | EngineEvent::Deferred { at, .. }
             | EngineEvent::Admitted { at, .. }
+            | EngineEvent::PrefillTimed { at, .. }
             | EngineEvent::PrefillDone { at, .. }
             | EngineEvent::Retired { at, .. }
             | EngineEvent::HbmReserved { at, .. }
@@ -397,6 +439,20 @@ impl Serialize for EngineEvent {
                 ("reused", Value::U64(reused)),
                 ("computed", Value::U64(computed)),
                 ("chunked", Value::Bool(chunked)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::PrefillTimed {
+                session,
+                load_secs,
+                comp_secs,
+                stall_secs,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("load_secs", Value::F64(load_secs)),
+                ("comp_secs", Value::F64(comp_secs)),
+                ("stall_secs", Value::F64(stall_secs)),
                 ("at", secs(at)),
             ]),
             EngineEvent::PrefillDone {
@@ -712,6 +768,20 @@ mod tests {
             }
         ));
         assert_eq!(log.deferred_total(), 4);
+    }
+
+    #[test]
+    fn prefill_timed_serializes_and_classifies() {
+        let ev = EngineEvent::prefill_timed(4, 0.5, 0.25, 0.125, Time::from_secs_f64(3.0));
+        assert_eq!(ev.kind(), "prefill_timed");
+        assert_eq!(ev.category(), "gpu");
+        assert_eq!(ev.session(), Some(4));
+        assert_eq!(ev.at(), Time::from_secs_f64(3.0));
+        assert_eq!(
+            serde_json::to_string(&ev).unwrap(),
+            "{\"kind\":\"prefill_timed\",\"session\":4,\"load_secs\":0.5,\
+             \"comp_secs\":0.25,\"stall_secs\":0.125,\"at\":3.0}"
+        );
     }
 
     #[test]

@@ -7,10 +7,12 @@
 //! `chrome://tracing` open directly: one process per serving instance
 //! (records without instance attribution land on the default process),
 //! one thread per session showing queued → prefill → decode spans,
-//! prefetch staging spans, instant markers for the store's placement
-//! decisions, and counter tracks for HBM reservations and tier
-//! occupancy. A session that migrates instances under least-loaded
-//! routing shows its spans under whichever process served that turn.
+//! prefetch staging and write-buffer stall spans with flow arrows
+//! linking each prefetch to the admission that consumes it, instant
+//! markers for the store's placement decisions, and counter tracks for
+//! HBM reservations and tier occupancy. A session that migrates
+//! instances under least-loaded routing shows its spans under whichever
+//! process served that turn.
 
 use std::collections::HashMap;
 
@@ -84,6 +86,25 @@ fn counter(name: &str, pid: u64, at_secs: f64, args: Vec<(&str, Value)>) -> Valu
     ])
 }
 
+/// One endpoint of a flow arrow: `ph: "s"` opens it at the producer,
+/// `ph: "f"` (binding to the enclosing slice's end, `bp: "e"`) closes
+/// it at the consumer. Perfetto draws the arrow between the two slices.
+fn flow(phase: &str, id: u64, pid: u64, tid: u64, at_secs: f64) -> Value {
+    let mut pairs = vec![
+        ("name", Value::Str("kv_transfer".to_string())),
+        ("cat", Value::Str("tiering".to_string())),
+        ("ph", Value::Str(phase.to_string())),
+        ("id", Value::U64(id)),
+        ("ts", micros(at_secs)),
+        ("pid", Value::U64(pid)),
+        ("tid", Value::U64(tid)),
+    ];
+    if phase == "f" {
+        pairs.push(("bp", Value::Str("e".to_string())));
+    }
+    obj(pairs)
+}
+
 /// A metadata ("M") event naming a process or a thread.
 fn metadata(what: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
     let mut pairs = vec![
@@ -107,8 +128,13 @@ fn metadata(what: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
 /// `TurnArrived → Admitted` becomes a `queued` span, `Admitted →
 /// PrefillDone` a `prefill` span, `PrefillDone → Retired` a `decode`
 /// span, and a prefetch `Promoted → PrefetchCompleted` pair a `prefetch`
-/// staging span. Store decisions appear as instant markers; occupancy
-/// gauges and HBM reservations become per-process counter tracks.
+/// staging span. Write-buffer stalls render with their real extent
+/// (`at → until`), the visible fetch stall nests inside its prefill
+/// slice, and a flow arrow connects each completed prefetch to the
+/// admission that consumes the staged KV — the Perfetto waterfall shows
+/// the §3.2 overlap (or its absence) directly. Store decisions appear
+/// as instant markers; occupancy gauges and HBM reservations become
+/// per-process counter tracks.
 pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
     let mut events: Vec<Value> = Vec::new();
     let mut named_pids: Vec<u64> = Vec::new();
@@ -118,6 +144,11 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
     let mut admitted_at: HashMap<u64, (u64, f64)> = HashMap::new();
     let mut prefill_done_at: HashMap<u64, (u64, f64)> = HashMap::new();
     let mut prefetch_at: HashMap<u64, (u64, f64)> = HashMap::new();
+    // Finished prefetch stagings awaiting their consumer: session →
+    // (pid of the staging span, staging end time). Consumed by the next
+    // admission to draw the causal prefetch → prefill flow arrow.
+    let mut prefetch_done: HashMap<u64, (u64, f64)> = HashMap::new();
+    let mut flow_ids: u64 = 0;
 
     for rec in records {
         let pid = pid_of(rec);
@@ -151,6 +182,13 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                     if let Some((p, start)) = queued_at.remove(&session) {
                         events.push(span("queued", "sched", p, session, start, at));
                     }
+                    if let Some((p, end)) = prefetch_done.remove(&session) {
+                        // Causal edge: the staged KV this admission
+                        // consumes came from that prefetch.
+                        flow_ids += 1;
+                        events.push(flow("s", flow_ids, p, session, end));
+                        events.push(flow("f", flow_ids, pid, session, at));
+                    }
                     admitted_at.insert(session, (pid, at));
                 }
                 EngineEvent::PrefillDone { session, .. } => {
@@ -171,6 +209,24 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                         at,
                         vec![("reserved", Value::U64(reserved_bytes))],
                     ));
+                }
+                EngineEvent::PrefillTimed {
+                    session,
+                    stall_secs,
+                    ..
+                } => {
+                    // The visible fetch stall nests inside the upcoming
+                    // `prefill` slice (the stall leads, compute follows).
+                    if stall_secs > 0.0 {
+                        events.push(span(
+                            "fetch_stall",
+                            "gpu",
+                            pid,
+                            session,
+                            at,
+                            at + stall_secs,
+                        ));
+                    }
                 }
                 EngineEvent::Truncated { session, .. }
                 | EngineEvent::Consulted { session, .. }
@@ -211,7 +267,21 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                 StoreEvent::PrefetchCompleted { session, .. } => {
                     if let Some((p, start)) = prefetch_at.remove(&session) {
                         events.push(span("prefetch", "tiering", p, session, start, at));
+                        prefetch_done.insert(session, (p, at));
                     }
+                }
+                StoreEvent::WriteBufferStall { session, until, .. } => {
+                    // The stall has real extent — admission is blocked
+                    // from `at` until the buffer drains at `until` — so
+                    // it renders as a duration slice, not an instant.
+                    events.push(span(
+                        "write_buffer_stall",
+                        "stall",
+                        pid,
+                        session,
+                        at,
+                        until.as_secs_f64(),
+                    ));
                 }
                 other => {
                     if let Some(sid) = other.session() {
@@ -337,6 +407,70 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"ph\":\"M\""));
+    }
+
+    #[test]
+    fn prefetch_flows_into_the_consuming_admission() {
+        let records = vec![
+            rec(
+                0,
+                TraceEvent::Engine(EngineEvent::turn_arrived(7, 0, Time::ZERO)),
+            ),
+            rec(
+                1,
+                TraceEvent::Store(StoreEvent::Promoted {
+                    session: 7,
+                    bytes: 100,
+                    kind: FetchKind::Prefetch,
+                    queue_pos: Some(0),
+                    instance: None,
+                    at: Time::from_millis(1),
+                }),
+            ),
+            rec(
+                2,
+                TraceEvent::Store(StoreEvent::PrefetchCompleted {
+                    session: 7,
+                    instance: None,
+                    at: Time::from_millis(5),
+                }),
+            ),
+            rec(
+                3,
+                TraceEvent::Engine(EngineEvent::admitted(
+                    7,
+                    100,
+                    50,
+                    false,
+                    Time::from_millis(8),
+                )),
+            ),
+        ];
+        let json = to_chrome_trace(&records);
+        // The staging span, both flow endpoints sharing one id, and the
+        // slice-end binding on the finish side.
+        assert!(json.contains("\"name\":\"prefetch\""));
+        assert!(json.contains("\"name\":\"kv_transfer\",\"cat\":\"tiering\",\"ph\":\"s\",\"id\":1"));
+        assert!(json.contains("\"name\":\"kv_transfer\",\"cat\":\"tiering\",\"ph\":\"f\",\"id\":1"));
+        assert!(json.contains("\"bp\":\"e\""));
+    }
+
+    #[test]
+    fn write_buffer_stall_renders_with_its_real_extent() {
+        let records = vec![rec(
+            0,
+            TraceEvent::Store(StoreEvent::WriteBufferStall {
+                session: 3,
+                until: Time::from_millis(40),
+                at: Time::from_millis(10),
+            }),
+        )];
+        let json = to_chrome_trace(&records);
+        assert!(json.contains("\"name\":\"write_buffer_stall\""));
+        // 30 ms of blocked admission = 30_000 µs of slice duration.
+        assert!(json.contains("\"dur\":30000"));
+        // A duration slice, not the old instant marker.
+        assert!(!json.contains("\"ph\":\"i\""));
     }
 
     #[test]

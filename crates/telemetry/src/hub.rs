@@ -34,6 +34,18 @@ pub struct MetricsHub {
     misses: Counter,
     ttft: Histogram,
     queue_wait: Histogram,
+    /// Visible fetch-stall share of each issued prefill, seconds.
+    fetch_stall: Histogram,
+    /// Pure compute share of each issued prefill, seconds.
+    prefill_compute: Histogram,
+    /// Total KV transfer time the reuses required, seconds.
+    kv_load_secs: f64,
+    /// Share of that transfer hidden under prefill compute (§3.2.1).
+    kv_hidden_secs: f64,
+    /// Prefetch staging latency (promotion → completion), seconds.
+    prefetch_latency: Histogram,
+    /// Promotion time of each session's in-flight prefetch.
+    prefetch_starts: HashMap<u64, f64>,
     truncations: Counter,
     retired: Counter,
     hbm_reserved: TimeSeries,
@@ -79,6 +91,10 @@ struct InstanceAgg {
     hits_slow: Counter,
     misses: Counter,
     retired: Counter,
+    read_retries: Counter,
+    write_retries: Counter,
+    recompute_fallbacks: Counter,
+    turns_rerouted_away: Counter,
 }
 
 impl InstanceAgg {
@@ -89,6 +105,10 @@ impl InstanceAgg {
             hits_slow: Counter::new(),
             misses: Counter::new(),
             retired: Counter::new(),
+            read_retries: Counter::new(),
+            write_retries: Counter::new(),
+            recompute_fallbacks: Counter::new(),
+            turns_rerouted_away: Counter::new(),
         }
     }
 }
@@ -109,6 +129,12 @@ impl MetricsHub {
             misses: Counter::new(),
             ttft: Histogram::new(),
             queue_wait: Histogram::new(),
+            fetch_stall: Histogram::new(),
+            prefill_compute: Histogram::new(),
+            kv_load_secs: 0.0,
+            kv_hidden_secs: 0.0,
+            prefetch_latency: Histogram::new(),
+            prefetch_starts: HashMap::new(),
             truncations: Counter::new(),
             retired: Counter::new(),
             hbm_reserved: TimeSeries::new(GAUGE_BUCKET_SECS),
@@ -158,6 +184,7 @@ impl MetricsHub {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut ttft = self.ttft.clone();
         let mut queue_wait = self.queue_wait.clone();
+        let mut prefetch_latency = self.prefetch_latency.clone();
         MetricsSnapshot {
             turns_arrived: self.turns_arrived.get(),
             hits_fast: self.hits_fast.get(),
@@ -175,9 +202,23 @@ impl MetricsHub {
             ttft_count: ttft.count() as u64,
             ttft_mean_secs: ttft.mean(),
             ttft_p50_secs: ttft.median().unwrap_or(0.0),
+            ttft_p95_secs: ttft.percentile(95.0).unwrap_or(0.0),
             ttft_p99_secs: ttft.percentile(99.0).unwrap_or(0.0),
             queue_wait_mean_secs: queue_wait.mean(),
+            queue_wait_p50_secs: queue_wait.median().unwrap_or(0.0),
+            queue_wait_p95_secs: queue_wait.percentile(95.0).unwrap_or(0.0),
             queue_wait_p99_secs: queue_wait.percentile(99.0).unwrap_or(0.0),
+            fetch_stall_mean_secs: self.fetch_stall.mean(),
+            prefill_compute_mean_secs: self.prefill_compute.mean(),
+            kv_load_secs_total: self.kv_load_secs,
+            kv_hidden_secs_total: self.kv_hidden_secs,
+            overlap_efficiency: if self.kv_load_secs > 0.0 {
+                self.kv_hidden_secs / self.kv_load_secs
+            } else {
+                0.0
+            },
+            prefetch_latency_mean_secs: prefetch_latency.mean(),
+            prefetch_latency_p99_secs: prefetch_latency.percentile(99.0).unwrap_or(0.0),
             truncations: self.truncations.get(),
             retired: self.retired.get(),
             deferred_events: self.deferrals.deferred_total(),
@@ -227,6 +268,10 @@ impl MetricsHub {
                             hits as f64 / total as f64
                         },
                         retired: agg.retired.get(),
+                        read_retries: agg.read_retries.get(),
+                        write_retries: agg.write_retries.get(),
+                        recompute_fallbacks: agg.recompute_fallbacks.get(),
+                        turns_rerouted_away: agg.turns_rerouted_away.get(),
                     }
                 })
                 .collect(),
@@ -254,6 +299,17 @@ impl EngineObserver for MetricsHub {
                     self.queue_wait.push(at.as_secs_f64() - arrived);
                 }
             }
+            EngineEvent::PrefillTimed {
+                load_secs,
+                comp_secs,
+                stall_secs,
+                ..
+            } => {
+                self.fetch_stall.push(stall_secs);
+                self.prefill_compute.push(comp_secs);
+                self.kv_load_secs += load_secs;
+                self.kv_hidden_secs += (load_secs - stall_secs).max(0.0);
+            }
             EngineEvent::PrefillDone { ttft_secs, .. } => self.ttft.push(ttft_secs),
             EngineEvent::Retired { .. } => self.retired.incr(),
             EngineEvent::HbmReserved {
@@ -278,7 +334,13 @@ impl EngineObserver for MetricsHub {
                 ConsultClass::HitSlow => agg.hits_slow.incr(),
             },
             EngineEvent::Retired { .. } => agg.retired.incr(),
+            EngineEvent::DegradedRecompute { .. } => agg.recompute_fallbacks.incr(),
             _ => {}
+        }
+        // A reroute is billed to the instance the turn left (the dead
+        // one), not the survivor that emitted the event.
+        if let EngineEvent::TurnRerouted { from, .. } = ev {
+            self.instance_agg(from).turns_rerouted_away.incr();
         }
         self.on_event(ev);
     }
@@ -296,9 +358,14 @@ impl EngineObserver for MetricsHub {
                 Tier::Disk => self.store_hits_disk.incr(),
             },
             StoreEvent::FetchMiss { .. } => self.store_misses.incr(),
-            StoreEvent::Promoted { kind, .. } => match kind {
+            StoreEvent::Promoted {
+                session, kind, at, ..
+            } => match kind {
                 FetchKind::Demand => self.demand_promotions.incr(),
-                FetchKind::Prefetch => self.prefetch_promotions.incr(),
+                FetchKind::Prefetch => {
+                    self.prefetch_promotions.incr();
+                    self.prefetch_starts.insert(session, at.as_secs_f64());
+                }
             },
             StoreEvent::Demoted { .. } => self.demotions.incr(),
             StoreEvent::EvictedDisk { .. } => self.disk_evictions.incr(),
@@ -313,7 +380,11 @@ impl EngineObserver for MetricsHub {
                 self.dram_occupancy.record_max(t, dram_bytes as f64);
                 self.disk_occupancy.record_max(t, disk_bytes as f64);
             }
-            StoreEvent::PrefetchCompleted { .. } => {}
+            StoreEvent::PrefetchCompleted { session, at, .. } => {
+                if let Some(start) = self.prefetch_starts.remove(&session) {
+                    self.prefetch_latency.push(at.as_secs_f64() - start);
+                }
+            }
             StoreEvent::WriteBufferStall { .. } => self.write_stalls.incr(),
             StoreEvent::ReadRetry { .. } => self.read_retries.incr(),
             StoreEvent::ReadFailed { .. } => self.read_failures.incr(),
@@ -321,6 +392,17 @@ impl EngineObserver for MetricsHub {
             StoreEvent::WriteFailed { .. } => self.write_failures.incr(),
             StoreEvent::CorruptionDetected { .. } => self.corruptions_detected.incr(),
         }
+    }
+
+    fn on_instance_store_event(&mut self, instance: u32, ev: StoreEvent) {
+        // Fault retries are billed to the instance whose pipeline step
+        // drained them, so chaos runs stay profile-comparable per GPU.
+        match ev {
+            StoreEvent::ReadRetry { .. } => self.instance_agg(instance).read_retries.incr(),
+            StoreEvent::WriteRetry { .. } => self.instance_agg(instance).write_retries.incr(),
+            _ => {}
+        }
+        self.on_store_event(ev);
     }
 }
 
@@ -343,12 +425,33 @@ pub struct MetricsSnapshot {
     pub ttft_mean_secs: f64,
     /// Median service TTFT, seconds.
     pub ttft_p50_secs: f64,
+    /// p95 service TTFT, seconds.
+    pub ttft_p95_secs: f64,
     /// p99 service TTFT, seconds.
     pub ttft_p99_secs: f64,
     /// Mean queue wait (arrival → admission), seconds.
     pub queue_wait_mean_secs: f64,
+    /// Median queue wait, seconds.
+    pub queue_wait_p50_secs: f64,
+    /// p95 queue wait, seconds.
+    pub queue_wait_p95_secs: f64,
     /// p99 queue wait, seconds.
     pub queue_wait_p99_secs: f64,
+    /// Mean visible fetch stall per issued prefill, seconds.
+    pub fetch_stall_mean_secs: f64,
+    /// Mean pure prefill compute per issued prefill, seconds.
+    pub prefill_compute_mean_secs: f64,
+    /// Total KV transfer time required by reuse, seconds.
+    pub kv_load_secs_total: f64,
+    /// Share of that transfer hidden under prefill compute, seconds.
+    pub kv_hidden_secs_total: f64,
+    /// Fraction of KV transfer time hidden under compute (§3.2.1's
+    /// direct observable; 0 when nothing was transferred).
+    pub overlap_efficiency: f64,
+    /// Mean prefetch staging latency (promotion → completion), seconds.
+    pub prefetch_latency_mean_secs: f64,
+    /// p99 prefetch staging latency, seconds.
+    pub prefetch_latency_p99_secs: f64,
     /// Context-overflow truncations.
     pub truncations: u64,
     /// Jobs retired.
@@ -431,6 +534,14 @@ pub struct InstanceMetrics {
     pub hit_rate: f64,
     /// Jobs retired on this instance.
     pub retired: u64,
+    /// Injected slow-tier read errors retried on this instance.
+    pub read_retries: u64,
+    /// Injected slow-tier write errors retried on this instance.
+    pub write_retries: u64,
+    /// Turns degraded to a full re-prefill on this instance.
+    pub recompute_fallbacks: u64,
+    /// Turns this instance lost to crash reroutes.
+    pub turns_rerouted_away: u64,
 }
 
 #[cfg(test)]

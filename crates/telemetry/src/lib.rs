@@ -31,10 +31,12 @@ use workload::Trace;
 
 mod export;
 mod hub;
+pub mod span;
 mod trace;
 
 pub use export::{to_chrome_trace, to_jsonl};
 pub use hub::{InstanceMetrics, MetricsHub, MetricsSnapshot};
+pub use span::{Bottleneck, ProfileSummary, Span, SpanForest, TierStats, TurnSpan};
 pub use trace::{TraceEvent, TraceRecord};
 
 /// The full telemetry stack: records the merged event trace verbatim
@@ -102,7 +104,7 @@ impl EngineObserver for Telemetry {
         // with the instance whose pipeline step drained them.
         let inst = ev.instance().unwrap_or(instance);
         self.push(Some(inst), TraceEvent::Store(ev));
-        self.hub.on_store_event(ev);
+        self.hub.on_instance_store_event(inst, ev);
     }
 }
 

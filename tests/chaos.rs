@@ -184,7 +184,7 @@ proptest! {
                     prop_assert!(phase == Phase::Arrived);
                     entry.0 = Phase::Admitted;
                 }
-                EngineEvent::HbmReserved { .. } => {
+                EngineEvent::HbmReserved { .. } | EngineEvent::PrefillTimed { .. } => {
                     prop_assert!(phase == Phase::Admitted);
                 }
                 EngineEvent::PrefillDone { .. } => {

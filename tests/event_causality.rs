@@ -94,6 +94,16 @@ proptest! {
                         "HBM reservation for session {} outside admission", sid
                     );
                 }
+                EngineEvent::PrefillTimed { load_secs, comp_secs, stall_secs, .. } => {
+                    prop_assert!(
+                        *state == Phase::Admitted,
+                        "prefill timing for session {} outside admission", sid
+                    );
+                    prop_assert!(
+                        *load_secs >= 0.0 && *comp_secs >= 0.0 && *stall_secs >= 0.0,
+                        "negative prefill timing for session {}", sid
+                    );
+                }
                 EngineEvent::PrefillDone { .. } => {
                     prop_assert!(
                         *state == Phase::Admitted,
