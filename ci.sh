@@ -11,7 +11,11 @@
 # 6. cluster smoke: 2-instance run with telemetry, validated the same way
 # 7. chaos smoke: fixed-seed faulted run (crash + SSD errors), validated
 #    the same way
-# 8. perf-regression gate: exp_profile re-runs the canonical scenario
+# 8. tiers smoke: a 3-tier (DRAM/pooled/SSD) faulted run through the
+#    depth-N stack machinery, validated the same way
+# 9. rustdoc gate: the whole workspace documents cleanly with
+#    warnings denied
+# 10. perf-regression gate: exp_profile re-runs the canonical scenario
 #    matrix and diffs against the committed BENCH_profile.json with
 #    tolerance bands. Intentional perf changes: REGEN_BENCH=1 ./ci.sh
 #    regenerates the baseline (mirror of REGEN_GOLDEN=1 for fixtures).
@@ -63,6 +67,21 @@ echo "==> chaos smoke (exp_chaos + trace_check)"
     --metrics "$SMOKE_DIR/chaos_metrics.json"
 grep -q '"category":"fault"' "$SMOKE_DIR/chaos.jsonl" \
     || { echo "chaos smoke: no fault events in trace" >&2; exit 1; }
+
+echo "==> tiers smoke (exp_tiers 3-tier stack + trace_check)"
+./target/release/exp_tiers --sessions 60 --stack pooled \
+    --trace-out "$SMOKE_DIR/tiers.jsonl" \
+    --trace-out "$SMOKE_DIR/tiers.json" \
+    --metrics-out "$SMOKE_DIR/tiers_metrics.json" >/dev/null
+./target/release/trace_check \
+    --jsonl "$SMOKE_DIR/tiers.jsonl" \
+    --chrome "$SMOKE_DIR/tiers.json" \
+    --metrics "$SMOKE_DIR/tiers_metrics.json"
+grep -q '"kind":"tier_config".*"name":"pooled"' "$SMOKE_DIR/tiers.jsonl" \
+    || { echo "tiers smoke: pooled tier missing from trace" >&2; exit 1; }
+
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> perf-regression gate (exp_profile vs BENCH_profile.json)"
 if [[ "${REGEN_BENCH:-0}" == "1" ]]; then

@@ -55,8 +55,7 @@ fn bench_store(c: &mut Criterion) {
             |b, &policy| {
                 b.iter(|| {
                     let mut store = AttentionStore::new(StoreConfig {
-                        dram_bytes: 4_000_000_000,
-                        disk_bytes: 20_000_000_000,
+                        tiers: models::TierStack::two_tier(4_000_000_000, 20_000_000_000),
                         block_bytes: 16 * 1024 * 1024,
                         policy,
                         ttl: None,

@@ -120,6 +120,16 @@ impl SpanChecker {
                         }
                     }
                 }
+                // The optional hit-tier index (present only when the
+                // turn reused cached KV) must be a tier-stack index.
+                match get("tier") {
+                    None | Some(Value::U64(_)) => {}
+                    other => {
+                        return Err(format!(
+                            "prefill_timed for session {session}: bad `tier` {other:?}"
+                        ))
+                    }
+                }
             }
             "prefill_done" => {
                 if phase != "admitted" {
@@ -297,7 +307,7 @@ fn check_metrics(path: &str) -> Result<(), String> {
     let Value::Object(pairs) = v else {
         return Err(format!("{path}: snapshot is not an object"));
     };
-    for key in ["turns_arrived", "hit_rate", "store_hits_dram"] {
+    for key in ["turns_arrived", "hit_rate", "store_hits_dram", "tiers"] {
         if !pairs.iter().any(|(k, _)| k == key) {
             return Err(format!("{path}: missing `{key}`"));
         }

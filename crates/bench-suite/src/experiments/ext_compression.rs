@@ -20,7 +20,7 @@ pub fn run_cell(ratio: f64, scale: Scale) -> RunReport {
     let mut cfg = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama1_65b())
         .with_warmup(scale.warmup_turns)
         .with_kv_compression(ratio);
-    cfg.store.disk_bytes = 1_000_000_000_000;
+    cfg.store.set_disk_bytes(1_000_000_000_000);
     run_trace(cfg, paper_trace(scale, 1.0))
 }
 

@@ -18,10 +18,10 @@ pub fn run_cell(policy: PolicyKind, dram_bytes: u64, disk_bytes: u64, scale: Sca
     let mut cfg = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b())
         .with_warmup(scale.warmup_turns);
     cfg.store.policy = policy;
-    cfg.store.dram_bytes = dram_bytes;
-    cfg.store.disk_bytes = disk_bytes;
-    cfg.cluster.dram_bytes = dram_bytes;
-    cfg.cluster.disk_bytes = disk_bytes;
+    cfg.store.set_dram_bytes(dram_bytes);
+    cfg.store.set_disk_bytes(disk_bytes);
+    cfg.cluster.tiers[0].capacity = dram_bytes;
+    cfg.cluster.tiers[1].capacity = disk_bytes;
     run_trace(cfg, paper_trace(scale, 1.0))
 }
 

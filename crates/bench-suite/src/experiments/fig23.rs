@@ -35,8 +35,8 @@ pub fn run_cell(ratio: f64, scale: Scale) -> RunReport {
     let dram = total.min(scaled_dram.max(5 * max_session));
     let mut cfg = EngineConfig::paper(Mode::CachedAttention, model).with_warmup(scale.warmup_turns);
     cfg.store.ttl = Some(Dur::from_secs_f64(ttl));
-    cfg.store.dram_bytes = dram.max(1_000_000_000);
-    cfg.store.disk_bytes = total.saturating_sub(dram);
+    cfg.store.set_dram_bytes(dram.max(1_000_000_000));
+    cfg.store.set_disk_bytes(total.saturating_sub(dram));
     run_trace(cfg, paper_trace(scale, 1.0))
 }
 

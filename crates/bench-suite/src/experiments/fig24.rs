@@ -43,18 +43,23 @@ pub fn run_cell(model: ModelSpec, medium: MediumConfig, scale: Scale) -> RunRepo
     match medium {
         MediumConfig::HbmOnly => {
             cfg.medium = Medium::HbmOnly;
-            cfg.store.dram_bytes = scaled(10_000_000_000).max(max_session);
-            cfg.store.disk_bytes = 0;
+            cfg.store
+                .set_dram_bytes(scaled(10_000_000_000).max(max_session));
+            cfg.store.set_disk_bytes(0);
         }
         MediumConfig::HbmDram => {
             cfg.medium = Medium::HbmDram;
-            cfg.store.dram_bytes = scaled(10_000_000_000).max(max_session);
-            cfg.store.disk_bytes = scaled(128_000_000_000).max(5 * max_session);
+            cfg.store
+                .set_dram_bytes(scaled(10_000_000_000).max(max_session));
+            cfg.store
+                .set_disk_bytes(scaled(128_000_000_000).max(5 * max_session));
         }
         MediumConfig::DramDisk => {
             cfg.medium = Medium::DramDisk;
-            cfg.store.dram_bytes = scaled(cfg.store.dram_bytes).max(5 * max_session);
-            cfg.store.disk_bytes = scaled(cfg.store.disk_bytes).max(25 * max_session);
+            cfg.store
+                .set_dram_bytes(scaled(cfg.store.dram_bytes()).max(5 * max_session));
+            cfg.store
+                .set_disk_bytes(scaled(cfg.store.disk_bytes()).max(25 * max_session));
         }
     }
     run_trace(cfg, paper_trace(scale, 1.0))

@@ -23,3 +23,4 @@ pub mod fig24;
 pub mod fig25;
 pub mod sec24;
 pub mod tab12;
+pub mod tiers;

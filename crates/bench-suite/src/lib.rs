@@ -92,10 +92,12 @@ pub fn scaled_config(mode: Mode, model: ModelSpec, scale: Scale) -> EngineConfig
     let f = scale.capacity_factor();
     let max_session = model.kv_bytes(model.context_window as u64);
     let mut cfg = EngineConfig::paper(mode, model).with_warmup(scale.warmup_turns);
-    cfg.store.dram_bytes = ((cfg.store.dram_bytes as f64 * f) as u64).max(5 * max_session);
-    cfg.store.disk_bytes = ((cfg.store.disk_bytes as f64 * f) as u64).max(25 * max_session);
-    cfg.cluster.dram_bytes = cfg.store.dram_bytes;
-    cfg.cluster.disk_bytes = cfg.store.disk_bytes;
+    cfg.store
+        .set_dram_bytes(((cfg.store.dram_bytes() as f64 * f) as u64).max(5 * max_session));
+    cfg.store
+        .set_disk_bytes(((cfg.store.disk_bytes() as f64 * f) as u64).max(25 * max_session));
+    cfg.cluster.tiers[0].capacity = cfg.store.dram_bytes();
+    cfg.cluster.tiers[1].capacity = cfg.store.disk_bytes();
     cfg
 }
 

@@ -23,9 +23,11 @@
 //! golden `RunReport` fixtures reproduce byte-for-byte (pinned by
 //! `tests/cluster_equivalence.rs`).
 
+use std::collections::BTreeMap;
+
 use serde::Serialize;
 use sim::{Dur, EventQueue, FaultPlan, Time, World};
-use store::{AttentionStore, QueueView, SessionId, StoreEvent, StorePlanner, TransferDir};
+use store::{AttentionStore, QueueView, SessionId, StoreEvent, StorePlanner, TierId};
 use workload::Trace;
 
 use crate::events::{ConsultClass, EngineEvent, EngineObserver, NullObserver};
@@ -91,8 +93,9 @@ impl ClusterConfig {
         }
     }
 
-    /// The degenerate single-instance cluster [`ServingSim`]
-    /// (crate::ServingSim) wraps: one instance, affinity routing.
+    /// The degenerate single-instance cluster
+    /// [`ServingSim`](crate::ServingSim) wraps: one instance, affinity
+    /// routing.
     pub fn single(engine: EngineConfig) -> Self {
         ClusterConfig::new(engine, 1, RouterKind::SessionAffinity)
     }
@@ -433,11 +436,16 @@ impl<O: EngineObserver> ClusterSim<O> {
         } else {
             (store.prefetch(now, &view), now)
         };
+        // Group each owner's transfers into one charge call so the hops
+        // of a multi-hop promotion chain on that owner's links; owners
+        // are visited in sorted order for determinism.
+        let mut by_owner: BTreeMap<u32, Vec<store::Transfer>> = BTreeMap::new();
         for t in &transfers {
-            let owner = view.owner(t.session).unwrap_or(acting) as usize;
-            self.instances[owner]
-                .plan
-                .charge(start, std::slice::from_ref(t));
+            let owner = view.owner(t.session).unwrap_or(acting);
+            by_owner.entry(owner).or_default().push(*t);
+        }
+        for (owner, ts) in &by_owner {
+            self.instances[*owner as usize].plan.charge(start, ts);
         }
         self.pump_store_events(acting);
         if self.obs.wants_store_events() {
@@ -445,7 +453,7 @@ impl<O: EngineObserver> ClusterSim<O> {
             // instance's transfer stage knows when its slow-read link
             // completes them.
             for t in &transfers {
-                if t.dir == TransferDir::DiskToDram {
+                if t.to.is_fast() {
                     let owner = view.owner(t.session).unwrap_or(acting);
                     let at = self.instances[owner as usize]
                         .plan
@@ -529,8 +537,8 @@ impl<O: EngineObserver> ClusterSim<O> {
     /// Consults the store for an instance's head job and classifies the
     /// access. The consultation (demand fetch, pinning) charges the
     /// owning instance's links. Returns (reused tokens, when the KV is
-    /// staged in the fast tier).
-    fn consult_store(&mut self, now: Time, job_idx: usize) -> (u64, Time) {
+    /// staged in the fast tier, tier the KV was found in).
+    fn consult_store(&mut self, now: Time, job_idx: usize) -> (u64, Time, Option<TierId>) {
         let job = &self.jobs[job_idx];
         let (session, hist, measured, inst) =
             (job.session, job.hist_tokens, job.measured, job.instance);
@@ -540,7 +548,7 @@ impl<O: EngineObserver> ClusterSim<O> {
                 inst,
                 EngineEvent::consulted(sid.0, ConsultClass::NoHistory, 0, now),
             );
-            return (0, now);
+            return (0, now, None);
         }
         if measured {
             self.report.resumption_turns.incr();
@@ -553,7 +561,7 @@ impl<O: EngineObserver> ClusterSim<O> {
                 inst,
                 EngineEvent::consulted(sid.0, ConsultClass::NoStore, 0, now),
             );
-            return (0, now);
+            return (0, now, None);
         }
         let view = self.merged_view();
         let faulted = self.faults.is_some();
@@ -595,7 +603,7 @@ impl<O: EngineObserver> ClusterSim<O> {
             inst,
             EngineEvent::consulted(sid.0, consult.class, consult.reused, now),
         );
-        (consult.reused, consult.staged)
+        (consult.reused, consult.staged, consult.tier)
     }
 
     /// Starts the prefill of instance `inst`'s head job. On `Err` the job
@@ -621,7 +629,7 @@ impl<O: EngineObserver> ClusterSim<O> {
         }
         // Consult the store the first time this job reaches the head; the
         // outcome (hit classification, pinning, demand fetch) sticks.
-        let (reused, staged) = match self.jobs[job_idx].consulted {
+        let (reused, staged, hit_tier) = match self.jobs[job_idx].consulted {
             Some(r) => r,
             None => {
                 let r = self.consult_store(now, job_idx);
@@ -724,6 +732,11 @@ impl<O: EngineObserver> ClusterSim<O> {
                 load.as_secs_f64(),
                 comp.as_secs_f64(),
                 (stall.max(wait)).as_secs_f64(),
+                if reused == 0 {
+                    None
+                } else {
+                    hit_tier.map(|t| t.0)
+                },
                 now,
             ),
         );

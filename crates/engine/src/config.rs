@@ -98,8 +98,7 @@ impl EngineConfig {
         };
         let cluster = ClusterSpec::paper_testbed().with_gpus(n_gpus);
         let store = StoreConfig {
-            dram_bytes: cluster.dram_bytes,
-            disk_bytes: cluster.disk_bytes,
+            tiers: cluster.tiers.clone(),
             default_session_bytes: model.kv_bytes(1500),
             ..StoreConfig::default()
         };

@@ -123,6 +123,9 @@ pub enum EngineEvent {
         /// Transfer time left visible on the critical path, seconds
         /// (the issued prefill lasts `comp_secs + stall_secs`).
         stall_secs: f64,
+        /// Tier-stack index the reused KV was found in (`None` when the
+        /// turn reused nothing).
+        tier: Option<usize>,
         /// Virtual admission time.
         at: Time,
     },
@@ -235,6 +238,7 @@ impl EngineEvent {
         load_secs: f64,
         comp_secs: f64,
         stall_secs: f64,
+        tier: Option<usize>,
         at: Time,
     ) -> Self {
         EngineEvent::PrefillTimed {
@@ -242,6 +246,7 @@ impl EngineEvent {
             load_secs,
             comp_secs,
             stall_secs,
+            tier,
             at,
         }
     }
@@ -446,15 +451,22 @@ impl Serialize for EngineEvent {
                 load_secs,
                 comp_secs,
                 stall_secs,
+                tier,
                 at,
-            } => fields(vec![
-                ("kind", kind),
-                ("session", Value::U64(session)),
-                ("load_secs", Value::F64(load_secs)),
-                ("comp_secs", Value::F64(comp_secs)),
-                ("stall_secs", Value::F64(stall_secs)),
-                ("at", secs(at)),
-            ]),
+            } => {
+                let mut f = vec![
+                    ("kind", kind),
+                    ("session", Value::U64(session)),
+                    ("load_secs", Value::F64(load_secs)),
+                    ("comp_secs", Value::F64(comp_secs)),
+                    ("stall_secs", Value::F64(stall_secs)),
+                ];
+                if let Some(t) = tier {
+                    f.push(("tier", Value::U64(t as u64)));
+                }
+                f.push(("at", secs(at)));
+                fields(f)
+            }
             EngineEvent::PrefillDone {
                 session,
                 ttft_secs,
@@ -772,7 +784,7 @@ mod tests {
 
     #[test]
     fn prefill_timed_serializes_and_classifies() {
-        let ev = EngineEvent::prefill_timed(4, 0.5, 0.25, 0.125, Time::from_secs_f64(3.0));
+        let ev = EngineEvent::prefill_timed(4, 0.5, 0.25, 0.125, Some(1), Time::from_secs_f64(3.0));
         assert_eq!(ev.kind(), "prefill_timed");
         assert_eq!(ev.category(), "gpu");
         assert_eq!(ev.session(), Some(4));
@@ -780,7 +792,14 @@ mod tests {
         assert_eq!(
             serde_json::to_string(&ev).unwrap(),
             "{\"kind\":\"prefill_timed\",\"session\":4,\"load_secs\":0.5,\
-             \"comp_secs\":0.25,\"stall_secs\":0.125,\"at\":3.0}"
+             \"comp_secs\":0.25,\"stall_secs\":0.125,\"tier\":1,\"at\":3.0}"
+        );
+        // No reuse: the tier field is omitted entirely.
+        let miss = EngineEvent::prefill_timed(4, 0.0, 0.25, 0.0, None, Time::from_secs_f64(3.0));
+        assert_eq!(
+            serde_json::to_string(&miss).unwrap(),
+            "{\"kind\":\"prefill_timed\",\"session\":4,\"load_secs\":0.0,\
+             \"comp_secs\":0.25,\"stall_secs\":0.0,\"at\":3.0}"
         );
     }
 

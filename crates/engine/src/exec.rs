@@ -72,8 +72,9 @@ pub struct Job {
     /// When decoding started (prefill completion).
     pub decode_start: Time,
     /// Store-consultation outcome, filled the first time the job reaches
-    /// the queue head: (reused tokens, staging completion time).
-    pub consulted: Option<(u64, Time)>,
+    /// the queue head: (reused tokens, staging completion time, tier the
+    /// KV was found in — `None` on a miss).
+    pub consulted: Option<(u64, Time, Option<store::TierId>)>,
 }
 
 impl Job {

@@ -192,8 +192,7 @@ mod tests {
     #[test]
     fn window_arithmetic_matches_attention_store() {
         let cfg = StoreConfig {
-            dram_bytes: 8_000_000_000,
-            disk_bytes: 40_000_000_000,
+            tiers: models::TierStack::two_tier(8_000_000_000, 40_000_000_000),
             default_session_bytes: 512_000_000,
             ..StoreConfig::default()
         };
@@ -201,11 +200,11 @@ mod tests {
         let s_kv = cfg.default_session_bytes;
         assert_eq!(
             StorePlanner::prefetch_window(&store),
-            prefetch_window_sessions(cfg.dram_bytes, s_kv)
+            prefetch_window_sessions(cfg.dram_bytes(), s_kv)
         );
         assert_eq!(
             StorePlanner::eviction_window(&store),
-            eviction_window_sessions(cfg.dram_bytes, cfg.disk_bytes, s_kv)
+            eviction_window_sessions(cfg.dram_bytes(), cfg.disk_bytes(), s_kv)
         );
     }
 }

@@ -84,7 +84,7 @@ pub fn apply_store_effect(
 mod tests {
     use super::*;
     use sim::Time;
-    use store::{AttentionStore, Lookup, QueueView, StoreConfig};
+    use store::{AttentionStore, Lookup, QueueView, StoreConfig, TierId};
 
     #[test]
     fn no_truncation_when_context_fits() {
@@ -163,6 +163,6 @@ mod tests {
         let mut re = mk();
         apply_store_effect(Mode::Recompute, Some(&mut re), sid, 400_000, 40);
         let (found, _) = re.load_for_use(sid, Time::ZERO, &view);
-        assert_eq!(found, Lookup::Dram);
+        assert_eq!(found, Lookup::Hit(TierId(0)));
     }
 }

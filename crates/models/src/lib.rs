@@ -18,7 +18,7 @@ mod hw;
 mod spec;
 
 pub use cost::CostModel;
-pub use hw::{ClusterSpec, GpuSpec};
+pub use hw::{ClusterSpec, GpuSpec, TierSpec, TierStack};
 pub use spec::{Dtype, ModelSpec};
 
 /// Returns the four models used in the paper's end-to-end evaluation

@@ -8,6 +8,11 @@
 //! observer does can alter the store's behavior (the golden-report
 //! fixtures hold with or without tracing enabled).
 //!
+//! Tiers are identified by their [`TierId`] index into the configured
+//! stack; the [`StoreEvent::TierConfig`] records emitted when tracing is
+//! enabled map each index to its display name and capacity, so trace
+//! consumers can label tracks without hard-coding a hierarchy.
+//!
 //! The serving engine drains these events through
 //! [`StorePlanner::drain_events`](crate::StorePlanner::drain_events) and
 //! merges them with its own pipeline events into one causally-ordered
@@ -18,26 +23,9 @@
 use serde::{Serialize, Value};
 use sim::Time;
 
-/// A storage tier of the hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Tier {
-    /// The fast tier (host DRAM for the paper's medium).
-    Dram,
-    /// The slow tier (SSD for the paper's medium).
-    Disk,
-}
+use crate::TierId;
 
-impl Tier {
-    /// Lowercase label used in serialized traces.
-    pub fn label(self) -> &'static str {
-        match self {
-            Tier::Dram => "dram",
-            Tier::Disk => "disk",
-        }
-    }
-}
-
-/// Why a disk→DRAM promotion happened.
+/// Why a below-tier-0 entry was promoted up to the staging tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FetchKind {
     /// Demand fetch: an admitted job needed its KV right now.
@@ -60,14 +48,29 @@ impl FetchKind {
 /// engine-emitted transfer-timing variants; see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StoreEvent {
+    /// Tier `tier` of the configured stack is named `name` and holds
+    /// `capacity` bytes. Emitted once per tier when tracing is enabled,
+    /// before any other event, so trace consumers can resolve
+    /// [`TierId`] indices to labels.
+    TierConfig {
+        /// Tier index, fastest first.
+        tier: TierId,
+        /// The tier's display name from its `TierSpec`.
+        name: &'static str,
+        /// The tier's capacity in bytes.
+        capacity: u64,
+        /// Virtual time tracing was enabled.
+        at: Time,
+    },
     /// A session's KV was saved (or updated) into `tier`.
     Saved {
         /// External session id.
         session: u64,
         /// Stored payload size.
         bytes: u64,
-        /// Tier the save landed in (disk = spill, §3.3.1's write stream).
-        tier: Tier,
+        /// Tier the save landed in (below tier 0 = spill, §3.3.1's write
+        /// stream).
+        tier: TierId,
         /// Virtual commit time.
         at: Time,
     },
@@ -85,7 +88,7 @@ pub enum StoreEvent {
         /// External session id.
         session: u64,
         /// Tier the KV was found in (before any promotion).
-        tier: Tier,
+        tier: TierId,
         /// Cached payload size.
         bytes: u64,
         /// Virtual lookup time.
@@ -98,7 +101,10 @@ pub enum StoreEvent {
         /// Virtual lookup time.
         at: Time,
     },
-    /// A session's KV was promoted disk → DRAM.
+    /// A session's KV was promoted up to the staging tier. The movement
+    /// is physically hop-by-adjacent-tier (`from` → `from-1` → ... →
+    /// `to`); one event covers the whole journey and the per-hop
+    /// transfers carry the link charges.
     Promoted {
         /// External session id.
         session: u64,
@@ -106,6 +112,10 @@ pub enum StoreEvent {
         bytes: u64,
         /// Demand fetch or look-ahead prefetch.
         kind: FetchKind,
+        /// Tier the KV was resident in before the journey.
+        from: TierId,
+        /// Destination tier (tier 0 today).
+        to: TierId,
         /// The session's scheduler-queue position when prefetched.
         queue_pos: Option<usize>,
         /// The serving instance whose queue motivated the move, when the
@@ -115,25 +125,32 @@ pub enum StoreEvent {
         /// actual link time).
         at: Time,
     },
-    /// A session's KV was demoted DRAM → disk to make room.
+    /// A session's KV was demoted one hop to the adjacent slower tier to
+    /// make room.
     Demoted {
         /// External session id.
         session: u64,
         /// Payload size moved.
         bytes: u64,
+        /// Tier the KV left.
+        from: TierId,
+        /// The adjacent slower tier it landed in (`from + 1`).
+        to: TierId,
         /// The serving instance whose queue holds the victim, if queued on
         /// an owner-attributed view.
         instance: Option<u32>,
         /// Virtual commit time.
         at: Time,
     },
-    /// A session's KV was evicted out of the disk tier (out of the
-    /// system) under capacity pressure.
-    EvictedDisk {
+    /// A session's KV was evicted out of tier `tier` (out of the system)
+    /// under capacity pressure.
+    Evicted {
         /// External session id.
         session: u64,
         /// Payload size dropped.
         bytes: u64,
+        /// The tier the entry was evicted from (the stack's bottom tier).
+        tier: TierId,
         /// The victim's position in the scheduler queue, if it was queued
         /// at all (scheduler-aware eviction prefers unqueued victims, so
         /// `Some` here means every candidate was inside the window).
@@ -144,13 +161,15 @@ pub enum StoreEvent {
         /// Virtual commit time.
         at: Time,
     },
-    /// A DRAM entry was dropped outright because the disk tier could not
-    /// make room for its demotion.
-    DroppedDram {
+    /// An entry was dropped outright from `tier` because the tier below
+    /// could not make room for its demotion.
+    Dropped {
         /// External session id.
         session: u64,
         /// Payload size dropped.
         bytes: u64,
+        /// The tier the entry was dropped from.
+        tier: TierId,
         /// Virtual commit time.
         at: Time,
     },
@@ -161,13 +180,14 @@ pub enum StoreEvent {
         /// Virtual sweep time.
         at: Time,
     },
-    /// Tier occupancy after a batch of store operations (a gauge, emitted
-    /// once per drained interaction rather than per block move).
+    /// One tier's occupancy after a batch of store operations (a gauge,
+    /// emitted once per tier per drained interaction rather than per
+    /// block move).
     Occupancy {
-        /// Bytes resident in DRAM (whole blocks).
-        dram_bytes: u64,
-        /// Bytes resident on disk (whole blocks).
-        disk_bytes: u64,
+        /// Tier index the sample describes.
+        tier: TierId,
+        /// Bytes resident in the tier (whole blocks).
+        used_bytes: u64,
         /// Virtual sample time.
         at: Time,
     },
@@ -193,8 +213,8 @@ pub enum StoreEvent {
         /// Virtual time of the stalled attempt.
         at: Time,
     },
-    /// A disk-read attempt errored (fault injection) and will be retried
-    /// after exponential backoff.
+    /// A slow-tier read attempt errored (fault injection) and will be
+    /// retried after exponential backoff.
     ReadRetry {
         /// External session id.
         session: u64,
@@ -203,8 +223,8 @@ pub enum StoreEvent {
         /// Virtual time of the failed attempt.
         at: Time,
     },
-    /// A disk read exhausted its retry budget; the session's cached KV is
-    /// invalidated and the turn degrades to RE-style re-prefill.
+    /// A slow-tier read exhausted its retry budget; the session's cached
+    /// KV is invalidated and the turn degrades to RE-style re-prefill.
     ReadFailed {
         /// External session id.
         session: u64,
@@ -251,14 +271,15 @@ impl StoreEvent {
     /// serialized traces.
     pub fn kind(&self) -> &'static str {
         match self {
+            StoreEvent::TierConfig { .. } => "tier_config",
             StoreEvent::Saved { .. } => "saved",
             StoreEvent::SaveRejected { .. } => "save_rejected",
             StoreEvent::FetchHit { .. } => "fetch_hit",
             StoreEvent::FetchMiss { .. } => "fetch_miss",
             StoreEvent::Promoted { .. } => "promoted",
             StoreEvent::Demoted { .. } => "demoted",
-            StoreEvent::EvictedDisk { .. } => "evicted_disk",
-            StoreEvent::DroppedDram { .. } => "dropped_dram",
+            StoreEvent::Evicted { .. } => "evicted",
+            StoreEvent::Dropped { .. } => "dropped",
             StoreEvent::Expired { .. } => "expired",
             StoreEvent::Occupancy { .. } => "occupancy",
             StoreEvent::PrefetchCompleted { .. } => "prefetch_completed",
@@ -272,9 +293,10 @@ impl StoreEvent {
     }
 
     /// Coarse category: `cache` (save/fetch lifecycle), `tiering`
-    /// (promote/demote/evict movements), `gauge` (occupancy samples),
-    /// `stall` (write-buffer backpressure) or `fault` (injected-failure
-    /// retries, exhaustions and corruption detections).
+    /// (promote/demote/evict movements), `gauge` (occupancy samples and
+    /// tier configuration), `stall` (write-buffer backpressure) or
+    /// `fault` (injected-failure retries, exhaustions and corruption
+    /// detections).
     pub fn category(&self) -> &'static str {
         match self {
             StoreEvent::Saved { .. }
@@ -284,10 +306,10 @@ impl StoreEvent {
             | StoreEvent::Expired { .. } => "cache",
             StoreEvent::Promoted { .. }
             | StoreEvent::Demoted { .. }
-            | StoreEvent::EvictedDisk { .. }
-            | StoreEvent::DroppedDram { .. }
+            | StoreEvent::Evicted { .. }
+            | StoreEvent::Dropped { .. }
             | StoreEvent::PrefetchCompleted { .. } => "tiering",
-            StoreEvent::Occupancy { .. } => "gauge",
+            StoreEvent::TierConfig { .. } | StoreEvent::Occupancy { .. } => "gauge",
             StoreEvent::WriteBufferStall { .. } => "stall",
             StoreEvent::ReadRetry { .. }
             | StoreEvent::ReadFailed { .. }
@@ -300,14 +322,15 @@ impl StoreEvent {
     /// The event's virtual timestamp.
     pub fn at(&self) -> Time {
         match *self {
-            StoreEvent::Saved { at, .. }
+            StoreEvent::TierConfig { at, .. }
+            | StoreEvent::Saved { at, .. }
             | StoreEvent::SaveRejected { at, .. }
             | StoreEvent::FetchHit { at, .. }
             | StoreEvent::FetchMiss { at, .. }
             | StoreEvent::Promoted { at, .. }
             | StoreEvent::Demoted { at, .. }
-            | StoreEvent::EvictedDisk { at, .. }
-            | StoreEvent::DroppedDram { at, .. }
+            | StoreEvent::Evicted { at, .. }
+            | StoreEvent::Dropped { at, .. }
             | StoreEvent::Expired { at, .. }
             | StoreEvent::Occupancy { at, .. }
             | StoreEvent::PrefetchCompleted { at, .. }
@@ -329,8 +352,8 @@ impl StoreEvent {
             | StoreEvent::FetchMiss { session, .. }
             | StoreEvent::Promoted { session, .. }
             | StoreEvent::Demoted { session, .. }
-            | StoreEvent::EvictedDisk { session, .. }
-            | StoreEvent::DroppedDram { session, .. }
+            | StoreEvent::Evicted { session, .. }
+            | StoreEvent::Dropped { session, .. }
             | StoreEvent::Expired { session, .. }
             | StoreEvent::PrefetchCompleted { session, .. }
             | StoreEvent::WriteBufferStall { session, .. }
@@ -339,7 +362,7 @@ impl StoreEvent {
             | StoreEvent::WriteRetry { session, .. }
             | StoreEvent::WriteFailed { session, .. }
             | StoreEvent::CorruptionDetected { session, .. } => Some(session),
-            StoreEvent::Occupancy { .. } => None,
+            StoreEvent::TierConfig { .. } | StoreEvent::Occupancy { .. } => None,
         }
     }
 
@@ -349,7 +372,7 @@ impl StoreEvent {
         match *self {
             StoreEvent::Promoted { instance, .. }
             | StoreEvent::Demoted { instance, .. }
-            | StoreEvent::EvictedDisk { instance, .. }
+            | StoreEvent::Evicted { instance, .. }
             | StoreEvent::PrefetchCompleted { instance, .. } => instance,
             _ => None,
         }
@@ -365,6 +388,10 @@ fn secs(t: Time) -> Value {
     Value::F64(t.as_secs_f64())
 }
 
+fn tier_index(t: TierId) -> Value {
+    Value::U64(t.0 as u64)
+}
+
 /// Appends `("instance", id)` only when attribution is present, keeping
 /// single-instance serializations byte-identical to the pre-cluster form.
 fn push_instance(pairs: &mut Vec<(&str, Value)>, instance: Option<u32>) {
@@ -375,10 +402,24 @@ fn push_instance(pairs: &mut Vec<(&str, Value)>, instance: Option<u32>) {
 
 impl Serialize for StoreEvent {
     /// Serializes as a tagged object: `kind` first, payload fields next,
-    /// the timestamp (`at`, fractional seconds) last.
+    /// the timestamp (`at`, fractional seconds) last. Tier references are
+    /// bare [`TierId`] indices; `tier_config` records carry the
+    /// index→name mapping.
     fn to_value(&self) -> Value {
         let kind = Value::Str(self.kind().to_string());
         match *self {
+            StoreEvent::TierConfig {
+                tier,
+                name,
+                capacity,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("tier", tier_index(tier)),
+                ("name", Value::Str(name.to_string())),
+                ("capacity", Value::U64(capacity)),
+                ("at", secs(at)),
+            ]),
             StoreEvent::Saved {
                 session,
                 bytes,
@@ -388,7 +429,7 @@ impl Serialize for StoreEvent {
                 ("kind", kind),
                 ("session", Value::U64(session)),
                 ("bytes", Value::U64(bytes)),
-                ("tier", Value::Str(tier.label().to_string())),
+                ("tier", tier_index(tier)),
                 ("at", secs(at)),
             ]),
             StoreEvent::SaveRejected { session, bytes, at } => fields(vec![
@@ -405,7 +446,7 @@ impl Serialize for StoreEvent {
             } => fields(vec![
                 ("kind", kind),
                 ("session", Value::U64(session)),
-                ("tier", Value::Str(tier.label().to_string())),
+                ("tier", tier_index(tier)),
                 ("bytes", Value::U64(bytes)),
                 ("at", secs(at)),
             ]),
@@ -418,6 +459,8 @@ impl Serialize for StoreEvent {
                 session,
                 bytes,
                 kind: fetch,
+                from,
+                to,
                 queue_pos,
                 instance,
                 at,
@@ -427,6 +470,8 @@ impl Serialize for StoreEvent {
                     ("session", Value::U64(session)),
                     ("bytes", Value::U64(bytes)),
                     ("fetch", Value::Str(fetch.label().to_string())),
+                    ("from", tier_index(from)),
+                    ("to", tier_index(to)),
                     (
                         "queue_pos",
                         match queue_pos {
@@ -442,6 +487,8 @@ impl Serialize for StoreEvent {
             StoreEvent::Demoted {
                 session,
                 bytes,
+                from,
+                to,
                 instance,
                 at,
             } => {
@@ -449,14 +496,17 @@ impl Serialize for StoreEvent {
                     ("kind", kind),
                     ("session", Value::U64(session)),
                     ("bytes", Value::U64(bytes)),
+                    ("from", tier_index(from)),
+                    ("to", tier_index(to)),
                 ];
                 push_instance(&mut pairs, instance);
                 pairs.push(("at", secs(at)));
                 fields(pairs)
             }
-            StoreEvent::EvictedDisk {
+            StoreEvent::Evicted {
                 session,
                 bytes,
+                tier,
                 window_pos,
                 instance,
                 at,
@@ -465,6 +515,7 @@ impl Serialize for StoreEvent {
                     ("kind", kind),
                     ("session", Value::U64(session)),
                     ("bytes", Value::U64(bytes)),
+                    ("tier", tier_index(tier)),
                     (
                         "window_pos",
                         match window_pos {
@@ -477,10 +528,16 @@ impl Serialize for StoreEvent {
                 pairs.push(("at", secs(at)));
                 fields(pairs)
             }
-            StoreEvent::DroppedDram { session, bytes, at } => fields(vec![
+            StoreEvent::Dropped {
+                session,
+                bytes,
+                tier,
+                at,
+            } => fields(vec![
                 ("kind", kind),
                 ("session", Value::U64(session)),
                 ("bytes", Value::U64(bytes)),
+                ("tier", tier_index(tier)),
                 ("at", secs(at)),
             ]),
             StoreEvent::Expired { session, at } => fields(vec![
@@ -489,13 +546,13 @@ impl Serialize for StoreEvent {
                 ("at", secs(at)),
             ]),
             StoreEvent::Occupancy {
-                dram_bytes,
-                disk_bytes,
+                tier,
+                used_bytes,
                 at,
             } => fields(vec![
                 ("kind", kind),
-                ("dram_bytes", Value::U64(dram_bytes)),
-                ("disk_bytes", Value::U64(disk_bytes)),
+                ("tier", tier_index(tier)),
+                ("used_bytes", Value::U64(used_bytes)),
                 ("at", secs(at)),
             ]),
             StoreEvent::PrefetchCompleted {
@@ -612,7 +669,7 @@ mod tests {
         log.on_store_event(StoreEvent::Saved {
             session: 4,
             bytes: 10,
-            tier: Tier::Dram,
+            tier: TierId(0),
             at: Time::from_millis(5),
         });
         assert_eq!(log.events().len(), 2);
@@ -630,6 +687,8 @@ mod tests {
             session: 9,
             bytes: 1_000,
             kind: FetchKind::Prefetch,
+            from: TierId(1),
+            to: TierId(0),
             queue_pos: Some(2),
             instance: None,
             at: Time::from_secs_f64(1.5),
@@ -638,12 +697,14 @@ mod tests {
         assert_eq!(
             json,
             "{\"kind\":\"promoted\",\"session\":9,\"bytes\":1000,\
-             \"fetch\":\"prefetch\",\"queue_pos\":2,\"at\":1.5}"
+             \"fetch\":\"prefetch\",\"from\":1,\"to\":0,\"queue_pos\":2,\"at\":1.5}"
         );
         let tagged = StoreEvent::Promoted {
             session: 9,
             bytes: 1_000,
             kind: FetchKind::Prefetch,
+            from: TierId(1),
+            to: TierId(0),
             queue_pos: Some(2),
             instance: Some(3),
             at: Time::from_secs_f64(1.5),
@@ -651,16 +712,38 @@ mod tests {
         assert_eq!(
             serde_json::to_string(&tagged).unwrap(),
             "{\"kind\":\"promoted\",\"session\":9,\"bytes\":1000,\
-             \"fetch\":\"prefetch\",\"queue_pos\":2,\"instance\":3,\"at\":1.5}"
+             \"fetch\":\"prefetch\",\"from\":1,\"to\":0,\"queue_pos\":2,\
+             \"instance\":3,\"at\":1.5}"
         );
         let gauge = StoreEvent::Occupancy {
-            dram_bytes: 7,
-            disk_bytes: 8,
+            tier: TierId(0),
+            used_bytes: 7,
             at: Time::ZERO,
         };
-        assert!(!serde_json::to_string(&gauge).unwrap().contains("\"gauge\""));
+        assert_eq!(
+            serde_json::to_string(&gauge).unwrap(),
+            "{\"kind\":\"occupancy\",\"tier\":0,\"used_bytes\":7,\"at\":0.0}"
+        );
         assert_eq!(gauge.category(), "gauge");
         assert_eq!(gauge.session(), None);
+    }
+
+    #[test]
+    fn tier_config_maps_indices_to_names() {
+        let ev = StoreEvent::TierConfig {
+            tier: TierId(1),
+            name: "pooled",
+            capacity: 64,
+            at: Time::ZERO,
+        };
+        assert_eq!(ev.kind(), "tier_config");
+        assert_eq!(ev.category(), "gauge");
+        assert_eq!(ev.session(), None);
+        assert_eq!(
+            serde_json::to_string(&ev).unwrap(),
+            "{\"kind\":\"tier_config\",\"tier\":1,\"name\":\"pooled\",\
+             \"capacity\":64,\"at\":0.0}"
+        );
     }
 
     #[test]

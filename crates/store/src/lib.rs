@@ -4,28 +4,31 @@
 //!
 //! When a conversation session goes inactive, the serving engine hands its
 //! KV cache to this store; when the session resumes, the engine asks for it
-//! back. Internally the store manages two tiers — host DRAM and SSD — in
-//! fixed-size blocks (§4.1), at *session granularity*: a session's KV is
-//! either all useful or not at all (§3.3.2), so sessions move between tiers
-//! whole.
+//! back. Internally the store manages a configurable stack of tiers (the
+//! paper's §4.1 testbed is host DRAM over SSD; deeper stacks add pooled
+//! memory and object storage) in fixed-size blocks, at *session
+//! granularity*: a session's KV is either all useful or not at all
+//! (§3.3.2), so sessions move between adjacent tiers whole, hop by hop.
 //!
 //! The two placement schemes from §3.3:
 //!
 //! - **Scheduler-aware fetching**: a look-ahead prefetch window over the
-//!   job scheduler's queue, sized `C_mem / S_kv`, pulls disk-resident KV
-//!   into DRAM before its job runs.
-//! - **Scheduler-aware eviction**: a look-ahead eviction window sized
-//!   `(C_mem + C_disk) / S_kv`. Entries appearing in the window are
+//!   job scheduler's queue, sized `C_mem / S_kv`, pulls slow-tier KV
+//!   into tier 0 before its job runs.
+//! - **Scheduler-aware eviction**: a look-ahead eviction window sized by
+//!   the stack's total capacity over `S_kv` (the paper's
+//!   `(C_mem + C_disk) / S_kv`). Entries appearing in the window are
 //!   exempt where possible; when all candidates are in the window, the one
 //!   nearest the tail (furthest future use — Belady with a horizon) goes
-//!   first. DRAM victims demote to disk; disk victims leave the system.
+//!   first. Victims demote one hop down; bottom-tier victims leave the
+//!   system.
 //!
 //! [`Lru`] and [`Fifo`] baselines (Figure 21) share the same tiers but see
 //! no queue and never prefetch.
 //!
 //! The store is *pure bookkeeping*: methods take the current virtual time
-//! and return [`Transfer`] descriptions; the serving engine charges those
-//! transfers on the simulated PCIe/SSD links.
+//! and return adjacent-tier [`Transfer`] hops; the serving engine charges
+//! those hops on the simulated per-boundary links.
 
 mod block;
 mod entry;
@@ -36,11 +39,11 @@ mod policy;
 mod store;
 
 pub use block::{BlockId, BlockPool};
-pub use entry::{Entry, Placement, SessionId};
-pub use events::{FetchKind, NullStoreObserver, StoreEvent, StoreEventLog, StoreObserver, Tier};
+pub use entry::{Entry, SessionId, TierId};
+pub use events::{FetchKind, NullStoreObserver, StoreEvent, StoreEventLog, StoreObserver};
 pub use planner::StorePlanner;
 pub use policy::{EvictionPolicy, Fifo, Lru, PolicyKind, QueueView, SchedulerAware};
 pub use store::{
     AttentionStore, DegradeReason, FaultStats, FetchOutcome, Lookup, PrefetchOutcome, SaveOutcome,
-    StoreConfig, StoreStats, Transfer, TransferDir,
+    StoreConfig, StoreStats, Transfer,
 };

@@ -29,7 +29,7 @@ pub trait StorePlanner {
         queue: &QueueView,
     ) -> (Lookup, Vec<Transfer>);
 
-    /// Number of cached tokens for `sid`, if present in either tier.
+    /// Number of cached tokens for `sid`, if present in any tier.
     fn entry_tokens(&self, sid: SessionId) -> Option<u64>;
 
     /// Runs the scheduler-aware prefetcher over the queue (§3.3.1).
@@ -241,7 +241,7 @@ impl StorePlanner for AttentionStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::StoreConfig;
+    use crate::{StoreConfig, TierId};
 
     /// The trait is object-safe and the blanket impl delegates.
     #[test]
@@ -255,7 +255,7 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(planner.entry_tokens(sid), Some(100));
         let (found, _) = planner.load_for_use(sid, Time::ZERO, &view);
-        assert_eq!(found, Lookup::Dram);
+        assert_eq!(found, Lookup::Hit(TierId(0)));
         assert_eq!(planner.stats().saves, 1);
         planner.invalidate(sid);
         assert_eq!(planner.entry_tokens(sid), None);

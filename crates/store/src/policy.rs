@@ -210,7 +210,7 @@ mod tests {
         Entry {
             bytes: 100,
             tokens: 10,
-            placement: crate::Placement::Dram,
+            placement: crate::TierId(0),
             blocks: Vec::new(),
             last_access: Time::from_nanos(last_access_ns),
             insert_seq,

@@ -32,7 +32,7 @@ use sim::{Dur, FaultPlan, RetryPolicy, SsdFaults, Time};
 use crate::events::StoreEvent;
 use crate::{QueueView, SessionId};
 
-use super::{AttentionStore, Lookup, Transfer, TransferDir};
+use super::{AttentionStore, Lookup, Transfer};
 
 /// Cumulative fault-path statistics. Kept separate from
 /// [`super::StoreStats`] (which is embedded in golden-pinned reports);
@@ -184,8 +184,9 @@ impl AttentionStore {
         };
         let mut retries = 0u32;
         let mut backoff = Dur::ZERO;
-        // Disk-resident entries ride the SSD read path: roll per attempt.
-        if self.lookup(sid) == Lookup::Disk && ssd.read_error_rate > 0.0 {
+        // Slow-tier-resident entries ride the slow read path: roll per
+        // attempt.
+        if self.lookup(sid).is_slow_hit() && ssd.read_error_rate > 0.0 {
             loop {
                 let key = self.next_fault_roll();
                 if dice(seed, FaultStream::Read, sid.0, key) >= ssd.read_error_rate {
@@ -340,7 +341,7 @@ impl AttentionStore {
         let mut backoff = Dur::ZERO;
         if ssd.read_error_rate > 0.0 {
             for t in &transfers {
-                if t.dir != TransferDir::DiskToDram {
+                if !t.is_promotion() {
                     continue;
                 }
                 let mut r = 0u32;
@@ -380,16 +381,14 @@ impl AttentionStore {
             (0.0..=1.0).contains(&fraction),
             "pressure fraction must be in [0, 1], got {fraction}"
         );
-        let target = (self.cfg.dram_bytes as f64 * (1.0 - fraction)) as u64;
+        let target = (self.cfg.tiers[0].capacity as f64 * (1.0 - fraction)) as u64;
         let mut transfers = Vec::new();
         let mark = self.trace_mark();
         while self.dram_used_bytes() > target {
-            let Some(victim) = self.choose_dram_victim(queue, None) else {
+            let Some(victim) = self.choose_victim_in(crate::TierId(0), queue, None) else {
                 break;
             };
-            if let Some(t) = self.demote_session(now, victim, queue, None) {
-                transfers.push(t);
-            }
+            self.demote_session(now, victim, queue, None, &mut transfers);
         }
         self.emit_occupancy(mark, now);
         transfers
@@ -399,12 +398,12 @@ impl AttentionStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Placement, StoreConfig};
+    use crate::{StoreConfig, TierId};
+    use models::TierStack;
 
     fn store() -> AttentionStore {
         AttentionStore::new(StoreConfig {
-            dram_bytes: 4_000_000_000,
-            disk_bytes: 40_000_000_000,
+            tiers: TierStack::two_tier(4_000_000_000, 40_000_000_000),
             ..StoreConfig::default()
         })
     }
@@ -421,7 +420,7 @@ mod tests {
         let out = s.try_save(sid, 1_000_000, 100, Time::ZERO, &q);
         assert!(out.fitted && !out.failed && out.retries == 0);
         let f = s.try_load_for_use(sid, Time::from_millis(1), &q);
-        assert_eq!(f.lookup, Lookup::Dram);
+        assert_eq!(f.lookup, Lookup::Hit(TierId(0)));
         assert!(f.degraded.is_none() && f.retries == 0 && f.backoff == Dur::ZERO);
         assert_eq!(*s.fault_stats(), FaultStats::default());
     }
@@ -442,7 +441,7 @@ mod tests {
         s.save(sid, 1_000_000, 100, Time::ZERO, &q);
         // Force the entry onto disk so the read path rolls the dice.
         s.apply_pressure(Time::ZERO, 1.0, &q);
-        assert_eq!(s.lookup(sid), Lookup::Disk);
+        assert_eq!(s.lookup(sid), Lookup::Hit(TierId(1)));
         let out = s.try_load_for_use(sid, Time::from_millis(5), &q);
         assert_eq!(out.lookup, Lookup::Miss);
         assert_eq!(out.degraded, Some(DegradeReason::ReadFailed));
@@ -512,9 +511,10 @@ mod tests {
         assert!(!transfers.is_empty());
         assert!(s.dram_used_bytes() <= 1_000_000_000);
         for t in &transfers {
-            assert_eq!(t.dir, TransferDir::DramToDisk);
+            assert!(t.is_demotion());
+            assert_eq!((t.from, t.to), (TierId(0), TierId(1)));
         }
-        assert!(s.entries.values().any(|e| e.placement == Placement::Disk));
+        assert!(s.entries.values().any(|e| e.placement == TierId(1)));
     }
 
     #[test]

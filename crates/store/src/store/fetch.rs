@@ -3,19 +3,32 @@
 
 use sim::Time;
 
-use crate::events::{FetchKind, StoreEvent, Tier};
-use crate::{Entry, Placement, QueueView, SessionId};
+use crate::events::{FetchKind, StoreEvent};
+use crate::{Entry, QueueView, SessionId, TierId};
 
-use super::{AttentionStore, Lookup, Transfer, TransferDir};
+use super::{AttentionStore, Lookup, Transfer};
 
 impl AttentionStore {
+    /// Pushes the chain of adjacent-tier hops that stage `sid`'s bytes
+    /// from `from` up to tier 0: `(from → from-1), ..., (1 → 0)`.
+    fn push_promotion_hops(out: &mut Vec<Transfer>, sid: SessionId, bytes: u64, from: TierId) {
+        for hop in (1..=from.0).rev() {
+            out.push(Transfer {
+                session: sid,
+                bytes,
+                from: TierId(hop),
+                to: TierId(hop - 1),
+            });
+        }
+    }
+
     /// Saves (or updates) `sid`'s KV cache: `total_bytes` for
-    /// `total_tokens`, landing in DRAM. Returns the demotion transfers
+    /// `total_tokens`, landing in tier 0. Returns the demotion transfers
     /// made to fit it and whether the save succeeded.
     ///
-    /// Updating an existing entry reallocates it at the new size; an entry
-    /// previously demoted to disk is re-homed in DRAM (the fresh copy just
-    /// came from HBM, so no disk read is charged).
+    /// Updating an existing entry reallocates it at the new size; an
+    /// entry previously demoted below tier 0 is re-homed in tier 0 (the
+    /// fresh copy just came from HBM, so no slow-tier read is charged).
     pub fn save(
         &mut self,
         sid: SessionId,
@@ -28,24 +41,15 @@ impl AttentionStore {
         let mark = self.trace_mark();
         // Free the stale copy first; the engine holds the bytes in HBM.
         self.drop_entry(sid);
-        // Prefer DRAM; when it cannot make room (e.g. everything resident
-        // is pinned by the running batch), spill straight to disk — the
-        // write stream targets whichever tier has space.
-        let placement = if self.make_dram_room(now, total_bytes, queue, None, &mut transfers) {
-            Placement::Dram
-        } else {
-            if self.disk.blocks_for(total_bytes) > self.disk.n_blocks() {
-                self.stats.save_rejected += 1;
-                self.emit(StoreEvent::SaveRejected {
-                    session: sid.0,
-                    bytes: total_bytes,
-                    at: now,
-                });
-                self.emit_occupancy(mark, now);
-                return (transfers, false);
-            }
-            while !self.disk.fits(total_bytes) {
-                if !self.evict_from_disk(now, queue, None) {
+        // Prefer tier 0; when it cannot make room (e.g. everything
+        // resident is pinned by the running batch), spill down the stack
+        // to the first tier with space — the write stream targets
+        // whichever tier can take it.
+        let placement =
+            if self.make_room_in(now, TierId(0), total_bytes, queue, None, &mut transfers) {
+                TierId(0)
+            } else {
+                let Some(landing) = self.spill_tier(now, total_bytes, queue, &mut transfers) else {
                     self.stats.save_rejected += 1;
                     self.emit(StoreEvent::SaveRejected {
                         session: sid.0,
@@ -54,23 +58,23 @@ impl AttentionStore {
                     });
                     self.emit_occupancy(mark, now);
                     return (transfers, false);
+                };
+                self.stats.spills_to_disk += 1;
+                // The write stream lands hop by hop on the slow tier: report
+                // the chain so the engine charges each boundary's write link.
+                for hop in 0..landing.0 {
+                    transfers.push(Transfer {
+                        session: sid,
+                        bytes: total_bytes,
+                        from: TierId(hop),
+                        to: TierId(hop + 1),
+                    });
                 }
-            }
-            self.stats.spills_to_disk += 1;
-            // The write stream lands on the slow tier: report it so the
-            // engine charges the disk-write link.
-            transfers.push(Transfer {
-                session: sid,
-                bytes: total_bytes,
-                dir: TransferDir::DramToDisk,
-            });
-            Placement::Disk
-        };
-        let pool = match placement {
-            Placement::Dram => &mut self.dram,
-            Placement::Disk => &mut self.disk,
-        };
-        let blocks = pool.alloc(total_bytes).expect("room made above");
+                landing
+            };
+        let blocks = self.pools[placement.0]
+            .alloc(total_bytes)
+            .expect("room made above");
         let seq = self.next_seq;
         self.next_seq += 1;
         let checksum = self.stamp_checksum(sid, total_bytes, total_tokens);
@@ -92,20 +96,46 @@ impl AttentionStore {
         self.emit(StoreEvent::Saved {
             session: sid.0,
             bytes: total_bytes,
-            tier: match placement {
-                Placement::Dram => Tier::Dram,
-                Placement::Disk => Tier::Disk,
-            },
+            tier: placement,
             at: now,
         });
         self.emit_occupancy(mark, now);
         (transfers, true)
     }
 
-    /// Brings `sid`'s KV into DRAM for use and pins it.
+    /// Finds the first tier below 0 that can hold `bytes`, evicting or
+    /// pushing entries down as needed. Returns `None` when no tier fits.
+    fn spill_tier(
+        &mut self,
+        now: Time,
+        bytes: u64,
+        queue: &QueueView,
+        out: &mut Vec<Transfer>,
+    ) -> Option<TierId> {
+        for t in 1..self.pools.len() {
+            let tier = TierId(t);
+            let pool = &self.pools[t];
+            if pool.blocks_for(bytes) > pool.n_blocks() {
+                continue;
+            }
+            let mut fitted = true;
+            while !self.pools[t].fits(bytes) {
+                if !self.push_down_from(now, tier, queue, None, out) {
+                    fitted = false;
+                    break;
+                }
+            }
+            if fitted {
+                return Some(tier);
+            }
+        }
+        None
+    }
+
+    /// Brings `sid`'s KV into tier 0 for use and pins it.
     ///
     /// Returns where the KV was found plus any transfers (the demand
-    /// promotion and the demotions that made room). Returns
+    /// promotion hops and the demotions that made room). Returns
     /// `(Lookup::Miss, vec![])` when the session has no cached KV.
     pub fn load_for_use(
         &mut self,
@@ -120,13 +150,10 @@ impl AttentionStore {
                 session: sid.0,
                 at: now,
             }),
-            Lookup::Dram | Lookup::Disk => {
+            Lookup::Hit(tier) => {
                 let ev = StoreEvent::FetchHit {
                     session: sid.0,
-                    tier: match found {
-                        Lookup::Dram => Tier::Dram,
-                        _ => Tier::Disk,
-                    },
+                    tier,
                     bytes: self.entries[&sid].bytes,
                     at: now,
                 };
@@ -136,39 +163,41 @@ impl AttentionStore {
         let mut transfers = Vec::new();
         match found {
             Lookup::Miss => {}
-            Lookup::Dram => {
+            Lookup::Hit(tier) if tier.is_fast() => {
                 let e = self.entries.get_mut(&sid).expect("looked up");
                 e.last_access = now;
                 e.pinned = true;
             }
-            Lookup::Disk => {
+            Lookup::Hit(from) => {
                 let bytes = self.entries[&sid].bytes;
-                if self.make_dram_room(now, bytes, queue, Some(sid), &mut transfers) {
-                    let new_blocks = self.dram.alloc(bytes).expect("room made");
+                if self.make_room_in(now, TierId(0), bytes, queue, Some(sid), &mut transfers) {
+                    let new_blocks = self.pools[0].alloc(bytes).expect("room made");
                     let e = self.entries.get_mut(&sid).expect("looked up");
                     let old = std::mem::replace(&mut e.blocks, new_blocks);
-                    e.placement = Placement::Dram;
+                    e.placement = TierId(0);
                     e.last_access = now;
                     e.pinned = true;
-                    self.disk.free(&old).expect("blocks were on disk");
+                    self.pools[from.0]
+                        .free(&old)
+                        .expect("blocks were in the source tier");
                     self.stats.promotions += 1;
                     self.stats.promotion_bytes += bytes;
+                    // One event covers the whole journey; the per-hop
+                    // transfers below carry the link charges.
                     self.emit(StoreEvent::Promoted {
                         session: sid.0,
                         bytes,
                         kind: FetchKind::Demand,
+                        from,
+                        to: TierId(0),
                         queue_pos: queue.position(sid),
                         instance: queue.owner(sid),
                         at: now,
                     });
-                    transfers.push(Transfer {
-                        session: sid,
-                        bytes,
-                        dir: TransferDir::DiskToDram,
-                    });
+                    Self::push_promotion_hops(&mut transfers, sid, bytes, from);
                 } else {
-                    // DRAM cannot stage it (pathological sizing): serve
-                    // straight from disk; pin in place.
+                    // Tier 0 cannot stage it (pathological sizing): serve
+                    // straight from the slow tier; pin in place.
                     let e = self.entries.get_mut(&sid).expect("looked up");
                     e.last_access = now;
                     e.pinned = true;
@@ -191,9 +220,9 @@ impl AttentionStore {
         }
     }
 
-    /// Runs the look-ahead prefetcher (§3.3.1): promotes disk-resident KV
-    /// of queued sessions within `L_pw` into free DRAM, then restores the
-    /// DRAM reserve by demoting cold entries.
+    /// Runs the look-ahead prefetcher (§3.3.1): promotes slow-tier KV of
+    /// queued sessions within `L_pw` into free tier-0 space, then
+    /// restores the tier-0 reserve by demoting cold entries.
     ///
     /// No-op for history-only policies (LRU/FIFO cannot see the queue).
     pub fn prefetch(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
@@ -209,58 +238,53 @@ impl AttentionStore {
             .filter(|&(_, sid)| {
                 self.entries
                     .get(&sid)
-                    .is_some_and(|e| e.placement == Placement::Disk && !e.pinned)
+                    .is_some_and(|e| !e.placement.is_fast() && !e.pinned)
             })
             .collect();
         'targets: for (pos, sid) in targets {
             // Re-validate: an earlier iteration (or its evictions) may
             // have promoted, demoted or dropped this session already —
             // e.g. when the same session appears twice in the queue.
-            let still_disk = self
-                .entries
-                .get(&sid)
-                .is_some_and(|e| e.placement == Placement::Disk && !e.pinned);
-            if !still_disk {
-                continue;
-            }
+            let from = match self.entries.get(&sid) {
+                Some(e) if !e.placement.is_fast() && !e.pinned => e.placement,
+                _ => continue,
+            };
             let bytes = self.entries[&sid].bytes;
             // Fetching into the buffer may demote cold entries (Fig 9:
             // fetching Job 3 pushes Job 4 down) — but only entries whose
             // next use is strictly further in the future than this
             // target's, otherwise promote/demote ping-pong would saturate
-            // the disk.
-            while !self.dram.fits(bytes) {
-                let Some(victim) = self.choose_dram_victim(queue, Some(sid)) else {
+            // the slow links.
+            while !self.pools[0].fits(bytes) {
+                let Some(victim) = self.choose_victim_in(TierId(0), queue, Some(sid)) else {
                     break 'targets;
                 };
                 if queue.position(victim).is_some_and(|vp| vp <= pos) {
                     break 'targets;
                 }
-                if let Some(t) = self.demote_session(now, victim, queue, Some(sid)) {
-                    transfers.push(t);
-                }
+                self.demote_session(now, victim, queue, Some(sid), &mut transfers);
             }
-            let new_blocks = self.dram.alloc(bytes).expect("fit ensured above");
+            let new_blocks = self.pools[0].alloc(bytes).expect("fit ensured above");
             let e = self.entries.get_mut(&sid).expect("target exists");
             let old = std::mem::replace(&mut e.blocks, new_blocks);
-            e.placement = Placement::Dram;
+            e.placement = TierId(0);
             e.last_access = now;
-            self.disk.free(&old).expect("blocks were on disk");
+            self.pools[from.0]
+                .free(&old)
+                .expect("blocks were in the source tier");
             self.stats.promotions += 1;
             self.stats.promotion_bytes += bytes;
             self.emit(StoreEvent::Promoted {
                 session: sid.0,
                 bytes,
                 kind: FetchKind::Prefetch,
+                from,
+                to: TierId(0),
                 queue_pos: Some(pos),
                 instance: queue.owner(sid),
                 at: now,
             });
-            transfers.push(Transfer {
-                session: sid,
-                bytes,
-                dir: TransferDir::DiskToDram,
-            });
+            Self::push_promotion_hops(&mut transfers, sid, bytes, from);
         }
         transfers.extend(self.maintain_reserve(now, queue));
         self.emit_occupancy(mark, now);

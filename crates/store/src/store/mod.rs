@@ -5,9 +5,9 @@
 //! - this module: the data types, configuration, statistics ledger and
 //!   the store struct itself (construction, tracing, capacity queries,
 //!   look-ahead window sizing);
-//! - [`placement`]: tier placement — victim selection, demotion,
-//!   eviction, reserve maintenance and entry lifecycle (truncate /
-//!   invalidate / expire);
+//! - [`placement`]: tier placement — victim selection, hop-by-hop
+//!   demotion, eviction, reserve maintenance and entry lifecycle
+//!   (truncate / invalidate / expire);
 //! - [`fetch`]: the read/write paths — save, demand fetch and the
 //!   scheduler-aware look-ahead prefetcher.
 
@@ -21,50 +21,86 @@ pub use faults::{DegradeReason, FaultStats, FetchOutcome, PrefetchOutcome, SaveO
 
 use std::collections::BTreeMap;
 
+use models::TierStack;
 use serde::{Deserialize, Serialize};
 use sim::{Dur, Time};
 
 use crate::events::{StoreEvent, StoreEventLog, StoreObserver};
-use crate::{BlockPool, Entry, Placement, PolicyKind, SessionId};
+use crate::{BlockPool, Entry, PolicyKind, SessionId, TierId};
 
-/// Direction of a tier-to-tier movement the engine must charge on a link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TransferDir {
-    /// Promotion: SSD → host DRAM (prefetch or demand fetch).
-    DiskToDram,
-    /// Demotion: host DRAM → SSD (eviction).
-    DramToDisk,
-}
-
-/// One tier movement produced by a store operation.
+/// One adjacent-tier hop produced by a store operation, for the engine to
+/// charge on the corresponding [`sim::BandwidthLink`].
+///
+/// Movements are always between adjacent tiers: a promotion from a deep
+/// tier is reported as a chain of hops (`from = to + 1` each), a demotion
+/// as a single hop down (`to = from + 1`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transfer {
     /// The session whose KV moved.
     pub session: SessionId,
     /// Payload size in bytes.
     pub bytes: u64,
-    /// Movement direction.
-    pub dir: TransferDir,
+    /// Tier the bytes left.
+    pub from: TierId,
+    /// Adjacent tier the bytes landed in.
+    pub to: TierId,
+}
+
+impl Transfer {
+    /// Whether the hop moves toward the staging tier (a read on the
+    /// slower tier's link).
+    pub fn is_promotion(&self) -> bool {
+        self.to < self.from
+    }
+
+    /// Whether the hop moves away from the staging tier (a write on the
+    /// slower tier's link).
+    pub fn is_demotion(&self) -> bool {
+        self.from < self.to
+    }
+
+    /// The slower tier of the hop, whose link carries the bytes.
+    pub fn slow_tier(&self) -> TierId {
+        self.from.max(self.to)
+    }
 }
 
 /// Result of a session lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Lookup {
-    /// KV resident in host DRAM: one PCIe hop from HBM.
-    Dram,
-    /// KV resident on SSD: must stage through DRAM first.
-    Disk,
+    /// KV resident in tier `.0` of the stack (tier 0 = ready for use, a
+    /// deeper tier = must be staged up hop by hop first).
+    Hit(TierId),
     /// No KV cached for this session.
     Miss,
+}
+
+impl Lookup {
+    /// The tier the lookup hit, if any.
+    pub fn tier(self) -> Option<TierId> {
+        match self {
+            Lookup::Hit(t) => Some(t),
+            Lookup::Miss => None,
+        }
+    }
+
+    /// Whether the KV was found already staged in tier 0.
+    pub fn is_fast_hit(self) -> bool {
+        matches!(self, Lookup::Hit(t) if t.is_fast())
+    }
+
+    /// Whether the KV was found in a below-staging tier.
+    pub fn is_slow_hit(self) -> bool {
+        matches!(self, Lookup::Hit(t) if !t.is_fast())
+    }
 }
 
 /// Store configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StoreConfig {
-    /// Host DRAM capacity for KV caching, bytes.
-    pub dram_bytes: u64,
-    /// SSD capacity for KV caching, bytes.
-    pub disk_bytes: u64,
+    /// The storage tier stack, fastest first (§3.3 uses host DRAM over
+    /// SSD; deeper stacks add pooled memory and object storage).
+    pub tiers: TierStack,
     /// Allocation block size, bytes.
     pub block_bytes: u64,
     /// Eviction policy (and, for scheduler-aware, prefetching).
@@ -73,8 +109,8 @@ pub struct StoreConfig {
     /// Time-to-live since last access; `None` = keep until capacity
     /// pressure (§4.3.6 sets 1 hour for the capacity study).
     pub ttl: Option<Dur>,
-    /// Fraction of DRAM kept free as the fetch buffer (§3.3.1); background
-    /// demotion restores it.
+    /// Fraction of tier 0 kept free as the fetch buffer (§3.3.1);
+    /// background demotion restores it.
     pub dram_reserve_fraction: f64,
     /// Assumed average session KV size before any entry exists, bytes
     /// (window sizing fallback).
@@ -85,13 +121,39 @@ fn default_policy() -> PolicyKind {
     PolicyKind::SchedulerAware
 }
 
+impl StoreConfig {
+    /// Capacity of the fast staging tier (tier 0), bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        self.tiers[0].capacity
+    }
+
+    /// Capacity below the staging tier, bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.tiers.slow_capacity()
+    }
+
+    /// Resizes the fast staging tier (tier 0).
+    pub fn set_dram_bytes(&mut self, bytes: u64) {
+        self.tiers[0].capacity = bytes;
+    }
+
+    /// Resizes tier 1 (the paper's SSD slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stack has no tier below the staging tier.
+    pub fn set_disk_bytes(&mut self, bytes: u64) {
+        assert!(self.tiers.len() > 1, "stack has no tier below tier 0");
+        self.tiers[1].capacity = bytes;
+    }
+}
+
 impl Default for StoreConfig {
-    /// The paper's testbed store: 128 GB DRAM, 10 TB SSD, 16 MiB blocks,
-    /// scheduler-aware policy, no TTL, 10% DRAM reserve.
+    /// The paper's testbed store: 128 GB DRAM over 10 TB SSD, 16 MiB
+    /// blocks, scheduler-aware policy, no TTL, 10% DRAM reserve.
     fn default() -> Self {
         StoreConfig {
-            dram_bytes: 128_000_000_000,
-            disk_bytes: 10_000_000_000_000,
+            tiers: TierStack::paper_two_tier(),
             block_bytes: 16 * 1024 * 1024,
             policy: PolicyKind::SchedulerAware,
             ttl: None,
@@ -108,11 +170,11 @@ pub struct StoreStats {
     pub saves: u64,
     /// Bytes written into the store by saves (total sizes).
     pub save_bytes: u64,
-    /// DRAM → disk demotions.
+    /// Downward adjacent-tier demotion hops.
     pub demotions: u64,
     /// Bytes demoted.
     pub demotion_bytes: u64,
-    /// Disk → DRAM promotions (prefetch + demand).
+    /// Promotions up to the staging tier (prefetch + demand).
     pub promotions: u64,
     /// Bytes promoted.
     pub promotion_bytes: u64,
@@ -124,15 +186,16 @@ pub struct StoreStats {
     pub drops_invalidated: u64,
     /// Saves rejected because the session could not fit at all.
     pub save_rejected: u64,
-    /// Saves that spilled directly to disk because DRAM could not make
+    /// Saves that spilled directly below tier 0 because it could not make
     /// room (e.g. everything resident was pinned).
     pub spills_to_disk: u64,
 }
 
 /// The hierarchical KV caching system (§3.3).
 ///
-/// Pure bookkeeping over two [`BlockPool`] tiers; every mutation returns
-/// the [`Transfer`]s the serving engine must charge on simulated links.
+/// Pure bookkeeping over a stack of [`BlockPool`] tiers (one per
+/// [`models::TierSpec`]); every mutation returns the adjacent-tier
+/// [`Transfer`] hops the serving engine must charge on simulated links.
 /// One store may back many serving instances: queue views built with
 /// [`crate::QueueView::with_owners`] let it attribute tier movements to
 /// the instance whose queue motivated them.
@@ -141,7 +204,7 @@ pub struct StoreStats {
 ///
 /// ```
 /// use sim::Time;
-/// use store::{AttentionStore, Lookup, QueueView, SessionId, StoreConfig};
+/// use store::{AttentionStore, Lookup, QueueView, SessionId, StoreConfig, TierId};
 ///
 /// let mut store = AttentionStore::new(StoreConfig::default());
 /// let queue = QueueView::empty();
@@ -150,13 +213,13 @@ pub struct StoreStats {
 /// assert!(saved);
 /// // The session resumes: its KV is found in the fast tier and pinned.
 /// let (found, _) = store.load_for_use(SessionId(7), Time::from_millis(60_000), &queue);
-/// assert_eq!(found, Lookup::Dram);
+/// assert_eq!(found, Lookup::Hit(TierId(0)));
 /// ```
 pub struct AttentionStore {
     cfg: StoreConfig,
     policy: Box<dyn crate::EvictionPolicy>,
-    dram: BlockPool,
-    disk: BlockPool,
+    /// One block pool per configured tier, fastest first.
+    pools: Vec<BlockPool>,
     entries: BTreeMap<SessionId, Entry>,
     next_seq: u64,
     stats: StoreStats,
@@ -177,13 +240,15 @@ impl AttentionStore {
     /// Creates a store from a configuration.
     pub fn new(cfg: StoreConfig) -> Self {
         let policy = cfg.policy.build();
-        let dram = BlockPool::new("dram", cfg.dram_bytes, cfg.block_bytes);
-        let disk = BlockPool::new("disk", cfg.disk_bytes, cfg.block_bytes);
+        let pools = cfg
+            .tiers
+            .iter()
+            .map(|t| BlockPool::new(t.name, t.capacity, cfg.block_bytes))
+            .collect();
         AttentionStore {
             cfg,
             policy,
-            dram,
-            disk,
+            pools,
             entries: BTreeMap::new(),
             next_seq: 0,
             stats: StoreStats::default(),
@@ -196,11 +261,24 @@ impl AttentionStore {
 
     /// Enables or disables event tracing. While enabled, every placement
     /// decision is buffered as a [`StoreEvent`] until
-    /// [`drain_events`](AttentionStore::drain_events) takes it. Tracing
-    /// never changes store behavior.
+    /// [`drain_events`](AttentionStore::drain_events) takes it. Enabling
+    /// emits one [`StoreEvent::TierConfig`] per tier first, so trace
+    /// consumers can resolve tier indices to names. Tracing never changes
+    /// store behavior.
     pub fn set_tracing(&mut self, on: bool) {
         match (on, self.trace.is_some()) {
-            (true, false) => self.trace = Some(StoreEventLog::new()),
+            (true, false) => {
+                let mut log = StoreEventLog::new();
+                for (i, spec) in self.cfg.tiers.iter().enumerate() {
+                    log.on_store_event(StoreEvent::TierConfig {
+                        tier: TierId(i),
+                        name: spec.name,
+                        capacity: spec.capacity,
+                        at: Time::ZERO,
+                    });
+                }
+                self.trace = Some(log);
+            }
             (false, true) => self.trace = None,
             _ => {}
         }
@@ -226,17 +304,19 @@ impl AttentionStore {
         self.trace.as_ref().map_or(0, |t| t.events().len())
     }
 
-    /// Emits an occupancy gauge sample when events landed since `mark`,
-    /// so occupancy trails every traced batch of placement changes
-    /// without flooding no-op calls.
+    /// Emits per-tier occupancy gauge samples when events landed since
+    /// `mark`, so occupancy trails every traced batch of placement
+    /// changes without flooding no-op calls.
     fn emit_occupancy(&mut self, mark: usize, now: Time) {
         if self.trace_mark() > mark {
-            let ev = StoreEvent::Occupancy {
-                dram_bytes: self.dram_used_bytes(),
-                disk_bytes: self.disk_used_bytes(),
-                at: now,
-            };
-            self.emit(ev);
+            for i in 0..self.pools.len() {
+                let ev = StoreEvent::Occupancy {
+                    tier: TierId(i),
+                    used_bytes: self.tier_used_bytes(TierId(i)),
+                    at: now,
+                };
+                self.emit(ev);
+            }
         }
     }
 
@@ -253,8 +333,7 @@ impl AttentionStore {
     /// Returns where `sid`'s KV currently lives.
     pub fn lookup(&self, sid: SessionId) -> Lookup {
         match self.entries.get(&sid).map(|e| e.placement) {
-            Some(Placement::Dram) => Lookup::Dram,
-            Some(Placement::Disk) => Lookup::Disk,
+            Some(t) => Lookup::Hit(t),
             None => Lookup::Miss,
         }
     }
@@ -274,14 +353,33 @@ impl AttentionStore {
         self.entries.is_empty()
     }
 
-    /// Returns bytes resident in DRAM (whole blocks).
-    pub fn dram_used_bytes(&self) -> u64 {
-        self.dram.used_blocks() as u64 * self.dram.block_bytes()
+    /// Number of configured tiers.
+    pub fn n_tiers(&self) -> usize {
+        self.pools.len()
     }
 
-    /// Returns bytes resident on disk (whole blocks).
+    /// The slowest (bottom) tier, where capacity evictions leave the
+    /// system.
+    pub fn bottom_tier(&self) -> TierId {
+        TierId(self.pools.len() - 1)
+    }
+
+    /// Returns bytes resident in `tier` (whole blocks).
+    pub fn tier_used_bytes(&self, tier: TierId) -> u64 {
+        let pool = &self.pools[tier.0];
+        pool.used_blocks() as u64 * pool.block_bytes()
+    }
+
+    /// Returns bytes resident in the fast staging tier (whole blocks).
+    pub fn dram_used_bytes(&self) -> u64 {
+        self.tier_used_bytes(TierId(0))
+    }
+
+    /// Returns bytes resident below the staging tier (whole blocks).
     pub fn disk_used_bytes(&self) -> u64 {
-        self.disk.used_blocks() as u64 * self.disk.block_bytes()
+        (1..self.pools.len())
+            .map(|i| self.tier_used_bytes(TierId(i)))
+            .sum()
     }
 
     /// Average session KV size, `S_kv`, used to size the look-ahead
@@ -296,12 +394,12 @@ impl AttentionStore {
 
     /// Look-ahead prefetch window length, `L_pw = C_mem / S_kv` (§3.3.1).
     pub fn prefetch_window(&self) -> usize {
-        (self.cfg.dram_bytes / self.avg_session_bytes()) as usize
+        (self.cfg.tiers[0].capacity / self.avg_session_bytes()) as usize
     }
 
-    /// Look-ahead eviction window length,
-    /// `L_ev = (C_mem + C_disk) / S_kv` (§3.3.2).
+    /// Look-ahead eviction window length, generalized from §3.3.2's
+    /// `L_ev = (C_mem + C_disk) / S_kv` to the stack's total capacity.
     pub fn eviction_window(&self) -> usize {
-        ((self.cfg.dram_bytes + self.cfg.disk_bytes) / self.avg_session_bytes()) as usize
+        (self.cfg.tiers.total_capacity() / self.avg_session_bytes()) as usize
     }
 }

@@ -1,18 +1,18 @@
-//! Tier placement: victim selection, demotion/eviction and the entry
-//! lifecycle operations (reserve maintenance, truncate, invalidate,
-//! expire).
+//! Tier placement: victim selection, hop-by-adjacent-tier demotion,
+//! bottom-tier eviction and the entry lifecycle operations (reserve
+//! maintenance, truncate, invalidate, expire).
 
 use sim::Time;
 
 use crate::events::StoreEvent;
-use crate::{Entry, Placement, QueueView, SessionId};
+use crate::{Entry, QueueView, SessionId, TierId};
 
-use super::{AttentionStore, Transfer, TransferDir};
+use super::{AttentionStore, Transfer};
 
 impl AttentionStore {
     /// Unpinned candidates of one tier, sorted by session id for
     /// deterministic policy input.
-    fn candidates(&self, tier: Placement, exclude: Option<SessionId>) -> Vec<(SessionId, &Entry)> {
+    fn candidates(&self, tier: TierId, exclude: Option<SessionId>) -> Vec<(SessionId, &Entry)> {
         self.entries
             .iter()
             .filter(|(sid, e)| e.placement == tier && !e.pinned && Some(**sid) != exclude)
@@ -23,33 +23,34 @@ impl AttentionStore {
     /// Drops `sid` entirely, freeing its blocks.
     pub(super) fn drop_entry(&mut self, sid: SessionId) {
         if let Some(e) = self.entries.remove(&sid) {
-            let pool = match e.placement {
-                Placement::Dram => &mut self.dram,
-                Placement::Disk => &mut self.disk,
-            };
-            pool.free(&e.blocks).expect("entry blocks are valid");
+            self.pools[e.placement.0]
+                .free(&e.blocks)
+                .expect("entry blocks are valid");
         }
     }
 
-    /// Evicts one entry out of the disk tier (out of the system).
-    /// Returns `false` when no candidate exists.
-    pub(super) fn evict_from_disk(
+    /// Evicts one entry out of `tier` (out of the system). Only the
+    /// stack's bottom tier evicts; fuller tiers above push entries down
+    /// instead. Returns `false` when no candidate exists.
+    pub(super) fn evict_from_tier(
         &mut self,
         now: Time,
+        tier: TierId,
         queue: &QueueView,
         exclude: Option<SessionId>,
     ) -> bool {
         let window = self.eviction_window();
-        let cands = self.candidates(Placement::Disk, exclude);
+        let cands = self.candidates(tier, exclude);
         let Some(victim) = self.policy.choose_victim(&cands, queue, window) else {
             return false;
         };
         let bytes = self.entries[&victim].bytes;
         self.drop_entry(victim);
         self.stats.drops_capacity += 1;
-        self.emit(StoreEvent::EvictedDisk {
+        self.emit(StoreEvent::Evicted {
             session: victim.0,
             bytes,
+            tier,
             window_pos: queue.position(victim),
             instance: queue.owner(victim),
             at: now,
@@ -57,107 +58,144 @@ impl AttentionStore {
         true
     }
 
-    /// Picks the DRAM entry the policy would demote next.
-    pub(super) fn choose_dram_victim(
+    /// Picks the entry of `tier` the policy would demote next.
+    pub(super) fn choose_victim_in(
         &self,
+        tier: TierId,
         queue: &QueueView,
         exclude: Option<SessionId>,
     ) -> Option<SessionId> {
         let window = self.eviction_window();
-        let cands = self.candidates(Placement::Dram, exclude);
+        let cands = self.candidates(tier, exclude);
         self.policy.choose_victim(&cands, queue, window)
     }
 
-    /// Demotes `victim` to disk (or out of the system when the disk cannot
-    /// make room). Returns the demotion transfer (`None` when the entry
-    /// was dropped instead). `exclude` protects a session being staged by
-    /// the caller from being evicted out of the disk tier.
+    /// Frees space in `tier` by one entry: the bottom tier evicts out of
+    /// the system, any other tier demotes a victim one hop down (which
+    /// may cascade further). Returns `false` when `tier` has no eligible
+    /// victim; `true` means space was freed (the victim was demoted or,
+    /// failing that, dropped).
+    pub(super) fn push_down_from(
+        &mut self,
+        now: Time,
+        tier: TierId,
+        queue: &QueueView,
+        exclude: Option<SessionId>,
+        out: &mut Vec<Transfer>,
+    ) -> bool {
+        if tier == self.bottom_tier() {
+            return self.evict_from_tier(now, tier, queue, exclude);
+        }
+        let Some(victim) = self.choose_victim_in(tier, queue, exclude) else {
+            return false;
+        };
+        // Demoted or dropped, the victim's blocks left `tier` either way.
+        self.demote_session(now, victim, queue, exclude, out);
+        true
+    }
+
+    /// Demotes `victim` one hop to the adjacent slower tier (or out of
+    /// the system when no tier below can make room). Returns `true` and
+    /// pushes the demotion hop onto `out` when the entry moved; `false`
+    /// means it was dropped instead. `exclude` protects a session being
+    /// staged by the caller from being evicted along the cascade.
     pub(super) fn demote_session(
         &mut self,
         now: Time,
         victim: SessionId,
         queue: &QueueView,
         exclude: Option<SessionId>,
-    ) -> Option<Transfer> {
+        out: &mut Vec<Transfer>,
+    ) -> bool {
         let bytes = self.entries[&victim].bytes;
-        // Make room on disk; drop disk entries if necessary.
-        while !self.disk.fits(bytes) {
-            if !self.evict_from_disk(now, queue, exclude) {
-                // Disk cannot hold this entry at all: drop it instead.
+        let from = self.entries[&victim].placement;
+        let to = from.below();
+        debug_assert!(to.0 < self.pools.len(), "bottom tier evicts, not demotes");
+        // Make room one tier down; cascade further demotions/evictions if
+        // necessary.
+        while !self.pools[to.0].fits(bytes) {
+            if !self.push_down_from(now, to, queue, exclude, out) {
+                // The tier below cannot hold this entry at all: drop it.
                 self.drop_entry(victim);
                 self.stats.drops_capacity += 1;
-                self.emit(StoreEvent::DroppedDram {
+                self.emit(StoreEvent::Dropped {
                     session: victim.0,
                     bytes,
+                    tier: from,
                     at: now,
                 });
-                return None;
+                return false;
             }
         }
-        let new_blocks = self.disk.alloc(bytes).expect("fit ensured above");
+        let new_blocks = self.pools[to.0].alloc(bytes).expect("fit ensured above");
         let e = self.entries.get_mut(&victim).expect("victim exists");
         let old_blocks = std::mem::replace(&mut e.blocks, new_blocks);
-        e.placement = Placement::Disk;
-        self.dram.free(&old_blocks).expect("blocks were in dram");
+        e.placement = to;
+        self.pools[from.0]
+            .free(&old_blocks)
+            .expect("blocks were in the source tier");
         self.stats.demotions += 1;
         self.stats.demotion_bytes += bytes;
         self.emit(StoreEvent::Demoted {
             session: victim.0,
             bytes,
+            from,
+            to,
             instance: queue.owner(victim),
             at: now,
         });
-        Some(Transfer {
+        out.push(Transfer {
             session: victim,
             bytes,
-            dir: TransferDir::DramToDisk,
-        })
+            from,
+            to,
+        });
+        true
     }
 
-    /// Frees DRAM until `bytes` fit, demoting victims; returns the
-    /// demotion transfers, or `None` when room cannot be made.
-    pub(super) fn make_dram_room(
+    /// Frees space in `tier` until `bytes` fit, demoting victims hop by
+    /// hop; pushes the demotion transfers onto `out`. Returns `false`
+    /// when room cannot be made.
+    pub(super) fn make_room_in(
         &mut self,
         now: Time,
+        tier: TierId,
         bytes: u64,
         queue: &QueueView,
         exclude: Option<SessionId>,
         out: &mut Vec<Transfer>,
     ) -> bool {
-        if self.dram.blocks_for(bytes) > self.dram.n_blocks() {
+        let pool = &self.pools[tier.0];
+        if pool.blocks_for(bytes) > pool.n_blocks() {
             return false;
         }
-        while !self.dram.fits(bytes) {
-            let Some(victim) = self.choose_dram_victim(queue, exclude) else {
+        while !self.pools[tier.0].fits(bytes) {
+            let Some(victim) = self.choose_victim_in(tier, queue, exclude) else {
                 return false;
             };
-            if let Some(t) = self.demote_session(now, victim, queue, exclude) {
-                out.push(t);
-            }
+            self.demote_session(now, victim, queue, exclude, out);
         }
         true
     }
 
-    /// Demotes cold entries until the configured DRAM reserve is free
+    /// Demotes cold entries until the configured tier-0 reserve is free
     /// again (§3.3.1's host-memory buffer).
     ///
     /// Only entries *outside* the look-ahead window are demoted here: the
     /// reserve exists to absorb incoming saves and fetches, and demoting a
     /// queued session would force the prefetcher to read it right back.
     pub fn maintain_reserve(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
-        let reserve = (self.cfg.dram_bytes as f64 * self.cfg.dram_reserve_fraction) as u64;
+        let reserve = (self.cfg.tiers[0].capacity as f64 * self.cfg.dram_reserve_fraction) as u64;
         let window = self.eviction_window();
         let mut transfers = Vec::new();
-        while self.dram.free_bytes() < reserve {
-            let Some(victim) = self.choose_dram_victim(queue, None) else {
+        while self.pools[0].free_bytes() < reserve {
+            let Some(victim) = self.choose_victim_in(TierId(0), queue, None) else {
                 break;
             };
             if queue.position(victim).is_some_and(|vp| vp < window) {
                 break;
             }
-            if let Some(t) = self.demote_session(now, victim, queue, None) {
-                transfers.push(t);
-            }
+            self.demote_session(now, victim, queue, None, &mut transfers);
         }
         transfers
     }
@@ -174,10 +212,7 @@ impl AttentionStore {
         }
         let placement = e.placement;
         let was_ok = e.integrity_ok(sid);
-        let pool = match placement {
-            Placement::Dram => &mut self.dram,
-            Placement::Disk => &mut self.disk,
-        };
+        let pool = &mut self.pools[placement.0];
         let old = self.entries.get_mut(&sid).expect("checked above");
         let old_blocks = std::mem::take(&mut old.blocks);
         pool.free(&old_blocks).expect("entry blocks valid");

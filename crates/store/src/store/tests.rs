@@ -1,15 +1,15 @@
+use models::TierStack;
 use sim::{Dur, Time};
 
-use crate::{PolicyKind, QueueView, SessionId};
+use crate::{PolicyKind, QueueView, SessionId, TierId};
 
-use super::{AttentionStore, Lookup, StoreConfig, TransferDir};
+use super::{AttentionStore, Lookup, StoreConfig};
 
 const MB: u64 = 1_000_000;
 
 fn small_store(policy: PolicyKind) -> AttentionStore {
     AttentionStore::new(StoreConfig {
-        dram_bytes: 10 * MB,
-        disk_bytes: 30 * MB,
+        tiers: TierStack::two_tier(10 * MB, 30 * MB),
         block_bytes: MB,
         policy,
         ttl: None,
@@ -28,9 +28,9 @@ fn save_then_load_hits_dram() {
     let q = QueueView::empty();
     let (t, ok) = s.save(sid(1), 3 * MB, 100, Time::ZERO, &q);
     assert!(ok && t.is_empty());
-    assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(0)));
     let (found, t) = s.load_for_use(sid(1), Time::from_millis(5), &q);
-    assert_eq!(found, Lookup::Dram);
+    assert_eq!(found, Lookup::Hit(TierId(0)));
     assert!(t.is_empty());
     assert!(s.entry(sid(1)).unwrap().pinned);
     s.unpin(sid(1));
@@ -79,16 +79,15 @@ fn dram_pressure_demotes_to_disk() {
     assert!(ok);
     assert_eq!(transfers.len(), 1);
     assert_eq!(transfers[0].session, sid(1));
-    assert_eq!(transfers[0].dir, TransferDir::DramToDisk);
-    assert_eq!(s.lookup(sid(1)), Lookup::Disk);
-    assert_eq!(s.lookup(sid(4)), Lookup::Dram);
+    assert!(transfers[0].is_demotion());
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(1)));
+    assert_eq!(s.lookup(sid(4)), Lookup::Hit(TierId(0)));
 }
 
 #[test]
 fn disk_pressure_drops_out_of_system() {
     let mut s = AttentionStore::new(StoreConfig {
-        dram_bytes: 4 * MB,
-        disk_bytes: 4 * MB,
+        tiers: TierStack::two_tier(4 * MB, 4 * MB),
         block_bytes: MB,
         policy: PolicyKind::Fifo,
         ttl: None,
@@ -102,8 +101,8 @@ fn disk_pressure_drops_out_of_system() {
     s.save(sid(2), 4 * MB, 10, Time::from_millis(1), &q);
     s.save(sid(3), 4 * MB, 10, Time::from_millis(2), &q);
     assert_eq!(s.lookup(sid(1)), Lookup::Miss);
-    assert_eq!(s.lookup(sid(2)), Lookup::Disk);
-    assert_eq!(s.lookup(sid(3)), Lookup::Dram);
+    assert_eq!(s.lookup(sid(2)), Lookup::Hit(TierId(1)));
+    assert_eq!(s.lookup(sid(3)), Lookup::Hit(TierId(0)));
     assert_eq!(s.stats().drops_capacity, 1);
 }
 
@@ -114,14 +113,14 @@ fn disk_hit_promotes_through_dram() {
     for i in 1..=4u64 {
         s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
     }
-    assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(1)));
     let (found, transfers) = s.load_for_use(sid(1), Time::from_millis(99), &q);
-    assert_eq!(found, Lookup::Disk);
+    assert_eq!(found, Lookup::Hit(TierId(1)));
     // Promotion evicted someone and brought session 1 up.
     assert!(transfers
         .iter()
-        .any(|t| t.session == sid(1) && t.dir == TransferDir::DiskToDram));
-    assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+        .any(|t| t.session == sid(1) && t.is_promotion()));
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(0)));
 }
 
 #[test]
@@ -135,11 +134,11 @@ fn pinned_entries_are_never_victims() {
     let (transfers, ok) = s.save(sid(2), 6 * MB, 100, Time::from_millis(2), &q);
     assert!(ok);
     assert_eq!(s.stats().spills_to_disk, 1);
-    assert_eq!(s.lookup(sid(1)), Lookup::Dram);
-    assert_eq!(s.lookup(sid(2)), Lookup::Disk);
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(0)));
+    assert_eq!(s.lookup(sid(2)), Lookup::Hit(TierId(1)));
     assert!(transfers
         .iter()
-        .any(|t| t.session == sid(2) && t.dir == TransferDir::DramToDisk));
+        .any(|t| t.session == sid(2) && t.is_demotion()));
     // A session larger than the whole hierarchy is still rejected.
     let (_, ok) = s.save(sid(3), 50 * MB, 100, Time::from_millis(3), &q);
     assert!(!ok);
@@ -153,14 +152,14 @@ fn scheduler_aware_prefetch_pulls_queued_sessions_up() {
     for i in 1..=4u64 {
         s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
     }
-    assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(1)));
     // Session 1 is waiting in the queue: prefetch promotes it.
     let queue = QueueView::new(&[sid(1)]);
     let transfers = s.prefetch(Time::from_millis(50), &queue);
     assert!(transfers
         .iter()
-        .any(|t| t.session == sid(1) && t.dir == TransferDir::DiskToDram));
-    assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+        .any(|t| t.session == sid(1) && t.is_promotion()));
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(0)));
 }
 
 #[test]
@@ -173,7 +172,7 @@ fn lru_and_fifo_never_prefetch() {
         }
         let queue = QueueView::new(&[sid(1)]);
         assert!(s.prefetch(Time::from_millis(50), &queue).is_empty());
-        assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+        assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(1)));
     }
 }
 
@@ -211,8 +210,7 @@ fn invalidate_frees_everything() {
 fn ttl_expiry_drops_idle_entries() {
     let mut s = AttentionStore::new(StoreConfig {
         ttl: Some(Dur::from_secs_f64(10.0)),
-        dram_bytes: 10 * MB,
-        disk_bytes: 10 * MB,
+        tiers: TierStack::two_tier(10 * MB, 10 * MB),
         block_bytes: MB,
         policy: PolicyKind::SchedulerAware,
         dram_reserve_fraction: 0.0,
@@ -224,15 +222,14 @@ fn ttl_expiry_drops_idle_entries() {
     assert_eq!(s.expire(Time::from_secs_f64(9.0)), 0);
     assert_eq!(s.expire(Time::from_secs_f64(15.0)), 1);
     assert_eq!(s.lookup(sid(1)), Lookup::Miss);
-    assert_eq!(s.lookup(sid(2)), Lookup::Dram);
+    assert_eq!(s.lookup(sid(2)), Lookup::Hit(TierId(0)));
     assert_eq!(s.stats().drops_ttl, 1);
 }
 
 #[test]
 fn reserve_maintenance_keeps_buffer_free() {
     let mut s = AttentionStore::new(StoreConfig {
-        dram_bytes: 10 * MB,
-        disk_bytes: 30 * MB,
+        tiers: TierStack::two_tier(10 * MB, 30 * MB),
         block_bytes: MB,
         policy: PolicyKind::SchedulerAware,
         ttl: None,
@@ -243,10 +240,10 @@ fn reserve_maintenance_keeps_buffer_free() {
     for i in 1..=3u64 {
         s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
     }
-    assert!(s.dram.free_bytes() < 3 * MB);
+    assert!(s.pools[0].free_bytes() < 3 * MB);
     let transfers = s.maintain_reserve(Time::from_millis(9), &q);
     assert!(!transfers.is_empty());
-    assert!(s.dram.free_bytes() >= 3 * MB);
+    assert!(s.pools[0].free_bytes() >= 3 * MB);
 }
 
 #[test]
@@ -266,8 +263,7 @@ fn resave_replaces_old_copy_exactly_once() {
 #[test]
 fn demand_fetch_never_evicts_its_own_session() {
     let mut s = AttentionStore::new(StoreConfig {
-        dram_bytes: 4 * MB,
-        disk_bytes: 8 * MB,
+        tiers: TierStack::two_tier(4 * MB, 8 * MB),
         block_bytes: MB,
         policy: PolicyKind::Lru,
         ttl: None,
@@ -280,13 +276,13 @@ fn demand_fetch_never_evicts_its_own_session() {
     s.save(sid(1), 4 * MB, 10, Time::from_millis(0), &q);
     s.save(sid(3), 4 * MB, 10, Time::from_millis(1), &q);
     s.save(sid(2), 4 * MB, 10, Time::from_millis(2), &q);
-    assert_eq!(s.lookup(sid(1)), Lookup::Disk);
-    assert_eq!(s.lookup(sid(3)), Lookup::Disk);
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(1)));
+    assert_eq!(s.lookup(sid(3)), Lookup::Hit(TierId(1)));
     // Demand-fetching s1 demotes s2, which needs disk room; the LRU
     // disk victim would be s1 itself — it must be exempt.
     let (found, _) = s.load_for_use(sid(1), Time::from_millis(3), &q);
-    assert_eq!(found, Lookup::Disk);
-    assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+    assert_eq!(found, Lookup::Hit(TierId(1)));
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(0)));
     assert_eq!(s.lookup(sid(3)), Lookup::Miss);
 }
 
@@ -300,15 +296,15 @@ fn duplicate_queue_entries_prefetch_once() {
     for i in 1..=4u64 {
         s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
     }
-    assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(1)));
     let queue = QueueView::new(&[sid(1), sid(1), sid(1)]);
     let transfers = s.prefetch(Time::from_millis(50), &queue);
     let promotions = transfers
         .iter()
-        .filter(|t| t.session == sid(1) && t.dir == TransferDir::DiskToDram)
+        .filter(|t| t.session == sid(1) && t.is_promotion())
         .count();
     assert_eq!(promotions, 1);
-    assert_eq!(s.lookup(sid(1)), Lookup::Dram);
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(0)));
     // Block accounting stayed consistent: re-saving and invalidating
     // everything drains both pools completely.
     for i in 1..=4u64 {
@@ -342,13 +338,13 @@ fn owner_attributed_views_tag_store_events() {
         s.save(sid(i), 3 * MB, 100, Time::from_millis(i), &q);
     }
     s.drain_events();
-    assert_eq!(s.lookup(sid(1)), Lookup::Disk);
+    assert_eq!(s.lookup(sid(1)), Lookup::Hit(TierId(1)));
     // Session 1 queued on instance 2, session 2 on instance 0.
     let queue = QueueView::with_owners(&[sid(1), sid(2)], &[2, 0]);
     let transfers = s.prefetch(Time::from_millis(50), &queue);
     assert!(transfers
         .iter()
-        .any(|t| t.session == sid(1) && t.dir == TransferDir::DiskToDram));
+        .any(|t| t.session == sid(1) && t.is_promotion()));
     let events = s.drain_events();
     let promoted = events
         .iter()

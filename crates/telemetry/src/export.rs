@@ -10,7 +10,8 @@
 //! prefetch staging and write-buffer stall spans with flow arrows
 //! linking each prefetch to the admission that consumes it, instant
 //! markers for the store's placement decisions, and counter tracks for
-//! HBM reservations and tier occupancy. A session that migrates
+//! HBM reservations and each tier's occupancy (one track per tier,
+//! labeled with the stack's configured tier names). A session that migrates
 //! instances under least-loaded routing shows its spans under whichever
 //! process served that turn.
 
@@ -149,6 +150,8 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
     // admission to draw the causal prefetch → prefill flow arrow.
     let mut prefetch_done: HashMap<u64, (u64, f64)> = HashMap::new();
     let mut flow_ids: u64 = 0;
+    // Tier index → display name, learned from `tier_config` records.
+    let mut tier_labels: HashMap<usize, &'static str> = HashMap::new();
 
     for rec in records {
         let pid = pid_of(rec);
@@ -242,19 +245,20 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
                 }
             },
             TraceEvent::Store(ev) => match ev {
+                StoreEvent::TierConfig { tier, name, .. } => {
+                    tier_labels.insert(tier.0, name);
+                }
                 StoreEvent::Occupancy {
-                    dram_bytes,
-                    disk_bytes,
-                    ..
+                    tier, used_bytes, ..
                 } => {
+                    let label = tier_labels
+                        .get(&tier.0)
+                        .map_or_else(|| format!("t{}", tier.0), |n| (*n).to_string());
                     events.push(counter(
-                        "store_occupancy_bytes",
+                        &format!("store_occupancy_bytes:{label}"),
                         pid,
                         at,
-                        vec![
-                            ("dram", Value::U64(dram_bytes)),
-                            ("disk", Value::U64(disk_bytes)),
-                        ],
+                        vec![("used", Value::U64(used_bytes))],
                     ));
                 }
                 StoreEvent::Promoted {
@@ -311,7 +315,7 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
 mod tests {
     use super::*;
     use sim::Time;
-    use store::Tier;
+    use store::TierId;
 
     fn rec(seq: u64, ev: TraceEvent) -> TraceRecord {
         TraceRecord {
@@ -339,7 +343,7 @@ mod tests {
                 1,
                 TraceEvent::Store(StoreEvent::FetchHit {
                     session: 1,
-                    tier: Tier::Dram,
+                    tier: TierId(0),
                     bytes: 100,
                     at: Time::from_millis(1),
                 }),
@@ -365,8 +369,16 @@ mod tests {
             rec(
                 5,
                 TraceEvent::Store(StoreEvent::Occupancy {
-                    dram_bytes: 10,
-                    disk_bytes: 20,
+                    tier: TierId(0),
+                    used_bytes: 10,
+                    at: Time::from_millis(500),
+                }),
+            ),
+            rec(
+                6,
+                TraceEvent::Store(StoreEvent::Occupancy {
+                    tier: TierId(1),
+                    used_bytes: 20,
                     at: Time::from_millis(500),
                 }),
             ),
@@ -377,7 +389,7 @@ mod tests {
     fn jsonl_is_one_parsable_object_per_line() {
         let text = to_jsonl(&sample_records());
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 6);
+        assert_eq!(lines.len(), 7);
         for (i, line) in lines.iter().enumerate() {
             let v: Value = serde_json::from_str(line).expect("line parses");
             match v {
@@ -402,11 +414,40 @@ mod tests {
         assert!(json.contains("\"name\":\"prefill\""));
         assert!(json.contains("\"name\":\"decode\""));
         assert!(json.contains("\"name\":\"fetch_hit\""));
-        assert!(json.contains("\"name\":\"store_occupancy_bytes\""));
+        // Per-tier occupancy tracks, labeled by index when no
+        // `tier_config` record announced a name.
+        assert!(json.contains("\"name\":\"store_occupancy_bytes:t0\""));
+        assert!(json.contains("\"name\":\"store_occupancy_bytes:t1\""));
         assert!(json.contains("\"name\":\"session 1\""));
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"ph\":\"M\""));
+    }
+
+    #[test]
+    fn tier_config_names_the_occupancy_tracks() {
+        let records = vec![
+            rec(
+                0,
+                TraceEvent::Store(StoreEvent::TierConfig {
+                    tier: TierId(1),
+                    name: "pooled",
+                    capacity: 1_000,
+                    at: Time::ZERO,
+                }),
+            ),
+            rec(
+                1,
+                TraceEvent::Store(StoreEvent::Occupancy {
+                    tier: TierId(1),
+                    used_bytes: 64,
+                    at: Time::from_millis(2),
+                }),
+            ),
+        ];
+        let json = to_chrome_trace(&records);
+        assert!(json.contains("\"name\":\"store_occupancy_bytes:pooled\""));
+        assert!(!json.contains("store_occupancy_bytes:t1"));
     }
 
     #[test]
@@ -422,6 +463,8 @@ mod tests {
                     session: 7,
                     bytes: 100,
                     kind: FetchKind::Prefetch,
+                    from: TierId(1),
+                    to: TierId(0),
                     queue_pos: Some(0),
                     instance: None,
                     at: Time::from_millis(1),

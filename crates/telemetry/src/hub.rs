@@ -5,7 +5,7 @@
 //! accounting (computed from internal state, warmup-filtered), the
 //! [`MetricsHub`] rebuilds the same figures purely from the observable
 //! event stream — per-tier hit counters, TTFT and queue-wait histograms,
-//! HBM/DRAM/disk occupancy curves — which is exactly what a production
+//! HBM and per-tier occupancy curves — which is exactly what a production
 //! telemetry agent would see. With zero warmup turns the hub's hit
 //! counts reconcile with the report's, which the integration tests pin.
 
@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use engine::{CoalescedLog, ConsultClass, EngineEvent, EngineObserver};
 use metrics::{Counter, Histogram, TimeSeries};
 use serde::Serialize;
-use store::{FetchKind, StoreEvent, Tier};
+use store::{FetchKind, StoreEvent, TierId};
 
 /// Bucket width of the occupancy gauge curves, seconds.
 const GAUGE_BUCKET_SECS: f64 = 1.0;
@@ -54,21 +54,23 @@ pub struct MetricsHub {
     deferrals: CoalescedLog,
     /// Arrival time of each session's in-flight turn, for queue waits.
     arrivals: HashMap<u64, f64>,
-    // Store-stream aggregates.
-    store_hits_dram: Counter,
-    store_hits_disk: Counter,
+    // Store-stream aggregates, sliced per tier-stack index. The slices
+    // grow on demand as events reference deeper tiers; names come from
+    // the `tier_config` records a tracing store emits up front (falling
+    // back to the `t{i}` index label).
+    tier_names: Vec<Option<&'static str>>,
+    store_hits_by_tier: Vec<Counter>,
+    occupancy_by_tier: Vec<TimeSeries>,
     store_misses: Counter,
     saves: Counter,
     save_rejections: Counter,
     prefetch_promotions: Counter,
     demand_promotions: Counter,
     demotions: Counter,
-    disk_evictions: Counter,
-    dram_drops: Counter,
+    evictions: Counter,
+    drops: Counter,
     expirations: Counter,
     write_stalls: Counter,
-    dram_occupancy: TimeSeries,
-    disk_occupancy: TimeSeries,
     // Fault-stream aggregates (all-zero without a fault plan).
     read_retries: Counter,
     read_failures: Counter,
@@ -140,20 +142,19 @@ impl MetricsHub {
             hbm_reserved: TimeSeries::new(GAUGE_BUCKET_SECS),
             deferrals: CoalescedLog::new(),
             arrivals: HashMap::new(),
-            store_hits_dram: Counter::new(),
-            store_hits_disk: Counter::new(),
+            tier_names: Vec::new(),
+            store_hits_by_tier: Vec::new(),
+            occupancy_by_tier: Vec::new(),
             store_misses: Counter::new(),
             saves: Counter::new(),
             save_rejections: Counter::new(),
             prefetch_promotions: Counter::new(),
             demand_promotions: Counter::new(),
             demotions: Counter::new(),
-            disk_evictions: Counter::new(),
-            dram_drops: Counter::new(),
+            evictions: Counter::new(),
+            drops: Counter::new(),
             expirations: Counter::new(),
             write_stalls: Counter::new(),
-            dram_occupancy: TimeSeries::new(GAUGE_BUCKET_SECS),
-            disk_occupancy: TimeSeries::new(GAUGE_BUCKET_SECS),
             read_retries: Counter::new(),
             read_failures: Counter::new(),
             write_retries: Counter::new(),
@@ -178,6 +179,21 @@ impl MetricsHub {
             self.per_instance.resize_with(i + 1, InstanceAgg::new);
         }
         &mut self.per_instance[i]
+    }
+
+    /// Grows the per-tier slices so index `tier` is addressable.
+    fn grow_tiers(&mut self, tier: TierId) {
+        let n = tier.0 + 1;
+        if self.tier_names.len() < n {
+            self.tier_names.resize(n, None);
+        }
+        if self.store_hits_by_tier.len() < n {
+            self.store_hits_by_tier.resize_with(n, Counter::new);
+        }
+        if self.occupancy_by_tier.len() < n {
+            self.occupancy_by_tier
+                .resize_with(n, || TimeSeries::new(GAUGE_BUCKET_SECS));
+        }
     }
 
     /// Renders the current aggregates as a serializable snapshot.
@@ -223,16 +239,21 @@ impl MetricsHub {
             retired: self.retired.get(),
             deferred_events: self.deferrals.deferred_total(),
             deferred_runs: self.deferrals.entries().len() as u64,
-            store_hits_dram: self.store_hits_dram.get(),
-            store_hits_disk: self.store_hits_disk.get(),
+            store_hits_dram: self.store_hits_by_tier.first().map_or(0, Counter::get),
+            store_hits_disk: self
+                .store_hits_by_tier
+                .iter()
+                .skip(1)
+                .map(Counter::get)
+                .sum(),
             store_misses: self.store_misses.get(),
             saves: self.saves.get(),
             save_rejections: self.save_rejections.get(),
             prefetch_promotions: self.prefetch_promotions.get(),
             demand_promotions: self.demand_promotions.get(),
             demotions: self.demotions.get(),
-            disk_evictions: self.disk_evictions.get(),
-            dram_drops: self.dram_drops.get(),
+            evictions: self.evictions.get(),
+            drops: self.drops.get(),
             expirations: self.expirations.get(),
             write_stalls: self.write_stalls.get(),
             read_retries: self.read_retries.get(),
@@ -244,11 +265,42 @@ impl MetricsHub {
             instance_crashes: self.instance_crashes.get(),
             turns_rerouted: self.turns_rerouted.get(),
             hbm_reserved_peak_bytes: self.hbm_reserved.peak(),
-            dram_occupancy_peak_bytes: self.dram_occupancy.peak(),
-            disk_occupancy_peak_bytes: self.disk_occupancy.peak(),
+            dram_occupancy_peak_bytes: self.occupancy_by_tier.first().map_or(0.0, TimeSeries::peak),
+            disk_occupancy_peak_bytes: self.occupancy_by_tier.get(1).map_or(0.0, TimeSeries::peak),
             hbm_reserved_timeline: self.hbm_reserved.clone(),
-            dram_occupancy_timeline: self.dram_occupancy.clone(),
-            disk_occupancy_timeline: self.disk_occupancy.clone(),
+            dram_occupancy_timeline: self
+                .occupancy_by_tier
+                .first()
+                .cloned()
+                .unwrap_or_else(|| TimeSeries::new(GAUGE_BUCKET_SECS)),
+            disk_occupancy_timeline: self
+                .occupancy_by_tier
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| TimeSeries::new(GAUGE_BUCKET_SECS)),
+            tiers: (0..self
+                .store_hits_by_tier
+                .len()
+                .max(self.occupancy_by_tier.len())
+                .max(self.tier_names.len()))
+                .map(|i| TierMetrics {
+                    tier: i,
+                    name: match self.tier_names.get(i).copied().flatten() {
+                        Some(n) => n.to_string(),
+                        None => format!("t{i}"),
+                    },
+                    store_hits: self.store_hits_by_tier.get(i).map_or(0, Counter::get),
+                    occupancy_peak_bytes: self
+                        .occupancy_by_tier
+                        .get(i)
+                        .map_or(0.0, TimeSeries::peak),
+                    occupancy_timeline: self
+                        .occupancy_by_tier
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| TimeSeries::new(GAUGE_BUCKET_SECS)),
+                })
+                .collect(),
             instances: self
                 .per_instance
                 .iter()
@@ -351,12 +403,16 @@ impl EngineObserver for MetricsHub {
 
     fn on_store_event(&mut self, ev: StoreEvent) {
         match ev {
+            StoreEvent::TierConfig { tier, name, .. } => {
+                self.grow_tiers(tier);
+                self.tier_names[tier.0] = Some(name);
+            }
             StoreEvent::Saved { .. } => self.saves.incr(),
             StoreEvent::SaveRejected { .. } => self.save_rejections.incr(),
-            StoreEvent::FetchHit { tier, .. } => match tier {
-                Tier::Dram => self.store_hits_dram.incr(),
-                Tier::Disk => self.store_hits_disk.incr(),
-            },
+            StoreEvent::FetchHit { tier, .. } => {
+                self.grow_tiers(tier);
+                self.store_hits_by_tier[tier.0].incr();
+            }
             StoreEvent::FetchMiss { .. } => self.store_misses.incr(),
             StoreEvent::Promoted {
                 session, kind, at, ..
@@ -368,17 +424,16 @@ impl EngineObserver for MetricsHub {
                 }
             },
             StoreEvent::Demoted { .. } => self.demotions.incr(),
-            StoreEvent::EvictedDisk { .. } => self.disk_evictions.incr(),
-            StoreEvent::DroppedDram { .. } => self.dram_drops.incr(),
+            StoreEvent::Evicted { .. } => self.evictions.incr(),
+            StoreEvent::Dropped { .. } => self.drops.incr(),
             StoreEvent::Expired { .. } => self.expirations.incr(),
             StoreEvent::Occupancy {
-                dram_bytes,
-                disk_bytes,
+                tier,
+                used_bytes,
                 at,
             } => {
-                let t = at.as_secs_f64();
-                self.dram_occupancy.record_max(t, dram_bytes as f64);
-                self.disk_occupancy.record_max(t, disk_bytes as f64);
+                self.grow_tiers(tier);
+                self.occupancy_by_tier[tier.0].record_max(at.as_secs_f64(), used_bytes as f64);
             }
             StoreEvent::PrefetchCompleted { session, at, .. } => {
                 if let Some(start) = self.prefetch_starts.remove(&session) {
@@ -460,9 +515,11 @@ pub struct MetricsSnapshot {
     pub deferred_events: u64,
     /// Coalesced deferral runs (consecutive same-session retries).
     pub deferred_runs: u64,
-    /// Store lookups that found KV resident in DRAM.
+    /// Store lookups that found KV resident in tier 0 (the fast staging
+    /// tier; rollup of the per-tier slices in [`tiers`](Self::tiers)).
     pub store_hits_dram: u64,
-    /// Store lookups that found KV resident on disk.
+    /// Store lookups that found KV resident below tier 0 (all slower
+    /// tiers combined).
     pub store_hits_disk: u64,
     /// Store lookups that found nothing cached.
     pub store_misses: u64,
@@ -470,16 +527,17 @@ pub struct MetricsSnapshot {
     pub saves: u64,
     /// Saves rejected for capacity.
     pub save_rejections: u64,
-    /// Look-ahead prefetch promotions (disk → DRAM).
+    /// Look-ahead prefetch promotions (slow tier → tier 0).
     pub prefetch_promotions: u64,
-    /// Demand-fetch promotions (disk → DRAM).
+    /// Demand-fetch promotions (slow tier → tier 0).
     pub demand_promotions: u64,
-    /// DRAM → disk demotions.
+    /// One-hop demotions to an adjacent slower tier.
     pub demotions: u64,
-    /// Evictions out of the disk tier.
-    pub disk_evictions: u64,
-    /// DRAM entries dropped because disk could not take them.
-    pub dram_drops: u64,
+    /// Evictions out of the stack's bottom tier (out of the system).
+    pub evictions: u64,
+    /// Entries dropped because the tier below could not take their
+    /// demotion.
+    pub drops: u64,
     /// TTL expirations.
     pub expirations: u64,
     /// Admissions stalled on the HBM write buffer.
@@ -502,19 +560,39 @@ pub struct MetricsSnapshot {
     pub turns_rerouted: u64,
     /// Peak live-KV HBM reservation, bytes.
     pub hbm_reserved_peak_bytes: f64,
-    /// Peak DRAM-tier occupancy, bytes.
+    /// Peak tier-0 occupancy, bytes (see [`tiers`](Self::tiers) for the
+    /// full stack).
     pub dram_occupancy_peak_bytes: f64,
-    /// Peak disk-tier occupancy, bytes.
+    /// Peak tier-1 occupancy, bytes.
     pub disk_occupancy_peak_bytes: f64,
     /// Live-KV HBM reservation over time (1 s buckets, per-bucket max).
     pub hbm_reserved_timeline: TimeSeries,
-    /// DRAM-tier occupancy over time (1 s buckets, per-bucket max).
+    /// Tier-0 occupancy over time (1 s buckets, per-bucket max).
     pub dram_occupancy_timeline: TimeSeries,
-    /// Disk-tier occupancy over time (1 s buckets, per-bucket max).
+    /// Tier-1 occupancy over time (1 s buckets, per-bucket max).
     pub disk_occupancy_timeline: TimeSeries,
+    /// Per-tier store-stream aggregates, fastest tier first, labeled by
+    /// the stack's configured tier names.
+    pub tiers: Vec<TierMetrics>,
     /// Per-instance engine-stream aggregates (empty when the run was
     /// observed through the instance-blind hooks).
     pub instances: Vec<InstanceMetrics>,
+}
+
+/// One tier's slice of the store-stream aggregates.
+#[derive(Debug, Clone, Serialize)]
+pub struct TierMetrics {
+    /// Tier-stack index, fastest first.
+    pub tier: usize,
+    /// The tier's display name (from the store's `tier_config` records;
+    /// `t{i}` when the run never announced one).
+    pub name: String,
+    /// Store lookups that found KV resident in this tier.
+    pub store_hits: u64,
+    /// Peak occupancy of this tier, bytes.
+    pub occupancy_peak_bytes: f64,
+    /// This tier's occupancy over time (1 s buckets, per-bucket max).
+    pub occupancy_timeline: TimeSeries,
 }
 
 /// One instance's slice of the engine-stream aggregates.
@@ -584,15 +662,26 @@ mod tests {
             10_000,
             Time::from_millis(4),
         ));
+        hub.on_store_event(StoreEvent::TierConfig {
+            tier: TierId(0),
+            name: "dram",
+            capacity: 1_000,
+            at: Time::ZERO,
+        });
         hub.on_store_event(StoreEvent::FetchHit {
             session: 1,
-            tier: Tier::Dram,
+            tier: TierId(0),
             bytes: 5,
             at: Time::from_millis(1),
         });
         hub.on_store_event(StoreEvent::Occupancy {
-            dram_bytes: 500,
-            disk_bytes: 700,
+            tier: TierId(0),
+            used_bytes: 500,
+            at: Time::from_millis(1),
+        });
+        hub.on_store_event(StoreEvent::Occupancy {
+            tier: TierId(1),
+            used_bytes: 700,
             at: Time::from_millis(1),
         });
         let snap = hub.snapshot();
@@ -608,6 +697,39 @@ mod tests {
         assert_eq!(snap.hbm_reserved_peak_bytes, 1_000.0);
         assert_eq!(snap.dram_occupancy_peak_bytes, 500.0);
         assert_eq!(snap.disk_occupancy_peak_bytes, 700.0);
+        // The per-tier slices carry the same data keyed by name: tier 0
+        // was announced as "dram", tier 1 fell back to its index label.
+        assert_eq!(snap.tiers.len(), 2);
+        assert_eq!(snap.tiers[0].name, "dram");
+        assert_eq!(snap.tiers[0].store_hits, 1);
+        assert_eq!(snap.tiers[0].occupancy_peak_bytes, 500.0);
+        assert_eq!(snap.tiers[1].name, "t1");
+        assert_eq!(snap.tiers[1].store_hits, 0);
+        assert_eq!(snap.tiers[1].occupancy_peak_bytes, 700.0);
+    }
+
+    /// Hits below tier 1 still roll up into the legacy slow-tier counter
+    /// and the per-tier slices keep them separable.
+    #[test]
+    fn deep_tier_hits_roll_up() {
+        let mut hub = MetricsHub::new();
+        for (tier, n) in [(1usize, 2u64), (3, 1)] {
+            for _ in 0..n {
+                hub.on_store_event(StoreEvent::FetchHit {
+                    session: 1,
+                    tier: TierId(tier),
+                    bytes: 5,
+                    at: Time::ZERO,
+                });
+            }
+        }
+        let snap = hub.snapshot();
+        assert_eq!(snap.store_hits_dram, 0);
+        assert_eq!(snap.store_hits_disk, 3);
+        assert_eq!(snap.tiers.len(), 4);
+        assert_eq!(snap.tiers[1].store_hits, 2);
+        assert_eq!(snap.tiers[2].store_hits, 0);
+        assert_eq!(snap.tiers[3].store_hits, 1);
     }
 
     #[test]

@@ -708,7 +708,7 @@ pub struct ProfileSummary {
 mod tests {
     use super::*;
     use engine::ConsultClass;
-    use store::Tier;
+    use store::TierId;
 
     fn rec(seq: u64, ev: TraceEvent) -> TraceRecord {
         TraceRecord {
@@ -737,6 +737,8 @@ mod tests {
                 session: 7,
                 bytes: 100,
                 kind: FetchKind::Prefetch,
+                from: TierId(1),
+                to: TierId(0),
                 queue_pos: Some(0),
                 instance: Some(0),
                 at: t(0.5),
@@ -748,7 +750,14 @@ mod tests {
             }),
             TraceEvent::Engine(EngineEvent::consulted(7, ConsultClass::HitFast, 80, t(2.0))),
             TraceEvent::Engine(EngineEvent::admitted(7, 80, 40, false, t(2.0))),
-            TraceEvent::Engine(EngineEvent::prefill_timed(7, 2.0, 2.0, 1.0, t(2.0))),
+            TraceEvent::Engine(EngineEvent::prefill_timed(
+                7,
+                2.0,
+                2.0,
+                1.0,
+                Some(0),
+                t(2.0),
+            )),
             TraceEvent::Engine(EngineEvent::prefill_done(7, 3.0, t(5.0))),
             TraceEvent::Engine(EngineEvent::retired(7, 120, t(9.0))),
         ];
@@ -846,11 +855,18 @@ mod tests {
             TraceEvent::Engine(EngineEvent::turn_arrived(9, 2, t(0.0))),
             TraceEvent::Engine(EngineEvent::consulted(9, ConsultClass::HitSlow, 50, t(1.0))),
             TraceEvent::Engine(EngineEvent::admitted(9, 50, 10, false, t(1.0))),
-            TraceEvent::Engine(EngineEvent::prefill_timed(9, 1.0, 0.5, 1.0, t(1.0))),
+            TraceEvent::Engine(EngineEvent::prefill_timed(
+                9,
+                1.0,
+                0.5,
+                1.0,
+                Some(1),
+                t(1.0),
+            )),
             TraceEvent::Engine(EngineEvent::turn_rerouted(9, 0, 1, t(2.0))),
             TraceEvent::Engine(EngineEvent::consulted(9, ConsultClass::Miss, 0, t(3.0))),
             TraceEvent::Engine(EngineEvent::admitted(9, 0, 60, false, t(3.0))),
-            TraceEvent::Engine(EngineEvent::prefill_timed(9, 0.0, 2.0, 0.0, t(3.0))),
+            TraceEvent::Engine(EngineEvent::prefill_timed(9, 0.0, 2.0, 0.0, None, t(3.0))),
             TraceEvent::Engine(EngineEvent::prefill_done(9, 2.0, t(5.0))),
             TraceEvent::Engine(EngineEvent::retired(9, 60, t(6.0))),
         ];
@@ -887,6 +903,6 @@ mod tests {
         assert_eq!(spans[0].end_secs, 4.0);
         assert_eq!(spans[1].start_secs, 4.0); // trimmed to the sibling
         assert_eq!(spans[1].end_secs, 6.0);
-        let _ = Tier::Dram; // keep the store import exercised
+        let _ = TierId(0); // keep the store import exercised
     }
 }

@@ -116,7 +116,7 @@ impl Serialize for TraceRecord {
 mod tests {
     use super::*;
     use engine::ConsultClass;
-    use store::Tier;
+    use store::TierId;
 
     #[test]
     fn records_are_self_describing_jsonl_lines() {
@@ -167,7 +167,7 @@ mod tests {
             instance: None,
             ev: TraceEvent::Store(StoreEvent::FetchHit {
                 session: 2,
-                tier: Tier::Disk,
+                tier: TierId(1),
                 bytes: 10,
                 at: Time::ZERO,
             }),

@@ -3,9 +3,10 @@
 //!
 //! Run: `cargo run --release --example attention_store_tour`
 
+use cachedattention::models::TierStack;
 use cachedattention::sim::{Dur, Time};
 use cachedattention::store::{
-    AttentionStore, Lookup, PolicyKind, QueueView, SessionId, StoreConfig,
+    AttentionStore, Lookup, PolicyKind, QueueView, SessionId, StoreConfig, TierId,
 };
 
 const GB: u64 = 1_000_000_000;
@@ -22,8 +23,7 @@ fn show(store: &AttentionStore, label: &str) {
 fn main() {
     // A small two-tier store: 8 GB DRAM over 40 GB SSD.
     let mut store = AttentionStore::new(StoreConfig {
-        dram_bytes: 8 * GB,
-        disk_bytes: 40 * GB,
+        tiers: TierStack::two_tier(8 * GB, 40 * GB),
         block_bytes: 64 * 1024 * 1024,
         policy: PolicyKind::SchedulerAware,
         ttl: Some(Dur::from_secs_f64(3600.0)),
@@ -55,20 +55,20 @@ fn main() {
 
     // Sessions 0..6 went to disk; the scheduler's queue says sessions 1
     // and 2 run next, so the prefetcher pulls them up.
-    assert_eq!(store.lookup(SessionId(1)), Lookup::Disk);
+    assert_eq!(store.lookup(SessionId(1)), Lookup::Hit(TierId(1)));
     let queue = QueueView::new(&[SessionId(1), SessionId(2)]);
     let fetched = store.prefetch(Time::from_secs_f64(20.0), &queue);
     let promoted: Vec<u64> = fetched
         .iter()
-        .filter(|t| matches!(t.dir, cachedattention::store::TransferDir::DiskToDram))
+        .filter(|t| t.is_promotion())
         .map(|t| t.session.0)
         .collect();
     println!("prefetched from disk: {promoted:?}");
-    assert_eq!(store.lookup(SessionId(1)), Lookup::Dram);
+    assert_eq!(store.lookup(SessionId(1)), Lookup::Hit(TierId(0)));
 
     // Demand access pins the entry; saving the grown KV replaces it.
     let (found, _) = store.load_for_use(SessionId(1), Time::from_secs_f64(21.0), &queue);
-    assert_eq!(found, Lookup::Dram);
+    assert_eq!(found, Lookup::Hit(TierId(0)));
     store.save(
         SessionId(1),
         2 * GB + GB / 2,

@@ -39,8 +39,8 @@ fn main() {
         let dram = total.min(5 * ccps);
         let mut cfg = EngineConfig::paper(Mode::CachedAttention, model.clone());
         cfg.store.ttl = Some(Dur::from_secs_f64(ttl_secs));
-        cfg.store.dram_bytes = dram.max(1_000_000_000);
-        cfg.store.disk_bytes = total.saturating_sub(dram);
+        cfg.store.set_dram_bytes(dram.max(1_000_000_000));
+        cfg.store.set_disk_bytes(total.saturating_sub(dram));
         let r = run_trace(cfg, trace.clone());
         let storage_per_hour = prices.dram_per_gb_hour * dram as f64 / 1e9
             + prices.ssd_per_gb_hour * total.saturating_sub(dram) as f64 / 1e9;

@@ -40,8 +40,8 @@ fn main() {
     ] {
         let mut cfg = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b());
         cfg.store.policy = policy;
-        cfg.store.dram_bytes = 32_000_000_000;
-        cfg.store.disk_bytes = 1_000_000_000_000;
+        cfg.store.set_dram_bytes(32_000_000_000);
+        cfg.store.set_disk_bytes(1_000_000_000_000);
         let r = run_trace(cfg, trace.clone());
         let cost = r.cost(&PriceSheet::default(), 2, 32.0, 1_000.0);
         println!(

@@ -87,10 +87,10 @@ fn build_config(args: &Args, mode: Mode, model: ModelSpec) -> Result<EngineConfi
     if let Some(p) = args.get("--policy") {
         cfg.store.policy = policy_by_name(p)?;
     }
-    let dram_gb: f64 = args.get_parse("--dram-gb", cfg.store.dram_bytes as f64 / 1e9)?;
-    let disk_tb: f64 = args.get_parse("--disk-tb", cfg.store.disk_bytes as f64 / 1e12)?;
-    cfg.store.dram_bytes = (dram_gb * 1e9) as u64;
-    cfg.store.disk_bytes = (disk_tb * 1e12) as u64;
+    let dram_gb: f64 = args.get_parse("--dram-gb", cfg.store.dram_bytes() as f64 / 1e9)?;
+    let disk_tb: f64 = args.get_parse("--disk-tb", cfg.store.disk_bytes() as f64 / 1e12)?;
+    cfg.store.set_dram_bytes((dram_gb * 1e9) as u64);
+    cfg.store.set_disk_bytes((disk_tb * 1e12) as u64);
     let compression: f64 = args.get_parse("--compression", 1.0)?;
     if compression <= 0.0 || compression > 1.0 {
         return Err(format!(

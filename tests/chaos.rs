@@ -30,8 +30,8 @@ use std::collections::HashMap;
 fn pressured() -> EngineConfig {
     let mut cfg = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b());
     cfg.medium = Medium::DramDisk;
-    cfg.store.dram_bytes = 8_000_000_000;
-    cfg.store.disk_bytes = 40_000_000_000;
+    cfg.store.set_dram_bytes(8_000_000_000);
+    cfg.store.set_disk_bytes(40_000_000_000);
     cfg
 }
 

@@ -47,8 +47,8 @@ fn golden_dir() -> PathBuf {
 fn pressured(mode: Mode, medium: Medium) -> EngineConfig {
     let mut cfg = EngineConfig::paper(mode, ModelSpec::llama2_13b());
     cfg.medium = medium;
-    cfg.store.dram_bytes = 8_000_000_000;
-    cfg.store.disk_bytes = 40_000_000_000;
+    cfg.store.set_dram_bytes(8_000_000_000);
+    cfg.store.set_disk_bytes(40_000_000_000);
     cfg
 }
 
@@ -167,8 +167,8 @@ proptest! {
         let trace = Generator::new(ShareGptProfile::default(), seed).trace(n_sessions);
         let mut cfg = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b());
         cfg.medium = Medium::DramDisk;
-        cfg.store.dram_bytes = dram_gb * 1_000_000_000;
-        cfg.store.disk_bytes = 40_000_000_000;
+        cfg.store.set_dram_bytes(dram_gb * 1_000_000_000);
+        cfg.store.set_disk_bytes(40_000_000_000);
         let (report, log) = run_cluster_with_observer(
             ClusterConfig::new(cfg, n_instances, router),
             trace,

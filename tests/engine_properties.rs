@@ -63,8 +63,8 @@ proptest! {
         cfg.read_buffer_layers = read_buffer;
         cfg.chunked_prefill_tokens = chunk;
         cfg.kv_compression = compression_pct as f64 / 100.0;
-        cfg.store.dram_bytes = dram_gb * 1_000_000_000;
-        cfg.store.disk_bytes = disk_gb * 1_000_000_000;
+        cfg.store.set_dram_bytes(dram_gb * 1_000_000_000);
+        cfg.store.set_disk_bytes(disk_gb * 1_000_000_000);
         let r = run_trace(cfg, trace);
         // Everything completes exactly once.
         prop_assert_eq!(r.sessions_done.get() as usize, n_sessions);
@@ -105,8 +105,8 @@ proptest! {
             let mut cfg =
                 EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b());
             cfg.kv_compression = ratio;
-            cfg.store.dram_bytes = dram_gb * 1_000_000_000;
-            cfg.store.disk_bytes = disk_gb * 1_000_000_000;
+            cfg.store.set_dram_bytes(dram_gb * 1_000_000_000);
+            cfg.store.set_disk_bytes(disk_gb * 1_000_000_000);
             run_trace(cfg, trace.clone())
         };
         let raw = run_with(1.0);

@@ -45,8 +45,8 @@ proptest! {
         let trace = Generator::new(ShareGptProfile::default(), seed).trace(n_sessions);
         let mut cfg = EngineConfig::paper(mode, ModelSpec::llama2_13b());
         cfg.medium = Medium::DramDisk;
-        cfg.store.dram_bytes = dram_gb * 1_000_000_000;
-        cfg.store.disk_bytes = disk_gb * 1_000_000_000;
+        cfg.store.set_dram_bytes(dram_gb * 1_000_000_000);
+        cfg.store.set_disk_bytes(disk_gb * 1_000_000_000);
         let (report, events) = run_traced(cfg, trace);
         prop_assert!(!events.is_empty());
 

@@ -78,8 +78,8 @@ fn check(name: &str, cfg: EngineConfig, n_sessions: usize, seed: u64) {
 fn pressured(mode: Mode, medium: Medium) -> EngineConfig {
     let mut cfg = EngineConfig::paper(mode, ModelSpec::llama2_13b());
     cfg.medium = medium;
-    cfg.store.dram_bytes = 8_000_000_000;
-    cfg.store.disk_bytes = 40_000_000_000;
+    cfg.store.set_dram_bytes(8_000_000_000);
+    cfg.store.set_disk_bytes(40_000_000_000);
     cfg
 }
 

@@ -30,8 +30,8 @@ const MEDIUMS: [Medium; 3] = [Medium::DramDisk, Medium::HbmDram, Medium::HbmOnly
 fn pressured(mode: Mode, medium: Medium) -> EngineConfig {
     let mut cfg = EngineConfig::paper(mode, ModelSpec::llama2_13b());
     cfg.medium = medium;
-    cfg.store.dram_bytes = 8_000_000_000;
-    cfg.store.disk_bytes = 40_000_000_000;
+    cfg.store.set_dram_bytes(8_000_000_000);
+    cfg.store.set_disk_bytes(40_000_000_000);
     cfg
 }
 
@@ -159,7 +159,7 @@ proptest! {
         dram_gb in 2u64..16,
     ) {
         let mut cfg = pressured(MODES[mode_ix], MEDIUMS[medium_ix]);
-        cfg.store.dram_bytes = dram_gb * 1_000_000_000;
+        cfg.store.set_dram_bytes(dram_gb * 1_000_000_000);
         let trace = Generator::new(ShareGptProfile::default(), seed).trace(n_sessions);
         let (report, tel) = run_with_telemetry(cfg, trace);
         let forest = SpanForest::from_records(tel.records());

@@ -10,9 +10,10 @@
 //! prefetch is what originally tripped capacity accounting. Do not
 //! delete the file; append-only by proptest on new failures.
 
+use cachedattention::models::TierStack;
 use cachedattention::sim::Time;
 use cachedattention::store::{
-    AttentionStore, Lookup, PolicyKind, QueueView, SessionId, StoreConfig,
+    AttentionStore, Lookup, PolicyKind, QueueView, SessionId, StoreConfig, TierId,
 };
 use proptest::prelude::*;
 
@@ -67,8 +68,7 @@ proptest! {
         policy in policies(),
     ) {
         let mut store = AttentionStore::new(StoreConfig {
-            dram_bytes: 100 * MB,
-            disk_bytes: 300 * MB,
+            tiers: TierStack::two_tier(100 * MB, 300 * MB),
             block_bytes: 4 * MB,
             policy,
             ttl: Some(cachedattention::sim::Dur::from_secs_f64(50.0)),
@@ -136,8 +136,7 @@ proptest! {
         sids in proptest::collection::vec(0u64..12, 1..40),
     ) {
         let mut store = AttentionStore::new(StoreConfig {
-            dram_bytes: 60 * MB,
-            disk_bytes: 120 * MB,
+            tiers: TierStack::two_tier(60 * MB, 120 * MB),
             block_bytes: 4 * MB,
             policy: PolicyKind::SchedulerAware,
             ttl: None,
@@ -149,19 +148,24 @@ proptest! {
             let now = Time::from_secs_f64(i as f64);
             let (transfers, saved) = store.save(SessionId(sid), 20 * MB, 20, now, &empty);
             if saved {
-                prop_assert_eq!(store.lookup(SessionId(sid)), Lookup::Dram);
+                prop_assert_eq!(store.lookup(SessionId(sid)), Lookup::Hit(TierId(0)));
             }
             for t in transfers {
-                use cachedattention::store::TransferDir;
-                match t.dir {
-                    TransferDir::DramToDisk => {
-                        // The victim is now on disk (or was dropped later
-                        // in the same call; it must not be in DRAM).
-                        prop_assert_ne!(store.lookup(t.session), Lookup::Dram);
-                    }
-                    TransferDir::DiskToDram => {
-                        prop_assert_eq!(store.lookup(t.session), Lookup::Dram);
-                    }
+                if t.is_demotion() {
+                    // The victim moved down one hop (or was dropped later
+                    // in the same call; it must not be back in tier 0).
+                    prop_assert_ne!(store.lookup(t.session), Lookup::Hit(TierId(0)));
+                } else {
+                    prop_assert!(t.is_promotion());
+                    // The session landed at the hop's destination or kept
+                    // climbing (multi-hop chains end at tier 0).
+                    let found = store.lookup(t.session);
+                    prop_assert!(
+                        matches!(found, Lookup::Hit(h) if h.0 <= t.to.0),
+                        "promotion hop to {:?} but lookup found {:?}",
+                        t.to,
+                        found
+                    );
                 }
             }
         }
