@@ -13,9 +13,12 @@
 #    the same way
 # 8. tiers smoke: a 3-tier (DRAM/pooled/SSD) faulted run through the
 #    depth-N stack machinery, validated the same way
-# 9. rustdoc gate: the whole workspace documents cleanly with
+# 9. watch smoke: a bursty run through the windowed observability
+#    plane; the windowed JSONL is validated by trace_check --windows
+#    (contiguous windows, well-paired alert timeline)
+# 10. rustdoc gate: the whole workspace documents cleanly with
 #    warnings denied
-# 10. perf-regression gate: exp_profile re-runs the canonical scenario
+# 11. perf-regression gate: exp_profile re-runs the canonical scenario
 #    matrix and diffs against the committed BENCH_profile.json with
 #    tolerance bands. Intentional perf changes: REGEN_BENCH=1 ./ci.sh
 #    regenerates the baseline (mirror of REGEN_GOLDEN=1 for fixtures).
@@ -79,6 +82,23 @@ echo "==> tiers smoke (exp_tiers 3-tier stack + trace_check)"
     --metrics "$SMOKE_DIR/tiers_metrics.json"
 grep -q '"kind":"tier_config".*"name":"pooled"' "$SMOKE_DIR/tiers.jsonl" \
     || { echo "tiers smoke: pooled tier missing from trace" >&2; exit 1; }
+
+echo "==> watch smoke (exp_watch windowed plane + trace_check --windows)"
+./target/release/exp_watch --sessions 60 \
+    --windows-out "$SMOKE_DIR/watch_windows.jsonl" \
+    --prom-out "$SMOKE_DIR/watch.prom" \
+    --trace-out "$SMOKE_DIR/watch.jsonl" \
+    --trace-out "$SMOKE_DIR/watch.json" \
+    --metrics-out "$SMOKE_DIR/watch_metrics.json" >/dev/null
+./target/release/trace_check \
+    --windows "$SMOKE_DIR/watch_windows.jsonl" \
+    --jsonl "$SMOKE_DIR/watch.jsonl" \
+    --chrome "$SMOKE_DIR/watch.json" \
+    --metrics "$SMOKE_DIR/watch_metrics.json"
+grep -q '"kind":"window_config"' "$SMOKE_DIR/watch_windows.jsonl" \
+    || { echo "watch smoke: window_config header missing" >&2; exit 1; }
+grep -q '^cachedattention_turns_arrived_total' "$SMOKE_DIR/watch.prom" \
+    || { echo "watch smoke: prometheus exposition missing counters" >&2; exit 1; }
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

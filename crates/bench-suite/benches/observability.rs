@@ -1,0 +1,66 @@
+//! Criterion benchmark of observer overhead: the same fixed workload
+//! simulated bare (`NullObserver`), with only the windowed aggregator
+//! attached, and with the full telemetry stack (verbatim trace + scalar
+//! hub + windowed hub). The windowed plane is designed to stay within a
+//! few percent of the unobserved run; comparing the three medians here
+//! is the overhead measurement the observability PR gates on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{run_trace, run_with_observer, EngineConfig, Mode};
+use models::ModelSpec;
+use telemetry::{Telemetry, WindowedHub};
+use workload::{Burstiness, Generator, ShareGptProfile};
+
+const WINDOW_SECS: f64 = 60.0;
+
+fn fixture() -> (EngineConfig, workload::Trace) {
+    let profile = ShareGptProfile::default().with_burstiness(Burstiness::default());
+    let trace = Generator::new(profile, 11).trace(100);
+    let cfg = EngineConfig::paper(Mode::CachedAttention, ModelSpec::llama2_13b());
+    (cfg, trace)
+}
+
+fn bench_observer_overhead(c: &mut Criterion) {
+    let (cfg, trace) = fixture();
+    let mut g = c.benchmark_group("observability");
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::new("simulate", "bare"), &(), |b, ()| {
+        b.iter(|| {
+            let r = run_trace(cfg.clone(), trace.clone());
+            black_box(r.sessions_done.get())
+        })
+    });
+
+    g.bench_with_input(
+        BenchmarkId::new("simulate", "windowed_hub"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let (r, hub) =
+                    run_with_observer(cfg.clone(), trace.clone(), WindowedHub::new(WINDOW_SECS));
+                black_box((r.sessions_done.get(), hub.series().windows.len()))
+            })
+        },
+    );
+
+    g.bench_with_input(
+        BenchmarkId::new("simulate", "full_telemetry"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let (r, tel) = run_with_observer(
+                    cfg.clone(),
+                    trace.clone(),
+                    Telemetry::with_windows(WINDOW_SECS),
+                );
+                black_box((r.sessions_done.get(), tel.records().len()))
+            })
+        },
+    );
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_observer_overhead);
+criterion_main!(benches);

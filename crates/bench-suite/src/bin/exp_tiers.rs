@@ -105,8 +105,8 @@ fn main() {
     println!(
         "  makespan={:.1}s ttft p50/p95={:.1}/{:.1}ms hit_rate={:.3} sessions_done={}",
         report.aggregate.makespan_secs,
-        snap.ttft_p50_secs * 1e3,
-        snap.ttft_p95_secs * 1e3,
+        snap.ttft_p50_secs.unwrap_or(0.0) * 1e3,
+        snap.ttft_p95_secs.unwrap_or(0.0) * 1e3,
         report.aggregate.hit_rate(),
         report.aggregate.sessions_done.get()
     );

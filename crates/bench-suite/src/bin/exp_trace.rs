@@ -85,6 +85,8 @@ fn main() {
     );
     println!(
         "  ttft mean={:.3}s p99={:.3}s, queue wait mean={:.3}s",
-        snap.ttft_mean_secs, snap.ttft_p99_secs, snap.queue_wait_mean_secs
+        snap.ttft_mean_secs,
+        snap.ttft_p99_secs.unwrap_or(0.0),
+        snap.queue_wait_mean_secs
     );
 }

@@ -1,0 +1,93 @@
+//! Online observability plane on a bursty run: windowed metrics,
+//! streaming SLO signals and the deterministic alert timeline.
+//!
+//! ```text
+//! exp_watch [--sessions N | --paper]
+//!           [--window-secs W]       # tumbling window width, default 60
+//!           [--slo-ttft-p99 S]      # SLO target seconds, default 1.0
+//!           [--windows-out PATH]    # windowed-JSONL time series + alerts
+//!           [--prom-out PATH]       # Prometheus text exposition (final scrape)
+//!           [--trace-out PATH]...   # .jsonl => JSON Lines, else Chrome trace
+//!                                   # (alerts render as global instants)
+//!           [--metrics-out PATH]    # MetricsSnapshot as pretty JSON
+//! ```
+//!
+//! The run replays the ShareGPT workload under MMPP bursts with the
+//! windowed telemetry plane attached and prints the window table, a
+//! queue-depth sparkline, and every `alert_fired`/`alert_resolved`
+//! transition. Everything is virtual-time deterministic: same flags,
+//! same alerts. Validate the windowed JSONL with
+//! `trace_check --windows PATH`.
+
+use bench_suite::experiments::watch;
+use bench_suite::{Scale, TelemetryArgs};
+use telemetry::{
+    to_chrome_trace_with_alerts, to_jsonl, to_prometheus, windows_to_jsonl, SloConfig,
+};
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let window_secs = flag_value("--window-secs")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(watch::DEFAULT_WINDOW_SECS);
+    let slo = SloConfig::new(
+        flag_value("--slo-ttft-p99")
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(1.0),
+    );
+    let outs = TelemetryArgs::from_args();
+
+    let run = watch::run_watch(scale, window_secs, slo);
+
+    if let Some(path) = flag_value("--windows-out") {
+        let body = windows_to_jsonl(&run.series, &run.signals, &run.alerts);
+        std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!(
+            "[exp_watch] wrote {path} ({} windows, {} alert events)",
+            run.series.windows.len(),
+            run.alerts.len()
+        );
+    }
+    if let Some(path) = flag_value("--prom-out") {
+        let body = to_prometheus(&run.telemetry.snapshot());
+        std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("[exp_watch] wrote {path}");
+    }
+    for path in &outs.trace_outs {
+        let body = if path.extension().is_some_and(|e| e == "jsonl") {
+            to_jsonl(run.telemetry.records())
+        } else {
+            to_chrome_trace_with_alerts(run.telemetry.records(), &run.alerts)
+        };
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!(
+            "[exp_watch] wrote {} ({} events)",
+            path.display(),
+            run.telemetry.records().len()
+        );
+    }
+    if let Some(path) = &outs.metrics_out {
+        bench_suite::telemetry_cli::write_snapshot(path, &run.telemetry.snapshot());
+    }
+
+    println!(
+        "exp_watch: {} sessions (bursty), window {:.0}s",
+        scale.sessions, window_secs
+    );
+    println!(
+        "  makespan={:.1}s ttft={:.1}ms hit_rate={:.3} sessions_done={}",
+        run.report.makespan_secs,
+        run.report.ttft_mean() * 1e3,
+        run.report.hit_rate(),
+        run.report.sessions_done.get()
+    );
+    print!("{}", watch::render(&run, 24));
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! trace_check [--jsonl PATH] [--chrome PATH] [--metrics PATH]
+//!             [--windows PATH]
 //! ```
 //!
 //! Checks that a JSONL trace parses line-by-line, covers every event
@@ -14,8 +15,17 @@
 //! eventually retires), and no stage has negative duration. A Chrome
 //! trace must be valid JSON with a non-empty `traceEvents` array whose
 //! duration slices all have `dur >= 0`; a metrics snapshot must parse
-//! as a JSON object. Exits non-zero with a message on the first
-//! failure, so `ci.sh` can gate on it.
+//! as a JSON object.
+//!
+//! `--windows` validates the windowed-JSONL export of `exp_watch`: a
+//! `window_config` header, then one `window` line per tumbling window —
+//! indexes dense from 0, each window exactly `[i*width, (i+1)*width)`
+//! so the series is contiguous and non-overlapping — then the alert
+//! timeline: per rule, `alert_fired` and `alert_resolved` must strictly
+//! alternate starting with a fire (no double-fires, no orphan
+//! resolves); an alert still open at end of file is legal. Exits
+//! non-zero with a message on the first failure, so `ci.sh` can gate
+//! on it.
 
 use std::collections::{BTreeSet, HashMap};
 use std::process::ExitCode;
@@ -316,12 +326,169 @@ fn check_metrics(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the windowed-JSONL export: header, contiguous windows,
+/// and a well-paired alert lifecycle.
+fn check_windows(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut lines = text.lines().enumerate();
+
+    let parse = |i: usize, line: &str| -> Result<Value, String> {
+        serde_json::from_str(line).map_err(|e| format!("{path}:{}: not valid JSON: {e:?}", i + 1))
+    };
+    let kind_of = |v: &Value| -> Option<String> {
+        match v.get("kind") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    };
+
+    // Header.
+    let Some((i, line)) = lines.next() else {
+        return Err(format!("{path}: empty windowed export"));
+    };
+    let header = parse(i, line)?;
+    if kind_of(&header).as_deref() != Some("window_config") {
+        return Err(format!(
+            "{path}: first line is not a `window_config` header"
+        ));
+    }
+    let width = match header.get("width_secs") {
+        Some(Value::F64(w)) if *w > 0.0 => *w,
+        other => return Err(format!("{path}: bad header `width_secs` {other:?}")),
+    };
+    let declared = match header.get("windows") {
+        Some(Value::U64(n)) => *n,
+        other => return Err(format!("{path}: bad header `windows` {other:?}")),
+    };
+    if !matches!(header.get("tiers"), Some(Value::Array(_))) {
+        return Err(format!("{path}: header missing `tiers` array"));
+    }
+
+    // Window lines: dense indexes, each exactly [i*width, (i+1)*width)
+    // — contiguity and non-overlap in one check. Alerts follow.
+    const EPS: f64 = 1e-9;
+    let mut windows = 0u64;
+    // Per-rule alert state: true while an alert is open.
+    let mut open_rules: HashMap<String, bool> = HashMap::new();
+    let mut alert_events = 0u64;
+    let mut last_alert_at = f64::NEG_INFINITY;
+    let mut in_alerts = false;
+    for (i, line) in lines {
+        let v = parse(i, line)?;
+        let kind = kind_of(&v).ok_or_else(|| format!("{path}:{}: missing `kind`", i + 1))?;
+        match kind.as_str() {
+            "window" => {
+                if in_alerts {
+                    return Err(format!("{path}:{}: window line after alerts began", i + 1));
+                }
+                match v.get("index") {
+                    Some(Value::U64(n)) if *n == windows => {}
+                    other => {
+                        return Err(format!(
+                            "{path}:{}: expected window index {windows}, got {other:?}",
+                            i + 1
+                        ))
+                    }
+                }
+                let (start, end) = match (v.get("start_secs"), v.get("end_secs")) {
+                    (Some(Value::F64(s)), Some(Value::F64(e))) => (s, e),
+                    other => return Err(format!("{path}:{}: bad window bounds {other:?}", i + 1)),
+                };
+                let want_start = windows as f64 * width;
+                if (start - want_start).abs() > EPS || (end - (want_start + width)).abs() > EPS {
+                    return Err(format!(
+                        "{path}:{}: window {windows} spans [{start}, {end}), expected \
+                         [{want_start}, {}) — series not contiguous",
+                        i + 1,
+                        want_start + width
+                    ));
+                }
+                for key in ["counters", "ttft", "queue_wait", "tiers"] {
+                    if v.get(key).is_none() {
+                        return Err(format!("{path}:{}: window missing `{key}`", i + 1));
+                    }
+                }
+                windows += 1;
+            }
+            "alert_fired" | "alert_resolved" => {
+                in_alerts = true;
+                let rule = match v.get("rule") {
+                    Some(Value::Str(r)) => r.clone(),
+                    other => return Err(format!("{path}:{}: bad alert `rule` {other:?}", i + 1)),
+                };
+                match v.get("window") {
+                    Some(Value::U64(w)) if *w < windows => {}
+                    other => {
+                        return Err(format!(
+                        "{path}:{}: alert `window` {other:?} outside the {windows}-window series",
+                        i + 1
+                    ))
+                    }
+                }
+                let at = match v.get("at") {
+                    Some(Value::F64(a)) => *a,
+                    other => return Err(format!("{path}:{}: bad alert `at` {other:?}", i + 1)),
+                };
+                if at < last_alert_at {
+                    return Err(format!(
+                        "{path}:{}: alert timeline not chronological ({at} after {last_alert_at})",
+                        i + 1
+                    ));
+                }
+                last_alert_at = at;
+                let open = open_rules.entry(rule.clone()).or_insert(false);
+                match (kind.as_str(), *open) {
+                    ("alert_fired", false) => *open = true,
+                    ("alert_fired", true) => {
+                        return Err(format!(
+                            "{path}:{}: rule `{rule}` fired while already active",
+                            i + 1
+                        ))
+                    }
+                    ("alert_resolved", true) => *open = false,
+                    ("alert_resolved", false) => {
+                        return Err(format!(
+                            "{path}:{}: rule `{rule}` resolved without an open alert",
+                            i + 1
+                        ))
+                    }
+                    _ => unreachable!(),
+                }
+                alert_events += 1;
+            }
+            other => {
+                return Err(format!("{path}:{}: unexpected line kind `{other}`", i + 1));
+            }
+        }
+    }
+    if windows == 0 {
+        return Err(format!("{path}: no window lines"));
+    }
+    if windows != declared {
+        return Err(format!(
+            "{path}: header declares {declared} windows, found {windows}"
+        ));
+    }
+    let still_open: Vec<&String> = open_rules
+        .iter()
+        .filter(|(_, open)| **open)
+        .map(|(r, _)| r)
+        .collect();
+    println!(
+        "[trace_check] {path}: {windows} contiguous windows x {width}s, {alert_events} alert \
+         events well-paired ({} open at EOF)",
+        still_open.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut checked = false;
     for (flag, check) in [
         ("--jsonl", check_jsonl as fn(&str) -> Result<(), String>),
         ("--chrome", check_chrome),
         ("--metrics", check_metrics),
+        ("--windows", check_windows),
     ] {
         if let Some(path) = arg_value(flag) {
             checked = true;

@@ -24,3 +24,4 @@ pub mod fig25;
 pub mod sec24;
 pub mod tab12;
 pub mod tiers;
+pub mod watch;

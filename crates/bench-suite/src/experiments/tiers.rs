@@ -173,8 +173,8 @@ fn row_from(
         stack: case.tiers,
         storage_dollars_per_hour: storage_rate,
         dollars_per_session_hour,
-        ttft_p50_ms: snap.ttft_p50_secs * 1e3,
-        ttft_p95_ms: snap.ttft_p95_secs * 1e3,
+        ttft_p50_ms: snap.ttft_p50_secs.unwrap_or(0.0) * 1e3,
+        ttft_p95_ms: snap.ttft_p95_secs.unwrap_or(0.0) * 1e3,
         sessions_done: sessions,
         tier_hits,
         lookups: snap.hits_fast + snap.hits_slow + snap.misses,

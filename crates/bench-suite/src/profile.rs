@@ -59,14 +59,17 @@ pub struct ScenarioProfile {
     pub turns: u64,
     /// Span well-formedness violations — must be zero.
     pub violations: u64,
-    /// Median service TTFT (admission → first token), seconds.
-    pub ttft_p50_secs: f64,
-    /// p95 service TTFT, seconds.
-    pub ttft_p95_secs: f64,
-    /// p99 service TTFT, seconds.
-    pub ttft_p99_secs: f64,
-    /// p99 queue wait, seconds.
-    pub queue_wait_p99_secs: f64,
+    /// Median service TTFT (admission → first token), seconds. `None`
+    /// (serialized `null`) when the scenario produced no samples; the
+    /// compare step treats null-in-both as absent and a presence flip
+    /// as a failure.
+    pub ttft_p50_secs: Option<f64>,
+    /// p95 service TTFT, seconds (`None` when no samples).
+    pub ttft_p95_secs: Option<f64>,
+    /// p99 service TTFT, seconds (`None` when no samples).
+    pub ttft_p99_secs: Option<f64>,
+    /// p99 queue wait, seconds (`None` when no samples).
+    pub queue_wait_p99_secs: Option<f64>,
     /// Mean visible KV fetch stall inside prefill, seconds.
     pub fetch_stall_mean_secs: f64,
     /// Mean pure prefill compute, seconds.
@@ -172,14 +175,18 @@ pub fn render_table(profile: &BenchProfile) -> String {
         "{:<26} {:>6} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}\n",
         "scenario", "turns", "ttft_p50", "ttft_p95", "ttft_p99", "stall_mu", "overlap", "hit_rate"
     ));
+    let opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:>8.3}s"),
+        None => format!("{:>9}", "-"),
+    };
     for s in &profile.scenarios {
         out.push_str(&format!(
-            "{:<26} {:>6} {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3}s {:>8.3} {:>8.3}\n",
+            "{:<26} {:>6} {} {} {} {:>8.3}s {:>8.3} {:>8.3}\n",
             s.name,
             s.turns,
-            s.ttft_p50_secs,
-            s.ttft_p95_secs,
-            s.ttft_p99_secs,
+            opt(s.ttft_p50_secs),
+            opt(s.ttft_p95_secs),
+            opt(s.ttft_p99_secs),
             s.fetch_stall_mean_secs,
             s.overlap_efficiency,
             s.hit_rate,
@@ -194,6 +201,18 @@ fn num(v: &Value) -> Option<f64> {
         Value::I64(n) => Some(*n as f64),
         Value::F64(x) => Some(*x),
         _ => None,
+    }
+}
+
+/// Reads a banded field off a scenario row, distinguishing "absent"
+/// (an explicit `null` — the scenario had no samples) from malformed.
+fn band_value(row: &Value, field: &str) -> Result<Option<f64>, String> {
+    match row.get(field) {
+        None => Err(format!("field `{field}` missing")),
+        Some(Value::Null) => Ok(None),
+        Some(v) => num(v)
+            .map(Some)
+            .ok_or_else(|| format!("field `{field}` non-numeric")),
     }
 }
 
@@ -251,32 +270,58 @@ pub fn compare(baseline: &Value, current: &Value, tolerance: f64) -> Vec<String>
                 ));
             }
         }
+        // A `null` (no samples) in BOTH profiles is fine — the field is
+        // simply absent for that scenario. A presence flip means the
+        // scenario started or stopped producing samples, which is a
+        // behavior change and fails like any other mismatch.
         for field in LOWER_IS_BETTER {
-            let (Some(b), Some(c)) = (base.get(field).and_then(num), cur.get(field).and_then(num))
-            else {
-                fails.push(format!("{name}: field `{field}` missing or non-numeric"));
-                continue;
+            let (b, c) = match (band_value(base, field), band_value(cur, field)) {
+                (Ok(b), Ok(c)) => (b, c),
+                (Err(e), _) | (_, Err(e)) => {
+                    fails.push(format!("{name}: {e}"));
+                    continue;
+                }
             };
-            if c > b * (1.0 + tolerance) + EPSILON {
-                fails.push(format!(
-                    "{name}: {field} regressed {b:.6} -> {c:.6} (+{:.1}% > {:.1}% band)",
-                    (c - b) / b.max(EPSILON) * 100.0,
-                    tolerance * 100.0
-                ));
+            match (b, c) {
+                (None, None) => {}
+                (Some(b), Some(c)) => {
+                    if c > b * (1.0 + tolerance) + EPSILON {
+                        fails.push(format!(
+                            "{name}: {field} regressed {b:.6} -> {c:.6} (+{:.1}% > {:.1}% band)",
+                            (c - b) / b.max(EPSILON) * 100.0,
+                            tolerance * 100.0
+                        ));
+                    }
+                }
+                (b, c) => fails.push(format!(
+                    "{name}: {field} presence changed {b:?} -> {c:?} (null means no samples; \
+                     regenerate with REGEN_BENCH=1 ./ci.sh if intended)"
+                )),
             }
         }
         for field in HIGHER_IS_BETTER {
-            let (Some(b), Some(c)) = (base.get(field).and_then(num), cur.get(field).and_then(num))
-            else {
-                fails.push(format!("{name}: field `{field}` missing or non-numeric"));
-                continue;
+            let (b, c) = match (band_value(base, field), band_value(cur, field)) {
+                (Ok(b), Ok(c)) => (b, c),
+                (Err(e), _) | (_, Err(e)) => {
+                    fails.push(format!("{name}: {e}"));
+                    continue;
+                }
             };
-            if c < b * (1.0 - tolerance) - EPSILON {
-                fails.push(format!(
-                    "{name}: {field} regressed {b:.6} -> {c:.6} (-{:.1}% > {:.1}% band)",
-                    (b - c) / b.max(EPSILON) * 100.0,
-                    tolerance * 100.0
-                ));
+            match (b, c) {
+                (None, None) => {}
+                (Some(b), Some(c)) => {
+                    if c < b * (1.0 - tolerance) - EPSILON {
+                        fails.push(format!(
+                            "{name}: {field} regressed {b:.6} -> {c:.6} (-{:.1}% > {:.1}% band)",
+                            (b - c) / b.max(EPSILON) * 100.0,
+                            tolerance * 100.0
+                        ));
+                    }
+                }
+                (b, c) => fails.push(format!(
+                    "{name}: {field} presence changed {b:?} -> {c:?} (null means no samples; \
+                     regenerate with REGEN_BENCH=1 ./ci.sh if intended)"
+                )),
             }
         }
     }
@@ -304,10 +349,10 @@ mod tests {
                     name: "ca_dramdisk".into(),
                     turns: 100,
                     violations: 0,
-                    ttft_p50_secs: 1.0,
-                    ttft_p95_secs: 2.0,
-                    ttft_p99_secs: 3.0,
-                    queue_wait_p99_secs: 0.5,
+                    ttft_p50_secs: Some(1.0),
+                    ttft_p95_secs: Some(2.0),
+                    ttft_p99_secs: Some(3.0),
+                    queue_wait_p99_secs: Some(0.5),
                     fetch_stall_mean_secs: 0.1,
                     prefill_compute_mean_secs: 0.4,
                     decode_mean_secs: 5.0,
@@ -318,10 +363,10 @@ mod tests {
                     name: "re_dramdisk".into(),
                     turns: 100,
                     violations: 0,
-                    ttft_p50_secs: 2.0,
-                    ttft_p95_secs: 4.0,
-                    ttft_p99_secs: 6.0,
-                    queue_wait_p99_secs: 1.0,
+                    ttft_p50_secs: Some(2.0),
+                    ttft_p95_secs: Some(4.0),
+                    ttft_p99_secs: Some(6.0),
+                    queue_wait_p99_secs: Some(1.0),
                     fetch_stall_mean_secs: 0.0,
                     prefill_compute_mean_secs: 0.9,
                     decode_mean_secs: 5.0,
@@ -371,6 +416,24 @@ mod tests {
     }
 
     #[test]
+    fn null_in_both_profiles_is_absent_not_a_failure() {
+        let mut base = sample();
+        let mut cur = sample();
+        nullify(&mut base, "ca_dramdisk", "queue_wait_p99_secs");
+        nullify(&mut cur, "ca_dramdisk", "queue_wait_p99_secs");
+        assert!(compare(&base, &cur, DEFAULT_TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn percentile_presence_flip_fails() {
+        let mut cur = sample();
+        nullify(&mut cur, "ca_dramdisk", "ttft_p99_secs");
+        let fails = compare(&sample(), &cur, DEFAULT_TOLERANCE);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("presence changed"));
+    }
+
+    #[test]
     fn schema_mismatch_fails_with_regen_hint() {
         let mut cur = sample();
         if let Value::Object(pairs) = &mut cur {
@@ -415,7 +478,15 @@ mod tests {
         assert!(names.contains(&"ca_dramdisk_no_async_save".to_string()));
     }
 
+    fn nullify(profile: &mut Value, scenario: &str, field: &str) {
+        set_field(profile, scenario, field, Value::Null);
+    }
+
     fn bump(profile: &mut Value, scenario: &str, field: &str, to: f64) {
+        set_field(profile, scenario, field, Value::F64(to));
+    }
+
+    fn set_field(profile: &mut Value, scenario: &str, field: &str, to: Value) {
         let Value::Object(pairs) = profile else {
             panic!("profile must be an object")
         };
@@ -438,7 +509,7 @@ mod tests {
                 }
                 for (k, v) in fields.iter_mut() {
                     if k == field {
-                        *v = Value::F64(to);
+                        *v = to.clone();
                     }
                 }
             }

@@ -11,15 +11,19 @@
 //! - [`Counter`] / [`RateMeter`]: simple tallies.
 //! - [`aws`]: the paper's AWS on-demand price constants (§4.2) and the
 //!   cost report combining GPU-hours with storage rental.
+//! - [`LogSketch`]: mergeable fixed-bucket log-scale quantile sketch for
+//!   the windowed telemetry plane.
 //! - [`TimeSeries`]: bucketed utilization-over-time accumulation with an
 //!   ASCII sparkline renderer.
 //! - [`table`]: fixed-width text tables and CSV export used by the
 //!   experiment binaries.
 
 pub mod aws;
+mod sketch;
 mod stats;
 pub mod table;
 mod timeseries;
 
+pub use sketch::LogSketch;
 pub use stats::{Counter, Histogram, RateMeter, Welford};
 pub use timeseries::TimeSeries;

@@ -1,0 +1,402 @@
+//! A mergeable fixed-bucket log-scale quantile sketch.
+//!
+//! [`Histogram`](crate::Histogram) keeps every sample, which is exact but
+//! unmergeable-in-O(1) and unbounded in memory. The windowed telemetry
+//! plane needs hundreds of per-window latency distributions that can be
+//! rolled up into an end-of-run total, so [`LogSketch`] trades a bounded
+//! relative error for constant size and cheap [`merge`](LogSketch::merge).
+//!
+//! Buckets are laid out on a logarithmic grid: bucket `i` covers
+//! `[MIN_VALUE * g^i, MIN_VALUE * g^(i+1))` with `g = 10^(1/BUCKETS_PER_DECADE)`.
+//! A quantile query returns the geometric midpoint of the bucket holding
+//! the nearest-rank sample, clamped to the observed `[min, max]`, so the
+//! reported value is within a relative error of `sqrt(g) - 1`
+//! (see [`LogSketch::relative_error`], ≈3.7% at 32 buckets per decade)
+//! of the exact nearest-rank answer. Zero-valued samples (common for
+//! queue waits and fetch stalls) are tallied exactly in a dedicated
+//! counter, so quantiles that land on them are exact zeros.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Buckets per decade of the log grid. 32 gives ≈3.7% relative error.
+const BUCKETS_PER_DECADE: u32 = 32;
+/// Smallest representable positive value (1 ns, in seconds). Positive
+/// values below this clamp into the first bucket.
+const MIN_VALUE: f64 = 1e-9;
+/// Number of decades covered: `[1e-9, 1e6)` seconds. Values at or above
+/// the top clamp into the last bucket.
+const DECADES: u32 = 15;
+/// Total bucket count (480).
+const BUCKET_COUNT: usize = (BUCKETS_PER_DECADE * DECADES) as usize;
+
+/// A streaming quantile sketch over non-negative samples with fixed
+/// log-scale buckets, mergeable so window sketches roll up into totals.
+#[derive(Debug, Clone)]
+pub struct LogSketch {
+    /// Samples that were exactly zero (or negative, clamped).
+    zeros: u64,
+    /// Total samples, including zeros.
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Dense per-bucket counts for the positive samples.
+    buckets: Vec<u64>,
+}
+
+impl Default for LogSketch {
+    fn default() -> Self {
+        LogSketch::new()
+    }
+}
+
+impl LogSketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        LogSketch {
+            zeros: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; BUCKET_COUNT],
+        }
+    }
+
+    /// The worst-case relative error of a quantile answer vs the exact
+    /// nearest-rank sample: `sqrt(10^(1/BUCKETS_PER_DECADE)) - 1`.
+    pub fn relative_error() -> f64 {
+        10f64.powf(0.5 / BUCKETS_PER_DECADE as f64) - 1.0
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        debug_assert!(v > 0.0);
+        let idx = ((v / MIN_VALUE).log10() * BUCKETS_PER_DECADE as f64).floor();
+        (idx.max(0.0) as usize).min(BUCKET_COUNT - 1)
+    }
+
+    /// Geometric midpoint of bucket `i`.
+    fn bucket_mid(i: usize) -> f64 {
+        let exp = (i as f64 + 0.5) / BUCKETS_PER_DECADE as f64;
+        MIN_VALUE * 10f64.powf(exp)
+    }
+
+    /// Adds one observation. Negative values are clamped to zero (latency
+    /// inputs are never negative; this keeps the sketch total-ordered).
+    pub fn push(&mut self, x: f64) {
+        let x = if x > 0.0 { x } else { 0.0 };
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x == 0.0 {
+            self.zeros += 1;
+        } else {
+            self.buckets[Self::bucket_index(x)] += 1;
+        }
+    }
+
+    /// Returns the number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Returns the exact sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Returns the exact mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Returns the exact smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Returns the exact largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Returns the `p`-th percentile (nearest rank, `p` in `[0, 100]`),
+    /// or `None` when empty. Uses the same rank formula as
+    /// [`Histogram::percentile`](crate::Histogram::percentile), so on the
+    /// same sample stream the answer is the bucket midpoint of the exact
+    /// nearest-rank sample — within [`relative_error`](Self::relative_error)
+    /// of the exact answer (exact for zeros and at the clamped extremes).
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * (self.count - 1) as f64).round() as u64;
+        if rank < self.zeros {
+            return Some(0.0);
+        }
+        // The extreme ranks are tracked exactly.
+        if rank == 0 {
+            return Some(self.min.max(0.0));
+        }
+        if rank == self.count - 1 {
+            return Some(self.max.max(0.0));
+        }
+        let mut seen = self.zeros;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if rank < seen {
+                return Some(Self::bucket_mid(i).clamp(self.min.max(0.0), self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Returns how many samples fall in buckets strictly above the bucket
+    /// containing `threshold` (all positive samples when `threshold <= 0`).
+    /// Resolution is one bucket: samples sharing the threshold's bucket
+    /// are not counted.
+    pub fn count_over(&self, threshold: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if threshold <= 0.0 {
+            return self.count - self.zeros;
+        }
+        let idx = Self::bucket_index(threshold);
+        self.buckets[idx + 1..].iter().sum()
+    }
+
+    /// Merges another sketch into this one. Because every sketch shares
+    /// one fixed bucket grid, merging window sketches yields exactly the
+    /// sketch of the concatenated sample stream.
+    pub fn merge(&mut self, other: &LogSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.zeros += other.zeros;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += *src;
+        }
+    }
+}
+
+// Hand-written serde: the dense bucket array is mostly zeros, so the wire
+// form is sparse `[index, count]` pairs.
+impl Serialize for LogSketch {
+    fn to_value(&self) -> Value {
+        let sparse: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Value::Array(vec![Value::U64(i as u64), Value::U64(c)]))
+            .collect();
+        Value::Object(vec![
+            ("count".into(), Value::U64(self.count)),
+            ("zeros".into(), Value::U64(self.zeros)),
+            ("sum".into(), Value::F64(self.sum)),
+            ("min".into(), self.min().to_value()),
+            ("max".into(), self.max().to_value()),
+            ("buckets".into(), Value::Array(sparse)),
+        ])
+    }
+}
+
+impl Deserialize for LogSketch {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| Error::custom(format!("missing {k}")))
+        };
+        let mut sketch = LogSketch::new();
+        sketch.count = u64::from_value(field("count")?)?;
+        sketch.zeros = u64::from_value(field("zeros")?)?;
+        sketch.sum = f64::from_value(field("sum")?)?;
+        sketch.min = Option::<f64>::from_value(field("min")?)?.unwrap_or(f64::INFINITY);
+        sketch.max = Option::<f64>::from_value(field("max")?)?.unwrap_or(f64::NEG_INFINITY);
+        for pair in Vec::<(u64, u64)>::from_value(field("buckets")?)? {
+            let (i, c) = pair;
+            let i = i as usize;
+            if i >= BUCKET_COUNT {
+                return Err(Error::custom("bucket index out of range"));
+            }
+            sketch.buckets[i] = c;
+        }
+        Ok(sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = LogSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(99.0), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.count_over(1.0), 0);
+    }
+
+    #[test]
+    fn zeros_are_exact() {
+        let mut s = LogSketch::new();
+        for _ in 0..90 {
+            s.push(0.0);
+        }
+        for _ in 0..10 {
+            s.push(1.0);
+        }
+        assert_eq!(s.percentile(50.0), Some(0.0));
+        assert_eq!(s.zeros, 90);
+        assert_eq!(s.count_over(0.0), 10);
+        assert!((s.mean() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_track_exact_histogram() {
+        let mut s = LogSketch::new();
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            let x = i as f64 * 1e-3;
+            s.push(x);
+            h.push(x);
+        }
+        let tol = LogSketch::relative_error() * 1.001;
+        for p in [0.0, 10.0, 50.0, 95.0, 99.0, 100.0] {
+            let exact = h.percentile(p).unwrap();
+            let approx = s.percentile(p).unwrap();
+            assert!(
+                (approx - exact).abs() <= exact * tol + 1e-12,
+                "p{p}: sketch {approx} vs exact {exact}"
+            );
+        }
+        // The clamped extremes are exact.
+        assert_eq!(s.percentile(0.0), Some(1e-3));
+        assert_eq!(s.percentile(100.0), Some(1.0));
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut s = LogSketch::new();
+        s.push(1e-12); // below MIN_VALUE: lands in bucket 0
+        s.push(1e9); // above the top decade: lands in the last bucket
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min(), Some(1e-12));
+        assert_eq!(s.max(), Some(1e9));
+        // Clamping to observed extremes keeps the answers exact here.
+        assert_eq!(s.percentile(0.0), Some(1e-12));
+        assert_eq!(s.percentile(100.0), Some(1e9));
+    }
+
+    #[test]
+    fn count_over_has_bucket_resolution() {
+        let mut s = LogSketch::new();
+        for _ in 0..5 {
+            s.push(0.01);
+        }
+        for _ in 0..3 {
+            s.push(10.0);
+        }
+        assert_eq!(s.count_over(1.0), 3);
+        assert_eq!(s.count_over(100.0), 0);
+        assert_eq!(s.count_over(-1.0), 8);
+    }
+
+    #[test]
+    fn serde_round_trips_sparsely() {
+        let mut s = LogSketch::new();
+        for x in [0.0, 0.003, 0.003, 1.7, 42.0] {
+            s.push(x);
+        }
+        let v = s.to_value();
+        match v.get("buckets") {
+            Some(Value::Array(pairs)) => assert_eq!(pairs.len(), 3),
+            other => panic!("buckets not sparse array: {other:?}"),
+        }
+        let back = LogSketch::from_value(&v).unwrap();
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.percentile(50.0), s.percentile(50.0));
+        assert_eq!(back.min(), s.min());
+        assert_eq!(back.max(), s.max());
+    }
+
+    proptest! {
+        /// Merging window sketches equals sketching the concatenation —
+        /// exactly, because the grid is fixed.
+        #[test]
+        fn merge_is_concat(
+            xs in proptest::collection::vec(0f64..1e4, 0..200),
+            ys in proptest::collection::vec(0f64..1e4, 0..200),
+        ) {
+            let mut a = LogSketch::new();
+            for &x in &xs { a.push(x); }
+            let mut b = LogSketch::new();
+            for &y in &ys { b.push(y); }
+            let mut whole = LogSketch::new();
+            for &x in xs.iter().chain(ys.iter()) { whole.push(x); }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert_eq!(a.zeros, whole.zeros);
+            prop_assert_eq!(a.buckets.clone(), whole.buckets.clone());
+            prop_assert_eq!(a.percentile(99.0), whole.percentile(99.0));
+        }
+
+        /// Every quantile stays within the documented relative error of
+        /// the exact nearest-rank answer, over the documented input
+        /// domain (zero or within the bucket grid's range).
+        #[test]
+        fn quantile_error_is_bounded(
+            xs in proptest::collection::vec(
+                prop_oneof![Just(0.0f64), 1e-6f64..1e5],
+                1..300,
+            ),
+            p in 0f64..100.0,
+        ) {
+            let mut s = LogSketch::new();
+            let mut h = Histogram::new();
+            for &x in &xs {
+                s.push(x);
+                h.push(x);
+            }
+            let exact = h.percentile(p).unwrap();
+            let approx = s.percentile(p).unwrap();
+            let tol = LogSketch::relative_error() * 1.001;
+            prop_assert!(
+                (approx - exact).abs() <= exact.abs() * tol + 1e-12,
+                "p{}: sketch {} vs exact {}", p, approx, exact
+            );
+        }
+
+        /// Quantiles are monotone in `p`.
+        #[test]
+        fn quantiles_monotone(
+            xs in proptest::collection::vec(0f64..1e6, 1..200),
+            p1 in 0f64..100.0,
+            p2 in 0f64..100.0,
+        ) {
+            let mut s = LogSketch::new();
+            for &x in &xs { s.push(x); }
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(s.percentile(lo).unwrap() <= s.percentile(hi).unwrap());
+        }
+    }
+}

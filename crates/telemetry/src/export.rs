@@ -1,4 +1,5 @@
-//! Trace exporters: JSONL event dumps and Chrome trace-event JSON.
+//! Trace exporters: JSONL event dumps, Chrome trace-event JSON, the
+//! windowed time-series dump and a Prometheus-style text exposition.
 //!
 //! [`to_jsonl`] writes one self-describing JSON object per line — the
 //! grep/jq-friendly format the CI smoke check validates. [`to_chrome_trace`]
@@ -14,14 +15,26 @@
 //! labeled with the stack's configured tier names). A session that migrates
 //! instances under least-loaded routing shows its spans under whichever
 //! process served that turn.
+//!
+//! The windowed plane adds two formats: [`windows_to_jsonl`] dumps one
+//! `window_config` header line, one `window` record per tumbling window
+//! (counters, gauges, latency sketches and the derived health signals)
+//! and the `alert_fired`/`alert_resolved` transitions, while
+//! [`to_prometheus`] renders a [`MetricsSnapshot`] as the text
+//! exposition a Prometheus scrape of the final state would return.
+//! [`to_chrome_trace_with_alerts`] overlays the alert transitions on the
+//! Perfetto timeline as globally scoped instant events.
 
 use std::collections::HashMap;
 
 use engine::EngineEvent;
-use serde::Value;
+use serde::{Serialize, Value};
 use store::{FetchKind, StoreEvent};
 
+use crate::health::{AlertEvent, HealthSignals};
+use crate::hub::MetricsSnapshot;
 use crate::trace::{TraceEvent, TraceRecord};
+use crate::window::WindowSeries;
 
 /// Renders records as JSON Lines: one object per record, `seq` first.
 pub fn to_jsonl(records: &[TraceRecord]) -> String {
@@ -137,6 +150,15 @@ fn metadata(what: &str, pid: u64, tid: Option<u64>, label: &str) -> Value {
 /// as instant markers; occupancy gauges and HBM reservations become
 /// per-process counter tracks.
 pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
+    to_chrome_trace_with_alerts(records, &[])
+}
+
+/// [`to_chrome_trace`] with the alert timeline overlaid: every
+/// `AlertFired`/`AlertResolved` transition renders as a globally scoped
+/// instant event (`ph: "i"`, `s: "g"`) named after its rule, so Perfetto
+/// draws a full-height marker at the window boundary where the rule
+/// transitioned, with the deciding signal value in its args.
+pub fn to_chrome_trace_with_alerts(records: &[TraceRecord], alerts: &[AlertEvent]) -> String {
     let mut events: Vec<Value> = Vec::new();
     let mut named_pids: Vec<u64> = Vec::new();
     let mut named_threads: Vec<(u64, u64)> = Vec::new();
@@ -295,6 +317,26 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
             },
         }
     }
+    for a in alerts {
+        events.push(obj(vec![
+            ("name", Value::Str(a.rule.clone())),
+            ("cat", Value::Str("alert".to_string())),
+            ("ph", Value::Str("i".to_string())),
+            ("s", Value::Str("g".to_string())),
+            ("ts", micros(a.at_secs)),
+            ("pid", Value::U64(DEFAULT_PID)),
+            ("tid", Value::U64(0)),
+            (
+                "args",
+                obj(vec![
+                    ("kind", Value::Str(a.kind.label().to_string())),
+                    ("signal", Value::Str(a.signal.clone())),
+                    ("value", Value::F64(a.value)),
+                    ("window", Value::U64(a.window as u64)),
+                ]),
+            ),
+        ]));
+    }
     if events.is_empty() {
         events.push(metadata(
             "process_name",
@@ -309,6 +351,380 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
         ("displayTimeUnit", Value::Str("ms".to_string())),
     ]);
     serde_json::to_string(&envelope).expect("trace envelope always serializes")
+}
+
+/// Renders the windowed plane as JSON Lines: a `window_config` header
+/// (width, window count, SLO target, tier names), then one `window`
+/// record per tumbling window — counters, queue-depth and occupancy
+/// gauges, the four latency sketches (sparse log-bucket form) and the
+/// derived health signals — then the `alert_fired`/`alert_resolved`
+/// transitions in chronological order. The CI smoke validates this
+/// format with `trace_check --windows`.
+///
+/// # Panics
+/// Panics when `signals` was not derived from `series` (point/window
+/// count mismatch).
+pub fn windows_to_jsonl(
+    series: &WindowSeries,
+    signals: &HealthSignals,
+    alerts: &[AlertEvent],
+) -> String {
+    assert_eq!(
+        series.windows.len(),
+        signals.points.len(),
+        "health signals must be derived from the same window series"
+    );
+    let mut out = String::new();
+    let mut line = |v: Value| {
+        out.push_str(&serde_json::to_string(&v).expect("window records always serialize"));
+        out.push('\n');
+    };
+    line(obj(vec![
+        ("kind", Value::Str("window_config".to_string())),
+        ("width_secs", Value::F64(series.width_secs)),
+        ("windows", Value::U64(series.windows.len() as u64)),
+        (
+            "slo_ttft_p99_secs",
+            Value::F64(signals.slo.ttft_p99_target_secs),
+        ),
+        (
+            "tiers",
+            Value::Array(
+                series
+                    .tier_names
+                    .iter()
+                    .map(|n| Value::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+    ]));
+    for (w, p) in series.windows.iter().zip(signals.points.iter()) {
+        let tiers: Vec<Value> = w
+            .tiers
+            .iter()
+            .map(|t| {
+                obj(vec![
+                    ("tier", Value::U64(t.tier as u64)),
+                    (
+                        "name",
+                        Value::Str(
+                            series
+                                .tier_names
+                                .get(t.tier)
+                                .cloned()
+                                .unwrap_or_else(|| format!("t{}", t.tier)),
+                        ),
+                    ),
+                    ("store_hits", Value::U64(t.store_hits)),
+                    ("occupancy_end_bytes", Value::F64(t.occupancy_end_bytes)),
+                    ("occupancy_peak_bytes", Value::F64(t.occupancy_peak_bytes)),
+                    (
+                        "occupancy_slope_bytes_per_sec",
+                        Value::F64(
+                            p.occupancy_slope_bytes_per_sec
+                                .get(t.tier)
+                                .copied()
+                                .unwrap_or(0.0),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let instances: Vec<Value> = w
+            .instances
+            .iter()
+            .map(|i| {
+                obj(vec![
+                    ("instance", Value::U64(u64::from(i.instance))),
+                    ("turns_arrived", Value::U64(i.turns_arrived)),
+                    ("admitted", Value::U64(i.admitted)),
+                    ("retired", Value::U64(i.retired)),
+                ])
+            })
+            .collect();
+        line(obj(vec![
+            ("kind", Value::Str("window".to_string())),
+            ("index", Value::U64(w.index as u64)),
+            ("start_secs", Value::F64(w.start_secs)),
+            ("end_secs", Value::F64(w.end_secs)),
+            ("counters", w.counters.to_value()),
+            ("queue_depth_end", Value::U64(w.queue_depth_end)),
+            ("queue_depth_peak", Value::U64(w.queue_depth_peak)),
+            (
+                "hbm_reserved_end_bytes",
+                Value::F64(w.hbm_reserved_end_bytes),
+            ),
+            ("arrival_rate_per_sec", Value::F64(p.arrival_rate_per_sec)),
+            ("ttft_p99_secs", p.ttft_p99_secs.to_value()),
+            ("slo_burn_rate", p.slo_burn_rate.to_value()),
+            ("fault_rate_per_sec", Value::F64(p.fault_rate_per_sec)),
+            ("ttft", w.ttft.to_value()),
+            ("queue_wait", w.queue_wait.to_value()),
+            ("fetch_stall", w.fetch_stall.to_value()),
+            ("prefetch_latency", w.prefetch_latency.to_value()),
+            ("tiers", Value::Array(tiers)),
+            ("instances", Value::Array(instances)),
+        ]));
+    }
+    for a in alerts {
+        line(a.to_value());
+    }
+    out
+}
+
+/// Formats a float the way Prometheus expositions expect (plain decimal
+/// or scientific, never `NaN`-quoted — the snapshot never holds one).
+fn prom_num(x: f64) -> String {
+    format!("{x}")
+}
+
+/// Writes one metric family: `# HELP`/`# TYPE` preamble plus one sample
+/// line per `(labels, value)` pair. Families with no samples are elided.
+fn prom_metric(out: &mut String, name: &str, help: &str, kind: &str, samples: Vec<(String, f64)>) {
+    if samples.is_empty() {
+        return;
+    }
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    for (labels, v) in samples {
+        out.push_str(&format!("{name}{labels} {}\n", prom_num(v)));
+    }
+}
+
+/// Writes one summary family: quantile samples (absent percentiles are
+/// skipped, matching the snapshot's `null` fields) plus optional
+/// `_sum`/`_count` lines.
+fn prom_summary(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    count_sum: Option<(u64, f64)>,
+    quantiles: &[(&str, Option<f64>)],
+) {
+    let qs: Vec<(&str, f64)> = quantiles
+        .iter()
+        .filter_map(|(q, v)| v.map(|v| (*q, v)))
+        .collect();
+    if qs.is_empty() && count_sum.is_none() {
+        return;
+    }
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+    for (q, v) in qs {
+        out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", prom_num(v)));
+    }
+    if let Some((count, sum)) = count_sum {
+        out.push_str(&format!("{name}_sum {}\n", prom_num(sum)));
+        out.push_str(&format!("{name}_count {count}\n"));
+    }
+}
+
+/// Renders a [`MetricsSnapshot`] as a Prometheus text exposition — what
+/// a scrape of the final state would return. Counters get the `_total`
+/// suffix convention, latency summaries render as `{quantile="..."}`
+/// series (empty histograms export no quantile samples, matching the
+/// snapshot's `null` fields), and the per-tier / per-instance slices
+/// become labeled series.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let plain = |v: f64| vec![(String::new(), v)];
+
+    let counters: [(&str, &str, u64); 18] = [
+        (
+            "turns_arrived",
+            "Turns that arrived and were queued.",
+            snap.turns_arrived,
+        ),
+        (
+            "turns_retired",
+            "Jobs that finished decoding and retired.",
+            snap.retired,
+        ),
+        (
+            "truncations",
+            "Context-overflow truncations.",
+            snap.truncations,
+        ),
+        (
+            "hits_fast",
+            "Consultations classified fast-tier hits.",
+            snap.hits_fast,
+        ),
+        (
+            "hits_slow",
+            "Consultations classified slow-tier hits.",
+            snap.hits_slow,
+        ),
+        ("misses", "Consultations classified misses.", snap.misses),
+        (
+            "store_misses",
+            "Store lookups that found nothing cached.",
+            snap.store_misses,
+        ),
+        (
+            "saves",
+            "Sessions saved or updated in the store.",
+            snap.saves,
+        ),
+        (
+            "save_rejections",
+            "Saves rejected for capacity.",
+            snap.save_rejections,
+        ),
+        (
+            "prefetch_promotions",
+            "Look-ahead prefetch promotions.",
+            snap.prefetch_promotions,
+        ),
+        (
+            "demand_promotions",
+            "Demand-fetch promotions.",
+            snap.demand_promotions,
+        ),
+        (
+            "demotions",
+            "One-hop demotions to slower tiers.",
+            snap.demotions,
+        ),
+        ("evictions", "Bottom-tier evictions.", snap.evictions),
+        (
+            "write_stalls",
+            "Admissions stalled on the HBM write buffer.",
+            snap.write_stalls,
+        ),
+        (
+            "read_retries",
+            "Injected read errors that were retried.",
+            snap.read_retries,
+        ),
+        (
+            "write_retries",
+            "Injected write errors that were retried.",
+            snap.write_retries,
+        ),
+        (
+            "instance_crashes",
+            "Scripted instance crashes.",
+            snap.instance_crashes,
+        ),
+        (
+            "turns_rerouted",
+            "Turns re-queued after a crash.",
+            snap.turns_rerouted,
+        ),
+    ];
+    for (name, help, v) in counters {
+        prom_metric(
+            &mut out,
+            &format!("cachedattention_{name}_total"),
+            help,
+            "counter",
+            plain(v as f64),
+        );
+    }
+    prom_metric(
+        &mut out,
+        "cachedattention_hit_rate",
+        "Hits over classified consultations.",
+        "gauge",
+        plain(snap.hit_rate),
+    );
+    prom_metric(
+        &mut out,
+        "cachedattention_overlap_efficiency",
+        "Fraction of KV transfer time hidden under prefill compute.",
+        "gauge",
+        plain(snap.overlap_efficiency),
+    );
+    prom_metric(
+        &mut out,
+        "cachedattention_hbm_reserved_peak_bytes",
+        "Peak live-KV HBM reservation.",
+        "gauge",
+        plain(snap.hbm_reserved_peak_bytes),
+    );
+
+    // Latency summaries: absent percentiles (empty histograms) export no
+    // quantile samples, matching the snapshot's `null` fields. Only TTFT
+    // carries `_sum`/`_count` (the snapshot keeps no sample count for
+    // the other distributions).
+    prom_summary(
+        &mut out,
+        "cachedattention_ttft_seconds",
+        "Service TTFT (admission to first token).",
+        Some((
+            snap.ttft_count,
+            snap.ttft_mean_secs * snap.ttft_count as f64,
+        )),
+        &[
+            ("0.5", snap.ttft_p50_secs),
+            ("0.95", snap.ttft_p95_secs),
+            ("0.99", snap.ttft_p99_secs),
+        ],
+    );
+    prom_summary(
+        &mut out,
+        "cachedattention_queue_wait_seconds",
+        "Queue wait (arrival to admission).",
+        None,
+        &[
+            ("0.5", snap.queue_wait_p50_secs),
+            ("0.95", snap.queue_wait_p95_secs),
+            ("0.99", snap.queue_wait_p99_secs),
+        ],
+    );
+    prom_summary(
+        &mut out,
+        "cachedattention_prefetch_latency_seconds",
+        "Prefetch staging latency (promotion to completion).",
+        None,
+        &[("0.99", snap.prefetch_latency_p99_secs)],
+    );
+
+    prom_metric(
+        &mut out,
+        "cachedattention_store_hits_total",
+        "Store lookups served per tier.",
+        "counter",
+        snap.tiers
+            .iter()
+            .map(|t| (format!("{{tier=\"{}\"}}", t.name), t.store_hits as f64))
+            .collect(),
+    );
+    prom_metric(
+        &mut out,
+        "cachedattention_tier_occupancy_peak_bytes",
+        "Peak occupancy per tier.",
+        "gauge",
+        snap.tiers
+            .iter()
+            .map(|t| (format!("{{tier=\"{}\"}}", t.name), t.occupancy_peak_bytes))
+            .collect(),
+    );
+    prom_metric(
+        &mut out,
+        "cachedattention_instance_turns_arrived_total",
+        "Turns routed per serving instance.",
+        "counter",
+        snap.instances
+            .iter()
+            .map(|i| {
+                (
+                    format!("{{instance=\"{}\"}}", i.instance),
+                    i.turns_arrived as f64,
+                )
+            })
+            .collect(),
+    );
+    prom_metric(
+        &mut out,
+        "cachedattention_instance_retired_total",
+        "Jobs retired per serving instance.",
+        "counter",
+        snap.instances
+            .iter()
+            .map(|i| (format!("{{instance=\"{}\"}}", i.instance), i.retired as f64))
+            .collect(),
+    );
+    out
 }
 
 #[cfg(test)]
@@ -563,5 +979,131 @@ mod tests {
             })
             .collect();
         assert_eq!(queued.len(), 2);
+    }
+
+    use crate::health::{AlertKind, AlertRule, HealthSignals, Signal, SloConfig};
+    use crate::window::WindowedHub;
+    use engine::EngineObserver;
+
+    fn alert(kind: AlertKind, at_secs: f64, window: usize) -> AlertEvent {
+        AlertEvent {
+            rule: "queue_depth_high".into(),
+            signal: "queue_depth".into(),
+            kind,
+            window,
+            at_secs,
+            value: 12.0,
+        }
+    }
+
+    #[test]
+    fn alerts_render_as_global_instants_in_the_chrome_trace() {
+        let alerts = vec![
+            alert(AlertKind::Fired, 2.0, 1),
+            alert(AlertKind::Resolved, 5.0, 4),
+        ];
+        let json = to_chrome_trace_with_alerts(&sample_records(), &alerts);
+        serde_json::from_str::<Value>(&json).expect("valid JSON");
+        assert!(json.contains("\"name\":\"queue_depth_high\""));
+        assert!(json.contains("\"cat\":\"alert\""));
+        // Global-scope instants so they span every track in Perfetto.
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"g\""));
+        assert!(json.contains("\"kind\":\"alert_fired\""));
+        assert!(json.contains("\"kind\":\"alert_resolved\""));
+        // Instant at 2 s virtual time = 2_000_000 µs.
+        assert!(json.contains("\"ts\":2000000.0"));
+    }
+
+    /// A small windowed run: two TTFT samples in different windows plus
+    /// a queue arrival, sealed and scored against a 1 s SLO.
+    fn windowed_fixture() -> (crate::window::WindowSeries, HealthSignals) {
+        let mut hub = WindowedHub::new(1.0);
+        hub.on_event(EngineEvent::turn_arrived(1, 0, Time::from_millis(100)));
+        hub.on_event(EngineEvent::admitted(
+            1,
+            0,
+            50,
+            false,
+            Time::from_millis(200),
+        ));
+        hub.on_event(EngineEvent::prefill_done(1, 0.1, Time::from_millis(300)));
+        hub.on_event(EngineEvent::prefill_done(2, 2.5, Time::from_secs_f64(1.5)));
+        hub.on_store_event(StoreEvent::Occupancy {
+            tier: TierId(0),
+            used_bytes: 64,
+            at: Time::from_millis(400),
+        });
+        let series = hub.series();
+        let signals = HealthSignals::from_series(&series, &SloConfig::new(1.0));
+        (series, signals)
+    }
+
+    #[test]
+    fn windowed_jsonl_has_header_windows_and_alerts() {
+        let (series, signals) = windowed_fixture();
+        let rules = [AlertRule::new("burn", Signal::SloBurnRate, 1.0)];
+        let alerts = signals.evaluate(&rules);
+        assert!(!alerts.is_empty());
+        let text = windows_to_jsonl(&series, &signals, &alerts);
+        let lines: Vec<&str> = text.lines().collect();
+        // Header + one line per window + one per alert event.
+        assert_eq!(lines.len(), 1 + series.windows.len() + alerts.len());
+        let header: Value = serde_json::from_str(lines[0]).expect("header parses");
+        assert!(matches!(header.get("kind"), Some(Value::Str(s)) if s == "window_config"));
+        assert!(matches!(header.get("width_secs"), Some(Value::F64(w)) if *w == 1.0));
+        for line in &lines[1..=series.windows.len()] {
+            let v: Value = serde_json::from_str(line).expect("window line parses");
+            assert!(matches!(v.get("kind"), Some(Value::Str(s)) if s == "window"));
+            assert!(v.get("counters").is_some());
+            assert!(v.get("ttft").is_some());
+            assert!(v.get("tiers").is_some());
+        }
+        let last: Value = serde_json::from_str(lines.last().unwrap()).expect("alert parses");
+        assert!(matches!(last.get("kind"), Some(Value::Str(s)) if s.starts_with("alert_")));
+        // Window 0's TTFT sample (0.1 s) is under the 1 s target: burn 0.
+        let w0: Value = serde_json::from_str(lines[1]).expect("w0 parses");
+        assert!(matches!(w0.get("slo_burn_rate"), Some(Value::F64(b)) if *b == 0.0));
+        // Window 1's sample (2.5 s) breaches: burn present and > 1.
+        let w1: Value = serde_json::from_str(lines[2]).expect("w1 parses");
+        assert!(matches!(w1.get("slo_burn_rate"), Some(Value::F64(b)) if *b > 1.0));
+    }
+
+    #[test]
+    fn prometheus_exposition_has_counters_gauges_and_summaries() {
+        let mut hub = crate::hub::MetricsHub::new();
+        hub.on_event(EngineEvent::turn_arrived(1, 0, Time::ZERO));
+        hub.on_event(EngineEvent::admitted(1, 0, 50, false, Time::from_millis(4)));
+        hub.on_event(EngineEvent::prefill_done(1, 0.25, Time::from_millis(254)));
+        hub.on_store_event(StoreEvent::TierConfig {
+            tier: TierId(0),
+            name: "dram",
+            capacity: 1_000,
+            at: Time::ZERO,
+        });
+        hub.on_store_event(StoreEvent::FetchHit {
+            session: 1,
+            tier: TierId(0),
+            bytes: 5,
+            at: Time::from_millis(1),
+        });
+        let text = to_prometheus(&hub.snapshot());
+        assert!(text.contains("# TYPE cachedattention_turns_arrived_total counter"));
+        assert!(text.contains("cachedattention_turns_arrived_total 1\n"));
+        assert!(text.contains("# TYPE cachedattention_ttft_seconds summary"));
+        assert!(text.contains("cachedattention_ttft_seconds{quantile=\"0.99\"} 0.25\n"));
+        assert!(text.contains("cachedattention_ttft_seconds_count 1\n"));
+        assert!(text.contains("cachedattention_store_hits_total{tier=\"dram\"} 1\n"));
+        // Empty distributions export no quantile series at all.
+        assert!(!text.contains("cachedattention_prefetch_latency_seconds"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            assert!(
+                line.split_whitespace().count() == 2,
+                "malformed sample line: {line}"
+            );
+        }
     }
 }

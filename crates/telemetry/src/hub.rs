@@ -196,11 +196,39 @@ impl MetricsHub {
         }
     }
 
+    /// Renders the per-tier store-stream slices, fastest tier first. The
+    /// single source the snapshot's `tiers` array AND its legacy scalar
+    /// rollups (`store_hits_dram`/`_disk`, the dram/disk occupancy peaks
+    /// and timelines) are both derived from, so they cannot drift apart.
+    fn tier_metrics(&self) -> Vec<TierMetrics> {
+        (0..self
+            .store_hits_by_tier
+            .len()
+            .max(self.occupancy_by_tier.len())
+            .max(self.tier_names.len()))
+            .map(|i| TierMetrics {
+                tier: i,
+                name: match self.tier_names.get(i).copied().flatten() {
+                    Some(n) => n.to_string(),
+                    None => format!("t{i}"),
+                },
+                store_hits: self.store_hits_by_tier.get(i).map_or(0, Counter::get),
+                occupancy_peak_bytes: self.occupancy_by_tier.get(i).map_or(0.0, TimeSeries::peak),
+                occupancy_timeline: self
+                    .occupancy_by_tier
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| TimeSeries::new(GAUGE_BUCKET_SECS)),
+            })
+            .collect()
+    }
+
     /// Renders the current aggregates as a serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut ttft = self.ttft.clone();
         let mut queue_wait = self.queue_wait.clone();
         let mut prefetch_latency = self.prefetch_latency.clone();
+        let tiers = self.tier_metrics();
         MetricsSnapshot {
             turns_arrived: self.turns_arrived.get(),
             hits_fast: self.hits_fast.get(),
@@ -217,13 +245,13 @@ impl MetricsHub {
             },
             ttft_count: ttft.count() as u64,
             ttft_mean_secs: ttft.mean(),
-            ttft_p50_secs: ttft.median().unwrap_or(0.0),
-            ttft_p95_secs: ttft.percentile(95.0).unwrap_or(0.0),
-            ttft_p99_secs: ttft.percentile(99.0).unwrap_or(0.0),
+            ttft_p50_secs: ttft.median(),
+            ttft_p95_secs: ttft.percentile(95.0),
+            ttft_p99_secs: ttft.percentile(99.0),
             queue_wait_mean_secs: queue_wait.mean(),
-            queue_wait_p50_secs: queue_wait.median().unwrap_or(0.0),
-            queue_wait_p95_secs: queue_wait.percentile(95.0).unwrap_or(0.0),
-            queue_wait_p99_secs: queue_wait.percentile(99.0).unwrap_or(0.0),
+            queue_wait_p50_secs: queue_wait.median(),
+            queue_wait_p95_secs: queue_wait.percentile(95.0),
+            queue_wait_p99_secs: queue_wait.percentile(99.0),
             fetch_stall_mean_secs: self.fetch_stall.mean(),
             prefill_compute_mean_secs: self.prefill_compute.mean(),
             kv_load_secs_total: self.kv_load_secs,
@@ -234,18 +262,13 @@ impl MetricsHub {
                 0.0
             },
             prefetch_latency_mean_secs: prefetch_latency.mean(),
-            prefetch_latency_p99_secs: prefetch_latency.percentile(99.0).unwrap_or(0.0),
+            prefetch_latency_p99_secs: prefetch_latency.percentile(99.0),
             truncations: self.truncations.get(),
             retired: self.retired.get(),
             deferred_events: self.deferrals.deferred_total(),
             deferred_runs: self.deferrals.entries().len() as u64,
-            store_hits_dram: self.store_hits_by_tier.first().map_or(0, Counter::get),
-            store_hits_disk: self
-                .store_hits_by_tier
-                .iter()
-                .skip(1)
-                .map(Counter::get)
-                .sum(),
+            store_hits_dram: tiers.first().map_or(0, |t| t.store_hits),
+            store_hits_disk: tiers.iter().skip(1).map(|t| t.store_hits).sum(),
             store_misses: self.store_misses.get(),
             saves: self.saves.get(),
             save_rejections: self.save_rejections.get(),
@@ -265,42 +288,18 @@ impl MetricsHub {
             instance_crashes: self.instance_crashes.get(),
             turns_rerouted: self.turns_rerouted.get(),
             hbm_reserved_peak_bytes: self.hbm_reserved.peak(),
-            dram_occupancy_peak_bytes: self.occupancy_by_tier.first().map_or(0.0, TimeSeries::peak),
-            disk_occupancy_peak_bytes: self.occupancy_by_tier.get(1).map_or(0.0, TimeSeries::peak),
+            dram_occupancy_peak_bytes: tiers.first().map_or(0.0, |t| t.occupancy_peak_bytes),
+            disk_occupancy_peak_bytes: tiers.get(1).map_or(0.0, |t| t.occupancy_peak_bytes),
             hbm_reserved_timeline: self.hbm_reserved.clone(),
-            dram_occupancy_timeline: self
-                .occupancy_by_tier
+            dram_occupancy_timeline: tiers
                 .first()
-                .cloned()
+                .map(|t| t.occupancy_timeline.clone())
                 .unwrap_or_else(|| TimeSeries::new(GAUGE_BUCKET_SECS)),
-            disk_occupancy_timeline: self
-                .occupancy_by_tier
+            disk_occupancy_timeline: tiers
                 .get(1)
-                .cloned()
+                .map(|t| t.occupancy_timeline.clone())
                 .unwrap_or_else(|| TimeSeries::new(GAUGE_BUCKET_SECS)),
-            tiers: (0..self
-                .store_hits_by_tier
-                .len()
-                .max(self.occupancy_by_tier.len())
-                .max(self.tier_names.len()))
-                .map(|i| TierMetrics {
-                    tier: i,
-                    name: match self.tier_names.get(i).copied().flatten() {
-                        Some(n) => n.to_string(),
-                        None => format!("t{i}"),
-                    },
-                    store_hits: self.store_hits_by_tier.get(i).map_or(0, Counter::get),
-                    occupancy_peak_bytes: self
-                        .occupancy_by_tier
-                        .get(i)
-                        .map_or(0.0, TimeSeries::peak),
-                    occupancy_timeline: self
-                        .occupancy_by_tier
-                        .get(i)
-                        .cloned()
-                        .unwrap_or_else(|| TimeSeries::new(GAUGE_BUCKET_SECS)),
-                })
-                .collect(),
+            tiers,
             instances: self
                 .per_instance
                 .iter()
@@ -478,20 +477,21 @@ pub struct MetricsSnapshot {
     pub ttft_count: u64,
     /// Mean service TTFT, seconds.
     pub ttft_mean_secs: f64,
-    /// Median service TTFT, seconds.
-    pub ttft_p50_secs: f64,
-    /// p95 service TTFT, seconds.
-    pub ttft_p95_secs: f64,
-    /// p99 service TTFT, seconds.
-    pub ttft_p99_secs: f64,
+    /// Median service TTFT, seconds (`None` — serialized `null` — when
+    /// no prefill completed; distinguishes "no samples" from "0 s").
+    pub ttft_p50_secs: Option<f64>,
+    /// p95 service TTFT, seconds (`None` when no samples).
+    pub ttft_p95_secs: Option<f64>,
+    /// p99 service TTFT, seconds (`None` when no samples).
+    pub ttft_p99_secs: Option<f64>,
     /// Mean queue wait (arrival → admission), seconds.
     pub queue_wait_mean_secs: f64,
-    /// Median queue wait, seconds.
-    pub queue_wait_p50_secs: f64,
-    /// p95 queue wait, seconds.
-    pub queue_wait_p95_secs: f64,
-    /// p99 queue wait, seconds.
-    pub queue_wait_p99_secs: f64,
+    /// Median queue wait, seconds (`None` when no samples).
+    pub queue_wait_p50_secs: Option<f64>,
+    /// p95 queue wait, seconds (`None` when no samples).
+    pub queue_wait_p95_secs: Option<f64>,
+    /// p99 queue wait, seconds (`None` when no samples).
+    pub queue_wait_p99_secs: Option<f64>,
     /// Mean visible fetch stall per issued prefill, seconds.
     pub fetch_stall_mean_secs: f64,
     /// Mean pure prefill compute per issued prefill, seconds.
@@ -505,8 +505,8 @@ pub struct MetricsSnapshot {
     pub overlap_efficiency: f64,
     /// Mean prefetch staging latency (promotion → completion), seconds.
     pub prefetch_latency_mean_secs: f64,
-    /// p99 prefetch staging latency, seconds.
-    pub prefetch_latency_p99_secs: f64,
+    /// p99 prefetch staging latency, seconds (`None` when no samples).
+    pub prefetch_latency_p99_secs: Option<f64>,
     /// Context-overflow truncations.
     pub truncations: u64,
     /// Jobs retired.
@@ -739,5 +739,9 @@ mod tests {
         assert!(json.contains("\"turns_arrived\":0"));
         assert!(json.contains("\"hit_rate\":0.0"));
         assert!(json.contains("\"dram_occupancy_timeline\""));
+        // Empty histograms export null percentiles, not a fake 0.0.
+        assert!(json.contains("\"ttft_p50_secs\":null"));
+        assert!(json.contains("\"queue_wait_p99_secs\":null"));
+        assert!(json.contains("\"prefetch_latency_p99_secs\":null"));
     }
 }

@@ -30,14 +30,24 @@ use store::StoreEvent;
 use workload::Trace;
 
 mod export;
+pub mod health;
 mod hub;
 pub mod span;
 mod trace;
+mod window;
 
-pub use export::{to_chrome_trace, to_jsonl};
+pub use export::{
+    to_chrome_trace, to_chrome_trace_with_alerts, to_jsonl, to_prometheus, windows_to_jsonl,
+};
+pub use health::{
+    default_rules, AlertEvent, AlertKind, AlertRule, HealthPoint, HealthSignals, Signal, SloConfig,
+};
 pub use hub::{InstanceMetrics, MetricsHub, MetricsSnapshot};
 pub use span::{Bottleneck, ProfileSummary, Span, SpanForest, TierStats, TurnSpan};
 pub use trace::{TraceEvent, TraceRecord};
+pub use window::{
+    Window, WindowCounters, WindowInstance, WindowSeries, WindowTier, WindowTotals, WindowedHub,
+};
 
 /// The full telemetry stack: records the merged event trace verbatim
 /// and feeds every event through a [`MetricsHub`].
@@ -49,12 +59,35 @@ pub use trace::{TraceEvent, TraceRecord};
 pub struct Telemetry {
     records: Vec<TraceRecord>,
     hub: MetricsHub,
+    windows: Option<WindowedHub>,
 }
 
 impl Telemetry {
     /// A fresh, empty telemetry collector.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A collector that additionally slices the run into tumbling
+    /// windows of `width_secs` virtual time (the streaming plane the
+    /// health signals and alert rules are computed from).
+    pub fn with_windows(width_secs: f64) -> Self {
+        Telemetry {
+            windows: Some(WindowedHub::new(width_secs)),
+            ..Self::default()
+        }
+    }
+
+    /// The windowed aggregator, when enabled via
+    /// [`with_windows`](Self::with_windows).
+    pub fn windows(&self) -> Option<&WindowedHub> {
+        self.windows.as_ref()
+    }
+
+    /// Seals and returns the window series (`None` unless constructed
+    /// with [`with_windows`](Self::with_windows)).
+    pub fn window_series(&self) -> Option<WindowSeries> {
+        self.windows.as_ref().map(WindowedHub::series)
     }
 
     /// The merged trace in commit order.
@@ -82,11 +115,17 @@ impl EngineObserver for Telemetry {
     fn on_event(&mut self, ev: EngineEvent) {
         self.push(None, TraceEvent::Engine(ev));
         self.hub.on_event(ev);
+        if let Some(w) = self.windows.as_mut() {
+            w.on_event(ev);
+        }
     }
 
     fn on_instance_event(&mut self, instance: u32, ev: EngineEvent) {
         self.push(Some(instance), TraceEvent::Engine(ev));
         self.hub.on_instance_event(instance, ev);
+        if let Some(w) = self.windows.as_mut() {
+            w.on_instance_event(instance, ev);
+        }
     }
 
     fn wants_store_events(&self) -> bool {
@@ -96,6 +135,9 @@ impl EngineObserver for Telemetry {
     fn on_store_event(&mut self, ev: StoreEvent) {
         self.push(None, TraceEvent::Store(ev));
         self.hub.on_store_event(ev);
+        if let Some(w) = self.windows.as_mut() {
+            w.on_store_event(ev);
+        }
     }
 
     fn on_instance_store_event(&mut self, instance: u32, ev: StoreEvent) {
@@ -105,6 +147,9 @@ impl EngineObserver for Telemetry {
         let inst = ev.instance().unwrap_or(instance);
         self.push(Some(inst), TraceEvent::Store(ev));
         self.hub.on_instance_store_event(inst, ev);
+        if let Some(w) = self.windows.as_mut() {
+            w.on_instance_store_event(inst, ev);
+        }
     }
 }
 
@@ -124,6 +169,26 @@ pub fn run_with_telemetry(cfg: EngineConfig, trace: Trace) -> (RunReport, Teleme
 /// Chrome exporter renders each instance as its own Perfetto process.
 pub fn run_cluster_with_telemetry(cfg: ClusterConfig, trace: Trace) -> (ClusterReport, Telemetry) {
     engine::run_cluster_with_observer(cfg, trace, Telemetry::new())
+}
+
+/// [`run_with_telemetry`] with the windowed plane enabled: the returned
+/// [`Telemetry`] additionally carries a [`WindowedHub`] slicing the run
+/// into `width_secs`-wide tumbling windows.
+pub fn run_with_windowed_telemetry(
+    cfg: EngineConfig,
+    trace: Trace,
+    width_secs: f64,
+) -> (RunReport, Telemetry) {
+    engine::run_with_observer(cfg, trace, Telemetry::with_windows(width_secs))
+}
+
+/// [`run_cluster_with_telemetry`] with the windowed plane enabled.
+pub fn run_cluster_with_windowed_telemetry(
+    cfg: ClusterConfig,
+    trace: Trace,
+    width_secs: f64,
+) -> (ClusterReport, Telemetry) {
+    engine::run_cluster_with_observer(cfg, trace, Telemetry::with_windows(width_secs))
 }
 
 #[cfg(test)]

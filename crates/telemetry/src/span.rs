@@ -608,7 +608,7 @@ impl SpanForest {
             }
         }
         tiers.sort_by(|a, b| a.class.cmp(b.class));
-        let pct = |h: &mut Histogram, p: f64| h.percentile(p).unwrap_or(0.0);
+        let pct = |h: &mut Histogram, p: f64| h.percentile(p);
         ProfileSummary {
             turns: self.turns.len() as u64,
             violations: self.violations.len() as u64,
@@ -662,20 +662,22 @@ pub struct ProfileSummary {
     pub violations: u64,
     /// Mean service TTFT (admission → first token), seconds.
     pub ttft_mean_secs: f64,
-    /// Median service TTFT, seconds.
-    pub ttft_p50_secs: f64,
-    /// p95 service TTFT, seconds.
-    pub ttft_p95_secs: f64,
-    /// p99 service TTFT, seconds.
-    pub ttft_p99_secs: f64,
+    /// Median service TTFT, seconds (`None` — serialized `null` — when
+    /// no turn completed a prefill; distinguishes "no samples" from
+    /// "0 s").
+    pub ttft_p50_secs: Option<f64>,
+    /// p95 service TTFT, seconds (`None` when no samples).
+    pub ttft_p95_secs: Option<f64>,
+    /// p99 service TTFT, seconds (`None` when no samples).
+    pub ttft_p99_secs: Option<f64>,
     /// Mean arrival TTFT (arrival → first token), seconds.
     pub ttft_arrival_mean_secs: f64,
-    /// p99 arrival TTFT, seconds.
-    pub ttft_arrival_p99_secs: f64,
+    /// p99 arrival TTFT, seconds (`None` when no samples).
+    pub ttft_arrival_p99_secs: Option<f64>,
     /// Mean queue wait, seconds.
     pub queue_wait_mean_secs: f64,
-    /// p99 queue wait, seconds.
-    pub queue_wait_p99_secs: f64,
+    /// p99 queue wait, seconds (`None` when no samples).
+    pub queue_wait_p99_secs: Option<f64>,
     /// Mean visible fetch stall, seconds.
     pub fetch_stall_mean_secs: f64,
     /// Mean pure prefill compute, seconds.
