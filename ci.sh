@@ -16,9 +16,12 @@
 # 9. watch smoke: a bursty run through the windowed observability
 #    plane; the windowed JSONL is validated by trace_check --windows
 #    (contiguous windows, well-paired alert timeline)
-# 10. rustdoc gate: the whole workspace documents cleanly with
+# 10. share smoke: a shared-prefix run under content-addressed block
+#    keying, validated the same way plus a check that block dedup
+#    events appear — and that a per-session run emits none
+# 11. rustdoc gate: the whole workspace documents cleanly with
 #    warnings denied
-# 11. perf-regression gate: exp_profile re-runs the canonical scenario
+# 12. perf-regression gate: exp_profile re-runs the canonical scenario
 #    matrix and diffs against the committed BENCH_profile.json with
 #    tolerance bands. Intentional perf changes: REGEN_BENCH=1 ./ci.sh
 #    regenerates the baseline (mirror of REGEN_GOLDEN=1 for fixtures).
@@ -99,6 +102,28 @@ grep -q '"kind":"window_config"' "$SMOKE_DIR/watch_windows.jsonl" \
     || { echo "watch smoke: window_config header missing" >&2; exit 1; }
 grep -q '^cachedattention_turns_arrived_total' "$SMOKE_DIR/watch.prom" \
     || { echo "watch smoke: prometheus exposition missing counters" >&2; exit 1; }
+
+echo "==> share smoke (exp_share content-addressed blocks + trace_check)"
+./target/release/exp_share --smoke --scenario system_prompt \
+    --keying content_addressed \
+    --trace-out "$SMOKE_DIR/share.jsonl" \
+    --trace-out "$SMOKE_DIR/share.json" \
+    --metrics-out "$SMOKE_DIR/share_metrics.json" >/dev/null
+./target/release/trace_check \
+    --jsonl "$SMOKE_DIR/share.jsonl" \
+    --chrome "$SMOKE_DIR/share.json" \
+    --metrics "$SMOKE_DIR/share_metrics.json"
+grep -q '"kind":"block_dedup_hit"' "$SMOKE_DIR/share.jsonl" \
+    || { echo "share smoke: no block_dedup_hit events in trace" >&2; exit 1; }
+./target/release/exp_share --smoke --scenario system_prompt \
+    --keying per_session \
+    --trace-out "$SMOKE_DIR/share_per.jsonl" \
+    --metrics-out "$SMOKE_DIR/share_per_metrics.json" >/dev/null
+./target/release/trace_check \
+    --jsonl "$SMOKE_DIR/share_per.jsonl" \
+    --metrics "$SMOKE_DIR/share_per_metrics.json"
+! grep -q '"kind":"block_' "$SMOKE_DIR/share_per.jsonl" \
+    || { echo "share smoke: per-session run emitted block events" >&2; exit 1; }
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

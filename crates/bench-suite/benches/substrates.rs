@@ -61,6 +61,7 @@ fn bench_store(c: &mut Criterion) {
                         ttl: None,
                         dram_reserve_fraction: 0.1,
                         default_session_bytes: 100_000_000,
+                        ..StoreConfig::default()
                     });
                     let queue: Vec<SessionId> = (0..16).map(SessionId).collect();
                     let view = QueueView::new(&queue);

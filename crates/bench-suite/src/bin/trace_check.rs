@@ -12,7 +12,18 @@
 //! every session walks the turn lifecycle in order, every opened
 //! stage reaches a matching terminal event for the same session (a
 //! prefetch `promoted` has its `prefetch_completed`, an arrival
-//! eventually retires), and no stage has negative duration. A Chrome
+//! eventually retires), and no stage has negative duration.
+//!
+//! Block-keyed traces are gated on their `block_config` header: every
+//! `block_*` event requires the header to have appeared first (so a
+//! per-session trace, which never emits the header, must carry no block
+//! events at all), a header plus any `saved` commit requires at least
+//! one `block_saved`, every `block_evicted` carries `refs: 0` (a node
+//! still referenced by a live chain is never evicted, only demoted),
+//! every `block_dedup_hit` matches at least one block of payload, and a
+//! `block_saved` writes bytes exactly when it allocates fresh chunks.
+//!
+//! A Chrome
 //! trace must be valid JSON with a non-empty `traceEvents` array whose
 //! duration slices all have `dur >= 0`; a metrics snapshot must parse
 //! as a JSON object.
@@ -223,11 +234,80 @@ impl SpanChecker {
     }
 }
 
+/// Per-event block-keying checks: every `block_*` event needs the
+/// `block_config` header first, evictions only reclaim dead nodes,
+/// dedup hits match real payload, and saves write bytes exactly when
+/// they allocate fresh chunks.
+fn check_block_event(
+    kind: &str,
+    get: &dyn Fn(&str) -> Option<Value>,
+    header_seen: bool,
+) -> Result<(), String> {
+    if !kind.starts_with("block_") || kind == "block_config" {
+        return Ok(());
+    }
+    if !header_seen {
+        return Err(format!(
+            "`{kind}` before any `block_config` header — per-session traces must carry no block \
+             events"
+        ));
+    }
+    match kind {
+        "block_evicted" => match get("refs") {
+            Some(Value::U64(0)) => Ok(()),
+            other => Err(format!(
+                "block_evicted with `refs` {other:?} — referenced nodes are never evicted"
+            )),
+        },
+        "block_dedup_hit" => {
+            let blocks = match get("matched_blocks") {
+                Some(Value::U64(n)) if n >= 1 => n,
+                other => {
+                    return Err(format!(
+                        "block_dedup_hit with bad `matched_blocks` {other:?}"
+                    ))
+                }
+            };
+            match get("bytes") {
+                Some(Value::U64(b)) if b >= blocks => Ok(()),
+                other => Err(format!(
+                    "block_dedup_hit matching {blocks} blocks but `bytes` {other:?}"
+                )),
+            }
+        }
+        "block_saved" => {
+            let (new, written) = match (get("new_blocks"), get("bytes_written")) {
+                (Some(Value::U64(n)), Some(Value::U64(w))) => (n, w),
+                other => return Err(format!("block_saved with bad fields {other:?}")),
+            };
+            let dedup = match get("dedup_blocks") {
+                Some(Value::U64(d)) => d,
+                other => return Err(format!("block_saved with bad `dedup_blocks` {other:?}")),
+            };
+            if new + dedup == 0 {
+                return Err("block_saved committing an empty chain".to_string());
+            }
+            if (new == 0) != (written == 0) {
+                return Err(format!(
+                    "block_saved wrote {written} bytes over {new} fresh chunks"
+                ));
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
 fn check_jsonl(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut lines = 0u64;
     let mut spans = SpanChecker::default();
+    // Block-keyed gating: the `block_config` header (with its chunk
+    // granularity) must precede every block event.
+    let mut block_tokens: Option<u64> = None;
+    let mut block_saves = 0u64;
+    let mut saves = 0u64;
     for (i, line) in text.lines().enumerate() {
         let v: Value = serde_json::from_str(line)
             .map_err(|e| format!("{path}:{}: not valid JSON: {e:?}", i + 1))?;
@@ -248,6 +328,24 @@ fn check_jsonl(path: &str) -> Result<(), String> {
         if let Some(Value::Str(cat)) = get("category") {
             seen.insert(cat);
         }
+        if let Some(Value::Str(kind)) = get("kind") {
+            check_block_event(&kind, &get, block_tokens.is_some())
+                .map_err(|msg| format!("{path}:{}: {msg}", i + 1))?;
+            match kind.as_str() {
+                "block_config" => match get("block_tokens") {
+                    Some(Value::U64(bt)) if bt > 0 => block_tokens = Some(bt),
+                    other => {
+                        return Err(format!(
+                            "{path}:{}: block_config with bad `block_tokens` {other:?}",
+                            i + 1
+                        ))
+                    }
+                },
+                "block_saved" => block_saves += 1,
+                "saved" => saves += 1,
+                _ => {}
+            }
+        }
         if let (Some(Value::Str(kind)), Some(Value::U64(session))) = (get("kind"), get("session")) {
             let at = match get("at") {
                 Some(Value::F64(x)) => x,
@@ -263,12 +361,23 @@ fn check_jsonl(path: &str) -> Result<(), String> {
         return Err(format!("{path}: empty trace"));
     }
     spans.finish().map_err(|msg| format!("{path}: {msg}"))?;
+    if block_tokens.is_some() && saves > 0 && block_saves == 0 {
+        return Err(format!(
+            "{path}: block-keyed trace ({saves} saves) carries no `block_saved` events"
+        ));
+    }
     for cat in REQUIRED_CATEGORIES {
         if !seen.contains(cat) {
             return Err(format!("{path}: no `{cat}` events (saw: {seen:?})"));
         }
     }
-    println!("[trace_check] {path}: {lines} events, spans well-formed, categories {seen:?}");
+    let keying = match block_tokens {
+        Some(bt) => format!("block-keyed ({bt} tokens/block, {block_saves} block saves)"),
+        None => "per-session".to_string(),
+    };
+    println!(
+        "[trace_check] {path}: {lines} events, spans well-formed, {keying}, categories {seen:?}"
+    );
     Ok(())
 }
 

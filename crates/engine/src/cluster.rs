@@ -27,7 +27,10 @@ use std::collections::BTreeMap;
 
 use serde::Serialize;
 use sim::{Dur, EventQueue, FaultPlan, Time, World};
-use store::{AttentionStore, QueueView, SessionId, StoreEvent, StorePlanner, TierId};
+use store::{
+    AttentionStore, ContentKey, DedupStats, KeyingMode, QueueView, SessionId, StoreEvent,
+    StorePlanner, TierId,
+};
 use workload::Trace;
 
 use crate::events::{ConsultClass, EngineEvent, EngineObserver, NullObserver};
@@ -154,6 +157,8 @@ pub struct ClusterReport {
     pub instances: Vec<InstanceReport>,
     /// Fault-path counters (all-zero when no fault plan was installed).
     pub faults: FaultReport,
+    /// Cross-session dedup counters (all-zero under per-session keying).
+    pub dedup: DedupStats,
 }
 
 impl ClusterReport {
@@ -340,12 +345,18 @@ impl<O: EngineObserver> ClusterSim<O> {
             faults.corruptions_detected = fs.corruptions_detected;
         }
         let instances: Vec<InstanceReport> = self.instances.iter().map(|i| i.report()).collect();
+        let dedup = self
+            .store
+            .as_ref()
+            .map(|s| s.dedup_stats())
+            .unwrap_or_default();
         (
             ClusterReport {
                 aggregate: self.report,
                 router: self.router.label(),
                 instances,
                 faults,
+                dedup,
             },
             self.obs,
         )
@@ -451,9 +462,12 @@ impl<O: EngineObserver> ClusterSim<O> {
         if self.obs.wants_store_events() {
             // The store planned the promotions; only the owning
             // instance's transfer stage knows when its slow-read link
-            // completes them.
+            // completes them. One completion per session: block keying
+            // promotes a chain chunk by chunk, so a session may own
+            // several fast-arriving transfers from one pass.
+            let mut completed = std::collections::BTreeSet::new();
             for t in &transfers {
-                if t.to.is_fast() {
+                if t.to.is_fast() && completed.insert(t.session) {
                     let owner = view.owner(t.session).unwrap_or(acting);
                     let at = self.instances[owner as usize]
                         .plan
@@ -515,7 +529,28 @@ impl<O: EngineObserver> ClusterSim<O> {
         let turn = &spec.turns[turn_idx];
         let user = (turn.user_tokens as u64).min(self.cfg.model.context_window as u64);
         let resp = turn.resp_tokens as u64;
+        let content = spec.content;
         let inst = self.route(session);
+        // Declare the session's token-content identity before anything
+        // touches the store, so block hashing can recognise shared
+        // prefixes from the very first save.
+        if turn_idx == 0 {
+            let sid = self.sid(session);
+            if let Some(store) = &mut self.store {
+                if store.keying() == KeyingMode::ContentAddressed {
+                    let key = match content {
+                        Some(c) => ContentKey {
+                            shared_seed: c.shared_seed,
+                            shared_tokens: c.shared_tokens,
+                            private_seed: c.private_seed,
+                            generation: 0,
+                        },
+                        None => ContentKey::private(sid.0),
+                    };
+                    store.register_content(sid, key);
+                }
+            }
+        }
         self.obs.on_instance_event(
             inst,
             EngineEvent::turn_arrived(self.sid(session).0, turn_idx, now),
@@ -540,17 +575,30 @@ impl<O: EngineObserver> ClusterSim<O> {
     /// staged in the fast tier, tier the KV was found in).
     fn consult_store(&mut self, now: Time, job_idx: usize) -> (u64, Time, Option<TierId>) {
         let job = &self.jobs[job_idx];
-        let (session, hist, measured, inst) =
-            (job.session, job.hist_tokens, job.measured, job.instance);
+        let (session, hist, user, measured, inst) = (
+            job.session,
+            job.hist_tokens,
+            job.user_tokens,
+            job.measured,
+            job.instance,
+        );
         let sid = self.sid(session);
-        if hist == 0 {
+        let ca = self
+            .store
+            .as_ref()
+            .is_some_and(|s| s.keying() == KeyingMode::ContentAddressed);
+        // Under per-session keying a first turn has nothing to look up.
+        // Under block keying it does: the turn's own input may share a
+        // prefix (system prompt, parent context) with blocks other
+        // sessions already stored, so the store is consulted regardless.
+        if hist == 0 && !ca {
             self.obs.on_instance_event(
                 inst,
                 EngineEvent::consulted(sid.0, ConsultClass::NoHistory, 0, now),
             );
             return (0, now, None);
         }
-        if measured {
+        if measured && hist > 0 {
             self.report.resumption_turns.incr();
             self.instances[inst as usize].resumption_turns += 1;
         }
@@ -570,7 +618,32 @@ impl<O: EngineObserver> ClusterSim<O> {
         let plan = &mut self.instances[inst as usize].plan;
         // The fallible consult path is only taken with a fault plan
         // installed, so fault-free runs stay byte-identical.
-        let (consult, degraded) = if faulted {
+        let (consult, degraded) = if ca {
+            // Block keying matches the whole next context — history plus
+            // the arriving input — against the prefix trie.
+            let ctx = hist + user;
+            if faulted {
+                let f = plan.consult_blocks_faulted(
+                    now,
+                    store.as_mut(),
+                    sid,
+                    ctx,
+                    |tokens| cfg.stored_kv_bytes(tokens),
+                    &view,
+                );
+                (f.consult, f.degraded)
+            } else {
+                let c = plan.consult_blocks(
+                    now,
+                    store.as_mut(),
+                    sid,
+                    ctx,
+                    |tokens| cfg.stored_kv_bytes(tokens),
+                    &view,
+                );
+                (c, None)
+            }
+        } else if faulted {
             let f = plan.consult_faulted(now, store.as_mut(), sid, hist, &view, |tokens| {
                 cfg.stored_kv_bytes(tokens)
             });
@@ -666,7 +739,10 @@ impl<O: EngineObserver> ClusterSim<O> {
         }
         self.instances[i].sched.pop_front();
         let job = &self.jobs[job_idx];
-        let computed = job.hist_tokens - reused + job.user_tokens;
+        // Summed before subtracting: under block keying the matched
+        // prefix can extend into the new input, so `reused` may exceed
+        // the history alone.
+        let computed = job.hist_tokens + job.user_tokens - reused;
         let (total, comp, stall) = exec::prefill_timing(
             &self.cfg,
             &mut self.instances[i].plan,

@@ -284,6 +284,105 @@ impl TransferPlan {
         }
     }
 
+    /// Block-keyed form of [`TransferPlan::consult`]: matches the job's
+    /// *entire* next context (`ctx_tokens = history + new input`) against
+    /// the store's prefix trie, so a session whose first turn shares a
+    /// system prompt with another session reuses those blocks even with
+    /// zero own history. `reused` is the matched prefix length; only the
+    /// unmatched tail is prefilled.
+    pub fn consult_blocks(
+        &mut self,
+        now: Time,
+        store: &mut dyn StorePlanner,
+        sid: SessionId,
+        ctx_tokens: u64,
+        stored_bytes_of: impl Fn(u64) -> u64,
+        queue: &QueueView,
+    ) -> Consult {
+        let m = store.load_prefix(sid, ctx_tokens, now, queue);
+        let had_promotion = m
+            .transfers
+            .iter()
+            .any(|t| t.session == sid && t.is_promotion());
+        self.charge(now, &m.transfers);
+        self.classify_prefix(now, sid, &m, had_promotion, stored_bytes_of)
+    }
+
+    /// Fallible form of [`TransferPlan::consult_blocks`].
+    pub fn consult_blocks_faulted(
+        &mut self,
+        now: Time,
+        store: &mut dyn StorePlanner,
+        sid: SessionId,
+        ctx_tokens: u64,
+        stored_bytes_of: impl Fn(u64) -> u64,
+        queue: &QueueView,
+    ) -> FaultedConsult {
+        let outcome = store.try_load_prefix(sid, ctx_tokens, now, queue);
+        let had_promotion = outcome
+            .prefix
+            .transfers
+            .iter()
+            .any(|t| t.session == sid && t.is_promotion());
+        let start = now + outcome.backoff;
+        self.charge(start, &outcome.prefix.transfers);
+        let consult =
+            self.classify_prefix(start, sid, &outcome.prefix, had_promotion, stored_bytes_of);
+        FaultedConsult {
+            consult,
+            retries: outcome.retries,
+            degraded: outcome.degraded,
+        }
+    }
+
+    /// Shared classification tail of the block-keyed consults.
+    fn classify_prefix(
+        &mut self,
+        start: Time,
+        sid: SessionId,
+        m: &store::PrefixMatch,
+        had_promotion: bool,
+        stored_bytes_of: impl Fn(u64) -> u64,
+    ) -> Consult {
+        match m.lookup {
+            Lookup::Miss => Consult {
+                reused: 0,
+                staged: start,
+                class: ConsultClass::Miss,
+                tier: None,
+            },
+            Lookup::Hit(tier) if tier.is_fast() => {
+                let staged = self
+                    .fast_ready_at
+                    .get(&sid.0)
+                    .copied()
+                    .unwrap_or(start)
+                    .max(start);
+                Consult {
+                    reused: m.matched_tokens,
+                    staged,
+                    class: ConsultClass::HitFast,
+                    tier: Some(tier),
+                }
+            }
+            Lookup::Hit(tier) => {
+                let staged = if had_promotion {
+                    self.fast_ready_at.get(&sid.0).copied().unwrap_or(start)
+                } else {
+                    // Tier 0 could not stage the matched blocks: stream
+                    // them straight from the deepest matched tier.
+                    self.stream_from(start, tier, stored_bytes_of(m.matched_tokens))
+                };
+                Consult {
+                    reused: m.matched_tokens,
+                    staged: staged.max(start),
+                    class: ConsultClass::HitSlow,
+                    tier: Some(tier),
+                }
+            }
+        }
+    }
+
     /// Fallible form of [`TransferPlan::consult`] for runs with a fault
     /// plan installed: reads may be retried (their exponential backoff is
     /// wall time, so it pushes the staging clock) or abandoned entirely,

@@ -264,6 +264,87 @@ pub enum StoreEvent {
         /// Virtual detection time.
         at: Time,
     },
+    /// The store runs in content-addressed block keying. Emitted once
+    /// alongside the `tier_config` records when tracing is enabled, so
+    /// trace consumers know to expect (and validate) block events;
+    /// per-session traces never carry it.
+    BlockConfig {
+        /// Dedup chunk granularity in tokens.
+        block_tokens: u64,
+        /// Virtual time tracing was enabled.
+        at: Time,
+    },
+    /// A content-addressed save committed: how much of the chain was
+    /// written fresh vs shared with already-stored blocks.
+    BlockSaved {
+        /// External session id.
+        session: u64,
+        /// Chunks allocated fresh by this save.
+        new_blocks: u64,
+        /// Chunks that resolved to an already-stored node.
+        dedup_blocks: u64,
+        /// Bytes physically written.
+        bytes_written: u64,
+        /// Bytes *not* written thanks to dedup.
+        bytes_saved: u64,
+        /// Virtual commit time.
+        at: Time,
+    },
+    /// A consult matched a stored prefix in the content-addressed trie.
+    BlockDedupHit {
+        /// External session id of the resuming turn.
+        session: u64,
+        /// Blocks of the context covered by stored KV.
+        matched_blocks: u64,
+        /// Bytes of the matched prefix.
+        bytes: u64,
+        /// Virtual lookup time.
+        at: Time,
+    },
+    /// A session's tokens forked from a chain it previously referenced
+    /// (copy-on-divergence): the suffix from `at_block` was released,
+    /// never mutated in place.
+    BlockDiverged {
+        /// External session id.
+        session: u64,
+        /// First chain position that diverged.
+        at_block: u64,
+        /// Chain references released from that position on.
+        released_blocks: u64,
+        /// Virtual commit time.
+        at: Time,
+    },
+    /// A block node was demoted one hop to the adjacent slower tier to
+    /// make room. No single session owns a shared node, so the event is
+    /// tier-wide (the paired transfer carries attribution).
+    BlockDemoted {
+        /// Allocation blocks moved.
+        blocks: u64,
+        /// Payload size moved.
+        bytes: u64,
+        /// Tier the node left.
+        from: TierId,
+        /// The adjacent slower tier it landed in (`from + 1`).
+        to: TierId,
+        /// Virtual commit time.
+        at: Time,
+    },
+    /// An unreferenced block node was reclaimed out of the system — the
+    /// refcounted eviction path. `refs` is always 0: a node still
+    /// referenced by any live chain is never evicted, only demoted.
+    BlockEvicted {
+        /// Allocation blocks freed.
+        blocks: u64,
+        /// Payload size freed.
+        bytes: u64,
+        /// The tier the node was reclaimed from.
+        tier: TierId,
+        /// Chain references at eviction time (always 0 by invariant;
+        /// recorded so trace validation can assert it).
+        refs: u64,
+        /// Virtual commit time.
+        at: Time,
+    },
 }
 
 impl StoreEvent {
@@ -289,6 +370,12 @@ impl StoreEvent {
             StoreEvent::WriteRetry { .. } => "write_retry",
             StoreEvent::WriteFailed { .. } => "write_failed",
             StoreEvent::CorruptionDetected { .. } => "corruption_detected",
+            StoreEvent::BlockConfig { .. } => "block_config",
+            StoreEvent::BlockSaved { .. } => "block_saved",
+            StoreEvent::BlockDedupHit { .. } => "block_dedup_hit",
+            StoreEvent::BlockDiverged { .. } => "block_diverged",
+            StoreEvent::BlockDemoted { .. } => "block_demoted",
+            StoreEvent::BlockEvicted { .. } => "block_evicted",
         }
     }
 
@@ -303,13 +390,20 @@ impl StoreEvent {
             | StoreEvent::SaveRejected { .. }
             | StoreEvent::FetchHit { .. }
             | StoreEvent::FetchMiss { .. }
-            | StoreEvent::Expired { .. } => "cache",
+            | StoreEvent::Expired { .. }
+            | StoreEvent::BlockSaved { .. }
+            | StoreEvent::BlockDedupHit { .. }
+            | StoreEvent::BlockDiverged { .. } => "cache",
             StoreEvent::Promoted { .. }
             | StoreEvent::Demoted { .. }
             | StoreEvent::Evicted { .. }
             | StoreEvent::Dropped { .. }
-            | StoreEvent::PrefetchCompleted { .. } => "tiering",
-            StoreEvent::TierConfig { .. } | StoreEvent::Occupancy { .. } => "gauge",
+            | StoreEvent::PrefetchCompleted { .. }
+            | StoreEvent::BlockDemoted { .. }
+            | StoreEvent::BlockEvicted { .. } => "tiering",
+            StoreEvent::TierConfig { .. }
+            | StoreEvent::Occupancy { .. }
+            | StoreEvent::BlockConfig { .. } => "gauge",
             StoreEvent::WriteBufferStall { .. } => "stall",
             StoreEvent::ReadRetry { .. }
             | StoreEvent::ReadFailed { .. }
@@ -339,7 +433,13 @@ impl StoreEvent {
             | StoreEvent::ReadFailed { at, .. }
             | StoreEvent::WriteRetry { at, .. }
             | StoreEvent::WriteFailed { at, .. }
-            | StoreEvent::CorruptionDetected { at, .. } => at,
+            | StoreEvent::CorruptionDetected { at, .. }
+            | StoreEvent::BlockConfig { at, .. }
+            | StoreEvent::BlockSaved { at, .. }
+            | StoreEvent::BlockDedupHit { at, .. }
+            | StoreEvent::BlockDiverged { at, .. }
+            | StoreEvent::BlockDemoted { at, .. }
+            | StoreEvent::BlockEvicted { at, .. } => at,
         }
     }
 
@@ -361,8 +461,15 @@ impl StoreEvent {
             | StoreEvent::ReadFailed { session, .. }
             | StoreEvent::WriteRetry { session, .. }
             | StoreEvent::WriteFailed { session, .. }
-            | StoreEvent::CorruptionDetected { session, .. } => Some(session),
-            StoreEvent::TierConfig { .. } | StoreEvent::Occupancy { .. } => None,
+            | StoreEvent::CorruptionDetected { session, .. }
+            | StoreEvent::BlockSaved { session, .. }
+            | StoreEvent::BlockDedupHit { session, .. }
+            | StoreEvent::BlockDiverged { session, .. } => Some(session),
+            StoreEvent::TierConfig { .. }
+            | StoreEvent::Occupancy { .. }
+            | StoreEvent::BlockConfig { .. }
+            | StoreEvent::BlockDemoted { .. }
+            | StoreEvent::BlockEvicted { .. } => None,
         }
     }
 
@@ -607,6 +714,79 @@ impl Serialize for StoreEvent {
                 ("bytes", Value::U64(bytes)),
                 ("at", secs(at)),
             ]),
+            StoreEvent::BlockConfig { block_tokens, at } => fields(vec![
+                ("kind", kind),
+                ("block_tokens", Value::U64(block_tokens)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::BlockSaved {
+                session,
+                new_blocks,
+                dedup_blocks,
+                bytes_written,
+                bytes_saved,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("new_blocks", Value::U64(new_blocks)),
+                ("dedup_blocks", Value::U64(dedup_blocks)),
+                ("bytes_written", Value::U64(bytes_written)),
+                ("bytes_saved", Value::U64(bytes_saved)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::BlockDedupHit {
+                session,
+                matched_blocks,
+                bytes,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("matched_blocks", Value::U64(matched_blocks)),
+                ("bytes", Value::U64(bytes)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::BlockDiverged {
+                session,
+                at_block,
+                released_blocks,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("at_block", Value::U64(at_block)),
+                ("released_blocks", Value::U64(released_blocks)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::BlockDemoted {
+                blocks,
+                bytes,
+                from,
+                to,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("blocks", Value::U64(blocks)),
+                ("bytes", Value::U64(bytes)),
+                ("from", tier_index(from)),
+                ("to", tier_index(to)),
+                ("at", secs(at)),
+            ]),
+            StoreEvent::BlockEvicted {
+                blocks,
+                bytes,
+                tier,
+                refs,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("blocks", Value::U64(blocks)),
+                ("bytes", Value::U64(bytes)),
+                ("tier", tier_index(tier)),
+                ("refs", Value::U64(refs)),
+                ("at", secs(at)),
+            ]),
         }
     }
 }
@@ -744,6 +924,74 @@ mod tests {
             "{\"kind\":\"tier_config\",\"tier\":1,\"name\":\"pooled\",\
              \"capacity\":64,\"at\":0.0}"
         );
+    }
+
+    #[test]
+    fn block_events_serialize_and_categorize() {
+        let hit = StoreEvent::BlockDedupHit {
+            session: 3,
+            matched_blocks: 5,
+            bytes: 640,
+            at: Time::from_secs_f64(2.5),
+        };
+        assert_eq!(hit.kind(), "block_dedup_hit");
+        assert_eq!(hit.category(), "cache");
+        assert_eq!(hit.session(), Some(3));
+        assert_eq!(
+            serde_json::to_string(&hit).unwrap(),
+            "{\"kind\":\"block_dedup_hit\",\"session\":3,\
+             \"matched_blocks\":5,\"bytes\":640,\"at\":2.5}"
+        );
+        let evicted = StoreEvent::BlockEvicted {
+            blocks: 2,
+            bytes: 320,
+            tier: TierId(1),
+            refs: 0,
+            at: Time::ZERO,
+        };
+        assert_eq!(evicted.category(), "tiering");
+        assert_eq!(evicted.session(), None);
+        assert_eq!(
+            serde_json::to_string(&evicted).unwrap(),
+            "{\"kind\":\"block_evicted\",\"blocks\":2,\"bytes\":320,\
+             \"tier\":1,\"refs\":0,\"at\":0.0}"
+        );
+        let cfg = StoreEvent::BlockConfig {
+            block_tokens: 128,
+            at: Time::ZERO,
+        };
+        assert_eq!(cfg.category(), "gauge");
+        assert_eq!(cfg.session(), None);
+        let div = StoreEvent::BlockDiverged {
+            session: 8,
+            at_block: 2,
+            released_blocks: 3,
+            at: Time::ZERO,
+        };
+        assert_eq!(div.category(), "cache");
+        assert_eq!(
+            serde_json::to_string(&div).unwrap(),
+            "{\"kind\":\"block_diverged\",\"session\":8,\"at_block\":2,\
+             \"released_blocks\":3,\"at\":0.0}"
+        );
+        let saved = StoreEvent::BlockSaved {
+            session: 8,
+            new_blocks: 1,
+            dedup_blocks: 4,
+            bytes_written: 100,
+            bytes_saved: 400,
+            at: Time::ZERO,
+        };
+        assert_eq!(saved.category(), "cache");
+        let dem = StoreEvent::BlockDemoted {
+            blocks: 1,
+            bytes: 128,
+            from: TierId(0),
+            to: TierId(1),
+            at: Time::ZERO,
+        };
+        assert_eq!(dem.category(), "tiering");
+        assert_eq!(dem.session(), None);
     }
 
     #[test]

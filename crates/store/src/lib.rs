@@ -31,6 +31,7 @@
 //! those hops on the simulated per-boundary links.
 
 mod block;
+mod chain;
 mod entry;
 mod events;
 mod planner;
@@ -39,11 +40,12 @@ mod policy;
 mod store;
 
 pub use block::{BlockId, BlockPool};
+pub use chain::{ChunkKey, ContentKey, DedupStats, KeyingMode, CHAIN_SEED};
 pub use entry::{Entry, SessionId, TierId};
 pub use events::{FetchKind, NullStoreObserver, StoreEvent, StoreEventLog, StoreObserver};
 pub use planner::StorePlanner;
 pub use policy::{EvictionPolicy, Fifo, Lru, PolicyKind, QueueView, SchedulerAware};
 pub use store::{
-    AttentionStore, DegradeReason, FaultStats, FetchOutcome, Lookup, PrefetchOutcome, SaveOutcome,
-    StoreConfig, StoreStats, Transfer,
+    AttentionStore, DegradeReason, FaultStats, FetchOutcome, Lookup, PrefetchOutcome, PrefixMatch,
+    PrefixOutcome, SaveOutcome, StoreConfig, StoreStats, Transfer,
 };

@@ -9,8 +9,9 @@
 //! the store's API.
 
 use crate::{
-    AttentionStore, FaultStats, FetchOutcome, Lookup, PrefetchOutcome, QueueView, SaveOutcome,
-    SessionId, StoreEvent, StoreStats, Transfer,
+    AttentionStore, ContentKey, DedupStats, FaultStats, FetchOutcome, KeyingMode, Lookup,
+    PrefetchOutcome, PrefixMatch, PrefixOutcome, QueueView, SaveOutcome, SessionId, StoreEvent,
+    StoreStats, Transfer,
 };
 use sim::{Dur, FaultPlan, Time};
 
@@ -139,6 +140,60 @@ pub trait StorePlanner {
     fn apply_pressure(&mut self, _now: Time, _fraction: f64, _queue: &QueueView) -> Vec<Transfer> {
         Vec::new()
     }
+
+    /// Which keying scheme this planner stores KV under. Planners
+    /// without block keying are per-session.
+    fn keying(&self) -> KeyingMode {
+        KeyingMode::PerSession
+    }
+
+    /// Registers the token-content identity of `sid` before its first
+    /// save, so block hashing can recognise shared prefixes. No-op for
+    /// per-session planners.
+    fn register_content(&mut self, _sid: SessionId, _key: ContentKey) {}
+
+    /// Longest-prefix match of `sid`'s next `ctx_tokens` of context
+    /// against the store, pinning and staging what matched. Defaults to
+    /// the per-session reduction: the only matchable prefix is the
+    /// session's own cached history.
+    fn load_prefix(
+        &mut self,
+        sid: SessionId,
+        ctx_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> PrefixMatch {
+        let matched = self.entry_tokens(sid).unwrap_or(0).min(ctx_tokens);
+        let (lookup, transfers) = self.load_for_use(sid, now, queue);
+        PrefixMatch {
+            matched_tokens: if lookup == Lookup::Miss { 0 } else { matched },
+            lookup,
+            transfers,
+        }
+    }
+
+    /// Fallible [`StorePlanner::load_prefix`]. Defaults to the
+    /// infallible path.
+    fn try_load_prefix(
+        &mut self,
+        sid: SessionId,
+        ctx_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> PrefixOutcome {
+        PrefixOutcome {
+            prefix: self.load_prefix(sid, ctx_tokens, now, queue),
+            retries: 0,
+            backoff: Dur::ZERO,
+            degraded: None,
+        }
+    }
+
+    /// Cross-session dedup statistics (all-zero for per-session
+    /// planners).
+    fn dedup_stats(&self) -> DedupStats {
+        DedupStats::default()
+    }
 }
 
 impl StorePlanner for AttentionStore {
@@ -152,7 +207,7 @@ impl StorePlanner for AttentionStore {
     }
 
     fn entry_tokens(&self, sid: SessionId) -> Option<u64> {
-        self.entry(sid).map(|e| e.tokens)
+        self.cached_tokens(sid)
     }
 
     fn prefetch(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
@@ -235,6 +290,38 @@ impl StorePlanner for AttentionStore {
 
     fn apply_pressure(&mut self, now: Time, fraction: f64, queue: &QueueView) -> Vec<Transfer> {
         AttentionStore::apply_pressure(self, now, fraction, queue)
+    }
+
+    fn keying(&self) -> KeyingMode {
+        self.config().keying
+    }
+
+    fn register_content(&mut self, sid: SessionId, key: ContentKey) {
+        AttentionStore::register_content(self, sid, key)
+    }
+
+    fn load_prefix(
+        &mut self,
+        sid: SessionId,
+        ctx_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> PrefixMatch {
+        AttentionStore::load_prefix(self, sid, ctx_tokens, now, queue)
+    }
+
+    fn try_load_prefix(
+        &mut self,
+        sid: SessionId,
+        ctx_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> PrefixOutcome {
+        AttentionStore::try_load_prefix(self, sid, ctx_tokens, now, queue)
+    }
+
+    fn dedup_stats(&self) -> DedupStats {
+        AttentionStore::dedup_stats(self)
     }
 }
 

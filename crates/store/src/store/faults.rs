@@ -112,6 +112,30 @@ pub struct SaveOutcome {
     pub failed: bool,
 }
 
+/// Result of a fallible prefix consult.
+#[derive(Debug, Clone)]
+pub struct PrefixOutcome {
+    /// The prefix match (forced to a miss on degrade).
+    pub prefix: crate::PrefixMatch,
+    /// Read retries that preceded the result.
+    pub retries: u32,
+    /// Total backoff delay accrued across those retries.
+    pub backoff: Dur,
+    /// `Some` when the session degraded to re-prefill.
+    pub degraded: Option<DegradeReason>,
+}
+
+impl PrefixOutcome {
+    fn clean(prefix: crate::PrefixMatch) -> Self {
+        PrefixOutcome {
+            prefix,
+            retries: 0,
+            backoff: Dur::ZERO,
+            degraded: None,
+        }
+    }
+}
+
 /// Result of a fallible prefetch pass.
 #[derive(Debug, Clone)]
 pub struct PrefetchOutcome {
@@ -254,6 +278,86 @@ impl AttentionStore {
         }
     }
 
+    /// Fallible prefix consult: [`AttentionStore::load_prefix`] plus the
+    /// same injected read errors as
+    /// [`try_load_for_use`](AttentionStore::try_load_for_use). The read
+    /// dice roll when the session's own stored KV sits in a slow tier;
+    /// integrity checksums are a per-session-entry concept, so
+    /// corruption detection only fires under per-session keying.
+    pub fn try_load_prefix(
+        &mut self,
+        sid: SessionId,
+        ctx_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> PrefixOutcome {
+        let Some((seed, ssd, retry)) = self.fault_profile() else {
+            return PrefixOutcome::clean(self.load_prefix(sid, ctx_tokens, now, queue));
+        };
+        let mut retries = 0u32;
+        let mut backoff = Dur::ZERO;
+        if self.lookup(sid).is_slow_hit() && ssd.read_error_rate > 0.0 {
+            loop {
+                let key = self.next_fault_roll();
+                if dice(seed, FaultStream::Read, sid.0, key) >= ssd.read_error_rate {
+                    break;
+                }
+                if retries >= retry.max_retries {
+                    let mark = self.trace_mark();
+                    self.fault_stats.read_failures += 1;
+                    self.emit(StoreEvent::ReadFailed {
+                        session: sid.0,
+                        attempts: retry.max_retries + 1,
+                        at: now,
+                    });
+                    self.invalidate(sid);
+                    self.emit_occupancy(mark, now);
+                    return PrefixOutcome {
+                        prefix: crate::PrefixMatch::miss(),
+                        retries,
+                        backoff,
+                        degraded: Some(DegradeReason::ReadFailed),
+                    };
+                }
+                backoff += retry.backoff(retries);
+                self.fault_stats.read_retries += 1;
+                self.emit(StoreEvent::ReadRetry {
+                    session: sid.0,
+                    attempt: retries,
+                    at: now,
+                });
+                retries += 1;
+            }
+        }
+        if let Some(e) = self.entries.get(&sid) {
+            if !e.integrity_ok(sid) {
+                let bytes = e.bytes;
+                let mark = self.trace_mark();
+                self.fault_stats.corruptions_detected += 1;
+                self.emit(StoreEvent::CorruptionDetected {
+                    session: sid.0,
+                    bytes,
+                    at: now,
+                });
+                self.invalidate(sid);
+                self.emit_occupancy(mark, now);
+                return PrefixOutcome {
+                    prefix: crate::PrefixMatch::miss(),
+                    retries,
+                    backoff,
+                    degraded: Some(DegradeReason::Corrupted),
+                };
+            }
+        }
+        let prefix = self.load_prefix(sid, ctx_tokens, now, queue);
+        PrefixOutcome {
+            prefix,
+            retries,
+            backoff,
+            degraded: None,
+        }
+    }
+
     /// Fallible save: [`AttentionStore::save`] plus injected write errors
     /// retried with exponential backoff. An exhausted save drops the
     /// session's (stale) entry entirely — its next turn re-prefills.
@@ -384,6 +488,19 @@ impl AttentionStore {
         let target = (self.cfg.tiers[0].capacity as f64 * (1.0 - fraction)) as u64;
         let mut transfers = Vec::new();
         let mark = self.trace_mark();
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            while self.dram_used_bytes() > target {
+                if self.ca_free_dead_in(now, crate::TierId(0)) {
+                    continue;
+                }
+                let acting = SessionId(u64::MAX);
+                if !self.ca_demote_one(now, crate::TierId(0), acting, queue, &mut transfers) {
+                    break;
+                }
+            }
+            self.emit_occupancy(mark, now);
+            return transfers;
+        }
         while self.dram_used_bytes() > target {
             let Some(victim) = self.choose_victim_in(crate::TierId(0), queue, None) else {
                 break;

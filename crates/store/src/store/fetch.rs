@@ -11,7 +11,12 @@ use super::{AttentionStore, Lookup, Transfer};
 impl AttentionStore {
     /// Pushes the chain of adjacent-tier hops that stage `sid`'s bytes
     /// from `from` up to tier 0: `(from → from-1), ..., (1 → 0)`.
-    fn push_promotion_hops(out: &mut Vec<Transfer>, sid: SessionId, bytes: u64, from: TierId) {
+    pub(super) fn push_promotion_hops(
+        out: &mut Vec<Transfer>,
+        sid: SessionId,
+        bytes: u64,
+        from: TierId,
+    ) {
         for hop in (1..=from.0).rev() {
             out.push(Transfer {
                 session: sid,
@@ -37,6 +42,9 @@ impl AttentionStore {
         now: Time,
         queue: &QueueView,
     ) -> (Vec<Transfer>, bool) {
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            return self.ca_save(sid, total_bytes, total_tokens, now, queue);
+        }
         let mut transfers = Vec::new();
         let mark = self.trace_mark();
         // Free the stale copy first; the engine holds the bytes in HBM.
@@ -143,6 +151,9 @@ impl AttentionStore {
         now: Time,
         queue: &QueueView,
     ) -> (Lookup, Vec<Transfer>) {
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            return self.ca_load_for_use(sid, now, queue);
+        }
         let found = self.lookup(sid);
         let mark = self.trace_mark();
         match found {
@@ -215,8 +226,38 @@ impl AttentionStore {
     /// entry has since been evicted/invalidated (e.g. crash recovery
     /// releasing pins for jobs that never reached their save) is a no-op.
     pub fn unpin(&mut self, sid: SessionId) {
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            return self.ca_unpin(sid);
+        }
         if let Some(e) = self.entries.get_mut(&sid) {
             e.pinned = false;
+        }
+    }
+
+    /// Longest-prefix match of `sid`'s next context against the stored
+    /// KV, pinning and staging what matched (see
+    /// [`crate::PrefixMatch`]). Under per-session keying this reduces to
+    /// [`load_for_use`](AttentionStore::load_for_use) — the only
+    /// matchable prefix is the session's own history.
+    pub fn load_prefix(
+        &mut self,
+        sid: SessionId,
+        ctx_tokens: u64,
+        now: Time,
+        queue: &QueueView,
+    ) -> crate::PrefixMatch {
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            return self.ca_load_prefix(sid, ctx_tokens, now, queue);
+        }
+        let matched = self
+            .entries
+            .get(&sid)
+            .map_or(0, |e| e.tokens.min(ctx_tokens));
+        let (lookup, transfers) = self.load_for_use(sid, now, queue);
+        crate::PrefixMatch {
+            matched_tokens: if lookup == Lookup::Miss { 0 } else { matched },
+            lookup,
+            transfers,
         }
     }
 
@@ -226,6 +267,9 @@ impl AttentionStore {
     ///
     /// No-op for history-only policies (LRU/FIFO cannot see the queue).
     pub fn prefetch(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            return self.ca_prefetch(now, queue);
+        }
         if !self.policy.wants_prefetch() {
             return Vec::new();
         }

@@ -1,23 +1,37 @@
-//! The AttentionStore: tiered, session-granularity KV cache bookkeeping.
+//! The AttentionStore: tiered KV cache bookkeeping, keyed either by
+//! session (one private entry per conversation, the paper's scheme) or
+//! by content-addressed block chain (fixed-size chunks shared across
+//! sessions with a common token prefix, [`crate::KeyingMode`]).
 //!
 //! The implementation is split along its seams:
 //!
 //! - this module: the data types, configuration, statistics ledger and
 //!   the store struct itself (construction, tracing, capacity queries,
 //!   look-ahead window sizing);
-//! - [`placement`]: tier placement — victim selection, hop-by-hop
-//!   demotion, eviction, reserve maintenance and entry lifecycle
-//!   (truncate / invalidate / expire);
-//! - [`fetch`]: the read/write paths — save, demand fetch and the
-//!   scheduler-aware look-ahead prefetcher.
+//! - [`placement`]: per-session tier placement — victim selection,
+//!   hop-by-hop demotion, eviction, reserve maintenance and entry
+//!   lifecycle (truncate / invalidate / expire);
+//! - [`fetch`]: the per-session read/write paths — save, demand fetch
+//!   and the scheduler-aware look-ahead prefetcher;
+//! - [`shared`]: the content-addressed block ledger — chunk chains,
+//!   prefix-trie lookup, copy-on-divergence and refcounted eviction.
+//!
+//! Every public operation dispatches on the configured keying mode at
+//! its entry point; the per-session paths are the original code,
+//! untouched, so `per_session` mode stays byte-for-byte identical to
+//! the store before block keying existed.
 
 mod faults;
 mod fetch;
 mod placement;
+mod shared;
 #[cfg(test)]
 mod tests;
 
-pub use faults::{DegradeReason, FaultStats, FetchOutcome, PrefetchOutcome, SaveOutcome};
+pub use faults::{
+    DegradeReason, FaultStats, FetchOutcome, PrefetchOutcome, PrefixOutcome, SaveOutcome,
+};
+pub use shared::PrefixMatch;
 
 use std::collections::BTreeMap;
 
@@ -25,6 +39,7 @@ use models::TierStack;
 use serde::{Deserialize, Serialize};
 use sim::{Dur, Time};
 
+use crate::chain::KeyingMode;
 use crate::events::{StoreEvent, StoreEventLog, StoreObserver};
 use crate::{BlockPool, Entry, PolicyKind, SessionId, TierId};
 
@@ -106,19 +121,37 @@ pub struct StoreConfig {
     /// Eviction policy (and, for scheduler-aware, prefetching).
     #[serde(skip, default = "default_policy")]
     pub policy: PolicyKind,
+    /// How saved KV is keyed: per-session private entries (the paper's
+    /// scheme and the default) or content-addressed block chains shared
+    /// across sessions.
+    #[serde(skip, default)]
+    pub keying: KeyingMode,
+    /// Dedup chunk granularity in tokens under content-addressed
+    /// keying: prefixes match in whole chunks of this many tokens.
+    /// Distinct from `block_bytes`, the *allocation* granularity — one
+    /// chunk typically spans several allocation blocks.
+    #[serde(skip, default = "default_block_tokens")]
+    pub block_tokens: u64,
     /// Time-to-live since last access; `None` = keep until capacity
     /// pressure (§4.3.6 sets 1 hour for the capacity study).
     pub ttl: Option<Dur>,
     /// Fraction of tier 0 kept free as the fetch buffer (§3.3.1);
     /// background demotion restores it.
     pub dram_reserve_fraction: f64,
-    /// Assumed average session KV size before any entry exists, bytes
-    /// (window sizing fallback).
+    /// Assumed average stored size per session before anything is
+    /// cached, bytes — the window-sizing fallback. Once data exists the
+    /// windows use the observed mean instead: mean entry bytes under
+    /// per-session keying, block size × observed chain length under
+    /// block keying.
     pub default_session_bytes: u64,
 }
 
 fn default_policy() -> PolicyKind {
     PolicyKind::SchedulerAware
+}
+
+fn default_block_tokens() -> u64 {
+    128
 }
 
 impl StoreConfig {
@@ -156,6 +189,8 @@ impl Default for StoreConfig {
             tiers: TierStack::paper_two_tier(),
             block_bytes: 16 * 1024 * 1024,
             policy: PolicyKind::SchedulerAware,
+            keying: KeyingMode::default(),
+            block_tokens: default_block_tokens(),
             ttl: None,
             dram_reserve_fraction: 0.10,
             default_session_bytes: 1_000_000_000,
@@ -221,6 +256,9 @@ pub struct AttentionStore {
     /// One block pool per configured tier, fastest first.
     pools: Vec<BlockPool>,
     entries: BTreeMap<SessionId, Entry>,
+    /// The content-addressed block ledger (empty and inert under
+    /// per-session keying).
+    shared: shared::BlockLedger,
     next_seq: u64,
     stats: StoreStats,
     /// Drainable event buffer; `None` = tracing off (zero cost).
@@ -250,6 +288,7 @@ impl AttentionStore {
             policy,
             pools,
             entries: BTreeMap::new(),
+            shared: shared::BlockLedger::default(),
             next_seq: 0,
             stats: StoreStats::default(),
             trace: None,
@@ -274,6 +313,12 @@ impl AttentionStore {
                         tier: TierId(i),
                         name: spec.name,
                         capacity: spec.capacity,
+                        at: Time::ZERO,
+                    });
+                }
+                if self.cfg.keying == KeyingMode::ContentAddressed {
+                    log.on_store_event(StoreEvent::BlockConfig {
+                        block_tokens: self.cfg.block_tokens,
                         at: Time::ZERO,
                     });
                 }
@@ -330,27 +375,45 @@ impl AttentionStore {
         &self.stats
     }
 
-    /// Returns where `sid`'s KV currently lives.
+    /// Returns where `sid`'s KV currently lives (under block keying,
+    /// the *deepest* tier its chain touches — the worst-case staging
+    /// distance).
     pub fn lookup(&self, sid: SessionId) -> Lookup {
+        if self.cfg.keying == KeyingMode::ContentAddressed {
+            return self.ca_lookup(sid);
+        }
         match self.entries.get(&sid).map(|e| e.placement) {
             Some(t) => Lookup::Hit(t),
             None => Lookup::Miss,
         }
     }
 
-    /// Returns the entry for `sid`, if cached.
+    /// Returns the entry for `sid`, if cached (per-session keying only;
+    /// block chains have no [`Entry`] — use
+    /// [`cached_tokens`](AttentionStore::cached_tokens)).
     pub fn entry(&self, sid: SessionId) -> Option<&Entry> {
         self.entries.get(&sid)
     }
 
+    /// Tokens of `sid`'s stored KV, in either keying mode.
+    pub fn cached_tokens(&self, sid: SessionId) -> Option<u64> {
+        if self.cfg.keying == KeyingMode::ContentAddressed {
+            return self.ca_tokens(sid);
+        }
+        self.entries.get(&sid).map(|e| e.tokens)
+    }
+
     /// Returns the number of cached sessions.
     pub fn len(&self) -> usize {
+        if self.cfg.keying == KeyingMode::ContentAddressed {
+            return self.ca_len();
+        }
         self.entries.len()
     }
 
     /// Returns `true` when no sessions are cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Number of configured tiers.
@@ -382,9 +445,16 @@ impl AttentionStore {
             .sum()
     }
 
-    /// Average session KV size, `S_kv`, used to size the look-ahead
-    /// windows; falls back to the configured default when empty.
+    /// Average stored bytes per session, `S_kv`, used to size the
+    /// look-ahead windows; falls back to the configured default when
+    /// empty. Under per-session keying this is the mean entry size;
+    /// under block keying it is block size × observed chain length
+    /// (the mean bytes of the stored chains), so the windows track the
+    /// deduplicated footprint rather than a fixed guess.
     pub fn avg_session_bytes(&self) -> u64 {
+        if self.cfg.keying == KeyingMode::ContentAddressed {
+            return self.ca_avg_session_bytes();
+        }
         if self.entries.is_empty() {
             return self.cfg.default_session_bytes.max(1);
         }

@@ -185,6 +185,9 @@ impl AttentionStore {
     /// reserve exists to absorb incoming saves and fetches, and demoting a
     /// queued session would force the prefetcher to read it right back.
     pub fn maintain_reserve(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            return self.ca_maintain_reserve(now, queue);
+        }
         let reserve = (self.cfg.tiers[0].capacity as f64 * self.cfg.dram_reserve_fraction) as u64;
         let window = self.eviction_window();
         let mut transfers = Vec::new();
@@ -204,6 +207,9 @@ impl AttentionStore {
     /// (decoupled KV truncation, §3.4). No-op when not cached or when the
     /// entry is not actually shrinking.
     pub fn truncate(&mut self, sid: SessionId, new_bytes: u64, new_tokens: u64) {
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            return self.ca_truncate(sid, new_bytes, new_tokens);
+        }
         let Some(e) = self.entries.get(&sid) else {
             return;
         };
@@ -232,6 +238,9 @@ impl AttentionStore {
     /// Drops `sid`'s KV (context-overflow invalidation in OF mode, or an
     /// aborted session).
     pub fn invalidate(&mut self, sid: SessionId) {
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            return self.ca_invalidate(sid);
+        }
         if self.entries.contains_key(&sid) {
             self.drop_entry(sid);
             self.stats.drops_invalidated += 1;
@@ -240,6 +249,9 @@ impl AttentionStore {
 
     /// Drops entries idle longer than the TTL; returns how many expired.
     pub fn expire(&mut self, now: Time) -> u64 {
+        if self.cfg.keying == crate::KeyingMode::ContentAddressed {
+            return self.ca_expire(now);
+        }
         let Some(ttl) = self.cfg.ttl else {
             return 0;
         };

@@ -15,6 +15,7 @@ fn small_store(policy: PolicyKind) -> AttentionStore {
         ttl: None,
         dram_reserve_fraction: 0.0,
         default_session_bytes: MB,
+        ..StoreConfig::default()
     })
 }
 
@@ -93,6 +94,7 @@ fn disk_pressure_drops_out_of_system() {
         ttl: None,
         dram_reserve_fraction: 0.0,
         default_session_bytes: MB,
+        ..StoreConfig::default()
     });
     let q = QueueView::empty();
     // Three 4MB sessions through a 4MB DRAM + 4MB disk: the first one
@@ -215,6 +217,7 @@ fn ttl_expiry_drops_idle_entries() {
         policy: PolicyKind::SchedulerAware,
         dram_reserve_fraction: 0.0,
         default_session_bytes: MB,
+        ..StoreConfig::default()
     });
     let q = QueueView::empty();
     s.save(sid(1), MB, 10, Time::ZERO, &q);
@@ -235,6 +238,7 @@ fn reserve_maintenance_keeps_buffer_free() {
         ttl: None,
         dram_reserve_fraction: 0.3,
         default_session_bytes: MB,
+        ..StoreConfig::default()
     });
     let q = QueueView::empty();
     for i in 1..=3u64 {
@@ -269,6 +273,7 @@ fn demand_fetch_never_evicts_its_own_session() {
         ttl: None,
         dram_reserve_fraction: 0.0,
         default_session_bytes: 4 * MB,
+        ..StoreConfig::default()
     });
     let q = QueueView::empty();
     // s1 lands in DRAM, then s3 and s2 push it down; final layout:

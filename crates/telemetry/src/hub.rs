@@ -71,6 +71,16 @@ pub struct MetricsHub {
     drops: Counter,
     expirations: Counter,
     write_stalls: Counter,
+    // Block-keyed store aggregates (all-zero under per-session keying).
+    block_dedup_hits: Counter,
+    blocks_matched: Counter,
+    blocks_deduped: Counter,
+    blocks_written: Counter,
+    dedup_bytes_saved: Counter,
+    dedup_bytes_written: Counter,
+    block_divergences: Counter,
+    block_demotions: Counter,
+    block_evictions: Counter,
     // Fault-stream aggregates (all-zero without a fault plan).
     read_retries: Counter,
     read_failures: Counter,
@@ -155,6 +165,15 @@ impl MetricsHub {
             drops: Counter::new(),
             expirations: Counter::new(),
             write_stalls: Counter::new(),
+            block_dedup_hits: Counter::new(),
+            blocks_matched: Counter::new(),
+            blocks_deduped: Counter::new(),
+            blocks_written: Counter::new(),
+            dedup_bytes_saved: Counter::new(),
+            dedup_bytes_written: Counter::new(),
+            block_divergences: Counter::new(),
+            block_demotions: Counter::new(),
+            block_evictions: Counter::new(),
             read_retries: Counter::new(),
             read_failures: Counter::new(),
             write_retries: Counter::new(),
@@ -279,6 +298,23 @@ impl MetricsHub {
             drops: self.drops.get(),
             expirations: self.expirations.get(),
             write_stalls: self.write_stalls.get(),
+            block_dedup_hits: self.block_dedup_hits.get(),
+            blocks_matched: self.blocks_matched.get(),
+            blocks_deduped: self.blocks_deduped.get(),
+            blocks_written: self.blocks_written.get(),
+            dedup_bytes_saved: self.dedup_bytes_saved.get(),
+            dedup_bytes_written: self.dedup_bytes_written.get(),
+            dedup_ratio: {
+                let total = self.blocks_deduped.get() + self.blocks_written.get();
+                if total == 0 {
+                    0.0
+                } else {
+                    self.blocks_deduped.get() as f64 / total as f64
+                }
+            },
+            block_divergences: self.block_divergences.get(),
+            block_demotions: self.block_demotions.get(),
+            block_evictions: self.block_evictions.get(),
             read_retries: self.read_retries.get(),
             read_failures: self.read_failures.get(),
             write_retries: self.write_retries.get(),
@@ -440,6 +476,26 @@ impl EngineObserver for MetricsHub {
                 }
             }
             StoreEvent::WriteBufferStall { .. } => self.write_stalls.incr(),
+            StoreEvent::BlockConfig { .. } => {}
+            StoreEvent::BlockSaved {
+                new_blocks,
+                dedup_blocks,
+                bytes_written,
+                bytes_saved,
+                ..
+            } => {
+                self.blocks_written.add(new_blocks);
+                self.blocks_deduped.add(dedup_blocks);
+                self.dedup_bytes_written.add(bytes_written);
+                self.dedup_bytes_saved.add(bytes_saved);
+            }
+            StoreEvent::BlockDedupHit { matched_blocks, .. } => {
+                self.block_dedup_hits.incr();
+                self.blocks_matched.add(matched_blocks);
+            }
+            StoreEvent::BlockDiverged { .. } => self.block_divergences.incr(),
+            StoreEvent::BlockDemoted { .. } => self.block_demotions.incr(),
+            StoreEvent::BlockEvicted { .. } => self.block_evictions.incr(),
             StoreEvent::ReadRetry { .. } => self.read_retries.incr(),
             StoreEvent::ReadFailed { .. } => self.read_failures.incr(),
             StoreEvent::WriteRetry { .. } => self.write_retries.incr(),
@@ -542,6 +598,28 @@ pub struct MetricsSnapshot {
     pub expirations: u64,
     /// Admissions stalled on the HBM write buffer.
     pub write_stalls: u64,
+    /// Consults that matched at least one stored block (block-keyed
+    /// stores only; zero under per-session keying, like every dedup
+    /// counter below).
+    pub block_dedup_hits: u64,
+    /// Blocks matched across all consults.
+    pub blocks_matched: u64,
+    /// Save-side blocks that resolved to an already-stored copy.
+    pub blocks_deduped: u64,
+    /// Save-side blocks written fresh.
+    pub blocks_written: u64,
+    /// Bytes not written because the block already existed.
+    pub dedup_bytes_saved: u64,
+    /// Bytes physically written by saves.
+    pub dedup_bytes_written: u64,
+    /// Fraction of saved blocks that were dedup hits.
+    pub dedup_ratio: f64,
+    /// Sessions that forked off a shared chain (copy-on-divergence).
+    pub block_divergences: u64,
+    /// Block demotions to a slower tier.
+    pub block_demotions: u64,
+    /// Unreferenced blocks reclaimed (refcounted eviction).
+    pub block_evictions: u64,
     /// Injected slow-tier read errors that were retried.
     pub read_retries: u64,
     /// Reads abandoned after exhausting their retry budget.

@@ -67,6 +67,20 @@ pub struct WindowCounters {
     pub expirations: u64,
     /// Admissions stalled on the HBM write buffer.
     pub write_stalls: u64,
+    /// Consults that matched at least one stored block (block keying).
+    pub block_dedup_hits: u64,
+    /// Blocks matched by those consults.
+    pub blocks_matched: u64,
+    /// Save-side blocks resolved to an already-stored copy.
+    pub blocks_deduped: u64,
+    /// Save-side blocks written fresh.
+    pub blocks_written: u64,
+    /// Sessions forked off a shared chain (copy-on-divergence).
+    pub block_divergences: u64,
+    /// Block demotions to a slower tier.
+    pub block_demotions: u64,
+    /// Unreferenced blocks reclaimed (refcounted eviction).
+    pub block_evictions: u64,
     /// Injected read errors that were retried.
     pub read_retries: u64,
     /// Reads abandoned after exhausting retries.
@@ -118,6 +132,13 @@ impl WindowCounters {
         self.drops += other.drops;
         self.expirations += other.expirations;
         self.write_stalls += other.write_stalls;
+        self.block_dedup_hits += other.block_dedup_hits;
+        self.blocks_matched += other.blocks_matched;
+        self.blocks_deduped += other.blocks_deduped;
+        self.blocks_written += other.blocks_written;
+        self.block_divergences += other.block_divergences;
+        self.block_demotions += other.block_demotions;
+        self.block_evictions += other.block_evictions;
         self.read_retries += other.read_retries;
         self.read_failures += other.read_failures;
         self.write_retries += other.write_retries;
@@ -537,6 +558,26 @@ impl EngineObserver for WindowedHub {
                 }
             }
             StoreEvent::WriteBufferStall { .. } => self.window_at(at).counters.write_stalls += 1,
+            StoreEvent::BlockConfig { .. } => {}
+            StoreEvent::BlockSaved {
+                new_blocks,
+                dedup_blocks,
+                ..
+            } => {
+                let c = &mut self.window_at(at).counters;
+                c.blocks_written += new_blocks;
+                c.blocks_deduped += dedup_blocks;
+            }
+            StoreEvent::BlockDedupHit { matched_blocks, .. } => {
+                let c = &mut self.window_at(at).counters;
+                c.block_dedup_hits += 1;
+                c.blocks_matched += matched_blocks;
+            }
+            StoreEvent::BlockDiverged { .. } => {
+                self.window_at(at).counters.block_divergences += 1;
+            }
+            StoreEvent::BlockDemoted { .. } => self.window_at(at).counters.block_demotions += 1,
+            StoreEvent::BlockEvicted { .. } => self.window_at(at).counters.block_evictions += 1,
             StoreEvent::ReadRetry { .. } => self.window_at(at).counters.read_retries += 1,
             StoreEvent::ReadFailed { .. } => self.window_at(at).counters.read_failures += 1,
             StoreEvent::WriteRetry { .. } => self.window_at(at).counters.write_retries += 1,

@@ -174,7 +174,12 @@ impl Generator {
                 }),
             })
             .collect();
-        SessionSpec { id, arrival, turns }
+        SessionSpec {
+            id,
+            arrival,
+            turns,
+            content: None,
+        }
     }
 
     /// Draws the next inter-arrival gap, honouring the burstiness phases

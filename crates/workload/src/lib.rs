@@ -15,14 +15,19 @@
 //! - [`SessionSpec`] / [`TurnSpec`]: the closed-loop trace format — turn
 //!   `j+1` arrives a *think time* after turn `j`'s response completes, so
 //!   the serving engine controls the actual timeline.
+//! - [`PrefixProfile`]: shared-prefix shapes (fleet system prompts,
+//!   agentic fan-out, Zipf-hot RAG documents) stamped over the base
+//!   workload for cross-session KV dedup studies.
 //! - [`sharegpt`]: a loader for real ShareGPT-format JSON, should the user
 //!   have the dataset.
 //! - [`stats`]: the dataset statistics behind Figures 2 and 4.
 
 mod gen;
+mod prefix;
 pub mod sharegpt;
 pub mod stats;
 mod trace;
 
 pub use gen::{Burstiness, Generator, ShareGptProfile};
-pub use trace::{SessionSpec, Trace, TurnSpec};
+pub use prefix::{PrefixProfile, PrefixScenario};
+pub use trace::{PrefixContent, SessionSpec, Trace, TurnSpec};

@@ -1,0 +1,276 @@
+//! Shared-prefix workload shapes for block-granular KV dedup studies.
+//!
+//! The ShareGPT generator models every conversation as fully private
+//! text, which is the worst case for content-addressed storage. Real
+//! fleets are not like that: chatbots prepend one system prompt to
+//! every conversation, agentic frameworks fan a parent context out to
+//! N child sessions, and RAG pipelines stuff the same hot documents
+//! into many requests. [`PrefixProfile`] layers those shapes over the
+//! calibrated base workload by stamping each generated session with a
+//! [`PrefixContent`] identity and growing its first turn by the shared
+//! prefix, so a block-keyed store sees real cross-session overlap while
+//! a per-session store sees the same token counts with zero overlap.
+
+use sim::SimRng;
+
+use crate::{Generator, PrefixContent, ShareGptProfile, Trace};
+
+/// Which cross-session sharing shape to impose on the workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrefixScenario {
+    /// Every session opens with one of `pools` system prompts of
+    /// `prompt_tokens` tokens; sessions are spread over the pools
+    /// round-robin (a fleet of products, each with its own prompt).
+    SharedSystemPrompt {
+        /// Number of distinct system prompts in the fleet.
+        pools: u64,
+        /// Tokens of each system prompt.
+        prompt_tokens: u64,
+    },
+    /// Consecutive groups of `children` sessions share a parent agent's
+    /// `parent_tokens`-token context (plan-and-execute fan-out).
+    AgenticFanOut {
+        /// Child sessions spawned per parent context.
+        children: u64,
+        /// Tokens of the parent context every child inherits.
+        parent_tokens: u64,
+    },
+    /// Each session stuffs one of `docs` documents of `doc_tokens`
+    /// tokens, drawn Zipf(`zipf_s`) so a few documents are hot (RAG
+    /// over a skewed corpus).
+    RagDocuments {
+        /// Corpus size.
+        docs: u64,
+        /// Tokens per stuffed document.
+        doc_tokens: u64,
+        /// Zipf skew exponent (larger = hotter head).
+        zipf_s: f64,
+    },
+}
+
+impl PrefixScenario {
+    /// Lowercase label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrefixScenario::SharedSystemPrompt { .. } => "system_prompt",
+            PrefixScenario::AgenticFanOut { .. } => "agentic_fanout",
+            PrefixScenario::RagDocuments { .. } => "rag_documents",
+        }
+    }
+}
+
+/// A ShareGPT-calibrated workload with a cross-session sharing shape
+/// stamped on top.
+///
+/// # Examples
+///
+/// ```
+/// use workload::{PrefixProfile, PrefixScenario, ShareGptProfile};
+///
+/// let profile = PrefixProfile::new(
+///     ShareGptProfile::default(),
+///     PrefixScenario::SharedSystemPrompt { pools: 4, prompt_tokens: 512 },
+/// );
+/// let trace = profile.trace(42, 100);
+/// assert_eq!(trace.sessions.len(), 100);
+/// // Every session declares a content identity with the shared span.
+/// assert!(trace.sessions.iter().all(|s| {
+///     s.content.is_some_and(|c| c.shared_tokens == 512)
+/// }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixProfile {
+    /// The base conversation-shape distribution.
+    pub base: ShareGptProfile,
+    /// The sharing shape stamped on the generated sessions.
+    pub scenario: PrefixScenario,
+}
+
+/// splitmix64 finalizer for deriving stable content seeds.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl PrefixProfile {
+    /// Wraps `base` with `scenario`.
+    pub fn new(base: ShareGptProfile, scenario: PrefixScenario) -> Self {
+        PrefixProfile { base, scenario }
+    }
+
+    /// Generates `n` sessions from `seed`: the base trace with each
+    /// session stamped with its [`PrefixContent`] and its first turn
+    /// grown by the shared prefix (the prompt/context/document is real
+    /// input the engine must prefill — once per *content* under block
+    /// keying, once per *session* under per-session keying).
+    pub fn trace(&self, seed: u64, n: usize) -> Trace {
+        let mut trace = Generator::new(self.base.clone(), seed).trace(n);
+        // Scenario draws use their own stream so the base conversation
+        // shapes stay identical to the unwrapped generator's.
+        let mut rng = SimRng::seed_from_u64(mix(seed ^ 0x7072_6566_6978_0001));
+        for (i, s) in trace.sessions.iter_mut().enumerate() {
+            let (shared_seed, shared_tokens) = match self.scenario {
+                PrefixScenario::SharedSystemPrompt {
+                    pools,
+                    prompt_tokens,
+                } => (mix(seed ^ mix(i as u64 % pools.max(1))), prompt_tokens),
+                PrefixScenario::AgenticFanOut {
+                    children,
+                    parent_tokens,
+                } => (
+                    mix(seed ^ mix(0x6661_6e6f_7574 ^ (i as u64 / children.max(1)))),
+                    parent_tokens,
+                ),
+                PrefixScenario::RagDocuments {
+                    docs,
+                    doc_tokens,
+                    zipf_s,
+                } => (
+                    mix(seed ^ mix(0x0072_6167 ^ rng.zipf(docs.max(1), zipf_s))),
+                    doc_tokens,
+                ),
+            };
+            s.content = Some(PrefixContent {
+                shared_seed,
+                shared_tokens,
+                private_seed: mix(seed ^ mix(s.id ^ 0xa076_1d64_78bd_642f)),
+            });
+            // The shared prefix is real first-turn input.
+            let t0 = &mut s.turns[0];
+            t0.user_tokens = t0
+                .user_tokens
+                .saturating_add(shared_tokens.min(u32::MAX as u64) as u32);
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ShareGptProfile {
+        ShareGptProfile::default()
+    }
+
+    #[test]
+    fn system_prompt_pools_share_seeds_round_robin() {
+        let p = PrefixProfile::new(
+            base(),
+            PrefixScenario::SharedSystemPrompt {
+                pools: 3,
+                prompt_tokens: 256,
+            },
+        );
+        let t = p.trace(7, 30);
+        let seeds: Vec<u64> = t
+            .sessions
+            .iter()
+            .map(|s| s.content.unwrap().shared_seed)
+            .collect();
+        let distinct: std::collections::BTreeSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), 3);
+        // Trace::new re-sorts by arrival but ids are assigned in
+        // generation order, so pool membership follows the id.
+        for s in &t.sessions {
+            assert_eq!(s.content.unwrap().shared_tokens, 256);
+        }
+    }
+
+    #[test]
+    fn first_turn_carries_the_shared_prefix() {
+        let p = PrefixProfile::new(
+            base(),
+            PrefixScenario::SharedSystemPrompt {
+                pools: 1,
+                prompt_tokens: 512,
+            },
+        );
+        let plain = Generator::new(base(), 7).trace(20);
+        let stamped = p.trace(7, 20);
+        for (a, b) in plain.sessions.iter().zip(&stamped.sessions) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(b.turns[0].user_tokens, a.turns[0].user_tokens + 512);
+            // Later turns are untouched.
+            for (ta, tb) in a.turns.iter().zip(&b.turns).skip(1) {
+                assert_eq!(ta, tb);
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_groups_children_consecutively() {
+        let p = PrefixProfile::new(
+            base(),
+            PrefixScenario::AgenticFanOut {
+                children: 5,
+                parent_tokens: 1024,
+            },
+        );
+        let t = p.trace(11, 25);
+        let mut by_id: Vec<&crate::SessionSpec> = t.sessions.iter().collect();
+        by_id.sort_by_key(|s| s.id);
+        for group in by_id.chunks(5) {
+            let seed0 = group[0].content.unwrap().shared_seed;
+            assert!(group
+                .iter()
+                .all(|s| s.content.unwrap().shared_seed == seed0));
+        }
+        let distinct: std::collections::BTreeSet<u64> = by_id
+            .iter()
+            .map(|s| s.content.unwrap().shared_seed)
+            .collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn rag_documents_are_zipf_hot() {
+        let p = PrefixProfile::new(
+            base(),
+            PrefixScenario::RagDocuments {
+                docs: 100,
+                doc_tokens: 800,
+                zipf_s: 1.2,
+            },
+        );
+        let t = p.trace(3, 2_000);
+        let mut counts = std::collections::BTreeMap::new();
+        for s in &t.sessions {
+            *counts.entry(s.content.unwrap().shared_seed).or_insert(0u64) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        // Zipf(1.2) over 100 docs puts far more than a uniform 1/100 of
+        // the mass on the hottest document.
+        assert!(max > 200, "hottest doc drew {max} of 2000 sessions");
+        // Private seeds never collide.
+        let privates: std::collections::BTreeSet<u64> = t
+            .sessions
+            .iter()
+            .map(|s| s.content.unwrap().private_seed)
+            .collect();
+        assert_eq!(privates.len(), t.sessions.len());
+    }
+
+    #[test]
+    fn stamping_is_deterministic() {
+        let p = PrefixProfile::new(
+            base(),
+            PrefixScenario::RagDocuments {
+                docs: 10,
+                doc_tokens: 100,
+                zipf_s: 1.0,
+            },
+        );
+        assert_eq!(p.trace(5, 50), p.trace(5, 50));
+    }
+
+    #[test]
+    fn labels() {
+        let s = PrefixScenario::SharedSystemPrompt {
+            pools: 1,
+            prompt_tokens: 1,
+        };
+        assert_eq!(s.label(), "system_prompt");
+    }
+}

@@ -118,6 +118,7 @@ pub fn load_sharegpt_json(
             id: sessions.len() as u64,
             arrival: at,
             turns,
+            content: None,
         });
     }
     if sessions.is_empty() {

@@ -15,6 +15,25 @@ pub struct TurnSpec {
     pub think: Dur,
 }
 
+/// Token-content identity of a session's stream, for block-granular
+/// cross-session dedup.
+///
+/// The simulator never materializes tokens, so content is abstracted by
+/// seeds: the first `shared_tokens` tokens are the verbatim text every
+/// session with the same `shared_seed` presents (a system prompt, a
+/// parent agent's context, a RAG document); everything after is private
+/// to this session. Sessions without a declared content identity are
+/// fully private.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixContent {
+    /// Seed naming the shared prefix content (pool/document/parent id).
+    pub shared_seed: u64,
+    /// Length of the shared prefix in tokens.
+    pub shared_tokens: u64,
+    /// Seed of the session-private tokens after the shared prefix.
+    pub private_seed: u64,
+}
+
 /// One conversation session: an arrival time plus its turns.
 ///
 /// The trace is *closed-loop*: only the session arrival is absolute; each
@@ -29,6 +48,10 @@ pub struct SessionSpec {
     pub arrival: Time,
     /// The session's turns, in order.
     pub turns: Vec<TurnSpec>,
+    /// Declared token-content identity (block-keyed stores only; absent
+    /// from the JSON trace format, which predates block keying).
+    #[serde(skip, default)]
+    pub content: Option<PrefixContent>,
 }
 
 impl SessionSpec {
@@ -105,6 +128,7 @@ mod tests {
                     think: Dur::ZERO,
                 },
             ],
+            content: None,
         }
     }
 

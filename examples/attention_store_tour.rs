@@ -29,6 +29,7 @@ fn main() {
         ttl: Some(Dur::from_secs_f64(3600.0)),
         dram_reserve_fraction: 0.1,
         default_session_bytes: 2 * GB,
+        ..StoreConfig::default()
     });
     let empty = QueueView::empty();
 

@@ -74,6 +74,7 @@ proptest! {
             ttl: Some(cachedattention::sim::Dur::from_secs_f64(50.0)),
             dram_reserve_fraction: 0.1,
             default_session_bytes: 10 * MB,
+            ..StoreConfig::default()
         });
         for (i, op) in ops.iter().enumerate() {
             let now = Time::from_secs_f64(i as f64);
@@ -142,6 +143,7 @@ proptest! {
             ttl: None,
             dram_reserve_fraction: 0.0,
             default_session_bytes: 20 * MB,
+            ..StoreConfig::default()
         });
         let empty = QueueView::empty();
         for (i, &sid) in sids.iter().enumerate() {

@@ -41,6 +41,7 @@ fn deep_store(policy: PolicyKind) -> AttentionStore {
         ttl: None,
         dram_reserve_fraction: 0.1,
         default_session_bytes: 10 * MB,
+        ..StoreConfig::default()
     })
 }
 
