@@ -19,9 +19,12 @@
 # 10. share smoke: a shared-prefix run under content-addressed block
 #    keying, validated the same way plus a check that block dedup
 #    events appear — and that a per-session run emits none
-# 11. rustdoc gate: the whole workspace documents cleanly with
+# 11. slo smoke: a flash-crowd run through the admission ladder and the
+#    autoscaler; trace_check validates the overload vocabulary and the
+#    gate greps for typed sheds plus at least one scaling action
+# 12. rustdoc gate: the whole workspace documents cleanly with
 #    warnings denied
-# 12. perf-regression gate: exp_profile re-runs the canonical scenario
+# 13. perf-regression gate: exp_profile re-runs the canonical scenario
 #    matrix and diffs against the committed BENCH_profile.json with
 #    tolerance bands. Intentional perf changes: REGEN_BENCH=1 ./ci.sh
 #    regenerates the baseline (mirror of REGEN_GOLDEN=1 for fixtures).
@@ -124,6 +127,22 @@ grep -q '"kind":"block_dedup_hit"' "$SMOKE_DIR/share.jsonl" \
     --metrics "$SMOKE_DIR/share_per_metrics.json"
 ! grep -q '"kind":"block_' "$SMOKE_DIR/share_per.jsonl" \
     || { echo "share smoke: per-session run emitted block events" >&2; exit 1; }
+
+echo "==> slo smoke (exp_slo flash crowd + trace_check)"
+./target/release/exp_slo --sessions 240 \
+    --windows-out "$SMOKE_DIR/slo_windows.jsonl" \
+    --trace-out "$SMOKE_DIR/slo.jsonl" \
+    --trace-out "$SMOKE_DIR/slo.json" \
+    --metrics-out "$SMOKE_DIR/slo_metrics.json" >/dev/null
+./target/release/trace_check \
+    --windows "$SMOKE_DIR/slo_windows.jsonl" \
+    --jsonl "$SMOKE_DIR/slo.jsonl" \
+    --chrome "$SMOKE_DIR/slo.json" \
+    --metrics "$SMOKE_DIR/slo_metrics.json"
+grep -q '"kind":"turn_shed"' "$SMOKE_DIR/slo.jsonl" \
+    || { echo "slo smoke: no turn_shed rejections in trace" >&2; exit 1; }
+grep -qE '"kind":"scale_(up|down)"' "$SMOKE_DIR/slo.jsonl" \
+    || { echo "slo smoke: autoscaler never acted" >&2; exit 1; }
 
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

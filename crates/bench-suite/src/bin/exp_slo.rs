@@ -1,0 +1,95 @@
+//! Flash-crowd robustness: SLO-aware admission control, the degradation
+//! ladder and queue-driven autoscaling under a deterministic surge.
+//!
+//! ```text
+//! exp_slo [--sessions N | --paper]
+//!         [--surge-factor F]      # flash-crowd rate multiplier, default 4
+//!         [--ttft-target S]       # TTFT deadline seconds, default 5.0
+//!         [--windows-out PATH]    # windowed-JSONL time series + alerts
+//!         [--prom-out PATH]       # Prometheus text exposition (final scrape)
+//!         [--trace-out PATH]...   # .jsonl => JSON Lines, else Chrome trace
+//!         [--metrics-out PATH]    # MetricsSnapshot as pretty JSON
+//! ```
+//!
+//! Three policies serve the byte-identical surge trace on the same
+//! 2-instance cluster: measurement-only FCFS (the pre-SLO baseline),
+//! the EDF + degradation-ladder policy on the static fleet, and the
+//! ladder with queue-driven autoscaling. The table compares
+//! TTFT-deadline attainment against what each policy paid for it (shed
+//! turns, degraded recomputes, forced truncations, fleet churn). All
+//! telemetry artifacts come from the autoscaled run. Everything is
+//! virtual-time deterministic: same flags, same table. Validate the
+//! JSONL trace with `trace_check PATH` and the windowed series with
+//! `trace_check --windows PATH`.
+
+use bench_suite::experiments::slo;
+use bench_suite::{Scale, TelemetryArgs};
+use telemetry::{to_chrome_trace_with_alerts, to_jsonl, to_prometheus, windows_to_jsonl};
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let surge_factor = flag_value("--surge-factor")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(slo::DEFAULT_SURGE_FACTOR);
+    let target_secs = flag_value("--ttft-target")
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(slo::DEFAULT_TTFT_TARGET_SECS);
+    let outs = TelemetryArgs::from_args();
+
+    let r = slo::compute(scale, surge_factor, target_secs);
+
+    if let Some(path) = flag_value("--windows-out") {
+        let body = windows_to_jsonl(&r.series, &r.signals, &r.alerts);
+        std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!(
+            "[exp_slo] wrote {path} ({} windows, {} alert events)",
+            r.series.windows.len(),
+            r.alerts.len()
+        );
+    }
+    if let Some(path) = flag_value("--prom-out") {
+        let body = to_prometheus(&r.telemetry.snapshot());
+        std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("[exp_slo] wrote {path}");
+    }
+    for path in &outs.trace_outs {
+        let body = if path.extension().is_some_and(|e| e == "jsonl") {
+            to_jsonl(r.telemetry.records())
+        } else {
+            to_chrome_trace_with_alerts(r.telemetry.records(), &r.alerts)
+        };
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!(
+            "[exp_slo] wrote {} ({} events)",
+            path.display(),
+            r.telemetry.records().len()
+        );
+    }
+    if let Some(path) = &outs.metrics_out {
+        bench_suite::telemetry_cli::write_snapshot(path, &r.telemetry.snapshot());
+    }
+
+    println!(
+        "exp_slo: {} sessions, {surge_factor:.0}x flash crowd, TTFT deadline {target_secs:.1}s",
+        scale.sessions
+    );
+    print!("{}", slo::render(&r, surge_factor, target_secs));
+    let auto = &r.rows.last().expect("three variants").report;
+    println!(
+        "autoscaled run: attainment={:.3} shed={} scale={}+/{}- peak={} alerts={}",
+        auto.overload.attainment(),
+        auto.overload.turns_shed,
+        auto.overload.scale_ups,
+        auto.overload.scale_downs,
+        auto.overload.peak_instances,
+        r.alerts.len()
+    );
+}

@@ -23,6 +23,17 @@
 //! every `block_dedup_hit` matches at least one block of payload, and a
 //! `block_saved` writes bytes exactly when it allocates fresh chunks.
 //!
+//! Overload-controlled traces are gated the same way on their
+//! `slo_config` header: every overload event (`turn_shed`,
+//! `overload_level`, `scale_up`, `scale_down`) requires the header to
+//! have appeared first, so an SLO-free trace must be overload-event-free
+//! byte-for-byte. A `turn_shed` is a terminal typed rejection: legal
+//! only in the `arrived` phase (the turn closes with no pipeline spans),
+//! with a known `reason`. Scaling must be reflected in instance
+//! attribution: after a `scale_down` retires an instance, no
+//! session-scoped engine event may be attributed to it until a
+//! `scale_up` revives it.
+//!
 //! A Chrome
 //! trace must be valid JSON with a non-empty `traceEvents` array whose
 //! duration slices all have `dur >= 0`; a metrics snapshot must parse
@@ -45,6 +56,9 @@ use serde::Value;
 
 /// Categories that any non-trivial CachedAttention run must emit.
 const REQUIRED_CATEGORIES: [&str; 6] = ["session", "sched", "gpu", "cache", "tiering", "gauge"];
+
+/// Overload vocabulary gated on the `slo_config` header.
+const OVERLOAD_KINDS: [&str; 4] = ["turn_shed", "overload_level", "scale_up", "scale_down"];
 
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -179,6 +193,22 @@ impl SpanChecker {
             "truncated" if phase == "idle" => {
                 return Err(format!("truncation for idle session {session}"));
             }
+            "turn_shed" => {
+                // A typed rejection is terminal: the turn arrived, was
+                // refused admission, and opens no pipeline spans.
+                if phase != "arrived" {
+                    return Err(format!("turn_shed for session {session} in phase {phase}"));
+                }
+                match get("reason") {
+                    Some(Value::Str(r)) if r == "inbox_full" || r == "overload_shed" => {}
+                    other => {
+                        return Err(format!(
+                            "turn_shed for session {session} with unknown `reason` {other:?}"
+                        ))
+                    }
+                }
+                self.turns.remove(&session);
+            }
             "turn_rerouted" => {
                 // The turn restarts its pipeline on the target instance:
                 // back to the queue, clock reset to the reroute.
@@ -308,6 +338,13 @@ fn check_jsonl(path: &str) -> Result<(), String> {
     let mut block_tokens: Option<u64> = None;
     let mut block_saves = 0u64;
     let mut saves = 0u64;
+    // Overload gating: the `slo_config` header must precede every
+    // overload event. Instances retired by `scale_down` may not be
+    // attributed engine work until a `scale_up` revives them.
+    let mut slo_seen = false;
+    let mut sheds = 0u64;
+    let mut scale_events = 0u64;
+    let mut retired_instances: BTreeSet<u64> = BTreeSet::new();
     for (i, line) in text.lines().enumerate() {
         let v: Value = serde_json::from_str(line)
             .map_err(|e| format!("{path}:{}: not valid JSON: {e:?}", i + 1))?;
@@ -343,7 +380,63 @@ fn check_jsonl(path: &str) -> Result<(), String> {
                 },
                 "block_saved" => block_saves += 1,
                 "saved" => saves += 1,
+                "slo_config" => slo_seen = true,
                 _ => {}
+            }
+            if OVERLOAD_KINDS.contains(&kind.as_str()) {
+                if !slo_seen {
+                    return Err(format!(
+                        "{path}:{}: `{kind}` before any `slo_config` header — SLO-free traces \
+                         must carry no overload events",
+                        i + 1
+                    ));
+                }
+                match kind.as_str() {
+                    "turn_shed" => sheds += 1,
+                    "scale_down" => {
+                        scale_events += 1;
+                        match get("instance") {
+                            Some(Value::U64(inst)) => {
+                                retired_instances.insert(inst);
+                            }
+                            other => {
+                                return Err(format!(
+                                    "{path}:{}: scale_down with bad `instance` {other:?}",
+                                    i + 1
+                                ))
+                            }
+                        }
+                    }
+                    "scale_up" => {
+                        scale_events += 1;
+                        match get("instance") {
+                            Some(Value::U64(inst)) => {
+                                retired_instances.remove(&inst);
+                            }
+                            other => {
+                                return Err(format!(
+                                    "{path}:{}: scale_up with bad `instance` {other:?}",
+                                    i + 1
+                                ))
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            } else if matches!(get("source"), Some(Value::Str(s)) if s == "engine")
+                && get("session").is_some()
+            {
+                // Session-scoped engine work on a retired instance means
+                // the scale-down stranded (or mis-routed) a turn.
+                if let Some(Value::U64(inst)) = get("instance") {
+                    if retired_instances.contains(&inst) {
+                        return Err(format!(
+                            "{path}:{}: `{kind}` attributed to instance {inst} after its \
+                             scale_down",
+                            i + 1
+                        ));
+                    }
+                }
             }
         }
         if let (Some(Value::Str(kind)), Some(Value::U64(session))) = (get("kind"), get("session")) {
@@ -375,8 +468,14 @@ fn check_jsonl(path: &str) -> Result<(), String> {
         Some(bt) => format!("block-keyed ({bt} tokens/block, {block_saves} block saves)"),
         None => "per-session".to_string(),
     };
+    let overload = if slo_seen {
+        format!(", SLO-controlled ({sheds} sheds, {scale_events} scale events)")
+    } else {
+        String::new()
+    };
     println!(
-        "[trace_check] {path}: {lines} events, spans well-formed, {keying}, categories {seen:?}"
+        "[trace_check] {path}: {lines} events, spans well-formed, {keying}, categories \
+         {seen:?}{overload}"
     );
     Ok(())
 }

@@ -23,6 +23,7 @@ pub mod fig24;
 pub mod fig25;
 pub mod sec24;
 pub mod share;
+pub mod slo;
 pub mod tab12;
 pub mod tiers;
 pub mod watch;

@@ -26,7 +26,7 @@
 use std::collections::BTreeMap;
 
 use serde::Serialize;
-use sim::{Dur, EventQueue, FaultPlan, Time, World};
+use sim::{BoundedInbox, Dur, EventQueue, FaultPlan, Time, World};
 use store::{
     AttentionStore, ContentKey, DedupStats, KeyingMode, QueueView, SessionId, StoreEvent,
     StorePlanner, TierId,
@@ -38,6 +38,7 @@ use crate::exec::{self, Action, Job, PrefillIssue};
 use crate::instance::{EngineInstance, InstanceReport};
 use crate::router::{InstanceLoad, RouterKind, RouterPolicy};
 use crate::scheduler;
+use crate::slo::{OverloadLevel, ScaleDecision, SloPolicy, SloState};
 use crate::truncate;
 use crate::{EngineConfig, Medium, Mode, RunReport};
 
@@ -56,6 +57,8 @@ pub enum Ev {
     /// A scripted DRAM pressure spike fired (index into the fault plan's
     /// pressure list).
     Pressure(usize),
+    /// An SLO decision tick closed (ladder + autoscaler evaluation).
+    SloTick,
 }
 
 /// Per-session progress.
@@ -83,6 +86,10 @@ pub struct ClusterConfig {
     /// empty plan is normalized to `None`, so the fault layer is strictly
     /// additive and fault-free runs stay byte-identical).
     pub faults: Option<FaultPlan>,
+    /// The overload-robustness policy (`None` = no SLO; the no-op policy
+    /// is normalized to `None`, so the overload layer is strictly
+    /// additive and SLO-free runs stay byte-identical).
+    pub slo: Option<SloPolicy>,
 }
 
 impl ClusterConfig {
@@ -93,6 +100,7 @@ impl ClusterConfig {
             n_instances,
             router,
             faults: None,
+            slo: None,
         }
     }
 
@@ -106,6 +114,12 @@ impl ClusterConfig {
     /// Installs a fault plan for the run. Empty plans are dropped.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
+    /// Installs an SLO overload policy. No-op policies are dropped.
+    pub fn with_slo(mut self, policy: SloPolicy) -> Self {
+        self.slo = if policy.is_noop() { None } else { Some(policy) };
         self
     }
 }
@@ -143,6 +157,48 @@ impl FaultReport {
     }
 }
 
+/// Overload-path counters of one cluster run: what the admission ladder
+/// and the autoscaler did. All-zero for SLO-free runs (like
+/// [`FaultReport`], it lives beside the golden-pinned aggregate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct OverloadReport {
+    /// Arriving turns rejected with a typed shed event.
+    pub turns_shed: u64,
+    /// Turns admitted in recompute-only degradation (fetch skipped).
+    pub degraded_recomputes: u64,
+    /// Truncations forced by the shrunken hard-truncate window.
+    pub hard_truncations: u64,
+    /// Degradation-ladder rung changes (either direction).
+    pub level_transitions: u64,
+    /// Autoscaler scale-up actions.
+    pub scale_ups: u64,
+    /// Autoscaler scale-down actions.
+    pub scale_downs: u64,
+    /// Measured first tokens that met their TTFT deadline.
+    pub slo_attained: u64,
+    /// Measured first tokens that missed, plus measured shed turns.
+    pub slo_missed: u64,
+    /// Peak alive instances during the run.
+    pub peak_instances: u64,
+}
+
+impl OverloadReport {
+    /// Whether any overload-path activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != OverloadReport::default()
+    }
+
+    /// Fraction of measured turns that met their TTFT deadline (shed
+    /// turns count as misses). `1.0` when nothing was measured.
+    pub fn attainment(&self) -> f64 {
+        let total = self.slo_attained + self.slo_missed;
+        if total == 0 {
+            return 1.0;
+        }
+        self.slo_attained as f64 / total as f64
+    }
+}
+
 /// The result of a cluster run: the aggregate report plus per-instance
 /// breakdowns.
 #[derive(Debug, Serialize)]
@@ -157,6 +213,8 @@ pub struct ClusterReport {
     pub instances: Vec<InstanceReport>,
     /// Fault-path counters (all-zero when no fault plan was installed).
     pub faults: FaultReport,
+    /// Overload-path counters (all-zero when no SLO policy was installed).
+    pub overload: OverloadReport,
     /// Cross-session dedup counters (all-zero under per-session keying).
     pub dedup: DedupStats,
 }
@@ -192,6 +250,22 @@ pub struct ClusterSim<O: EngineObserver = NullObserver> {
     instance_crashes: u64,
     turns_rerouted: u64,
     pressure_events: u64,
+    /// The run's SLO policy (`None` = SLO-free; the overload paths are
+    /// only taken when set).
+    slo: Option<SloPolicy>,
+    slo_state: SloState,
+    /// One admission ledger per instance, indexed like `instances`.
+    /// Empty when no SLO policy is installed.
+    inboxes: Vec<BoundedInbox>,
+    turns_shed: u64,
+    degraded_recomputes: u64,
+    hard_truncations: u64,
+    level_transitions: u64,
+    scale_ups: u64,
+    scale_downs: u64,
+    slo_attained: u64,
+    slo_missed: u64,
+    peak_instances: usize,
     // Reusable scratch buffers: the merged queue view and router loads
     // are rebuilt at every consultation, and per-consultation allocation
     // was the hot path the snapshot_into refactor removed.
@@ -228,8 +302,10 @@ impl<O: EngineObserver> ClusterSim<O> {
             n_instances,
             router,
             faults,
+            slo,
         } = cfg;
         let faults = faults.filter(|p| !p.is_empty());
+        let slo = slo.filter(|p| !p.is_noop());
         let mut store: Option<Box<dyn StorePlanner>> = match engine.mode {
             Mode::Recompute => None,
             _ => Some(Box::new(AttentionStore::new(engine.store.clone()))),
@@ -252,13 +328,20 @@ impl<O: EngineObserver> ClusterSim<O> {
         let sessions_remaining = trace.sessions.len();
         let report = RunReport::new(engine.model.name, engine.mode);
         let mut instances: Vec<EngineInstance> = (0..n_instances)
-            .map(|i| EngineInstance::new(i as u32, &engine))
+            .map(|i| Self::build_instance(i as u32, &engine, slo.as_ref()))
             .collect();
         if let Some(plan) = &faults {
             for inst in &mut instances {
                 inst.plan.install_faults(plan, inst.id);
             }
         }
+        let inboxes = match &slo {
+            Some(p) => (0..n_instances)
+                .map(|_| BoundedInbox::new(p.inbox_capacity))
+                .collect(),
+            None => Vec::new(),
+        };
+        let peak_instances = if slo.is_some() { n_instances } else { 0 };
         ClusterSim {
             cfg: engine,
             trace,
@@ -277,11 +360,34 @@ impl<O: EngineObserver> ClusterSim<O> {
             instance_crashes: 0,
             turns_rerouted: 0,
             pressure_events: 0,
+            slo,
+            slo_state: SloState::default(),
+            inboxes,
+            turns_shed: 0,
+            degraded_recomputes: 0,
+            hard_truncations: 0,
+            level_transitions: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            slo_attained: 0,
+            slo_missed: 0,
+            peak_instances,
             scratch_snapshot: Vec::new(),
             scratch_triples: Vec::new(),
             scratch_order: Vec::new(),
             scratch_owners: Vec::new(),
             scratch_loads: Vec::new(),
+        }
+    }
+
+    /// Builds one instance, honouring the SLO policy's queueing choice:
+    /// EDF with its starvation floor when configured, FCFS otherwise.
+    fn build_instance(id: u32, engine: &EngineConfig, slo: Option<&SloPolicy>) -> EngineInstance {
+        match slo.and_then(|p| p.edf_max_slack) {
+            Some(slack) => {
+                EngineInstance::with_scheduler(id, engine, Box::new(scheduler::Edf::new(slack)))
+            }
+            None => EngineInstance::new(id, engine),
         }
     }
 
@@ -301,6 +407,18 @@ impl<O: EngineObserver> ClusterSim<O> {
             for (i, p) in plan.pressure.iter().enumerate() {
                 q.push(p.at, Ev::Pressure(i));
             }
+        }
+        if let Some(p) = &self.slo {
+            // The header event announcing the policy: every other
+            // overload-category event is gated on its presence.
+            let header = EngineEvent::slo_config(
+                p.ttft_target.as_secs_f64(),
+                p.inbox_capacity.min(u32::MAX as usize) as u64,
+                Time::ZERO,
+            );
+            let first_tick = Time::ZERO + p.tick;
+            self.obs.on_instance_event(0, header);
+            q.push(first_tick, Ev::SloTick);
         }
         sim::run(self, &mut q, None);
     }
@@ -344,6 +462,17 @@ impl<O: EngineObserver> ClusterSim<O> {
             faults.write_failures = fs.write_failures;
             faults.corruptions_detected = fs.corruptions_detected;
         }
+        let overload = OverloadReport {
+            turns_shed: self.turns_shed,
+            degraded_recomputes: self.degraded_recomputes,
+            hard_truncations: self.hard_truncations,
+            level_transitions: self.level_transitions,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+            slo_attained: self.slo_attained,
+            slo_missed: self.slo_missed,
+            peak_instances: self.peak_instances as u64,
+        };
         let instances: Vec<InstanceReport> = self.instances.iter().map(|i| i.report()).collect();
         let dedup = self
             .store
@@ -356,6 +485,7 @@ impl<O: EngineObserver> ClusterSim<O> {
                 router: self.router.label(),
                 instances,
                 faults,
+                overload,
                 dedup,
             },
             self.obs,
@@ -433,6 +563,11 @@ impl<O: EngineObserver> ClusterSim<O> {
     /// (unowned sessions — e.g. demotion victims no longer queued — fall
     /// back to the `acting` instance's links).
     fn run_prefetch(&mut self, now: Time, acting: u32) {
+        // Under recompute-only degradation (or harsher) the ladder sheds
+        // speculative slow-tier bandwidth: no prefetching at all.
+        if self.slo.is_some() && self.slo_state.level() >= OverloadLevel::RecomputeOnly {
+            return;
+        }
         let view = self.merged_view();
         let faulted = self.faults.is_some();
         let Some(store) = &mut self.store else {
@@ -487,7 +622,9 @@ impl<O: EngineObserver> ClusterSim<O> {
     }
 
     /// Applies context-window truncation at turn arrival. Returns the new
-    /// history length.
+    /// history length. Under [`OverloadLevel::HardTruncate`] the ladder
+    /// shrinks the effective window, truncating harder to shrink every
+    /// prefill.
     fn apply_truncation(
         &mut self,
         now: Time,
@@ -496,11 +633,25 @@ impl<O: EngineObserver> ClusterSim<O> {
         measured: bool,
         inst: u32,
     ) -> u64 {
-        let window = self.cfg.model.context_window as u64;
+        let full = self.cfg.model.context_window as u64;
+        let hard = self.slo.is_some() && self.slo_state.level() >= OverloadLevel::HardTruncate;
+        let window = if hard {
+            let fraction = self
+                .slo
+                .as_ref()
+                .expect("checked above")
+                .hard_truncate_window;
+            ((full as f64 * fraction).floor() as u64).max(1)
+        } else {
+            full
+        };
         let hist = self.sessions[session].hist_tokens;
         let out = truncate::truncate_history(window, self.cfg.truncation_ratio, hist, user);
         if !out.truncated {
             return hist;
+        }
+        if hard {
+            self.hard_truncations += 1;
         }
         if measured {
             self.report.truncations.incr();
@@ -530,7 +681,36 @@ impl<O: EngineObserver> ClusterSim<O> {
         let user = (turn.user_tokens as u64).min(self.cfg.model.context_window as u64);
         let resp = turn.resp_tokens as u64;
         let content = spec.content;
+        let ttft_deadline = turn.ttft_deadline;
         let inst = self.route(session);
+        // SLO admission control: the ladder's shed rung and the bounded
+        // inbox both reject with a typed event before the turn touches
+        // the store or the session state.
+        if self.slo.is_some() {
+            let reason = if self.slo_state.level() >= OverloadLevel::Shed {
+                Some("overload_shed")
+            } else if !self.inboxes[inst as usize].try_accept() {
+                Some("inbox_full")
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                let sid = self.sid(session);
+                self.obs
+                    .on_instance_event(inst, EngineEvent::turn_arrived(sid.0, turn_idx, now));
+                self.obs
+                    .on_instance_event(inst, EngineEvent::turn_shed(sid.0, turn_idx, reason, now));
+                self.turns_shed += 1;
+                if measured {
+                    self.slo_state.note_shed();
+                    self.slo_missed += 1;
+                }
+                // Terminal for the session: no job exists, and in the
+                // closed loop its later turns never arrive.
+                self.sessions_remaining -= 1;
+                return;
+            }
+        }
         // Declare the session's token-content identity before anything
         // touches the store, so block hashing can recognise shared
         // prefixes from the very first save.
@@ -559,9 +739,21 @@ impl<O: EngineObserver> ClusterSim<O> {
         self.jobs.push(Job::for_turn(
             session, inst, now, user, resp, hist, measured,
         ));
-        self.instances[inst as usize]
-            .sched
-            .enqueue(self.jobs.len() - 1);
+        let job_idx = self.jobs.len() - 1;
+        let deadline = self
+            .slo
+            .as_ref()
+            .map(|p| now + ttft_deadline.unwrap_or(p.ttft_target));
+        self.jobs[job_idx].deadline = deadline;
+        if self.slo.is_some() && self.slo_state.level() >= OverloadLevel::RecomputeOnly {
+            self.jobs[job_idx].degraded = true;
+        }
+        match deadline {
+            Some(d) => self.instances[inst as usize]
+                .sched
+                .enqueue_with_deadline(job_idx, now, d),
+            None => self.instances[inst as usize].sched.enqueue(job_idx),
+        }
         self.run_prefetch(now, inst);
         if self.instances[inst as usize].exec.gpu_action.is_none() {
             self.instances[inst as usize].exec.gpu_action = Some(Action::Sleep);
@@ -679,6 +871,32 @@ impl<O: EngineObserver> ClusterSim<O> {
         (consult.reused, consult.staged, consult.tier)
     }
 
+    /// The recompute-only consult path for overload-degraded jobs: the
+    /// store is never touched (no fetch, no pin, no prefetch interest),
+    /// so the turn prefills its whole context from scratch. Classified as
+    /// [`ConsultClass::NoStore`] so hit/miss statistics stay honest.
+    fn degraded_consult(&mut self, now: Time, job_idx: usize) -> (u64, Time, Option<TierId>) {
+        let job = &self.jobs[job_idx];
+        let (session, hist, measured, inst) =
+            (job.session, job.hist_tokens, job.measured, job.instance);
+        let sid = self.sid(session);
+        if measured && hist > 0 {
+            self.report.resumption_turns.incr();
+            self.instances[inst as usize].resumption_turns += 1;
+        }
+        self.degraded_recomputes += 1;
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::degraded_recompute(sid.0, "overload", now),
+        );
+        self.report.record_consult(ConsultClass::NoStore, measured);
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::consulted(sid.0, ConsultClass::NoStore, 0, now),
+        );
+        (0, now, None)
+    }
+
     /// Starts the prefill of instance `inst`'s head job. On `Err` the job
     /// cannot start at `now` (data or buffer not ready) and the value is
     /// the earliest time it could.
@@ -702,10 +920,15 @@ impl<O: EngineObserver> ClusterSim<O> {
         }
         // Consult the store the first time this job reaches the head; the
         // outcome (hit classification, pinning, demand fetch) sticks.
+        // Degraded jobs skip the store entirely — no fetch, no pin.
         let (reused, staged, hit_tier) = match self.jobs[job_idx].consulted {
             Some(r) => r,
             None => {
-                let r = self.consult_store(now, job_idx);
+                let r = if self.jobs[job_idx].degraded {
+                    self.degraded_consult(now, job_idx)
+                } else {
+                    self.consult_store(now, job_idx)
+                };
                 self.jobs[job_idx].consulted = Some(r);
                 r
             }
@@ -738,6 +961,9 @@ impl<O: EngineObserver> ClusterSim<O> {
             return Err(self.defer(now, job_idx, now));
         }
         self.instances[i].sched.pop_front();
+        if !self.inboxes.is_empty() {
+            self.inboxes[i].release();
+        }
         let job = &self.jobs[job_idx];
         // Summed before subtracting: under block keying the matched
         // prefix can extend into the new input, so `reused` may exceed
@@ -869,8 +1095,20 @@ impl<O: EngineObserver> ClusterSim<O> {
         job.ctx_tokens = job.hist_tokens + job.user_tokens;
         job.decode_start = now;
         let (session, measured, computed) = (job.session, job.measured, job.computed_tokens);
+        let deadline = job.deadline;
         let ttft = (now - job.admitted_at).as_secs_f64();
         let queue_wait = (job.admitted_at - job.arrival).as_secs_f64();
+        if self.slo.is_some() && measured {
+            // Attainment is end-to-end: the deadline is absolute from the
+            // turn's arrival, so queue wait counts against it.
+            let met = deadline.is_none_or(|d| now <= d);
+            if met {
+                self.slo_attained += 1;
+            } else {
+                self.slo_missed += 1;
+            }
+            self.slo_state.note_first_token(met);
+        }
         self.report.record_first_token(measured, ttft, queue_wait);
         if self.cfg.mode != Mode::Recompute {
             let bytes = self.cfg.stored_kv_bytes(computed);
@@ -978,18 +1216,30 @@ impl<O: EngineObserver> ClusterSim<O> {
         self.router.on_instance_down(i);
         self.obs
             .on_instance_event(inst, EngineEvent::instance_crashed(inst, now));
+        self.drain_instance(now, inst, q);
+    }
+
+    /// Drains everything a just-retired instance held — queued jobs, the
+    /// decode batch, and any in-flight prefill — re-routing each turn to
+    /// a surviving instance as a fresh (un-consulted) job. Shared by the
+    /// crash path and the autoscaler's clean scale-down.
+    fn drain_instance(&mut self, now: Time, inst: u32, q: &mut EventQueue<Ev>) {
+        let i = inst as usize;
         // Queue order first, then the decode batch, then the GPU's
         // in-flight prefill — a deterministic re-queue order.
         let mut orphans: Vec<usize> = Vec::new();
         while let Some(j) = self.instances[i].sched.pop_front() {
+            if !self.inboxes.is_empty() {
+                self.inboxes[i].release();
+            }
             orphans.push(j);
         }
-        // Decode-batch orphans already delivered (and recorded) their
-        // first token; their re-run is recovery work, not a second
-        // measured turn.
-        let decode_from = orphans.len();
+        // Orphans past this point were already admitted — the decode
+        // batch delivered (and recorded) its first tokens, an in-flight
+        // prefill recorded its admission — so their re-run is recovery
+        // work, not a second measured turn.
+        let admitted_from = orphans.len();
         orphans.append(&mut self.instances[i].exec.batch);
-        let decode_until = orphans.len();
         if let Some((job, _, _)) = self.instances[i].exec.pending_chunk.take() {
             if !orphans.contains(&job) {
                 orphans.push(job);
@@ -1023,12 +1273,24 @@ impl<O: EngineObserver> ClusterSim<O> {
             job.prefill_secs = 0.0;
             job.admitted_at = Time::ZERO;
             job.decode_start = Time::ZERO;
-            if (decode_from..decode_until).contains(&pos) {
+            if pos >= admitted_from {
                 job.measured = false;
             }
             let to = self.route(session);
             self.jobs[j].instance = to;
-            self.instances[to as usize].sched.enqueue(j);
+            // Recovery re-queues are never shed: they were already
+            // admitted once, so the new home's inbox takes them even
+            // past capacity (the overflow is bounded by the dead
+            // instance's own bounded occupancy).
+            if !self.inboxes.is_empty() {
+                self.inboxes[to as usize].force_accept();
+            }
+            match self.jobs[j].deadline {
+                Some(d) => self.instances[to as usize]
+                    .sched
+                    .enqueue_with_deadline(j, now, d),
+                None => self.instances[to as usize].sched.enqueue(j),
+            }
             self.turns_rerouted += 1;
             self.obs
                 .on_instance_event(to, EngineEvent::turn_rerouted(sid.0, inst, to, now));
@@ -1037,6 +1299,95 @@ impl<O: EngineObserver> ClusterSim<O> {
                 q.push(now, Ev::GpuTick(to));
             }
         }
+    }
+
+    /// One SLO decision tick: evaluate the ladder and the autoscaler on
+    /// the observable signals (queue depth per alive instance, TTFT burn
+    /// since the previous tick), emit transition events, and re-arm.
+    fn on_slo_tick(&mut self, now: Time, q: &mut EventQueue<Ev>) {
+        let Some(p) = self.slo.clone() else {
+            return;
+        };
+        let n_alive = self.instances.iter().filter(|x| x.alive).count();
+        let depth: usize = self
+            .instances
+            .iter()
+            .filter(|x| x.alive)
+            .map(|x| x.sched.len())
+            .sum();
+        let depth_per_instance = depth as f64 / n_alive.max(1) as f64;
+        let d = self.slo_state.on_tick(&p, now, depth_per_instance, n_alive);
+        if let Some((from, to)) = d.transition {
+            self.level_transitions += 1;
+            self.obs.on_instance_event(
+                0,
+                EngineEvent::overload_level(from.label(), to.label(), now),
+            );
+        }
+        match d.scale {
+            Some(ScaleDecision::Up) => self.scale_up(now),
+            Some(ScaleDecision::Down) => self.scale_down(now, q),
+            None => {}
+        }
+        if self.sessions_remaining > 0 {
+            q.push(now + p.tick, Ev::SloTick);
+        }
+    }
+
+    /// Brings one instance into service: revives the lowest-indexed
+    /// departed instance if any, otherwise grows the fleet with a fresh
+    /// one (same engine config, same queueing policy, same fault plan).
+    fn scale_up(&mut self, now: Time) {
+        let id = match self.instances.iter().position(|x| x.departed) {
+            Some(i) => {
+                self.instances[i].alive = true;
+                self.instances[i].departed = false;
+                i as u32
+            }
+            None => {
+                let id = self.instances.len() as u32;
+                let mut inst = Self::build_instance(id, &self.cfg, self.slo.as_ref());
+                if let Some(plan) = &self.faults {
+                    inst.plan.install_faults(plan, id);
+                }
+                self.instances.push(inst);
+                if let Some(p) = &self.slo {
+                    self.inboxes.push(BoundedInbox::new(p.inbox_capacity));
+                }
+                id
+            }
+        };
+        self.scale_ups += 1;
+        let n_alive = self.instances.iter().filter(|x| x.alive).count();
+        self.peak_instances = self.peak_instances.max(n_alive);
+        self.obs
+            .on_instance_event(id, EngineEvent::scale_up(id, n_alive as u32, now));
+        // No GPU wake needed: the new instance is empty and the router's
+        // next dispatch sees it alive.
+    }
+
+    /// Retires the highest-indexed alive instance cleanly: marks it
+    /// departed (not crashed), tells the router, and reroutes everything
+    /// it held through the crash path's drain, so no in-flight turn is
+    /// stranded.
+    fn scale_down(&mut self, now: Time, q: &mut EventQueue<Ev>) {
+        let n_alive = self.instances.iter().filter(|x| x.alive).count();
+        if n_alive <= 1 {
+            return;
+        }
+        let Some(i) = self.instances.iter().rposition(|x| x.alive) else {
+            return;
+        };
+        self.instances[i].alive = false;
+        self.instances[i].departed = true;
+        self.router.on_instance_down(i);
+        self.scale_downs += 1;
+        let inst = i as u32;
+        self.obs.on_instance_event(
+            inst,
+            EngineEvent::scale_down(inst, (n_alive - 1) as u32, now),
+        );
+        self.drain_instance(now, inst, q);
     }
 
     /// Handles a scripted DRAM pressure spike: squeezes the store's DRAM
@@ -1122,6 +1473,7 @@ impl<O: EngineObserver> World for ClusterSim<O> {
             }
             Ev::Crash(inst) => self.on_crash(now, inst, q),
             Ev::Pressure(idx) => self.on_pressure(now, idx),
+            Ev::SloTick => self.on_slo_tick(now, q),
             Ev::GpuTick(inst) => {
                 let i = inst as usize;
                 // Ticks scheduled before a crash landed: the instance is

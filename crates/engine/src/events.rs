@@ -183,9 +183,62 @@ pub enum EngineEvent {
     DegradedRecompute {
         /// External session id.
         session: u64,
-        /// Why the cache path failed (`"read_failed"`, `"corrupted"`).
+        /// Why the cache path failed (`"read_failed"`, `"corrupted"`,
+        /// `"overload"` when the degradation ladder forced it).
         reason: &'static str,
         /// Virtual detection time.
+        at: Time,
+    },
+    /// Header announcing that an SLO overload policy governs this run.
+    /// Emitted once at start; every other `overload`-category event is
+    /// gated on it (`trace_check` enforces both directions).
+    SloConfig {
+        /// Default TTFT target in seconds.
+        ttft_target_secs: f64,
+        /// Bounded per-instance inbox capacity (waiting jobs).
+        inbox_capacity: u64,
+        /// Virtual start time.
+        at: Time,
+    },
+    /// An arriving turn was shed with a typed rejection instead of being
+    /// queued (inbox overflow or the ladder's shed rung). Terminal for
+    /// the session: no job is created and later turns never arrive.
+    TurnShed {
+        /// External session id.
+        session: u64,
+        /// Zero-based turn index within the session.
+        turn: usize,
+        /// Why it was shed (`"inbox_full"`, `"overload_shed"`).
+        reason: &'static str,
+        /// Virtual arrival time.
+        at: Time,
+    },
+    /// The degradation ladder moved one rung.
+    OverloadLevelChanged {
+        /// The rung it left (label).
+        from: &'static str,
+        /// The rung it entered (label).
+        to: &'static str,
+        /// Virtual decision time.
+        at: Time,
+    },
+    /// The autoscaler brought an instance into service.
+    ScaleUp {
+        /// The instance now serving.
+        instance: u32,
+        /// Alive instances after the action.
+        n_alive: u32,
+        /// Virtual decision time.
+        at: Time,
+    },
+    /// The autoscaler retired an instance; its queued and in-flight
+    /// turns were re-routed (each emits [`EngineEvent::TurnRerouted`]).
+    ScaleDown {
+        /// The instance retired.
+        instance: u32,
+        /// Alive instances after the action.
+        n_alive: u32,
+        /// Virtual decision time.
         at: Time,
     },
 }
@@ -303,8 +356,51 @@ impl EngineEvent {
         }
     }
 
+    /// An [`EngineEvent::SloConfig`] policy header.
+    pub fn slo_config(ttft_target_secs: f64, inbox_capacity: u64, at: Time) -> Self {
+        EngineEvent::SloConfig {
+            ttft_target_secs,
+            inbox_capacity,
+            at,
+        }
+    }
+
+    /// An [`EngineEvent::TurnShed`] typed rejection.
+    pub fn turn_shed(session: u64, turn: usize, reason: &'static str, at: Time) -> Self {
+        EngineEvent::TurnShed {
+            session,
+            turn,
+            reason,
+            at,
+        }
+    }
+
+    /// An [`EngineEvent::OverloadLevelChanged`] ladder transition.
+    pub fn overload_level(from: &'static str, to: &'static str, at: Time) -> Self {
+        EngineEvent::OverloadLevelChanged { from, to, at }
+    }
+
+    /// An [`EngineEvent::ScaleUp`] autoscaler action.
+    pub fn scale_up(instance: u32, n_alive: u32, at: Time) -> Self {
+        EngineEvent::ScaleUp {
+            instance,
+            n_alive,
+            at,
+        }
+    }
+
+    /// An [`EngineEvent::ScaleDown`] autoscaler action.
+    pub fn scale_down(instance: u32, n_alive: u32, at: Time) -> Self {
+        EngineEvent::ScaleDown {
+            instance,
+            n_alive,
+            at,
+        }
+    }
+
     /// The external session id the event concerns; `None` for
-    /// instance-scoped events ([`EngineEvent::InstanceCrashed`]).
+    /// instance-scoped events ([`EngineEvent::InstanceCrashed`]) and
+    /// cluster-scoped overload decisions.
     pub fn session(&self) -> Option<u64> {
         match *self {
             EngineEvent::TurnArrived { session, .. }
@@ -317,8 +413,13 @@ impl EngineEvent {
             | EngineEvent::Retired { session, .. }
             | EngineEvent::HbmReserved { session, .. }
             | EngineEvent::TurnRerouted { session, .. }
+            | EngineEvent::TurnShed { session, .. }
             | EngineEvent::DegradedRecompute { session, .. } => Some(session),
-            EngineEvent::InstanceCrashed { .. } => None,
+            EngineEvent::InstanceCrashed { .. }
+            | EngineEvent::SloConfig { .. }
+            | EngineEvent::OverloadLevelChanged { .. }
+            | EngineEvent::ScaleUp { .. }
+            | EngineEvent::ScaleDown { .. } => None,
         }
     }
 
@@ -338,12 +439,18 @@ impl EngineEvent {
             EngineEvent::InstanceCrashed { .. } => "instance_crashed",
             EngineEvent::TurnRerouted { .. } => "turn_rerouted",
             EngineEvent::DegradedRecompute { .. } => "degraded_recompute",
+            EngineEvent::SloConfig { .. } => "slo_config",
+            EngineEvent::TurnShed { .. } => "turn_shed",
+            EngineEvent::OverloadLevelChanged { .. } => "overload_level",
+            EngineEvent::ScaleUp { .. } => "scale_up",
+            EngineEvent::ScaleDown { .. } => "scale_down",
         }
     }
 
     /// Coarse category: `session` (turn lifecycle), `sched` (queueing and
-    /// admission decisions), `gpu` (execution and HBM effects) or `fault`
-    /// (injected failures and their recovery).
+    /// admission decisions), `gpu` (execution and HBM effects), `fault`
+    /// (injected failures and their recovery) or `overload` (SLO-driven
+    /// admission control, degradation and autoscaling).
     pub fn category(&self) -> &'static str {
         match self {
             EngineEvent::TurnArrived { .. }
@@ -358,6 +465,11 @@ impl EngineEvent {
             EngineEvent::InstanceCrashed { .. }
             | EngineEvent::TurnRerouted { .. }
             | EngineEvent::DegradedRecompute { .. } => "fault",
+            EngineEvent::SloConfig { .. }
+            | EngineEvent::TurnShed { .. }
+            | EngineEvent::OverloadLevelChanged { .. }
+            | EngineEvent::ScaleUp { .. }
+            | EngineEvent::ScaleDown { .. } => "overload",
         }
     }
 
@@ -375,7 +487,12 @@ impl EngineEvent {
             | EngineEvent::HbmReserved { at, .. }
             | EngineEvent::InstanceCrashed { at, .. }
             | EngineEvent::TurnRerouted { at, .. }
-            | EngineEvent::DegradedRecompute { at, .. } => at,
+            | EngineEvent::DegradedRecompute { at, .. }
+            | EngineEvent::SloConfig { at, .. }
+            | EngineEvent::TurnShed { at, .. }
+            | EngineEvent::OverloadLevelChanged { at, .. }
+            | EngineEvent::ScaleUp { at, .. }
+            | EngineEvent::ScaleDown { at, .. } => at,
         }
     }
 }
@@ -524,6 +641,54 @@ impl Serialize for EngineEvent {
                 ("kind", kind),
                 ("session", Value::U64(session)),
                 ("reason", Value::Str(reason.to_string())),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::SloConfig {
+                ttft_target_secs,
+                inbox_capacity,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("ttft_target_secs", Value::F64(ttft_target_secs)),
+                ("inbox_capacity", Value::U64(inbox_capacity)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::TurnShed {
+                session,
+                turn,
+                reason,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("session", Value::U64(session)),
+                ("turn", Value::U64(turn as u64)),
+                ("reason", Value::Str(reason.to_string())),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::OverloadLevelChanged { from, to, at } => fields(vec![
+                ("kind", kind),
+                ("from", Value::Str(from.to_string())),
+                ("to", Value::Str(to.to_string())),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::ScaleUp {
+                instance,
+                n_alive,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("instance", Value::U64(instance as u64)),
+                ("n_alive", Value::U64(n_alive as u64)),
+                ("at", secs(at)),
+            ]),
+            EngineEvent::ScaleDown {
+                instance,
+                n_alive,
+                at,
+            } => fields(vec![
+                ("kind", kind),
+                ("instance", Value::U64(instance as u64)),
+                ("n_alive", Value::U64(n_alive as u64)),
                 ("at", secs(at)),
             ]),
         }
@@ -822,6 +987,42 @@ mod tests {
         let deg = EngineEvent::degraded_recompute(9, "corrupted", Time::from_secs_f64(4.0));
         assert_eq!(deg.category(), "fault");
         assert_eq!(deg.at(), Time::from_secs_f64(4.0));
+    }
+
+    #[test]
+    fn overload_events_serialize_and_classify() {
+        let hdr = EngineEvent::slo_config(2.0, 32, Time::ZERO);
+        assert_eq!(hdr.session(), None);
+        assert_eq!(hdr.category(), "overload");
+        assert_eq!(
+            serde_json::to_string(&hdr).unwrap(),
+            "{\"kind\":\"slo_config\",\"ttft_target_secs\":2.0,\"inbox_capacity\":32,\"at\":0.0}"
+        );
+        let shed = EngineEvent::turn_shed(7, 2, "inbox_full", Time::from_secs_f64(5.0));
+        assert_eq!(shed.session(), Some(7));
+        assert_eq!(shed.kind(), "turn_shed");
+        assert_eq!(shed.category(), "overload");
+        assert_eq!(
+            serde_json::to_string(&shed).unwrap(),
+            "{\"kind\":\"turn_shed\",\"session\":7,\"turn\":2,\"reason\":\"inbox_full\",\"at\":5.0}"
+        );
+        let lvl = EngineEvent::overload_level("normal", "recompute_only", Time::from_secs_f64(6.0));
+        assert_eq!(lvl.session(), None);
+        assert_eq!(lvl.kind(), "overload_level");
+        assert_eq!(
+            serde_json::to_string(&lvl).unwrap(),
+            "{\"kind\":\"overload_level\",\"from\":\"normal\",\"to\":\"recompute_only\",\"at\":6.0}"
+        );
+        let up = EngineEvent::scale_up(2, 3, Time::from_secs_f64(7.0));
+        assert_eq!(up.session(), None);
+        assert_eq!(up.category(), "overload");
+        assert_eq!(
+            serde_json::to_string(&up).unwrap(),
+            "{\"kind\":\"scale_up\",\"instance\":2,\"n_alive\":3,\"at\":7.0}"
+        );
+        let down = EngineEvent::scale_down(2, 2, Time::from_secs_f64(9.0));
+        assert_eq!(down.kind(), "scale_down");
+        assert_eq!(down.at(), Time::from_secs_f64(9.0));
     }
 
     #[test]

@@ -75,6 +75,12 @@ pub struct Job {
     /// the queue head: (reused tokens, staging completion time, tier the
     /// KV was found in — `None` on a miss).
     pub consulted: Option<(u64, Time, Option<store::TierId>)>,
+    /// Absolute TTFT deadline the scheduler orders by; `None` when no SLO
+    /// policy governs the run.
+    pub deadline: Option<Time>,
+    /// Admitted under overload degradation: skip the store's fetch path
+    /// and recompute the full prefill (the turn still saves on retire).
+    pub degraded: bool,
 }
 
 impl Job {
@@ -106,6 +112,8 @@ impl Job {
             admitted_at: Time::ZERO,
             decode_start: Time::ZERO,
             consulted: None,
+            deadline: None,
+            degraded: false,
         }
     }
 }
@@ -262,6 +270,8 @@ mod tests {
             admitted_at: Time::ZERO,
             decode_start: Time::ZERO,
             consulted: None,
+            deadline: None,
+            degraded: false,
         }
     }
 

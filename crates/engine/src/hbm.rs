@@ -83,6 +83,8 @@ mod tests {
             admitted_at: Time::ZERO,
             decode_start: Time::ZERO,
             consulted: None,
+            deadline: None,
+            degraded: false,
         }
     }
 

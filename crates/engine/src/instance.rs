@@ -44,15 +44,25 @@ pub struct EngineInstance {
     /// Whether the instance is still serving (`false` after a scripted
     /// crash; dead instances accept no routes and ignore GPU ticks).
     pub alive: bool,
+    /// Whether a clean autoscaler scale-down (not a crash) took this
+    /// instance out of service. Departed instances can be revived by a
+    /// later scale-up.
+    pub departed: bool,
 }
 
 impl EngineInstance {
     /// Builds instance `id` for `cfg`: an empty FCFS queue, an idle
     /// executor, fresh links and a model-sized HBM budget.
     pub fn new(id: u32, cfg: &EngineConfig) -> Self {
+        Self::with_scheduler(id, cfg, Box::new(Fcfs::new()))
+    }
+
+    /// Like [`EngineInstance::new`] but with a caller-chosen queueing
+    /// policy (e.g. EDF under an SLO config).
+    pub fn with_scheduler(id: u32, cfg: &EngineConfig, sched: Box<dyn SchedulerPolicy>) -> Self {
         EngineInstance {
             id,
-            sched: Box::new(Fcfs::new()),
+            sched,
             exec: Executor::new(),
             plan: TransferPlan::new(cfg),
             hbm: HbmLedger::new(&cfg.cluster, &cfg.model),
@@ -63,6 +73,7 @@ impl EngineInstance {
             misses: 0,
             last_completion: Time::ZERO,
             alive: true,
+            departed: false,
         }
     }
 
@@ -82,7 +93,8 @@ impl EngineInstance {
             slow_write_bytes: self.plan.slow_write_bytes(),
             hbm_high_water_bytes: self.hbm.high_water(),
             last_completion_secs: self.last_completion.as_secs_f64(),
-            crashed: !self.alive,
+            crashed: !self.alive && !self.departed,
+            departed: self.departed,
         }
     }
 }
@@ -116,6 +128,9 @@ pub struct InstanceReport {
     pub last_completion_secs: f64,
     /// Whether a scripted fault took this instance down during the run.
     pub crashed: bool,
+    /// Whether the autoscaler retired this instance cleanly and it was
+    /// still out of service at the end of the run.
+    pub departed: bool,
 }
 
 impl InstanceReport {

@@ -30,6 +30,9 @@
 //!   ([`RouterKind`]), all sharing one AttentionStore through a merged,
 //!   owner-attributed queue view. [`ServingSim`] is its single-instance
 //!   facade.
+//! - [`slo`]: the overload-robustness layer — per-turn TTFT deadlines
+//!   (EDF queueing), a deterministic admission/degradation ladder and a
+//!   queue-driven autoscaler, all optional and off by default.
 //! - [`RunReport`] / [`ClusterReport`]: every metric the paper's
 //!   evaluation reports, plus per-instance breakdowns.
 
@@ -44,10 +47,11 @@ mod report;
 pub mod router;
 pub mod scheduler;
 mod serving;
+pub mod slo;
 pub mod transfer;
 pub mod truncate;
 
-pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Ev, FaultReport};
+pub use cluster::{ClusterConfig, ClusterReport, ClusterSim, Ev, FaultReport, OverloadReport};
 pub use config::{EngineConfig, Medium, Mode};
 pub use events::{
     CoalescedLog, ConsultClass, EngineEvent, EngineObserver, EventLog, LogEntry, NullObserver,
@@ -56,6 +60,7 @@ pub use instance::{EngineInstance, InstanceReport};
 pub use report::RunReport;
 pub use router::{InstanceLoad, LeastLoaded, RouterKind, RouterPolicy, SessionAffinity};
 pub use serving::ServingSim;
+pub use slo::{AutoscalePolicy, OverloadLevel, SloPolicy};
 
 use models::ModelSpec;
 use workload::Trace;

@@ -1,0 +1,574 @@
+//! SLO-aware overload control: deadlines, the degradation ladder and the
+//! autoscaler policy.
+//!
+//! A production deployment dies from overload before it dies from cache
+//! misses: a flash crowd turns a fixed-size FCFS cluster into unbounded
+//! queue growth and TTFT collapse for everyone. This module holds the
+//! *policy* side of the overload-robustness layer —
+//! [`ClusterSim`](crate::ClusterSim) holds the mechanism:
+//!
+//! - [`SloPolicy`]: the per-run SLO configuration (TTFT target, EDF
+//!   scheduling, bounded per-instance inboxes, the ladder thresholds and
+//!   the optional [`AutoscalePolicy`]). Strictly additive: a cluster
+//!   without a policy (or with [`SloPolicy::noop`]) behaves
+//!   byte-identically to the pre-SLO engine.
+//! - [`OverloadLevel`]: the four-rung degradation ladder — full
+//!   CachedAttention → recompute-only (skip fetch, keep serving) →
+//!   harder truncation (shrink the work) → shed (typed rejection instead
+//!   of unbounded queueing).
+//! - [`SloState`]: the deterministic decision automaton. Signals are the
+//!   *observable* queue depth and the windowed TTFT-SLO burn rate;
+//!   transitions require `sustain_ticks` consecutive breaching windows
+//!   and clear only below `clear_ratio ×` the threshold, mirroring the
+//!   telemetry plane's `AlertRule` sustain/clear hysteresis so the
+//!   engine acts on the same shape of signal the operator alerts on.
+//!
+//! Every decision is a pure function of the virtual-time signal series,
+//! so overload behaviour is bit-reproducible like everything else.
+
+use sim::{Dur, Time};
+
+/// One rung of the degradation ladder, mildest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OverloadLevel {
+    /// Full CachedAttention service.
+    Normal,
+    /// Skip store fetches and prefetching; recompute history instead.
+    /// Sheds slow-tier bandwidth and pinning without refusing work.
+    RecomputeOnly,
+    /// Additionally truncate history against a shrunken effective
+    /// context window, shrinking every prefill.
+    HardTruncate,
+    /// Additionally shed arriving turns with a typed rejection.
+    Shed,
+}
+
+impl OverloadLevel {
+    /// Stable label used in events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverloadLevel::Normal => "normal",
+            OverloadLevel::RecomputeOnly => "recompute_only",
+            OverloadLevel::HardTruncate => "hard_truncate",
+            OverloadLevel::Shed => "shed",
+        }
+    }
+
+    /// The next-harsher rung (saturating).
+    pub fn escalate(self) -> OverloadLevel {
+        match self {
+            OverloadLevel::Normal => OverloadLevel::RecomputeOnly,
+            OverloadLevel::RecomputeOnly => OverloadLevel::HardTruncate,
+            OverloadLevel::HardTruncate | OverloadLevel::Shed => OverloadLevel::Shed,
+        }
+    }
+
+    /// The next-milder rung (saturating).
+    pub fn relax(self) -> OverloadLevel {
+        match self {
+            OverloadLevel::Normal | OverloadLevel::RecomputeOnly => OverloadLevel::Normal,
+            OverloadLevel::HardTruncate => OverloadLevel::RecomputeOnly,
+            OverloadLevel::Shed => OverloadLevel::HardTruncate,
+        }
+    }
+}
+
+/// Queue-driven autoscaling policy: add instances while sustained
+/// per-instance queue depth stays above `up_queue_depth`, retire them
+/// once it stays below `down_queue_depth`, with a cooldown between
+/// actions so scaling cannot flap within one decision's settling time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscalePolicy {
+    /// Never scale below this many instances.
+    pub min_instances: usize,
+    /// Never scale above this many instances.
+    pub max_instances: usize,
+    /// Mean queue depth per alive instance that (sustained) adds one.
+    pub up_queue_depth: f64,
+    /// Mean queue depth per alive instance below which (sustained) one
+    /// retires.
+    pub down_queue_depth: f64,
+    /// Consecutive breaching/clear ticks required before acting
+    /// (mirrors `AlertRule::sustain_secs` in tick units).
+    pub sustain_ticks: u32,
+    /// Minimum gap between two scaling actions.
+    pub cooldown: Dur,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        AutoscalePolicy {
+            min_instances: 1,
+            max_instances: 8,
+            up_queue_depth: 6.0,
+            down_queue_depth: 1.0,
+            sustain_ticks: 2,
+            cooldown: Dur::from_secs_f64(30.0),
+        }
+    }
+}
+
+impl AutoscalePolicy {
+    /// Returns a copy with different instance bounds.
+    pub fn with_bounds(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1, "autoscaling below one instance strands work");
+        assert!(max >= min, "max_instances must be at least min_instances");
+        self.min_instances = min;
+        self.max_instances = max;
+        self
+    }
+}
+
+/// The overload policy of one cluster run.
+///
+/// Attach with [`ClusterConfig::with_slo`](crate::ClusterConfig::with_slo);
+/// the no-op policy is dropped there so SLO-free runs take none of the
+/// overload paths (the goldens pin this byte-for-byte).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloPolicy {
+    /// Default TTFT target (relative deadline) for turns that do not
+    /// carry their own `ttft_deadline`. `Dur::ZERO` means the policy is
+    /// a no-op.
+    pub ttft_target: Dur,
+    /// Use EDF admission with this starvation-guard slack instead of
+    /// FCFS (`None` keeps FCFS order under SLO accounting).
+    pub edf_max_slack: Option<Dur>,
+    /// Bounded per-instance inbox capacity (waiting jobs); overflow
+    /// sheds with a typed rejection regardless of ladder level.
+    pub inbox_capacity: usize,
+    /// Signal-evaluation cadence: ladder and autoscaler decisions fire
+    /// on this tumbling window of virtual time.
+    pub tick: Dur,
+    /// Mean queue depth per alive instance that counts as a breach.
+    pub degrade_queue_depth: f64,
+    /// TTFT-p99 SLO burn rate (miss fraction over the 1% error budget)
+    /// that counts as a breach.
+    pub degrade_burn: f64,
+    /// Consecutive breaching (resp. clear) ticks before the ladder
+    /// escalates (resp. relaxes) one rung.
+    pub sustain_ticks: u32,
+    /// Signals must fall below `clear_ratio ×` their threshold before a
+    /// tick counts toward relaxing — the `AlertRule::clear_below`
+    /// hysteresis, so the ladder cannot flap on a signal hovering at
+    /// the threshold.
+    pub clear_ratio: f64,
+    /// Effective context-window fraction under
+    /// [`OverloadLevel::HardTruncate`]: history is truncated as if the
+    /// model window were this much smaller.
+    pub hard_truncate_window: f64,
+    /// Queue-driven autoscaling, if enabled.
+    pub autoscale: Option<AutoscalePolicy>,
+}
+
+impl SloPolicy {
+    /// An SLO policy with the given TTFT target and ladder defaults
+    /// (EDF with a `10 × target` starvation floor, 32-job inboxes, 5 s
+    /// decision ticks, no autoscaler).
+    pub fn new(ttft_target: Dur) -> Self {
+        assert!(ttft_target > Dur::ZERO, "a zero target is the no-op policy");
+        SloPolicy {
+            ttft_target,
+            edf_max_slack: Some(Dur::from_nanos(ttft_target.as_nanos().saturating_mul(10))),
+            inbox_capacity: 32,
+            tick: Dur::from_secs_f64(5.0),
+            degrade_queue_depth: 8.0,
+            degrade_burn: 1.0,
+            sustain_ticks: 2,
+            clear_ratio: 0.5,
+            hard_truncate_window: 0.5,
+            autoscale: None,
+        }
+    }
+
+    /// The no-op policy: attaching it is the same as attaching none.
+    /// Exists so "empty SLO config" can be written down and pinned
+    /// byte-identical to the SLO-free engine.
+    pub fn noop() -> Self {
+        SloPolicy {
+            ttft_target: Dur::ZERO,
+            edf_max_slack: None,
+            inbox_capacity: usize::MAX,
+            tick: Dur::from_secs_f64(5.0),
+            degrade_queue_depth: f64::INFINITY,
+            degrade_burn: f64::INFINITY,
+            sustain_ticks: u32::MAX,
+            clear_ratio: 0.5,
+            hard_truncate_window: 1.0,
+            autoscale: None,
+        }
+    }
+
+    /// Whether this policy changes nothing (dropped at config time).
+    pub fn is_noop(&self) -> bool {
+        self.ttft_target == Dur::ZERO
+    }
+
+    /// Returns a copy with FCFS admission (SLO accounting without EDF).
+    pub fn with_fcfs(mut self) -> Self {
+        self.edf_max_slack = None;
+        self
+    }
+
+    /// Returns a copy with a different per-instance inbox capacity.
+    pub fn with_inbox_capacity(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "a zero-capacity inbox sheds everything");
+        self.inbox_capacity = cap;
+        self
+    }
+
+    /// Returns a copy with a different decision-tick width.
+    pub fn with_tick(mut self, tick: Dur) -> Self {
+        assert!(tick > Dur::ZERO, "decision ticks need positive width");
+        self.tick = tick;
+        self
+    }
+
+    /// Returns a copy with autoscaling enabled.
+    pub fn with_autoscale(mut self, a: AutoscalePolicy) -> Self {
+        self.autoscale = Some(a);
+        self
+    }
+}
+
+/// A scaling action the autoscaler decided on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Add one instance.
+    Up,
+    /// Retire one instance (draining it like a crash, minus the fault).
+    Down,
+}
+
+/// What one decision tick concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TickDecision {
+    /// Ladder transition, if one fired: `(from, to)`.
+    pub transition: Option<(OverloadLevel, OverloadLevel)>,
+    /// Scaling action, if one fired.
+    pub scale: Option<ScaleDecision>,
+    /// The tick's TTFT-SLO burn rate (for observability).
+    pub burn: f64,
+}
+
+/// The overload decision automaton: current ladder rung plus the sustain
+/// and cooldown counters behind the hysteresis.
+#[derive(Debug, Default)]
+pub struct SloState {
+    level_idx: u8,
+    breach_ticks: u32,
+    clear_ticks: u32,
+    up_ticks: u32,
+    down_ticks: u32,
+    last_scale: Option<Time>,
+    ttft_samples: u64,
+    ttft_misses: u64,
+}
+
+impl SloState {
+    /// Current ladder rung.
+    pub fn level(&self) -> OverloadLevel {
+        match self.level_idx {
+            0 => OverloadLevel::Normal,
+            1 => OverloadLevel::RecomputeOnly,
+            2 => OverloadLevel::HardTruncate,
+            _ => OverloadLevel::Shed,
+        }
+    }
+
+    fn set_level(&mut self, l: OverloadLevel) {
+        self.level_idx = match l {
+            OverloadLevel::Normal => 0,
+            OverloadLevel::RecomputeOnly => 1,
+            OverloadLevel::HardTruncate => 2,
+            OverloadLevel::Shed => 3,
+        };
+    }
+
+    /// Records one measured first token: whether it met its deadline.
+    /// Feeds the next tick's burn-rate signal.
+    pub fn note_first_token(&mut self, met_deadline: bool) {
+        self.ttft_samples += 1;
+        if !met_deadline {
+            self.ttft_misses += 1;
+        }
+    }
+
+    /// Records a shed turn as a deadline miss: rejections burn the error
+    /// budget too, otherwise shedding everything would read as perfect
+    /// service.
+    pub fn note_shed(&mut self) {
+        self.ttft_samples += 1;
+        self.ttft_misses += 1;
+    }
+
+    /// Runs one decision tick over the window that just closed.
+    ///
+    /// `depth_per_instance` is the observable mean queue depth across
+    /// alive instances at the tick instant; the burn rate comes from the
+    /// first tokens noted since the previous tick (and resets here).
+    /// At most one ladder transition and one scaling action fire per
+    /// tick, so every decision is attributable to one window's signals.
+    pub fn on_tick(
+        &mut self,
+        p: &SloPolicy,
+        now: Time,
+        depth_per_instance: f64,
+        n_alive: usize,
+    ) -> TickDecision {
+        // Burn rate against a p99 target: miss fraction over the 1%
+        // error budget (1.0 = exactly burning the budget), the same
+        // definition `HealthSignals` exports to operators.
+        let burn = if self.ttft_samples == 0 {
+            0.0
+        } else {
+            (self.ttft_misses as f64 / self.ttft_samples as f64) / 0.01
+        };
+        self.ttft_samples = 0;
+        self.ttft_misses = 0;
+        let mut out = TickDecision {
+            burn,
+            ..TickDecision::default()
+        };
+
+        // Ladder: breach when either signal exceeds its threshold;
+        // clear only when both sit below clear_ratio × threshold.
+        //
+        // The Shed rung keys on queue depth alone, in both directions.
+        // Escalating into it on burn would shed work the queue could
+        // still absorb (misses recompute/truncation cannot fix are not
+        // fixed by rejecting more work either), and relaxing out of it
+        // on burn would deadlock: shed turns burn the error budget
+        // themselves, so at the Shed rung the burn signal measures the
+        // rung, not the service, and only the drained queue can witness
+        // recovery.
+        let level = self.level();
+        let depth_breach = depth_per_instance > p.degrade_queue_depth;
+        let depth_clear = depth_per_instance <= p.clear_ratio * p.degrade_queue_depth;
+        let breach = if level >= OverloadLevel::HardTruncate {
+            depth_breach
+        } else {
+            depth_breach || burn > p.degrade_burn
+        };
+        let clear = if level == OverloadLevel::Shed {
+            depth_clear
+        } else {
+            depth_clear && burn <= p.clear_ratio * p.degrade_burn
+        };
+        if breach {
+            self.breach_ticks += 1;
+            self.clear_ticks = 0;
+        } else if clear {
+            self.clear_ticks += 1;
+            self.breach_ticks = 0;
+        } else {
+            // The hysteresis band: neither escalating nor relaxing.
+            self.breach_ticks = 0;
+            self.clear_ticks = 0;
+        }
+        if self.breach_ticks >= p.sustain_ticks && level != OverloadLevel::Shed {
+            self.breach_ticks = 0;
+            self.set_level(level.escalate());
+            out.transition = Some((level, self.level()));
+        } else if self.clear_ticks >= p.sustain_ticks && level != OverloadLevel::Normal {
+            self.clear_ticks = 0;
+            self.set_level(level.relax());
+            out.transition = Some((level, self.level()));
+        }
+
+        // Autoscaler: same sustain shape on queue depth, plus cooldown.
+        if let Some(a) = &p.autoscale {
+            if depth_per_instance > a.up_queue_depth {
+                self.up_ticks += 1;
+                self.down_ticks = 0;
+            } else if depth_per_instance < a.down_queue_depth {
+                self.down_ticks += 1;
+                self.up_ticks = 0;
+            } else {
+                self.up_ticks = 0;
+                self.down_ticks = 0;
+            }
+            let cooled = match self.last_scale {
+                None => true,
+                Some(at) => now >= at + a.cooldown,
+            };
+            if cooled {
+                if self.up_ticks >= a.sustain_ticks && n_alive < a.max_instances {
+                    self.up_ticks = 0;
+                    self.last_scale = Some(now);
+                    out.scale = Some(ScaleDecision::Up);
+                } else if self.down_ticks >= a.sustain_ticks && n_alive > a.min_instances {
+                    self.down_ticks = 0;
+                    self.last_scale = Some(now);
+                    out.scale = Some(ScaleDecision::Down);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SloPolicy {
+        SloPolicy::new(Dur::from_secs_f64(2.0)).with_tick(Dur::from_secs_f64(5.0))
+    }
+
+    #[test]
+    fn ladder_escalates_only_after_sustain() {
+        let p = policy();
+        let mut s = SloState::default();
+        let t = |i: u64| Time::from_secs_f64(5.0 * i as f64);
+        // One breaching tick: not enough (sustain_ticks = 2).
+        assert_eq!(s.on_tick(&p, t(1), 20.0, 2).transition, None);
+        assert_eq!(s.level(), OverloadLevel::Normal);
+        // Second consecutive breach: escalate one rung.
+        let d = s.on_tick(&p, t(2), 20.0, 2);
+        assert_eq!(
+            d.transition,
+            Some((OverloadLevel::Normal, OverloadLevel::RecomputeOnly))
+        );
+        // An interrupted breach resets the sustain counter.
+        assert_eq!(s.on_tick(&p, t(3), 20.0, 2).transition, None);
+        assert_eq!(s.on_tick(&p, t(4), 5.0, 2).transition, None);
+        assert_eq!(s.on_tick(&p, t(5), 20.0, 2).transition, None);
+        assert_eq!(s.level(), OverloadLevel::RecomputeOnly);
+    }
+
+    #[test]
+    fn ladder_clears_only_below_the_hysteresis_band() {
+        let p = policy();
+        let mut s = SloState::default();
+        s.set_level(OverloadLevel::HardTruncate);
+        let t = |i: u64| Time::from_secs_f64(5.0 * i as f64);
+        // Depth inside the band (clear needs <= 4.0 here): no relax ever.
+        for i in 1..6 {
+            assert_eq!(s.on_tick(&p, t(i), 6.0, 2).transition, None);
+        }
+        assert_eq!(s.level(), OverloadLevel::HardTruncate);
+        // Below the clear level for sustain ticks: one rung down.
+        assert_eq!(s.on_tick(&p, t(6), 1.0, 2).transition, None);
+        let d = s.on_tick(&p, t(7), 1.0, 2);
+        assert_eq!(
+            d.transition,
+            Some((OverloadLevel::HardTruncate, OverloadLevel::RecomputeOnly))
+        );
+    }
+
+    #[test]
+    fn burn_rate_breaches_independently_of_depth() {
+        let p = policy();
+        let mut s = SloState::default();
+        // 5% of first tokens missing a p99 target = 5× burn.
+        for i in 0..100 {
+            s.note_first_token(i % 20 != 0);
+        }
+        let d = s.on_tick(&p, Time::from_secs_f64(5.0), 0.0, 2);
+        assert!((d.burn - 5.0).abs() < 1e-9, "burn {}", d.burn);
+        for i in 0..100 {
+            s.note_first_token(i % 20 != 0);
+        }
+        let d = s.on_tick(&p, Time::from_secs_f64(10.0), 0.0, 2);
+        assert_eq!(
+            d.transition,
+            Some((OverloadLevel::Normal, OverloadLevel::RecomputeOnly))
+        );
+        // Samples reset at every tick.
+        let d = s.on_tick(&p, Time::from_secs_f64(15.0), 0.0, 2);
+        assert_eq!(d.burn, 0.0);
+    }
+
+    /// The Shed rung ignores the burn signal in both directions: pure
+    /// burn (with a short queue) never escalates HardTruncate → Shed,
+    /// and an active Shed rung — whose own rejections keep the burn
+    /// rate pinned high — relaxes as soon as the queue drains, instead
+    /// of deadlocking on the misses it generates itself.
+    #[test]
+    fn shed_rung_keys_on_queue_depth_alone() {
+        let p = policy();
+        let t = |i: u64| Time::from_secs_f64(5.0 * i as f64);
+        let mut s = SloState::default();
+        s.set_level(OverloadLevel::HardTruncate);
+        for i in 1..8 {
+            for _ in 0..100 {
+                s.note_first_token(false);
+            }
+            assert_eq!(s.on_tick(&p, t(i), 0.0, 2).transition, None);
+        }
+        assert_eq!(s.level(), OverloadLevel::HardTruncate);
+        // Depth breaching does escalate the last rung.
+        assert_eq!(s.on_tick(&p, t(8), 20.0, 2).transition, None);
+        let d = s.on_tick(&p, t(9), 20.0, 2);
+        assert_eq!(
+            d.transition,
+            Some((OverloadLevel::HardTruncate, OverloadLevel::Shed))
+        );
+        // At Shed, rejections burn the budget, yet the drained queue
+        // relaxes the rung anyway.
+        for _ in 0..100 {
+            s.note_shed();
+        }
+        assert_eq!(s.on_tick(&p, t(10), 0.0, 2).transition, None);
+        for _ in 0..100 {
+            s.note_shed();
+        }
+        let d = s.on_tick(&p, t(11), 0.0, 2);
+        assert_eq!(
+            d.transition,
+            Some((OverloadLevel::Shed, OverloadLevel::HardTruncate))
+        );
+    }
+
+    #[test]
+    fn shed_turns_burn_the_budget() {
+        let mut s = SloState::default();
+        s.note_shed();
+        s.note_first_token(true);
+        let d = s.on_tick(&policy(), Time::from_secs_f64(5.0), 0.0, 1);
+        assert!((d.burn - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn autoscaler_respects_sustain_bounds_and_cooldown() {
+        let a = AutoscalePolicy {
+            cooldown: Dur::from_secs_f64(30.0),
+            ..AutoscalePolicy::default().with_bounds(1, 3)
+        };
+        let p = policy().with_autoscale(a);
+        let mut s = SloState::default();
+        let t = |i: u64| Time::from_secs_f64(5.0 * i as f64);
+        assert_eq!(s.on_tick(&p, t(1), 10.0, 1).scale, None);
+        assert_eq!(s.on_tick(&p, t(2), 10.0, 1).scale, Some(ScaleDecision::Up));
+        // Cooldown: sustained breach cannot fire again for 30 s.
+        for i in 3..8 {
+            assert_eq!(s.on_tick(&p, t(i), 10.0, 2).scale, None);
+        }
+        assert_eq!(s.on_tick(&p, t(8), 10.0, 2).scale, Some(ScaleDecision::Up));
+        // At max_instances no further up-scaling fires.
+        for i in 9..20 {
+            assert_eq!(s.on_tick(&p, t(i), 10.0, 3).scale, None);
+        }
+        // Sustained idleness scales down, bounded by min_instances.
+        let mut s = SloState::default();
+        assert_eq!(s.on_tick(&p, t(1), 0.0, 3).scale, None);
+        assert_eq!(s.on_tick(&p, t(2), 0.0, 3).scale, Some(ScaleDecision::Down));
+        let mut s = SloState::default();
+        assert_eq!(s.on_tick(&p, t(1), 0.0, 1).scale, None);
+        assert_eq!(s.on_tick(&p, t(2), 0.0, 1).scale, None);
+    }
+
+    #[test]
+    fn noop_policy_never_decides_anything() {
+        let p = SloPolicy::noop();
+        assert!(p.is_noop());
+        assert!(!SloPolicy::new(Dur::from_secs_f64(1.0)).is_noop());
+        let mut s = SloState::default();
+        for i in 1..50u64 {
+            let d = s.on_tick(&p, Time::from_secs_f64(i as f64), 1e9, 1);
+            assert_eq!(d.transition, None);
+            assert_eq!(d.scale, None);
+        }
+        assert_eq!(s.level(), OverloadLevel::Normal);
+    }
+}

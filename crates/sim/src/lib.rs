@@ -58,7 +58,7 @@ pub use fault::{
 };
 pub use link::BandwidthLink;
 pub use pool::{CapacityPool, PoolError};
-pub use queue::EventQueue;
+pub use queue::{BoundedInbox, EventQueue};
 pub use rng::SimRng;
 pub use time::{Dur, Time};
 

@@ -93,6 +93,107 @@ impl<Ev> Default for EventQueue<Ev> {
     }
 }
 
+/// Admission ledger for a bounded inbox: a capacity-checked occupancy
+/// counter a consumer pairs with its actual queue.
+///
+/// The idiom (common in game-server subscriber queues) is that the
+/// *producer* asks the inbox for a slot before touching the queue —
+/// [`try_accept`](BoundedInbox::try_accept) either reserves a slot or
+/// reports the overflow — and the consumer returns the slot with
+/// [`release`](BoundedInbox::release) when it dequeues. Keeping the bound
+/// here rather than inside the queue keeps the policy (what to do on
+/// overflow: shed, degrade, backpressure) with the caller while the
+/// accounting (occupancy, high-water, accept/reject totals) stays
+/// deterministic and auditable.
+#[derive(Debug, Clone)]
+pub struct BoundedInbox {
+    capacity: usize,
+    depth: usize,
+    high_water: usize,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl BoundedInbox {
+    /// Creates an inbox admitting at most `capacity` occupants at once.
+    /// A zero capacity rejects everything.
+    pub fn new(capacity: usize) -> Self {
+        BoundedInbox {
+            capacity,
+            depth: 0,
+            high_water: 0,
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Tries to reserve one slot. Returns `true` (and occupies the slot)
+    /// when the inbox has room, `false` (counting a rejection) when full.
+    pub fn try_accept(&mut self) -> bool {
+        if self.depth < self.capacity {
+            self.depth += 1;
+            self.high_water = self.high_water.max(self.depth);
+            self.accepted += 1;
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    /// Occupies one slot unconditionally, allowed to exceed capacity.
+    /// For recovery re-queues (crash or scale-down reroutes) that must
+    /// never be shed: the overflow is bounded by the dead peer's own
+    /// bounded occupancy, so the ledger stays finite.
+    pub fn force_accept(&mut self) {
+        self.depth += 1;
+        self.high_water = self.high_water.max(self.depth);
+        self.accepted += 1;
+    }
+
+    /// Returns one slot after the paired queue dequeues an occupant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inbox is already empty — a release without a prior
+    /// accept means the caller's queue and this ledger have diverged.
+    pub fn release(&mut self) {
+        assert!(self.depth > 0, "BoundedInbox::release on an empty inbox");
+        self.depth -= 1;
+    }
+
+    /// Current occupancy.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Maximum slots this inbox admits at once.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Peak occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total accepts over the inbox's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Total rejections over the inbox's lifetime.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Whether the next [`try_accept`](BoundedInbox::try_accept) would
+    /// reject.
+    pub fn is_full(&self) -> bool {
+        self.depth >= self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +249,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bounded_inbox_sheds_at_capacity_and_recovers() {
+        let mut inbox = BoundedInbox::new(2);
+        assert!(!inbox.is_full());
+        assert!(inbox.try_accept());
+        assert!(inbox.try_accept());
+        assert!(inbox.is_full());
+        assert!(!inbox.try_accept());
+        assert_eq!(inbox.depth(), 2);
+        assert_eq!(inbox.high_water(), 2);
+        assert_eq!(inbox.accepted(), 2);
+        assert_eq!(inbox.rejected(), 1);
+        inbox.release();
+        assert!(inbox.try_accept());
+        assert_eq!(inbox.high_water(), 2);
+        assert_eq!(inbox.accepted(), 3);
+    }
+
+    #[test]
+    fn force_accept_overflows_capacity_without_rejecting() {
+        let mut inbox = BoundedInbox::new(1);
+        assert!(inbox.try_accept());
+        inbox.force_accept();
+        assert_eq!(inbox.depth(), 2);
+        assert_eq!(inbox.high_water(), 2);
+        assert_eq!(inbox.rejected(), 0);
+        assert!(!inbox.try_accept());
+        inbox.release();
+        inbox.release();
+        assert_eq!(inbox.depth(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_inbox_rejects_everything() {
+        let mut inbox = BoundedInbox::new(0);
+        assert!(inbox.is_full());
+        assert!(!inbox.try_accept());
+        assert_eq!(inbox.rejected(), 1);
+        assert_eq!(inbox.depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release on an empty inbox")]
+    fn empty_inbox_release_panics() {
+        BoundedInbox::new(4).release();
     }
 
     #[test]

@@ -260,11 +260,24 @@ pub fn to_chrome_trace_with_alerts(records: &[TraceRecord], alerts: &[AlertEvent
                 | EngineEvent::DegradedRecompute { session, .. } => {
                     events.push(instant(ev.kind(), ev.category(), pid, session, at));
                 }
-                EngineEvent::InstanceCrashed { .. } => {
-                    // No session track: mark the crash on the instance's
-                    // tid-0 lane.
+                EngineEvent::TurnShed { session, .. } => {
+                    // A shed closes the turn before it ever runs: end the
+                    // queued span (the wait the admission controller cut
+                    // short) and mark the rejection on the session lane.
+                    if let Some((p, start)) = queued_at.remove(&session) {
+                        events.push(span("queued", "sched", p, session, start, at));
+                    }
+                    events.push(instant(ev.kind(), ev.category(), pid, session, at));
+                }
+                EngineEvent::InstanceCrashed { .. }
+                | EngineEvent::ScaleUp { .. }
+                | EngineEvent::ScaleDown { .. }
+                | EngineEvent::OverloadLevelChanged { .. } => {
+                    // No session track: mark the crash / fleet change on
+                    // the instance's tid-0 lane.
                     events.push(instant(ev.kind(), ev.category(), pid, 0, at));
                 }
+                EngineEvent::SloConfig { .. } => {}
             },
             TraceEvent::Store(ev) => match ev {
                 StoreEvent::TierConfig { tier, name, .. } => {

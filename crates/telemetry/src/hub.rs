@@ -90,6 +90,11 @@ pub struct MetricsHub {
     recompute_fallbacks: Counter,
     instance_crashes: Counter,
     turns_rerouted: Counter,
+    // Overload-stream aggregates (all-zero without an SLO policy).
+    turns_shed: Counter,
+    overload_transitions: Counter,
+    scale_ups: Counter,
+    scale_downs: Counter,
     // Per-instance slices of the engine stream, grown on demand as the
     // cluster's instance-tagged observer hooks report new instance ids.
     per_instance: Vec<InstanceAgg>,
@@ -182,6 +187,10 @@ impl MetricsHub {
             recompute_fallbacks: Counter::new(),
             instance_crashes: Counter::new(),
             turns_rerouted: Counter::new(),
+            turns_shed: Counter::new(),
+            overload_transitions: Counter::new(),
+            scale_ups: Counter::new(),
+            scale_downs: Counter::new(),
             per_instance: Vec::new(),
         }
     }
@@ -323,6 +332,10 @@ impl MetricsHub {
             recompute_fallbacks: self.recompute_fallbacks.get(),
             instance_crashes: self.instance_crashes.get(),
             turns_rerouted: self.turns_rerouted.get(),
+            turns_shed: self.turns_shed.get(),
+            overload_transitions: self.overload_transitions.get(),
+            scale_ups: self.scale_ups.get(),
+            scale_downs: self.scale_downs.get(),
             hbm_reserved_peak_bytes: self.hbm_reserved.peak(),
             dram_occupancy_peak_bytes: tiers.first().map_or(0.0, |t| t.occupancy_peak_bytes),
             disk_occupancy_peak_bytes: tiers.get(1).map_or(0.0, |t| t.occupancy_peak_bytes),
@@ -407,6 +420,16 @@ impl EngineObserver for MetricsHub {
             EngineEvent::InstanceCrashed { .. } => self.instance_crashes.incr(),
             EngineEvent::TurnRerouted { .. } => self.turns_rerouted.incr(),
             EngineEvent::DegradedRecompute { .. } => self.recompute_fallbacks.incr(),
+            // A shed turn's open arrival must not linger as a phantom
+            // queue-wait entry.
+            EngineEvent::TurnShed { session, .. } => {
+                self.turns_shed.incr();
+                self.arrivals.remove(&session);
+            }
+            EngineEvent::OverloadLevelChanged { .. } => self.overload_transitions.incr(),
+            EngineEvent::ScaleUp { .. } => self.scale_ups.incr(),
+            EngineEvent::ScaleDown { .. } => self.scale_downs.incr(),
+            EngineEvent::SloConfig { .. } => {}
         }
     }
 
@@ -636,6 +659,14 @@ pub struct MetricsSnapshot {
     pub instance_crashes: u64,
     /// Turns re-queued onto surviving instances after a crash.
     pub turns_rerouted: u64,
+    /// Arriving turns shed with a typed rejection (SLO admission).
+    pub turns_shed: u64,
+    /// Degradation-ladder rung changes (either direction).
+    pub overload_transitions: u64,
+    /// Autoscaler scale-up actions.
+    pub scale_ups: u64,
+    /// Autoscaler scale-down actions.
+    pub scale_downs: u64,
     /// Peak live-KV HBM reservation, bytes.
     pub hbm_reserved_peak_bytes: f64,
     /// Peak tier-0 occupancy, bytes (see [`tiers`](Self::tiers) for the

@@ -410,9 +410,21 @@ impl SpanForest {
                     p.degraded = true;
                 }
             }
+            // A shed turn opened with its arrival and ends right there:
+            // the rejection closes the turn with no pipeline spans.
+            EngineEvent::TurnShed { session, .. } => {
+                if pending.remove(&session).is_none() {
+                    self.violations
+                        .push(format!("session {session}: shed without arrival"));
+                }
+            }
             EngineEvent::Truncated { .. }
             | EngineEvent::HbmReserved { .. }
-            | EngineEvent::InstanceCrashed { .. } => {}
+            | EngineEvent::InstanceCrashed { .. }
+            | EngineEvent::SloConfig { .. }
+            | EngineEvent::OverloadLevelChanged { .. }
+            | EngineEvent::ScaleUp { .. }
+            | EngineEvent::ScaleDown { .. } => {}
         }
     }
 

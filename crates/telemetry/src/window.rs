@@ -97,6 +97,14 @@ pub struct WindowCounters {
     pub instance_crashes: u64,
     /// Turns re-queued after a crash.
     pub turns_rerouted: u64,
+    /// Arriving turns shed with a typed rejection (SLO admission).
+    pub turns_shed: u64,
+    /// Degradation-ladder rung changes (either direction).
+    pub overload_transitions: u64,
+    /// Autoscaler scale-up actions.
+    pub scale_ups: u64,
+    /// Autoscaler scale-down actions.
+    pub scale_downs: u64,
 }
 
 impl WindowCounters {
@@ -147,6 +155,10 @@ impl WindowCounters {
         self.recompute_fallbacks += other.recompute_fallbacks;
         self.instance_crashes += other.instance_crashes;
         self.turns_rerouted += other.turns_rerouted;
+        self.turns_shed += other.turns_shed;
+        self.overload_transitions += other.overload_transitions;
+        self.scale_ups += other.scale_ups;
+        self.scale_downs += other.scale_downs;
     }
 }
 
@@ -500,6 +512,19 @@ impl EngineObserver for WindowedHub {
             EngineEvent::DegradedRecompute { .. } => {
                 self.window_at(at).counters.recompute_fallbacks += 1;
             }
+            EngineEvent::TurnShed { session, .. } => {
+                // The arrival opened a queue-depth entry; the rejection
+                // closes it without an admission.
+                self.arrivals.remove(&session);
+                self.window_at(at).counters.turns_shed += 1;
+                self.record_depth_at(at);
+            }
+            EngineEvent::OverloadLevelChanged { .. } => {
+                self.window_at(at).counters.overload_transitions += 1;
+            }
+            EngineEvent::ScaleUp { .. } => self.window_at(at).counters.scale_ups += 1,
+            EngineEvent::ScaleDown { .. } => self.window_at(at).counters.scale_downs += 1,
+            EngineEvent::SloConfig { .. } => {}
         }
     }
 

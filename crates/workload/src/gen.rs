@@ -43,6 +43,38 @@ pub struct ShareGptProfile {
     /// Optional bursty arrivals: a two-phase Markov-modulated Poisson
     /// process instead of the paper's homogeneous one.
     pub burstiness: Option<Burstiness>,
+    /// Optional flash-crowd surge: a deterministic rate-multiplier window
+    /// layered on top of the (possibly bursty) base process.
+    pub surge: Option<Surge>,
+}
+
+/// A flash-crowd surge window.
+///
+/// Arrivals inside `[start_secs, start_secs + duration_secs)` come at
+/// `factor ×` the prevailing rate (base rate, or the burstiness phase
+/// rate when both shapes are active). Unlike [`Burstiness`]'s random
+/// phase flips, the surge window is fixed — the overload experiments need
+/// the crowd to hit at the same virtual second for every policy under
+/// comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Surge {
+    /// When the crowd arrives, seconds from trace start.
+    pub start_secs: f64,
+    /// How long the surge lasts, seconds.
+    pub duration_secs: f64,
+    /// Rate multiplier inside the window (≥ 1 for a crowd; the paper-style
+    /// flash crowd in `exp_slo` uses 4–6×).
+    pub factor: f64,
+}
+
+impl Default for Surge {
+    fn default() -> Self {
+        Surge {
+            start_secs: 120.0,
+            duration_secs: 240.0,
+            factor: 4.0,
+        }
+    }
 }
 
 /// Two-phase Markov-modulated Poisson arrival parameters.
@@ -86,6 +118,7 @@ impl Default for ShareGptProfile {
             arrival_rate: 1.0,
             mean_think_secs: 15.0,
             burstiness: None,
+            surge: None,
         }
     }
 }
@@ -108,6 +141,15 @@ impl ShareGptProfile {
     /// Returns a copy with bursty (MMPP) arrivals.
     pub fn with_burstiness(mut self, b: Burstiness) -> Self {
         self.burstiness = Some(b);
+        self
+    }
+
+    /// Returns a copy with a flash-crowd surge window.
+    pub fn with_surge(mut self, s: Surge) -> Self {
+        assert!(s.factor >= 1.0, "a surge cannot slow arrivals down");
+        assert!(s.duration_secs > 0.0, "surge duration must be positive");
+        assert!(s.start_secs >= 0.0, "surge cannot start before the trace");
+        self.surge = Some(s);
         self
     }
 }
@@ -172,6 +214,7 @@ impl Generator {
                 } else {
                     0.0
                 }),
+                ttft_deadline: None,
             })
             .collect();
         SessionSpec {
@@ -183,28 +226,45 @@ impl Generator {
     }
 
     /// Draws the next inter-arrival gap, honouring the burstiness phases
-    /// via the memorylessness of the exponential: when a gap would cross
-    /// the current phase's end, the residual is re-drawn at the next
-    /// phase's rate from the boundary.
+    /// and the surge window via the memorylessness of the exponential:
+    /// when a gap would cross the nearest rate boundary (phase end, surge
+    /// start or surge end), the residual is re-drawn at the new rate from
+    /// the boundary.
     fn next_arrival(&mut self, mut now: f64, phase_high: &mut bool, phase_end: &mut f64) -> f64 {
         let base = self.profile.arrival_rate;
-        let Some(b) = self.profile.burstiness.clone() else {
-            return now + self.rng.exp(1.0 / base);
-        };
+        let burst = self.profile.burstiness.clone();
+        let surge = self.profile.surge.clone();
         loop {
-            let rate = base
-                * if *phase_high {
+            let mut rate = base;
+            if let Some(b) = &burst {
+                rate *= if *phase_high {
                     b.high_factor
                 } else {
                     b.low_factor
                 };
+            }
+            let mut boundary = *phase_end;
+            if let Some(s) = &surge {
+                let end = s.start_secs + s.duration_secs;
+                if now < s.start_secs {
+                    boundary = boundary.min(s.start_secs);
+                } else if now < end {
+                    rate *= s.factor;
+                    boundary = boundary.min(end);
+                }
+            }
             let gap = self.rng.exp(1.0 / rate.max(1e-9));
-            if now + gap <= *phase_end {
+            if now + gap <= boundary {
                 return now + gap;
             }
-            now = *phase_end;
-            *phase_high = !*phase_high;
-            *phase_end = now + self.rng.exp(b.mean_phase_secs);
+            now = boundary;
+            if now >= *phase_end {
+                let b = burst
+                    .as_ref()
+                    .expect("a finite phase end implies burstiness");
+                *phase_high = !*phase_high;
+                *phase_end = now + self.rng.exp(b.mean_phase_secs);
+            }
         }
     }
 
@@ -317,6 +377,57 @@ mod tests {
         let (bm, bv) = windowed(&bursty);
         assert!((bm - sm).abs() / sm < 0.25, "means {sm} vs {bm}");
         assert!(bv > 2.0 * sv, "variance {sv} vs {bv}");
+    }
+
+    /// Inside the surge window the arrival rate multiplies by the
+    /// configured factor; outside it the base process is undisturbed.
+    #[test]
+    fn surge_concentrates_arrivals_in_its_window() {
+        let surge = Surge {
+            start_secs: 300.0,
+            duration_secs: 300.0,
+            factor: 5.0,
+        };
+        let profile = ShareGptProfile::default()
+            .with_arrival_rate(2.0)
+            .with_surge(surge.clone());
+        let t = Generator::new(profile, 11).trace(12_000);
+        let end = surge.start_secs + surge.duration_secs;
+        let inside = t
+            .sessions
+            .iter()
+            .filter(|s| {
+                let at = s.arrival.as_secs_f64();
+                at >= surge.start_secs && at < end
+            })
+            .count() as f64;
+        let inside_rate = inside / surge.duration_secs;
+        assert!(
+            (inside_rate - 10.0).abs() < 1.0,
+            "surge-window rate {inside_rate}"
+        );
+        let before = t
+            .sessions
+            .iter()
+            .filter(|s| s.arrival.as_secs_f64() < surge.start_secs)
+            .count() as f64;
+        let before_rate = before / surge.start_secs;
+        assert!(
+            (before_rate - 2.0).abs() < 0.4,
+            "pre-surge rate {before_rate}"
+        );
+    }
+
+    /// The surge shape composes with burstiness without disturbing either
+    /// process's determinism.
+    #[test]
+    fn surge_is_deterministic_and_composes_with_burstiness() {
+        let profile = ShareGptProfile::default()
+            .with_burstiness(Burstiness::default())
+            .with_surge(Surge::default());
+        let a = Generator::new(profile.clone(), 9).trace(500);
+        let b = Generator::new(profile, 9).trace(500);
+        assert_eq!(a, b);
     }
 
     #[test]

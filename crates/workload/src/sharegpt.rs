@@ -103,6 +103,7 @@ pub fn load_sharegpt_json(
                             } else {
                                 0.0
                             }),
+                            ttft_deadline: None,
                         });
                     }
                 }

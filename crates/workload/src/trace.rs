@@ -13,6 +13,12 @@ pub struct TurnSpec {
     /// Gap between this turn's response completing and the next turn
     /// arriving (unused on the last turn).
     pub think: Dur,
+    /// Per-turn TTFT deadline relative to the turn's arrival, for
+    /// SLO-aware scheduling. `None` means the serving side's default SLO
+    /// target (if any) applies. Absent from the JSON trace format, which
+    /// predates SLO-aware serving.
+    #[serde(skip, default)]
+    pub ttft_deadline: Option<Dur>,
 }
 
 /// Token-content identity of a session's stream, for block-granular
@@ -121,11 +127,13 @@ mod tests {
                     user_tokens: 10,
                     resp_tokens: 20,
                     think: Dur::from_secs_f64(5.0),
+                    ttft_deadline: None,
                 },
                 TurnSpec {
                     user_tokens: 30,
                     resp_tokens: 40,
                     think: Dur::ZERO,
+                    ttft_deadline: None,
                 },
             ],
             content: None,
@@ -164,5 +172,18 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(Trace::from_json("{nope").is_err());
+    }
+
+    /// `ttft_deadline` rides only in memory: the JSON format predates SLO
+    /// serving, so serialization drops it and parsing restores `None`.
+    #[test]
+    fn deadlines_are_skipped_by_the_json_format() {
+        let mut s = session();
+        s.turns[0].ttft_deadline = Some(Dur::from_secs_f64(2.5));
+        let t = Trace::new(vec![s]);
+        let json = t.to_json();
+        assert!(!json.contains("ttft_deadline"));
+        let back = Trace::from_json(&json).unwrap();
+        assert_eq!(back.sessions[0].turns[0].ttft_deadline, None);
     }
 }

@@ -156,6 +156,22 @@ proptest! {
                 continue;
             }
 
+            // No SloPolicy is configured, so the overload vocabulary must
+            // be absent: a chaos run is strictly additive over the fault
+            // layer and never sheds, degrades by level, or scales.
+            prop_assert!(
+                !matches!(
+                    ev,
+                    EngineEvent::SloConfig { .. }
+                        | EngineEvent::TurnShed { .. }
+                        | EngineEvent::OverloadLevelChanged { .. }
+                        | EngineEvent::ScaleUp { .. }
+                        | EngineEvent::ScaleDown { .. }
+                ),
+                "overload event {:?} in an SLO-free run",
+                ev
+            );
+
             let sid = ev.session().expect("only crashes are instance-scoped");
             let entry = state.entry(sid).or_insert((Phase::Idle, *inst));
             let (phase, owner) = *entry;
@@ -209,7 +225,12 @@ proptest! {
                     prop_assert!(!crashed.contains(to), "rerouted onto a crashed instance");
                     *entry = (Phase::Arrived, *to);
                 }
-                EngineEvent::InstanceCrashed { .. } => unreachable!("handled above"),
+                EngineEvent::InstanceCrashed { .. }
+                | EngineEvent::SloConfig { .. }
+                | EngineEvent::TurnShed { .. }
+                | EngineEvent::OverloadLevelChanged { .. }
+                | EngineEvent::ScaleUp { .. }
+                | EngineEvent::ScaleDown { .. } => unreachable!("handled above"),
             }
         }
         for (sid, (phase, _)) in &state {

@@ -128,6 +128,13 @@ proptest! {
                 | EngineEvent::DegradedRecompute { .. } => {
                     prop_assert!(false, "fault event in a fault-free run: {:?}", ev);
                 }
+                EngineEvent::SloConfig { .. }
+                | EngineEvent::TurnShed { .. }
+                | EngineEvent::OverloadLevelChanged { .. }
+                | EngineEvent::ScaleUp { .. }
+                | EngineEvent::ScaleDown { .. } => {
+                    prop_assert!(false, "overload event in an SLO-free run: {:?}", ev);
+                }
             }
         }
         // Every turn that started also finished.
