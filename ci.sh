@@ -24,10 +24,19 @@
 #    gate greps for typed sheds plus at least one scaling action
 # 12. rustdoc gate: the whole workspace documents cleanly with
 #    warnings denied
-# 13. perf-regression gate: exp_profile re-runs the canonical scenario
+# 13. scale smoke: exp_scale runs a small diurnal cluster trace with the
+#    host-time self-profiler on, exports the two-clock Chrome trace, and
+#    trace_check validates both it and the self-profile's internal
+#    consistency (self <= total per scope, scope sum <= wall clock)
+# 14. perf-regression gate: exp_profile re-runs the canonical scenario
 #    matrix and diffs against the committed BENCH_profile.json with
 #    tolerance bands. Intentional perf changes: REGEN_BENCH=1 ./ci.sh
 #    regenerates the baseline (mirror of REGEN_GOLDEN=1 for fixtures).
+# 15. throughput gate: exp_scale re-runs the pinned bench scenario and
+#    diffs BENCH_scale.json — virtual fields (event count, makespan,
+#    hit rate) must match exactly; host fields (events/sec, wall, RSS)
+#    get a wide band that only catches algorithmic collapses.
+#    REGEN_BENCH=1 regenerates this baseline too.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -144,6 +153,16 @@ grep -q '"kind":"turn_shed"' "$SMOKE_DIR/slo.jsonl" \
 grep -qE '"kind":"scale_(up|down)"' "$SMOKE_DIR/slo.jsonl" \
     || { echo "slo smoke: autoscaler never acted" >&2; exit 1; }
 
+echo "==> scale smoke (exp_scale two-clock export + trace_check --self-profile)"
+./target/release/exp_scale --sessions 150 --instances 2 --rate 1.0 \
+    --out "$SMOKE_DIR/scale_smoke.json" \
+    --trace-out "$SMOKE_DIR/scale_two_clock.json" >/dev/null
+./target/release/trace_check \
+    --chrome "$SMOKE_DIR/scale_two_clock.json" \
+    --self-profile "$SMOKE_DIR/scale_smoke.json"
+grep -q '"simulator host time (self-profile)"' "$SMOKE_DIR/scale_two_clock.json" \
+    || { echo "scale smoke: self-profile track missing from two-clock trace" >&2; exit 1; }
+
 echo "==> cargo doc (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -154,6 +173,15 @@ if [[ "${REGEN_BENCH:-0}" == "1" ]]; then
 else
     ./target/release/exp_profile --out "$SMOKE_DIR/profile.json" \
         --baseline BENCH_profile.json >/dev/null
+fi
+
+echo "==> throughput gate (exp_scale vs BENCH_scale.json)"
+if [[ "${REGEN_BENCH:-0}" == "1" ]]; then
+    ./target/release/exp_scale --out BENCH_scale.json >/dev/null
+    echo "regenerated BENCH_scale.json — review and commit the diff"
+else
+    ./target/release/exp_scale --out "$SMOKE_DIR/scale.json" \
+        --baseline BENCH_scale.json >/dev/null
 fi
 
 echo "CI green."

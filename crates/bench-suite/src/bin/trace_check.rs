@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! trace_check [--jsonl PATH] [--chrome PATH] [--metrics PATH]
-//!             [--windows PATH]
+//!             [--windows PATH] [--self-profile PATH]
 //! ```
 //!
 //! Checks that a JSONL trace parses line-by-line, covers every event
@@ -38,6 +38,16 @@
 //! trace must be valid JSON with a non-empty `traceEvents` array whose
 //! duration slices all have `dur >= 0`; a metrics snapshot must parse
 //! as a JSON object.
+//!
+//! `--self-profile` validates a host-time self-profile (the JSON
+//! `exp_scale --out` writes, or any object carrying a `self_profile`
+//! key): the run must have dispatched events at a positive rate, and
+//! every scope row must be internally consistent — at least one call,
+//! `self_ns <= total_ns` (a scope's exclusive time cannot exceed its
+//! inclusive time), `mean_ns <= max_ns <= total_ns`, and the summed
+//! exclusive times must fit inside the measured wall clock (scopes
+//! partition host time; they can never add up to more than the run
+//! took).
 //!
 //! `--windows` validates the windowed-JSONL export of `exp_watch`: a
 //! `window_config` header, then one `window` line per tumbling window —
@@ -534,6 +544,93 @@ fn check_metrics(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a host-time self-profile: positive throughput and
+/// internally consistent per-scope timing rows.
+fn check_self_profile(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v: Value =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not valid JSON: {e:?}"))?;
+    // Accept either a bare SelfProfile or a wrapper (e.g. a ScaleBench)
+    // carrying one under `self_profile`.
+    let profile = v.get("self_profile").unwrap_or(&v);
+    let num = |field: &str| -> Result<f64, String> {
+        match profile.get(field) {
+            Some(Value::F64(x)) => Ok(*x),
+            Some(Value::U64(n)) => Ok(*n as f64),
+            other => Err(format!("{path}: bad `{field}` {other:?}")),
+        }
+    };
+    let wall_secs = num("wall_secs")?;
+    let events = num("events")?;
+    let rate = num("events_per_sec")?;
+    if wall_secs <= 0.0 {
+        return Err(format!("{path}: non-positive wall_secs {wall_secs}"));
+    }
+    if events < 1.0 {
+        return Err(format!("{path}: profiled run dispatched no events"));
+    }
+    if rate <= 0.0 {
+        return Err(format!("{path}: non-positive events_per_sec {rate}"));
+    }
+    match profile.get("peak_rss_bytes") {
+        None | Some(Value::Null) | Some(Value::U64(1..)) => {}
+        other => return Err(format!("{path}: bad `peak_rss_bytes` {other:?}")),
+    }
+    let Some(Value::Array(scopes)) = profile.get("scopes") else {
+        return Err(format!("{path}: missing `scopes` array"));
+    };
+    let mut self_sum_ns = 0.0f64;
+    for (i, s) in scopes.iter().enumerate() {
+        let name = match s.get("name") {
+            Some(Value::Str(n)) if !n.is_empty() => n,
+            other => return Err(format!("{path}: scopes[{i}]: bad `name` {other:?}")),
+        };
+        let field = |f: &str| -> Result<f64, String> {
+            match s.get(f) {
+                Some(Value::U64(n)) => Ok(*n as f64),
+                other => Err(format!("{path}: scope `{name}`: bad `{f}` {other:?}")),
+            }
+        };
+        let (calls, total, selfn, mean, max) = (
+            field("calls")?,
+            field("total_ns")?,
+            field("self_ns")?,
+            field("mean_ns")?,
+            field("max_ns")?,
+        );
+        if calls < 1.0 {
+            return Err(format!("{path}: scope `{name}` recorded zero calls"));
+        }
+        if selfn > total {
+            return Err(format!(
+                "{path}: scope `{name}`: self {selfn} > total {total} (exclusive time cannot \
+                 exceed inclusive)"
+            ));
+        }
+        if mean > max || max > total {
+            return Err(format!(
+                "{path}: scope `{name}`: mean {mean} / max {max} / total {total} out of order"
+            ));
+        }
+        self_sum_ns += selfn;
+    }
+    // Exclusive times partition the instrumented host time: their sum
+    // must fit in the wall clock (small slack for clock granularity).
+    if self_sum_ns > wall_secs * 1e9 * 1.01 + 1e6 {
+        return Err(format!(
+            "{path}: summed scope self time {:.3}s exceeds wall clock {wall_secs:.3}s",
+            self_sum_ns / 1e9
+        ));
+    }
+    println!(
+        "[trace_check] {path}: self-profile ok ({} scopes, {events:.0} events at {rate:.0}/s, \
+         {:.1}% of wall instrumented)",
+        scopes.len(),
+        self_sum_ns / (wall_secs * 1e9) * 100.0
+    );
+    Ok(())
+}
+
 /// Validates the windowed-JSONL export: header, contiguous windows,
 /// and a well-paired alert lifecycle.
 fn check_windows(path: &str) -> Result<(), String> {
@@ -697,6 +794,7 @@ fn main() -> ExitCode {
         ("--chrome", check_chrome),
         ("--metrics", check_metrics),
         ("--windows", check_windows),
+        ("--self-profile", check_self_profile),
     ] {
         if let Some(path) = arg_value(flag) {
             checked = true;
@@ -706,7 +804,9 @@ fn main() -> ExitCode {
         }
     }
     if !checked {
-        return fail("nothing to check: pass --jsonl/--chrome/--metrics PATH");
+        return fail(
+            "nothing to check: pass --jsonl/--chrome/--metrics/--windows/--self-profile PATH",
+        );
     }
     println!("[trace_check] ok");
     ExitCode::SUCCESS

@@ -21,6 +21,7 @@ pub mod fig22;
 pub mod fig23;
 pub mod fig24;
 pub mod fig25;
+pub mod scale;
 pub mod sec24;
 pub mod share;
 pub mod slo;

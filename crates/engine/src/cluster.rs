@@ -273,6 +273,7 @@ pub struct ClusterSim<O: EngineObserver = NullObserver> {
     scratch_triples: Vec<(u32, u32, usize)>,
     scratch_order: Vec<SessionId>,
     scratch_owners: Vec<u32>,
+    scratch_view: QueueView,
     scratch_loads: Vec<InstanceLoad>,
 }
 
@@ -376,6 +377,7 @@ impl<O: EngineObserver> ClusterSim<O> {
             scratch_triples: Vec::new(),
             scratch_order: Vec::new(),
             scratch_owners: Vec::new(),
+            scratch_view: QueueView::empty(),
             scratch_loads: Vec::new(),
         }
     }
@@ -501,17 +503,26 @@ impl<O: EngineObserver> ClusterSim<O> {
     /// consults: per-queue positions interleaved round-robin (all heads
     /// first, ties by instance id), each session tagged with its owning
     /// instance. With one instance this is exactly that instance's queue.
+    /// Every collection involved — the snapshot/order/owner scratch Vecs
+    /// *and* the returned view itself — is a reusable `ClusterSim` buffer
+    /// ([`QueueView::rebuild`] refills the retained maps), so a
+    /// steady-state consultation allocates nothing. Callers hand the view
+    /// back by assigning `self.scratch_view = view` after their last use.
     fn merged_view(&mut self) -> QueueView {
+        sim::scope!("cluster.merged_view");
         let mut snapshot = std::mem::take(&mut self.scratch_snapshot);
         let mut triples = std::mem::take(&mut self.scratch_triples);
         let mut order = std::mem::take(&mut self.scratch_order);
         let mut owners = std::mem::take(&mut self.scratch_owners);
         triples.clear();
-        for inst in &self.instances {
-            snapshot.clear();
-            inst.sched.snapshot_into(&mut snapshot);
-            for (pos, &j) in snapshot.iter().enumerate() {
-                triples.push((pos as u32, inst.id, j));
+        {
+            sim::scope!("sched.snapshot");
+            for inst in &self.instances {
+                snapshot.clear();
+                inst.sched.snapshot_into(&mut snapshot);
+                for (pos, &j) in snapshot.iter().enumerate() {
+                    triples.push((pos as u32, inst.id, j));
+                }
             }
         }
         triples.sort_unstable();
@@ -521,7 +532,8 @@ impl<O: EngineObserver> ClusterSim<O> {
             order.push(self.sid(self.jobs[j].session));
             owners.push(inst_id);
         }
-        let view = QueueView::with_owners(&order, &owners);
+        let mut view = std::mem::take(&mut self.scratch_view);
+        view.rebuild(&order, &owners);
         self.scratch_snapshot = snapshot;
         self.scratch_triples = triples;
         self.scratch_order = order;
@@ -531,6 +543,7 @@ impl<O: EngineObserver> ClusterSim<O> {
 
     /// Routes a session's arriving turn to an instance.
     fn route(&mut self, session: usize) -> u32 {
+        sim::scope!("cluster.route");
         let mut loads = std::mem::take(&mut self.scratch_loads);
         loads.clear();
         loads.extend(self.instances.iter().map(|i| InstanceLoad {
@@ -568,9 +581,11 @@ impl<O: EngineObserver> ClusterSim<O> {
         if self.slo.is_some() && self.slo_state.level() >= OverloadLevel::RecomputeOnly {
             return;
         }
+        sim::scope!("cluster.prefetch");
         let view = self.merged_view();
         let faulted = self.faults.is_some();
         let Some(store) = &mut self.store else {
+            self.scratch_view = view;
             return;
         };
         // Prefetch read retries cost backoff wall time: the surviving
@@ -619,6 +634,7 @@ impl<O: EngineObserver> ClusterSim<O> {
                 }
             }
         }
+        self.scratch_view = view;
     }
 
     /// Applies context-window truncation at turn arrival. Returns the new
@@ -672,6 +688,7 @@ impl<O: EngineObserver> ClusterSim<O> {
     /// Handles a turn arrival: routes it, creates the job, queues it on
     /// its instance, prefetches.
     fn on_turn_arrival(&mut self, now: Time, session: usize, q: &mut EventQueue<Ev>) {
+        sim::scope!("cluster.turn_arrival");
         let arrival_index = self.turn_arrivals;
         self.turn_arrivals += 1;
         let measured = arrival_index >= self.cfg.warmup_turns;
@@ -766,6 +783,7 @@ impl<O: EngineObserver> ClusterSim<O> {
     /// owning instance's links. Returns (reused tokens, when the KV is
     /// staged in the fast tier, tier the KV was found in).
     fn consult_store(&mut self, now: Time, job_idx: usize) -> (u64, Time, Option<TierId>) {
+        sim::scope!("cluster.consult");
         let job = &self.jobs[job_idx];
         let (session, hist, user, measured, inst) = (
             job.session,
@@ -846,6 +864,7 @@ impl<O: EngineObserver> ClusterSim<O> {
             });
             (c, None)
         };
+        self.scratch_view = view;
         self.pump_store_events(inst);
         if let Some(reason) = degraded {
             self.recompute_fallbacks += 1;
@@ -901,6 +920,7 @@ impl<O: EngineObserver> ClusterSim<O> {
     /// cannot start at `now` (data or buffer not ready) and the value is
     /// the earliest time it could.
     fn try_admit(&mut self, now: Time, inst: u32, q: &mut EventQueue<Ev>) -> Result<(), Time> {
+        sim::scope!("cluster.admit");
         let i = inst as usize;
         let job_idx = self.instances[i].sched.front().expect("caller checked");
         let gate = self.instances[i].plan.write_gate(now);
@@ -1124,6 +1144,7 @@ impl<O: EngineObserver> ClusterSim<O> {
     /// Retires a finished job on `inst`: saves KV to the shared store,
     /// updates the session, schedules the next turn.
     fn retire_job(&mut self, now: Time, inst: u32, job_idx: usize, q: &mut EventQueue<Ev>) {
+        sim::scope!("cluster.retire");
         self.last_completion = now;
         self.instances[inst as usize].last_completion = now;
         let job = &self.jobs[job_idx];
@@ -1161,6 +1182,7 @@ impl<O: EngineObserver> ClusterSim<O> {
                     .plan
                     .charge(now, std::slice::from_ref(t));
             }
+            self.scratch_view = view;
             self.pump_store_events(inst);
             let done = self.instances[inst as usize]
                 .plan
@@ -1401,6 +1423,7 @@ impl<O: EngineObserver> ClusterSim<O> {
         self.pressure_events += 1;
         let view = self.merged_view();
         let Some(store) = &mut self.store else {
+            self.scratch_view = view;
             return;
         };
         let transfers = store.apply_pressure(now, fraction, &view);
@@ -1410,6 +1433,7 @@ impl<O: EngineObserver> ClusterSim<O> {
                 .plan
                 .charge(now, std::slice::from_ref(t));
         }
+        self.scratch_view = view;
         self.pump_store_events(0);
     }
 
@@ -1460,6 +1484,7 @@ impl<O: EngineObserver> World for ClusterSim<O> {
     type Event = Ev;
 
     fn handle(&mut self, now: Time, ev: Ev, q: &mut EventQueue<Ev>) {
+        sim::scope!("cluster.dispatch");
         match ev {
             Ev::TurnArrival(session) => self.on_turn_arrival(now, session, q),
             Ev::Sweep => {

@@ -48,6 +48,7 @@
 pub mod fault;
 mod link;
 mod pool;
+pub mod profiler;
 mod queue;
 mod rng;
 mod time;
@@ -58,6 +59,7 @@ pub use fault::{
 };
 pub use link::BandwidthLink;
 pub use pool::{CapacityPool, PoolError};
+pub use profiler::{ProfilerConfig, ScopeProfile, SelfProfile};
 pub use queue::{BoundedInbox, EventQueue};
 pub use rng::SimRng;
 pub use time::{Dur, Time};
@@ -91,6 +93,11 @@ pub fn run<W: World>(world: &mut W, q: &mut EventQueue<W::Event>, until: Option<
         let (now, ev) = q.pop().expect("peek_time guaranteed an event");
         last = now;
         world.handle(now, ev, q);
+        // Host-time self-profiling: count the drained event and let the
+        // heartbeat fire. Disabled cost is the one relaxed load.
+        if profiler::is_enabled() {
+            profiler::note_event(now);
+        }
     }
     last
 }

@@ -1,0 +1,587 @@
+//! Host-time self-profiler: where does the *simulator* burn CPU?
+//!
+//! Every other observability layer in this workspace measures **virtual**
+//! time — the clock the simulated cluster lives on. This module measures
+//! the other clock: host nanoseconds spent inside the simulator's own hot
+//! paths, so `exp_scale` can gate events/sec and a profile table shows
+//! which scope to optimize next (ROADMAP item 3).
+//!
+//! # Design
+//!
+//! - A single global `ENABLED` flag, loaded `Relaxed`. The [`crate::scope!`]
+//!   macro checks it first, so a disabled run pays one atomic load and a
+//!   branch per instrumented scope — nothing else. No timers fire, no
+//!   thread-locals are touched.
+//! - Each `scope!` callsite caches its interned scope id in a `static
+//!   AtomicU32`, so the name → id lookup (a mutex-guarded registry) runs
+//!   once per callsite per process, not once per call.
+//! - Stats live in a thread-local table indexed by scope id; the guard
+//!   stack carries a `child_ns` accumulator so a parent's **self** time
+//!   (total minus time spent in instrumented children) falls out at
+//!   report time. The simulator is single-threaded, so [`finish`] reads
+//!   the calling thread's table.
+//! - The profiler never reads or writes any simulation state: enabling it
+//!   cannot change a `RunReport` byte (pinned by `tests/self_profile.rs`).
+//!
+//! # Heartbeat
+//!
+//! Long runs are silent for minutes; [`note_event`] (called by
+//! [`crate::run`] only while enabled) counts drained events and, every
+//! [`HEARTBEAT_CHECK_EVERY`] events, checks the host clock. When the
+//! configured interval has passed it prints one stderr line: virtual
+//! time, events drained, events/sec, and the top-3 scopes by self time.
+//!
+//! # Allocation counters
+//!
+//! With the off-by-default `alloc-count` cargo feature, `CountingAlloc`
+//! is installed as the global allocator and [`SelfProfile`] reports
+//! allocation count/bytes; without the feature those fields are `null`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::Time;
+
+/// How many drained events between host-clock checks in [`note_event`].
+pub const HEARTBEAT_CHECK_EVERY: u64 = 8192;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Interned scope names; a scope id is an index into this table.
+static REGISTRY: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Sentinel meaning "this callsite has not interned its name yet".
+const UNINTERNED: u32 = u32::MAX;
+
+/// Per-scope accumulators (host nanoseconds).
+#[derive(Clone, Copy, Default)]
+struct ScopeStats {
+    calls: u64,
+    total_ns: u64,
+    child_ns: u64,
+    max_ns: u64,
+}
+
+/// One live `scope!` frame on the guard stack.
+struct Frame {
+    id: u32,
+    /// Host ns spent in already-completed instrumented children.
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct Tls {
+    stats: Vec<ScopeStats>,
+    stack: Vec<Frame>,
+    run_start: Option<Instant>,
+    events: u64,
+    virtual_now_ns: u64,
+    heartbeat_secs: Option<f64>,
+    last_heartbeat: Option<Instant>,
+}
+
+thread_local! {
+    static TLS: RefCell<Tls> = RefCell::new(Tls::default());
+}
+
+/// Is the profiler currently enabled? One relaxed load — this is the
+/// whole cost of a disabled [`crate::scope!`].
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Interns `name` once and caches the id in the callsite's static slot.
+/// Called by the [`crate::scope!`] macro; not meant for direct use.
+#[doc(hidden)]
+pub fn intern(slot: &AtomicU32, name: &'static str) -> u32 {
+    let cached = slot.load(Ordering::Relaxed);
+    if cached != UNINTERNED {
+        return cached;
+    }
+    let mut reg = REGISTRY.lock().expect("scope registry poisoned");
+    // Re-check under the lock (another thread may have interned it), and
+    // dedup by name so re-registered callsites share one row.
+    let id = match reg.iter().position(|&n| n == name) {
+        Some(i) => i as u32,
+        None => {
+            reg.push(name);
+            (reg.len() - 1) as u32
+        }
+    };
+    slot.store(id, Ordering::Relaxed);
+    id
+}
+
+/// RAII guard for one instrumented scope. Construct via [`crate::scope!`].
+pub struct ScopeGuard {
+    id: u32,
+    start: Instant,
+}
+
+/// Enters scope `id`: pushes a frame and starts the clock. Called by the
+/// [`crate::scope!`] macro; not meant for direct use.
+#[doc(hidden)]
+pub fn enter(slot: &AtomicU32, name: &'static str) -> ScopeGuard {
+    let id = intern(slot, name);
+    TLS.with(|t| t.borrow_mut().stack.push(Frame { id, child_ns: 0 }));
+    ScopeGuard {
+        id,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos() as u64;
+        TLS.with(|t| {
+            let t = &mut *t.borrow_mut();
+            // Unwind to this guard's frame: a begin()/finish() cycle or a
+            // panic may have left the stack out of sync; never attribute
+            // to the wrong scope.
+            let frame = loop {
+                match t.stack.pop() {
+                    Some(f) if f.id == self.id => break Some(f),
+                    Some(_) => continue,
+                    None => break None,
+                }
+            };
+            let Some(frame) = frame else { return };
+            if t.stats.len() <= self.id as usize {
+                t.stats.resize(self.id as usize + 1, ScopeStats::default());
+            }
+            let s = &mut t.stats[self.id as usize];
+            s.calls += 1;
+            s.total_ns += elapsed;
+            s.child_ns += frame.child_ns;
+            s.max_ns = s.max_ns.max(elapsed);
+            if let Some(parent) = t.stack.last_mut() {
+                parent.child_ns += elapsed;
+            }
+        });
+    }
+}
+
+/// Times a lexical scope under `name` when the profiler is enabled.
+///
+/// Expands to a guard binding, so the measurement covers from the macro
+/// to the end of the enclosing block. Disabled cost: one relaxed atomic
+/// load and a branch.
+///
+/// ```
+/// fn hot_path() {
+///     sim::scope!("store.consult");
+///     // ... work measured as store.consult ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! scope {
+    ($name:expr) => {
+        let _selfprof_guard = if $crate::profiler::is_enabled() {
+            static SELFPROF_SCOPE_ID: ::std::sync::atomic::AtomicU32 =
+                ::std::sync::atomic::AtomicU32::new(u32::MAX);
+            Some($crate::profiler::enter(&SELFPROF_SCOPE_ID, $name))
+        } else {
+            None
+        };
+    };
+}
+
+/// Profiler run configuration (see [`begin`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProfilerConfig {
+    /// Print a heartbeat line to stderr every this many host seconds
+    /// (`None`: no heartbeat).
+    pub heartbeat_secs: Option<f64>,
+}
+
+/// Enables the profiler for the calling thread's next run: clears all
+/// accumulated stats, arms the heartbeat, and flips the global flag.
+pub fn begin(cfg: ProfilerConfig) {
+    TLS.with(|t| {
+        let t = &mut *t.borrow_mut();
+        t.stats.clear();
+        t.stack.clear();
+        t.events = 0;
+        t.virtual_now_ns = 0;
+        let now = Instant::now();
+        t.run_start = Some(now);
+        t.heartbeat_secs = cfg.heartbeat_secs;
+        t.last_heartbeat = Some(now);
+    });
+    #[cfg(feature = "alloc-count")]
+    alloc_count::reset();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Counts one drained event and drives the heartbeat. Called by
+/// [`crate::run`] per event, only while enabled.
+pub fn note_event(virtual_now: Time) {
+    TLS.with(|t| {
+        let t = &mut *t.borrow_mut();
+        t.events += 1;
+        t.virtual_now_ns = virtual_now.as_nanos();
+        if t.events % HEARTBEAT_CHECK_EVERY != 0 {
+            return;
+        }
+        let Some(every) = t.heartbeat_secs else {
+            return;
+        };
+        let Some(last) = t.last_heartbeat else {
+            return;
+        };
+        if last.elapsed().as_secs_f64() < every {
+            return;
+        }
+        t.last_heartbeat = Some(Instant::now());
+        let wall = t
+            .run_start
+            .map(|s| s.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        let rate = if wall > 0.0 {
+            t.events as f64 / wall
+        } else {
+            0.0
+        };
+        let mut top: Vec<(usize, u64)> = t
+            .stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.total_ns.saturating_sub(s.child_ns)))
+            .filter(|&(_, ns)| ns > 0)
+            .collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let reg = REGISTRY.lock().expect("scope registry poisoned");
+        let tops: Vec<String> = top
+            .iter()
+            .take(3)
+            .map(|&(i, ns)| {
+                format!(
+                    "{} {:.0}ms",
+                    reg.get(i).copied().unwrap_or("?"),
+                    ns as f64 / 1e6
+                )
+            })
+            .collect();
+        eprintln!(
+            "[selfprof] vt={:.1}s events={} rate={:.0}/s wall={:.1}s top: {}",
+            t.virtual_now_ns as f64 / 1e9,
+            t.events,
+            rate,
+            wall,
+            if tops.is_empty() {
+                "-".to_string()
+            } else {
+                tops.join(" | ")
+            }
+        );
+    });
+}
+
+/// One scope's row in the [`SelfProfile`] report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScopeProfile {
+    /// The `scope!` name.
+    pub name: String,
+    /// Number of completed entries into the scope.
+    pub calls: u64,
+    /// Total host ns inside the scope, children included.
+    pub total_ns: u64,
+    /// Host ns excluding instrumented children (`total - child`).
+    pub self_ns: u64,
+    /// Mean host ns per call (`total / calls`).
+    pub mean_ns: u64,
+    /// Longest single call in host ns.
+    pub max_ns: u64,
+}
+
+/// The rolled-up host-time report of one profiled run.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelfProfile {
+    /// Host wall-clock seconds from [`begin`] to [`finish`].
+    pub wall_secs: f64,
+    /// Events drained through [`crate::run`] while enabled.
+    pub events: u64,
+    /// Events per host second (`events / wall_secs`).
+    pub events_per_sec: f64,
+    /// Peak resident set size (`VmHWM` from `/proc/self/status`);
+    /// `null` where unavailable.
+    pub peak_rss_bytes: Option<u64>,
+    /// Heap allocations while enabled (`alloc-count` feature only).
+    pub alloc_count: Option<u64>,
+    /// Heap bytes requested while enabled (`alloc-count` feature only).
+    pub alloc_bytes: Option<u64>,
+    /// Per-scope rows, sorted by self time descending.
+    pub scopes: Vec<ScopeProfile>,
+}
+
+impl SelfProfile {
+    /// Renders the per-scope table as aligned text lines.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>12} {:>12} {:>10} {:>12}\n",
+            "scope", "calls", "total_ms", "self_ms", "mean_us", "max_us"
+        ));
+        for s in &self.scopes {
+            out.push_str(&format!(
+                "{:<28} {:>12} {:>12.2} {:>12.2} {:>10.2} {:>12.2}\n",
+                s.name,
+                s.calls,
+                s.total_ns as f64 / 1e6,
+                s.self_ns as f64 / 1e6,
+                s.mean_ns as f64 / 1e3,
+                s.max_ns as f64 / 1e3,
+            ));
+        }
+        out
+    }
+}
+
+/// Disables the profiler and returns the rolled-up report for the
+/// calling thread's run.
+pub fn finish() -> SelfProfile {
+    ENABLED.store(false, Ordering::Relaxed);
+    #[cfg(feature = "alloc-count")]
+    let allocs = Some(alloc_count::snapshot());
+    #[cfg(not(feature = "alloc-count"))]
+    let allocs: Option<(u64, u64)> = None;
+    TLS.with(|t| {
+        let t = &mut *t.borrow_mut();
+        let wall_secs = t
+            .run_start
+            .take()
+            .map(|s| s.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
+        let reg = REGISTRY.lock().expect("scope registry poisoned");
+        let mut scopes: Vec<ScopeProfile> = t
+            .stats
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.calls > 0)
+            .map(|(i, s)| ScopeProfile {
+                name: reg.get(i).copied().unwrap_or("?").to_string(),
+                calls: s.calls,
+                total_ns: s.total_ns,
+                self_ns: s.total_ns.saturating_sub(s.child_ns),
+                mean_ns: s.total_ns / s.calls.max(1),
+                max_ns: s.max_ns,
+            })
+            .collect();
+        scopes.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+        let events = t.events;
+        let events_per_sec = if wall_secs > 0.0 {
+            events as f64 / wall_secs
+        } else {
+            0.0
+        };
+        t.stats.clear();
+        t.stack.clear();
+        SelfProfile {
+            wall_secs,
+            events,
+            events_per_sec,
+            peak_rss_bytes: peak_rss_bytes(),
+            alloc_count: allocs.map(|(n, _)| n),
+            alloc_bytes: allocs.map(|(_, b)| b),
+            scopes,
+        }
+    })
+}
+
+/// Reads the process peak RSS (`VmHWM`) in bytes from
+/// `/proc/self/status`. Returns `None` off Linux or on parse failure.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Counting global allocator (feature `alloc-count`): wraps the system
+/// allocator with relaxed atomic counters so [`SelfProfile`] can report
+/// allocation churn. Off by default — one `#[global_allocator]` per
+/// binary, and counting adds two atomics per alloc.
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// The counting allocator; installed as `#[global_allocator]` when
+    /// the feature is on.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers entirely to `System`; the counters are side tables.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Zeroes the counters (called by [`super::begin`]).
+    pub fn reset() {
+        ALLOCS.store(0, Ordering::Relaxed);
+        BYTES.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns `(allocations, bytes)` since the last [`reset`].
+    pub fn snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `begin`/`finish` flip a process-global flag: tests that use them
+    /// must not interleave, so they all hold this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn spin_for(ns: u64) {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn nested_scopes_split_self_and_child_time() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        begin(ProfilerConfig::default());
+        {
+            crate::scope!("outer");
+            spin_for(2_000_000);
+            {
+                crate::scope!("inner");
+                spin_for(2_000_000);
+            }
+            spin_for(1_000_000);
+        }
+        let p = finish();
+        let outer = p.scopes.iter().find(|s| s.name == "outer").unwrap();
+        let inner = p.scopes.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        // Outer total covers both spins; its self time excludes inner.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns <= outer.total_ns - inner.total_ns);
+        assert!(inner.self_ns == inner.total_ns);
+        // Self + child partition the total exactly.
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+        assert!(outer.self_ns >= 2_000_000);
+        assert!(inner.total_ns >= 2_000_000);
+    }
+
+    #[test]
+    fn repeated_calls_accumulate_and_track_max() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        begin(ProfilerConfig::default());
+        for i in 0..3 {
+            crate::scope!("repeat");
+            spin_for(500_000 * (i + 1));
+        }
+        let p = finish();
+        let s = p.scopes.iter().find(|s| s.name == "repeat").unwrap();
+        assert_eq!(s.calls, 3);
+        assert!(s.total_ns >= 3_000_000);
+        assert!(s.max_ns >= 1_500_000);
+        assert!(s.max_ns <= s.total_ns);
+        assert_eq!(s.mean_ns, s.total_ns / 3);
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        assert!(!is_enabled());
+        {
+            crate::scope!("never");
+            std::hint::black_box(1u64);
+        }
+        begin(ProfilerConfig::default());
+        let p = finish();
+        assert!(
+            !p.scopes.iter().any(|s| s.name == "never"),
+            "disabled scope! must not record"
+        );
+        assert_eq!(p.events, 0);
+    }
+
+    #[test]
+    fn note_event_counts_and_rates() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        begin(ProfilerConfig::default());
+        for i in 0..100 {
+            note_event(Time::from_nanos(i));
+        }
+        spin_for(1_000_000);
+        let p = finish();
+        assert_eq!(p.events, 100);
+        assert!(p.wall_secs > 0.0);
+        assert!(p.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn peak_rss_reads_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM should parse on linux");
+            assert!(rss > 0);
+        }
+    }
+
+    #[test]
+    fn profile_serializes_with_sorted_scopes() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        begin(ProfilerConfig::default());
+        {
+            crate::scope!("big");
+            spin_for(2_000_000);
+        }
+        {
+            crate::scope!("small");
+            spin_for(200_000);
+        }
+        let p = finish();
+        assert_eq!(p.scopes[0].name, "big", "sorted by self time desc");
+        let json = serde_json::to_string(&p).expect("profile serializes");
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"scopes\""));
+        let table = p.render_table();
+        assert!(table.contains("big"));
+        assert!(table.contains("self_ms"));
+    }
+}

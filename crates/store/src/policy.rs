@@ -19,6 +19,12 @@ pub struct QueueView {
     owner: HashMap<SessionId, u32>,
 }
 
+impl Default for QueueView {
+    fn default() -> Self {
+        QueueView::empty()
+    }
+}
+
 impl QueueView {
     /// Builds a view from the queue's session order (head first). When a
     /// session appears more than once, its earliest position wins.
@@ -55,6 +61,27 @@ impl QueueView {
     /// An empty queue (what LRU/FIFO effectively see).
     pub fn empty() -> Self {
         QueueView::new(&[])
+    }
+
+    /// Rebuilds this view in place from a fresh `order`/`owners` pair,
+    /// reusing the retained allocations. Semantically identical to
+    /// [`QueueView::with_owners`]; this is the cluster's per-store-
+    /// consultation hot path (`ClusterSim::merged_view` rebuilds a
+    /// scratch view instead of allocating three collections per call).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` and `owners` differ in length.
+    pub fn rebuild(&mut self, order: &[SessionId], owners: &[u32]) {
+        assert_eq!(order.len(), owners.len(), "one owner per queued session");
+        self.order.clear();
+        self.order.extend_from_slice(order);
+        self.pos.clear();
+        self.owner.clear();
+        for (i, (&sid, &inst)) in order.iter().zip(owners).enumerate() {
+            self.pos.entry(sid).or_insert(i);
+            self.owner.entry(sid).or_insert(inst);
+        }
     }
 
     /// Returns the queue position of `sid` (0 = head), if present.
@@ -303,6 +330,29 @@ mod tests {
         assert!(PolicyKind::SchedulerAware.build().wants_prefetch());
         assert!(!PolicyKind::Lru.build().wants_prefetch());
         assert!(!PolicyKind::Fifo.build().wants_prefetch());
+    }
+
+    #[test]
+    fn rebuild_matches_with_owners_and_reuses_buffers() {
+        let order = [SessionId(5), SessionId(6), SessionId(5), SessionId(7)];
+        let owners = [1u32, 0, 2, 1];
+        let fresh = QueueView::with_owners(&order, &owners);
+        let mut reused = QueueView::default();
+        // Rebuild over stale content to prove the clear is complete.
+        reused.rebuild(&[SessionId(99)], &[9]);
+        reused.rebuild(&order, &owners);
+        assert_eq!(reused.len(), fresh.len());
+        assert_eq!(
+            reused.head(10).collect::<Vec<_>>(),
+            fresh.head(10).collect::<Vec<_>>()
+        );
+        for &sid in &[SessionId(5), SessionId(6), SessionId(7), SessionId(99)] {
+            assert_eq!(reused.position(sid), fresh.position(sid));
+            assert_eq!(reused.owner(sid), fresh.owner(sid));
+        }
+        // Duplicates keep the earliest occurrence's position and owner.
+        assert_eq!(reused.position(SessionId(5)), Some(0));
+        assert_eq!(reused.owner(SessionId(5)), Some(1));
     }
 
     #[test]

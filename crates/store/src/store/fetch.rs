@@ -42,6 +42,7 @@ impl AttentionStore {
         now: Time,
         queue: &QueueView,
     ) -> (Vec<Transfer>, bool) {
+        sim::scope!("store.save");
         if self.cfg.keying == crate::KeyingMode::ContentAddressed {
             return self.ca_save(sid, total_bytes, total_tokens, now, queue);
         }
@@ -151,6 +152,7 @@ impl AttentionStore {
         now: Time,
         queue: &QueueView,
     ) -> (Lookup, Vec<Transfer>) {
+        sim::scope!("store.fetch");
         if self.cfg.keying == crate::KeyingMode::ContentAddressed {
             return self.ca_load_for_use(sid, now, queue);
         }
@@ -246,6 +248,7 @@ impl AttentionStore {
         now: Time,
         queue: &QueueView,
     ) -> crate::PrefixMatch {
+        sim::scope!("store.prefix_match");
         if self.cfg.keying == crate::KeyingMode::ContentAddressed {
             return self.ca_load_prefix(sid, ctx_tokens, now, queue);
         }
@@ -267,6 +270,7 @@ impl AttentionStore {
     ///
     /// No-op for history-only policies (LRU/FIFO cannot see the queue).
     pub fn prefetch(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
+        sim::scope!("store.prefetch");
         if self.cfg.keying == crate::KeyingMode::ContentAddressed {
             return self.ca_prefetch(now, queue);
         }

@@ -165,6 +165,7 @@ impl AttentionStore {
         exclude: Option<SessionId>,
         out: &mut Vec<Transfer>,
     ) -> bool {
+        sim::scope!("store.make_room");
         let pool = &self.pools[tier.0];
         if pool.blocks_for(bytes) > pool.n_blocks() {
             return false;
@@ -185,6 +186,7 @@ impl AttentionStore {
     /// reserve exists to absorb incoming saves and fetches, and demoting a
     /// queued session would force the prefetcher to read it right back.
     pub fn maintain_reserve(&mut self, now: Time, queue: &QueueView) -> Vec<Transfer> {
+        sim::scope!("store.reserve");
         if self.cfg.keying == crate::KeyingMode::ContentAddressed {
             return self.ca_maintain_reserve(now, queue);
         }

@@ -613,6 +613,7 @@ impl AttentionStore {
         now: Time,
         queue: &QueueView,
     ) -> PrefixMatch {
+        sim::scope!("store.trie_probe");
         // A consult replaces any pins left by a previous one.
         self.ca_unpin(sid);
         let mark = self.trace_mark();

@@ -159,6 +159,11 @@ pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
 /// draws a full-height marker at the window boundary where the rule
 /// transitioned, with the deciding signal value in its args.
 pub fn to_chrome_trace_with_alerts(records: &[TraceRecord], alerts: &[AlertEvent]) -> String {
+    chrome_envelope(chrome_events(records, alerts))
+}
+
+/// Builds the trace-event list shared by every Chrome-trace flavour.
+fn chrome_events(records: &[TraceRecord], alerts: &[AlertEvent]) -> Vec<Value> {
     let mut events: Vec<Value> = Vec::new();
     let mut named_pids: Vec<u64> = Vec::new();
     let mut named_threads: Vec<(u64, u64)> = Vec::new();
@@ -358,12 +363,61 @@ pub fn to_chrome_trace_with_alerts(records: &[TraceRecord], alerts: &[AlertEvent
             "cachedattention",
         ));
     }
+    events
+}
 
+/// Wraps trace events in the `{"traceEvents": [...]}` envelope.
+fn chrome_envelope(events: Vec<Value>) -> String {
     let envelope = obj(vec![
         ("traceEvents", Value::Array(events)),
         ("displayTimeUnit", Value::Str("ms".to_string())),
     ]);
     serde_json::to_string(&envelope).expect("trace envelope always serializes")
+}
+
+/// Virtual pid of the host-time self-profile process track.
+const SELFPROF_PID: u64 = 1000;
+
+/// [`to_chrome_trace`] with the host-time self-profile rendered as a
+/// dedicated process beside the virtual-time tracks, so a single Chrome
+/// trace shows both clocks. Each profiled scope becomes its own thread
+/// under a "simulator host time (self-profile)" process holding one
+/// aggregate slice whose extent is the scope's **self** time in host
+/// microseconds (`ts` starts at zero: host slices align with the virtual
+/// origin for side-by-side magnitude reading, not causality); call count
+/// and total/mean/max ns ride in the slice args.
+pub fn to_chrome_trace_two_clock(records: &[TraceRecord], profile: &sim::SelfProfile) -> String {
+    let mut events = chrome_events(records, &[]);
+    events.push(metadata(
+        "process_name",
+        SELFPROF_PID,
+        None,
+        "simulator host time (self-profile)",
+    ));
+    for (i, s) in profile.scopes.iter().enumerate() {
+        let tid = i as u64;
+        events.push(metadata("thread_name", SELFPROF_PID, Some(tid), &s.name));
+        events.push(obj(vec![
+            ("name", Value::Str(s.name.clone())),
+            ("cat", Value::Str("selfprof".to_string())),
+            ("ph", Value::Str("X".to_string())),
+            ("ts", Value::F64(0.0)),
+            ("dur", Value::F64(s.self_ns as f64 / 1e3)),
+            ("pid", Value::U64(SELFPROF_PID)),
+            ("tid", Value::U64(tid)),
+            (
+                "args",
+                obj(vec![
+                    ("calls", Value::U64(s.calls)),
+                    ("total_ns", Value::U64(s.total_ns)),
+                    ("self_ns", Value::U64(s.self_ns)),
+                    ("mean_ns", Value::U64(s.mean_ns)),
+                    ("max_ns", Value::U64(s.max_ns)),
+                ]),
+            ),
+        ]));
+    }
+    chrome_envelope(events)
 }
 
 /// Renders the windowed plane as JSON Lines: a `window_config` header

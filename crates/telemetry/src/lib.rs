@@ -37,7 +37,8 @@ mod trace;
 mod window;
 
 pub use export::{
-    to_chrome_trace, to_chrome_trace_with_alerts, to_jsonl, to_prometheus, windows_to_jsonl,
+    to_chrome_trace, to_chrome_trace_two_clock, to_chrome_trace_with_alerts, to_jsonl,
+    to_prometheus, windows_to_jsonl,
 };
 pub use health::{
     default_rules, AlertEvent, AlertKind, AlertRule, HealthPoint, HealthSignals, Signal, SloConfig,
@@ -113,6 +114,7 @@ impl Telemetry {
 
 impl EngineObserver for Telemetry {
     fn on_event(&mut self, ev: EngineEvent) {
+        sim::scope!("telemetry.dispatch");
         self.push(None, TraceEvent::Engine(ev));
         self.hub.on_event(ev);
         if let Some(w) = self.windows.as_mut() {
@@ -121,6 +123,7 @@ impl EngineObserver for Telemetry {
     }
 
     fn on_instance_event(&mut self, instance: u32, ev: EngineEvent) {
+        sim::scope!("telemetry.dispatch");
         self.push(Some(instance), TraceEvent::Engine(ev));
         self.hub.on_instance_event(instance, ev);
         if let Some(w) = self.windows.as_mut() {
@@ -133,6 +136,7 @@ impl EngineObserver for Telemetry {
     }
 
     fn on_store_event(&mut self, ev: StoreEvent) {
+        sim::scope!("telemetry.dispatch");
         self.push(None, TraceEvent::Store(ev));
         self.hub.on_store_event(ev);
         if let Some(w) = self.windows.as_mut() {
@@ -141,6 +145,7 @@ impl EngineObserver for Telemetry {
     }
 
     fn on_instance_store_event(&mut self, instance: u32, ev: StoreEvent) {
+        sim::scope!("telemetry.dispatch");
         // Events that carry their own owner attribution (promotions,
         // demotions, prefetch completions) keep it; the rest are tagged
         // with the instance whose pipeline step drained them.

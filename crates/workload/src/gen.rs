@@ -46,6 +46,53 @@ pub struct ShareGptProfile {
     /// Optional flash-crowd surge: a deterministic rate-multiplier window
     /// layered on top of the (possibly bursty) base process.
     pub surge: Option<Surge>,
+    /// Optional diurnal (day/night) rate modulation, layered on top of
+    /// every other shape. The multi-hour `exp_scale` traces use this.
+    pub diurnal: Option<Diurnal>,
+}
+
+/// A deterministic diurnal rate modulation.
+///
+/// The arrival rate is multiplied by `1 + amplitude * sin(2π t / period)`,
+/// approximated piecewise-constant over `segment_secs`-long segments
+/// (factor evaluated at each segment's midpoint). Segment boundaries use
+/// the same memoryless redraw as the burstiness phases and surge edges,
+/// so the process stays a true inhomogeneous Poisson process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diurnal {
+    /// Full day/night cycle length in seconds (a real day is 86 400; the
+    /// scale experiments compress it).
+    pub period_secs: f64,
+    /// Swing of the modulation in `[0, 1)`: 0.6 means the peak runs at
+    /// 1.6× the base rate and the trough at 0.4×.
+    pub amplitude: f64,
+    /// Piecewise-constant segment length in seconds.
+    pub segment_secs: f64,
+}
+
+impl Default for Diurnal {
+    fn default() -> Self {
+        Diurnal {
+            period_secs: 4.0 * 3600.0,
+            amplitude: 0.6,
+            segment_secs: 300.0,
+        }
+    }
+}
+
+impl Diurnal {
+    /// The rate multiplier of the segment containing `now` (seconds).
+    pub fn factor_at(&self, now: f64) -> f64 {
+        let seg_start = (now / self.segment_secs).floor() * self.segment_secs;
+        let mid = seg_start + self.segment_secs / 2.0;
+        let phase = std::f64::consts::TAU * mid / self.period_secs;
+        1.0 + self.amplitude * phase.sin()
+    }
+
+    /// The end of the segment containing `now` (seconds).
+    fn segment_end(&self, now: f64) -> f64 {
+        ((now / self.segment_secs).floor() + 1.0) * self.segment_secs
+    }
 }
 
 /// A flash-crowd surge window.
@@ -119,6 +166,7 @@ impl Default for ShareGptProfile {
             mean_think_secs: 15.0,
             burstiness: None,
             surge: None,
+            diurnal: None,
         }
     }
 }
@@ -141,6 +189,21 @@ impl ShareGptProfile {
     /// Returns a copy with bursty (MMPP) arrivals.
     pub fn with_burstiness(mut self, b: Burstiness) -> Self {
         self.burstiness = Some(b);
+        self
+    }
+
+    /// Returns a copy with diurnal rate modulation.
+    pub fn with_diurnal(mut self, d: Diurnal) -> Self {
+        assert!(d.period_secs > 0.0, "diurnal period must be positive");
+        assert!(
+            (0.0..1.0).contains(&d.amplitude),
+            "diurnal amplitude must be in [0, 1)"
+        );
+        assert!(
+            d.segment_secs > 0.0 && d.segment_secs <= d.period_secs,
+            "diurnal segments must be positive and no longer than the period"
+        );
+        self.diurnal = Some(d);
         self
     }
 
@@ -225,15 +288,16 @@ impl Generator {
         }
     }
 
-    /// Draws the next inter-arrival gap, honouring the burstiness phases
-    /// and the surge window via the memorylessness of the exponential:
-    /// when a gap would cross the nearest rate boundary (phase end, surge
-    /// start or surge end), the residual is re-drawn at the new rate from
-    /// the boundary.
+    /// Draws the next inter-arrival gap, honouring the burstiness phases,
+    /// the surge window and the diurnal segments via the memorylessness
+    /// of the exponential: when a gap would cross the nearest rate
+    /// boundary (phase end, surge start or end, diurnal segment end), the
+    /// residual is re-drawn at the new rate from the boundary.
     fn next_arrival(&mut self, mut now: f64, phase_high: &mut bool, phase_end: &mut f64) -> f64 {
         let base = self.profile.arrival_rate;
         let burst = self.profile.burstiness.clone();
         let surge = self.profile.surge.clone();
+        let diurnal = self.profile.diurnal.clone();
         loop {
             let mut rate = base;
             if let Some(b) = &burst {
@@ -252,6 +316,10 @@ impl Generator {
                     rate *= s.factor;
                     boundary = boundary.min(end);
                 }
+            }
+            if let Some(d) = &diurnal {
+                rate *= d.factor_at(now);
+                boundary = boundary.min(d.segment_end(now));
             }
             let gap = self.rng.exp(1.0 / rate.max(1e-9));
             if now + gap <= boundary {
@@ -428,6 +496,71 @@ mod tests {
         let a = Generator::new(profile.clone(), 9).trace(500);
         let b = Generator::new(profile, 9).trace(500);
         assert_eq!(a, b);
+    }
+
+    /// The diurnal shape oscillates the windowed rate: the peak quarter
+    /// of the cycle sees far more arrivals than the trough quarter, while
+    /// the cycle-long mean stays near the base rate.
+    #[test]
+    fn diurnal_oscillates_rate_around_the_base() {
+        let d = Diurnal {
+            period_secs: 3600.0,
+            amplitude: 0.8,
+            segment_secs: 60.0,
+        };
+        let profile = ShareGptProfile::default()
+            .with_arrival_rate(4.0)
+            .with_diurnal(d.clone());
+        let t = Generator::new(profile, 13).trace(40_000);
+        // Peak quarter: sin ≈ 1 around period/4; trough around 3*period/4.
+        let in_quarter = |center: f64| {
+            t.sessions
+                .iter()
+                .filter(|s| {
+                    let phase = s.arrival.as_secs_f64() % d.period_secs;
+                    (phase - center).abs() < d.period_secs / 8.0
+                })
+                .count() as f64
+        };
+        let peak = in_quarter(d.period_secs / 4.0);
+        let trough = in_quarter(3.0 * d.period_secs / 4.0);
+        // Expected ratio (1 + a) / (1 - a) = 9 at a = 0.8; demand > 4x.
+        assert!(
+            peak > 4.0 * trough,
+            "peak {peak} should dwarf trough {trough}"
+        );
+        let span = t.sessions.last().unwrap().arrival.as_secs_f64();
+        let mean_rate = t.sessions.len() as f64 / span;
+        assert!((mean_rate - 4.0).abs() < 0.5, "cycle mean rate {mean_rate}");
+    }
+
+    /// The diurnal shape is deterministic and composes with the other
+    /// arrival shapes.
+    #[test]
+    fn diurnal_is_deterministic_and_composes() {
+        let profile = ShareGptProfile::default()
+            .with_burstiness(Burstiness::default())
+            .with_surge(Surge::default())
+            .with_diurnal(Diurnal::default());
+        let a = Generator::new(profile.clone(), 9).trace(500);
+        let b = Generator::new(profile, 9).trace(500);
+        assert_eq!(a, b);
+    }
+
+    /// `diurnal: None` leaves every draw untouched: the field is strictly
+    /// additive, so existing traces stay byte-identical.
+    #[test]
+    fn no_diurnal_is_the_old_process() {
+        let plain = Generator::new(ShareGptProfile::default(), 1).trace(200);
+        let explicit_none = Generator::new(
+            ShareGptProfile {
+                diurnal: None,
+                ..ShareGptProfile::default()
+            },
+            1,
+        )
+        .trace(200);
+        assert_eq!(plain, explicit_none);
     }
 
     #[test]

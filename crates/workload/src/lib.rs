@@ -28,6 +28,6 @@ pub mod sharegpt;
 pub mod stats;
 mod trace;
 
-pub use gen::{Burstiness, Generator, ShareGptProfile, Surge};
+pub use gen::{Burstiness, Diurnal, Generator, ShareGptProfile, Surge};
 pub use prefix::{PrefixProfile, PrefixScenario};
 pub use trace::{PrefixContent, SessionSpec, Trace, TurnSpec};

@@ -1,0 +1,127 @@
+//! Self-profiling is strictly additive: a run executed with the
+//! host-time profiler enabled must produce a byte-identical `RunReport`
+//! to an unprofiled run of the same config.
+//!
+//! This is the two-clock counterpart of `telemetry_observers.rs`: that
+//! suite pins that *virtual-time* observation is free; this one pins
+//! that the *host-time* plane (scoped timers on the cluster, store and
+//! telemetry hot paths, the heartbeat, RSS sampling) reads only wall
+//! clocks and thread-local accumulators — never simulation state — so
+//! enabling it cannot perturb a single simulated outcome.
+
+use cachedattention::engine::{run_cluster, ClusterConfig, EngineConfig, Medium, Mode, RouterKind};
+use cachedattention::models::ModelSpec;
+use cachedattention::sim::{profiler, ProfilerConfig};
+use cachedattention::workload::{Generator, ShareGptProfile, Trace};
+use std::sync::Mutex;
+
+/// The profiler's enable flag is process-global; tests that toggle it
+/// must not interleave.
+static PROFILER_LOCK: Mutex<()> = Mutex::new(());
+
+const MODES: [Mode; 3] = [
+    Mode::CachedAttention,
+    Mode::Recompute,
+    Mode::CoupledOverflow,
+];
+
+const MEDIUMS: [Medium; 3] = [Medium::DramDisk, Medium::HbmDram, Medium::HbmOnly];
+
+/// The same pressured configuration the golden fixtures use.
+fn pressured(mode: Mode, medium: Medium) -> EngineConfig {
+    let mut cfg = EngineConfig::paper(mode, ModelSpec::llama2_13b());
+    cfg.medium = medium;
+    cfg.store.set_dram_bytes(8_000_000_000);
+    cfg.store.set_disk_bytes(40_000_000_000);
+    cfg
+}
+
+/// All 13 golden scenarios from `golden_report.rs`.
+fn scenarios() -> Vec<(String, EngineConfig)> {
+    let mut out = Vec::new();
+    for mode in MODES {
+        for medium in MEDIUMS {
+            let name = format!("{}_{:?}", mode.label().to_lowercase(), medium);
+            out.push((name, pressured(mode, medium)));
+        }
+    }
+    let mut chunked = pressured(Mode::CachedAttention, Medium::DramDisk);
+    chunked.chunked_prefill_tokens = Some(256);
+    out.push(("ca_chunked".into(), chunked));
+    let mut int4 = pressured(Mode::CachedAttention, Medium::DramDisk);
+    int4.kv_compression = 0.25;
+    out.push(("ca_int4".into(), int4));
+    let mut no_pl = pressured(Mode::CachedAttention, Medium::DramDisk);
+    no_pl.preload = false;
+    out.push(("ca_no_preload".into(), no_pl));
+    let mut no_as = pressured(Mode::CachedAttention, Medium::DramDisk);
+    no_as.async_save = false;
+    out.push(("ca_no_async_save".into(), no_as));
+    out
+}
+
+fn golden_trace() -> Trace {
+    Generator::new(ShareGptProfile::default(), 7).trace(20)
+}
+
+#[test]
+fn profiled_single_engine_reports_are_byte_identical() {
+    let _guard = PROFILER_LOCK.lock().unwrap();
+    for (name, cfg) in scenarios() {
+        let plain = cachedattention::engine::run_trace(cfg.clone(), golden_trace());
+        let expect = serde_json::to_string_pretty(&plain).unwrap();
+
+        profiler::begin(ProfilerConfig::default());
+        let profiled = cachedattention::engine::run_trace(cfg, golden_trace());
+        let profile = profiler::finish();
+
+        assert_eq!(
+            expect,
+            serde_json::to_string_pretty(&profiled).unwrap(),
+            "scenario `{name}`: self-profiling changed the report"
+        );
+        assert!(
+            profile.events > 0,
+            "scenario `{name}`: the profiler saw no events"
+        );
+    }
+}
+
+#[test]
+fn profiled_cluster_reports_are_byte_identical() {
+    let _guard = PROFILER_LOCK.lock().unwrap();
+    let engine = pressured(Mode::CachedAttention, Medium::DramDisk);
+    let cfg = ClusterConfig::new(engine, 3, RouterKind::SessionAffinity);
+    let trace = Generator::new(ShareGptProfile::default(), 11).trace(40);
+
+    let plain = run_cluster(cfg.clone(), trace.clone());
+    let expect = serde_json::to_string_pretty(&plain).unwrap();
+
+    profiler::begin(ProfilerConfig::default());
+    let profiled = run_cluster(cfg, trace);
+    let profile = profiler::finish();
+
+    assert_eq!(
+        expect,
+        serde_json::to_string_pretty(&profiled).unwrap(),
+        "self-profiling changed the cluster report"
+    );
+    // The cluster path exercises the instrumented hot paths, so the
+    // profile must actually contain them.
+    let names: Vec<&str> = profile.scopes.iter().map(|s| s.name.as_str()).collect();
+    for want in ["cluster.dispatch", "cluster.merged_view", "store.save"] {
+        assert!(names.contains(&want), "scope `{want}` missing: {names:?}");
+    }
+}
+
+#[test]
+fn disabled_profiler_stays_silent_across_a_run() {
+    let _guard = PROFILER_LOCK.lock().unwrap();
+    let cfg = pressured(Mode::CachedAttention, Medium::DramDisk);
+    // No begin(): the scope! macros must not record anything.
+    let _report = cachedattention::engine::run_trace(cfg, golden_trace());
+    profiler::begin(ProfilerConfig::default());
+    let profile = profiler::finish();
+    assert_eq!(profile.events, 0);
+    assert!(profile.scopes.is_empty());
+}
